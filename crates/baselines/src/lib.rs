@@ -1,0 +1,31 @@
+//! Baseline range-lock implementations the paper compares against.
+//!
+//! The EuroSys 2020 evaluation (Section 7.1) pits the new list-based range
+//! locks against three existing designs, all of which are implemented from
+//! scratch in this crate:
+//!
+//! * [`TreeRangeLock`] (`lustre-ex`) — the exclusive tree-based range lock
+//!   originally from the Lustre file system and Jan Kara's kernel patch: a
+//!   balanced range tree protected by a spin lock, with per-waiter
+//!   blocking-range counts;
+//! * [`RwTreeRangeLock`] (`kernel-rw`) — Davidlohr Bueso's reader-writer
+//!   extension of the same design;
+//! * [`SegmentRangeLock`] (`pnova-rw`) — the pNOVA design of Kim et al.: the
+//!   resource is statically split into segments, each guarded by its own
+//!   reader-writer lock.
+//!
+//! The supporting [`range_tree`] module contains the augmented balanced
+//! interval tree used by the tree-based locks (the kernel's "range tree").
+//! All locks implement the [`range_lock::RangeLock`] /
+//! [`range_lock::RwRangeLock`] traits so they can be swapped freely in the VM
+//! simulator, the skip list and the benchmark harness.
+
+#![warn(missing_docs)]
+
+pub mod range_tree;
+pub mod segment_lock;
+pub mod tree_lock;
+
+pub use range_tree::{Interval, RangeTree};
+pub use segment_lock::{SegmentRangeLock, SegmentReadGuard, SegmentWriteGuard};
+pub use tree_lock::{RwTreeRangeLock, TreeRangeGuard, TreeRangeLock};

@@ -1,0 +1,306 @@
+//! The segment-based range lock of pNOVA (Kim et al.), the paper's `pnova-rw`.
+//!
+//! The resource is statically divided into a preset number of equally sized
+//! segments, each protected by its own reader-writer lock. Acquiring a range
+//! acquires the locks of every overlapped segment, in ascending order (which
+//! prevents deadlock between concurrent acquisitions); releasing drops them.
+//!
+//! The design works well when ranges map to few segments and rarely collide,
+//! but — as Section 2 and the Figure 3 results show — a full-range
+//! acquisition must take *every* segment lock, and choosing the segment count
+//! is a workload-dependent tuning knob: too few segments recreate contention,
+//! too many make every acquisition expensive.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use range_lock::{Range, RwRangeLock};
+use rl_sync::stats::{WaitKind, WaitStats};
+use rl_sync::CachePadded;
+
+/// A reader-writer range lock built from per-segment reader-writer locks.
+///
+/// # Examples
+///
+/// ```
+/// use rl_baselines::SegmentRangeLock;
+/// use range_lock::{Range, RwRangeLock};
+///
+/// // 256 segments covering the address range [0, 256): one slot per segment.
+/// let lock = SegmentRangeLock::new(256, 256);
+/// let r = lock.read(Range::new(0, 16));
+/// let w = lock.write(Range::new(128, 192));
+/// drop(r);
+/// drop(w);
+/// ```
+pub struct SegmentRangeLock {
+    segments: Vec<CachePadded<RwLock<()>>>,
+    /// Total span covered by the segments; addresses past the span clamp to
+    /// the last segment.
+    span: u64,
+    segment_size: u64,
+    stats: Option<Arc<WaitStats>>,
+}
+
+impl SegmentRangeLock {
+    /// Creates a lock covering `[0, span)` split into `num_segments` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_segments` is zero or `span` is zero.
+    pub fn new(span: u64, num_segments: usize) -> Self {
+        assert!(num_segments > 0, "segment count must be positive");
+        assert!(span > 0, "span must be positive");
+        let segment_size = span.div_ceil(num_segments as u64).max(1);
+        SegmentRangeLock {
+            segments: (0..num_segments)
+                .map(|_| CachePadded::new(RwLock::new(())))
+                .collect(),
+            span,
+            segment_size,
+            stats: None,
+        }
+    }
+
+    /// Attaches a [`WaitStats`] sink recording contended acquisition times.
+    pub fn with_stats(mut self, stats: Arc<WaitStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Maps a range to the inclusive segment index interval it covers.
+    fn segment_span(&self, range: &Range) -> (usize, usize) {
+        let last = self.segments.len() - 1;
+        let start = ((range.start / self.segment_size) as usize).min(last);
+        let end_addr = range.end.min(self.span).saturating_sub(1).max(range.start);
+        let end = ((end_addr / self.segment_size) as usize).min(last);
+        // Ranges entirely past the span clamp to the last segment so that the
+        // lock still provides exclusion for out-of-span addresses.
+        if range.start >= self.span {
+            (last, last)
+        } else {
+            (start, end)
+        }
+    }
+
+    /// Acquires `range` in shared mode.
+    pub fn read(&self, range: Range) -> SegmentReadGuard<'_> {
+        let started = Instant::now();
+        let (first, last) = self.segment_span(&range);
+        let mut guards = Vec::with_capacity(last - first + 1);
+        let mut contended = false;
+        for seg in &self.segments[first..=last] {
+            match seg.try_read() {
+                Some(g) => guards.push(g),
+                None => {
+                    contended = true;
+                    guards.push(seg.read());
+                }
+            }
+        }
+        self.record(WaitKind::Read, started, contended);
+        SegmentReadGuard { _guards: guards }
+    }
+
+    /// Acquires `range` in exclusive mode.
+    pub fn write(&self, range: Range) -> SegmentWriteGuard<'_> {
+        let started = Instant::now();
+        let (first, last) = self.segment_span(&range);
+        let mut guards = Vec::with_capacity(last - first + 1);
+        let mut contended = false;
+        for seg in &self.segments[first..=last] {
+            match seg.try_write() {
+                Some(g) => guards.push(g),
+                None => {
+                    contended = true;
+                    guards.push(seg.write());
+                }
+            }
+        }
+        self.record(WaitKind::Write, started, contended);
+        SegmentWriteGuard { _guards: guards }
+    }
+
+    fn record(&self, kind: WaitKind, started: Instant, contended: bool) {
+        if let Some(s) = &self.stats {
+            if contended {
+                s.record_wait_ns(kind, started.elapsed().as_nanos() as u64);
+            } else {
+                s.record_uncontended();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SegmentRangeLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentRangeLock")
+            .field("segments", &self.segments.len())
+            .field("span", &self.span)
+            .field("segment_size", &self.segment_size)
+            .finish()
+    }
+}
+
+/// RAII guard for a shared segment-lock acquisition.
+#[must_use = "the range is released as soon as the guard is dropped"]
+pub struct SegmentReadGuard<'a> {
+    _guards: Vec<RwLockReadGuard<'a, ()>>,
+}
+
+/// RAII guard for an exclusive segment-lock acquisition.
+#[must_use = "the range is released as soon as the guard is dropped"]
+pub struct SegmentWriteGuard<'a> {
+    _guards: Vec<RwLockWriteGuard<'a, ()>>,
+}
+
+impl RwRangeLock for SegmentRangeLock {
+    type ReadGuard<'a> = SegmentReadGuard<'a>;
+    type WriteGuard<'a> = SegmentWriteGuard<'a>;
+
+    fn read(&self, range: Range) -> Self::ReadGuard<'_> {
+        SegmentRangeLock::read(self, range)
+    }
+
+    fn write(&self, range: Range) -> Self::WriteGuard<'_> {
+        SegmentRangeLock::write(self, range)
+    }
+
+    fn name(&self) -> &'static str {
+        "pnova-rw"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+    #[test]
+    fn segment_mapping_covers_span() {
+        let lock = SegmentRangeLock::new(256, 16); // 16 addresses per segment
+        assert_eq!(lock.segment_span(&Range::new(0, 16)), (0, 0));
+        assert_eq!(lock.segment_span(&Range::new(0, 17)), (0, 1));
+        assert_eq!(lock.segment_span(&Range::new(15, 16)), (0, 0));
+        assert_eq!(lock.segment_span(&Range::new(240, 256)), (15, 15));
+        assert_eq!(lock.segment_span(&Range::FULL), (0, 15));
+        // Out-of-span addresses clamp to the last segment.
+        assert_eq!(lock.segment_span(&Range::new(1_000, 2_000)), (15, 15));
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let lock = SegmentRangeLock::new(256, 16);
+        let r1 = lock.read(Range::new(0, 100));
+        let r2 = lock.read(Range::new(50, 150));
+        drop(r1);
+        drop(r2);
+        let w = lock.write(Range::new(0, 100));
+        drop(w);
+    }
+
+    #[test]
+    fn disjoint_segments_do_not_block() {
+        let lock = Arc::new(SegmentRangeLock::new(256, 16));
+        let w1 = lock.write(Range::new(0, 16));
+        // A writer on a different segment must acquire immediately.
+        let w2 = lock.write(Range::new(128, 144));
+        drop(w1);
+        drop(w2);
+    }
+
+    #[test]
+    fn overlapping_writer_blocks() {
+        let lock = Arc::new(SegmentRangeLock::new(256, 16));
+        let w = lock.write(Range::new(0, 64));
+        let l2 = Arc::clone(&lock);
+        let handle = std::thread::spawn(move || {
+            let _w2 = l2.write(Range::new(32, 96));
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!handle.is_finished());
+        drop(w);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn false_sharing_on_same_segment_serializes() {
+        // Two disjoint ranges falling into the same segment serialize — the
+        // granularity limitation discussed in Section 2.
+        let lock = Arc::new(SegmentRangeLock::new(256, 4)); // 64 addresses/segment
+        let w = lock.write(Range::new(0, 8));
+        let l2 = Arc::clone(&lock);
+        let handle = std::thread::spawn(move || {
+            let _w2 = l2.write(Range::new(32, 40));
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!handle.is_finished());
+        drop(w);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn reader_writer_exclusion_stress() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 500;
+        let lock = Arc::new(SegmentRangeLock::new(1024, 64));
+        let readers = Arc::new(AtomicI64::new(0));
+        let writer_inside = Arc::new(AtomicBool::new(false));
+        let violations = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let readers = Arc::clone(&readers);
+            let writer_inside = Arc::clone(&writer_inside);
+            let violations = Arc::clone(&violations);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let range = Range::new(0, 1024); // always the full span
+                    if (t + i) % 4 == 0 {
+                        let g = lock.write(range);
+                        if writer_inside.swap(true, Ordering::SeqCst)
+                            || readers.load(Ordering::SeqCst) != 0
+                        {
+                            violations.fetch_add(1, Ordering::SeqCst);
+                        }
+                        writer_inside.store(false, Ordering::SeqCst);
+                        drop(g);
+                    } else {
+                        let g = lock.read(range);
+                        readers.fetch_add(1, Ordering::SeqCst);
+                        if writer_inside.load(Ordering::SeqCst) {
+                            violations.fetch_add(1, Ordering::SeqCst);
+                        }
+                        readers.fetch_sub(1, Ordering::SeqCst);
+                        drop(g);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn stats_sink_is_fed() {
+        let stats = Arc::new(WaitStats::new("pnova"));
+        let lock = SegmentRangeLock::new(256, 8).with_stats(Arc::clone(&stats));
+        for _ in 0..10 {
+            drop(lock.write(Range::FULL));
+        }
+        assert!(stats.snapshot().acquisitions >= 10);
+    }
+
+    #[test]
+    fn trait_name() {
+        assert_eq!(RwRangeLock::name(&SegmentRangeLock::new(16, 4)), "pnova-rw");
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion bench for the ArrBench microbenchmark (Figure 3).
+//!
+//! `cargo bench` times a representative configuration per panel; the full
+//! thread sweeps that reproduce the figure series live in the `repro` binary
+//! (`cargo run -p rl-bench --release --bin repro -- fig3-full` and friends).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_bench::arrbench::{run_fixed_ops, LockVariant, RangePolicy};
+
+fn bench_arrbench(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let ops_per_thread = 300u64;
+
+    for (policy, read_pct) in [
+        (RangePolicy::FullRange, 100u32),
+        (RangePolicy::FullRange, 60),
+        (RangePolicy::NonOverlapping, 60),
+        (RangePolicy::Random, 60),
+    ] {
+        let mut group = c.benchmark_group(format!("fig3/{}/{}r", policy.name(), read_pct));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for lock in LockVariant::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(lock.name()),
+                &lock,
+                |b, &lock| {
+                    b.iter(|| run_fixed_ops(lock, policy, threads, read_pct, ops_per_thread));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_arrbench);
+criterion_main!(benches);

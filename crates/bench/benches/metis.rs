@@ -1,0 +1,59 @@
+//! Criterion bench for the Metis / VM-subsystem experiments (Figures 5–8).
+//!
+//! Times one small Metis run per synchronization strategy at a fixed thread
+//! count; the full thread sweeps, wait-time tables and refinement breakdown
+//! live in `repro -- fig5 fig6 fig7 fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_metis::{run, MetisConfig, Workload};
+use rl_vm::Strategy;
+
+fn bench_metis(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+
+    for workload in [Workload::Wrmem, Workload::Wc] {
+        let mut group = c.benchmark_group(format!("fig5/{}", workload.name()));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for strategy in Strategy::FIGURE5 {
+            let config = MetisConfig {
+                total_words: 10_000 * threads as u64,
+                ..MetisConfig::small(workload, threads)
+            };
+            group.bench_with_input(
+                BenchmarkId::from_parameter(strategy.name),
+                &strategy,
+                |b, &strategy| {
+                    b.iter(|| run(&config, strategy).expect("metis run failed"));
+                },
+            );
+        }
+        group.finish();
+    }
+
+    // Figure 6 ablation at one thread count: which refinement matters.
+    let mut group = c.benchmark_group("fig6/wrmem-refinement");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for strategy in Strategy::FIGURE6 {
+        let config = MetisConfig {
+            total_words: 10_000 * threads as u64,
+            ..MetisConfig::small(Workload::Wrmem, threads)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| run(&config, strategy).expect("metis run failed"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metis);
+criterion_main!(benches);

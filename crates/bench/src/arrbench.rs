@@ -1,0 +1,355 @@
+//! ArrBench — the array microbenchmark of Section 7.1 (Figure 3).
+//!
+//! Threads repeatedly acquire a range of a 256-slot, cache-padded shared
+//! array, read or increment every slot in the range, release, and then do a
+//! random amount (0–2048 iterations) of non-critical work. Three range
+//! selection policies reproduce the three rows of Figure 3:
+//!
+//! * [`RangePolicy::FullRange`] — every operation locks the whole array;
+//! * [`RangePolicy::NonOverlapping`] — thread *i* of *T* locks its own
+//!   1/*T*-th slice and traverses it *T* times, keeping the total work per
+//!   operation constant across thread counts;
+//! * [`RangePolicy::Random`] — every operation locks a uniformly random
+//!   sub-range.
+//!
+//! The benchmark is generic over the five lock variants of the paper
+//! (`lustre-ex`, `kernel-rw`, `pnova-rw`, `list-ex`, `list-rw`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use range_lock::{ListRangeLock, Range, RwListRangeLock};
+use rl_baselines::{RwTreeRangeLock, SegmentRangeLock, TreeRangeLock};
+use rl_sync::{padded::padded_vec, CachePadded};
+
+/// Number of array slots (the paper uses 256).
+pub const ARRAY_SLOTS: u64 = 256;
+
+/// Upper bound of the random non-critical work loop (the paper uses 2048).
+pub const NON_CRITICAL_WORK: u64 = 2048;
+
+/// The five lock variants evaluated in Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockVariant {
+    /// Exclusive list-based range lock (this paper).
+    ListEx,
+    /// Reader-writer list-based range lock (this paper).
+    ListRw,
+    /// Exclusive tree-based range lock (Lustre / Kara).
+    LustreEx,
+    /// Reader-writer tree-based range lock (Bueso).
+    KernelRw,
+    /// Segment-based reader-writer range lock (pNOVA / Kim et al.).
+    PnovaRw,
+}
+
+impl LockVariant {
+    /// Stable name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockVariant::ListEx => "list-ex",
+            LockVariant::ListRw => "list-rw",
+            LockVariant::LustreEx => "lustre-ex",
+            LockVariant::KernelRw => "kernel-rw",
+            LockVariant::PnovaRw => "pnova-rw",
+        }
+    }
+
+    /// All variants, in the order the paper's legends list them.
+    pub const ALL: [LockVariant; 5] = [
+        LockVariant::LustreEx,
+        LockVariant::KernelRw,
+        LockVariant::PnovaRw,
+        LockVariant::ListEx,
+        LockVariant::ListRw,
+    ];
+}
+
+/// How each operation chooses the range it locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangePolicy {
+    /// Lock the entire array (Figure 3 a, b).
+    FullRange,
+    /// Lock a per-thread disjoint slice (Figure 3 c, d).
+    NonOverlapping,
+    /// Lock a uniformly random sub-range (Figure 3 e, f).
+    Random,
+}
+
+impl RangePolicy {
+    /// Stable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RangePolicy::FullRange => "full",
+            RangePolicy::NonOverlapping => "non-overlapping",
+            RangePolicy::Random => "random",
+        }
+    }
+}
+
+/// One ArrBench configuration point.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrBenchConfig {
+    /// Lock under test.
+    pub lock: LockVariant,
+    /// Range selection policy.
+    pub policy: RangePolicy,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Percentage of operations that are reads (0–100).
+    pub read_pct: u32,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+}
+
+/// Result of one ArrBench run.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrBenchResult {
+    /// Total completed operations across all threads.
+    pub operations: u64,
+    /// Measured wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl ArrBenchResult {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.operations as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+enum AnyLock {
+    ListEx(ListRangeLock),
+    ListRw(RwListRangeLock),
+    LustreEx(TreeRangeLock),
+    KernelRw(RwTreeRangeLock),
+    PnovaRw(SegmentRangeLock),
+}
+
+/// The variants only keep the underlying guard alive; nothing reads them.
+#[expect(dead_code)]
+enum AnyGuard<'a> {
+    ListEx(range_lock::ListRangeGuard<'a>),
+    ListRw(range_lock::RwListRangeGuard<'a>),
+    Tree(rl_baselines::TreeRangeGuard<'a>),
+    SegRead(rl_baselines::SegmentReadGuard<'a>),
+    SegWrite(rl_baselines::SegmentWriteGuard<'a>),
+}
+
+impl AnyLock {
+    fn new(variant: LockVariant) -> Self {
+        match variant {
+            LockVariant::ListEx => AnyLock::ListEx(ListRangeLock::new()),
+            LockVariant::ListRw => AnyLock::ListRw(RwListRangeLock::new()),
+            LockVariant::LustreEx => AnyLock::LustreEx(TreeRangeLock::new()),
+            LockVariant::KernelRw => AnyLock::KernelRw(RwTreeRangeLock::new()),
+            // One segment per array slot, as in the paper's evaluation.
+            LockVariant::PnovaRw => {
+                AnyLock::PnovaRw(SegmentRangeLock::new(ARRAY_SLOTS, ARRAY_SLOTS as usize))
+            }
+        }
+    }
+
+    fn acquire(&self, range: Range, read: bool) -> AnyGuard<'_> {
+        match self {
+            AnyLock::ListEx(l) => AnyGuard::ListEx(l.acquire(range)),
+            AnyLock::ListRw(l) => {
+                AnyGuard::ListRw(if read { l.read(range) } else { l.write(range) })
+            }
+            AnyLock::LustreEx(l) => AnyGuard::Tree(l.acquire(range)),
+            AnyLock::KernelRw(l) => {
+                AnyGuard::Tree(if read { l.read(range) } else { l.write(range) })
+            }
+            AnyLock::PnovaRw(l) => {
+                if read {
+                    AnyGuard::SegRead(l.read(range))
+                } else {
+                    AnyGuard::SegWrite(l.write(range))
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Runs one ArrBench configuration and reports its throughput.
+pub fn run(config: &ArrBenchConfig) -> ArrBenchResult {
+    assert!(config.threads > 0);
+    assert!(config.read_pct <= 100);
+    let lock = Arc::new(AnyLock::new(config.lock));
+    let slots: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(padded_vec(ARRAY_SLOTS as usize));
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(config.threads);
+    for thread_id in 0..config.threads {
+        let lock = Arc::clone(&lock);
+        let slots = Arc::clone(&slots);
+        let stop = Arc::clone(&stop);
+        let total_ops = Arc::clone(&total_ops);
+        let config = *config;
+        handles.push(std::thread::spawn(move || {
+            let mut rng_state = (thread_id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut ops = 0u64;
+            let slice_len = (ARRAY_SLOTS / config.threads as u64).max(1);
+            let my_slice = Range::new(
+                (thread_id as u64 * slice_len).min(ARRAY_SLOTS - 1),
+                ((thread_id as u64 + 1) * slice_len)
+                    .min(ARRAY_SLOTS)
+                    .max(thread_id as u64 * slice_len + 1),
+            );
+            while !stop.load(Ordering::Relaxed) {
+                let read = (xorshift(&mut rng_state) % 100) < config.read_pct as u64;
+                let (range, passes) = match config.policy {
+                    RangePolicy::FullRange => (Range::new(0, ARRAY_SLOTS), 1),
+                    RangePolicy::NonOverlapping => (my_slice, config.threads as u64),
+                    RangePolicy::Random => {
+                        let a = xorshift(&mut rng_state) % ARRAY_SLOTS;
+                        let b = xorshift(&mut rng_state) % ARRAY_SLOTS;
+                        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                        (Range::new(lo, hi + 1), 1)
+                    }
+                };
+
+                {
+                    let _guard = lock.acquire(range, read);
+                    for _ in 0..passes {
+                        for slot in slots[range.start as usize..range.end as usize].iter() {
+                            if read {
+                                std::hint::black_box(slot.load(Ordering::Relaxed));
+                            } else {
+                                slot.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+
+                // Non-critical work between operations.
+                let work = xorshift(&mut rng_state) % NON_CRITICAL_WORK;
+                for _ in 0..work {
+                    std::hint::spin_loop();
+                }
+                ops += 1;
+            }
+            total_ops.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        handle.join().expect("ArrBench worker panicked");
+    }
+    ArrBenchResult {
+        operations: total_ops.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Runs a fixed number of operations per thread (used by the Criterion
+/// benches, which need deterministic work rather than a fixed duration).
+pub fn run_fixed_ops(
+    lock: LockVariant,
+    policy: RangePolicy,
+    threads: usize,
+    read_pct: u32,
+    ops_per_thread: u64,
+) -> u64 {
+    let lock = Arc::new(AnyLock::new(lock));
+    let slots: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(padded_vec(ARRAY_SLOTS as usize));
+    let mut handles = Vec::with_capacity(threads);
+    for thread_id in 0..threads {
+        let lock = Arc::clone(&lock);
+        let slots = Arc::clone(&slots);
+        handles.push(std::thread::spawn(move || {
+            let mut rng_state = (thread_id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let slice_len = (ARRAY_SLOTS / threads as u64).max(1);
+            let my_slice = Range::new(
+                (thread_id as u64 * slice_len).min(ARRAY_SLOTS - 1),
+                ((thread_id as u64 + 1) * slice_len)
+                    .min(ARRAY_SLOTS)
+                    .max(thread_id as u64 * slice_len + 1),
+            );
+            let mut acc = 0u64;
+            for _ in 0..ops_per_thread {
+                let read = (xorshift(&mut rng_state) % 100) < read_pct as u64;
+                let (range, passes) = match policy {
+                    RangePolicy::FullRange => (Range::new(0, ARRAY_SLOTS), 1),
+                    RangePolicy::NonOverlapping => (my_slice, threads as u64),
+                    RangePolicy::Random => {
+                        let a = xorshift(&mut rng_state) % ARRAY_SLOTS;
+                        let b = xorshift(&mut rng_state) % ARRAY_SLOTS;
+                        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                        (Range::new(lo, hi + 1), 1)
+                    }
+                };
+                let _guard = lock.acquire(range, read);
+                for _ in 0..passes {
+                    for slot in slots[range.start as usize..range.end as usize].iter() {
+                        if read {
+                            acc = acc.wrapping_add(slot.load(Ordering::Relaxed));
+                        } else {
+                            slot.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            acc
+        }));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .fold(0u64, u64::wrapping_add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_and_policy_completes() {
+        for lock in LockVariant::ALL {
+            for policy in [
+                RangePolicy::FullRange,
+                RangePolicy::NonOverlapping,
+                RangePolicy::Random,
+            ] {
+                let result = run(&ArrBenchConfig {
+                    lock,
+                    policy,
+                    threads: 2,
+                    read_pct: 60,
+                    duration: Duration::from_millis(30),
+                });
+                assert!(result.operations > 0, "{} / {}", lock.name(), policy.name());
+                assert!(result.ops_per_sec() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_ops_mode_completes() {
+        for lock in [LockVariant::ListRw, LockVariant::KernelRw] {
+            run_fixed_ops(lock, RangePolicy::Random, 2, 80, 200);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LockVariant::ListEx.name(), "list-ex");
+        assert_eq!(RangePolicy::FullRange.name(), "full");
+        assert_eq!(LockVariant::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,333 @@
+//! `repro` — regenerate every figure of the paper on the current machine.
+//!
+//! ```text
+//! repro [--quick|--full] [--threads 1,2,4,8] [--json] <experiment>...
+//!
+//! experiments:
+//!   fig3-full          ArrBench, all threads acquire the full range
+//!   fig3-nonoverlap    ArrBench, per-thread disjoint ranges
+//!   fig3-random        ArrBench, random ranges
+//!   fig4               skip-list throughput (orig / range-lustre / range-list)
+//!   fig5               Metis runtimes: stock vs tree/list, full vs refined
+//!   fig6               refinement breakdown (list-full/pf/mprotect/refined)
+//!   fig7               average wait time of mmap_sem / the range lock
+//!   fig8               average wait time of the tree lock's internal spin lock
+//!   all                everything above
+//! ```
+//!
+//! `--quick` (default) uses scaled-down inputs that finish in a couple of
+//! minutes on a laptop; `--full` uses larger inputs closer to the paper's
+//! per-thread work. Shapes — who wins and by roughly how much — are what to
+//! compare; absolute numbers depend on the machine (see EXPERIMENTS.md).
+
+use std::time::Duration;
+
+use rl_bench::arrbench::{self, ArrBenchConfig, LockVariant, RangePolicy};
+use rl_bench::metisbench::{self, MetisScale};
+use rl_bench::report::Table;
+use rl_bench::skipbench::{self, SkipBenchConfig, SkipListVariant};
+use rl_metis::Workload;
+
+#[derive(Debug, Clone)]
+struct Options {
+    quick: bool,
+    json: bool,
+    threads: Vec<usize>,
+    experiments: Vec<String>,
+}
+
+fn default_threads() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+    let mut t = vec![1, 2, 4, 8, 16, 32, 64, 128];
+    t.retain(|&x| x <= max.max(2));
+    if !t.contains(&max) && max > 1 {
+        t.push(max);
+    }
+    t
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: true,
+        json: false,
+        threads: default_threads(),
+        experiments: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--full" => opts.quick = false,
+            "--json" => opts.json = true,
+            "--threads" => {
+                let list = args.next().unwrap_or_else(|| {
+                    eprintln!("--threads requires a comma-separated list");
+                    std::process::exit(2);
+                });
+                opts.threads = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("invalid thread count"))
+                    .collect();
+            }
+            "--help" | "-h" => {
+                println!("see the module documentation at the top of repro.rs, or README.md");
+                std::process::exit(0);
+            }
+            other => opts.experiments.push(other.to_string()),
+        }
+    }
+    if opts.experiments.is_empty() {
+        opts.experiments.push("all".to_string());
+    }
+    opts
+}
+
+fn emit(table: &Table, json: bool) {
+    if json {
+        println!("{}", table.to_json());
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+fn arrbench_duration(quick: bool) -> Duration {
+    if quick {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(3)
+    }
+}
+
+fn run_fig3(policy: RangePolicy, opts: &Options) {
+    let panel = match policy {
+        RangePolicy::FullRange => "Figure 3 (a,b): full-range acquisitions",
+        RangePolicy::NonOverlapping => "Figure 3 (c,d): non-overlapping acquisitions",
+        RangePolicy::Random => "Figure 3 (e,f): random-range acquisitions",
+    };
+    for read_pct in [100u32, 60] {
+        let columns: Vec<String> = LockVariant::ALL
+            .iter()
+            .map(|l| l.name().to_string())
+            .collect();
+        let mut table = Table::new(
+            format!("{panel} — {read_pct}% reads"),
+            "threads",
+            "ops/sec",
+            columns,
+        );
+        for &threads in &opts.threads {
+            let mut row = Vec::new();
+            for lock in LockVariant::ALL {
+                let result = arrbench::run(&ArrBenchConfig {
+                    lock,
+                    policy,
+                    threads,
+                    read_pct,
+                    duration: arrbench_duration(opts.quick),
+                });
+                row.push(result.ops_per_sec());
+            }
+            table.push_row(threads as u64, row);
+        }
+        emit(&table, opts.json);
+    }
+}
+
+fn run_fig4(opts: &Options) {
+    let columns: Vec<String> = SkipListVariant::ALL
+        .iter()
+        .map(|v| v.name().to_string())
+        .collect();
+    let mut table = Table::new(
+        "Figure 4: skip-list throughput (80% find / 20% update)",
+        "threads",
+        "ops/sec",
+        columns,
+    );
+    for &threads in &opts.threads {
+        let mut row = Vec::new();
+        for variant in SkipListVariant::ALL {
+            let config = if opts.quick {
+                SkipBenchConfig::quick(variant, threads)
+            } else {
+                let mut c = SkipBenchConfig::paper(variant, threads);
+                c.duration = Duration::from_secs(3);
+                c
+            };
+            row.push(skipbench::run(&config).ops_per_sec());
+        }
+        table.push_row(threads as u64, row);
+    }
+    emit(&table, opts.json);
+}
+
+fn metis_scale(quick: bool) -> MetisScale {
+    if quick {
+        MetisScale::Quick
+    } else {
+        MetisScale::Full
+    }
+}
+
+fn run_fig5(opts: &Options) {
+    for workload in Workload::ALL {
+        let columns: Vec<String> = rl_vm::Strategy::FIGURE5
+            .iter()
+            .map(|s| s.name.to_string())
+            .collect();
+        let mut runtime_table = Table::new(
+            format!("Figure 5: Metis {} runtime", workload.name()),
+            "threads",
+            "runtime (ms)",
+            columns,
+        );
+        let mut spec_rate_at_max = 0.0;
+        for &threads in &opts.threads {
+            let rows = metisbench::figure5(workload, &[threads], metis_scale(opts.quick));
+            let values: Vec<f64> = rows
+                .iter()
+                .map(|m| m.runtime.as_secs_f64() * 1_000.0)
+                .collect();
+            if let Some(m) = rows.iter().find(|m| m.strategy.name == "list-refined") {
+                spec_rate_at_max = m.vm_stats.speculation_success_rate();
+            }
+            runtime_table.push_row(threads as u64, values);
+        }
+        emit(&runtime_table, opts.json);
+        if let (Some(&max_threads), false) = (opts.threads.iter().max(), opts.json) {
+            if let Some(spread) = runtime_table.spread_at(max_threads as u64) {
+                println!(
+                    "  {}: worst/best runtime ratio at {} threads = {:.1}x; list-refined speculation success = {:.1}%\n",
+                    workload.name(),
+                    max_threads,
+                    spread,
+                    spec_rate_at_max * 100.0
+                );
+            }
+        }
+    }
+}
+
+fn run_fig6(opts: &Options) {
+    for workload in Workload::ALL {
+        let columns: Vec<String> = rl_vm::Strategy::FIGURE6
+            .iter()
+            .map(|s| s.name.to_string())
+            .collect();
+        let mut table = Table::new(
+            format!("Figure 6: refinement breakdown, Metis {}", workload.name()),
+            "threads",
+            "runtime (ms)",
+            columns,
+        );
+        for &threads in &opts.threads {
+            let rows = metisbench::figure6(workload, &[threads], metis_scale(opts.quick));
+            table.push_row(
+                threads as u64,
+                rows.iter()
+                    .map(|m| m.runtime.as_secs_f64() * 1_000.0)
+                    .collect(),
+            );
+        }
+        emit(&table, opts.json);
+    }
+}
+
+fn run_fig7(opts: &Options) {
+    for workload in Workload::ALL {
+        let columns: Vec<String> = rl_vm::Strategy::FIGURE5
+            .iter()
+            .map(|s| s.name.to_string())
+            .collect();
+        let mut table = Table::new(
+            format!(
+                "Figure 7: avg wait per acquisition, Metis {}",
+                workload.name()
+            ),
+            "threads",
+            "wait (us)",
+            columns,
+        );
+        for &threads in &opts.threads {
+            let rows = metisbench::figure5(workload, &[threads], metis_scale(opts.quick));
+            table.push_row(
+                threads as u64,
+                rows.iter().map(|m| m.avg_lock_wait_us()).collect(),
+            );
+        }
+        emit(&table, opts.json);
+    }
+}
+
+fn run_fig8(opts: &Options) {
+    for workload in Workload::ALL {
+        let columns = vec!["tree-full".to_string(), "tree-refined".to_string()];
+        let mut table = Table::new(
+            format!(
+                "Figure 8: range-tree spin-lock wait, Metis {}",
+                workload.name()
+            ),
+            "threads",
+            "wait (us)",
+            columns,
+        );
+        for &threads in &opts.threads {
+            let full = metisbench::measure(
+                workload,
+                rl_vm::Strategy::TREE_FULL,
+                threads,
+                metis_scale(opts.quick),
+            );
+            let refined = metisbench::measure(
+                workload,
+                rl_vm::Strategy::TREE_REFINED,
+                threads,
+                metis_scale(opts.quick),
+            );
+            table.push_row(
+                threads as u64,
+                vec![full.avg_spin_wait_us(), refined.avg_spin_wait_us()],
+            );
+        }
+        emit(&table, opts.json);
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if !opts.json {
+        println!(
+            "range-locks repro harness — {} mode, thread counts: {:?}\n",
+            if opts.quick { "quick" } else { "full" },
+            opts.threads
+        );
+    }
+    for experiment in opts.experiments.clone() {
+        match experiment.as_str() {
+            "fig3-full" => run_fig3(RangePolicy::FullRange, &opts),
+            "fig3-nonoverlap" => run_fig3(RangePolicy::NonOverlapping, &opts),
+            "fig3-random" => run_fig3(RangePolicy::Random, &opts),
+            "fig4" => run_fig4(&opts),
+            "fig5" => run_fig5(&opts),
+            "fig6" => run_fig6(&opts),
+            "fig7" => run_fig7(&opts),
+            "fig8" => run_fig8(&opts),
+            "all" => {
+                run_fig3(RangePolicy::FullRange, &opts);
+                run_fig3(RangePolicy::NonOverlapping, &opts);
+                run_fig3(RangePolicy::Random, &opts);
+                run_fig4(&opts);
+                run_fig5(&opts);
+                run_fig6(&opts);
+                run_fig7(&opts);
+                run_fig8(&opts);
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'; run with --help for the list");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # Benchmark harness reproducing the paper's evaluation
+//!
+//! One module per experiment family:
+//!
+//! * [`arrbench`] — the ArrBench array microbenchmark (Figure 3, all six
+//!   panels);
+//! * [`skipbench`] — the Synchrobench-style skip-list benchmark (Figure 4);
+//! * [`metisbench`] — the Metis workloads on the simulated VM subsystem
+//!   (Figures 5–8, plus the speculation-success statistics quoted in the
+//!   text of Section 7.2);
+//! * [`report`] — table rendering shared by the `repro` binary.
+//!
+//! The `repro` binary drives full thread sweeps and prints one table per
+//! figure; the Criterion benches under `benches/` time representative single
+//! configurations so `cargo bench` stays fast.
+
+#![warn(missing_docs)]
+
+pub mod arrbench;
+pub mod metisbench;
+pub mod report;
+pub mod skipbench;
+
+pub use arrbench::{ArrBenchConfig, ArrBenchResult, LockVariant, RangePolicy};
+pub use metisbench::{figure5, figure6, measure, MetisMeasurement, MetisScale};
+pub use report::{Table, TableRow};
+pub use skipbench::{SkipBenchConfig, SkipBenchResult, SkipListVariant};

@@ -1,0 +1,165 @@
+//! The kernel-space experiments (Figures 5–8) on the simulated VM.
+//!
+//! Each measurement runs one Metis workload (`wr`, `wc`, `wrmem`) with a
+//! given synchronization strategy and thread count, and records:
+//!
+//! * the wall-clock runtime (Figure 5 and Figure 6);
+//! * the average wait time per acquisition of the VM lock, split into read
+//!   and write acquisitions (Figure 7);
+//! * the average wait time on the internal spin lock of the tree-based range
+//!   lock (Figure 8);
+//! * the speculation counters (the ">99% of mprotects succeed speculatively"
+//!   claim of Section 7.2).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rl_metis::{run_on, MetisConfig, MetisReport, Workload};
+use rl_sync::stats::LockStatSnapshot;
+use rl_vm::{Mm, Strategy, VmStats};
+
+/// One measurement point of the kernel-space experiments.
+#[derive(Debug, Clone)]
+pub struct MetisMeasurement {
+    /// Workload that was run.
+    pub workload: Workload,
+    /// Synchronization strategy of the simulated VM.
+    pub strategy: Strategy,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock runtime of the run.
+    pub runtime: Duration,
+    /// VM-operation counters.
+    pub vm_stats: VmStats,
+    /// Wait-time counters of the VM lock (mmap_sem or range lock).
+    pub lock_stats: LockStatSnapshot,
+    /// Wait-time counters of the range tree's internal spin lock, when the
+    /// strategy uses the tree-based range lock.
+    pub spin_stats: Option<LockStatSnapshot>,
+}
+
+impl MetisMeasurement {
+    /// Average VM-lock wait per acquisition in microseconds (Figure 7 metric).
+    pub fn avg_lock_wait_us(&self) -> f64 {
+        self.lock_stats.avg_wait_per_acquisition_ns() / 1_000.0
+    }
+
+    /// Average spin-lock wait per acquisition in microseconds (Figure 8
+    /// metric); zero when the strategy has no internal spin lock.
+    pub fn avg_spin_wait_us(&self) -> f64 {
+        self.spin_stats
+            .as_ref()
+            .map(|s| s.avg_wait_per_acquisition_ns() / 1_000.0)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Scale of a Metis measurement campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetisScale {
+    /// Small inputs; finishes in seconds. Used by tests and `repro --quick`.
+    Quick,
+    /// Larger inputs approximating the paper's per-thread work.
+    Full,
+}
+
+/// Runs one (workload, strategy, threads) measurement.
+///
+/// The total work is fixed per scale (not per thread), exactly as in the
+/// paper: adding threads splits the same input, so the runtime-vs-threads
+/// curve shows scaling rather than growing work.
+pub fn measure(
+    workload: Workload,
+    strategy: Strategy,
+    threads: usize,
+    scale: MetisScale,
+) -> MetisMeasurement {
+    let config = match scale {
+        MetisScale::Quick => MetisConfig {
+            total_words: 120_000,
+            ..MetisConfig::small(workload, threads)
+        },
+        MetisScale::Full => MetisConfig {
+            total_words: 1_200_000,
+            ..MetisConfig::benchmark(workload, threads)
+        },
+    };
+    let mm = Arc::new(Mm::new(strategy));
+    let report: MetisReport = run_on(&config, Arc::clone(&mm)).expect("metis run failed");
+    MetisMeasurement {
+        workload,
+        strategy,
+        threads,
+        runtime: report.elapsed,
+        vm_stats: mm.stats(),
+        lock_stats: mm.lock_stats().snapshot(),
+        spin_stats: mm.spin_stats().map(|s| s.snapshot()),
+    }
+}
+
+/// Runs a workload across every strategy of Figure 5 for each thread count.
+pub fn figure5(
+    workload: Workload,
+    thread_counts: &[usize],
+    scale: MetisScale,
+) -> Vec<MetisMeasurement> {
+    let mut out = Vec::new();
+    for &threads in thread_counts {
+        for strategy in Strategy::FIGURE5 {
+            out.push(measure(workload, strategy, threads, scale));
+        }
+    }
+    out
+}
+
+/// Runs a workload across the refinement-breakdown variants of Figure 6.
+pub fn figure6(
+    workload: Workload,
+    thread_counts: &[usize],
+    scale: MetisScale,
+) -> Vec<MetisMeasurement> {
+    let mut out = Vec::new();
+    for &threads in thread_counts {
+        for strategy in Strategy::FIGURE6 {
+            out.push(measure(workload, strategy, threads, scale));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_measurement_populates_everything() {
+        let m = measure(Workload::Wc, Strategy::TREE_FULL, 2, MetisScale::Quick);
+        assert!(m.runtime > Duration::ZERO);
+        assert!(m.vm_stats.mprotects > 0);
+        assert!(m.lock_stats.acquisitions > 0);
+        assert!(m.spin_stats.is_some());
+        let m = measure(Workload::Wc, Strategy::LIST_REFINED, 2, MetisScale::Quick);
+        assert!(m.spin_stats.is_none());
+        assert!(m.avg_spin_wait_us() == 0.0);
+        assert!(m.avg_lock_wait_us() >= 0.0);
+    }
+
+    #[test]
+    fn figure5_covers_all_strategies() {
+        let rows = figure5(Workload::Wrmem, &[2], MetisScale::Quick);
+        assert_eq!(rows.len(), Strategy::FIGURE5.len());
+        let names: Vec<&str> = rows.iter().map(|r| r.strategy.name).collect();
+        assert!(names.contains(&"stock"));
+        assert!(names.contains(&"list-refined"));
+    }
+
+    #[test]
+    fn figure6_covers_all_refinements() {
+        let rows = figure6(Workload::Wc, &[2], MetisScale::Quick);
+        let names: Vec<&str> = rows.iter().map(|r| r.strategy.name).collect();
+        assert_eq!(
+            names,
+            vec!["list-full", "list-pf", "list-mprotect", "list-refined"]
+        );
+    }
+}

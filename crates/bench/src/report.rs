@@ -1,0 +1,153 @@
+//! Plain-text and JSON reporting helpers for the `repro` harness.
+//!
+//! Every figure is emitted as a small table: one row per thread count, one
+//! column per lock variant / strategy, mirroring the series of the original
+//! plot so the shape (who wins, by how much, where the crossover happens) can
+//! be compared directly against the paper.
+
+use serde::Serialize;
+
+/// A generic result table: `columns` are the series names (lock variants or
+/// strategies) and each row holds the x value (thread count) plus one metric
+/// per column.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title (e.g. "Figure 3(a): ArrBench, full range, 100% reads").
+    pub title: String,
+    /// Name of the x axis (usually "threads").
+    pub x_label: String,
+    /// Metric name (e.g. "ops/sec", "runtime (ms)").
+    pub metric: String,
+    /// Series names, in column order.
+    pub columns: Vec<String>,
+    /// Rows: x value plus one metric value per column.
+    pub rows: Vec<TableRow>,
+}
+
+/// One row of a [`Table`].
+#[derive(Debug, Clone, Serialize)]
+pub struct TableRow {
+    /// X value (thread count).
+    pub x: u64,
+    /// One value per column, in the same order as `Table::columns`.
+    pub values: Vec<f64>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        metric: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            metric: metric.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, x: u64, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match the column count"
+        );
+        self.rows.push(TableRow { x, values });
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}  [{}]\n", self.title, self.metric));
+        let mut header = format!("{:>10}", self.x_label);
+        for col in &self.columns {
+            header.push_str(&format!("  {col:>14}"));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = format!("{:>10}", row.x);
+            for value in &row.values {
+                if *value >= 1000.0 {
+                    line.push_str(&format!("  {value:>14.0}"));
+                } else {
+                    line.push_str(&format!("  {value:>14.3}"));
+                }
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the table as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+    }
+
+    /// For a given row, the ratio between the best and worst column — a quick
+    /// "who wins by how much" summary.
+    pub fn spread_at(&self, x: u64) -> Option<f64> {
+        let row = self.rows.iter().find(|r| r.x == x)?;
+        let max = row.values.iter().copied().fold(f64::MIN, f64::max);
+        let min = row.values.iter().copied().fold(f64::MAX, f64::min);
+        if min <= 0.0 {
+            None
+        } else {
+            Some(max / min)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "Figure X",
+            "threads",
+            "ops/sec",
+            vec!["a".into(), "b".into()],
+        );
+        t.push_row(1, vec![100.0, 200.0]);
+        t.push_row(2, vec![150.0, 4000.0]);
+        t
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let text = sample().render();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("threads"));
+        assert!(text.contains("4000"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let json = sample().to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["columns"][1], "b");
+        assert_eq!(parsed["rows"][1]["x"], 2);
+    }
+
+    #[test]
+    fn spread_reports_ratio() {
+        let t = sample();
+        assert!((t.spread_at(1).unwrap() - 2.0).abs() < 1e-9);
+        assert!(t.spread_at(99).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_is_rejected() {
+        let mut t = sample();
+        t.push_row(3, vec![1.0]);
+    }
+}

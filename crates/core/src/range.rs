@@ -1,0 +1,231 @@
+//! The [`Range`] type locked by every range-lock implementation.
+//!
+//! Ranges are half-open intervals `[start, end)` over `u64` addresses, which
+//! matches the paper's `compare` function (Listing 1): two ranges are disjoint
+//! exactly when one's `start` is greater than or equal to the other's `end`.
+//! The *full range* (`[0, u64::MAX)`) corresponds to the kernel patch's
+//! special "acquire the lock for the entire range" call.
+
+/// A half-open interval `[start, end)` of `u64` addresses.
+///
+/// # Examples
+///
+/// ```
+/// use range_lock::Range;
+///
+/// let a = Range::new(0, 10);
+/// let b = Range::new(10, 20);
+/// let c = Range::new(5, 15);
+/// assert!(!a.overlaps(&b));
+/// assert!(a.overlaps(&c));
+/// assert!(b.overlaps(&c));
+/// assert!(Range::FULL.overlaps(&a));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Range {
+    /// Inclusive lower bound.
+    pub start: u64,
+    /// Exclusive upper bound.
+    pub end: u64,
+}
+
+impl Range {
+    /// The full range, `[0, u64::MAX)` — the paper's `[0 .. 2^64 - 1]`
+    /// whole-resource acquisition.
+    pub const FULL: Range = Range {
+        start: 0,
+        end: u64::MAX,
+    };
+
+    /// Creates a new range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`; empty ranges (`start == end`) are allowed and
+    /// overlap with nothing.
+    #[inline]
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "invalid range: start {start} > end {end}");
+        Range { start, end }
+    }
+
+    /// Creates the range `[offset, offset + len)`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn from_len(offset: u64, len: u64) -> Self {
+        Range {
+            start: offset,
+            end: offset.saturating_add(len),
+        }
+    }
+
+    /// Returns the number of addresses covered by the range.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the range covers no addresses.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns `true` if this is the [`Range::FULL`] range.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        *self == Range::FULL
+    }
+
+    /// Returns `true` if the two ranges share at least one address.
+    ///
+    /// Empty ranges share no addresses and therefore overlap with nothing.
+    #[inline]
+    pub fn overlaps(&self, other: &Range) -> bool {
+        self.start < other.end && other.start < self.end && !self.is_empty() && !other.is_empty()
+    }
+
+    /// Returns `true` if `addr` falls inside the range.
+    #[inline]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Returns `true` if `other` is completely inside this range.
+    #[inline]
+    pub fn contains_range(&self, other: &Range) -> bool {
+        other.is_empty() || (other.start >= self.start && other.end <= self.end)
+    }
+
+    /// Returns the intersection of the two ranges, or `None` if disjoint.
+    #[inline]
+    pub fn intersection(&self, other: &Range) -> Option<Range> {
+        if self.overlaps(other) {
+            Some(Range {
+                start: self.start.max(other.start),
+                end: self.end.min(other.end),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Returns the smallest range covering both inputs.
+    #[inline]
+    pub fn hull(&self, other: &Range) -> Range {
+        Range {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Grows the range by `amount` on both sides, saturating at the `u64`
+    /// domain boundaries. Used by the speculative `mprotect`, which locks the
+    /// enclosing VMA plus one page on each side (Section 5.2).
+    #[inline]
+    pub fn expand(&self, amount: u64) -> Range {
+        Range {
+            start: self.start.saturating_sub(amount),
+            end: self.end.saturating_add(amount),
+        }
+    }
+}
+
+impl std::fmt::Display for Range {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+impl From<std::ops::Range<u64>> for Range {
+    fn from(r: std::ops::Range<u64>) -> Self {
+        Range::new(r.start, r.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_basic_cases() {
+        let a = Range::new(1, 3);
+        let b = Range::new(2, 7);
+        let c = Range::new(4, 5);
+        // The example from Section 3 of the paper: A=[1..3], B=[2..7], C=[4..5].
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&c));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn adjacent_ranges_do_not_overlap() {
+        let a = Range::new(0, 10);
+        let b = Range::new(10, 20);
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+    }
+
+    #[test]
+    fn empty_ranges_overlap_nothing() {
+        let e = Range::new(5, 5);
+        assert!(e.is_empty());
+        assert!(!e.overlaps(&Range::new(0, 10)));
+        assert!(!Range::new(0, 10).overlaps(&e));
+        assert!(!e.overlaps(&e));
+    }
+
+    #[test]
+    fn full_range_overlaps_everything_nonempty() {
+        assert!(Range::FULL.is_full());
+        assert!(Range::FULL.overlaps(&Range::new(0, 1)));
+        assert!(Range::FULL.overlaps(&Range::new(u64::MAX - 2, u64::MAX - 1)));
+        assert!(Range::FULL.contains_range(&Range::new(123, 456)));
+    }
+
+    #[test]
+    fn contains_and_len() {
+        let r = Range::new(10, 20);
+        assert_eq!(r.len(), 10);
+        assert!(r.contains(10));
+        assert!(r.contains(19));
+        assert!(!r.contains(20));
+        assert!(!r.contains(9));
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = Range::new(0, 10);
+        let b = Range::new(5, 15);
+        assert_eq!(a.intersection(&b), Some(Range::new(5, 10)));
+        assert_eq!(a.hull(&b), Range::new(0, 15));
+        assert_eq!(a.intersection(&Range::new(20, 30)), None);
+    }
+
+    #[test]
+    fn expand_saturates() {
+        let r = Range::new(5, 10);
+        assert_eq!(r.expand(3), Range::new(2, 13));
+        assert_eq!(
+            Range::new(1, u64::MAX - 1).expand(10),
+            Range::new(0, u64::MAX)
+        );
+    }
+
+    #[test]
+    fn from_len_saturates() {
+        assert_eq!(Range::from_len(100, 28), Range::new(100, 128));
+        assert_eq!(Range::from_len(u64::MAX - 1, 100).end, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_panics() {
+        let _ = Range::new(10, 5);
+    }
+
+    #[test]
+    fn display_and_from_std_range() {
+        let r: Range = (0u64..16u64).into();
+        assert_eq!(format!("{r}"), "[0x0, 0x10)");
+    }
+}

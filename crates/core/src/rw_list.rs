@@ -1,0 +1,768 @@
+//! The reader-writer list-based range lock (Section 4.2, Listings 2–3).
+//!
+//! This extends the exclusive list lock so that overlapping *reader* ranges
+//! may coexist while writers still exclude every overlapping range. The
+//! insertion traversal keeps readers sorted by start address and lets a reader
+//! slide past other readers it overlaps with; that alone would admit the
+//! reader/writer race of Figure 1 (a reader and a writer inserting after
+//! different predecessors and never contending on the same pointer), so every
+//! successful insertion is followed by a **validation** pass:
+//!
+//! * a **reader** (`r_validate`) keeps scanning forward from its own node
+//!   until it reaches a node starting after its range; if it meets an
+//!   overlapping writer it waits for that writer to release;
+//! * a **writer** (`w_validate`) re-scans from the head until it finds its own
+//!   node; if it meets an overlapping (necessarily reader) node it deletes its
+//!   own node and restarts the acquisition from scratch.
+//!
+//! Readers are therefore preferred in conflicts, exactly as in the paper.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rl_sync::stats::{WaitKind, WaitStats};
+use rl_sync::Backoff;
+
+use crate::fairness::{FairnessGate, FairnessPermit};
+use crate::mutex_list::ListLockConfig;
+use crate::node::{deref_node, is_marked, mark, to_ptr, unmark, LNode};
+use crate::range::Range;
+use crate::reclaim;
+use crate::traits::RwRangeLock;
+
+/// Outcome of comparing the node under inspection (`cur`) with the node being
+/// inserted (`lock`), following the reader-writer `compare` of Listing 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cmp {
+    /// Keep traversing: `cur` is before `lock`, or both are readers and `cur`
+    /// starts no later than `lock`.
+    CurBeforeLock,
+    /// The ranges conflict (they overlap and at least one is a writer).
+    Conflict,
+    /// Insert before `cur`: `cur` is after `lock`, or both are readers and
+    /// `cur` starts no earlier than `lock`.
+    CurAfterLock,
+}
+
+fn compare_rw(cur: Option<&LNode>, lock: &LNode) -> Cmp {
+    let cur = match cur {
+        None => return Cmp::CurAfterLock,
+        Some(cur) => cur,
+    };
+    let both_readers = cur.reader && lock.reader;
+    if lock.start >= cur.end {
+        return Cmp::CurBeforeLock;
+    }
+    if both_readers && lock.start >= cur.start {
+        return Cmp::CurBeforeLock;
+    }
+    if cur.start >= lock.end {
+        return Cmp::CurAfterLock;
+    }
+    if both_readers && cur.start >= lock.start {
+        return Cmp::CurAfterLock;
+    }
+    Cmp::Conflict
+}
+
+/// Result of one insertion attempt.
+enum InsertOutcome {
+    /// The node is in the list and validated.
+    Acquired,
+    /// The traversal lost its predecessor; retry with the same node.
+    Restart,
+    /// Writer validation failed; the node was logically deleted and the whole
+    /// acquisition must restart with a fresh node.
+    ValidationFailed,
+}
+
+/// A reader-writer list-based range lock.
+///
+/// # Examples
+///
+/// ```
+/// use range_lock::{Range, RwListRangeLock};
+///
+/// let lock = RwListRangeLock::new();
+/// let r1 = lock.read(Range::new(0, 100));
+/// let r2 = lock.read(Range::new(50, 150)); // overlapping readers share
+/// drop(r1);
+/// drop(r2);
+/// let _w = lock.write(Range::new(0, 100)); // writers are exclusive
+/// ```
+pub struct RwListRangeLock {
+    head: AtomicU64,
+    config: ListLockConfig,
+    fairness: Option<FairnessGate>,
+    stats: Option<Arc<WaitStats>>,
+}
+
+// SAFETY: Shared state is only touched through atomics and the epoch-protected
+// list protocol; see `ListRangeLock`.
+unsafe impl Send for RwListRangeLock {}
+// SAFETY: See the `Send` justification.
+unsafe impl Sync for RwListRangeLock {}
+
+impl RwListRangeLock {
+    /// Creates a lock with the default configuration (fast path on, fairness
+    /// off — the configuration evaluated in Section 7.1).
+    pub fn new() -> Self {
+        Self::with_config(ListLockConfig::default())
+    }
+
+    /// Creates a lock with an explicit configuration.
+    pub fn with_config(config: ListLockConfig) -> Self {
+        let fairness = if config.fairness {
+            Some(FairnessGate::new())
+        } else {
+            None
+        };
+        RwListRangeLock {
+            head: AtomicU64::new(0),
+            config,
+            fairness,
+            stats: None,
+        }
+    }
+
+    /// Attaches a [`WaitStats`] sink recording contended acquisition times.
+    pub fn with_stats(mut self, stats: Arc<WaitStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Acquires `range` in shared (reader) mode.
+    pub fn read(&self, range: Range) -> RwListRangeGuard<'_> {
+        self.acquire(range, true)
+    }
+
+    /// Acquires `range` in exclusive (writer) mode.
+    pub fn write(&self, range: Range) -> RwListRangeGuard<'_> {
+        self.acquire(range, false)
+    }
+
+    /// Acquires the entire resource in shared mode.
+    pub fn read_full(&self) -> RwListRangeGuard<'_> {
+        self.read(Range::FULL)
+    }
+
+    /// Acquires the entire resource in exclusive mode.
+    pub fn write_full(&self) -> RwListRangeGuard<'_> {
+        self.write(Range::FULL)
+    }
+
+    /// Returns the number of currently held (not logically deleted) ranges.
+    pub fn held_ranges(&self) -> usize {
+        let _pin = reclaim::pin();
+        let mut count = 0;
+        let mut cur = unmark(self.head.load(Ordering::Acquire));
+        // SAFETY: Pinned; nodes reachable from the head are not reclaimed.
+        while let Some(node) = unsafe { deref_node(cur) } {
+            if !node.is_deleted() {
+                count += 1;
+            }
+            cur = unmark(node.next.load(Ordering::Acquire));
+        }
+        count
+    }
+
+    /// Returns `true` if no range is currently held.
+    pub fn is_quiescent(&self) -> bool {
+        self.held_ranges() == 0
+    }
+
+    fn acquire(&self, range: Range, reader: bool) -> RwListRangeGuard<'_> {
+        let started = Instant::now();
+        let mut contended = false;
+        let kind = if reader {
+            WaitKind::Read
+        } else {
+            WaitKind::Write
+        };
+
+        // Fast path (Section 4.5).
+        if self.config.fast_path && self.head.load(Ordering::Acquire) == 0 {
+            let node = reclaim::alloc_node(range, reader);
+            // SAFETY: `node` is exclusively owned until published.
+            let node_ptr = unsafe { to_ptr(&*node) };
+            if self
+                .head
+                .compare_exchange(0, mark(node_ptr), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                if let Some(s) = &self.stats {
+                    s.record_uncontended();
+                }
+                return RwListRangeGuard {
+                    lock: self,
+                    node,
+                    fast: true,
+                };
+            }
+            contended = true;
+            // Lost the race; reuse the node on the regular path. The regular
+            // path may still fail writer validation, in which case the node is
+            // abandoned (logically deleted) and a fresh one is allocated.
+            if self.insert_with_retries(node, reader, &mut contended) {
+                self.record(kind, started, contended);
+                return RwListRangeGuard {
+                    lock: self,
+                    node,
+                    fast: false,
+                };
+            }
+        }
+
+        // RWRangeAcquire's do-while loop: allocate a node and insert it; a
+        // writer whose validation fails abandons the node and starts over.
+        loop {
+            let node = reclaim::alloc_node(range, reader);
+            if self.insert_with_retries(node, reader, &mut contended) {
+                self.record(kind, started, contended);
+                return RwListRangeGuard {
+                    lock: self,
+                    node,
+                    fast: false,
+                };
+            }
+            contended = true;
+        }
+    }
+
+    fn record(&self, kind: WaitKind, started: Instant, contended: bool) {
+        if let Some(s) = &self.stats {
+            if contended {
+                s.record_wait_ns(kind, started.elapsed().as_nanos() as u64);
+            } else {
+                s.record_uncontended();
+            }
+        }
+    }
+
+    /// Runs insertion attempts for one node until it is acquired or writer
+    /// validation fails. Returns `true` on acquisition.
+    fn insert_with_retries(&self, node: *mut LNode, reader: bool, contended: &mut bool) -> bool {
+        // SAFETY: `node` remains alive: it is owned by us until published, and
+        // once published it is not released before this function returns.
+        let lock_node = unsafe { &*node };
+        let mut attempts: u32 = 0;
+        let mut permit = self
+            .fairness
+            .as_ref()
+            .map(|gate| gate.enter())
+            .unwrap_or(FairnessPermit::Disabled);
+
+        loop {
+            attempts += 1;
+            if attempts > 1 {
+                *contended = true;
+            }
+            if let (Some(gate), true) = (
+                self.fairness.as_ref(),
+                permit.should_escalate(attempts, self.config.impatience_threshold),
+            ) {
+                permit = gate.escalate(permit);
+            }
+
+            let pin = reclaim::pin();
+            let outcome = self.insert_attempt(lock_node, reader, contended);
+            drop(pin);
+            match outcome {
+                InsertOutcome::Acquired => return true,
+                InsertOutcome::Restart => continue,
+                InsertOutcome::ValidationFailed => return false,
+            }
+        }
+    }
+
+    /// One traversal of `InsertNode` (Listing 2) plus validation.
+    fn insert_attempt(
+        &self,
+        lock_node: &LNode,
+        reader: bool,
+        contended: &mut bool,
+    ) -> InsertOutcome {
+        let mut prev: &AtomicU64 = &self.head;
+        let mut cur = prev.load(Ordering::Acquire);
+        loop {
+            if is_marked(cur) {
+                if std::ptr::eq(prev, &self.head) {
+                    // Fast-path marked head: strip the mark and continue.
+                    let _ = self.head.compare_exchange(
+                        cur,
+                        unmark(cur),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    cur = prev.load(Ordering::Acquire);
+                    continue;
+                }
+                *contended = true;
+                return InsertOutcome::Restart;
+            }
+            // SAFETY: Pinned; `cur` was read from a reachable `next` pointer.
+            let cur_node = unsafe { deref_node(cur) };
+            if let Some(cn) = cur_node {
+                let cn_next = cn.next.load(Ordering::Acquire);
+                if is_marked(cn_next) {
+                    let next = unmark(cn_next);
+                    if prev
+                        .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        // SAFETY: `cur` is unlinked; readers are epoch-protected.
+                        unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
+                    }
+                    cur = next;
+                    continue;
+                }
+            }
+            match compare_rw(cur_node, lock_node) {
+                Cmp::CurBeforeLock => {
+                    let cn = cur_node.expect("CurBeforeLock implies a live node");
+                    prev = &cn.next;
+                    cur = prev.load(Ordering::Acquire);
+                }
+                Cmp::Conflict => {
+                    *contended = true;
+                    let cn = cur_node.expect("Conflict implies a live node");
+                    let backoff = Backoff::new();
+                    while !is_marked(cn.next.load(Ordering::Acquire)) {
+                        backoff.snooze();
+                    }
+                    // The conflicting node is now logically deleted; the next
+                    // loop iteration unlinks it and the traversal resumes from
+                    // the same point.
+                }
+                Cmp::CurAfterLock => {
+                    lock_node.next.store(cur, Ordering::Relaxed);
+                    if prev
+                        .compare_exchange(
+                            cur,
+                            to_ptr(lock_node),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        return if reader {
+                            self.r_validate(lock_node, contended);
+                            InsertOutcome::Acquired
+                        } else if self.w_validate(lock_node, contended) {
+                            InsertOutcome::Acquired
+                        } else {
+                            InsertOutcome::ValidationFailed
+                        };
+                    }
+                    *contended = true;
+                    cur = prev.load(Ordering::Acquire);
+                }
+            }
+        }
+    }
+
+    /// Reader validation (Listing 3, `r_validate`): scan forward from our node
+    /// until a node that starts after our range; wait out overlapping writers.
+    fn r_validate(&self, lock_node: &LNode, contended: &mut bool) {
+        let mut prev: &AtomicU64 = &lock_node.next;
+        let mut cur = unmark(prev.load(Ordering::Acquire));
+        loop {
+            // SAFETY: Pinned (the caller holds the pin across validation).
+            let cur_node = match unsafe { deref_node(cur) } {
+                None => return,
+                Some(n) => n,
+            };
+            if cur_node.start > lock_node.end {
+                return;
+            }
+            let cn_next = cur_node.next.load(Ordering::Acquire);
+            if is_marked(cn_next) {
+                let next = unmark(cn_next);
+                if prev
+                    .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // SAFETY: Unlinked; epoch-protected readers may linger.
+                    unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
+                }
+                cur = next;
+            } else if cur_node.reader {
+                prev = &cur_node.next;
+                cur = unmark(prev.load(Ordering::Acquire));
+            } else {
+                // Overlapping writer: wait until it marks itself as deleted.
+                *contended = true;
+                let backoff = Backoff::new();
+                while !is_marked(cur_node.next.load(Ordering::Acquire)) {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// Writer validation (Listing 3, `w_validate`): re-scan from the head
+    /// until we find our own node; an overlapping node on the way means a
+    /// reader raced us, so delete our node and fail.
+    fn w_validate(&self, lock_node: &LNode, contended: &mut bool) -> bool {
+        let own = to_ptr(lock_node);
+        let mut prev: &AtomicU64 = &self.head;
+        let mut cur = unmark(prev.load(Ordering::Acquire));
+        loop {
+            if cur == own {
+                return true;
+            }
+            // SAFETY: Pinned (the caller holds the pin across validation). Our
+            // own unmarked node is always reachable from the head, so the
+            // traversal cannot fall off the end of the list before finding it.
+            let cur_node = match unsafe { deref_node(cur) } {
+                None => unreachable!("w_validate fell off the list before finding its own node"),
+                Some(n) => n,
+            };
+            let cn_next = cur_node.next.load(Ordering::Acquire);
+            if is_marked(cn_next) {
+                let next = unmark(cn_next);
+                if prev
+                    .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // SAFETY: Unlinked; epoch-protected readers may linger.
+                    unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
+                }
+                cur = next;
+            } else if cur_node.end <= lock_node.start {
+                prev = &cur_node.next;
+                cur = unmark(prev.load(Ordering::Acquire));
+            } else {
+                // Overlapping node ahead of us in the list: a reader won the
+                // race. Leave the list and fail validation.
+                *contended = true;
+                lock_node.mark_deleted();
+                return false;
+            }
+        }
+    }
+
+    /// Releases the range held by a guard.
+    fn release(&self, node: *mut LNode, fast: bool) {
+        // SAFETY: The guard kept the node alive.
+        let node_ref = unsafe { &*node };
+        if fast {
+            let marked_ptr = mark(to_ptr(node_ref));
+            if self.head.load(Ordering::Acquire) == marked_ptr
+                && self
+                    .head
+                    .compare_exchange(marked_ptr, 0, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                // SAFETY: Unreachable from the head after the CAS.
+                unsafe { reclaim::retire_node(node) };
+                return;
+            }
+        }
+        node_ref.mark_deleted();
+    }
+}
+
+impl Default for RwListRangeLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for RwListRangeLock {
+    fn drop(&mut self) {
+        let mut cur = unmark(*self.head.get_mut());
+        while cur != 0 {
+            let ptr = cur as *mut LNode;
+            // SAFETY: Exclusive access; no concurrent traversals exist.
+            let next = unmark(unsafe { (*ptr).next.load(Ordering::Relaxed) });
+            // SAFETY: Reachable only from this chain.
+            unsafe { reclaim::free_node_now(ptr) };
+            cur = next;
+        }
+    }
+}
+
+impl std::fmt::Debug for RwListRangeLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwListRangeLock")
+            .field("held_ranges", &self.held_ranges())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// RAII guard for a range held in a [`RwListRangeLock`] (shared or exclusive).
+#[must_use = "the range is released as soon as the guard is dropped"]
+pub struct RwListRangeGuard<'a> {
+    lock: &'a RwListRangeLock,
+    node: *mut LNode,
+    fast: bool,
+}
+
+impl RwListRangeGuard<'_> {
+    /// The range this guard protects.
+    pub fn range(&self) -> Range {
+        // SAFETY: The node stays alive while the guard exists.
+        unsafe { (*self.node).range() }
+    }
+
+    /// Returns `true` if this guard holds the range in shared (reader) mode.
+    pub fn is_reader(&self) -> bool {
+        // SAFETY: The node stays alive while the guard exists.
+        unsafe { (*self.node).reader }
+    }
+}
+
+impl Drop for RwListRangeGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.release(self.node, self.fast);
+    }
+}
+
+impl std::fmt::Debug for RwListRangeGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwListRangeGuard")
+            .field("range", &self.range())
+            .field("reader", &self.is_reader())
+            .finish()
+    }
+}
+
+impl RwRangeLock for RwListRangeLock {
+    type ReadGuard<'a> = RwListRangeGuard<'a>;
+    type WriteGuard<'a> = RwListRangeGuard<'a>;
+
+    fn read(&self, range: Range) -> Self::ReadGuard<'_> {
+        RwListRangeLock::read(self, range)
+    }
+
+    fn write(&self, range: Range) -> Self::WriteGuard<'_> {
+        RwListRangeLock::write(self, range)
+    }
+
+    fn name(&self) -> &'static str {
+        "list-rw"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+    use std::sync::Arc;
+
+    #[test]
+    fn overlapping_readers_share() {
+        let lock = RwListRangeLock::new();
+        let r1 = lock.read(Range::new(0, 100));
+        let r2 = lock.read(Range::new(50, 150));
+        let r3 = lock.read(Range::new(0, 150));
+        assert_eq!(lock.held_ranges(), 3);
+        drop(r1);
+        drop(r2);
+        drop(r3);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn writer_excludes_overlapping_writer() {
+        let lock = Arc::new(RwListRangeLock::new());
+        let w = lock.write(Range::new(0, 100));
+        let l2 = Arc::clone(&lock);
+        let started = std::time::Instant::now();
+        let handle = std::thread::spawn(move || {
+            let _w2 = l2.write(Range::new(50, 150));
+            started.elapsed()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        drop(w);
+        let waited = handle.join().unwrap();
+        assert!(waited >= std::time::Duration::from_millis(20));
+    }
+
+    #[test]
+    fn disjoint_writers_coexist() {
+        let lock = RwListRangeLock::new();
+        let a = lock.write(Range::new(0, 10));
+        let b = lock.write(Range::new(10, 20));
+        let c = lock.write(Range::new(20, 30));
+        assert_eq!(lock.held_ranges(), 3);
+        drop(a);
+        drop(b);
+        drop(c);
+    }
+
+    #[test]
+    fn guard_mode_is_reported() {
+        let lock = RwListRangeLock::new();
+        assert!(lock.read(Range::new(0, 1)).is_reader());
+        assert!(!lock.write(Range::new(0, 1)).is_reader());
+    }
+
+    #[test]
+    fn fast_path_read_then_write() {
+        let lock = RwListRangeLock::new();
+        for _ in 0..50 {
+            drop(lock.read(Range::new(0, 10)));
+            drop(lock.write(Range::new(0, 10)));
+        }
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn reader_writer_exclusion_stress() {
+        // Readers count themselves in a shared cell; writers require the cell
+        // to be exactly zero while they are inside. Any violation of
+        // reader-writer exclusion on overlapping ranges is detected.
+        const THREADS: usize = 8;
+        const ITERS: usize = 400;
+        let lock = Arc::new(RwListRangeLock::new());
+        let readers_inside = Arc::new(AtomicI64::new(0));
+        let writer_inside = Arc::new(AtomicI64::new(0));
+        let violations = Arc::new(StdAtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let readers_inside = Arc::clone(&readers_inside);
+            let writer_inside = Arc::clone(&writer_inside);
+            let violations = Arc::clone(&violations);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    // Every range overlaps address 500.
+                    let start = ((t * 13 + i * 7) % 100) as u64 * 5;
+                    let range = Range::new(start, start + 600);
+                    if (t + i) % 3 == 0 {
+                        let g = lock.write(range);
+                        writer_inside.fetch_add(1, StdOrdering::SeqCst);
+                        if writer_inside.load(StdOrdering::SeqCst) != 1
+                            || readers_inside.load(StdOrdering::SeqCst) != 0
+                        {
+                            violations.fetch_add(1, StdOrdering::SeqCst);
+                        }
+                        writer_inside.fetch_sub(1, StdOrdering::SeqCst);
+                        drop(g);
+                    } else {
+                        let g = lock.read(range);
+                        readers_inside.fetch_add(1, StdOrdering::SeqCst);
+                        if writer_inside.load(StdOrdering::SeqCst) != 0 {
+                            violations.fetch_add(1, StdOrdering::SeqCst);
+                        }
+                        readers_inside.fetch_sub(1, StdOrdering::SeqCst);
+                        drop(g);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(violations.load(StdOrdering::SeqCst), 0);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn full_range_writer_blocks_readers() {
+        let lock = Arc::new(RwListRangeLock::new());
+        let w = lock.write_full();
+        let l2 = Arc::clone(&lock);
+        let handle = std::thread::spawn(move || {
+            let _r = l2.read(Range::new(1000, 2000));
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!handle.is_finished());
+        drop(w);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn figure_one_race_is_prevented() {
+        // Reconstruction of the Figure 1 scenario: readers [1..10], [20..25],
+        // [40..50] are in the list; a reader [15..45] and a writer [30..35]
+        // arrive concurrently. Whatever the interleaving, the writer and the
+        // new reader must never both hold their (overlapping) ranges.
+        for _ in 0..200 {
+            let lock = Arc::new(RwListRangeLock::new());
+            let r1 = lock.read(Range::new(1, 10));
+            let r2 = lock.read(Range::new(20, 25));
+            let r3 = lock.read(Range::new(40, 50));
+            let overlap = Arc::new(AtomicI64::new(0));
+            let violations = Arc::new(StdAtomicU64::new(0));
+
+            let lr = Arc::clone(&lock);
+            let or = Arc::clone(&overlap);
+            let vr = Arc::clone(&violations);
+            let reader = std::thread::spawn(move || {
+                let g = lr.read(Range::new(15, 45));
+                let prev = or.fetch_add(1, StdOrdering::SeqCst);
+                if prev < 0 {
+                    vr.fetch_add(1, StdOrdering::SeqCst);
+                }
+                or.fetch_sub(1, StdOrdering::SeqCst);
+                drop(g);
+            });
+
+            let lw = Arc::clone(&lock);
+            let ow = Arc::clone(&overlap);
+            let vw = Arc::clone(&violations);
+            let writer = std::thread::spawn(move || {
+                let g = lw.write(Range::new(30, 35));
+                // Mark writer presence with a negative value.
+                let prev = ow.fetch_sub(100, StdOrdering::SeqCst);
+                if prev != 0 {
+                    vw.fetch_add(1, StdOrdering::SeqCst);
+                }
+                ow.fetch_add(100, StdOrdering::SeqCst);
+                drop(g);
+            });
+
+            drop(r1);
+            drop(r2);
+            drop(r3);
+            reader.join().unwrap();
+            writer.join().unwrap();
+            assert_eq!(violations.load(StdOrdering::SeqCst), 0);
+        }
+    }
+
+    #[test]
+    fn trait_interface_round_trip() {
+        fn exercise<L: RwRangeLock>(lock: &L) {
+            drop(lock.read(Range::new(0, 5)));
+            drop(lock.write(Range::new(0, 5)));
+            drop(lock.read_full());
+            drop(lock.write_full());
+        }
+        let lock = RwListRangeLock::new();
+        exercise(&lock);
+        assert_eq!(RwRangeLock::name(&lock), "list-rw");
+    }
+
+    #[test]
+    fn fairness_enabled_variant_smoke() {
+        let lock = Arc::new(RwListRangeLock::with_config(ListLockConfig {
+            fairness: true,
+            impatience_threshold: 2,
+            ..Default::default()
+        }));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let lock = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..300 {
+                    let start = ((t * 17 + i * 3) % 64) as u64;
+                    if i % 4 == 0 {
+                        drop(lock.write(Range::new(start, start + 32)));
+                    } else {
+                        drop(lock.read(Range::new(start, start + 32)));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(lock.is_quiescent());
+    }
+}

@@ -1,0 +1,78 @@
+//! Common range-lock interfaces.
+//!
+//! Every range-lock implementation in this workspace — the paper's list-based
+//! locks in this crate and the tree / segment baselines in `rl-baselines` —
+//! implements one (or both) of these traits so that the VM simulator, the
+//! skip list and the benchmark harness can be written once and parameterized
+//! over the lock.
+
+use crate::range::Range;
+
+/// An exclusive-access range lock: disjoint ranges may be held concurrently,
+/// overlapping ranges serialize.
+pub trait RangeLock: Send + Sync {
+    /// RAII guard releasing the range when dropped.
+    type Guard<'a>
+    where
+        Self: 'a;
+
+    /// Acquires exclusive access to `range`, waiting for any overlapping
+    /// holder to release.
+    fn acquire(&self, range: Range) -> Self::Guard<'_>;
+
+    /// Acquires the entire resource (the `[0 .. 2^64-1]` full-range call of
+    /// the kernel API).
+    fn acquire_full(&self) -> Self::Guard<'_> {
+        self.acquire(Range::FULL)
+    }
+
+    /// Short, stable identifier used by the benchmark harness
+    /// (e.g. `"list-ex"`, `"lustre-ex"`).
+    fn name(&self) -> &'static str;
+}
+
+/// A reader-writer range lock: overlapping *reader* ranges may be held
+/// concurrently; a writer range excludes every overlapping reader or writer.
+pub trait RwRangeLock: Send + Sync {
+    /// RAII guard for a shared (reader) acquisition.
+    type ReadGuard<'a>
+    where
+        Self: 'a;
+    /// RAII guard for an exclusive (writer) acquisition.
+    type WriteGuard<'a>
+    where
+        Self: 'a;
+
+    /// Acquires `range` in shared mode.
+    fn read(&self, range: Range) -> Self::ReadGuard<'_>;
+
+    /// Acquires `range` in exclusive mode.
+    fn write(&self, range: Range) -> Self::WriteGuard<'_>;
+
+    /// Acquires the entire resource in shared mode.
+    fn read_full(&self) -> Self::ReadGuard<'_> {
+        self.read(Range::FULL)
+    }
+
+    /// Acquires the entire resource in exclusive mode.
+    fn write_full(&self) -> Self::WriteGuard<'_> {
+        self.write(Range::FULL)
+    }
+
+    /// Short, stable identifier used by the benchmark harness
+    /// (e.g. `"list-rw"`, `"kernel-rw"`, `"pnova-rw"`).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ListRangeLock;
+
+    #[test]
+    fn default_full_range_methods_delegate() {
+        let lock = ListRangeLock::new();
+        let g = RangeLock::acquire_full(&lock);
+        assert_eq!(g.range(), Range::FULL);
+    }
+}

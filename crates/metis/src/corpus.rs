@@ -1,0 +1,119 @@
+//! Deterministic synthetic text corpora.
+//!
+//! Metis' `wc` and `wr` benchmarks read a text file and `wrmem` generates a
+//! buffer of random "words" in memory. The paper only uses them as generators
+//! of virtual-memory traffic, so this module provides a seeded, reproducible
+//! word stream with a Zipf-like skew (natural text has a few very frequent
+//! words and a long tail), from which all three workloads draw.
+
+/// A deterministic stream of word identifiers with a Zipf-like distribution.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    vocab_size: u32,
+    state: u64,
+}
+
+impl Corpus {
+    /// Creates a corpus with `vocab_size` distinct words and a deterministic
+    /// seed.
+    pub fn new(vocab_size: u32, seed: u64) -> Self {
+        assert!(
+            vocab_size >= 2,
+            "a corpus needs at least two distinct words"
+        );
+        Corpus {
+            vocab_size,
+            state: seed | 1,
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: fast, deterministic, good enough for workload shaping.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Draws the next word identifier in `[0, vocab_size)`.
+    ///
+    /// The distribution is a cheap Zipf approximation: with probability 1/2 a
+    /// word from the "hot" 1/16th of the vocabulary, otherwise uniform.
+    pub fn next_word(&mut self) -> u32 {
+        let r = self.next_u64();
+        let hot = (self.vocab_size / 16).max(1);
+        if r & 1 == 0 {
+            ((r >> 1) % hot as u64) as u32
+        } else {
+            ((r >> 1) % self.vocab_size as u64) as u32
+        }
+    }
+
+    /// Returns the (synthetic) byte length of a word: between 3 and 18 bytes,
+    /// derived from its identifier so it is stable across the run.
+    pub fn word_len(word: u32) -> u64 {
+        3 + (word as u64 % 16)
+    }
+
+    /// Number of distinct words this corpus can produce.
+    pub fn vocab_size(&self) -> u32 {
+        self.vocab_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_in_range_and_deterministic() {
+        let mut a = Corpus::new(1000, 42);
+        let mut b = Corpus::new(1000, 42);
+        for _ in 0..10_000 {
+            let wa = a.next_word();
+            let wb = b.next_word();
+            assert_eq!(wa, wb);
+            assert!(wa < 1000);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Corpus::new(1000, 1);
+        let mut b = Corpus::new(1000, 2);
+        let same = (0..100).filter(|_| a.next_word() == b.next_word()).count();
+        assert!(same < 50);
+    }
+
+    #[test]
+    fn distribution_is_skewed() {
+        let mut c = Corpus::new(1600, 7);
+        let hot = 1600 / 16;
+        let mut hot_hits = 0usize;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            if c.next_word() < hot {
+                hot_hits += 1;
+            }
+        }
+        // Roughly half of the draws plus the uniform share should be hot.
+        assert!(hot_hits > N / 3, "hot hits {hot_hits}");
+    }
+
+    #[test]
+    fn word_lengths_are_bounded() {
+        for w in 0..100u32 {
+            let len = Corpus::word_len(w);
+            assert!((3..=18).contains(&len));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_vocab_rejected() {
+        let _ = Corpus::new(1, 0);
+    }
+}

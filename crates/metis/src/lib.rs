@@ -1,0 +1,25 @@
+//! # Metis-like MapReduce workloads for the VM simulator
+//!
+//! The kernel evaluation of the paper (Section 7.2) uses Metis — an in-memory
+//! MapReduce library — to stress the virtual-memory subsystem, because its
+//! arena-based allocation pattern produces exactly the `mprotect` +
+//! page-fault mix that range locks (and the speculative `mprotect`) target.
+//! This crate provides equivalent workload generators that drive the
+//! simulated VM of `rl-vm`:
+//!
+//! * [`Workload::Wc`] — word count;
+//! * [`Workload::Wr`] — inverted-index construction;
+//! * [`Workload::Wrmem`] — inverted index over memory-generated input.
+//!
+//! [`run`] executes a configured workload against a chosen synchronization
+//! [`rl_vm::Strategy`] and reports wall-clock time plus the VM-operation
+//! counters, which is all the benchmark harness needs to regenerate
+//! Figures 5–8.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod workload;
+
+pub use corpus::Corpus;
+pub use workload::{run, run_on, MetisConfig, MetisReport, Workload};

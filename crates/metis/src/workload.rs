@@ -1,0 +1,306 @@
+//! The Metis-like MapReduce workloads (`wc`, `wr`, `wrmem`).
+//!
+//! Metis is the MapReduce library used by essentially every Linux VM
+//! scalability study (including this paper's Section 7.2) because its map
+//! phase hammers the VM subsystem: every worker allocates its intermediate
+//! tables from GLIBC-style arenas, producing a steady stream of `mprotect`
+//! calls (arena growth and trimming) interleaved with page faults (first
+//! touches of freshly committed pages and reads of the input).
+//!
+//! This module reproduces that operation mix against the simulated VM:
+//!
+//! * **wc** — word count: each mapper scans its slice of the corpus, stores
+//!   each occurrence in arena memory and counts per-word frequencies; the
+//!   reduce phase merges the per-worker tables.
+//! * **wr** — inverted index: like `wc`, but every occurrence also records
+//!   its position, roughly tripling the allocated bytes per word.
+//! * **wrmem** — `wr` over a corpus generated in memory: the input is first
+//!   *written* into arena memory (write faults) and then indexed.
+//!
+//! The configuration controls the total number of words, so runs with more
+//! threads do the same total work split across more workers — runtime is the
+//! reported metric, as in Figure 5.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rl_vm::{Arena, Mm, Strategy, VmError, VmStats};
+
+use crate::corpus::Corpus;
+
+/// Which Metis benchmark to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Word count.
+    Wc,
+    /// Inverted index built from "file" input.
+    Wr,
+    /// Inverted index built from memory-resident input.
+    Wrmem,
+}
+
+impl Workload {
+    /// Stable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Wc => "wc",
+            Workload::Wr => "wr",
+            Workload::Wrmem => "wrmem",
+        }
+    }
+
+    /// The three workloads, in the order the paper plots them.
+    pub const ALL: [Workload; 3] = [Workload::Wr, Workload::Wc, Workload::Wrmem];
+}
+
+/// Configuration of one Metis run.
+#[derive(Debug, Clone)]
+pub struct MetisConfig {
+    /// Which benchmark to run.
+    pub workload: Workload,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Total number of words processed across all workers.
+    pub total_words: u64,
+    /// Number of distinct words.
+    pub vocab_size: u32,
+    /// Seed for the deterministic corpus.
+    pub seed: u64,
+    /// Per-worker arena size in bytes.
+    pub arena_size: u64,
+}
+
+impl MetisConfig {
+    /// A configuration sized for quick runs (unit tests, smoke tests).
+    pub fn small(workload: Workload, threads: usize) -> Self {
+        MetisConfig {
+            workload,
+            threads,
+            total_words: 40_000,
+            vocab_size: 2_000,
+            seed: 0xC0FFEE,
+            arena_size: 4 << 20,
+        }
+    }
+
+    /// A configuration sized for the benchmark harness.
+    pub fn benchmark(workload: Workload, threads: usize) -> Self {
+        MetisConfig {
+            workload,
+            threads,
+            total_words: 400_000,
+            vocab_size: 50_000,
+            seed: 0xC0FFEE,
+            arena_size: 32 << 20,
+        }
+    }
+}
+
+/// Result of one Metis run.
+#[derive(Debug, Clone)]
+pub struct MetisReport {
+    /// Wall-clock time of the map + reduce phases.
+    pub elapsed: Duration,
+    /// Words processed (sanity check: equals the configured total).
+    pub words_processed: u64,
+    /// Number of distinct words found by the reduce phase.
+    pub distinct_words: usize,
+    /// Sum of all word counts (must equal `words_processed`).
+    pub total_count: u64,
+    /// VM-operation counters of the underlying simulated `mm`.
+    pub vm_stats: VmStats,
+    /// Strategy the run used.
+    pub strategy: Strategy,
+}
+
+/// Runs a Metis workload against a fresh simulated address space synchronized
+/// with `strategy`.
+pub fn run(config: &MetisConfig, strategy: Strategy) -> Result<MetisReport, VmError> {
+    let mm = Arc::new(Mm::new(strategy));
+    run_on(config, Arc::clone(&mm)).map(|mut report| {
+        report.vm_stats = mm.stats();
+        report
+    })
+}
+
+/// Runs a Metis workload against an existing [`Mm`] (used by the harness to
+/// share one address space across several measurements).
+pub fn run_on(config: &MetisConfig, mm: Arc<Mm>) -> Result<MetisReport, VmError> {
+    assert!(config.threads > 0, "at least one worker thread is required");
+    let words_per_thread = config.total_words / config.threads as u64;
+    let processed = Arc::new(AtomicU64::new(0));
+    let global: Arc<Mutex<HashMap<u32, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let strategy = mm.strategy();
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(config.threads);
+    for worker in 0..config.threads {
+        let mm = Arc::clone(&mm);
+        let processed = Arc::clone(&processed);
+        let global = Arc::clone(&global);
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || -> Result<(), VmError> {
+            let local = map_worker(&config, worker, words_per_thread, mm)?;
+            processed.fetch_add(local.values().sum::<u64>(), Ordering::Relaxed);
+            // Reduce phase: merge the worker-local table into the global one.
+            let mut global = global.lock().unwrap();
+            for (word, count) in local {
+                *global.entry(word).or_insert(0) += count;
+            }
+            Ok(())
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("worker thread panicked")?;
+    }
+    let elapsed = start.elapsed();
+
+    let global = global.lock().unwrap();
+    Ok(MetisReport {
+        elapsed,
+        words_processed: processed.load(Ordering::Relaxed),
+        distinct_words: global.len(),
+        total_count: global.values().sum(),
+        vm_stats: VmStats::default(),
+        strategy,
+    })
+}
+
+/// The map phase of one worker: scan / generate words, stage them in arena
+/// memory and build the worker-local table.
+fn map_worker(
+    config: &MetisConfig,
+    worker: usize,
+    words: u64,
+    mm: Arc<Mm>,
+) -> Result<HashMap<u32, u64>, VmError> {
+    let mut arena = Arena::new(mm, config.arena_size)?;
+    let mut corpus = Corpus::new(
+        config.vocab_size,
+        config.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9),
+    );
+    let mut table: HashMap<u32, u64> = HashMap::new();
+    // Emulate the hash-table's backing store living in arena memory: grow it
+    // geometrically as distinct words are found.
+    let mut table_backing: u64 = 0;
+
+    for i in 0..words {
+        let word = corpus.next_word();
+        let word_len = Corpus::word_len(word);
+
+        match config.workload {
+            Workload::Wc => {
+                // Store the word bytes, then account it.
+                let addr = arena.alloc(word_len)?;
+                arena.read(addr, word_len)?;
+            }
+            Workload::Wr => {
+                // Store the word bytes plus a posting entry (position, doc id).
+                let addr = arena.alloc(word_len + 16)?;
+                arena.read(addr, word_len)?;
+            }
+            Workload::Wrmem => {
+                // Generate the input in memory first (write), then index it.
+                let input = arena.alloc(word_len)?;
+                let _ = input;
+                let posting = arena.alloc(16)?;
+                arena.read(posting, 8)?;
+            }
+        }
+
+        let distinct_before = table.len();
+        *table.entry(word).or_insert(0) += 1;
+        if table.len() > distinct_before {
+            // A new distinct word: the "hash table" grows; double the backing
+            // allocation whenever it is exhausted, as a real table would.
+            let needed = (table.len() as u64) * 48;
+            if needed > table_backing {
+                let grow = (table_backing.max(1024)).min(256 * 1024);
+                arena.alloc(grow)?;
+                table_backing += grow;
+            }
+        }
+
+        // Periodically recycle the arena, as Metis does between map chunks:
+        // everything allocated for the chunk is freed at once, which triggers
+        // the trim path (mprotect back to PROT_NONE).
+        if i % 8_192 == 8_191 {
+            arena.reset()?;
+            table_backing = 0;
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wc_conserves_word_counts() {
+        let config = MetisConfig::small(Workload::Wc, 2);
+        let report = run(&config, Strategy::LIST_REFINED).unwrap();
+        assert_eq!(report.words_processed, config.total_words / 2 * 2);
+        assert_eq!(report.total_count, report.words_processed);
+        assert!(report.distinct_words > 0);
+        assert!(report.distinct_words <= config.vocab_size as usize);
+        assert!(report.vm_stats.mprotects > 0);
+        assert!(report.vm_stats.page_faults > 0);
+    }
+
+    #[test]
+    fn all_workloads_run_on_all_strategies() {
+        for workload in Workload::ALL {
+            for strategy in [Strategy::STOCK, Strategy::TREE_FULL, Strategy::LIST_REFINED] {
+                let config = MetisConfig {
+                    total_words: 8_000,
+                    ..MetisConfig::small(workload, 2)
+                };
+                let report = run(&config, strategy).unwrap();
+                assert_eq!(report.total_count, report.words_processed);
+                assert_eq!(report.strategy.name, strategy.name);
+            }
+        }
+    }
+
+    #[test]
+    fn refined_strategy_speculates_heavily() {
+        let config = MetisConfig::small(Workload::Wrmem, 4);
+        let report = run(&config, Strategy::LIST_REFINED).unwrap();
+        // The paper observes >99% of mprotect calls succeeding speculatively;
+        // the arena growth/trim pattern reproduces that.
+        assert!(
+            report.vm_stats.speculation_success_rate() > 0.9,
+            "speculation rate too low: {:?}",
+            report.vm_stats
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_threads() {
+        let config = MetisConfig::small(Workload::Wc, 2);
+        let a = run(&config, Strategy::STOCK).unwrap();
+        let b = run(&config, Strategy::LIST_FULL).unwrap();
+        // The corpus is deterministic, so the word statistics must not depend
+        // on the synchronization strategy.
+        assert_eq!(a.distinct_words, b.distinct_words);
+        assert_eq!(a.total_count, b.total_count);
+    }
+
+    #[test]
+    fn workload_names_are_stable() {
+        assert_eq!(Workload::Wc.name(), "wc");
+        assert_eq!(Workload::Wr.name(), "wr");
+        assert_eq!(Workload::Wrmem.name(), "wrmem");
+        assert_eq!(Workload::ALL.len(), 3);
+    }
+
+    #[test]
+    fn single_threaded_run_works() {
+        let config = MetisConfig::small(Workload::Wr, 1);
+        let report = run(&config, Strategy::LIST_REFINED).unwrap();
+        assert_eq!(report.words_processed, config.total_words);
+    }
+}

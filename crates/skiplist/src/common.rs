@@ -1,0 +1,199 @@
+//! Shared infrastructure for both skip-list implementations.
+//!
+//! Both the optimistic (per-node-lock) skip list and the range-lock-based
+//! skip list of Section 6 share the same node layout, tower-height
+//! distribution and deferred-reclamation scheme; only their update
+//! synchronization differs.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use rl_sync::SpinLock;
+
+/// Maximum tower height. With p = 1/2 this comfortably supports hundreds of
+/// millions of keys.
+pub const MAX_HEIGHT: usize = 24;
+
+/// Smallest key usable by callers (the head sentinel owns `u64::MIN`).
+pub const MIN_KEY: u64 = 1;
+
+/// Largest key usable by callers (the tail sentinel owns `u64::MAX`).
+pub const MAX_KEY: u64 = u64::MAX - 1;
+
+/// A skip-list node: a key, a tower of forward pointers and the bookkeeping
+/// flags of the lazy / optimistic algorithm.
+pub struct Node {
+    /// The stored key. Sentinels use `u64::MIN` (head) and `u64::MAX` (tail).
+    pub key: u64,
+    /// Highest level this node participates in (0-based).
+    pub top_level: usize,
+    /// Set once the node is linked at every level (readers treat nodes that
+    /// are not fully linked as absent).
+    pub fully_linked: AtomicBool,
+    /// Set when the node is logically removed.
+    pub marked: AtomicBool,
+    /// Per-node lock used by the optimistic variant (unused — but harmless —
+    /// in the range-lock variant, and intentionally kept so the memory
+    /// footprint comparison of Section 6 is meaningful).
+    pub lock: SpinLock<()>,
+    /// Forward pointers, one per level up to `top_level`.
+    pub next: Vec<AtomicPtr<Node>>,
+}
+
+impl Node {
+    /// Creates a node with the given key and tower height (levels
+    /// `0..=top_level`).
+    pub fn new(key: u64, top_level: usize) -> Box<Node> {
+        Box::new(Node {
+            key,
+            top_level,
+            fully_linked: AtomicBool::new(false),
+            marked: AtomicBool::new(false),
+            lock: SpinLock::new(()),
+            next: (0..=top_level)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        })
+    }
+
+    /// Successor pointer at `level`.
+    #[inline]
+    pub fn next(&self, level: usize) -> *mut Node {
+        self.next[level].load(Ordering::Acquire)
+    }
+
+    /// Stores the successor pointer at `level`.
+    #[inline]
+    pub fn set_next(&self, level: usize, ptr: *mut Node) {
+        self.next[level].store(ptr, Ordering::Release);
+    }
+}
+
+/// Deterministic-quality pseudo-random tower heights (geometric, p = 1/2),
+/// using a per-thread xorshift state so no global synchronization is needed.
+pub fn random_level() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0) };
+    }
+    STATE.with(|state| {
+        let mut x = state.get();
+        if x == 0 {
+            // Seed from the thread id hash so threads diverge.
+            let id = std::thread::current().id();
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            std::hash::Hash::hash(&id, &mut hasher);
+            x = std::hash::Hasher::finish(&hasher) | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        state.set(x);
+        // Count trailing ones of the low bits => geometric distribution.
+        let level = (x.trailing_ones() as usize).min(MAX_HEIGHT - 1);
+        level
+    })
+}
+
+/// A graveyard collecting removed nodes until the owning list is dropped.
+///
+/// Search operations are wait-free and lock-free, so a node unlinked by a
+/// remover may still be referenced by a concurrent traversal. Rather than
+/// pulling in a full epoch-reclamation scheme, removed nodes are parked here
+/// and freed when the list itself is dropped — the same lifetime guarantee a
+/// garbage-collected implementation (like the original Java one) provides,
+/// at the cost of holding on to removed nodes for the lifetime of the list.
+#[derive(Default)]
+pub struct Graveyard {
+    dead: SpinLock<Vec<*mut Node>>,
+}
+
+// SAFETY: The graveyard only stores raw pointers; it never dereferences them
+// until `drop_all`, which the owner calls when no other thread can access the
+// list anymore.
+unsafe impl Send for Graveyard {}
+// SAFETY: Access to the internal vector is serialized by the spin lock.
+unsafe impl Sync for Graveyard {}
+
+impl Graveyard {
+    /// Creates an empty graveyard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks an unlinked node.
+    pub fn retire(&self, node: *mut Node) {
+        self.dead.lock().push(node);
+    }
+
+    /// Number of parked nodes (for tests).
+    pub fn len(&self) -> usize {
+        self.dead.lock().len()
+    }
+
+    /// Returns `true` if no node is parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Frees every parked node.
+    ///
+    /// # Safety
+    ///
+    /// Callable only when no other thread can still hold references to the
+    /// parked nodes (i.e. from the owning list's `Drop`).
+    pub unsafe fn drop_all(&self) {
+        let mut dead = self.dead.lock();
+        for ptr in dead.drain(..) {
+            // SAFETY: Per this function's contract the node is unreachable.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_layout_round_trip() {
+        let a = Node::new(10, 3);
+        let b = Node::new(20, 0);
+        assert_eq!(a.next.len(), 4);
+        assert_eq!(b.next.len(), 1);
+        let b_ptr = Box::into_raw(b);
+        a.set_next(2, b_ptr);
+        assert_eq!(a.next(2), b_ptr);
+        assert!(a.next(0).is_null());
+        // SAFETY: `b_ptr` was just created and is not shared.
+        drop(unsafe { Box::from_raw(b_ptr) });
+    }
+
+    #[test]
+    fn random_level_is_bounded_and_varied() {
+        let mut seen_zero = false;
+        let mut seen_positive = false;
+        for _ in 0..10_000 {
+            let l = random_level();
+            assert!(l < MAX_HEIGHT);
+            if l == 0 {
+                seen_zero = true;
+            } else {
+                seen_positive = true;
+            }
+        }
+        assert!(seen_zero && seen_positive);
+    }
+
+    #[test]
+    fn graveyard_retires_and_frees() {
+        let g = Graveyard::new();
+        assert!(g.is_empty());
+        for i in 0..10 {
+            g.retire(Box::into_raw(Node::new(i + 1, 0)));
+        }
+        assert_eq!(g.len(), 10);
+        // SAFETY: The nodes were never shared with other threads.
+        unsafe { g.drop_all() };
+        assert!(g.is_empty());
+    }
+}

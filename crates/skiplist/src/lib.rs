@@ -1,0 +1,24 @@
+//! # Concurrent skip lists synchronized by range locks (Section 6)
+//!
+//! Two set implementations over `u64` keys sharing one node layout:
+//!
+//! * [`OptimisticSkipList`] — the Herlihy–Lev–Luchangco–Shavit optimistic
+//!   (lazy) skip list with a spin lock per node: the `orig` baseline of the
+//!   paper's Figure 4;
+//! * [`RangeSkipList`] — the paper's new design, in which every update
+//!   acquires exactly **one** range from a range lock covering the key space,
+//!   instead of locking up to one node per level. It is generic over the
+//!   range-lock implementation, so both the `range-list` (list-based) and
+//!   `range-lustre` (tree-based) variants of Figure 4 are just type choices.
+//!
+//! Searches are wait-free in both variants.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod optimistic;
+pub mod range_locked;
+
+pub use common::{MAX_HEIGHT, MAX_KEY, MIN_KEY};
+pub use optimistic::OptimisticSkipList;
+pub use range_locked::RangeSkipList;

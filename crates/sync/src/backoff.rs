@@ -1,0 +1,163 @@
+//! Polite busy-waiting helpers.
+//!
+//! The paper's pseudo-code uses a `Pause()` no-op while waiting for an
+//! overlapping range to be released. On x86 this maps to the `PAUSE`
+//! instruction; in portable Rust we use [`std::hint::spin_loop`]. The
+//! [`Backoff`] type implements truncated exponential backoff with an optional
+//! yield point, which is what our spin lock and the busy-wait loops of the
+//! range locks use to avoid hammering the coherence fabric under contention.
+
+/// Emits a single processor hint that the current thread is spin-waiting.
+///
+/// This is the direct equivalent of the `Pause()` call in the paper's
+/// pseudo-code (Listing 1, line 45).
+#[inline(always)]
+pub fn pause() {
+    std::hint::spin_loop();
+}
+
+/// Alias of [`pause`] kept for readability at call sites that mirror the
+/// kernel naming (`cpu_relax()` / `spin_loop_hint`).
+#[inline(always)]
+pub fn spin_loop_hint() {
+    std::hint::spin_loop();
+}
+
+/// Truncated exponential backoff for spin loops.
+///
+/// Each call to [`Backoff::spin`] pauses for a number of iterations that
+/// doubles up to a limit; once the limit is reached, [`Backoff::is_completed`]
+/// returns `true` and callers may choose to yield the CPU (which
+/// [`Backoff::snooze`] does automatically).
+///
+/// # Examples
+///
+/// ```
+/// use rl_sync::Backoff;
+///
+/// let mut attempts = 0;
+/// let backoff = Backoff::new();
+/// while attempts < 3 {
+///     attempts += 1;
+///     backoff.spin();
+/// }
+/// assert!(attempts == 3);
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    /// Number of doublings before [`Backoff::spin`] stops growing.
+    const SPIN_LIMIT: u32 = 6;
+    /// Number of doublings before [`Backoff::snooze`] starts yielding.
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Creates a fresh backoff state.
+    #[inline]
+    pub fn new() -> Self {
+        Backoff {
+            step: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Resets the backoff to its initial (shortest) delay.
+    #[inline]
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Spins for `2^step` pause instructions, growing `step` up to a limit.
+    #[inline]
+    pub fn spin(&self) {
+        let step = self.step.get().min(Self::SPIN_LIMIT);
+        for _ in 0..(1u32 << step) {
+            pause();
+        }
+        if self.step.get() <= Self::SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Spins like [`Backoff::spin`] but yields the thread once the spin
+    /// budget is exhausted. Use this in loops that may wait for a long time
+    /// (e.g. waiting for an overlapping range holder to finish its critical
+    /// section).
+    #[inline]
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << step) {
+                pause();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step <= Self::YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Returns `true` once the exponential phase is over and callers should
+    /// consider blocking instead of spinning.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > Self::YIELD_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_progresses_to_completion() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+    }
+
+    #[test]
+    fn backoff_reset_restarts() {
+        let b = Backoff::new();
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn spin_never_panics_at_limit() {
+        let b = Backoff::new();
+        for _ in 0..100 {
+            b.spin();
+        }
+        // The spin budget saturates; we only check this terminates quickly.
+        assert!(b.is_completed() || !b.is_completed());
+    }
+
+    #[test]
+    fn pause_is_callable() {
+        pause();
+        spin_loop_hint();
+    }
+
+    #[test]
+    fn default_equals_new() {
+        let a = Backoff::default();
+        let b = Backoff::new();
+        assert_eq!(a.is_completed(), b.is_completed());
+    }
+}

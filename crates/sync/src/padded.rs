@@ -1,0 +1,51 @@
+//! Cache-line padding.
+//!
+//! The ArrBench microbenchmark of Section 7.1 pads every array slot to a
+//! cache line so that threads operating on disjoint ranges do not false-share.
+//! We re-export `crossbeam_utils::CachePadded` under a local name so the rest
+//! of the workspace has a single import point, and add a tiny convenience
+//! constructor for arrays of padded values.
+
+pub use crossbeam_utils::CachePadded;
+
+/// Builds a `Vec` of cache-padded, default-initialized values.
+///
+/// # Examples
+///
+/// ```
+/// use rl_sync::padded::padded_vec;
+///
+/// let slots: Vec<_> = padded_vec::<u64>(256);
+/// assert_eq!(slots.len(), 256);
+/// assert_eq!(*slots[0], 0);
+/// ```
+pub fn padded_vec<T: Default>(len: usize) -> Vec<CachePadded<T>> {
+    (0..len).map(|_| CachePadded::new(T::default())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_vec_has_requested_length() {
+        let v = padded_vec::<u32>(17);
+        assert_eq!(v.len(), 17);
+        assert!(v.iter().all(|x| **x == 0));
+    }
+
+    #[test]
+    fn padded_values_are_at_least_cache_line_apart() {
+        let v = padded_vec::<u8>(2);
+        let a = &*v[0] as *const u8 as usize;
+        let b = &*v[1] as *const u8 as usize;
+        // crossbeam pads to at least 64 bytes on every mainstream platform.
+        assert!(b.abs_diff(a) >= 64);
+    }
+
+    #[test]
+    fn padded_vec_zero_len() {
+        let v = padded_vec::<u64>(0);
+        assert!(v.is_empty());
+    }
+}

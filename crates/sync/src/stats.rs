@@ -1,0 +1,318 @@
+//! Lock wait-time statistics — a user-space `lock_stat` analogue.
+//!
+//! Section 7.2 of the paper uses the kernel's `lock_stat` facility to measure
+//! the average time threads spend waiting for `mmap_sem`, for the range lock,
+//! and for the spin lock protecting the range tree (Figures 7 and 8). This
+//! module provides the same measurement for our user-space reproduction.
+//!
+//! Every instrumented lock owns a [`WaitStats`] (usually shared through an
+//! `Arc`). Slow paths call [`WaitStats::start`] before waiting and
+//! [`WaitStats::finish`] once the lock is acquired; fast paths that never wait
+//! simply record nothing, matching `lock_stat`, which only accounts for
+//! contended acquisitions. A [`LockStatRegistry`] aggregates several
+//! [`WaitStats`] so the benchmark harness can print one table per experiment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Whether a waiting acquisition was for shared (read) or exclusive (write)
+/// access. Plain mutual-exclusion locks report everything as [`WaitKind::Write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitKind {
+    /// Shared (reader) acquisition.
+    Read,
+    /// Exclusive (writer) acquisition.
+    Write,
+}
+
+/// A running wait-time measurement returned by [`WaitStats::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimer {
+    kind: WaitKind,
+    started: Instant,
+}
+
+/// Wait-time counters for one lock instance.
+///
+/// All counters are monotonically increasing; nanosecond totals saturate at
+/// `u64::MAX` (which would take centuries to reach).
+#[derive(Debug)]
+pub struct WaitStats {
+    name: String,
+    read_waits: AtomicU64,
+    read_wait_ns: AtomicU64,
+    write_waits: AtomicU64,
+    write_wait_ns: AtomicU64,
+    acquisitions: AtomicU64,
+}
+
+impl WaitStats {
+    /// Creates a new, zeroed statistics block labelled `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        WaitStats {
+            name: name.into(),
+            read_waits: AtomicU64::new(0),
+            read_wait_ns: AtomicU64::new(0),
+            write_waits: AtomicU64::new(0),
+            write_wait_ns: AtomicU64::new(0),
+            acquisitions: AtomicU64::new(0),
+        }
+    }
+
+    /// Label given at construction time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records that an acquisition took the fast path (no waiting).
+    #[inline]
+    pub fn record_uncontended(&self) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts timing a contended acquisition of kind `kind`.
+    #[inline]
+    pub fn start(&self, kind: WaitKind) -> WaitTimer {
+        WaitTimer {
+            kind,
+            started: Instant::now(),
+        }
+    }
+
+    /// Finishes the measurement started by [`WaitStats::start`].
+    #[inline]
+    pub fn finish(&self, timer: WaitTimer) {
+        let elapsed = timer.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        match timer.kind {
+            WaitKind::Read => {
+                self.read_waits.fetch_add(1, Ordering::Relaxed);
+                self.read_wait_ns.fetch_add(elapsed, Ordering::Relaxed);
+            }
+            WaitKind::Write => {
+                self.write_waits.fetch_add(1, Ordering::Relaxed);
+                self.write_wait_ns.fetch_add(elapsed, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Adds an externally measured wait of `ns` nanoseconds.
+    ///
+    /// Some locks (e.g. the list-based range lock) measure the whole
+    /// acquisition themselves; they report through this entry point.
+    #[inline]
+    pub fn record_wait_ns(&self, kind: WaitKind, ns: u64) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        match kind {
+            WaitKind::Read => {
+                self.read_waits.fetch_add(1, Ordering::Relaxed);
+                self.read_wait_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+            WaitKind::Write => {
+                self.write_waits.fetch_add(1, Ordering::Relaxed);
+                self.write_wait_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Returns a consistent-enough copy of the counters.
+    ///
+    /// Counters are read with relaxed ordering; a snapshot taken while other
+    /// threads are still acquiring the lock is approximate, which is fine for
+    /// reporting purposes.
+    pub fn snapshot(&self) -> LockStatSnapshot {
+        LockStatSnapshot {
+            name: self.name.clone(),
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            read_waits: self.read_waits.load(Ordering::Relaxed),
+            read_wait_ns: self.read_wait_ns.load(Ordering::Relaxed),
+            write_waits: self.write_waits.load(Ordering::Relaxed),
+            write_wait_ns: self.write_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter back to zero.
+    pub fn reset(&self) {
+        self.read_waits.store(0, Ordering::Relaxed);
+        self.read_wait_ns.store(0, Ordering::Relaxed);
+        self.write_waits.store(0, Ordering::Relaxed);
+        self.write_wait_ns.store(0, Ordering::Relaxed);
+        self.acquisitions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of a [`WaitStats`] counter block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockStatSnapshot {
+    /// Label of the lock the counters belong to.
+    pub name: String,
+    /// Total acquisitions observed (contended and uncontended).
+    pub acquisitions: u64,
+    /// Number of read acquisitions that had to wait.
+    pub read_waits: u64,
+    /// Total nanoseconds spent waiting in read acquisitions.
+    pub read_wait_ns: u64,
+    /// Number of write acquisitions that had to wait.
+    pub write_waits: u64,
+    /// Total nanoseconds spent waiting in write acquisitions.
+    pub write_wait_ns: u64,
+}
+
+impl LockStatSnapshot {
+    /// Mean wait per *contended* read acquisition, in nanoseconds.
+    pub fn avg_read_wait_ns(&self) -> f64 {
+        if self.read_waits == 0 {
+            0.0
+        } else {
+            self.read_wait_ns as f64 / self.read_waits as f64
+        }
+    }
+
+    /// Mean wait per *contended* write acquisition, in nanoseconds.
+    pub fn avg_write_wait_ns(&self) -> f64 {
+        if self.write_waits == 0 {
+            0.0
+        } else {
+            self.write_wait_ns as f64 / self.write_waits as f64
+        }
+    }
+
+    /// Mean wait across every acquisition (contended or not), in nanoseconds.
+    ///
+    /// This is the metric plotted in Figures 7 and 8: total wait time divided
+    /// by the total number of acquisitions, so locks that rarely contend show
+    /// small averages even if individual waits were long.
+    pub fn avg_wait_per_acquisition_ns(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            (self.read_wait_ns + self.write_wait_ns) as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Total wait time across read and write acquisitions, in nanoseconds.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.read_wait_ns + self.write_wait_ns
+    }
+}
+
+/// A registry of named [`WaitStats`], used by the benchmark harness to gather
+/// every instrumented lock of an experiment in one place.
+#[derive(Debug, Default)]
+pub struct LockStatRegistry {
+    stats: Mutex<Vec<Arc<WaitStats>>>,
+}
+
+impl LockStatRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates and registers a new [`WaitStats`] labelled `name`.
+    pub fn register(&self, name: impl Into<String>) -> Arc<WaitStats> {
+        let stats = Arc::new(WaitStats::new(name));
+        self.stats.lock().unwrap().push(Arc::clone(&stats));
+        stats
+    }
+
+    /// Adds an existing [`WaitStats`] to the registry.
+    pub fn adopt(&self, stats: Arc<WaitStats>) {
+        self.stats.lock().unwrap().push(stats);
+    }
+
+    /// Takes a snapshot of every registered lock.
+    pub fn snapshots(&self) -> Vec<LockStatSnapshot> {
+        self.stats
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|s| s.snapshot())
+            .collect()
+    }
+
+    /// Resets every registered lock's counters.
+    pub fn reset_all(&self) {
+        for s in self.stats.lock().unwrap().iter() {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_stats_average_is_zero() {
+        let s = WaitStats::new("x");
+        let snap = s.snapshot();
+        assert_eq!(snap.avg_read_wait_ns(), 0.0);
+        assert_eq!(snap.avg_write_wait_ns(), 0.0);
+        assert_eq!(snap.avg_wait_per_acquisition_ns(), 0.0);
+    }
+
+    #[test]
+    fn start_finish_accumulates_wait() {
+        let s = WaitStats::new("x");
+        let t = s.start(WaitKind::Read);
+        std::thread::sleep(Duration::from_millis(2));
+        s.finish(t);
+        let snap = s.snapshot();
+        assert_eq!(snap.read_waits, 1);
+        assert!(snap.read_wait_ns >= 1_000_000);
+        assert_eq!(snap.write_waits, 0);
+        assert_eq!(snap.acquisitions, 1);
+    }
+
+    #[test]
+    fn record_wait_ns_direct() {
+        let s = WaitStats::new("x");
+        s.record_wait_ns(WaitKind::Write, 500);
+        s.record_wait_ns(WaitKind::Write, 1500);
+        s.record_uncontended();
+        let snap = s.snapshot();
+        assert_eq!(snap.write_waits, 2);
+        assert_eq!(snap.write_wait_ns, 2000);
+        assert_eq!(snap.acquisitions, 3);
+        assert_eq!(snap.avg_write_wait_ns(), 1000.0);
+        assert!((snap.avg_wait_per_acquisition_ns() - 2000.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let s = WaitStats::new("x");
+        s.record_wait_ns(WaitKind::Read, 10);
+        s.reset();
+        assert_eq!(s.snapshot().total_wait_ns(), 0);
+        assert_eq!(s.snapshot().acquisitions, 0);
+    }
+
+    #[test]
+    fn registry_collects_and_resets() {
+        let reg = LockStatRegistry::new();
+        let a = reg.register("a");
+        let b = reg.register("b");
+        a.record_wait_ns(WaitKind::Read, 100);
+        b.record_wait_ns(WaitKind::Write, 200);
+        let snaps = reg.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].name, "a");
+        assert_eq!(snaps[1].name, "b");
+        assert_eq!(snaps[0].read_wait_ns, 100);
+        assert_eq!(snaps[1].write_wait_ns, 200);
+        reg.reset_all();
+        assert!(reg.snapshots().iter().all(|s| s.total_wait_ns() == 0));
+    }
+
+    #[test]
+    fn adopt_registers_external_stats() {
+        let reg = LockStatRegistry::new();
+        let s = Arc::new(WaitStats::new("external"));
+        reg.adopt(Arc::clone(&s));
+        s.record_wait_ns(WaitKind::Write, 42);
+        assert_eq!(reg.snapshots()[0].write_wait_ns, 42);
+    }
+}

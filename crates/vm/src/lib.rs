@@ -1,0 +1,35 @@
+//! # A simulated virtual-memory subsystem
+//!
+//! The kernel half of the paper's evaluation (Section 7.2) replaces `mmap_sem`
+//! — the reader-writer semaphore serializing every virtual-memory operation of
+//! a Linux process — with range locks, and refines the ranges acquired by
+//! `mprotect` (speculatively) and by the page-fault handler. This crate
+//! rebuilds that whole substrate in user space so the experiments can be run
+//! as ordinary Rust programs:
+//!
+//! * [`Vma`] / [`VmaTree`] — the `vm_area_struct` / `mm_rb` equivalents;
+//! * [`MemorySpace`] — the raw `mmap` / `munmap` / `mprotect` / page-fault
+//!   logic, including VMA split, merge and boundary moves;
+//! * [`Mm`] — the synchronized front-end, parameterized by a [`Strategy`]
+//!   (stock semaphore, tree or list range lock, full-range or refined
+//!   acquisitions, speculative `mprotect` per Listing 4);
+//! * [`Arena`] — a GLIBC-style per-thread arena allocator that generates the
+//!   exact `mprotect` + page-fault pattern the paper identifies as the common
+//!   case.
+//!
+//! See `DESIGN.md` at the repository root for the substitution argument (what
+//! the paper ran in the kernel vs. what this simulator reproduces).
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod mm;
+pub mod space;
+pub mod vma;
+pub mod vma_tree;
+
+pub use arena::Arena;
+pub use mm::{LockImpl, Mm, Strategy, VmStats};
+pub use space::{MemorySpace, MprotectPlan, VmError};
+pub use vma::{page_align_down, page_align_up, Protection, Vma, PAGE_SIZE};
+pub use vma_tree::VmaTree;

@@ -1,0 +1,685 @@
+//! The synchronized memory-management front-end (`mm`).
+//!
+//! [`Mm`] wraps a [`MemorySpace`] with one of the synchronization strategies
+//! evaluated in Section 7.2 of the paper:
+//!
+//! | strategy        | lock                     | page fault      | mprotect              |
+//! |-----------------|--------------------------|-----------------|-----------------------|
+//! | `stock`         | reader-writer semaphore  | read (whole mm) | write (whole mm)      |
+//! | `tree-full`     | tree range lock          | read full range | write full range      |
+//! | `list-full`     | list range lock          | read full range | write full range      |
+//! | `tree-refined`  | tree range lock          | read, one page  | speculative (refined) |
+//! | `list-refined`  | list range lock          | read, one page  | speculative (refined) |
+//! | `list-pf`       | list range lock          | read, one page  | write full range      |
+//! | `list-mprotect` | list range lock          | read full range | speculative (refined) |
+//!
+//! `mmap`, `munmap` and structural `mprotect` always take the full-range write
+//! acquisition; the per-`mm` sequence number is bumped just before every
+//! full-range write acquisition is released so that speculative operations can
+//! detect that the VMA tree may have changed underneath them (Section 5.2,
+//! Listing 4).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use range_lock::{Range, RwListRangeLock};
+use rl_baselines::RwTreeRangeLock;
+use rl_sync::stats::WaitStats;
+use rl_sync::{RwSemaphore, SeqCount};
+
+use crate::space::{MemorySpace, VmError};
+use crate::vma::{page_align_down, page_align_up, Protection, PAGE_SIZE};
+
+/// Which lock implementation a strategy uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockImpl {
+    /// `mmap_sem`-style reader-writer semaphore (no ranges).
+    Semaphore,
+    /// Tree-based reader-writer range lock (`kernel-rw`).
+    TreeRangeLock,
+    /// List-based reader-writer range lock (`list-rw`, this paper).
+    ListRangeLock,
+}
+
+/// A complete synchronization strategy for the VM subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Strategy {
+    /// Stable name used in reports (matches the paper's legends).
+    pub name: &'static str,
+    /// Lock implementation backing the strategy.
+    pub lock: LockImpl,
+    /// Refine page-fault acquisitions to the faulting page (Section 5.3).
+    pub refine_page_fault: bool,
+    /// Use the speculative, refined-range `mprotect` (Section 5.2).
+    pub refine_mprotect: bool,
+}
+
+impl Strategy {
+    /// Stock kernel: one reader-writer semaphore for the whole address space.
+    pub const STOCK: Strategy = Strategy {
+        name: "stock",
+        lock: LockImpl::Semaphore,
+        refine_page_fault: false,
+        refine_mprotect: false,
+    };
+    /// Tree-based range lock, always acquired for the full range.
+    pub const TREE_FULL: Strategy = Strategy {
+        name: "tree-full",
+        lock: LockImpl::TreeRangeLock,
+        refine_page_fault: false,
+        refine_mprotect: false,
+    };
+    /// List-based range lock, always acquired for the full range.
+    pub const LIST_FULL: Strategy = Strategy {
+        name: "list-full",
+        lock: LockImpl::ListRangeLock,
+        refine_page_fault: false,
+        refine_mprotect: false,
+    };
+    /// Tree-based range lock with refined page faults and speculative mprotect.
+    pub const TREE_REFINED: Strategy = Strategy {
+        name: "tree-refined",
+        lock: LockImpl::TreeRangeLock,
+        refine_page_fault: true,
+        refine_mprotect: true,
+    };
+    /// List-based range lock with refined page faults and speculative mprotect.
+    pub const LIST_REFINED: Strategy = Strategy {
+        name: "list-refined",
+        lock: LockImpl::ListRangeLock,
+        refine_page_fault: true,
+        refine_mprotect: true,
+    };
+    /// List-based range lock refining only the page-fault path (Figure 6).
+    pub const LIST_PF: Strategy = Strategy {
+        name: "list-pf",
+        lock: LockImpl::ListRangeLock,
+        refine_page_fault: true,
+        refine_mprotect: false,
+    };
+    /// List-based range lock refining only the mprotect path (Figure 6).
+    pub const LIST_MPROTECT: Strategy = Strategy {
+        name: "list-mprotect",
+        lock: LockImpl::ListRangeLock,
+        refine_page_fault: false,
+        refine_mprotect: true,
+    };
+
+    /// The five strategies compared in Figure 5.
+    pub const FIGURE5: [Strategy; 5] = [
+        Strategy::STOCK,
+        Strategy::TREE_FULL,
+        Strategy::LIST_FULL,
+        Strategy::TREE_REFINED,
+        Strategy::LIST_REFINED,
+    ];
+
+    /// The four list-lock variants compared in Figure 6.
+    pub const FIGURE6: [Strategy; 4] = [
+        Strategy::LIST_FULL,
+        Strategy::LIST_PF,
+        Strategy::LIST_MPROTECT,
+        Strategy::LIST_REFINED,
+    ];
+}
+
+/// The lock protecting the address space, selected by the strategy.
+enum VmLock {
+    Sem(RwSemaphore),
+    Tree(RwTreeRangeLock),
+    List(RwListRangeLock),
+}
+
+/// A read (shared) acquisition of the VM lock.
+///
+/// The variants only exist to keep the respective guard alive; nothing reads
+/// them back, hence the `dead_code` expectation.
+#[expect(dead_code)]
+enum VmReadGuard<'a> {
+    Sem(rl_sync::RwSemReadGuard<'a>),
+    Tree(rl_baselines::TreeRangeGuard<'a>),
+    List(range_lock::RwListRangeGuard<'a>),
+}
+
+/// A write (exclusive) acquisition of the VM lock.
+///
+/// See [`VmReadGuard`] for the `dead_code` rationale.
+#[expect(dead_code)]
+enum VmWriteGuard<'a> {
+    Sem(rl_sync::RwSemWriteGuard<'a>),
+    Tree(rl_baselines::TreeRangeGuard<'a>),
+    List(range_lock::RwListRangeGuard<'a>),
+}
+
+impl VmLock {
+    fn read(&self, range: Range) -> VmReadGuard<'_> {
+        match self {
+            VmLock::Sem(sem) => VmReadGuard::Sem(sem.read()),
+            VmLock::Tree(lock) => VmReadGuard::Tree(lock.read(range)),
+            VmLock::List(lock) => VmReadGuard::List(lock.read(range)),
+        }
+    }
+
+    fn write(&self, range: Range) -> VmWriteGuard<'_> {
+        match self {
+            VmLock::Sem(sem) => VmWriteGuard::Sem(sem.write()),
+            VmLock::Tree(lock) => VmWriteGuard::Tree(RwTreeRangeLock::write(lock, range)),
+            VmLock::List(lock) => VmWriteGuard::List(RwListRangeLock::write(lock, range)),
+        }
+    }
+}
+
+/// Operation counters kept by every [`Mm`] instance.
+#[derive(Debug, Default)]
+struct VmCounters {
+    mmaps: AtomicU64,
+    munmaps: AtomicU64,
+    mprotects: AtomicU64,
+    page_faults: AtomicU64,
+    spec_success: AtomicU64,
+    spec_retries: AtomicU64,
+    spec_structural_fallback: AtomicU64,
+}
+
+/// A point-in-time copy of an [`Mm`]'s operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Completed `mmap` calls.
+    pub mmaps: u64,
+    /// Completed `munmap` calls.
+    pub munmaps: u64,
+    /// Completed `mprotect` calls.
+    pub mprotects: u64,
+    /// Handled page faults (including failed ones).
+    pub page_faults: u64,
+    /// `mprotect` calls that completed on the speculative (refined) path.
+    pub spec_success: u64,
+    /// Speculation retries due to a concurrent full-range writer (sequence
+    /// number or VMA boundary mismatch).
+    pub spec_retries: u64,
+    /// Speculations abandoned because the operation needed a structural
+    /// change, falling back to the full-range write lock.
+    pub spec_structural_fallback: u64,
+}
+
+impl VmStats {
+    /// Fraction of `mprotect` calls that succeeded speculatively.
+    pub fn speculation_success_rate(&self) -> f64 {
+        if self.mprotects == 0 {
+            0.0
+        } else {
+            self.spec_success as f64 / self.mprotects as f64
+        }
+    }
+}
+
+/// A simulated per-process memory-management context.
+///
+/// # Examples
+///
+/// ```
+/// use rl_vm::{Mm, Strategy, Protection};
+///
+/// let mm = Mm::new(Strategy::LIST_REFINED);
+/// let base = mm.mmap(None, 1 << 20, Protection::NONE).unwrap();
+/// mm.mprotect(base, 8192, Protection::READ_WRITE).unwrap();
+/// mm.page_fault(base, true).unwrap();
+/// assert!(mm.stats().page_faults >= 1);
+/// ```
+pub struct Mm {
+    strategy: Strategy,
+    lock: VmLock,
+    seq: SeqCount,
+    space: UnsafeCell<MemorySpace>,
+    counters: VmCounters,
+    /// Wait-time statistics of the main VM lock (Figure 7).
+    lock_stats: Arc<WaitStats>,
+    /// Wait-time statistics of the spin lock inside the tree range lock
+    /// (Figure 8); `None` for the other lock implementations.
+    spin_stats: Option<Arc<WaitStats>>,
+}
+
+// SAFETY: `space` is only accessed according to the locking protocol encoded
+// in the methods below: `&mut MemorySpace` is created exclusively while the
+// full-range write acquisition is held (which conflicts with every other
+// acquisition of any range and any mode), and `&MemorySpace` is only created
+// while at least a read or refined-write acquisition is held (which conflicts
+// with the full-range write acquisition). VMA metadata mutated under refined
+// write acquisitions is stored in atomics inside `Vma`.
+unsafe impl Sync for Mm {}
+// SAFETY: Sending an `Mm` between threads transfers the `UnsafeCell` along
+// with the locks protecting it; no thread-affine state exists.
+unsafe impl Send for Mm {}
+
+impl Mm {
+    /// Creates an empty address space synchronized with `strategy`.
+    pub fn new(strategy: Strategy) -> Self {
+        let lock_stats = Arc::new(WaitStats::new(strategy.name));
+        let mut spin_stats = None;
+        let lock = match strategy.lock {
+            LockImpl::Semaphore => VmLock::Sem(RwSemaphore::with_stats(Arc::clone(&lock_stats))),
+            LockImpl::TreeRangeLock => {
+                let spin = Arc::new(WaitStats::new("tree-spinlock"));
+                spin_stats = Some(Arc::clone(&spin));
+                VmLock::Tree(
+                    RwTreeRangeLock::with_spin_stats(spin).with_stats(Arc::clone(&lock_stats)),
+                )
+            }
+            LockImpl::ListRangeLock => {
+                VmLock::List(RwListRangeLock::new().with_stats(Arc::clone(&lock_stats)))
+            }
+        };
+        Mm {
+            strategy,
+            lock,
+            seq: SeqCount::new(),
+            space: UnsafeCell::new(MemorySpace::new()),
+            counters: VmCounters::default(),
+            lock_stats,
+            spin_stats,
+        }
+    }
+
+    /// The strategy this `Mm` was created with.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Wait-time statistics of the VM lock (the Figure 7 metric).
+    pub fn lock_stats(&self) -> Arc<WaitStats> {
+        Arc::clone(&self.lock_stats)
+    }
+
+    /// Wait-time statistics of the internal spin lock of the tree range lock,
+    /// if this strategy uses one (the Figure 8 metric).
+    pub fn spin_stats(&self) -> Option<Arc<WaitStats>> {
+        self.spin_stats.clone()
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> VmStats {
+        VmStats {
+            mmaps: self.counters.mmaps.load(Ordering::Relaxed),
+            munmaps: self.counters.munmaps.load(Ordering::Relaxed),
+            mprotects: self.counters.mprotects.load(Ordering::Relaxed),
+            page_faults: self.counters.page_faults.load(Ordering::Relaxed),
+            spec_success: self.counters.spec_success.load(Ordering::Relaxed),
+            spec_retries: self.counters.spec_retries.load(Ordering::Relaxed),
+            spec_structural_fallback: self
+                .counters
+                .spec_structural_fallback
+                .load(Ordering::Relaxed),
+        }
+    }
+
+    /// Maps `len` bytes (rounded up to whole pages) with protection `prot`.
+    ///
+    /// Structural operation: always takes the full-range write acquisition.
+    pub fn mmap(&self, addr: Option<u64>, len: u64, prot: Protection) -> Result<u64, VmError> {
+        self.counters.mmaps.fetch_add(1, Ordering::Relaxed);
+        let guard = self.lock.write(Range::FULL);
+        // SAFETY: Full-range write acquisition held (see the `Sync` comment).
+        let space = unsafe { &mut *self.space.get() };
+        let result = space.mmap(addr, len, prot);
+        self.seq.bump();
+        drop(guard);
+        result
+    }
+
+    /// Unmaps `[addr, addr + len)`.
+    ///
+    /// Structural operation: always takes the full-range write acquisition.
+    pub fn munmap(&self, addr: u64, len: u64) -> Result<(), VmError> {
+        self.counters.munmaps.fetch_add(1, Ordering::Relaxed);
+        let guard = self.lock.write(Range::FULL);
+        // SAFETY: Full-range write acquisition held.
+        let space = unsafe { &mut *self.space.get() };
+        let result = space.munmap(addr, len);
+        self.seq.bump();
+        drop(guard);
+        result
+    }
+
+    /// Changes the protection of `[addr, addr + len)`.
+    ///
+    /// With a refining strategy this uses the speculative protocol of
+    /// Listing 4; otherwise it takes the full-range write acquisition.
+    pub fn mprotect(&self, addr: u64, len: u64, prot: Protection) -> Result<(), VmError> {
+        self.counters.mprotects.fetch_add(1, Ordering::Relaxed);
+        if self.strategy.refine_mprotect {
+            self.mprotect_speculative(addr, len, prot)
+        } else {
+            self.mprotect_full(addr, len, prot)
+        }
+    }
+
+    /// Simulates a page fault at `addr` (`write` selects the access type).
+    ///
+    /// Always a read acquisition; refined strategies lock only the faulting
+    /// page (Section 5.3).
+    pub fn page_fault(&self, addr: u64, write: bool) -> Result<(), VmError> {
+        self.counters.page_faults.fetch_add(1, Ordering::Relaxed);
+        let range = if self.strategy.refine_page_fault {
+            let page = page_align_down(addr);
+            Range::new(page, page + PAGE_SIZE)
+        } else {
+            Range::FULL
+        };
+        let guard = self.lock.read(range);
+        // SAFETY: A read acquisition is held, so no full-range writer (and
+        // thus no `&mut MemorySpace`) can exist concurrently.
+        let space = unsafe { &*self.space.get() };
+        let result = space.handle_fault(addr, write).map(|_| ());
+        drop(guard);
+        result
+    }
+
+    /// Number of VMAs currently mapped.
+    pub fn vma_count(&self) -> usize {
+        let guard = self.lock.read(Range::FULL);
+        // SAFETY: Read acquisition held.
+        let count = unsafe { &*self.space.get() }.vma_count();
+        drop(guard);
+        count
+    }
+
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        let guard = self.lock.read(Range::FULL);
+        // SAFETY: Read acquisition held.
+        let bytes = unsafe { &*self.space.get() }.mapped_bytes();
+        drop(guard);
+        bytes
+    }
+
+    /// Returns the `(start, end, protection)` triples of every VMA, for tests
+    /// and debugging.
+    pub fn vma_snapshot(&self) -> Vec<(u64, u64, Protection)> {
+        let guard = self.lock.read(Range::FULL);
+        // SAFETY: Read acquisition held.
+        let space = unsafe { &*self.space.get() };
+        let out = space
+            .tree()
+            .to_vec()
+            .iter()
+            .map(|v| (v.start(), v.end(), v.protection()))
+            .collect();
+        drop(guard);
+        out
+    }
+
+    fn mprotect_full(&self, addr: u64, len: u64, prot: Protection) -> Result<(), VmError> {
+        let guard = self.lock.write(Range::FULL);
+        // SAFETY: Full-range write acquisition held.
+        let space = unsafe { &mut *self.space.get() };
+        let result = space.mprotect_structural(addr, len, prot);
+        self.seq.bump();
+        drop(guard);
+        result
+    }
+
+    /// The speculative mprotect of Listing 4.
+    fn mprotect_speculative(&self, addr: u64, len: u64, prot: Protection) -> Result<(), VmError> {
+        let mut speculate = true;
+        loop {
+            if !speculate {
+                return self.mprotect_full(addr, len, prot);
+            }
+
+            // Step 1: locate the VMA under a read acquisition of the input
+            // range, and remember the sequence number.
+            let input_range = Range::new(
+                page_align_down(addr),
+                page_align_down(addr) + page_align_up(len.max(1)),
+            );
+            let read_guard = self.lock.read(input_range);
+            // SAFETY: Read acquisition held.
+            let space = unsafe { &*self.space.get() };
+            let vma = match space.find_vma(addr) {
+                Some(v) => v,
+                None => {
+                    drop(read_guard);
+                    return Err(VmError::NoSuchMapping);
+                }
+            };
+            let seq = self.seq.read();
+            let v_start = vma.start();
+            let v_end = vma.end();
+            let refined = Range::new(
+                v_start.saturating_sub(PAGE_SIZE),
+                v_end.saturating_add(PAGE_SIZE),
+            );
+            drop(read_guard);
+
+            // Step 2: upgrade to a write acquisition of the enclosing VMA plus
+            // one page on each side, then validate that nothing changed.
+            let write_guard = self.lock.write(refined);
+            if self.seq.read() != seq || vma.start() != v_start || vma.end() != v_end {
+                self.counters.spec_retries.fetch_add(1, Ordering::Relaxed);
+                drop(write_guard);
+                continue;
+            }
+
+            // Step 3: decide whether the change is metadata-only.
+            // SAFETY: A (refined) write acquisition is held, which conflicts
+            // with the full-range writer; only metadata can change
+            // concurrently and those fields are atomic.
+            let space = unsafe { &*self.space.get() };
+            let plan = match space.plan_mprotect(addr, len, prot) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    drop(write_guard);
+                    return Err(e);
+                }
+            };
+            if plan.is_structural() {
+                self.counters
+                    .spec_structural_fallback
+                    .fetch_add(1, Ordering::Relaxed);
+                drop(write_guard);
+                speculate = false;
+                continue;
+            }
+            space.apply_metadata_plan(&plan, prot);
+            self.counters.spec_success.fetch_add(1, Ordering::Relaxed);
+            drop(write_guard);
+            return Ok(());
+        }
+    }
+}
+
+impl std::fmt::Debug for Mm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mm")
+            .field("strategy", &self.strategy.name)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_basic(strategy: Strategy) {
+        let mm = Mm::new(strategy);
+        let base = mm.mmap(None, 1 << 20, Protection::NONE).unwrap();
+        assert_eq!(mm.vma_count(), 1);
+
+        // First allocation: structural split.
+        mm.mprotect(base, 16 * PAGE_SIZE, Protection::READ_WRITE)
+            .unwrap();
+        assert_eq!(mm.vma_count(), 2);
+        mm.page_fault(base, true).unwrap();
+        mm.page_fault(base + 15 * PAGE_SIZE, false).unwrap();
+        assert!(mm.page_fault(base + 17 * PAGE_SIZE, true).is_err());
+
+        // Growth: boundary move, metadata only.
+        mm.mprotect(
+            base + 16 * PAGE_SIZE,
+            16 * PAGE_SIZE,
+            Protection::READ_WRITE,
+        )
+        .unwrap();
+        assert_eq!(mm.vma_count(), 2);
+        mm.page_fault(base + 20 * PAGE_SIZE, true).unwrap();
+
+        // Shrink: boundary move back.
+        mm.mprotect(base + 24 * PAGE_SIZE, 8 * PAGE_SIZE, Protection::NONE)
+            .unwrap();
+        assert_eq!(mm.vma_count(), 2);
+        assert!(mm.page_fault(base + 25 * PAGE_SIZE, false).is_err());
+
+        // Unmap everything.
+        mm.munmap(base, 1 << 20).unwrap();
+        assert_eq!(mm.vma_count(), 0);
+
+        let stats = mm.stats();
+        assert_eq!(stats.mmaps, 1);
+        assert_eq!(stats.munmaps, 1);
+        assert_eq!(stats.mprotects, 3);
+        assert!(stats.page_faults >= 4);
+    }
+
+    #[test]
+    fn all_strategies_pass_the_same_scenario() {
+        for strategy in [
+            Strategy::STOCK,
+            Strategy::TREE_FULL,
+            Strategy::LIST_FULL,
+            Strategy::TREE_REFINED,
+            Strategy::LIST_REFINED,
+            Strategy::LIST_PF,
+            Strategy::LIST_MPROTECT,
+        ] {
+            exercise_basic(strategy);
+        }
+    }
+
+    #[test]
+    fn speculative_path_is_taken_for_boundary_moves() {
+        let mm = Mm::new(Strategy::LIST_REFINED);
+        let base = mm.mmap(None, 1 << 20, Protection::NONE).unwrap();
+        mm.mprotect(base, 4 * PAGE_SIZE, Protection::READ_WRITE)
+            .unwrap();
+        for i in 1..50u64 {
+            mm.mprotect(
+                base + i * 4 * PAGE_SIZE,
+                4 * PAGE_SIZE,
+                Protection::READ_WRITE,
+            )
+            .unwrap();
+        }
+        let stats = mm.stats();
+        assert_eq!(stats.mprotects, 50);
+        // The first call needs a split (structural); the 49 growth calls are
+        // boundary moves that succeed speculatively.
+        assert_eq!(stats.spec_success, 49);
+        assert_eq!(stats.spec_structural_fallback, 1);
+        assert!(stats.speculation_success_rate() > 0.95);
+    }
+
+    #[test]
+    fn full_strategies_never_speculate() {
+        let mm = Mm::new(Strategy::LIST_FULL);
+        let base = mm.mmap(None, 1 << 20, Protection::NONE).unwrap();
+        mm.mprotect(base, 4 * PAGE_SIZE, Protection::READ_WRITE)
+            .unwrap();
+        assert_eq!(mm.stats().spec_success, 0);
+    }
+
+    #[test]
+    fn mprotect_error_paths() {
+        let mm = Mm::new(Strategy::LIST_REFINED);
+        assert_eq!(
+            mm.mprotect(0x1000, PAGE_SIZE, Protection::READ),
+            Err(VmError::NoSuchMapping)
+        );
+        let base = mm.mmap(None, 16 * PAGE_SIZE, Protection::NONE).unwrap();
+        // Hole after the end of the mapping.
+        assert_eq!(
+            mm.mprotect(base, 32 * PAGE_SIZE, Protection::READ),
+            Err(VmError::NoSuchMapping)
+        );
+    }
+
+    #[test]
+    fn concurrent_faults_and_mprotects_are_consistent() {
+        use std::sync::atomic::AtomicBool;
+        // One thread grows/shrinks an arena-like VMA pair while others fault
+        // on addresses that are always mapped readable; the faulting threads
+        // must never observe a missing mapping.
+        let mm = Arc::new(Mm::new(Strategy::LIST_REFINED));
+        let base = mm.mmap(None, 1 << 22, Protection::NONE).unwrap();
+        // Keep the first 32 pages always readable/writable.
+        mm.mprotect(base, 32 * PAGE_SIZE, Protection::READ_WRITE)
+            .unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..3 {
+            let mm = Arc::clone(&mm);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut failures = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let addr = base + ((t * 7 + i) % 32) * PAGE_SIZE;
+                    if mm.page_fault(addr, i % 2 == 0).is_err() {
+                        failures += 1;
+                    }
+                    i += 1;
+                }
+                failures
+            }));
+        }
+        // The mutator grows and shrinks the region above the stable prefix.
+        for round in 0..300u64 {
+            let extra = 32 + (round % 64);
+            mm.mprotect(
+                base + 32 * PAGE_SIZE,
+                (extra - 32 + 1) * PAGE_SIZE,
+                Protection::READ_WRITE,
+            )
+            .unwrap();
+            mm.mprotect(
+                base + 32 * PAGE_SIZE,
+                (extra - 32 + 1) * PAGE_SIZE,
+                Protection::NONE,
+            )
+            .unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let failures: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(
+            failures, 0,
+            "faults on the stable prefix must always succeed"
+        );
+        let stats = mm.stats();
+        assert!(stats.page_faults > 0);
+        assert!(stats.mprotects >= 600);
+    }
+
+    #[test]
+    fn lock_stats_are_exposed() {
+        let mm = Mm::new(Strategy::TREE_REFINED);
+        assert!(mm.spin_stats().is_some());
+        let mm = Mm::new(Strategy::LIST_REFINED);
+        assert!(mm.spin_stats().is_none());
+        let _ = mm.lock_stats();
+        assert_eq!(mm.strategy().name, "list-refined");
+    }
+
+    #[test]
+    fn vma_snapshot_reports_protections() {
+        let mm = Mm::new(Strategy::STOCK);
+        let base = mm.mmap(None, 8 * PAGE_SIZE, Protection::NONE).unwrap();
+        mm.mprotect(base, 4 * PAGE_SIZE, Protection::READ_WRITE)
+            .unwrap();
+        let snap = mm.vma_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].2, Protection::READ_WRITE);
+        assert_eq!(snap[1].2, Protection::NONE);
+    }
+}

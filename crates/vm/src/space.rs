@@ -1,0 +1,646 @@
+//! The raw (unsynchronized) address-space operations.
+//!
+//! [`MemorySpace`] implements the VM-metadata side of `mmap`, `munmap`,
+//! `mprotect` and page-fault handling against the [`VmaTree`], with no
+//! synchronization of its own: the synchronized front-end ([`crate::Mm`])
+//! wraps every call in the appropriate lock acquisition according to the
+//! configured strategy (stock semaphore, full-range range lock, or refined /
+//! speculative range lock).
+//!
+//! The `mprotect` logic is split in two, mirroring the speculative design of
+//! Section 5.2:
+//!
+//! * [`MemorySpace::plan_mprotect`] inspects the tree and decides whether the
+//!   requested change can be applied as a pure **metadata** update (protection
+//!   change of whole VMAs, or a boundary move between two adjacent VMAs — the
+//!   common GLIBC-allocator cases of Figure 2) or whether it requires a
+//!   **structural** change to the tree (VMA split / merge / insert / delete);
+//! * [`MemorySpace::apply_metadata_plan`] applies a metadata-only plan, and
+//!   [`MemorySpace::mprotect_structural`] performs the general slow path.
+
+use std::sync::Arc;
+
+use crate::vma::{page_align_up, Protection, Vma, PAGE_SIZE};
+use crate::vma_tree::VmaTree;
+
+/// Errors returned by address-space operations (numbers mirror errno values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// No VMA covers (part of) the requested range (`ENOMEM`).
+    NoSuchMapping,
+    /// The requested region overlaps an existing mapping (`EEXIST`).
+    AlreadyMapped,
+    /// Access not permitted by the VMA protection (`SIGSEGV` for faults).
+    AccessViolation,
+    /// Address or length is not page aligned / empty (`EINVAL`).
+    InvalidArgument,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            VmError::NoSuchMapping => "no mapping covers the requested range",
+            VmError::AlreadyMapped => "requested region overlaps an existing mapping",
+            VmError::AccessViolation => "access not permitted by the mapping protection",
+            VmError::InvalidArgument => "address or length is invalid",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// How an `mprotect` request can be satisfied, as determined by
+/// [`MemorySpace::plan_mprotect`].
+#[derive(Debug)]
+pub enum MprotectPlan {
+    /// The covered VMAs already carry the requested protection.
+    Noop,
+    /// The request covers exactly one whole VMA whose protection simply
+    /// changes in place (no split, no merge with neighbours attempted on the
+    /// speculative path).
+    SetProtection {
+        /// The VMA whose protection changes.
+        vma: Arc<Vma>,
+    },
+    /// The request covers the head of `vma` and the previous adjacent VMA has
+    /// exactly the requested protection: grow `prev` forward and shrink `vma`
+    /// (Figure 2's boundary move).
+    GrowPrevBoundary {
+        /// The adjacent predecessor that absorbs the pages.
+        prev: Arc<Vma>,
+        /// The VMA whose head is given away.
+        vma: Arc<Vma>,
+        /// New boundary between the two (becomes `prev.end` and `vma.start`).
+        new_boundary: u64,
+    },
+    /// The request covers the tail of `vma` and the next adjacent VMA has
+    /// exactly the requested protection: grow `next` backward and shrink
+    /// `vma`.
+    GrowNextBoundary {
+        /// The VMA whose tail is given away.
+        vma: Arc<Vma>,
+        /// The adjacent successor that absorbs the pages.
+        next: Arc<Vma>,
+        /// New boundary between the two (becomes `vma.end` and `next.start`).
+        new_boundary: u64,
+    },
+    /// The request needs VMA splits / merges / removals — a structural change
+    /// to the VMA tree that must run under the full-range write lock.
+    Structural,
+}
+
+impl MprotectPlan {
+    /// Returns `true` if applying this plan modifies the tree structure.
+    pub fn is_structural(&self) -> bool {
+        matches!(self, MprotectPlan::Structural)
+    }
+}
+
+/// The raw address space: a VMA tree plus an allocation cursor for
+/// hint-less `mmap`.
+#[derive(Debug)]
+pub struct MemorySpace {
+    tree: VmaTree,
+    /// Where hint-less mmap starts searching for a free region.
+    mmap_base: u64,
+}
+
+impl Default for MemorySpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemorySpace {
+    /// Default base address for hint-less mappings (matches the typical
+    /// x86-64 mmap area, far away from a real program's text/heap).
+    pub const DEFAULT_MMAP_BASE: u64 = 0x7000_0000_0000;
+
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        MemorySpace {
+            tree: VmaTree::new(),
+            mmap_base: Self::DEFAULT_MMAP_BASE,
+        }
+    }
+
+    /// Read-only access to the underlying VMA tree.
+    pub fn tree(&self) -> &VmaTree {
+        &self.tree
+    }
+
+    /// Kernel-style `find_vma`: first VMA whose end is greater than `addr`.
+    pub fn find_vma(&self, addr: u64) -> Option<Arc<Vma>> {
+        self.tree.find_vma(addr)
+    }
+
+    /// Number of VMAs currently mapped.
+    pub fn vma_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Total number of mapped bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.tree.mapped_bytes()
+    }
+
+    /// Maps `len` bytes at `addr` (if `Some`) or at an address chosen by the
+    /// allocator. Returns the start address of the new mapping.
+    ///
+    /// Structural operation: requires the full-range write lock.
+    pub fn mmap(&mut self, addr: Option<u64>, len: u64, prot: Protection) -> Result<u64, VmError> {
+        if len == 0 {
+            return Err(VmError::InvalidArgument);
+        }
+        let len = page_align_up(len);
+        let start = match addr {
+            Some(a) => {
+                if a % PAGE_SIZE != 0 {
+                    return Err(VmError::InvalidArgument);
+                }
+                if !self.tree.overlapping(a, a + len).is_empty() {
+                    return Err(VmError::AlreadyMapped);
+                }
+                a
+            }
+            None => {
+                let start = self.find_free_region(len);
+                self.mmap_base = start + len;
+                start
+            }
+        };
+        self.tree
+            .insert(Arc::new(Vma::new(start, start + len, prot)));
+        Ok(start)
+    }
+
+    /// Unmaps `[addr, addr + len)`, splitting partially covered VMAs.
+    ///
+    /// Structural operation: requires the full-range write lock.
+    pub fn munmap(&mut self, addr: u64, len: u64) -> Result<(), VmError> {
+        if len == 0 || addr % PAGE_SIZE != 0 {
+            return Err(VmError::InvalidArgument);
+        }
+        let start = addr;
+        let end = addr
+            .checked_add(page_align_up(len))
+            .ok_or(VmError::InvalidArgument)?;
+        for vma in self.tree.overlapping(start, end) {
+            let (v_start, v_end, prot) = (vma.start(), vma.end(), vma.protection());
+            self.tree.remove(v_start);
+            if v_start < start {
+                self.tree.insert(Arc::new(Vma::new(v_start, start, prot)));
+            }
+            if v_end > end {
+                self.tree.insert(Arc::new(Vma::new(end, v_end, prot)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulated page-fault handling: locates the VMA containing `addr` and
+    /// checks the access is permitted.
+    ///
+    /// Read-only operation on the tree: runs under a read acquisition (full
+    /// range or, in the refined configuration, just the faulting page).
+    pub fn handle_fault(&self, addr: u64, write: bool) -> Result<Arc<Vma>, VmError> {
+        let vma = self
+            .tree
+            .find_containing(addr)
+            .ok_or(VmError::NoSuchMapping)?;
+        let prot = vma.protection();
+        let allowed = if write {
+            prot.writable()
+        } else {
+            prot.readable()
+        };
+        if allowed {
+            Ok(vma)
+        } else {
+            Err(VmError::AccessViolation)
+        }
+    }
+
+    /// Decides how an `mprotect(addr, len, prot)` request can be applied.
+    ///
+    /// Read-only with respect to the tree; the speculative path calls this
+    /// under a refined write lock and only proceeds if the result is not
+    /// [`MprotectPlan::Structural`].
+    pub fn plan_mprotect(
+        &self,
+        addr: u64,
+        len: u64,
+        prot: Protection,
+    ) -> Result<MprotectPlan, VmError> {
+        if len == 0 || addr % PAGE_SIZE != 0 {
+            return Err(VmError::InvalidArgument);
+        }
+        let start = addr;
+        let end = addr
+            .checked_add(page_align_up(len))
+            .ok_or(VmError::InvalidArgument)?;
+        let covered = self.tree.overlapping(start, end);
+        if covered.is_empty() {
+            return Err(VmError::NoSuchMapping);
+        }
+        // Every byte of the request must be mapped (kernel mprotect fails on
+        // holes); the simulator enforces the same.
+        let mut cursor = start;
+        for vma in &covered {
+            if vma.start() > cursor {
+                return Err(VmError::NoSuchMapping);
+            }
+            cursor = vma.end();
+        }
+        if cursor < end {
+            return Err(VmError::NoSuchMapping);
+        }
+
+        if covered.len() > 1 {
+            // Multiple VMAs involved: protection changes plus merges are
+            // possible; treat as structural (conservative, as the kernel's
+            // mprotect_fixup/vma_merge path would).
+            if covered.iter().all(|v| v.protection() == prot) {
+                return Ok(MprotectPlan::Noop);
+            }
+            return Ok(MprotectPlan::Structural);
+        }
+
+        let vma = Arc::clone(&covered[0]);
+        let (v_start, v_end) = (vma.start(), vma.end());
+        if vma.protection() == prot {
+            return Ok(MprotectPlan::Noop);
+        }
+        if start == v_start && end == v_end {
+            return Ok(MprotectPlan::SetProtection { vma });
+        }
+        if start == v_start {
+            // Head of the VMA: can the previous adjacent VMA absorb it?
+            if let Some(prev) = self.tree.find_prev(v_start) {
+                if prev.end() == v_start && prev.protection() == prot {
+                    return Ok(MprotectPlan::GrowPrevBoundary {
+                        prev,
+                        vma,
+                        new_boundary: end,
+                    });
+                }
+            }
+            return Ok(MprotectPlan::Structural);
+        }
+        if end == v_end {
+            // Tail of the VMA: can the next adjacent VMA absorb it?
+            if let Some(next) = self.tree.find_next(v_end) {
+                if next.start() == v_end && next.protection() == prot {
+                    return Ok(MprotectPlan::GrowNextBoundary {
+                        vma,
+                        next,
+                        new_boundary: start,
+                    });
+                }
+            }
+            return Ok(MprotectPlan::Structural);
+        }
+        // Middle of a VMA: always a split.
+        Ok(MprotectPlan::Structural)
+    }
+
+    /// Applies a metadata-only [`MprotectPlan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with [`MprotectPlan::Structural`]; the caller must
+    /// fall back to [`MemorySpace::mprotect_structural`] under the full-range
+    /// write lock instead.
+    pub fn apply_metadata_plan(&self, plan: &MprotectPlan, prot: Protection) {
+        match plan {
+            MprotectPlan::Noop => {}
+            MprotectPlan::SetProtection { vma } => vma.set_protection(prot),
+            MprotectPlan::GrowPrevBoundary {
+                prev,
+                vma,
+                new_boundary,
+            } => {
+                // Order matters for concurrent readers: grow the absorbing VMA
+                // first so every address stays covered by some VMA throughout.
+                prev.set_end(*new_boundary);
+                vma.set_start(*new_boundary);
+            }
+            MprotectPlan::GrowNextBoundary {
+                vma,
+                next,
+                new_boundary,
+            } => {
+                next.set_start(*new_boundary);
+                vma.set_end(*new_boundary);
+            }
+            MprotectPlan::Structural => {
+                panic!("metadata application requested for a structural plan")
+            }
+        }
+    }
+
+    /// The general `mprotect` slow path: splits partially covered VMAs,
+    /// updates protections and merges adjacent VMAs that end up with equal
+    /// protection.
+    ///
+    /// Structural operation: requires the full-range write lock.
+    pub fn mprotect_structural(
+        &mut self,
+        addr: u64,
+        len: u64,
+        prot: Protection,
+    ) -> Result<(), VmError> {
+        if len == 0 || addr % PAGE_SIZE != 0 {
+            return Err(VmError::InvalidArgument);
+        }
+        let start = addr;
+        let end = addr
+            .checked_add(page_align_up(len))
+            .ok_or(VmError::InvalidArgument)?;
+        let covered = self.tree.overlapping(start, end);
+        if covered.is_empty() {
+            return Err(VmError::NoSuchMapping);
+        }
+        let mut cursor = start;
+        for vma in &covered {
+            if vma.start() > cursor {
+                return Err(VmError::NoSuchMapping);
+            }
+            cursor = vma.end();
+        }
+        if cursor < end {
+            return Err(VmError::NoSuchMapping);
+        }
+
+        // Split boundary VMAs so that the affected region is covered by whole
+        // VMAs, then set the protection on each of them.
+        for vma in covered {
+            let (v_start, v_end, v_prot) = (vma.start(), vma.end(), vma.protection());
+            self.tree.remove(v_start);
+            if v_start < start {
+                self.tree.insert(Arc::new(Vma::new(v_start, start, v_prot)));
+            }
+            let mid_start = v_start.max(start);
+            let mid_end = v_end.min(end);
+            self.tree
+                .insert(Arc::new(Vma::new(mid_start, mid_end, prot)));
+            if v_end > end {
+                self.tree.insert(Arc::new(Vma::new(end, v_end, v_prot)));
+            }
+        }
+        // Merge with equal-protection neighbours across the whole affected
+        // neighbourhood (including the VMAs just outside the range).
+        self.merge_around(
+            start.saturating_sub(PAGE_SIZE),
+            end.saturating_add(PAGE_SIZE),
+        );
+        Ok(())
+    }
+
+    /// Merges adjacent VMAs with identical protection within `[start, end)`.
+    fn merge_around(&mut self, start: u64, end: u64) {
+        loop {
+            let vmas = self.tree.overlapping(start, end);
+            let mut merged = false;
+            for pair in vmas.windows(2) {
+                let (a, b) = (&pair[0], &pair[1]);
+                if a.end() == b.start() && a.protection() == b.protection() {
+                    let (a_start, b_end, prot) = (a.start(), b.end(), a.protection());
+                    self.tree.remove(a.start());
+                    self.tree.remove(b.start());
+                    self.tree.insert(Arc::new(Vma::new(a_start, b_end, prot)));
+                    merged = true;
+                    break;
+                }
+            }
+            if !merged {
+                return;
+            }
+        }
+    }
+
+    fn find_free_region(&self, len: u64) -> u64 {
+        // Bump allocation from mmap_base, skipping over existing mappings.
+        let mut candidate = self.mmap_base;
+        loop {
+            let conflicts = self.tree.overlapping(candidate, candidate + len);
+            match conflicts.last() {
+                None => return candidate,
+                Some(last) => candidate = page_align_up(last.end()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RW: Protection = Protection::READ_WRITE;
+    const NONE: Protection = Protection::NONE;
+
+    fn space_with(vmas: &[(u64, u64, Protection)]) -> MemorySpace {
+        let mut s = MemorySpace::new();
+        for &(start, end, prot) in vmas {
+            s.mmap(Some(start), end - start, prot).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn mmap_and_find() {
+        let mut s = MemorySpace::new();
+        let a = s.mmap(Some(0x10000), 0x4000, RW).unwrap();
+        assert_eq!(a, 0x10000);
+        let b = s.mmap(None, 0x2000, NONE).unwrap();
+        assert!(b >= MemorySpace::DEFAULT_MMAP_BASE);
+        assert_eq!(s.vma_count(), 2);
+        assert_eq!(s.find_vma(0x10000).unwrap().start(), 0x10000);
+        assert_eq!(s.mapped_bytes(), 0x6000);
+        assert_eq!(
+            s.mmap(Some(0x12000), 0x1000, RW),
+            Err(VmError::AlreadyMapped)
+        );
+    }
+
+    #[test]
+    fn munmap_splits_partially_covered_vmas() {
+        let mut s = space_with(&[(0x10000, 0x20000, RW)]);
+        s.munmap(0x14000, 0x4000).unwrap();
+        let vmas = s.tree().to_vec();
+        assert_eq!(vmas.len(), 2);
+        assert_eq!(vmas[0].range(), range_lock::Range::new(0x10000, 0x14000));
+        assert_eq!(vmas[1].range(), range_lock::Range::new(0x18000, 0x20000));
+        s.tree().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fault_checks_protection() {
+        let s = space_with(&[
+            (0x10000, 0x14000, Protection::READ),
+            (0x20000, 0x24000, NONE),
+        ]);
+        assert!(s.handle_fault(0x10000, false).is_ok());
+        assert_eq!(
+            s.handle_fault(0x10000, true).unwrap_err(),
+            VmError::AccessViolation
+        );
+        assert_eq!(
+            s.handle_fault(0x20000, false).unwrap_err(),
+            VmError::AccessViolation
+        );
+        assert_eq!(
+            s.handle_fault(0x30000, false).unwrap_err(),
+            VmError::NoSuchMapping
+        );
+    }
+
+    #[test]
+    fn plan_whole_vma_is_metadata_only() {
+        let s = space_with(&[(0x10000, 0x14000, NONE)]);
+        let plan = s.plan_mprotect(0x10000, 0x4000, RW).unwrap();
+        assert!(matches!(plan, MprotectPlan::SetProtection { .. }));
+        s.apply_metadata_plan(&plan, RW);
+        assert_eq!(s.find_vma(0x10000).unwrap().protection(), RW);
+    }
+
+    #[test]
+    fn plan_noop_when_protection_already_matches() {
+        let s = space_with(&[(0x10000, 0x14000, RW)]);
+        let plan = s.plan_mprotect(0x10000, 0x2000, RW).unwrap();
+        assert!(matches!(plan, MprotectPlan::Noop));
+    }
+
+    #[test]
+    fn plan_figure2_boundary_move() {
+        // Figure 2: [0x1000..0x1800) rw- adjacent to [0x1800..0x3000) ---;
+        // mprotect(0x1800, 0x1000, rw) grows the first VMA and shrinks the
+        // second without touching the tree structure. (Addresses scaled to
+        // page granularity.)
+        let s = space_with(&[(0x10000, 0x18000, RW), (0x18000, 0x30000, NONE)]);
+        let plan = s.plan_mprotect(0x18000, 0x8000, RW).unwrap();
+        match &plan {
+            MprotectPlan::GrowPrevBoundary {
+                prev,
+                vma,
+                new_boundary,
+            } => {
+                assert_eq!(prev.start(), 0x10000);
+                assert_eq!(vma.start(), 0x18000);
+                assert_eq!(*new_boundary, 0x20000);
+            }
+            other => panic!("expected GrowPrevBoundary, got {other:?}"),
+        }
+        s.apply_metadata_plan(&plan, RW);
+        assert_eq!(s.find_vma(0x10000).unwrap().end(), 0x20000);
+        assert_eq!(s.find_vma(0x20000).unwrap().start(), 0x20000);
+        assert_eq!(s.vma_count(), 2);
+    }
+
+    #[test]
+    fn plan_tail_shrink_boundary_move() {
+        // The arena-trim case: the tail of an rw VMA is returned to the
+        // adjacent PROT_NONE VMA above it.
+        let s = space_with(&[(0x10000, 0x20000, RW), (0x20000, 0x30000, NONE)]);
+        let plan = s.plan_mprotect(0x1c000, 0x4000, NONE).unwrap();
+        match &plan {
+            MprotectPlan::GrowNextBoundary {
+                vma,
+                next,
+                new_boundary,
+            } => {
+                assert_eq!(vma.start(), 0x10000);
+                assert_eq!(next.start(), 0x20000);
+                assert_eq!(*new_boundary, 0x1c000);
+            }
+            other => panic!("expected GrowNextBoundary, got {other:?}"),
+        }
+        s.apply_metadata_plan(&plan, NONE);
+        assert_eq!(s.find_vma(0x10000).unwrap().end(), 0x1c000);
+        assert_eq!(s.find_vma(0x1c000).unwrap().start(), 0x1c000);
+    }
+
+    #[test]
+    fn plan_structural_cases() {
+        // Head change without a matching neighbour: split required.
+        let s = space_with(&[(0x10000, 0x20000, NONE)]);
+        assert!(s
+            .plan_mprotect(0x10000, 0x4000, RW)
+            .unwrap()
+            .is_structural());
+        // Middle change: split required.
+        assert!(s
+            .plan_mprotect(0x14000, 0x4000, RW)
+            .unwrap()
+            .is_structural());
+        // Hole in the range: error.
+        assert_eq!(
+            s.plan_mprotect(0x30000, 0x1000, RW).unwrap_err(),
+            VmError::NoSuchMapping
+        );
+    }
+
+    #[test]
+    fn structural_mprotect_splits_and_merges() {
+        let mut s = space_with(&[(0x10000, 0x20000, NONE)]);
+        // First allocation in an arena: split [0x10000, 0x14000) off as rw.
+        s.mprotect_structural(0x10000, 0x4000, RW).unwrap();
+        assert_eq!(s.vma_count(), 2);
+        let vmas = s.tree().to_vec();
+        assert_eq!(vmas[0].protection(), RW);
+        assert_eq!(vmas[1].protection(), NONE);
+        // Changing the rest to rw merges everything back into one VMA.
+        s.mprotect_structural(0x14000, 0xc000, RW).unwrap();
+        assert_eq!(s.vma_count(), 1);
+        assert_eq!(
+            s.tree().to_vec()[0].range(),
+            range_lock::Range::new(0x10000, 0x20000)
+        );
+        s.tree().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn structural_mprotect_middle_split() {
+        let mut s = space_with(&[(0x10000, 0x20000, RW)]);
+        s.mprotect_structural(0x14000, 0x4000, NONE).unwrap();
+        let vmas = s.tree().to_vec();
+        assert_eq!(vmas.len(), 3);
+        assert_eq!(vmas[0].protection(), RW);
+        assert_eq!(vmas[1].protection(), NONE);
+        assert_eq!(vmas[2].protection(), RW);
+        assert_eq!(vmas[1].range(), range_lock::Range::new(0x14000, 0x18000));
+    }
+
+    #[test]
+    fn mprotect_errors() {
+        let mut s = space_with(&[(0x10000, 0x14000, RW)]);
+        assert_eq!(
+            s.mprotect_structural(0x10001, 0x1000, RW),
+            Err(VmError::InvalidArgument)
+        );
+        assert_eq!(
+            s.mprotect_structural(0x10000, 0, RW),
+            Err(VmError::InvalidArgument)
+        );
+        assert_eq!(
+            s.mprotect_structural(0x40000, 0x1000, RW),
+            Err(VmError::NoSuchMapping)
+        );
+        // Range extending past the mapping is a hole.
+        assert_eq!(
+            s.mprotect_structural(0x10000, 0x8000, NONE),
+            Err(VmError::NoSuchMapping)
+        );
+    }
+
+    #[test]
+    fn hintless_mmap_skips_existing_mappings() {
+        let mut s = MemorySpace::new();
+        let a = s.mmap(None, 0x4000, RW).unwrap();
+        let b = s.mmap(None, 0x4000, RW).unwrap();
+        assert!(b >= a + 0x4000);
+        assert_eq!(s.vma_count(), 2);
+        s.tree().check_invariants().unwrap();
+    }
+}

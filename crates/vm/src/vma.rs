@@ -1,0 +1,272 @@
+//! Virtual Memory Area (VMA) descriptors.
+//!
+//! A VMA describes one distinct, contiguous region of a process's virtual
+//! address space: its boundaries, its protection flags and (in a real kernel)
+//! the backing object. The Linux kernel stores one `vm_area_struct` per region
+//! and keeps them in the `mm_rb` red-black tree; this module is the simulator's
+//! equivalent.
+//!
+//! Boundaries and protection are stored in atomics because the refined
+//! (speculative) `mprotect` path of Section 5.2 updates VMA *metadata* while
+//! other threads may concurrently traverse the VMA tree under a read or
+//! refined-write range lock. Structural changes to the tree itself only ever
+//! happen under the full-range write lock.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use range_lock::Range;
+
+/// Page size used throughout the simulator (4 KiB, as on x86-64 Linux).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Rounds `addr` down to a page boundary.
+#[inline]
+pub fn page_align_down(addr: u64) -> u64 {
+    addr & !(PAGE_SIZE - 1)
+}
+
+/// Rounds `addr` up to a page boundary.
+#[inline]
+pub fn page_align_up(addr: u64) -> u64 {
+    (addr + PAGE_SIZE - 1) & !(PAGE_SIZE - 1)
+}
+
+/// Memory protection flags (a subset of `PROT_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Protection(u8);
+
+impl Protection {
+    /// No access allowed (`PROT_NONE`).
+    pub const NONE: Protection = Protection(0);
+    /// Read access (`PROT_READ`).
+    pub const READ: Protection = Protection(1);
+    /// Write access (`PROT_WRITE`); implies the page can be written.
+    pub const WRITE: Protection = Protection(2);
+    /// Execute access (`PROT_EXEC`).
+    pub const EXEC: Protection = Protection(4);
+    /// Read + write, the common anonymous-allocation protection.
+    pub const READ_WRITE: Protection = Protection(1 | 2);
+
+    /// Builds a protection value from raw bits (only the low three are used).
+    pub const fn from_bits(bits: u8) -> Protection {
+        Protection(bits & 0b111)
+    }
+
+    /// Raw bit representation.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if reads are allowed.
+    pub const fn readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Returns `true` if writes are allowed.
+    pub const fn writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// Returns `true` if execution is allowed.
+    pub const fn executable(self) -> bool {
+        self.0 & 4 != 0
+    }
+
+    /// Combines two protections (union of rights).
+    pub const fn union(self, other: Protection) -> Protection {
+        Protection(self.0 | other.0)
+    }
+}
+
+impl std::ops::BitOr for Protection {
+    type Output = Protection;
+
+    fn bitor(self, rhs: Protection) -> Protection {
+        self.union(rhs)
+    }
+}
+
+impl std::fmt::Display for Protection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.readable() { 'r' } else { '-' },
+            if self.writable() { 'w' } else { '-' },
+            if self.executable() { 'x' } else { '-' }
+        )
+    }
+}
+
+/// A single Virtual Memory Area.
+///
+/// The simulator shares `Vma`s between the tree and in-flight operations via
+/// `Arc`, mirroring how kernel code holds `vm_area_struct` pointers found by
+/// `find_vma()` while the appropriate lock is held.
+#[derive(Debug)]
+pub struct Vma {
+    start: AtomicU64,
+    end: AtomicU64,
+    prot: AtomicU8,
+}
+
+impl Vma {
+    /// Creates a VMA covering `[start, end)` with protection `prot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundaries are not page aligned or the range is empty.
+    pub fn new(start: u64, end: u64, prot: Protection) -> Self {
+        assert!(start < end, "empty VMA [{start:#x}, {end:#x})");
+        assert_eq!(start % PAGE_SIZE, 0, "unaligned VMA start {start:#x}");
+        assert_eq!(end % PAGE_SIZE, 0, "unaligned VMA end {end:#x}");
+        Vma {
+            start: AtomicU64::new(start),
+            end: AtomicU64::new(end),
+            prot: AtomicU8::new(prot.bits()),
+        }
+    }
+
+    /// Current start address.
+    #[inline]
+    pub fn start(&self) -> u64 {
+        self.start.load(Ordering::Acquire)
+    }
+
+    /// Current end address (exclusive).
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.end.load(Ordering::Acquire)
+    }
+
+    /// Current protection flags.
+    #[inline]
+    pub fn protection(&self) -> Protection {
+        Protection::from_bits(self.prot.load(Ordering::Acquire))
+    }
+
+    /// The address range covered by this VMA.
+    #[inline]
+    pub fn range(&self) -> Range {
+        Range::new(self.start(), self.end())
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end().saturating_sub(self.start())
+    }
+
+    /// Returns `true` if the VMA has zero length (only possible transiently
+    /// while a boundary move is being applied; never observable in the tree).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `addr` falls inside the VMA.
+    #[inline]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start() && addr < self.end()
+    }
+
+    /// Updates the protection flags (metadata-only change).
+    #[inline]
+    pub fn set_protection(&self, prot: Protection) {
+        self.prot.store(prot.bits(), Ordering::Release);
+    }
+
+    /// Moves the start boundary (metadata-only change; the caller must hold a
+    /// write range lock covering the old and new boundary).
+    #[inline]
+    pub fn set_start(&self, start: u64) {
+        debug_assert_eq!(start % PAGE_SIZE, 0);
+        self.start.store(start, Ordering::Release);
+    }
+
+    /// Moves the end boundary (metadata-only change; same locking rule as
+    /// [`Vma::set_start`]).
+    #[inline]
+    pub fn set_end(&self, end: u64) {
+        debug_assert_eq!(end % PAGE_SIZE, 0);
+        self.end.store(end, Ordering::Release);
+    }
+}
+
+impl Clone for Vma {
+    fn clone(&self) -> Self {
+        Vma {
+            start: AtomicU64::new(self.start()),
+            end: AtomicU64::new(self.end()),
+            prot: AtomicU8::new(self.protection().bits()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_flags() {
+        assert!(Protection::READ.readable());
+        assert!(!Protection::READ.writable());
+        assert!(Protection::READ_WRITE.writable());
+        assert!((Protection::READ | Protection::EXEC).executable());
+        assert_eq!(Protection::NONE.bits(), 0);
+        assert_eq!(format!("{}", Protection::READ_WRITE), "rw-");
+        assert_eq!(format!("{}", Protection::NONE), "---");
+    }
+
+    #[test]
+    fn page_alignment_helpers() {
+        assert_eq!(page_align_down(0x1234), 0x1000);
+        assert_eq!(page_align_up(0x1234), 0x2000);
+        assert_eq!(page_align_up(0x1000), 0x1000);
+        assert_eq!(page_align_down(0), 0);
+    }
+
+    #[test]
+    fn vma_basic_accessors() {
+        let vma = Vma::new(0x10000, 0x20000, Protection::READ_WRITE);
+        assert_eq!(vma.start(), 0x10000);
+        assert_eq!(vma.end(), 0x20000);
+        assert_eq!(vma.len(), 0x10000);
+        assert!(vma.contains(0x10000));
+        assert!(vma.contains(0x1ffff));
+        assert!(!vma.contains(0x20000));
+        assert_eq!(vma.range(), Range::new(0x10000, 0x20000));
+        assert!(!vma.is_empty());
+    }
+
+    #[test]
+    fn vma_metadata_updates() {
+        let vma = Vma::new(0x10000, 0x20000, Protection::NONE);
+        vma.set_protection(Protection::READ_WRITE);
+        assert!(vma.protection().writable());
+        vma.set_start(0x8000);
+        vma.set_end(0x30000);
+        assert_eq!(vma.range(), Range::new(0x8000, 0x30000));
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_vma_rejected() {
+        let _ = Vma::new(0x10001, 0x20000, Protection::READ);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty VMA")]
+    fn empty_vma_rejected() {
+        let _ = Vma::new(0x10000, 0x10000, Protection::READ);
+    }
+
+    #[test]
+    fn clone_snapshots_current_state() {
+        let vma = Vma::new(0x1000, 0x2000, Protection::READ);
+        let snap = vma.clone();
+        vma.set_end(0x4000);
+        assert_eq!(snap.end(), 0x2000);
+        assert_eq!(vma.end(), 0x4000);
+    }
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the range-locks reproduction.
+//!
+//! This crate exists to host the repository-level examples and integration
+//! tests; it simply re-exports the workspace crates under one roof so that
+//! `examples/*.rs` and `tests/*.rs` can reach everything with a single
+//! dependency. Library users should depend on the individual crates
+//! (`range-lock`, `rl-baselines`, `rl-vm`, `rl-skiplist`, `rl-metis`)
+//! directly.
+
+#![warn(missing_docs)]
+
+pub use range_lock;
+pub use rl_baselines;
+pub use rl_metis;
+pub use rl_skiplist;
+pub use rl_sync;
+pub use rl_vm;

@@ -1,0 +1,123 @@
+//! End-to-end integration tests of the VM stack: arena allocator → simulated
+//! mm → range locks, plus a small Metis run per strategy.
+
+use std::sync::Arc;
+
+use range_locks_repro::rl_metis::{run, MetisConfig, Workload};
+use range_locks_repro::rl_vm::{Arena, Mm, Protection, Strategy, PAGE_SIZE};
+
+const ALL_STRATEGIES: [Strategy; 7] = [
+    Strategy::STOCK,
+    Strategy::TREE_FULL,
+    Strategy::LIST_FULL,
+    Strategy::TREE_REFINED,
+    Strategy::LIST_REFINED,
+    Strategy::LIST_PF,
+    Strategy::LIST_MPROTECT,
+];
+
+#[test]
+fn arena_lifecycle_is_identical_across_strategies() {
+    // The VMA layout after a fixed allocation script must not depend on the
+    // synchronization strategy: synchronization changes performance, not
+    // semantics.
+    let mut snapshots = Vec::new();
+    for strategy in ALL_STRATEGIES {
+        let mm = Arc::new(Mm::new(strategy));
+        let mut arena = Arena::new(Arc::clone(&mm), 1 << 20).unwrap();
+        for _ in 0..64 {
+            arena.alloc(3 * 1024).unwrap();
+        }
+        arena.trim().unwrap();
+        let snapshot: Vec<(u64, u64, u8)> = mm
+            .vma_snapshot()
+            .into_iter()
+            .map(|(s, e, p)| (s - arena.base(), e - arena.base(), p.bits()))
+            .collect();
+        snapshots.push((strategy.name, snapshot));
+    }
+    let (first_name, first) = &snapshots[0];
+    for (name, snapshot) in &snapshots[1..] {
+        assert_eq!(snapshot, first, "{name} diverged from {first_name}");
+    }
+}
+
+#[test]
+fn concurrent_arena_threads_do_not_corrupt_the_address_space() {
+    for strategy in [
+        Strategy::STOCK,
+        Strategy::TREE_REFINED,
+        Strategy::LIST_REFINED,
+    ] {
+        let mm = Arc::new(Mm::new(strategy));
+        let threads = 6;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let mm = Arc::clone(&mm);
+            handles.push(std::thread::spawn(move || {
+                let mut arena = Arena::new(mm, 8 << 20).unwrap();
+                for i in 0..500u64 {
+                    let addr = arena.alloc(1_500).unwrap();
+                    arena.read(addr, 1_500).unwrap();
+                    if i % 100 == 99 {
+                        arena.reset().unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All arenas dropped: the address space must be empty again.
+        assert_eq!(mm.vma_count(), 0, "strategy {}", strategy.name);
+        let stats = mm.stats();
+        assert_eq!(stats.mmaps, threads as u64);
+        assert_eq!(stats.munmaps, threads as u64);
+        assert!(stats.page_faults > 0);
+    }
+}
+
+#[test]
+fn page_fault_permission_checks_hold_under_every_strategy() {
+    for strategy in ALL_STRATEGIES {
+        let mm = Mm::new(strategy);
+        let base = mm.mmap(None, 16 * PAGE_SIZE, Protection::NONE).unwrap();
+        mm.mprotect(base, 4 * PAGE_SIZE, Protection::READ).unwrap();
+        assert!(mm.page_fault(base, false).is_ok());
+        assert!(mm.page_fault(base, true).is_err(), "{}", strategy.name);
+        assert!(mm.page_fault(base + 8 * PAGE_SIZE, false).is_err());
+        mm.mprotect(base, 4 * PAGE_SIZE, Protection::READ_WRITE)
+            .unwrap();
+        assert!(mm.page_fault(base + PAGE_SIZE, true).is_ok());
+    }
+}
+
+#[test]
+fn metis_results_are_strategy_independent() {
+    let config = MetisConfig {
+        total_words: 12_000,
+        ..MetisConfig::small(Workload::Wr, 3)
+    };
+    let mut distinct = Vec::new();
+    for strategy in [Strategy::STOCK, Strategy::TREE_FULL, Strategy::LIST_REFINED] {
+        let report = run(&config, strategy).unwrap();
+        assert_eq!(report.total_count, report.words_processed);
+        distinct.push(report.distinct_words);
+    }
+    assert!(distinct.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn refined_strategies_speculate_on_metis() {
+    let config = MetisConfig::small(Workload::Wrmem, 4);
+    let report = run(&config, Strategy::LIST_REFINED).unwrap();
+    assert!(report.vm_stats.spec_success > 0);
+    assert!(
+        report.vm_stats.speculation_success_rate() > 0.9,
+        "{:?}",
+        report.vm_stats
+    );
+    // Full-range strategies must never report speculative successes.
+    let report = run(&config, Strategy::LIST_FULL).unwrap();
+    assert_eq!(report.vm_stats.spec_success, 0);
+}
