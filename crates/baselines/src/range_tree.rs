@@ -76,7 +76,7 @@ fn update(node: &mut Box<Node>) {
         .max(max_end(&node.right));
 }
 
-fn balance_factor(node: &Box<Node>) -> i32 {
+fn balance_factor(node: &Node) -> i32 {
     height(&node.left) - height(&node.right)
 }
 

@@ -5,12 +5,10 @@
 //! plot so the shape (who wins, by how much, where the crossover happens) can
 //! be compared directly against the paper.
 
-use serde::Serialize;
-
 /// A generic result table: `columns` are the series names (lock variants or
 /// strategies) and each row holds the x value (thread count) plus one metric
 /// per column.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title (e.g. "Figure 3(a): ArrBench, full range, 100% reads").
     pub title: String,
@@ -25,7 +23,7 @@ pub struct Table {
 }
 
 /// One row of a [`Table`].
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TableRow {
     /// X value (thread count).
     pub x: u64,
@@ -86,8 +84,41 @@ impl Table {
     }
 
     /// Serializes the table as pretty-printed JSON.
+    ///
+    /// Hand-rolled (the build is fully offline, so `serde`/`serde_json` are
+    /// unavailable); the output matches what `#[derive(Serialize)]` would
+    /// have produced for this struct, field for field.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str(&format!("  \"x_label\": {},\n", json_string(&self.x_label)));
+        out.push_str(&format!("  \"metric\": {},\n", json_string(&self.metric)));
+        out.push_str("  \"columns\": [");
+        for (i, col) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(col));
+        }
+        out.push_str("],\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {{ \"x\": {}, \"values\": [", row.x));
+            for (j, value) in row.values.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_number(*value));
+            }
+            out.push_str("] }");
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
     }
 
     /// For a given row, the ratio between the best and worst column — a quick
@@ -104,9 +135,110 @@ impl Table {
     }
 }
 
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity; clamp to
+/// null like serde_json does for non-finite floats).
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        // Keep integers clean ("200.0" not "200.00000...") while preserving
+        // fractional values.
+        if value == value.trunc() && value.abs() < 1e15 {
+            format!("{value:.1}")
+        } else {
+            format!("{value}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Minimal recursive-descent JSON validator: returns the rest of the
+    /// input after one complete value, or `None` on malformed input. Keeps
+    /// the hand-rolled serializer honest without a JSON dependency.
+    fn skip_value(s: &str) -> Option<&str> {
+        let s = s.trim_start();
+        let mut chars = s.char_indices();
+        match chars.next()?.1 {
+            '{' => skip_seq(&s[1..], '}', |s| {
+                let s = skip_string(s.trim_start())?.trim_start();
+                skip_value(s.strip_prefix(':')?)
+            }),
+            '[' => skip_seq(&s[1..], ']', skip_value),
+            '"' => skip_string(s),
+            _ => {
+                let end = s
+                    .find(|c: char| ",]}".contains(c) || c.is_whitespace())
+                    .unwrap_or(s.len());
+                let tok = &s[..end];
+                (tok.parse::<f64>().is_ok() || ["true", "false", "null"].contains(&tok))
+                    .then(|| &s[end..])
+            }
+        }
+    }
+
+    /// Consumes `item`s separated by commas until `close`.
+    fn skip_seq<'a>(
+        mut s: &'a str,
+        close: char,
+        item: impl Fn(&'a str) -> Option<&'a str>,
+    ) -> Option<&'a str> {
+        if let Some(rest) = s.trim_start().strip_prefix(close) {
+            return Some(rest);
+        }
+        loop {
+            s = item(s)?.trim_start();
+            if let Some(rest) = s.strip_prefix(close) {
+                return Some(rest);
+            }
+            s = s.strip_prefix(',')?;
+        }
+    }
+
+    fn skip_string(s: &str) -> Option<&str> {
+        let mut rest = s.strip_prefix('"')?;
+        loop {
+            let quote = rest.find('"')?;
+            let backslashes = rest[..quote]
+                .chars()
+                .rev()
+                .take_while(|&c| c == '\\')
+                .count();
+            if backslashes % 2 == 0 {
+                return Some(&rest[quote + 1..]);
+            }
+            rest = &rest[quote + 1..];
+        }
+    }
+
+    fn assert_valid_json(s: &str) {
+        let rest = skip_value(s).unwrap_or_else(|| panic!("malformed JSON: {s}"));
+        assert!(
+            rest.trim().is_empty(),
+            "trailing garbage after JSON: {rest}"
+        );
+    }
 
     fn sample() -> Table {
         let mut t = Table::new(
@@ -130,11 +262,42 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trips() {
+    fn json_contains_fields_and_escapes() {
         let json = sample().to_json();
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed["columns"][1], "b");
-        assert_eq!(parsed["rows"][1]["x"], 2);
+        assert_valid_json(&json);
+        assert!(json.contains("\"title\": \"Figure X\""));
+        assert!(json.contains("\"columns\": [\"a\", \"b\"]"));
+        assert!(json.contains("\"x\": 2"));
+        assert!(json.contains("4000.0"));
+        let mut quoted = sample();
+        quoted.title = "say \"hi\"\n".into();
+        let json = quoted.to_json();
+        assert_valid_json(&json);
+        assert!(json.contains("say \\\"hi\\\"\\n"));
+    }
+
+    #[test]
+    fn json_structure_holds_for_edge_tables() {
+        // Empty table (no rows, no columns).
+        assert_valid_json(&Table::new("t", "x", "m", vec![]).to_json());
+        // Non-finite metric values serialize as null, still valid JSON.
+        let mut t = Table::new("t", "x", "m", vec!["a".into()]);
+        t.push_row(1, vec![f64::NAN]);
+        t.push_row(2, vec![f64::NEG_INFINITY]);
+        let json = t.to_json();
+        assert_valid_json(&json);
+        assert!(json.contains("null"));
+        // The validator itself rejects malformed input.
+        assert!(skip_value("{\"a\": [1, }").is_none());
+        assert!(skip_value("{\"a\" 1}").is_none());
+    }
+
+    #[test]
+    fn json_numbers_stay_valid() {
+        assert_eq!(json_number(200.0), "200.0");
+        assert_eq!(json_number(0.125), "0.125");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
     }
 
     #[test]

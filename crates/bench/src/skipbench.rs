@@ -214,7 +214,7 @@ pub fn run(config: &SkipBenchConfig) -> SkipBenchResult {
                 let dice = xorshift(&mut state) % 100;
                 if dice < config.read_pct as u64 {
                     std::hint::black_box(set.contains(key));
-                } else if dice % 2 == 0 {
+                } else if dice.is_multiple_of(2) {
                     std::hint::black_box(set.insert(key));
                 } else {
                     std::hint::black_box(set.remove(key));

@@ -106,7 +106,7 @@ impl Domain {
                 if spins > BARRIER_SPIN_LIMIT {
                     return false;
                 }
-                if spins % 64 == 0 {
+                if spins.is_multiple_of(64) {
                     std::thread::yield_now();
                 } else {
                     std::hint::spin_loop();

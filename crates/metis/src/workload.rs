@@ -217,7 +217,7 @@ fn map_worker(
             // allocation whenever it is exhausted, as a real table would.
             let needed = (table.len() as u64) * 48;
             if needed > table_backing {
-                let grow = (table_backing.max(1024)).min(256 * 1024);
+                let grow = table_backing.clamp(1024, 256 * 1024);
                 arena.alloc(grow)?;
                 table_backing += grow;
             }

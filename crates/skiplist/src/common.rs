@@ -89,8 +89,7 @@ pub fn random_level() -> usize {
         x ^= x << 17;
         state.set(x);
         // Count trailing ones of the low bits => geometric distribution.
-        let level = (x.trailing_ones() as usize).min(MAX_HEIGHT - 1);
-        level
+        (x.trailing_ones() as usize).min(MAX_HEIGHT - 1)
     })
 }
 

@@ -174,12 +174,12 @@ impl OptimisticSkipList {
             let node = Box::into_raw(Node::new(key, top_level));
             // SAFETY: Just allocated, exclusively owned until published below.
             let node_ref = unsafe { &*node };
-            for level in 0..=top_level {
-                node_ref.set_next(level, succs[level]);
+            for (level, &succ) in succs.iter().enumerate().take(top_level + 1) {
+                node_ref.set_next(level, succ);
             }
-            for level in 0..=top_level {
+            for (level, &pred) in preds.iter().enumerate().take(top_level + 1) {
                 // SAFETY: See `find`; the predecessor is locked.
-                unsafe { &*preds[level] }.set_next(level, node);
+                unsafe { &*pred }.set_next(level, node);
             }
             node_ref.fully_linked.store(true, Ordering::Release);
             drop(guards);
@@ -230,8 +230,7 @@ impl OptimisticSkipList {
             let mut guards = Vec::with_capacity(top_level + 1);
             let mut prev_pred: *mut Node = std::ptr::null_mut();
             let mut valid = true;
-            for level in 0..=top_level {
-                let pred = preds[level];
+            for (level, &pred) in preds.iter().enumerate().take(top_level + 1) {
                 if pred != prev_pred {
                     // SAFETY: See `find`.
                     guards.push(unsafe { &*pred }.lock.lock());

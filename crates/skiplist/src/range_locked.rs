@@ -187,12 +187,12 @@ impl<L: RangeLock> RangeSkipList<L> {
             let node = Box::into_raw(Node::new(key, top_level));
             // SAFETY: Just allocated, exclusively owned until published below.
             let node_ref = unsafe { &*node };
-            for level in 0..=top_level {
-                node_ref.set_next(level, succs[level]);
+            for (level, &succ) in succs.iter().enumerate().take(top_level + 1) {
+                node_ref.set_next(level, succ);
             }
-            for level in 0..=top_level {
+            for (level, &pred) in preds.iter().enumerate().take(top_level + 1) {
                 // SAFETY: See `find`; the window is protected by the range lock.
-                unsafe { &*preds[level] }.set_next(level, node);
+                unsafe { &*pred }.set_next(level, node);
             }
             node_ref.fully_linked.store(true, Ordering::Release);
             drop(guard);
@@ -236,9 +236,9 @@ impl<L: RangeLock> RangeSkipList<L> {
                 return false;
             }
             let mut valid = true;
-            for level in 0..=top_level {
+            for (level, &pred) in preds.iter().enumerate().take(top_level + 1) {
                 // SAFETY: See `find`.
-                let pred_ref = unsafe { &*preds[level] };
+                let pred_ref = unsafe { &*pred };
                 valid =
                     !pred_ref.marked.load(Ordering::Acquire) && pred_ref.next(level) == victim_ptr;
                 if !valid {

@@ -58,7 +58,7 @@ impl SeqCount {
     pub fn read_begin(&self) -> u64 {
         loop {
             let v = self.value.load(Ordering::Acquire);
-            if v % 2 == 0 {
+            if v.is_multiple_of(2) {
                 return v;
             }
             crate::backoff::pause();

@@ -243,23 +243,31 @@ mod tests {
     fn stats_record_contended_waits() {
         let stats = Arc::new(WaitStats::new("spin"));
         let lock = Arc::new(SpinLock::with_stats(0u64, Arc::clone(&stats)));
-        let mut handles = Vec::new();
-        for _ in 0..4 {
+        // Force a contended acquisition deterministically (threads hammering
+        // the lock may never overlap on a single-core machine): hold the lock
+        // here while a contender blocks in the slow path, then release.
+        let guard = lock.lock();
+        let started = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let contender = {
             let lock = Arc::clone(&lock);
-            handles.push(std::thread::spawn(move || {
-                for _ in 0..5_000 {
-                    *lock.lock() += 1;
-                }
-            }));
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                started.store(true, Ordering::Release);
+                *lock.lock() += 1;
+            })
+        };
+        // Handshake: wait until the contender is about to call lock(), then
+        // give it a moment to reach the spin loop before releasing.
+        while !started.load(Ordering::Acquire) {
+            std::thread::yield_now();
         }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(*lock.lock(), 20_000);
-        // With four threads hammering the lock, at least some acquisitions
-        // should have hit the slow path and been recorded.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(guard);
+        contender.join().unwrap();
+        assert_eq!(*lock.lock(), 1);
         let snap = stats.snapshot();
         assert!(snap.write_waits > 0);
+        assert!(snap.write_wait_ns > 0);
     }
 
     #[test]

@@ -217,10 +217,9 @@ mod tests {
     fn free_and_trim_return_pages() {
         let mm = new_mm(Strategy::LIST_REFINED);
         let mut arena = Arena::new(Arc::clone(&mm), 8 << 20).unwrap();
-        let mut sizes = Vec::new();
+        let sizes = vec![4096u64; 200];
         for _ in 0..200 {
             arena.alloc(4096).unwrap();
-            sizes.push(4096u64);
         }
         let committed_before = arena.committed_bytes();
         assert!(committed_before >= 200 * 4096);

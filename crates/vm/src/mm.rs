@@ -626,7 +626,7 @@ mod tests {
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let addr = base + ((t * 7 + i) % 32) * PAGE_SIZE;
-                    if mm.page_fault(addr, i % 2 == 0).is_err() {
+                    if mm.page_fault(addr, i.is_multiple_of(2)).is_err() {
                         failures += 1;
                     }
                     i += 1;

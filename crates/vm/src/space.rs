@@ -179,7 +179,7 @@ impl MemorySpace {
     ///
     /// Structural operation: requires the full-range write lock.
     pub fn munmap(&mut self, addr: u64, len: u64) -> Result<(), VmError> {
-        if len == 0 || addr % PAGE_SIZE != 0 {
+        if len == 0 || !addr.is_multiple_of(PAGE_SIZE) {
             return Err(VmError::InvalidArgument);
         }
         let start = addr;
@@ -233,7 +233,7 @@ impl MemorySpace {
         len: u64,
         prot: Protection,
     ) -> Result<MprotectPlan, VmError> {
-        if len == 0 || addr % PAGE_SIZE != 0 {
+        if len == 0 || !addr.is_multiple_of(PAGE_SIZE) {
             return Err(VmError::InvalidArgument);
         }
         let start = addr;
@@ -351,7 +351,7 @@ impl MemorySpace {
         len: u64,
         prot: Protection,
     ) -> Result<(), VmError> {
-        if len == 0 || addr % PAGE_SIZE != 0 {
+        if len == 0 || !addr.is_multiple_of(PAGE_SIZE) {
             return Err(VmError::InvalidArgument);
         }
         let start = addr;

@@ -54,7 +54,7 @@ proptest! {
                 oracle.push(entry);
             }
         }
-        tree.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        tree.check_invariants().map_err(TestCaseError::fail)?;
         prop_assert_eq!(tree.len(), oracle.len());
         for probe_start in (0..500u64).step_by(37) {
             let probe = Range::new(probe_start, probe_start + 50);

@@ -1,0 +1,258 @@
+//! Offline shim for `criterion 0.5` implementing the subset this workspace's
+//! benches use: [`criterion_group!`] / [`criterion_main!`], benchmark groups
+//! with `sample_size` / `warm_up_time` / `measurement_time`, and
+//! [`Bencher::iter`]. See `vendor/README.md` for the vendoring policy.
+//!
+//! Measurement is real but deliberately simple: after a warm-up phase the
+//! closure is run in timed batches until the measurement window closes, and
+//! the mean and best batch-average latency are printed per benchmark. There
+//! is no statistical analysis, outlier detection, or HTML report.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark manager handed to every `criterion_group!` target.
+pub struct Criterion {
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            _criterion: self,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter, e.g. a lock-variant name.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes batches by time alone.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets how long to run the closure before measuring.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets how long to keep measuring.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut bencher);
+        self.report(&id, bencher.result);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, bencher.result);
+        self
+    }
+
+    /// Ends the group (printing is done per benchmark; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, result: Option<Measurement>) {
+        match result {
+            Some(m) => println!(
+                "{}/{:<28} time: [mean {} | best {}]  ({} iterations)",
+                self.name,
+                id.id,
+                format_ns(m.mean_ns),
+                format_ns(m.best_ns),
+                m.iterations
+            ),
+            None => println!(
+                "{}/{:<28} (no measurement: b.iter never called)",
+                self.name, id.id
+            ),
+        }
+    }
+}
+
+struct Measurement {
+    mean_ns: f64,
+    best_ns: f64,
+    iterations: u64,
+}
+
+/// Timing driver passed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up and then measuring in batches until
+    /// the measurement window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also yields a first estimate of the per-call cost, used to
+        // size measurement batches to roughly 1ms each.
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters = 0u64;
+        while warm_up_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_up_iters += 1;
+        }
+        let per_call_ns = (self.warm_up.as_nanos() as f64 / warm_up_iters.max(1) as f64).max(0.5);
+        let batch = ((1_000_000.0 / per_call_ns) as u64).clamp(1, 10_000_000);
+
+        let mut total_iters = 0u64;
+        let mut total_ns = 0.0f64;
+        let mut best_ns = f64::INFINITY;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let ns = batch_start.elapsed().as_nanos() as f64 / batch as f64;
+            total_iters += batch;
+            total_ns += ns * batch as f64;
+            if ns < best_ns {
+                best_ns = ns;
+            }
+        }
+        self.result = Some(Measurement {
+            mean_ns: total_ns / total_iters.max(1) as f64,
+            best_ns,
+            iterations: total_iters,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Prevents the compiler from optimizing a value away (re-export of
+/// `std::hint::black_box` under criterion's historical name).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into one named runner, like the real
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups, like the real `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim-selftest");
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+            b.iter(|| std::hint::black_box(1u64 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+        assert_eq!(BenchmarkId::new("f", "x").id, "f/x");
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline shim for `crossbeam-utils`, providing only [`CachePadded`].
+//!
+//! See `vendor/README.md` for the vendoring policy. The padding/alignment is
+//! 128 bytes, matching what the real crate uses on modern x86_64 (two cache
+//! lines, to defeat adjacent-line prefetching) and comfortably exceeding the
+//! 64-byte line every mainstream platform has.
+
+#![warn(missing_docs)]
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to (at least) 128 bytes so that two neighboring
+/// `CachePadded` values never share a cache line.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_at_least_two_cache_lines() {
+        assert!(core::mem::align_of::<CachePadded<u8>>() >= 128);
+        let pair = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let a = &*pair[0] as *const u8 as usize;
+        let b = &*pair[1] as *const u8 as usize;
+        assert!(b.abs_diff(a) >= 128);
+    }
+
+    #[test]
+    fn deref_round_trip() {
+        let mut padded = CachePadded::new(41u64);
+        *padded += 1;
+        assert_eq!(*padded, 42);
+        assert_eq!(padded.into_inner(), 42);
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline shim for `proptest 1.x` implementing the subset this workspace
+//! uses: the [`proptest!`] macro, range / tuple / [`collection::vec`] /
+//! [`any`] strategies with [`Strategy::prop_map`], the `prop_assert*` macro
+//! family, and a deterministic [`test_runner::TestRunner`].
+//!
+//! See `vendor/README.md` for the vendoring policy. The one behavioral
+//! difference from the real crate: **no shrinking** — a failing case is
+//! reported with the exact generated input, but not minimized.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::{Rng, RngCore, SampleUniform};
+
+/// Runner configuration (`proptest::test_runner::Config` stand-in).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A rejected or failed test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fails the current test case with `message`.
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A generator of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value from `rng`.
+    fn generate(&self, rng: &mut rand::StdRng) -> Self::Value;
+
+    /// Returns a strategy producing `map(value)` for every generated value.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, map }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut rand::StdRng) -> U {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut rand::StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut rand::StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// Types with a canonical "generate any value" strategy (`Arbitrary` subset).
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of this type.
+    fn arbitrary(rng: &mut rand::StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut rand::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut rand::StdRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut rand::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut rand::StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T` (`proptest::arbitrary::any` stand-in).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use super::Strategy;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut rand::StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner machinery (`proptest::test_runner` subset).
+pub mod test_runner {
+    use super::{ProptestConfig, Strategy, TestCaseError};
+    use rand::SeedableRng;
+
+    /// Runs a test closure against freshly generated inputs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: rand::StdRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed seed so failures are reproducible.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: rand::StdRng::seed_from_u64(0x5EED_CAFE_F00D_BEEF),
+            }
+        }
+
+        /// Runs `test` against `config.cases` generated inputs, panicking on
+        /// the first failure with the offending input (no shrinking).
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+        ) where
+            S::Value: std::fmt::Debug + Clone,
+        {
+            for case in 0..self.config.cases {
+                let input = strategy.generate(&mut self.rng);
+                if let Err(err) = test(input.clone()) {
+                    panic!(
+                        "proptest case {case} failed: {err}\n  input: {input:?}\n  \
+                         (vendored proptest shim: no shrinking performed)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strategy) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @config ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($arg:ident in $strat:expr $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let strategy = $strat;
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run(&strategy, |$arg| {
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { @config ($config) $($rest)* }
+    };
+    (@config ($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let strategy = ($($strat),+);
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run(&strategy, |($($arg),+)| {
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { @config ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    left == right,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                );
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    left != right,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                );
+            }
+        }
+    };
+}
+
+/// Glob-importable names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::TestRunner;
+    pub use crate::{any, Any, Arbitrary, Map, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        use rand::SeedableRng;
+        let mut rng = rand::StdRng::seed_from_u64(1);
+        let strat = (0u64..10, 5u8..7).prop_map(|(a, b)| (a, b));
+        for _ in 0..1000 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!(a < 10);
+            assert!((5..7).contains(&b));
+        }
+        let vecs = collection::vec(any::<bool>(), 1..4);
+        for _ in 0..100 {
+            let v = vecs.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_single_arg(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+
+        #[test]
+        fn macro_multi_arg(x in 0u64..50, flags in collection::vec(any::<bool>(), 1..10)) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(flags.len(), flags.len());
+            prop_assert_ne!(flags.len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_panics_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+        runner.run(&(0u64..4), |x| {
+            prop_assert!(x < 2, "x was {}", x);
+            Ok(())
+        });
+    }
+}
