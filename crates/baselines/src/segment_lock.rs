@@ -127,6 +127,35 @@ impl SegmentRangeLock {
         SegmentWriteGuard { _guards: guards }
     }
 
+    /// Attempts to acquire `range` in shared mode without waiting: every
+    /// overlapped segment must be immediately available, otherwise the guards
+    /// collected so far are dropped and `None` is returned.
+    pub fn try_read(&self, range: Range) -> Option<SegmentReadGuard<'_>> {
+        let (first, last) = self.segment_span(&range);
+        let mut guards = Vec::with_capacity(last - first + 1);
+        for seg in &self.segments[first..=last] {
+            guards.push(seg.try_read()?);
+        }
+        if let Some(s) = &self.stats {
+            s.record_uncontended();
+        }
+        Some(SegmentReadGuard { _guards: guards })
+    }
+
+    /// Attempts to acquire `range` in exclusive mode without waiting; see
+    /// [`SegmentRangeLock::try_read`].
+    pub fn try_write(&self, range: Range) -> Option<SegmentWriteGuard<'_>> {
+        let (first, last) = self.segment_span(&range);
+        let mut guards = Vec::with_capacity(last - first + 1);
+        for seg in &self.segments[first..=last] {
+            guards.push(seg.try_write()?);
+        }
+        if let Some(s) = &self.stats {
+            s.record_uncontended();
+        }
+        Some(SegmentWriteGuard { _guards: guards })
+    }
+
     fn record(&self, kind: WaitKind, started: Instant, contended: bool) {
         if let Some(s) = &self.stats {
             if contended {
@@ -170,6 +199,14 @@ impl RwRangeLock for SegmentRangeLock {
 
     fn write(&self, range: Range) -> Self::WriteGuard<'_> {
         SegmentRangeLock::write(self, range)
+    }
+
+    fn try_read(&self, range: Range) -> Option<Self::ReadGuard<'_>> {
+        SegmentRangeLock::try_read(self, range)
+    }
+
+    fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
+        SegmentRangeLock::try_write(self, range)
     }
 
     fn name(&self) -> &'static str {
@@ -302,5 +339,24 @@ mod tests {
     #[test]
     fn trait_name() {
         assert_eq!(RwRangeLock::name(&SegmentRangeLock::new(16, 4)), "pnova-rw");
+    }
+
+    #[test]
+    fn try_methods_respect_segment_conflicts() {
+        let lock = SegmentRangeLock::new(256, 16);
+        let w = lock.write(Range::new(0, 64));
+        assert!(lock.try_write(Range::new(32, 96)).is_none());
+        assert!(lock.try_read(Range::new(32, 96)).is_none());
+        // Disjoint segments are immediately available.
+        drop(
+            lock.try_write(Range::new(128, 192))
+                .expect("disjoint segments"),
+        );
+        drop(w);
+        drop(lock.try_write(Range::new(32, 96)).expect("released"));
+        // Readers share segments.
+        let r = lock.read(Range::new(0, 64));
+        drop(lock.try_read(Range::new(0, 64)).expect("readers share"));
+        drop(r);
     }
 }

@@ -119,6 +119,46 @@ impl TreeLockInner {
         id
     }
 
+    /// Bounded acquisition attempt: inserts the range only if nothing blocks
+    /// it, otherwise leaves the tree untouched and returns `None`.
+    ///
+    /// Unlike the list-based locks this attempt cannot fail spuriously — the
+    /// internal spin lock gives it a consistent view of the tree — but it
+    /// still takes that spin lock, which is exactly the scalability cost the
+    /// paper measures.
+    fn try_acquire(&self, range: Range, reader: bool) -> Option<u64> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut guard = self.state.lock();
+            let state = &mut *guard;
+            let mut blocked = false;
+            let waiters = &state.waiters;
+            state.tree.for_each_overlap(&range, |iv| {
+                let other = waiters
+                    .get(&iv.id)
+                    .expect("every tree entry has a registered waiter");
+                if !(reader && other.reader) {
+                    blocked = true;
+                }
+            });
+            if blocked {
+                return None;
+            }
+            state.tree.insert(Interval { range, id });
+            state.waiters.insert(
+                id,
+                Arc::new(Waiter {
+                    reader,
+                    blocked: AtomicUsize::new(0),
+                }),
+            );
+        }
+        if let Some(s) = &self.stats {
+            s.record_uncontended();
+        }
+        Some(id)
+    }
+
     fn release(&self, range: Range, id: u64, reader: bool) {
         let mut guard = self.state.lock();
         let state = &mut *guard;
@@ -199,6 +239,18 @@ impl TreeRangeLock {
         self.acquire(Range::FULL)
     }
 
+    /// Attempts to acquire `range` without waiting; `None` if anything
+    /// overlapping is already in the tree.
+    pub fn try_acquire(&self, range: Range) -> Option<TreeRangeGuard<'_>> {
+        let id = self.inner.try_acquire(range, false)?;
+        Some(TreeRangeGuard {
+            lock: &self.inner,
+            range,
+            id,
+            reader: false,
+        })
+    }
+
     /// Number of ranges currently in the tree (holders and waiters).
     pub fn tracked_ranges(&self) -> usize {
         self.inner.held_ranges()
@@ -276,6 +328,30 @@ impl RwTreeRangeLock {
         }
     }
 
+    /// Attempts to acquire `range` in shared mode without waiting; `None` if
+    /// an overlapping writer is already in the tree.
+    pub fn try_read(&self, range: Range) -> Option<TreeRangeGuard<'_>> {
+        let id = self.inner.try_acquire(range, true)?;
+        Some(TreeRangeGuard {
+            lock: &self.inner,
+            range,
+            id,
+            reader: true,
+        })
+    }
+
+    /// Attempts to acquire `range` in exclusive mode without waiting; `None`
+    /// if anything overlapping is already in the tree.
+    pub fn try_write(&self, range: Range) -> Option<TreeRangeGuard<'_>> {
+        let id = self.inner.try_acquire(range, false)?;
+        Some(TreeRangeGuard {
+            lock: &self.inner,
+            range,
+            id,
+            reader: false,
+        })
+    }
+
     /// Number of ranges currently in the tree (holders and waiters).
     pub fn tracked_ranges(&self) -> usize {
         self.inner.held_ranges()
@@ -323,6 +399,10 @@ impl RangeLock for TreeRangeLock {
         TreeRangeLock::acquire(self, range)
     }
 
+    fn try_acquire(&self, range: Range) -> Option<Self::Guard<'_>> {
+        TreeRangeLock::try_acquire(self, range)
+    }
+
     fn name(&self) -> &'static str {
         "lustre-ex"
     }
@@ -338,6 +418,14 @@ impl RwRangeLock for RwTreeRangeLock {
 
     fn write(&self, range: Range) -> Self::WriteGuard<'_> {
         RwTreeRangeLock::write(self, range)
+    }
+
+    fn try_read(&self, range: Range) -> Option<Self::ReadGuard<'_>> {
+        RwTreeRangeLock::try_read(self, range)
+    }
+
+    fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
+        RwTreeRangeLock::try_write(self, range)
     }
 
     fn name(&self) -> &'static str {
@@ -534,5 +622,45 @@ mod tests {
     fn trait_impls_have_expected_names() {
         assert_eq!(RangeLock::name(&TreeRangeLock::new()), "lustre-ex");
         assert_eq!(RwRangeLock::name(&RwTreeRangeLock::new()), "kernel-rw");
+    }
+
+    #[test]
+    fn try_acquire_respects_overlap() {
+        let lock = TreeRangeLock::new();
+        let g = lock.acquire(Range::new(0, 10));
+        assert!(lock.try_acquire(Range::new(5, 15)).is_none());
+        let disjoint = lock.try_acquire(Range::new(10, 20)).expect("disjoint");
+        drop(g);
+        drop(disjoint);
+        assert_eq!(lock.tracked_ranges(), 0);
+    }
+
+    #[test]
+    fn rw_try_methods_respect_modes() {
+        let lock = RwTreeRangeLock::new();
+        let r = lock.read(Range::new(0, 100));
+        // Readers share, writers are rejected, disjoint writers succeed.
+        drop(lock.try_read(Range::new(50, 150)).expect("readers share"));
+        assert!(lock.try_write(Range::new(50, 150)).is_none());
+        drop(
+            lock.try_write(Range::new(100, 200))
+                .expect("disjoint writer"),
+        );
+        drop(r);
+        drop(lock.try_write(Range::new(50, 150)).expect("now free"));
+        assert_eq!(lock.tracked_ranges(), 0);
+    }
+
+    #[test]
+    fn try_acquire_does_not_block_waiters_permanently() {
+        // A failed try must leave no residue that blocks later acquisitions.
+        let lock = Arc::new(RwTreeRangeLock::new());
+        let w = lock.write(Range::new(0, 100));
+        for _ in 0..100 {
+            assert!(lock.try_read(Range::new(0, 50)).is_none());
+        }
+        drop(w);
+        drop(lock.read(Range::new(0, 100)));
+        assert_eq!(lock.tracked_ranges(), 0);
     }
 }

@@ -1,0 +1,44 @@
+//! Criterion bench for the FileBench file workload.
+//!
+//! `cargo bench` times a representative configuration per offset
+//! distribution; the full thread/mix sweeps live in the `repro` binary
+//! (`cargo run -p rl-bench --release --bin repro -- filebench`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_bench::filebench::{run_fixed_ops, FileLockVariant, OffsetDist};
+
+fn bench_filebench(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let ops_per_thread = 400u64;
+
+    for (dist, read_pct) in [
+        (OffsetDist::Uniform, 95u32),
+        (OffsetDist::Uniform, 50),
+        (OffsetDist::Skewed, 50),
+    ] {
+        let mut group = c.benchmark_group(format!("filebench/{}/{}r", dist.name(), read_pct));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for lock in FileLockVariant::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(lock.name()),
+                &lock,
+                |b, &lock| {
+                    b.iter(|| {
+                        let violations =
+                            run_fixed_ops(lock, threads, read_pct, dist, ops_per_thread);
+                        assert_eq!(violations, 0, "integrity violation in {}", lock.name());
+                        violations
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_filebench);
+criterion_main!(benches);

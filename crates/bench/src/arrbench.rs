@@ -23,6 +23,8 @@ use range_lock::{ListRangeLock, Range, RwListRangeLock};
 use rl_baselines::{RwTreeRangeLock, SegmentRangeLock, TreeRangeLock};
 use rl_sync::{padded::padded_vec, CachePadded};
 
+use crate::rng::{seed, xorshift};
+
 /// Number of array slots (the paper uses 256).
 pub const ARRAY_SLOTS: u64 = 256;
 
@@ -172,16 +174,6 @@ impl AnyLock {
     }
 }
 
-#[inline]
-fn xorshift(state: &mut u64) -> u64 {
-    let mut x = *state;
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    *state = x;
-    x
-}
-
 /// Runs one ArrBench configuration and reports its throughput.
 pub fn run(config: &ArrBenchConfig) -> ArrBenchResult {
     assert!(config.threads > 0);
@@ -200,7 +192,7 @@ pub fn run(config: &ArrBenchConfig) -> ArrBenchResult {
         let total_ops = Arc::clone(&total_ops);
         let config = *config;
         handles.push(std::thread::spawn(move || {
-            let mut rng_state = (thread_id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng_state = seed(thread_id);
             let mut ops = 0u64;
             let slice_len = (ARRAY_SLOTS / config.threads as u64).max(1);
             let my_slice = Range::new(
@@ -273,7 +265,7 @@ pub fn run_fixed_ops(
         let lock = Arc::clone(&lock);
         let slots = Arc::clone(&slots);
         handles.push(std::thread::spawn(move || {
-            let mut rng_state = (thread_id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng_state = seed(thread_id);
             let slice_len = (ARRAY_SLOTS / threads as u64).max(1);
             let my_slice = Range::new(
                 (thread_id as u64 * slice_len).min(ARRAY_SLOTS - 1),

@@ -12,6 +12,8 @@
 //!   fig6               refinement breakdown (list-full/pf/mprotect/refined)
 //!   fig7               average wait time of mmap_sem / the range lock
 //!   fig8               average wait time of the tree lock's internal spin lock
+//!   filebench          rl-file workload: reader/writer mix x threads x lock
+//!                      variant, uniform + skewed offsets, per-op wait times
 //!   all                everything above
 //! ```
 //!
@@ -23,6 +25,7 @@
 use std::time::Duration;
 
 use rl_bench::arrbench::{self, ArrBenchConfig, LockVariant, RangePolicy};
+use rl_bench::filebench::{self, FileBenchConfig, FileLockVariant, OffsetDist};
 use rl_bench::metisbench::{self, MetisScale};
 use rl_bench::report::Table;
 use rl_bench::skipbench::{self, SkipBenchConfig, SkipListVariant};
@@ -295,6 +298,97 @@ fn run_fig8(opts: &Options) {
     }
 }
 
+fn filebench_duration(quick: bool) -> Duration {
+    if quick {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_secs(2)
+    }
+}
+
+fn run_filebench(opts: &Options) {
+    for dist in [OffsetDist::Uniform, OffsetDist::Skewed] {
+        for read_pct in [95u32, 50] {
+            let columns: Vec<String> = FileLockVariant::ALL
+                .iter()
+                .map(|l| l.name().to_string())
+                .collect();
+            let mut throughput = Table::new(
+                format!("FileBench: {} offsets — {read_pct}% reads", dist.name()),
+                "threads",
+                "ops/sec",
+                columns,
+            );
+            // One wait table per reader-writer variant for the write-heavy
+            // mix: rows are thread counts, columns the labeled operations.
+            let mut waits: Vec<(FileLockVariant, Table)> = if read_pct == 50 {
+                FileLockVariant::RW
+                    .iter()
+                    .map(|&lock| {
+                        (
+                            lock,
+                            Table::new(
+                                format!(
+                                    "FileBench wait per acquisition: {} offsets — 50% reads — {}",
+                                    dist.name(),
+                                    lock.name()
+                                ),
+                                "threads",
+                                "wait (us)",
+                                vec![
+                                    "pread".to_string(),
+                                    "pwrite".to_string(),
+                                    "append".to_string(),
+                                    "truncate".to_string(),
+                                ],
+                            ),
+                        )
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            for &threads in &opts.threads {
+                let mut row = Vec::new();
+                for lock in FileLockVariant::ALL {
+                    let result = filebench::run(&FileBenchConfig {
+                        lock,
+                        threads,
+                        read_pct,
+                        dist,
+                        duration: filebench_duration(opts.quick),
+                    });
+                    assert_eq!(
+                        result.violations,
+                        0,
+                        "FileBench integrity violation under {} ({} offsets, {read_pct}% reads, \
+                         {threads} threads)",
+                        lock.name(),
+                        dist.name()
+                    );
+                    row.push(result.ops_per_sec());
+                    if let Some((_, table)) = waits.iter_mut().find(|(l, _)| *l == lock) {
+                        table.push_row(
+                            threads as u64,
+                            vec![
+                                result.avg_wait_us("pread"),
+                                result.avg_wait_us("pwrite"),
+                                result.avg_wait_us("append"),
+                                result.avg_wait_us("truncate"),
+                            ],
+                        );
+                    }
+                }
+                throughput.push_row(threads as u64, row);
+            }
+            emit(&throughput, opts.json);
+            for (_, table) in &waits {
+                emit(table, opts.json);
+            }
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
     if !opts.json {
@@ -314,6 +408,7 @@ fn main() {
             "fig6" => run_fig6(&opts),
             "fig7" => run_fig7(&opts),
             "fig8" => run_fig8(&opts),
+            "filebench" => run_filebench(&opts),
             "all" => {
                 run_fig3(RangePolicy::FullRange, &opts);
                 run_fig3(RangePolicy::NonOverlapping, &opts);
@@ -323,6 +418,7 @@ fn main() {
                 run_fig6(&opts);
                 run_fig7(&opts);
                 run_fig8(&opts);
+                run_filebench(&opts);
             }
             other => {
                 eprintln!("unknown experiment '{other}'; run with --help for the list");

@@ -8,6 +8,9 @@
 //! * [`metisbench`] — the Metis workloads on the simulated VM subsystem
 //!   (Figures 5–8, plus the speculation-success statistics quoted in the
 //!   text of Section 7.2);
+//! * [`filebench`] — the byte-range-locked file workload over `rl-file`
+//!   (the paper's "and beyond": reader/writer mixes, uniform and skewed
+//!   offsets, per-operation wait accounting, built-in integrity checking);
 //! * [`report`] — table rendering shared by the `repro` binary.
 //!
 //! The `repro` binary drives full thread sweeps and prints one table per
@@ -17,11 +20,14 @@
 #![warn(missing_docs)]
 
 pub mod arrbench;
+pub mod filebench;
 pub mod metisbench;
 pub mod report;
+pub mod rng;
 pub mod skipbench;
 
 pub use arrbench::{ArrBenchConfig, ArrBenchResult, LockVariant, RangePolicy};
+pub use filebench::{FileBenchConfig, FileBenchResult, FileLockVariant, OffsetDist};
 pub use metisbench::{figure5, figure6, measure, MetisMeasurement, MetisScale};
 pub use report::{Table, TableRow};
 pub use skipbench::{SkipBenchConfig, SkipBenchResult, SkipListVariant};

@@ -15,6 +15,8 @@ use range_lock::ListRangeLock;
 use rl_baselines::TreeRangeLock;
 use rl_skiplist::{OptimisticSkipList, RangeSkipList};
 
+use crate::rng::xorshift;
+
 /// The three skip-list variants of Figure 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SkipListVariant {
@@ -154,16 +156,6 @@ fn build_set(variant: SkipListVariant) -> Arc<dyn SetUnderTest> {
         SkipListVariant::RangeLustre => Arc::new(RangeSkipList::with_lock(TreeRangeLock::new())),
         SkipListVariant::RangeList => Arc::new(RangeSkipList::with_lock(ListRangeLock::new())),
     }
-}
-
-#[inline]
-fn xorshift(state: &mut u64) -> u64 {
-    let mut x = *state;
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    *state = x;
-    x
 }
 
 /// Runs one skip-list benchmark point.

@@ -72,4 +72,4 @@ pub use fairness::{FairnessGate, FairnessPermit};
 pub use mutex_list::{ListLockConfig, ListRangeGuard, ListRangeLock};
 pub use range::Range;
 pub use rw_list::{RwListRangeGuard, RwListRangeLock};
-pub use traits::{RangeLock, RwRangeLock};
+pub use traits::{ExclusiveAsRw, RangeLock, RwRangeLock};

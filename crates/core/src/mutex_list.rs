@@ -516,6 +516,12 @@ pub struct ListRangeGuard<'a> {
     fast: bool,
 }
 
+// SAFETY: Releasing from another thread only performs atomic operations on the
+// shared list (mark/CAS) and retires the node into the *releasing* thread's
+// epoch pool, so a guard may be moved across threads. (The raw `node` pointer
+// is what suppresses the automatic impl.)
+unsafe impl Send for ListRangeGuard<'_> {}
+
 impl ListRangeGuard<'_> {
     /// The range this guard protects.
     pub fn range(&self) -> Range {
@@ -544,6 +550,10 @@ impl RangeLock for ListRangeLock {
 
     fn acquire(&self, range: Range) -> Self::Guard<'_> {
         ListRangeLock::acquire(self, range)
+    }
+
+    fn try_acquire(&self, range: Range) -> Option<Self::Guard<'_>> {
+        ListRangeLock::try_acquire(self, range)
     }
 
     fn name(&self) -> &'static str {

@@ -152,6 +152,24 @@ impl RwListRangeLock {
         self.write(Range::FULL)
     }
 
+    /// Attempts to acquire `range` in shared mode without waiting.
+    ///
+    /// Returns `None` if a conflicting writer is currently held. Like
+    /// [`ListRangeLock::try_acquire`](crate::ListRangeLock::try_acquire),
+    /// the attempt is bounded and may fail spuriously while the list is being
+    /// modified concurrently.
+    pub fn try_read(&self, range: Range) -> Option<RwListRangeGuard<'_>> {
+        self.try_acquire(range, true)
+    }
+
+    /// Attempts to acquire `range` in exclusive mode without waiting.
+    ///
+    /// Returns `None` if any overlapping range is currently held; see
+    /// [`RwListRangeLock::try_read`] for the spurious-failure caveat.
+    pub fn try_write(&self, range: Range) -> Option<RwListRangeGuard<'_>> {
+        self.try_acquire(range, false)
+    }
+
     /// Returns the number of currently held (not logically deleted) ranges.
     pub fn held_ranges(&self) -> usize {
         let _pin = reclaim::pin();
@@ -227,6 +245,160 @@ impl RwListRangeLock {
                 };
             }
             contended = true;
+        }
+    }
+
+    /// One bounded acquisition attempt: never waits and never restarts after
+    /// losing a race, mirroring `try_insert_once` of the exclusive lock.
+    fn try_acquire(&self, range: Range, reader: bool) -> Option<RwListRangeGuard<'_>> {
+        // Fast path: empty list.
+        if self.config.fast_path && self.head.load(Ordering::Acquire) == 0 {
+            let node = reclaim::alloc_node(range, reader);
+            // SAFETY: `node` is exclusively owned until published.
+            let node_ptr = unsafe { to_ptr(&*node) };
+            if self
+                .head
+                .compare_exchange(0, mark(node_ptr), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(RwListRangeGuard {
+                    lock: self,
+                    node,
+                    fast: true,
+                });
+            }
+            // Lost the race; discard the never-published node and take the
+            // regular bounded attempt below.
+            // SAFETY: The node was never published to the list.
+            unsafe { reclaim::free_node_now(node) };
+        }
+
+        let node = reclaim::alloc_node(range, reader);
+        // SAFETY: `node` is owned by us until published; once published it is
+        // not released before this function returns.
+        let lock_node = unsafe { &*node };
+        let _pin = reclaim::pin();
+        let mut prev: &AtomicU64 = &self.head;
+        let mut cur = prev.load(Ordering::Acquire);
+        loop {
+            if is_marked(cur) {
+                if std::ptr::eq(prev, &self.head) {
+                    let _ = self.head.compare_exchange(
+                        cur,
+                        unmark(cur),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    cur = prev.load(Ordering::Acquire);
+                    continue;
+                }
+                // Our predecessor was released under us; a blocking
+                // acquisition would restart, a bounded one gives up.
+                // SAFETY: The node was never published to the list.
+                unsafe { reclaim::free_node_now(node) };
+                return None;
+            }
+            // SAFETY: Pinned; `cur` was read from a reachable `next` pointer.
+            let cur_node = unsafe { deref_node(cur) };
+            if let Some(cn) = cur_node {
+                let cn_next = cn.next.load(Ordering::Acquire);
+                if is_marked(cn_next) {
+                    let next = unmark(cn_next);
+                    if prev
+                        .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        // SAFETY: `cur` is unlinked; readers are epoch-protected.
+                        unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
+                    }
+                    cur = next;
+                    continue;
+                }
+            }
+            match compare_rw(cur_node, lock_node) {
+                Cmp::CurBeforeLock => {
+                    let cn = cur_node.expect("CurBeforeLock implies a live node");
+                    prev = &cn.next;
+                    cur = prev.load(Ordering::Acquire);
+                }
+                Cmp::Conflict => {
+                    // SAFETY: The node was never published to the list.
+                    unsafe { reclaim::free_node_now(node) };
+                    return None;
+                }
+                Cmp::CurAfterLock => {
+                    lock_node.next.store(cur, Ordering::Relaxed);
+                    if prev
+                        .compare_exchange(
+                            cur,
+                            to_ptr(lock_node),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        let acquired = if reader {
+                            // A reader that meets an overlapping writer during
+                            // validation would have to wait; bail out instead.
+                            let ok = self.try_r_validate(lock_node);
+                            if !ok {
+                                lock_node.mark_deleted();
+                            }
+                            ok
+                        } else {
+                            // Writer validation never waits: it either
+                            // succeeds or marks the node deleted itself.
+                            let mut contended = false;
+                            self.w_validate(lock_node, &mut contended)
+                        };
+                        return if acquired {
+                            Some(RwListRangeGuard {
+                                lock: self,
+                                node,
+                                fast: false,
+                            })
+                        } else {
+                            None
+                        };
+                    }
+                    cur = prev.load(Ordering::Acquire);
+                }
+            }
+        }
+    }
+
+    /// Bounded variant of [`RwListRangeLock::r_validate`]: returns `false`
+    /// instead of waiting when an overlapping live writer is found.
+    fn try_r_validate(&self, lock_node: &LNode) -> bool {
+        let mut prev: &AtomicU64 = &lock_node.next;
+        let mut cur = unmark(prev.load(Ordering::Acquire));
+        loop {
+            // SAFETY: Pinned (the caller holds the pin across validation).
+            let cur_node = match unsafe { deref_node(cur) } {
+                None => return true,
+                Some(n) => n,
+            };
+            if cur_node.start >= lock_node.end {
+                return true;
+            }
+            let cn_next = cur_node.next.load(Ordering::Acquire);
+            if is_marked(cn_next) {
+                let next = unmark(cn_next);
+                if prev
+                    .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // SAFETY: Unlinked; epoch-protected readers may linger.
+                    unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
+                }
+                cur = next;
+            } else if cur_node.reader {
+                prev = &cur_node.next;
+                cur = unmark(prev.load(Ordering::Acquire));
+            } else {
+                // Overlapping live writer: a blocking reader would wait here.
+                return false;
+            }
         }
     }
 
@@ -373,7 +545,10 @@ impl RwListRangeLock {
                 None => return,
                 Some(n) => n,
             };
-            if cur_node.start > lock_node.end {
+            // Ranges are half-open, so a node starting exactly at our end is
+            // disjoint; `>` here would make the reader wait out an *adjacent*
+            // writer (which may never release under a lock-table workload).
+            if cur_node.start >= lock_node.end {
                 return;
             }
             let cn_next = cur_node.next.load(Ordering::Acquire);
@@ -501,6 +676,12 @@ pub struct RwListRangeGuard<'a> {
     fast: bool,
 }
 
+// SAFETY: Releasing from another thread only performs atomic operations on the
+// shared list (mark/CAS) and retires the node into the *releasing* thread's
+// epoch pool, so a guard may be moved across threads. (The raw `node` pointer
+// is what suppresses the automatic impl.)
+unsafe impl Send for RwListRangeGuard<'_> {}
+
 impl RwListRangeGuard<'_> {
     /// The range this guard protects.
     pub fn range(&self) -> Range {
@@ -540,6 +721,14 @@ impl RwRangeLock for RwListRangeLock {
 
     fn write(&self, range: Range) -> Self::WriteGuard<'_> {
         RwListRangeLock::write(self, range)
+    }
+
+    fn try_read(&self, range: Range) -> Option<Self::ReadGuard<'_>> {
+        RwListRangeLock::try_read(self, range)
+    }
+
+    fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
+        RwListRangeLock::try_write(self, range)
     }
 
     fn name(&self) -> &'static str {
@@ -724,6 +913,97 @@ mod tests {
             writer.join().unwrap();
             assert_eq!(violations.load(StdOrdering::SeqCst), 0);
         }
+    }
+
+    #[test]
+    fn reader_adjacent_to_held_writer_does_not_wait() {
+        // Regression test: ranges are half-open, so a reader ending exactly
+        // where a held writer starts is disjoint and must acquire
+        // immediately (r_validate used to wait for the adjacent writer).
+        let lock = RwListRangeLock::new();
+        let w = lock.write(Range::new(185, 214));
+        let r = lock.read(Range::new(166, 185));
+        drop(r);
+        let r2 = lock
+            .try_read(Range::new(166, 185))
+            .expect("adjacent reader");
+        drop(r2);
+        drop(w);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn try_read_try_write_respect_conflicts() {
+        let lock = RwListRangeLock::new();
+        // Empty lock: both modes succeed via the fast path.
+        drop(lock.try_read(Range::new(0, 10)).expect("uncontended read"));
+        drop(
+            lock.try_write(Range::new(0, 10))
+                .expect("uncontended write"),
+        );
+
+        // Readers share; writers are rejected while an overlapping reader or
+        // writer is held, and succeed on disjoint ranges.
+        let r = lock.read(Range::new(0, 100));
+        let r2 = lock.try_read(Range::new(50, 150)).expect("readers share");
+        assert!(lock.try_write(Range::new(50, 150)).is_none());
+        assert!(lock.try_write(Range::new(200, 300)).is_some());
+        drop(r);
+        drop(r2);
+
+        let w = lock.write(Range::new(0, 100));
+        assert!(lock.try_read(Range::new(50, 150)).is_none());
+        assert!(lock.try_write(Range::new(50, 150)).is_none());
+        drop(w);
+        assert!(lock.try_write(Range::new(50, 150)).is_some());
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn try_acquire_stress_never_violates_exclusion() {
+        const THREADS: usize = 4;
+        const ITERS: usize = 400;
+        let lock = Arc::new(RwListRangeLock::new());
+        let readers_inside = Arc::new(AtomicI64::new(0));
+        let writer_inside = Arc::new(AtomicI64::new(0));
+        let violations = Arc::new(StdAtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let readers_inside = Arc::clone(&readers_inside);
+            let writer_inside = Arc::clone(&writer_inside);
+            let violations = Arc::clone(&violations);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let start = ((t * 7 + i * 11) % 60) as u64 * 4;
+                    let range = Range::new(start, start + 300);
+                    if (t + i) % 3 == 0 {
+                        if let Some(g) = lock.try_write(range) {
+                            writer_inside.fetch_add(1, StdOrdering::SeqCst);
+                            if writer_inside.load(StdOrdering::SeqCst) != 1
+                                || readers_inside.load(StdOrdering::SeqCst) != 0
+                            {
+                                violations.fetch_add(1, StdOrdering::SeqCst);
+                            }
+                            writer_inside.fetch_sub(1, StdOrdering::SeqCst);
+                            drop(g);
+                        }
+                    } else if let Some(g) = lock.try_read(range) {
+                        readers_inside.fetch_add(1, StdOrdering::SeqCst);
+                        if writer_inside.load(StdOrdering::SeqCst) != 0 {
+                            violations.fetch_add(1, StdOrdering::SeqCst);
+                        }
+                        readers_inside.fetch_sub(1, StdOrdering::SeqCst);
+                        drop(g);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(violations.load(StdOrdering::SeqCst), 0);
+        assert!(lock.is_quiescent());
     }
 
     #[test]

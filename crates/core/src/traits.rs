@@ -26,6 +26,18 @@ pub trait RangeLock: Send + Sync {
         self.acquire(Range::FULL)
     }
 
+    /// Attempts to acquire exclusive access to `range` without waiting.
+    ///
+    /// Returns `None` if an overlapping range is held (implementations may
+    /// also fail spuriously under concurrent list/tree modification). The
+    /// default implementation always fails, so implementations that cannot
+    /// provide a bounded attempt remain valid; every lock in this workspace
+    /// overrides it.
+    fn try_acquire(&self, range: Range) -> Option<Self::Guard<'_>> {
+        let _ = range;
+        None
+    }
+
     /// Short, stable identifier used by the benchmark harness
     /// (e.g. `"list-ex"`, `"lustre-ex"`).
     fn name(&self) -> &'static str;
@@ -59,9 +71,99 @@ pub trait RwRangeLock: Send + Sync {
         self.write(Range::FULL)
     }
 
+    /// Attempts to acquire `range` in shared mode without waiting.
+    ///
+    /// Returns `None` if a conflicting (writer) range is held; like
+    /// [`RangeLock::try_acquire`], implementations may fail spuriously under
+    /// concurrent modification, and the default implementation always fails.
+    fn try_read(&self, range: Range) -> Option<Self::ReadGuard<'_>> {
+        let _ = range;
+        None
+    }
+
+    /// Attempts to acquire `range` in exclusive mode without waiting.
+    ///
+    /// Returns `None` if any overlapping range is held; see
+    /// [`RwRangeLock::try_read`] for the spurious-failure caveat.
+    fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
+        let _ = range;
+        None
+    }
+
     /// Short, stable identifier used by the benchmark harness
     /// (e.g. `"list-rw"`, `"kernel-rw"`, `"pnova-rw"`).
     fn name(&self) -> &'static str;
+}
+
+/// Adapts an exclusive [`RangeLock`] to the [`RwRangeLock`] interface by
+/// treating every acquisition — shared or exclusive — as exclusive.
+///
+/// This lets the file subsystem and the `filebench` sweep drive the
+/// exclusive-only variants (`list-ex`, `lustre-ex`) through the same generic
+/// code as the reader-writer locks, exposing exactly the cost the paper
+/// motivates: readers that could share instead serialize.
+///
+/// # Examples
+///
+/// ```
+/// use range_lock::{ExclusiveAsRw, ListRangeLock, Range, RwRangeLock};
+///
+/// let lock = ExclusiveAsRw::new(ListRangeLock::new());
+/// let r = lock.read(Range::new(0, 10)); // really exclusive
+/// drop(r);
+/// let _w = lock.write(Range::new(0, 10));
+/// ```
+#[derive(Debug, Default)]
+pub struct ExclusiveAsRw<L: RangeLock> {
+    inner: L,
+}
+
+impl<L: RangeLock> ExclusiveAsRw<L> {
+    /// Wraps an exclusive lock.
+    pub fn new(inner: L) -> Self {
+        ExclusiveAsRw { inner }
+    }
+
+    /// Returns the wrapped lock.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+
+    /// Borrows the wrapped lock.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+}
+
+impl<L: RangeLock> RwRangeLock for ExclusiveAsRw<L> {
+    type ReadGuard<'a>
+        = L::Guard<'a>
+    where
+        Self: 'a;
+    type WriteGuard<'a>
+        = L::Guard<'a>
+    where
+        Self: 'a;
+
+    fn read(&self, range: Range) -> Self::ReadGuard<'_> {
+        self.inner.acquire(range)
+    }
+
+    fn write(&self, range: Range) -> Self::WriteGuard<'_> {
+        self.inner.acquire(range)
+    }
+
+    fn try_read(&self, range: Range) -> Option<Self::ReadGuard<'_>> {
+        self.inner.try_acquire(range)
+    }
+
+    fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
+        self.inner.try_acquire(range)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
 }
 
 #[cfg(test)]
@@ -74,5 +176,36 @@ mod tests {
         let lock = ListRangeLock::new();
         let g = RangeLock::acquire_full(&lock);
         assert_eq!(g.range(), Range::FULL);
+    }
+
+    #[test]
+    fn default_try_methods_fail() {
+        // A minimal implementation that does not override the try methods.
+        struct AlwaysBlocks;
+        struct NoGuard;
+        impl RangeLock for AlwaysBlocks {
+            type Guard<'a> = NoGuard;
+            fn acquire(&self, _range: Range) -> NoGuard {
+                NoGuard
+            }
+            fn name(&self) -> &'static str {
+                "always-blocks"
+            }
+        }
+        assert!(AlwaysBlocks.try_acquire(Range::new(0, 1)).is_none());
+    }
+
+    #[test]
+    fn exclusive_as_rw_serializes_readers() {
+        let lock = ExclusiveAsRw::new(ListRangeLock::new());
+        assert_eq!(RwRangeLock::name(&lock), "list-ex");
+        let r = lock.read(Range::new(0, 10));
+        // A second "reader" conflicts: the adapter is exclusive underneath.
+        assert!(lock.try_read(Range::new(5, 15)).is_none());
+        assert!(lock.try_write(Range::new(5, 15)).is_none());
+        drop(r);
+        assert!(lock.try_read(Range::new(5, 15)).is_some());
+        assert!(lock.inner().is_quiescent());
+        let _ = lock.into_inner();
     }
 }

@@ -1,0 +1,31 @@
+//! # `rl-file` — a byte-range-locked file subsystem
+//!
+//! The paper's title promises range locks "for scalable address spaces **and
+//! beyond**"; its motivating prior work (Lustre's byte-range locks, pNOVA's
+//! per-file reader-writer segments) comes from file systems. This crate is
+//! that *beyond*: a small file subsystem whose entire concurrency story is a
+//! pluggable [`range_lock::RwRangeLock`], giving every lock variant in the
+//! workspace a second full-scale arena besides the VM simulator.
+//!
+//! Two layers:
+//!
+//! * [`LockTable`] / [`LockOwner`] — a POSIX `fcntl`-style **advisory** lock
+//!   table: named owners, shared/exclusive modes, `try_`/blocking
+//!   acquisition, range split/merge and upgrade/downgrade on re-lock, and
+//!   release-on-owner-drop, layered on top of any `RwRangeLock`;
+//! * [`FileStore`] / [`RangeFile`] — a sharded, paged, in-memory file store
+//!   whose `pread`/`pwrite`/`append`/`truncate` take the byte range they
+//!   touch on the file's range lock, with a built-in data-integrity checker
+//!   (stamped reads/writes that detect any exclusion violation) and per-
+//!   operation wait-time accounting through [`rl_sync::stats::LabeledStats`].
+//!
+//! The `filebench` sweep in `rl-bench` drives this crate across every lock
+//! variant, thread count and reader/writer mix (`repro -- filebench`).
+
+#![warn(missing_docs)]
+
+pub mod lock_table;
+pub mod store;
+
+pub use lock_table::{LockMode, LockOwner, LockRecord, LockTable, WouldBlock};
+pub use store::{FileStore, RangeFile, DEFAULT_SHARDS, PAGE_SIZE};

@@ -1,0 +1,932 @@
+//! A POSIX `fcntl`-style byte-range lock table layered over any
+//! [`RwRangeLock`].
+//!
+//! The paper's range locks hand out RAII guards: one guard, one range, one
+//! mode, released on drop. File systems expose a different contract —
+//! `fcntl(F_SETLK)` — in which a named **owner** accumulates a set of byte
+//! ranges per file, and re-locking by the same owner *replaces* whatever that
+//! owner held over the affected bytes:
+//!
+//! * locking the middle of a held range **splits** it;
+//! * locking across two adjacent held ranges **merges** them;
+//! * re-locking in the other mode **upgrades** (shared → exclusive) or
+//!   **downgrades** (exclusive → shared) the affected bytes;
+//! * unlocking is just "replace with nothing";
+//! * dropping the owner releases everything it still holds.
+//!
+//! [`LockTable`] implements that contract *on top of* the generic
+//! [`RwRangeLock`] trait, so the same table runs over the paper's
+//! `RwListRangeLock`, the kernel's `kernel-rw` tree lock, or the `pnova-rw`
+//! segment lock interchangeably — the underlying lock remains the one and
+//! only exclusion mechanism between owners.
+//!
+//! # How records map onto the underlying lock
+//!
+//! Every committed record (one owner, one range, one mode) is backed by one
+//! or more **tiles**: held guards of the underlying lock whose ranges are
+//! disjoint and exactly cover the record. Two conflicting records can
+//! therefore never coexist: their backing guards would conflict. Re-lock
+//! operations detach the owner's overlapping records, keep the tiles that lie
+//! entirely outside the re-locked span, release the rest, and acquire fresh
+//! guards for the gaps and the new span — in ascending range order, which
+//! keeps concurrent multi-piece transactions from deadlocking against each
+//! other.
+//!
+//! # Fidelity caveats (vs. an in-kernel `fcntl`)
+//!
+//! * **Re-lock and partial unlock are not atomic.** The kernel edits its
+//!   lock list under one spinlock; a guard-based composition must release a
+//!   guard before it can re-acquire a sub-range or the other mode, so a
+//!   waiting owner can slip in between the release and the re-acquisition
+//!   (POSIX itself warns that an upgrade may block and that the old lock may
+//!   be lost when it does). The same window applies to the *retained edges*
+//!   of a split: unlocking the middle of a held range re-acquires the two
+//!   ends, and a queued waiter can seize an end first — the unlock then
+//!   waits for it, and the owner's exclusion over that edge has a gap.
+//! * **`try_lock` is non-blocking only for the requested span.** The
+//!   conflict *decision* never waits: a request that conflicts with a
+//!   committed record fails immediately, leaving the table unchanged. But a
+//!   request that is granted — or that loses a bounded-acquisition race to
+//!   an uncommitted transaction — may still wait while re-establishing the
+//!   owner's retained coverage (split edges, rollback of the originals),
+//!   exactly as in the previous bullet.
+//! * **`try_lock` conflict checks are table-level.** A conflicting guard held
+//!   by an owner whose transaction has not committed yet is detected by the
+//!   underlying lock's bounded `try_*` acquisition instead, and reported
+//!   without a conflicting-owner name.
+//! * **No `EDEADLK` detection.** As with real `fcntl`, two owners that hold
+//!   ranges and block on each other's ranges deadlock; POSIX returns
+//!   `EDEADLK` on a best-effort basis, this table leaves avoidance to the
+//!   caller.
+//!
+//! # Granularity requirement
+//!
+//! The table backs each record with guards of *exactly* the record's range,
+//! so the underlying lock must serialize only **truly overlapping** ranges —
+//! true for the list locks and the tree locks. A false-sharing lock such as
+//! `pnova-rw` conflicts at segment granularity: two disjoint records in the
+//! same segment would need two same-segment guards, which that lock cannot
+//! hold at once (a split would self-deadlock). `pnova-rw` therefore works
+//! under this table exactly when every locked range is segment-aligned — the
+//! same granularity contract pNOVA itself imposes — and the model tests
+//! exercise it at that alignment.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use range_lock::{Range, RwRangeLock};
+
+/// The two POSIX lock modes (`F_RDLCK` / `F_WRLCK`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Shared (read) lock: shared-shared pairs do not conflict.
+    Shared,
+    /// Exclusive (write) lock: conflicts with everything overlapping.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Returns `true` if two overlapping ranges in these modes conflict.
+    pub fn conflicts_with(self, other: LockMode) -> bool {
+        !(self == LockMode::Shared && other == LockMode::Shared)
+    }
+
+    /// Stable short name (`"shared"` / `"exclusive"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LockMode::Shared => "shared",
+            LockMode::Exclusive => "exclusive",
+        }
+    }
+}
+
+/// A snapshot of one committed lock-table record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockRecord {
+    /// Name of the owner holding the record.
+    pub owner: String,
+    /// The locked byte range.
+    pub range: Range,
+    /// The mode the range is held in.
+    pub mode: LockMode,
+}
+
+/// Error returned by [`LockOwner::try_lock`] when the request would have to
+/// wait (the `EAGAIN` of `fcntl(F_SETLK)`).
+#[derive(Debug, Clone)]
+pub struct WouldBlock {
+    /// The committed record the request conflicted with, when one was
+    /// identifiable at check time (the `F_GETLK` answer). `None` means the
+    /// bounded acquisition lost to a transaction that had not committed yet.
+    pub conflict: Option<LockRecord>,
+}
+
+impl fmt::Display for WouldBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.conflict {
+            Some(rec) => write!(
+                f,
+                "would block: [{}, {}) held {} by owner \"{}\"",
+                rec.range.start,
+                rec.range.end,
+                rec.mode.name(),
+                rec.owner
+            ),
+            None => write!(f, "would block: lost a bounded acquisition race"),
+        }
+    }
+}
+
+impl std::error::Error for WouldBlock {}
+
+/// Erases a guard's borrow lifetime to `'static`.
+///
+/// # Safety
+///
+/// `Src` and `Dst` must be the *same* type up to lifetimes (enforced only by
+/// the size assertion below), and the caller must guarantee that whatever the
+/// guard borrows outlives the erased value. [`LockTable`] guarantees it by
+/// keeping the underlying lock in a stable heap allocation that is freed only
+/// after every record (and therefore every guard) has been dropped.
+unsafe fn erase_lifetime<Src, Dst>(guard: Src) -> Dst {
+    assert_eq!(mem::size_of::<Src>(), mem::size_of::<Dst>());
+    // SAFETY: Same layout per the contract above; the original is forgotten
+    // so exactly one live value remains.
+    let erased = unsafe { mem::transmute_copy::<Src, Dst>(&guard) };
+    mem::forget(guard);
+    erased
+}
+
+/// A held guard of the underlying lock, in either mode.
+enum ModeGuard<L: RwRangeLock + 'static> {
+    Read(L::ReadGuard<'static>),
+    Write(L::WriteGuard<'static>),
+}
+
+/// One guard plus the range it covers. A record is backed by a set of tiles
+/// that exactly cover its range.
+struct Tile<L: RwRangeLock + 'static> {
+    range: Range,
+    #[expect(dead_code)] // held for its Drop impl only
+    guard: ModeGuard<L>,
+}
+
+/// One committed (owner, range, mode) entry.
+struct Record<L: RwRangeLock + 'static> {
+    range: Range,
+    mode: LockMode,
+    /// Disjoint, sorted, and exactly covering `range`.
+    tiles: Vec<Tile<L>>,
+}
+
+struct OwnerState<L: RwRangeLock + 'static> {
+    name: String,
+    /// Sorted by start; pairwise disjoint.
+    records: Vec<Record<L>>,
+}
+
+struct TableState<L: RwRangeLock + 'static> {
+    owners: HashMap<u64, OwnerState<L>>,
+}
+
+/// A per-file POSIX-style byte-range lock table over an [`RwRangeLock`].
+///
+/// See the [module documentation](self) for the semantics. Construct one per
+/// file, wrap it in an [`Arc`], and hand out [`LockOwner`] handles.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use range_lock::{Range, RwListRangeLock};
+/// use rl_file::{LockMode, LockTable};
+///
+/// let table = Arc::new(LockTable::new(RwListRangeLock::new()));
+/// let mut alice = table.owner("alice");
+/// let mut bob = table.owner("bob");
+///
+/// alice.lock(Range::new(0, 100), LockMode::Shared);
+/// bob.lock(Range::new(0, 100), LockMode::Shared); // shared locks coexist
+/// assert!(bob.try_lock(Range::new(50, 60), LockMode::Exclusive).is_err());
+///
+/// drop(bob); // releases everything bob held
+/// alice.lock(Range::new(40, 60), LockMode::Exclusive); // split + upgrade
+/// assert_eq!(table.held_records(), 3);
+/// ```
+pub struct LockTable<L: RwRangeLock + 'static> {
+    /// Declared (and therefore dropped) before `lock` is freed.
+    state: Mutex<TableState<L>>,
+    next_owner: AtomicU64,
+    /// Heap allocation with a stable address; guards stored in `state` borrow
+    /// it with an erased lifetime. Freed manually in `Drop`, strictly after
+    /// `state` has been cleared.
+    lock: *mut L,
+}
+
+// SAFETY: The raw pointer is a uniquely owned heap allocation (a leaked Box)
+// that only `Drop` frees; shared access to the lock itself is safe because
+// `RwRangeLock` requires `Send + Sync`. The table additionally stores guards,
+// which cross threads when records are committed or released, hence the guard
+// `Send` bounds.
+unsafe impl<L> Send for LockTable<L>
+where
+    L: RwRangeLock + 'static,
+    L::ReadGuard<'static>: Send,
+    L::WriteGuard<'static>: Send,
+{
+}
+
+// SAFETY: See the `Send` justification; all interior mutability is behind the
+// `Mutex`.
+unsafe impl<L> Sync for LockTable<L>
+where
+    L: RwRangeLock + 'static,
+    L::ReadGuard<'static>: Send,
+    L::WriteGuard<'static>: Send,
+{
+}
+
+impl<L: RwRangeLock + 'static> LockTable<L> {
+    /// Creates a table over `lock`; the table becomes the lock's only user.
+    pub fn new(lock: L) -> Self {
+        LockTable {
+            state: Mutex::new(TableState {
+                owners: HashMap::new(),
+            }),
+            next_owner: AtomicU64::new(1),
+            lock: Box::into_raw(Box::new(lock)),
+        }
+    }
+
+    fn lock_ref(&self) -> &L {
+        // SAFETY: `self.lock` is a live heap allocation until `Drop`.
+        unsafe { &*self.lock }
+    }
+
+    /// Short name of the underlying lock (`"list-rw"`, `"kernel-rw"`, …).
+    pub fn lock_name(&self) -> &'static str {
+        self.lock_ref().name()
+    }
+
+    /// Registers a new owner. Dropping the handle releases every range the
+    /// owner still holds.
+    pub fn owner(self: &Arc<Self>, name: impl Into<String>) -> LockOwner<L> {
+        let name = name.into();
+        let id = self.next_owner.fetch_add(1, Ordering::Relaxed);
+        self.state.lock().unwrap().owners.insert(
+            id,
+            OwnerState {
+                name: name.clone(),
+                records: Vec::new(),
+            },
+        );
+        LockOwner {
+            table: Arc::clone(self),
+            id,
+            name,
+        }
+    }
+
+    /// Snapshot of every committed record, sorted by (owner, start).
+    pub fn records(&self) -> Vec<LockRecord> {
+        let st = self.state.lock().unwrap();
+        let mut out: Vec<LockRecord> = st
+            .owners
+            .values()
+            .flat_map(|o| {
+                o.records.iter().map(|r| LockRecord {
+                    owner: o.name.clone(),
+                    range: r.range,
+                    mode: r.mode,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.owner, a.range.start).cmp(&(&b.owner, b.range.start)));
+        out
+    }
+
+    /// Number of committed records across all owners.
+    pub fn held_records(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        st.owners.values().map(|o| o.records.len()).sum()
+    }
+
+    /// Panics if a structural invariant is violated: per-owner records must
+    /// be sorted, disjoint, and non-empty, and each record's tiles must be
+    /// sorted, disjoint, and exactly cover the record. Used by the model
+    /// tests; cheap enough to call after every operation.
+    pub fn check_invariants(&self) {
+        let st = self.state.lock().unwrap();
+        for owner in st.owners.values() {
+            let mut prev_end: Option<u64> = None;
+            for rec in &owner.records {
+                assert!(
+                    !rec.range.is_empty(),
+                    "owner {}: empty record {:?}",
+                    owner.name,
+                    rec.range
+                );
+                if let Some(end) = prev_end {
+                    assert!(
+                        rec.range.start >= end,
+                        "owner {}: records out of order or overlapping at {:?}",
+                        owner.name,
+                        rec.range
+                    );
+                }
+                prev_end = Some(rec.range.end);
+                let mut cursor = rec.range.start;
+                for tile in &rec.tiles {
+                    assert_eq!(
+                        tile.range.start, cursor,
+                        "owner {}: tile gap in record {:?}",
+                        owner.name, rec.range
+                    );
+                    cursor = tile.range.end;
+                }
+                assert_eq!(
+                    cursor, rec.range.end,
+                    "owner {}: tiles do not cover record {:?}",
+                    owner.name, rec.range
+                );
+            }
+        }
+    }
+
+    /// Returns the first committed record of *another* owner that conflicts
+    /// with locking `range` in `mode` — the `F_GETLK` answer — or `None` if
+    /// the request would succeed against the committed table.
+    fn conflicting_record(
+        st: &TableState<L>,
+        owner_id: u64,
+        range: Range,
+        mode: LockMode,
+    ) -> Option<LockRecord> {
+        for (&id, owner) in &st.owners {
+            if id == owner_id {
+                continue;
+            }
+            for rec in &owner.records {
+                if rec.range.overlaps(&range) && mode.conflicts_with(rec.mode) {
+                    return Some(LockRecord {
+                        owner: owner.name.clone(),
+                        range: rec.range,
+                        mode: rec.mode,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn acquire_tile(&self, range: Range, mode: LockMode) -> Tile<L> {
+        let lock = self.lock_ref();
+        let guard = match mode {
+            LockMode::Shared => {
+                let g = lock.read(range);
+                // SAFETY: `g` borrows the heap lock, which outlives every
+                // tile (see `erase_lifetime` and the `Drop` impl).
+                ModeGuard::Read(unsafe {
+                    erase_lifetime::<L::ReadGuard<'_>, L::ReadGuard<'static>>(g)
+                })
+            }
+            LockMode::Exclusive => {
+                let g = lock.write(range);
+                // SAFETY: As above.
+                ModeGuard::Write(unsafe {
+                    erase_lifetime::<L::WriteGuard<'_>, L::WriteGuard<'static>>(g)
+                })
+            }
+        };
+        Tile { range, guard }
+    }
+
+    fn try_acquire_tile(&self, range: Range, mode: LockMode) -> Option<Tile<L>> {
+        let lock = self.lock_ref();
+        let guard = match mode {
+            LockMode::Shared => {
+                let g = lock.try_read(range)?;
+                // SAFETY: As in `acquire_tile`.
+                ModeGuard::Read(unsafe {
+                    erase_lifetime::<L::ReadGuard<'_>, L::ReadGuard<'static>>(g)
+                })
+            }
+            LockMode::Exclusive => {
+                let g = lock.try_write(range)?;
+                // SAFETY: As in `acquire_tile`.
+                ModeGuard::Write(unsafe {
+                    erase_lifetime::<L::WriteGuard<'_>, L::WriteGuard<'static>>(g)
+                })
+            }
+        };
+        Some(Tile { range, guard })
+    }
+
+    /// Re-inserts records for `owner_id` and coalesces adjacent same-mode
+    /// records (POSIX merges touching locks of equal type).
+    fn commit(&self, owner_id: u64, mut new_records: Vec<Record<L>>) {
+        let mut st = self.state.lock().unwrap();
+        let owner = st
+            .owners
+            .get_mut(&owner_id)
+            .expect("commit for an unregistered owner");
+        owner.records.append(&mut new_records);
+        owner.records.sort_by_key(|r| r.range.start);
+        let mut i = 0;
+        while i + 1 < owner.records.len() {
+            if owner.records[i].range.end == owner.records[i + 1].range.start
+                && owner.records[i].mode == owner.records[i + 1].mode
+            {
+                let mut next = owner.records.remove(i + 1);
+                owner.records[i].range.end = next.range.end;
+                owner.records[i].tiles.append(&mut next.tiles);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The heart of the table: replaces whatever `owner_id` holds over
+    /// `target` with `op` (`Some(mode)` to lock, `None` to unlock).
+    ///
+    /// Returns `Err` only on a non-blocking request that would have to wait;
+    /// the table is then left exactly as it was.
+    fn set_lock(
+        &self,
+        owner_id: u64,
+        target: Range,
+        op: Option<LockMode>,
+        blocking: bool,
+    ) -> Result<(), WouldBlock> {
+        if target.is_empty() {
+            return Ok(());
+        }
+
+        // Phase A (table mutex held): fail-fast conflict check, then detach
+        // the owner's overlapping records, sorting their tiles into those
+        // kept (entirely outside `target`) and those released here.
+        struct Shape {
+            range: Range,
+            mode: LockMode,
+            is_target: bool,
+        }
+        let mut kept: Vec<Tile<L>> = Vec::new();
+        let mut shapes: Vec<Shape> = Vec::new();
+        let mut originals: Vec<(Range, LockMode)> = Vec::new();
+        {
+            let mut st = self.state.lock().unwrap();
+            if let Some(mode) = op {
+                if !blocking {
+                    if let Some(conflict) = Self::conflicting_record(&st, owner_id, target, mode) {
+                        return Err(WouldBlock {
+                            conflict: Some(conflict),
+                        });
+                    }
+                }
+                // No-op fast path: the span is already held in this mode.
+                let owner = st
+                    .owners
+                    .get(&owner_id)
+                    .expect("operation on an unregistered owner");
+                if owner.records.iter().any(|r| {
+                    r.mode == mode && r.range.start <= target.start && r.range.end >= target.end
+                }) {
+                    return Ok(());
+                }
+            }
+            let owner = st
+                .owners
+                .get_mut(&owner_id)
+                .expect("operation on an unregistered owner");
+            let mut detached = Vec::new();
+            let mut i = 0;
+            while i < owner.records.len() {
+                if owner.records[i].range.overlaps(&target) {
+                    detached.push(owner.records.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            if detached.is_empty() && op.is_none() {
+                return Ok(());
+            }
+            for rec in detached {
+                originals.push((rec.range, rec.mode));
+                if rec.range.start < target.start {
+                    shapes.push(Shape {
+                        range: Range::new(rec.range.start, target.start),
+                        mode: rec.mode,
+                        is_target: false,
+                    });
+                }
+                if rec.range.end > target.end {
+                    shapes.push(Shape {
+                        range: Range::new(target.end, rec.range.end),
+                        mode: rec.mode,
+                        is_target: false,
+                    });
+                }
+                for tile in rec.tiles {
+                    if tile.range.end <= target.start || tile.range.start >= target.end {
+                        kept.push(tile);
+                    }
+                    // Tiles overlapping `target` are dropped here, releasing
+                    // their guards so the span can be re-acquired below.
+                }
+            }
+            if let Some(mode) = op {
+                shapes.push(Shape {
+                    range: target,
+                    mode,
+                    is_target: true,
+                });
+            }
+        }
+        kept.sort_by_key(|t| t.range.start);
+
+        // Compute the guard gaps: sub-ranges of each shape not covered by a
+        // kept tile (the target is never covered by kept tiles).
+        let mut need: Vec<(Range, LockMode, bool)> = Vec::new();
+        for shape in &shapes {
+            let mut cursor = shape.range.start;
+            for tile in kept
+                .iter()
+                .filter(|t| t.range.start >= shape.range.start && t.range.end <= shape.range.end)
+            {
+                if tile.range.start > cursor {
+                    need.push((Range::new(cursor, tile.range.start), shape.mode, false));
+                }
+                cursor = tile.range.end;
+            }
+            if cursor < shape.range.end {
+                need.push((
+                    Range::new(cursor, shape.range.end),
+                    shape.mode,
+                    shape.is_target,
+                ));
+            }
+        }
+        need.sort_by_key(|(r, _, _)| r.start);
+
+        // Phase B (no mutex held): acquire the missing guards in ascending
+        // range order. Only the target itself honors `blocking == false`;
+        // gaps restore coverage the owner already held and always block.
+        let mut acquired: Vec<Tile<L>> = Vec::new();
+        let mut lost_race = false;
+        for &(range, mode, is_target) in &need {
+            if is_target && !blocking {
+                match self.try_acquire_tile(range, mode) {
+                    Some(t) => acquired.push(t),
+                    None => {
+                        lost_race = true;
+                        break;
+                    }
+                }
+            } else {
+                acquired.push(self.acquire_tile(range, mode));
+            }
+        }
+
+        if lost_race {
+            // Roll back: drop every guard of this transaction, then restore
+            // the original records from scratch (ascending, blocking — the
+            // spans were held by this owner moments ago).
+            kept.clear();
+            acquired.clear();
+            let restored = originals
+                .iter()
+                .map(|&(range, mode)| Record {
+                    range,
+                    mode,
+                    tiles: vec![self.acquire_tile(range, mode)],
+                })
+                .collect();
+            self.commit(owner_id, restored);
+            return Err(WouldBlock { conflict: None });
+        }
+
+        // Phase C: assemble the records and commit them.
+        let mut pool: Vec<Tile<L>> = kept;
+        pool.append(&mut acquired);
+        pool.sort_by_key(|t| t.range.start);
+        let records = shapes
+            .into_iter()
+            .map(|shape| {
+                let mut tiles = Vec::new();
+                let mut rest = Vec::new();
+                for tile in pool.drain(..) {
+                    if tile.range.start >= shape.range.start && tile.range.end <= shape.range.end {
+                        tiles.push(tile);
+                    } else {
+                        rest.push(tile);
+                    }
+                }
+                pool = rest;
+                Record {
+                    range: shape.range,
+                    mode: shape.mode,
+                    tiles,
+                }
+            })
+            .collect();
+        debug_assert!(pool.is_empty(), "unassigned tiles after a transaction");
+        self.commit(owner_id, records);
+        Ok(())
+    }
+
+    fn release_owner(&self, owner_id: u64) {
+        // Removing the state drops every record and therefore every guard.
+        self.state.lock().unwrap().owners.remove(&owner_id);
+    }
+}
+
+impl<L: RwRangeLock + 'static> Drop for LockTable<L> {
+    fn drop(&mut self) {
+        // Drop every guard before freeing the lock they borrow.
+        self.state.lock().unwrap().owners.clear();
+        // SAFETY: Created by `Box::into_raw` in `new`; freed exactly once,
+        // and no guard referencing it remains.
+        unsafe { drop(Box::from_raw(self.lock)) };
+    }
+}
+
+impl<L: RwRangeLock + 'static> fmt::Debug for LockTable<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockTable")
+            .field("lock", &self.lock_name())
+            .field("held_records", &self.held_records())
+            .finish()
+    }
+}
+
+/// A registered lock owner (the analogue of a process id in `fcntl`).
+///
+/// All mutating operations take `&mut self`: POSIX serializes a process's
+/// `fcntl` calls in the kernel, and the borrow checker provides the same
+/// one-transaction-at-a-time guarantee per owner for free. Dropping the
+/// handle releases everything the owner still holds.
+pub struct LockOwner<L: RwRangeLock + 'static> {
+    table: Arc<LockTable<L>>,
+    id: u64,
+    name: String,
+}
+
+impl<L: RwRangeLock + 'static> LockOwner<L> {
+    /// The owner's name, as passed to [`LockTable::owner`].
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table this owner is registered with.
+    pub fn table(&self) -> &Arc<LockTable<L>> {
+        &self.table
+    }
+
+    /// Locks `range` in `mode`, waiting for conflicting owners
+    /// (`fcntl(F_SETLKW)`). Replaces whatever this owner held over `range`:
+    /// splits, merges, upgrades and downgrades as described in the
+    /// [module documentation](self).
+    pub fn lock(&mut self, range: Range, mode: LockMode) {
+        self.table
+            .set_lock(self.id, range, Some(mode), true)
+            .expect("blocking set_lock cannot fail");
+    }
+
+    /// Locks `range` in `mode` without waiting for the requested span
+    /// (`fcntl(F_SETLK)`); on conflict the table is left unchanged.
+    ///
+    /// "Without waiting" covers the conflict decision on `range` itself;
+    /// re-establishing coverage this owner already held (split edges, or the
+    /// rollback after losing a bounded-acquisition race) may still wait —
+    /// see the fidelity caveats in the [module documentation](self).
+    pub fn try_lock(&mut self, range: Range, mode: LockMode) -> Result<(), WouldBlock> {
+        self.table.set_lock(self.id, range, Some(mode), false)
+    }
+
+    /// Releases whatever this owner holds inside `range` (`F_UNLCK`),
+    /// splitting boundary records. Unlike POSIX, re-securing the retained
+    /// edges of a split may wait behind a queued waiter — see the fidelity
+    /// caveats in the [module documentation](self).
+    pub fn unlock(&mut self, range: Range) {
+        self.table
+            .set_lock(self.id, range, None, true)
+            .expect("unlock cannot fail");
+    }
+
+    /// Releases every range this owner holds.
+    pub fn unlock_all(&mut self) {
+        self.unlock(Range::FULL);
+    }
+
+    /// The `F_GETLK` probe: the first committed record of another owner that
+    /// would make `lock(range, mode)` wait, if any.
+    pub fn would_block(&self, range: Range, mode: LockMode) -> Option<LockRecord> {
+        let st = self.table.state.lock().unwrap();
+        LockTable::conflicting_record(&st, self.id, range, mode)
+    }
+
+    /// Snapshot of this owner's committed records, sorted by start.
+    pub fn held(&self) -> Vec<(Range, LockMode)> {
+        let st = self.table.state.lock().unwrap();
+        st.owners
+            .get(&self.id)
+            .map(|o| o.records.iter().map(|r| (r.range, r.mode)).collect())
+            .unwrap_or_default()
+    }
+}
+
+impl<L: RwRangeLock + 'static> Drop for LockOwner<L> {
+    fn drop(&mut self) {
+        self.table.release_owner(self.id);
+    }
+}
+
+impl<L: RwRangeLock + 'static> fmt::Debug for LockOwner<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockOwner")
+            .field("name", &self.name)
+            .field("held", &self.held().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use range_lock::RwListRangeLock;
+
+    fn table() -> Arc<LockTable<RwListRangeLock>> {
+        Arc::new(LockTable::new(RwListRangeLock::new()))
+    }
+
+    fn held_of<L: RwRangeLock>(o: &LockOwner<L>) -> Vec<(u64, u64, LockMode)> {
+        o.held()
+            .into_iter()
+            .map(|(r, m)| (r.start, r.end, m))
+            .collect()
+    }
+
+    #[test]
+    fn lock_unlock_round_trip() {
+        let t = table();
+        let mut a = t.owner("a");
+        a.lock(Range::new(0, 100), LockMode::Shared);
+        assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
+        a.unlock(Range::new(0, 100));
+        assert!(a.held().is_empty());
+        assert_eq!(t.held_records(), 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn unlock_middle_splits() {
+        let t = table();
+        let mut a = t.owner("a");
+        a.lock(Range::new(0, 100), LockMode::Exclusive);
+        a.unlock(Range::new(40, 60));
+        assert_eq!(
+            held_of(&a),
+            vec![(0, 40, LockMode::Exclusive), (60, 100, LockMode::Exclusive)]
+        );
+        t.check_invariants();
+    }
+
+    #[test]
+    fn adjacent_same_mode_locks_merge() {
+        let t = table();
+        let mut a = t.owner("a");
+        a.lock(Range::new(0, 50), LockMode::Shared);
+        a.lock(Range::new(50, 100), LockMode::Shared);
+        assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
+        // Different mode does not merge.
+        a.lock(Range::new(100, 150), LockMode::Exclusive);
+        assert_eq!(
+            held_of(&a),
+            vec![(0, 100, LockMode::Shared), (100, 150, LockMode::Exclusive)]
+        );
+        t.check_invariants();
+    }
+
+    #[test]
+    fn upgrade_middle_splits_modes() {
+        let t = table();
+        let mut a = t.owner("a");
+        a.lock(Range::new(0, 100), LockMode::Shared);
+        a.lock(Range::new(40, 60), LockMode::Exclusive);
+        assert_eq!(
+            held_of(&a),
+            vec![
+                (0, 40, LockMode::Shared),
+                (40, 60, LockMode::Exclusive),
+                (60, 100, LockMode::Shared)
+            ]
+        );
+        // Downgrade back: everything merges into one shared record again.
+        a.lock(Range::new(40, 60), LockMode::Shared);
+        assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn relock_inside_same_mode_is_noop() {
+        let t = table();
+        let mut a = t.owner("a");
+        a.lock(Range::new(0, 100), LockMode::Shared);
+        a.lock(Range::new(20, 30), LockMode::Shared);
+        assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn cross_owner_conflicts_and_getlk() {
+        let t = table();
+        let mut a = t.owner("alice");
+        let mut b = t.owner("bob");
+        a.lock(Range::new(0, 100), LockMode::Shared);
+        b.lock(Range::new(50, 150), LockMode::Shared);
+
+        let err = b
+            .try_lock(Range::new(60, 80), LockMode::Exclusive)
+            .unwrap_err();
+        let conflict = err.conflict.expect("conflicting record is known");
+        assert_eq!(conflict.owner, "alice");
+        assert_eq!(conflict.mode, LockMode::Shared);
+        assert_eq!(
+            b.would_block(Range::new(60, 80), LockMode::Exclusive)
+                .unwrap()
+                .owner,
+            "alice"
+        );
+        assert!(b
+            .would_block(Range::new(100, 120), LockMode::Exclusive)
+            .is_none());
+
+        // The failed try left both owners' tables unchanged.
+        assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
+        assert_eq!(held_of(&b), vec![(50, 150, LockMode::Shared)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn owner_drop_releases_everything() {
+        let t = table();
+        let mut a = t.owner("a");
+        let mut b = t.owner("b");
+        a.lock(Range::new(0, 10), LockMode::Exclusive);
+        a.lock(Range::new(20, 30), LockMode::Shared);
+        assert!(b.try_lock(Range::new(5, 25), LockMode::Exclusive).is_err());
+        drop(a);
+        assert_eq!(t.held_records(), 0);
+        b.try_lock(Range::new(5, 25), LockMode::Exclusive).unwrap();
+        t.check_invariants();
+    }
+
+    #[test]
+    fn blocking_lock_waits_for_conflicting_owner() {
+        let t = table();
+        let mut a = t.owner("a");
+        a.lock(Range::new(0, 100), LockMode::Exclusive);
+        let t2 = Arc::clone(&t);
+        let started = std::time::Instant::now();
+        let handle = std::thread::spawn(move || {
+            let mut b = t2.owner("b");
+            b.lock(Range::new(50, 150), LockMode::Exclusive);
+            started.elapsed()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        a.unlock_all();
+        let waited = handle.join().unwrap();
+        assert!(waited >= std::time::Duration::from_millis(20));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn records_snapshot_names_owners() {
+        let t = table();
+        let mut a = t.owner("alice");
+        let mut b = t.owner("bob");
+        a.lock(Range::new(0, 10), LockMode::Shared);
+        b.lock(Range::new(10, 20), LockMode::Exclusive);
+        let records = t.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].owner, "alice");
+        assert_eq!(records[1].owner, "bob");
+        assert_eq!(records[1].mode, LockMode::Exclusive);
+        a.unlock_all();
+        b.unlock_all();
+    }
+
+    #[test]
+    fn empty_range_operations_are_noops() {
+        let t = table();
+        let mut a = t.owner("a");
+        a.lock(Range::new(10, 10), LockMode::Exclusive);
+        assert!(a.held().is_empty());
+        a.unlock(Range::new(5, 5));
+        a.try_lock(Range::new(7, 7), LockMode::Shared).unwrap();
+        assert_eq!(t.held_records(), 0);
+    }
+}

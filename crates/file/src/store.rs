@@ -1,0 +1,681 @@
+//! A sharded, paged, in-memory file store whose only concurrency control is a
+//! range lock.
+//!
+//! [`RangeFile`] is the data-plane counterpart of the [`crate::LockTable`]:
+//! where the table reproduces the *advisory* `fcntl` interface, the file
+//! reproduces the *mandatory* exclusion a file system needs internally —
+//! every `pread`/`pwrite`/`append`/`truncate` takes the byte range it touches
+//! on the file's [`RwRangeLock`], so disjoint operations run in parallel and
+//! overlapping reader/writer pairs serialize. This is the workload the range
+//! locks were originally built for (Lustre's byte-range locks, pNOVA's
+//! per-file segment locks), generalized over every lock variant in the
+//! workspace.
+//!
+//! Two supporting mechanisms make the store useful as a correctness harness
+//! and a benchmark:
+//!
+//! * **Integrity checking** — file bytes are plain atomics, so even a broken
+//!   lock cannot cause undefined behavior, and [`RangeFile::write_stamped`] /
+//!   [`RangeFile::read_stamped`] implement a tag protocol that *detects* any
+//!   exclusion violation: a stamped writer re-reads its range before
+//!   releasing, a stamped reader requires the range to be uniform, so any
+//!   torn read or write surfaces as a counted violation.
+//! * **Per-operation wait accounting** — with
+//!   [`RangeFile::with_op_stats`] each operation records its lock
+//!   acquisition latency into a [`LabeledStats`] handle named after the
+//!   operation (`pread`, `pwrite`, `append`, `truncate`), the file-workload
+//!   analogue of the paper's Figures 7–8 wait-time tables.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+use range_lock::{Range, RwRangeLock};
+use rl_sync::stats::{LabeledStats, WaitKind, WaitStats};
+
+/// Bytes per page of the backing store.
+pub const PAGE_SIZE: usize = 4096;
+
+/// One page of file bytes. Bytes are atomics so that racy access — which can
+/// only happen if the range lock under test is broken — stays defined
+/// behavior and is *observed* by the integrity checker instead of being UB.
+struct Page {
+    bytes: [AtomicU8; PAGE_SIZE],
+}
+
+impl Page {
+    fn new_boxed() -> Box<Page> {
+        Box::new(Page {
+            bytes: [const { AtomicU8::new(0) }; PAGE_SIZE],
+        })
+    }
+}
+
+/// Pre-resolved per-operation wait-stat handles (see
+/// [`RangeFile::with_op_stats`]).
+struct OpStats {
+    pread: Arc<WaitStats>,
+    pwrite: Arc<WaitStats>,
+    append: Arc<WaitStats>,
+    truncate: Arc<WaitStats>,
+}
+
+/// An in-memory file whose byte ranges are protected by a range lock.
+///
+/// # Examples
+///
+/// ```
+/// use range_lock::RwListRangeLock;
+/// use rl_file::RangeFile;
+///
+/// let file = RangeFile::new(RwListRangeLock::new());
+/// file.pwrite(0, b"hello, range locks");
+/// let mut buf = [0u8; 5];
+/// assert_eq!(file.pread(7, &mut buf), 5);
+/// assert_eq!(&buf, b"range");
+/// let off = file.append(b"!");
+/// assert_eq!(off, 18);
+/// file.truncate(5);
+/// assert_eq!(file.len(), 5);
+/// ```
+///
+/// # Concurrency semantics
+///
+/// Operations are atomic with respect to each other exactly over the byte
+/// ranges they lock. `append` reserves its offset with one fetch-add and then
+/// behaves like a `pwrite` of the reserved range, so two concurrent appends
+/// never overlap; a reader can observe a later append's bytes before an
+/// earlier in-flight append completes (the gap reads as zeros), which matches
+/// the usual "size is advisory under concurrency" file-system contract.
+pub struct RangeFile<L: RwRangeLock> {
+    lock: L,
+    /// Page table. Grows only (truncation zeroes rather than frees), so the
+    /// read lock is only held for the duration of a byte copy.
+    pages: RwLock<Vec<Box<Page>>>,
+    /// Committed logical length: maximum end of any completed write.
+    len: AtomicU64,
+    /// Reservation cursor for `append`: max end ever reserved or written.
+    reserved: AtomicU64,
+    ops: Option<OpStats>,
+}
+
+impl<L: RwRangeLock> RangeFile<L> {
+    /// Creates an empty file protected by `lock`.
+    pub fn new(lock: L) -> Self {
+        RangeFile {
+            lock,
+            pages: RwLock::new(Vec::new()),
+            len: AtomicU64::new(0),
+            reserved: AtomicU64::new(0),
+            ops: None,
+        }
+    }
+
+    /// Attaches per-operation wait accounting: each operation's lock
+    /// acquisition latency is recorded under the labels `pread`, `pwrite`,
+    /// `append` and `truncate` of `labels`. The recorded "wait" is the full
+    /// acquisition latency of the underlying range lock (uncontended
+    /// acquisitions therefore contribute their small constant cost), so
+    /// [`rl_sync::stats::LockStatSnapshot::avg_wait_per_acquisition_ns`] is
+    /// the mean time an operation spent entering its critical section.
+    pub fn with_op_stats(mut self, labels: &LabeledStats) -> Self {
+        self.ops = Some(OpStats {
+            pread: labels.handle("pread"),
+            pwrite: labels.handle("pwrite"),
+            append: labels.handle("append"),
+            truncate: labels.handle("truncate"),
+        });
+        self
+    }
+
+    /// Committed file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` if no byte has been written (or the file was truncated
+    /// to zero).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short name of the protecting lock (`"list-rw"`, `"kernel-rw"`, …).
+    pub fn lock_name(&self) -> &'static str {
+        self.lock.name()
+    }
+
+    /// Number of allocated pages (monotonic; never shrinks).
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    fn record(
+        &self,
+        stats: impl Fn(&OpStats) -> &Arc<WaitStats>,
+        kind: WaitKind,
+        started: Instant,
+    ) {
+        if let Some(ops) = &self.ops {
+            stats(ops).record_wait_ns(kind, started.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Grows the page table to cover bytes `[0, end)`.
+    fn ensure_pages(&self, end: u64) {
+        let end = usize::try_from(end).expect("file offset exceeds addressable memory");
+        let needed = end.div_ceil(PAGE_SIZE);
+        if self.pages.read().len() >= needed {
+            return;
+        }
+        let mut pages = self.pages.write();
+        while pages.len() < needed {
+            pages.push(Page::new_boxed());
+        }
+    }
+
+    /// Copies `data` into the file at `offset`. The caller must hold (or be
+    /// inside) the covering range acquisition; pages must already exist.
+    fn copy_in(&self, offset: u64, data: &[u8]) {
+        let pages = self.pages.read();
+        let mut addr = offset as usize;
+        let mut pos = 0;
+        while pos < data.len() {
+            let (page, in_page) = (addr / PAGE_SIZE, addr % PAGE_SIZE);
+            let n = (PAGE_SIZE - in_page).min(data.len() - pos);
+            let bytes = &pages[page].bytes;
+            for i in 0..n {
+                bytes[in_page + i].store(data[pos + i], Ordering::Relaxed);
+            }
+            addr += n;
+            pos += n;
+        }
+    }
+
+    /// Copies `buf.len()` bytes out of the file at `offset` (pages must
+    /// exist for the whole span).
+    fn copy_out(&self, offset: u64, buf: &mut [u8]) {
+        let pages = self.pages.read();
+        let mut addr = offset as usize;
+        let mut pos = 0;
+        while pos < buf.len() {
+            let (page, in_page) = (addr / PAGE_SIZE, addr % PAGE_SIZE);
+            let n = (PAGE_SIZE - in_page).min(buf.len() - pos);
+            let bytes = &pages[page].bytes;
+            for i in 0..n {
+                buf[pos + i] = bytes[in_page + i].load(Ordering::Relaxed);
+            }
+            addr += n;
+            pos += n;
+        }
+    }
+
+    /// Publishes a completed write ending at `end`.
+    fn publish_write(&self, end: u64) {
+        self.reserved.fetch_max(end, Ordering::AcqRel);
+        self.len.fetch_max(end, Ordering::AcqRel);
+    }
+
+    /// Writes `data` at `offset`, extending the file if needed
+    /// (positioned write, `pwrite(2)`).
+    pub fn pwrite(&self, offset: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let end = offset
+            .checked_add(data.len() as u64)
+            .expect("file range overflows u64");
+        self.ensure_pages(end);
+        let started = Instant::now();
+        let _g = self.lock.write(Range::new(offset, end));
+        self.record(|o| &o.pwrite, WaitKind::Write, started);
+        self.copy_in(offset, data);
+        self.publish_write(end);
+    }
+
+    /// Reads up to `buf.len()` bytes at `offset`, stopping at end-of-file;
+    /// returns the number of bytes read (positioned read, `pread(2)`).
+    pub fn pread(&self, offset: u64, buf: &mut [u8]) -> usize {
+        let len = self.len();
+        let n = (len.saturating_sub(offset)).min(buf.len() as u64) as usize;
+        if n == 0 {
+            return 0;
+        }
+        let end = offset + n as u64;
+        // A growing `truncate` moves the end-of-file without allocating
+        // pages, so the span may lie past the allocated high-water mark.
+        self.ensure_pages(end);
+        let started = Instant::now();
+        let _g = self.lock.read(Range::new(offset, end));
+        self.record(|o| &o.pread, WaitKind::Read, started);
+        self.copy_out(offset, &mut buf[..n]);
+        n
+    }
+
+    /// Appends `data` at the current append cursor and returns the offset it
+    /// was written at. Concurrent appends never overlap: each reserves its
+    /// offset with one atomic fetch-add before locking its range, and the
+    /// cursor never moves backwards (see [`RangeFile::truncate`]).
+    pub fn append(&self, data: &[u8]) -> u64 {
+        let n = data.len() as u64;
+        let offset = self.reserved.fetch_add(n, Ordering::AcqRel);
+        if n == 0 {
+            return offset;
+        }
+        let end = offset.checked_add(n).expect("file range overflows u64");
+        self.ensure_pages(end);
+        let started = Instant::now();
+        let _g = self.lock.write(Range::new(offset, end));
+        self.record(|o| &o.append, WaitKind::Write, started);
+        self.copy_in(offset, data);
+        self.publish_write(end);
+        offset
+    }
+
+    /// Sets the file length to `new_len`: shrinking zeroes the cut-off tail
+    /// (so a later re-extension reads zeros, as `ftruncate(2)` guarantees),
+    /// growing just moves the end-of-file (the gap reads as zeros already).
+    ///
+    /// The operation write-locks `[new_len, 2^64-1)`, so it excludes every
+    /// in-flight operation past the cut while leaving operations below it
+    /// untouched.
+    ///
+    /// The append cursor is deliberately **not** moved back by a shrinking
+    /// truncate: an in-flight [`RangeFile::append`] may hold a reservation
+    /// past the cut (taken before the truncate's guard excluded it), and
+    /// re-issuing those offsets would let two appends collide. Appends after
+    /// a shrinking truncate therefore continue from the pre-truncate
+    /// high-water mark, leaving a zero-filled gap — append offsets are
+    /// monotonic for the lifetime of the file.
+    pub fn truncate(&self, new_len: u64) {
+        let started = Instant::now();
+        let _g = self.lock.write(Range::new(new_len, u64::MAX));
+        self.record(|o| &o.truncate, WaitKind::Write, started);
+        let old_end = self
+            .reserved
+            .load(Ordering::Acquire)
+            .max(self.len.load(Ordering::Acquire));
+        if old_end > new_len {
+            // Zero only what is actually allocated.
+            let alloc_end = (self.pages.read().len() * PAGE_SIZE) as u64;
+            let zero_end = old_end.min(alloc_end);
+            let mut addr = new_len;
+            let zeros = [0u8; 256];
+            while addr < zero_end {
+                let n = (zero_end - addr).min(zeros.len() as u64) as usize;
+                self.copy_in(addr, &zeros[..n]);
+                addr += n as u64;
+            }
+        }
+        self.len.store(new_len, Ordering::Release);
+        // Only ever raise the cursor (see the doc comment above).
+        self.reserved.fetch_max(new_len, Ordering::AcqRel);
+    }
+
+    /// Stamped write for integrity checking: writes `tag` into every byte of
+    /// `[offset, offset + len)` under one write acquisition, then re-reads
+    /// the span *before releasing*. Returns `false` — an exclusion violation
+    /// — if any byte changed under the held write lock.
+    pub fn write_stamped(&self, offset: u64, len: usize, tag: u8) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let end = offset
+            .checked_add(len as u64)
+            .expect("file range overflows u64");
+        self.ensure_pages(end);
+        let started = Instant::now();
+        let _g = self.lock.write(Range::new(offset, end));
+        self.record(|o| &o.pwrite, WaitKind::Write, started);
+        {
+            let pages = self.pages.read();
+            let mut addr = offset as usize;
+            let mut left = len;
+            while left > 0 {
+                let (page, in_page) = (addr / PAGE_SIZE, addr % PAGE_SIZE);
+                let n = (PAGE_SIZE - in_page).min(left);
+                let bytes = &pages[page].bytes;
+                for b in &bytes[in_page..in_page + n] {
+                    b.store(tag, Ordering::Relaxed);
+                }
+                addr += n;
+                left -= n;
+            }
+        }
+        let mut ok = true;
+        {
+            let pages = self.pages.read();
+            let mut addr = offset as usize;
+            let mut left = len;
+            while left > 0 {
+                let (page, in_page) = (addr / PAGE_SIZE, addr % PAGE_SIZE);
+                let n = (PAGE_SIZE - in_page).min(left);
+                let bytes = &pages[page].bytes;
+                if bytes[in_page..in_page + n]
+                    .iter()
+                    .any(|b| b.load(Ordering::Relaxed) != tag)
+                {
+                    ok = false;
+                }
+                addr += n;
+                left -= n;
+            }
+        }
+        self.publish_write(end);
+        ok
+    }
+
+    /// Stamped read for integrity checking: reads `[offset, offset + len)`
+    /// under one read acquisition and returns the span's uniform tag, or
+    /// `None` — an exclusion violation — if the span mixes tags (a writer ran
+    /// concurrently inside a supposedly read-locked range). Unwritten spans
+    /// uniformly read tag `0`.
+    pub fn read_stamped(&self, offset: u64, len: usize) -> Option<u8> {
+        if len == 0 {
+            return Some(0);
+        }
+        let end = offset
+            .checked_add(len as u64)
+            .expect("file range overflows u64");
+        self.ensure_pages(end);
+        let started = Instant::now();
+        let _g = self.lock.read(Range::new(offset, end));
+        self.record(|o| &o.pread, WaitKind::Read, started);
+        let pages = self.pages.read();
+        let first = pages[offset as usize / PAGE_SIZE].bytes[offset as usize % PAGE_SIZE]
+            .load(Ordering::Relaxed);
+        let mut addr = offset as usize;
+        let mut left = len;
+        while left > 0 {
+            let (page, in_page) = (addr / PAGE_SIZE, addr % PAGE_SIZE);
+            let n = (PAGE_SIZE - in_page).min(left);
+            let bytes = &pages[page].bytes;
+            if bytes[in_page..in_page + n]
+                .iter()
+                .any(|b| b.load(Ordering::Relaxed) != first)
+            {
+                return None;
+            }
+            addr += n;
+            left -= n;
+        }
+        Some(first)
+    }
+}
+
+impl<L: RwRangeLock> std::fmt::Debug for RangeFile<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RangeFile")
+            .field("lock", &self.lock_name())
+            .field("len", &self.len())
+            .field("allocated_pages", &self.allocated_pages())
+            .finish()
+    }
+}
+
+/// A sharded path → [`RangeFile`] namespace.
+///
+/// Paths are hashed onto a fixed number of shards, each protected by its own
+/// mutex, so concurrent `open` calls on different files rarely contend — the
+/// namespace is never the bottleneck the per-file range locks are being
+/// measured against.
+///
+/// # Examples
+///
+/// ```
+/// use range_lock::RwListRangeLock;
+/// use rl_file::{FileStore, RangeFile};
+///
+/// let store = FileStore::new(|| RangeFile::new(RwListRangeLock::new()));
+/// let log = store.open("/var/log/app");
+/// log.append(b"started\n");
+/// assert!(std::sync::Arc::ptr_eq(&log, &store.open("/var/log/app")));
+/// assert_eq!(store.file_count(), 1);
+/// ```
+pub struct FileStore<L: RwRangeLock> {
+    shards: Vec<Mutex<HashMap<String, Arc<RangeFile<L>>>>>,
+    factory: Box<dyn Fn() -> RangeFile<L> + Send + Sync>,
+}
+
+/// Default number of namespace shards.
+pub const DEFAULT_SHARDS: usize = 16;
+
+impl<L: RwRangeLock> FileStore<L> {
+    /// Creates a store with [`DEFAULT_SHARDS`] shards; `factory` builds the
+    /// backing file (and in particular its lock) for every newly opened path.
+    pub fn new(factory: impl Fn() -> RangeFile<L> + Send + Sync + 'static) -> Self {
+        Self::with_shards(DEFAULT_SHARDS, factory)
+    }
+
+    /// Creates a store with an explicit shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(
+        shards: usize,
+        factory: impl Fn() -> RangeFile<L> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        FileStore {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            factory: Box::new(factory),
+        }
+    }
+
+    fn shard(&self, path: &str) -> &Mutex<HashMap<String, Arc<RangeFile<L>>>> {
+        let mut hasher = DefaultHasher::new();
+        path.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Returns the file at `path`, creating it on first open.
+    pub fn open(&self, path: &str) -> Arc<RangeFile<L>> {
+        let mut shard = self.shard(path).lock();
+        if let Some(file) = shard.get(path) {
+            return Arc::clone(file);
+        }
+        let file = Arc::new((self.factory)());
+        shard.insert(path.to_string(), Arc::clone(&file));
+        file
+    }
+
+    /// Returns the file at `path` if it exists.
+    pub fn get(&self, path: &str) -> Option<Arc<RangeFile<L>>> {
+        self.shard(path).lock().get(path).map(Arc::clone)
+    }
+
+    /// Unlinks `path`; existing handles keep working on the orphaned file.
+    /// Returns `true` if the path existed.
+    pub fn remove(&self, path: &str) -> bool {
+        self.shard(path).lock().remove(path).is_some()
+    }
+
+    /// Number of files currently in the namespace.
+    pub fn file_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Number of namespace shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl<L: RwRangeLock> std::fmt::Debug for FileStore<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStore")
+            .field("files", &self.file_count())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use range_lock::RwListRangeLock;
+
+    fn file() -> RangeFile<RwListRangeLock> {
+        RangeFile::new(RwListRangeLock::new())
+    }
+
+    #[test]
+    fn pwrite_pread_round_trip_across_pages() {
+        let f = file();
+        let data: Vec<u8> = (0..3 * PAGE_SIZE + 123).map(|i| (i % 251) as u8).collect();
+        f.pwrite(100, &data);
+        assert_eq!(f.len(), 100 + data.len() as u64);
+        let mut buf = vec![0u8; data.len()];
+        assert_eq!(f.pread(100, &mut buf), data.len());
+        assert_eq!(buf, data);
+        // The unwritten prefix reads as zeros.
+        let mut head = [1u8; 100];
+        assert_eq!(f.pread(0, &mut head), 100);
+        assert!(head.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn pread_stops_at_eof() {
+        let f = file();
+        f.pwrite(0, b"hello");
+        let mut buf = [0u8; 16];
+        assert_eq!(f.pread(0, &mut buf), 5);
+        assert_eq!(f.pread(3, &mut buf), 2);
+        assert_eq!(f.pread(5, &mut buf), 0);
+        assert_eq!(f.pread(999, &mut buf), 0);
+    }
+
+    #[test]
+    fn append_reserves_disjoint_offsets() {
+        let f = Arc::new(file());
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let f = Arc::clone(&f);
+            handles.push(std::thread::spawn(move || {
+                let mut offsets = Vec::new();
+                for _ in 0..50 {
+                    offsets.push(f.append(&[t + 1; 64]));
+                }
+                offsets
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 200, "append offsets must be unique");
+        assert_eq!(f.len(), 200 * 64);
+        // Every 64-byte region is uniformly one writer's tag.
+        for off in (0..f.len()).step_by(64) {
+            let tag = f.read_stamped(off, 64).expect("uniform region");
+            assert!((1..=4).contains(&tag));
+        }
+    }
+
+    #[test]
+    fn truncate_zeroes_the_tail() {
+        let f = file();
+        f.pwrite(0, &[7u8; 1000]);
+        f.truncate(100);
+        assert_eq!(f.len(), 100);
+        let mut buf = [0u8; 1000];
+        assert_eq!(f.pread(0, &mut buf), 100);
+        // Re-extend and check the old tail reads as zeros.
+        f.pwrite(900, &[9u8; 100]);
+        let mut tail = [1u8; 800];
+        assert_eq!(f.pread(100, &mut tail), 800);
+        assert!(tail.iter().all(|&b| b == 0), "truncated tail must be zero");
+        // Growing truncate just moves EOF.
+        f.truncate(2000);
+        assert_eq!(f.len(), 2000);
+        assert_eq!(f.read_stamped(1000, 1000), Some(0));
+    }
+
+    #[test]
+    fn append_offsets_stay_monotonic_across_truncate() {
+        // A shrinking truncate must not move the append cursor backwards:
+        // an in-flight append may hold a reservation past the cut, and
+        // re-issuing those offsets would let two appends collide.
+        let f = file();
+        f.append(&[1; 100]);
+        f.truncate(10);
+        assert_eq!(f.len(), 10);
+        assert_eq!(f.append(&[2; 5]), 100);
+        assert_eq!(f.len(), 105);
+        // The gap left by the truncate reads as zeros.
+        assert_eq!(f.read_stamped(10, 90), Some(0));
+        // A growing truncate raises the cursor with the EOF.
+        f.truncate(500);
+        assert_eq!(f.append(&[3; 5]), 500);
+    }
+
+    #[test]
+    fn pread_after_growing_truncate_reads_zeros() {
+        // Regression test: a growing truncate moves EOF without allocating
+        // pages; pread past the allocated high-water mark must read zeros,
+        // not panic on the empty page table.
+        let f = file();
+        f.truncate(5000);
+        let mut buf = [7u8; 100];
+        assert_eq!(f.pread(0, &mut buf), 100);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(f.pread(4990, &mut buf), 10);
+    }
+
+    #[test]
+    fn stamped_protocol_accepts_clean_runs() {
+        let f = file();
+        assert!(f.write_stamped(0, 256, 42));
+        assert_eq!(f.read_stamped(0, 256), Some(42));
+        assert!(f.write_stamped(128, 256, 43));
+        assert_eq!(f.read_stamped(128, 256), Some(43));
+        assert_eq!(f.read_stamped(0, 128), Some(42));
+        // A span mixing two stamps is reported as non-uniform.
+        assert_eq!(f.read_stamped(0, 256), None);
+    }
+
+    #[test]
+    fn op_stats_are_recorded_per_label() {
+        let labels = LabeledStats::new();
+        let f = RangeFile::new(RwListRangeLock::new()).with_op_stats(&labels);
+        f.pwrite(0, b"abc");
+        let mut buf = [0u8; 3];
+        f.pread(0, &mut buf);
+        f.append(b"def");
+        f.truncate(2);
+        let snaps = labels.snapshots();
+        let by_name: HashMap<_, _> = snaps.iter().map(|s| (s.name.clone(), s)).collect();
+        assert_eq!(by_name["pread"].acquisitions, 1);
+        assert_eq!(by_name["pwrite"].acquisitions, 1);
+        assert_eq!(by_name["append"].acquisitions, 1);
+        assert_eq!(by_name["truncate"].acquisitions, 1);
+        assert_eq!(by_name["pread"].read_waits, 1);
+        assert_eq!(by_name["append"].write_waits, 1);
+    }
+
+    #[test]
+    fn store_shards_paths_and_dedups_handles() {
+        let store = FileStore::with_shards(4, || RangeFile::new(RwListRangeLock::new()));
+        let a = store.open("/a");
+        let a2 = store.open("/a");
+        assert!(Arc::ptr_eq(&a, &a2));
+        for i in 0..50 {
+            store.open(&format!("/f{i}"));
+        }
+        assert_eq!(store.file_count(), 51);
+        assert!(store.get("/a").is_some());
+        assert!(store.remove("/a"));
+        assert!(!store.remove("/a"));
+        assert!(store.get("/a").is_none());
+        assert_eq!(store.file_count(), 50);
+        // The orphaned handle still works.
+        a.pwrite(0, b"still alive");
+        assert_eq!(a.len(), 11);
+    }
+}

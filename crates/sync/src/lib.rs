@@ -36,4 +36,4 @@ pub use padded::CachePadded;
 pub use rwsem::{RwSemReadGuard, RwSemWriteGuard, RwSemaphore};
 pub use seqcount::SeqCount;
 pub use spinlock::{SpinLock, SpinLockGuard};
-pub use stats::{LockStatRegistry, LockStatSnapshot, WaitKind, WaitStats};
+pub use stats::{LabeledStats, LockStatRegistry, LockStatSnapshot, WaitKind, WaitStats};

@@ -240,6 +240,82 @@ impl LockStatRegistry {
     }
 }
 
+/// Per-call-site wait-time accounting: a set of [`WaitStats`] keyed by a
+/// short label.
+///
+/// [`LockStatRegistry`] names counters after the *lock* they instrument; a
+/// subsystem that funnels many different operations through one lock (the
+/// `rl-file` store routing `pread`/`pwrite`/`append` through a single range
+/// lock) instead wants one counter block per **operation**. `handle` returns
+/// the (lazily created) [`WaitStats`] for a label; handles are plain
+/// `Arc<WaitStats>`, so resolving them once at construction time keeps the
+/// hot path free of any map lookup.
+///
+/// # Examples
+///
+/// ```
+/// use rl_sync::stats::{LabeledStats, WaitKind};
+///
+/// let ops = LabeledStats::new();
+/// let pread = ops.handle("pread");
+/// let pwrite = ops.handle("pwrite");
+/// pread.record_wait_ns(WaitKind::Read, 250);
+/// pwrite.record_wait_ns(WaitKind::Write, 1_000);
+/// let snaps = ops.snapshots();
+/// assert_eq!(snaps.len(), 2);
+/// assert_eq!(snaps[0].name, "pread");
+/// ```
+#[derive(Debug, Default)]
+pub struct LabeledStats {
+    /// Insertion-ordered so reports list operations in registration order.
+    handles: Mutex<Vec<(String, Arc<WaitStats>)>>,
+}
+
+impl LabeledStats {
+    /// Creates an empty label set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter block for `label`, creating it on first use.
+    pub fn handle(&self, label: &str) -> Arc<WaitStats> {
+        let mut handles = self.handles.lock().unwrap();
+        if let Some((_, stats)) = handles.iter().find(|(l, _)| l == label) {
+            return Arc::clone(stats);
+        }
+        let stats = Arc::new(WaitStats::new(label));
+        handles.push((label.to_string(), Arc::clone(&stats)));
+        stats
+    }
+
+    /// The labels registered so far, in registration order.
+    pub fn labels(&self) -> Vec<String> {
+        self.handles
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(l, _)| l.clone())
+            .collect()
+    }
+
+    /// Takes a snapshot of every label's counters, in registration order.
+    pub fn snapshots(&self) -> Vec<LockStatSnapshot> {
+        self.handles
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(_, s)| s.snapshot())
+            .collect()
+    }
+
+    /// Resets every label's counters (the labels themselves remain).
+    pub fn reset_all(&self) {
+        for (_, s) in self.handles.lock().unwrap().iter() {
+            s.reset();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +381,28 @@ mod tests {
         assert_eq!(snaps[1].write_wait_ns, 200);
         reg.reset_all();
         assert!(reg.snapshots().iter().all(|s| s.total_wait_ns() == 0));
+    }
+
+    #[test]
+    fn labeled_stats_deduplicate_and_report_in_order() {
+        let ops = LabeledStats::new();
+        let a = ops.handle("pwrite");
+        let b = ops.handle("pread");
+        let a2 = ops.handle("pwrite");
+        assert!(Arc::ptr_eq(&a, &a2), "same label must share counters");
+        a.record_wait_ns(WaitKind::Write, 100);
+        b.record_uncontended();
+        assert_eq!(
+            ops.labels(),
+            vec!["pwrite".to_string(), "pread".to_string()]
+        );
+        let snaps = ops.snapshots();
+        assert_eq!(snaps[0].name, "pwrite");
+        assert_eq!(snaps[0].write_wait_ns, 100);
+        assert_eq!(snaps[1].name, "pread");
+        assert_eq!(snaps[1].acquisitions, 1);
+        ops.reset_all();
+        assert!(ops.snapshots().iter().all(|s| s.acquisitions == 0));
     }
 
     #[test]

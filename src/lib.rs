@@ -4,13 +4,14 @@
 //! tests; it simply re-exports the workspace crates under one roof so that
 //! `examples/*.rs` and `tests/*.rs` can reach everything with a single
 //! dependency. Library users should depend on the individual crates
-//! (`range-lock`, `rl-baselines`, `rl-vm`, `rl-skiplist`, `rl-metis`)
-//! directly.
+//! (`range-lock`, `rl-baselines`, `rl-vm`, `rl-skiplist`, `rl-metis`,
+//! `rl-file`) directly.
 
 #![warn(missing_docs)]
 
 pub use range_lock;
 pub use rl_baselines;
+pub use rl_file;
 pub use rl_metis;
 pub use rl_skiplist;
 pub use rl_sync;
