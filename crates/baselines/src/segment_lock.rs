@@ -14,12 +14,19 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use range_lock::{Range, RwRangeLock};
 use rl_sync::stats::{WaitKind, WaitStats};
-use rl_sync::CachePadded;
+use rl_sync::wait::{Block, WaitPolicy};
+use rl_sync::{CachePadded, RwSemReadGuard, RwSemWriteGuard, RwSemaphore};
 
 /// A reader-writer range lock built from per-segment reader-writer locks.
+///
+/// Each segment is an [`RwSemaphore`] waiting through the pluggable
+/// [`WaitPolicy`] `P`. The default is [`Block`] — waiters on a contended
+/// segment park and the segment's release wakes them — because pNOVA's
+/// in-kernel per-segment locks (and the `parking_lot::RwLock` this lock
+/// used before the policy layer existed) block their waiters; the bare
+/// `SegmentRangeLock` name therefore keeps its pre-refactor behaviour.
 ///
 /// # Examples
 ///
@@ -34,8 +41,8 @@ use rl_sync::CachePadded;
 /// drop(r);
 /// drop(w);
 /// ```
-pub struct SegmentRangeLock {
-    segments: Vec<CachePadded<RwLock<()>>>,
+pub struct SegmentRangeLock<P: WaitPolicy = Block> {
+    segments: Vec<CachePadded<RwSemaphore<P>>>,
     /// Total span covered by the segments; addresses past the span clamp to
     /// the last segment.
     span: u64,
@@ -44,18 +51,31 @@ pub struct SegmentRangeLock {
 }
 
 impl SegmentRangeLock {
-    /// Creates a lock covering `[0, span)` split into `num_segments` segments.
+    /// Creates a lock covering `[0, span)` split into `num_segments` segments
+    /// with the default [`Block`] wait policy (parked waiters, as in pNOVA).
     ///
     /// # Panics
     ///
     /// Panics if `num_segments` is zero or `span` is zero.
     pub fn new(span: u64, num_segments: usize) -> Self {
+        Self::with_policy(span, num_segments)
+    }
+}
+
+impl<P: WaitPolicy> SegmentRangeLock<P> {
+    /// Creates a lock covering `[0, span)` split into `num_segments`
+    /// segments whose waiters wait through policy `P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_segments` is zero or `span` is zero.
+    pub fn with_policy(span: u64, num_segments: usize) -> Self {
         assert!(num_segments > 0, "segment count must be positive");
         assert!(span > 0, "span must be positive");
         let segment_size = span.div_ceil(num_segments as u64).max(1);
         SegmentRangeLock {
             segments: (0..num_segments)
-                .map(|_| CachePadded::new(RwLock::new(())))
+                .map(|_| CachePadded::new(RwSemaphore::with_policy()))
                 .collect(),
             span,
             segment_size,
@@ -63,8 +83,12 @@ impl SegmentRangeLock {
         }
     }
 
-    /// Attaches a [`WaitStats`] sink recording contended acquisition times.
+    /// Attaches a [`WaitStats`] sink recording contended acquisition times;
+    /// under `Block`, every segment also mirrors its park/wake counts there.
     pub fn with_stats(mut self, stats: Arc<WaitStats>) -> Self {
+        for seg in &mut self.segments {
+            seg.attach_park_stats(Arc::clone(&stats));
+        }
         self.stats = Some(stats);
         self
     }
@@ -90,7 +114,7 @@ impl SegmentRangeLock {
     }
 
     /// Acquires `range` in shared mode.
-    pub fn read(&self, range: Range) -> SegmentReadGuard<'_> {
+    pub fn read(&self, range: Range) -> SegmentReadGuard<'_, P> {
         let started = Instant::now();
         let (first, last) = self.segment_span(&range);
         let mut guards = Vec::with_capacity(last - first + 1);
@@ -109,7 +133,7 @@ impl SegmentRangeLock {
     }
 
     /// Acquires `range` in exclusive mode.
-    pub fn write(&self, range: Range) -> SegmentWriteGuard<'_> {
+    pub fn write(&self, range: Range) -> SegmentWriteGuard<'_, P> {
         let started = Instant::now();
         let (first, last) = self.segment_span(&range);
         let mut guards = Vec::with_capacity(last - first + 1);
@@ -130,7 +154,7 @@ impl SegmentRangeLock {
     /// Attempts to acquire `range` in shared mode without waiting: every
     /// overlapped segment must be immediately available, otherwise the guards
     /// collected so far are dropped and `None` is returned.
-    pub fn try_read(&self, range: Range) -> Option<SegmentReadGuard<'_>> {
+    pub fn try_read(&self, range: Range) -> Option<SegmentReadGuard<'_, P>> {
         let (first, last) = self.segment_span(&range);
         let mut guards = Vec::with_capacity(last - first + 1);
         for seg in &self.segments[first..=last] {
@@ -144,7 +168,7 @@ impl SegmentRangeLock {
 
     /// Attempts to acquire `range` in exclusive mode without waiting; see
     /// [`SegmentRangeLock::try_read`].
-    pub fn try_write(&self, range: Range) -> Option<SegmentWriteGuard<'_>> {
+    pub fn try_write(&self, range: Range) -> Option<SegmentWriteGuard<'_, P>> {
         let (first, last) = self.segment_span(&range);
         let mut guards = Vec::with_capacity(last - first + 1);
         for seg in &self.segments[first..=last] {
@@ -167,7 +191,7 @@ impl SegmentRangeLock {
     }
 }
 
-impl std::fmt::Debug for SegmentRangeLock {
+impl<P: WaitPolicy> std::fmt::Debug for SegmentRangeLock<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SegmentRangeLock")
             .field("segments", &self.segments.len())
@@ -179,19 +203,19 @@ impl std::fmt::Debug for SegmentRangeLock {
 
 /// RAII guard for a shared segment-lock acquisition.
 #[must_use = "the range is released as soon as the guard is dropped"]
-pub struct SegmentReadGuard<'a> {
-    _guards: Vec<RwLockReadGuard<'a, ()>>,
+pub struct SegmentReadGuard<'a, P: WaitPolicy = Block> {
+    _guards: Vec<RwSemReadGuard<'a, P>>,
 }
 
 /// RAII guard for an exclusive segment-lock acquisition.
 #[must_use = "the range is released as soon as the guard is dropped"]
-pub struct SegmentWriteGuard<'a> {
-    _guards: Vec<RwLockWriteGuard<'a, ()>>,
+pub struct SegmentWriteGuard<'a, P: WaitPolicy = Block> {
+    _guards: Vec<RwSemWriteGuard<'a, P>>,
 }
 
-impl RwRangeLock for SegmentRangeLock {
-    type ReadGuard<'a> = SegmentReadGuard<'a>;
-    type WriteGuard<'a> = SegmentWriteGuard<'a>;
+impl<P: WaitPolicy> RwRangeLock for SegmentRangeLock<P> {
+    type ReadGuard<'a> = SegmentReadGuard<'a, P>;
+    type WriteGuard<'a> = SegmentWriteGuard<'a, P>;
 
     fn read(&self, range: Range) -> Self::ReadGuard<'_> {
         SegmentRangeLock::read(self, range)

@@ -30,7 +30,8 @@ use std::time::Instant;
 
 use range_lock::{Range, RangeLock, RwRangeLock};
 use rl_sync::stats::{WaitKind, WaitStats};
-use rl_sync::{Backoff, SpinLock};
+use rl_sync::wait::{SpinThenYield, WaitPolicy, WaitQueue};
+use rl_sync::SpinLock;
 
 use crate::range_tree::{Interval, RangeTree};
 
@@ -50,19 +51,24 @@ struct TreeState {
 
 /// Shared implementation behind both public lock types.
 #[derive(Debug)]
-struct TreeLockInner {
+struct TreeLockInner<P: WaitPolicy> {
     state: SpinLock<TreeState>,
     next_id: AtomicU64,
     /// Range-acquisition wait times (Figure 7).
     stats: Option<Arc<WaitStats>>,
+    /// Wake channel for the `Block` policy; idle under spinning policies.
+    queue: WaitQueue,
+    _policy: std::marker::PhantomData<P>,
 }
 
-impl TreeLockInner {
+impl<P: WaitPolicy> TreeLockInner<P> {
     fn new() -> Self {
         TreeLockInner {
             state: SpinLock::new(TreeState::default()),
             next_id: AtomicU64::new(1),
             stats: None,
+            queue: WaitQueue::new(),
+            _policy: std::marker::PhantomData,
         }
     }
 
@@ -71,6 +77,8 @@ impl TreeLockInner {
             state: SpinLock::with_stats(TreeState::default(), spin_stats),
             next_id: AtomicU64::new(1),
             stats: None,
+            queue: WaitQueue::new(),
+            _policy: std::marker::PhantomData,
         }
     }
 
@@ -99,12 +107,10 @@ impl TreeLockInner {
             state.tree.insert(Interval { range, id });
             state.waiters.insert(id, Arc::clone(&waiter));
         }
-        // Wait outside the spin lock until every blocking range is released.
+        // Wait outside the spin lock until every blocking range is released;
+        // releasers that drop a waiter's count to zero wake the queue.
         if waiter.blocked.load(Ordering::Acquire) != 0 {
-            let backoff = Backoff::new();
-            while waiter.blocked.load(Ordering::Acquire) != 0 {
-                backoff.snooze();
-            }
+            P::wait_until(&self.queue, || waiter.blocked.load(Ordering::Acquire) == 0);
             if let Some(s) = &self.stats {
                 let kind = if reader {
                     WaitKind::Read
@@ -160,20 +166,28 @@ impl TreeLockInner {
     }
 
     fn release(&self, range: Range, id: u64, reader: bool) {
-        let mut guard = self.state.lock();
-        let state = &mut *guard;
-        let removed = state.tree.remove(&Interval { range, id });
-        debug_assert!(removed, "released a range that was not in the tree");
-        state.waiters.remove(&id);
-        let waiters = &state.waiters;
-        state.tree.for_each_overlap(&range, |iv| {
-            let other = waiters
-                .get(&iv.id)
-                .expect("every tree entry has a registered waiter");
-            if !(reader && other.reader) {
-                other.blocked.fetch_sub(1, Ordering::AcqRel);
-            }
-        });
+        let mut unblocked = false;
+        {
+            let mut guard = self.state.lock();
+            let state = &mut *guard;
+            let removed = state.tree.remove(&Interval { range, id });
+            debug_assert!(removed, "released a range that was not in the tree");
+            state.waiters.remove(&id);
+            let waiters = &state.waiters;
+            state.tree.for_each_overlap(&range, |iv| {
+                let other = waiters
+                    .get(&iv.id)
+                    .expect("every tree entry has a registered waiter");
+                if !(reader && other.reader) && other.blocked.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    unblocked = true;
+                }
+            });
+        }
+        // Wake hook, outside the spin lock: at least one waiter's block
+        // count just reached zero.
+        if unblocked {
+            P::wake(&self.queue);
+        }
     }
 
     fn held_ranges(&self) -> usize {
@@ -196,35 +210,49 @@ impl TreeLockInner {
 /// drop(b);
 /// ```
 #[derive(Debug)]
-pub struct TreeRangeLock {
-    inner: TreeLockInner,
+pub struct TreeRangeLock<P: WaitPolicy = SpinThenYield> {
+    inner: TreeLockInner<P>,
 }
 
 impl TreeRangeLock {
-    /// Creates a new lock.
+    /// Creates a new lock with the default [`SpinThenYield`] wait policy.
     pub fn new() -> Self {
+        Self::with_policy()
+    }
+
+    /// Creates a default-policy lock whose *internal spin lock* reports wait
+    /// times to `spin_stats` (used to reproduce Figure 8).
+    pub fn with_spin_stats(spin_stats: Arc<WaitStats>) -> Self {
+        Self::with_policy_spin_stats(spin_stats)
+    }
+}
+
+impl<P: WaitPolicy> TreeRangeLock<P> {
+    /// Creates a lock whose waiters wait through policy `P`.
+    pub fn with_policy() -> Self {
         TreeRangeLock {
             inner: TreeLockInner::new(),
         }
     }
 
-    /// Creates a lock whose *internal spin lock* reports wait times to
-    /// `spin_stats` (used to reproduce Figure 8).
-    pub fn with_spin_stats(spin_stats: Arc<WaitStats>) -> Self {
+    /// Creates a policy-`P` lock whose *internal spin lock* reports wait
+    /// times to `spin_stats`.
+    pub fn with_policy_spin_stats(spin_stats: Arc<WaitStats>) -> Self {
         TreeRangeLock {
             inner: TreeLockInner::with_spin_stats(spin_stats),
         }
     }
 
     /// Attaches a [`WaitStats`] sink recording range-acquisition wait times
-    /// (used to reproduce Figure 7).
+    /// (used to reproduce Figure 7), plus park/wake counts under `Block`.
     pub fn with_stats(mut self, stats: Arc<WaitStats>) -> Self {
+        self.inner.queue.attach_stats(Arc::clone(&stats));
         self.inner.stats = Some(stats);
         self
     }
 
     /// Acquires exclusive access to `range`.
-    pub fn acquire(&self, range: Range) -> TreeRangeGuard<'_> {
+    pub fn acquire(&self, range: Range) -> TreeRangeGuard<'_, P> {
         let id = self.inner.acquire(range, false);
         TreeRangeGuard {
             lock: &self.inner,
@@ -235,13 +263,13 @@ impl TreeRangeLock {
     }
 
     /// Acquires the entire resource.
-    pub fn acquire_full(&self) -> TreeRangeGuard<'_> {
+    pub fn acquire_full(&self) -> TreeRangeGuard<'_, P> {
         self.acquire(Range::FULL)
     }
 
     /// Attempts to acquire `range` without waiting; `None` if anything
     /// overlapping is already in the tree.
-    pub fn try_acquire(&self, range: Range) -> Option<TreeRangeGuard<'_>> {
+    pub fn try_acquire(&self, range: Range) -> Option<TreeRangeGuard<'_, P>> {
         let id = self.inner.try_acquire(range, false)?;
         Some(TreeRangeGuard {
             lock: &self.inner,
@@ -257,9 +285,9 @@ impl TreeRangeLock {
     }
 }
 
-impl Default for TreeRangeLock {
+impl<P: WaitPolicy> Default for TreeRangeLock<P> {
     fn default() -> Self {
-        Self::new()
+        Self::with_policy()
     }
 }
 
@@ -279,35 +307,49 @@ impl Default for TreeRangeLock {
 /// let _w = lock.write(Range::new(0, 100));
 /// ```
 #[derive(Debug)]
-pub struct RwTreeRangeLock {
-    inner: TreeLockInner,
+pub struct RwTreeRangeLock<P: WaitPolicy = SpinThenYield> {
+    inner: TreeLockInner<P>,
 }
 
 impl RwTreeRangeLock {
-    /// Creates a new lock.
+    /// Creates a new lock with the default [`SpinThenYield`] wait policy.
     pub fn new() -> Self {
+        Self::with_policy()
+    }
+
+    /// Creates a default-policy lock whose *internal spin lock* reports wait
+    /// times to `spin_stats` (used to reproduce Figure 8).
+    pub fn with_spin_stats(spin_stats: Arc<WaitStats>) -> Self {
+        Self::with_policy_spin_stats(spin_stats)
+    }
+}
+
+impl<P: WaitPolicy> RwTreeRangeLock<P> {
+    /// Creates a lock whose waiters wait through policy `P`.
+    pub fn with_policy() -> Self {
         RwTreeRangeLock {
             inner: TreeLockInner::new(),
         }
     }
 
-    /// Creates a lock whose *internal spin lock* reports wait times to
-    /// `spin_stats` (used to reproduce Figure 8).
-    pub fn with_spin_stats(spin_stats: Arc<WaitStats>) -> Self {
+    /// Creates a policy-`P` lock whose *internal spin lock* reports wait
+    /// times to `spin_stats`.
+    pub fn with_policy_spin_stats(spin_stats: Arc<WaitStats>) -> Self {
         RwTreeRangeLock {
             inner: TreeLockInner::with_spin_stats(spin_stats),
         }
     }
 
     /// Attaches a [`WaitStats`] sink recording range-acquisition wait times
-    /// (used to reproduce Figure 7).
+    /// (used to reproduce Figure 7), plus park/wake counts under `Block`.
     pub fn with_stats(mut self, stats: Arc<WaitStats>) -> Self {
+        self.inner.queue.attach_stats(Arc::clone(&stats));
         self.inner.stats = Some(stats);
         self
     }
 
     /// Acquires `range` in shared (reader) mode.
-    pub fn read(&self, range: Range) -> TreeRangeGuard<'_> {
+    pub fn read(&self, range: Range) -> TreeRangeGuard<'_, P> {
         let id = self.inner.acquire(range, true);
         TreeRangeGuard {
             lock: &self.inner,
@@ -318,7 +360,7 @@ impl RwTreeRangeLock {
     }
 
     /// Acquires `range` in exclusive (writer) mode.
-    pub fn write(&self, range: Range) -> TreeRangeGuard<'_> {
+    pub fn write(&self, range: Range) -> TreeRangeGuard<'_, P> {
         let id = self.inner.acquire(range, false);
         TreeRangeGuard {
             lock: &self.inner,
@@ -330,7 +372,7 @@ impl RwTreeRangeLock {
 
     /// Attempts to acquire `range` in shared mode without waiting; `None` if
     /// an overlapping writer is already in the tree.
-    pub fn try_read(&self, range: Range) -> Option<TreeRangeGuard<'_>> {
+    pub fn try_read(&self, range: Range) -> Option<TreeRangeGuard<'_, P>> {
         let id = self.inner.try_acquire(range, true)?;
         Some(TreeRangeGuard {
             lock: &self.inner,
@@ -342,7 +384,7 @@ impl RwTreeRangeLock {
 
     /// Attempts to acquire `range` in exclusive mode without waiting; `None`
     /// if anything overlapping is already in the tree.
-    pub fn try_write(&self, range: Range) -> Option<TreeRangeGuard<'_>> {
+    pub fn try_write(&self, range: Range) -> Option<TreeRangeGuard<'_, P>> {
         let id = self.inner.try_acquire(range, false)?;
         Some(TreeRangeGuard {
             lock: &self.inner,
@@ -358,23 +400,23 @@ impl RwTreeRangeLock {
     }
 }
 
-impl Default for RwTreeRangeLock {
+impl<P: WaitPolicy> Default for RwTreeRangeLock<P> {
     fn default() -> Self {
-        Self::new()
+        Self::with_policy()
     }
 }
 
 /// RAII guard for a range held in a tree-based range lock.
 #[must_use = "the range is released as soon as the guard is dropped"]
 #[derive(Debug)]
-pub struct TreeRangeGuard<'a> {
-    lock: &'a TreeLockInner,
+pub struct TreeRangeGuard<'a, P: WaitPolicy = SpinThenYield> {
+    lock: &'a TreeLockInner<P>,
     range: Range,
     id: u64,
     reader: bool,
 }
 
-impl TreeRangeGuard<'_> {
+impl<P: WaitPolicy> TreeRangeGuard<'_, P> {
     /// The range this guard protects.
     pub fn range(&self) -> Range {
         self.range
@@ -386,14 +428,14 @@ impl TreeRangeGuard<'_> {
     }
 }
 
-impl Drop for TreeRangeGuard<'_> {
+impl<P: WaitPolicy> Drop for TreeRangeGuard<'_, P> {
     fn drop(&mut self) {
         self.lock.release(self.range, self.id, self.reader);
     }
 }
 
-impl RangeLock for TreeRangeLock {
-    type Guard<'a> = TreeRangeGuard<'a>;
+impl<P: WaitPolicy> RangeLock for TreeRangeLock<P> {
+    type Guard<'a> = TreeRangeGuard<'a, P>;
 
     fn acquire(&self, range: Range) -> Self::Guard<'_> {
         TreeRangeLock::acquire(self, range)
@@ -408,9 +450,9 @@ impl RangeLock for TreeRangeLock {
     }
 }
 
-impl RwRangeLock for RwTreeRangeLock {
-    type ReadGuard<'a> = TreeRangeGuard<'a>;
-    type WriteGuard<'a> = TreeRangeGuard<'a>;
+impl<P: WaitPolicy> RwRangeLock for RwTreeRangeLock<P> {
+    type ReadGuard<'a> = TreeRangeGuard<'a, P>;
+    type WriteGuard<'a> = TreeRangeGuard<'a, P>;
 
     fn read(&self, range: Range) -> Self::ReadGuard<'_> {
         RwTreeRangeLock::read(self, range)

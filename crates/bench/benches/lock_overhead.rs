@@ -9,6 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use range_lock::{ListLockConfig, ListRangeLock, Range, RwListRangeLock};
 use rl_baselines::{RwTreeRangeLock, SegmentRangeLock, TreeRangeLock};
+use rl_sync::wait::Block;
 
 fn bench_uncontended(c: &mut Criterion) {
     let range = Range::new(10, 20);
@@ -33,6 +34,17 @@ fn bench_uncontended(c: &mut Criterion) {
             ..Default::default()
         });
         b.iter(|| drop(lock.acquire(range)));
+    });
+    // The wait-policy layer must keep the uncontended fast path a pure
+    // atomic sequence: these must stay within noise of their spin-yield
+    // (default policy) twins above.
+    group.bench_function(BenchmarkId::from_parameter("list-ex/block-policy"), |b| {
+        let lock = ListRangeLock::<Block>::with_policy();
+        b.iter(|| drop(lock.acquire(range)));
+    });
+    group.bench_function(BenchmarkId::from_parameter("list-rw/block-policy"), |b| {
+        let lock = RwListRangeLock::<Block>::with_policy();
+        b.iter(|| drop(lock.write(range)));
     });
     group.bench_function(BenchmarkId::from_parameter("list-rw/write"), |b| {
         let lock = RwListRangeLock::new();

@@ -13,7 +13,10 @@
 //!   sub-range.
 //!
 //! The benchmark is generic over the five lock variants of the paper
-//! (`lustre-ex`, `kernel-rw`, `pnova-rw`, `list-ex`, `list-rw`).
+//! (`lustre-ex`, `kernel-rw`, `pnova-rw`, `list-ex`, `list-rw`) and over the
+//! three wait policies of `rl_sync::wait` (`spin`, `spin-yield`, `block`),
+//! which is how the `fig3-oversub` experiment sweeps thread counts beyond
+//! the core count without the spinning policies melting the scheduler.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -21,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use range_lock::{ListRangeLock, Range, RwListRangeLock};
 use rl_baselines::{RwTreeRangeLock, SegmentRangeLock, TreeRangeLock};
+use rl_sync::wait::{Block, Spin, SpinThenYield, WaitPolicy, WaitPolicyKind};
 use rl_sync::{padded::padded_vec, CachePadded};
 
 use crate::rng::{seed, xorshift};
@@ -97,6 +101,8 @@ pub struct ArrBenchConfig {
     pub lock: LockVariant,
     /// Range selection policy.
     pub policy: RangePolicy,
+    /// How waiters wait (spin / spin-yield / block).
+    pub wait: WaitPolicyKind,
     /// Number of worker threads.
     pub threads: usize,
     /// Percentage of operations that are reads (0–100).
@@ -121,39 +127,40 @@ impl ArrBenchResult {
     }
 }
 
-enum AnyLock {
-    ListEx(ListRangeLock),
-    ListRw(RwListRangeLock),
-    LustreEx(TreeRangeLock),
-    KernelRw(RwTreeRangeLock),
-    PnovaRw(SegmentRangeLock),
+enum AnyLock<P: WaitPolicy> {
+    ListEx(ListRangeLock<P>),
+    ListRw(RwListRangeLock<P>),
+    LustreEx(TreeRangeLock<P>),
+    KernelRw(RwTreeRangeLock<P>),
+    PnovaRw(SegmentRangeLock<P>),
 }
 
 /// The variants only keep the underlying guard alive; nothing reads them.
 #[expect(dead_code)]
-enum AnyGuard<'a> {
-    ListEx(range_lock::ListRangeGuard<'a>),
-    ListRw(range_lock::RwListRangeGuard<'a>),
-    Tree(rl_baselines::TreeRangeGuard<'a>),
-    SegRead(rl_baselines::SegmentReadGuard<'a>),
-    SegWrite(rl_baselines::SegmentWriteGuard<'a>),
+enum AnyGuard<'a, P: WaitPolicy> {
+    ListEx(range_lock::ListRangeGuard<'a, P>),
+    ListRw(range_lock::RwListRangeGuard<'a, P>),
+    Tree(rl_baselines::TreeRangeGuard<'a, P>),
+    SegRead(rl_baselines::SegmentReadGuard<'a, P>),
+    SegWrite(rl_baselines::SegmentWriteGuard<'a, P>),
 }
 
-impl AnyLock {
+impl<P: WaitPolicy> AnyLock<P> {
     fn new(variant: LockVariant) -> Self {
         match variant {
-            LockVariant::ListEx => AnyLock::ListEx(ListRangeLock::new()),
-            LockVariant::ListRw => AnyLock::ListRw(RwListRangeLock::new()),
-            LockVariant::LustreEx => AnyLock::LustreEx(TreeRangeLock::new()),
-            LockVariant::KernelRw => AnyLock::KernelRw(RwTreeRangeLock::new()),
+            LockVariant::ListEx => AnyLock::ListEx(ListRangeLock::with_policy()),
+            LockVariant::ListRw => AnyLock::ListRw(RwListRangeLock::with_policy()),
+            LockVariant::LustreEx => AnyLock::LustreEx(TreeRangeLock::with_policy()),
+            LockVariant::KernelRw => AnyLock::KernelRw(RwTreeRangeLock::with_policy()),
             // One segment per array slot, as in the paper's evaluation.
-            LockVariant::PnovaRw => {
-                AnyLock::PnovaRw(SegmentRangeLock::new(ARRAY_SLOTS, ARRAY_SLOTS as usize))
-            }
+            LockVariant::PnovaRw => AnyLock::PnovaRw(SegmentRangeLock::with_policy(
+                ARRAY_SLOTS,
+                ARRAY_SLOTS as usize,
+            )),
         }
     }
 
-    fn acquire(&self, range: Range, read: bool) -> AnyGuard<'_> {
+    fn acquire(&self, range: Range, read: bool) -> AnyGuard<'_, P> {
         match self {
             AnyLock::ListEx(l) => AnyGuard::ListEx(l.acquire(range)),
             AnyLock::ListRw(l) => {
@@ -176,9 +183,17 @@ impl AnyLock {
 
 /// Runs one ArrBench configuration and reports its throughput.
 pub fn run(config: &ArrBenchConfig) -> ArrBenchResult {
+    match config.wait {
+        WaitPolicyKind::Spin => run_with::<Spin>(config),
+        WaitPolicyKind::SpinThenYield => run_with::<SpinThenYield>(config),
+        WaitPolicyKind::Block => run_with::<Block>(config),
+    }
+}
+
+fn run_with<P: WaitPolicy>(config: &ArrBenchConfig) -> ArrBenchResult {
     assert!(config.threads > 0);
     assert!(config.read_pct <= 100);
-    let lock = Arc::new(AnyLock::new(config.lock));
+    let lock = Arc::new(AnyLock::<P>::new(config.lock));
     let slots: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(padded_vec(ARRAY_SLOTS as usize));
     let stop = Arc::new(AtomicBool::new(false));
     let total_ops = Arc::new(AtomicU64::new(0));
@@ -258,7 +273,7 @@ pub fn run_fixed_ops(
     read_pct: u32,
     ops_per_thread: u64,
 ) -> u64 {
-    let lock = Arc::new(AnyLock::new(lock));
+    let lock = Arc::new(AnyLock::<SpinThenYield>::new(lock));
     let slots: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(padded_vec(ARRAY_SLOTS as usize));
     let mut handles = Vec::with_capacity(threads);
     for thread_id in 0..threads {
@@ -321,6 +336,7 @@ mod tests {
                 let result = run(&ArrBenchConfig {
                     lock,
                     policy,
+                    wait: WaitPolicyKind::SpinThenYield,
                     threads: 2,
                     read_pct: 60,
                     duration: Duration::from_millis(30),
@@ -343,5 +359,24 @@ mod tests {
         assert_eq!(LockVariant::ListEx.name(), "list-ex");
         assert_eq!(RangePolicy::FullRange.name(), "full");
         assert_eq!(LockVariant::ALL.len(), 5);
+    }
+
+    #[test]
+    fn every_wait_policy_completes_oversubscribed() {
+        // More threads than the 2 cores a CI runner typically has: the
+        // parking paths of the block policy get exercised here.
+        for wait in WaitPolicyKind::ALL {
+            for lock in LockVariant::ALL {
+                let result = run(&ArrBenchConfig {
+                    lock,
+                    policy: RangePolicy::Random,
+                    wait,
+                    threads: 4,
+                    read_pct: 60,
+                    duration: Duration::from_millis(25),
+                });
+                assert!(result.operations > 0, "{} / {}", lock.name(), wait.name());
+            }
+        }
     }
 }

@@ -7,6 +7,8 @@
 //!   fig3-full          ArrBench, all threads acquire the full range
 //!   fig3-nonoverlap    ArrBench, per-thread disjoint ranges
 //!   fig3-random        ArrBench, random ranges
+//!   fig3-oversub       ArrBench with more threads than cores, all 5 lock
+//!                      variants x all 3 wait policies (spin/spin-yield/block)
 //!   fig4               skip-list throughput (orig / range-lustre / range-list)
 //!   fig5               Metis runtimes: stock vs tree/list, full vs refined
 //!   fig6               refinement breakdown (list-full/pf/mprotect/refined)
@@ -14,8 +16,16 @@
 //!   fig8               average wait time of the tree lock's internal spin lock
 //!   filebench          rl-file workload: reader/writer mix x threads x lock
 //!                      variant, uniform + skewed offsets, per-op wait times
+//!   filebench-oversub  filebench with more threads than cores, all 5 lock
+//!                      variants x all 3 wait policies
 //!   all                everything above
 //! ```
+//!
+//! `--threads` entries may be plain counts (`8`) or core-count multipliers
+//! (`2x` = twice the available cores), which is how the CI smoke step keeps
+//! the oversubscription experiments bounded on any runner. Without an
+//! explicit `--threads`, the oversubscription experiments sweep 1x, 2x and
+//! 4x the core count.
 //!
 //! `--quick` (default) uses scaled-down inputs that finish in a couple of
 //! minutes on a laptop; `--full` uses larger inputs closer to the paper's
@@ -30,19 +40,27 @@ use rl_bench::metisbench::{self, MetisScale};
 use rl_bench::report::Table;
 use rl_bench::skipbench::{self, SkipBenchConfig, SkipListVariant};
 use rl_metis::Workload;
+use rl_sync::WaitPolicyKind;
 
 #[derive(Debug, Clone)]
 struct Options {
     quick: bool,
     json: bool,
     threads: Vec<usize>,
+    /// `--threads` was given explicitly (the oversubscription experiments
+    /// then use it verbatim instead of their core-multiple default).
+    threads_overridden: bool,
     experiments: Vec<String>,
 }
 
-fn default_threads() -> Vec<usize> {
-    let max = std::thread::available_parallelism()
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(8);
+        .unwrap_or(8)
+}
+
+fn default_threads() -> Vec<usize> {
+    let max = available_cores();
     let mut t = vec![1, 2, 4, 8, 16, 32, 64, 128];
     t.retain(|&x| x <= max.max(2));
     if !t.contains(&max) && max > 1 {
@@ -51,11 +69,34 @@ fn default_threads() -> Vec<usize> {
     t
 }
 
+/// Thread counts for the oversubscription experiments: 1x, 2x and 4x the
+/// core count, so the sweep crosses the point where spinning waiters start
+/// fighting the scheduler on any machine.
+fn default_oversub_threads() -> Vec<usize> {
+    let cores = available_cores();
+    let mut t: Vec<usize> = [1, 2, 4].iter().map(|m| m * cores).collect();
+    t.dedup();
+    t
+}
+
+/// Parses one `--threads` entry: a plain count (`8`) or a core-count
+/// multiplier (`2x`).
+fn parse_thread_entry(entry: &str) -> usize {
+    let entry = entry.trim();
+    if let Some(mult) = entry.strip_suffix('x') {
+        let mult: usize = mult.parse().expect("invalid thread multiplier");
+        (mult * available_cores()).max(1)
+    } else {
+        entry.parse().expect("invalid thread count")
+    }
+}
+
 fn parse_args() -> Options {
     let mut opts = Options {
         quick: true,
         json: false,
         threads: default_threads(),
+        threads_overridden: false,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -69,10 +110,8 @@ fn parse_args() -> Options {
                     eprintln!("--threads requires a comma-separated list");
                     std::process::exit(2);
                 });
-                opts.threads = list
-                    .split(',')
-                    .map(|s| s.trim().parse().expect("invalid thread count"))
-                    .collect();
+                opts.threads = list.split(',').map(parse_thread_entry).collect();
+                opts.threads_overridden = true;
             }
             "--help" | "-h" => {
                 println!("see the module documentation at the top of repro.rs, or README.md");
@@ -126,6 +165,7 @@ fn run_fig3(policy: RangePolicy, opts: &Options) {
                 let result = arrbench::run(&ArrBenchConfig {
                     lock,
                     policy,
+                    wait: WaitPolicyKind::SpinThenYield,
                     threads,
                     read_pct,
                     duration: arrbench_duration(opts.quick),
@@ -133,6 +173,51 @@ fn run_fig3(policy: RangePolicy, opts: &Options) {
                 row.push(result.ops_per_sec());
             }
             table.push_row(threads as u64, row);
+        }
+        emit(&table, opts.json);
+    }
+}
+
+/// Thread counts the oversubscription experiments sweep.
+fn oversub_threads(opts: &Options) -> Vec<usize> {
+    if opts.threads_overridden {
+        opts.threads.clone()
+    } else {
+        default_oversub_threads()
+    }
+}
+
+fn run_fig3_oversub(opts: &Options) {
+    let threads = oversub_threads(opts);
+    for wait in WaitPolicyKind::ALL {
+        let columns: Vec<String> = LockVariant::ALL
+            .iter()
+            .map(|l| l.name().to_string())
+            .collect();
+        let mut table = Table::new(
+            format!(
+                "Figure 3 oversubscribed: random ranges — 60% reads — {} policy ({} cores)",
+                wait.name(),
+                available_cores()
+            ),
+            "threads",
+            "ops/sec",
+            columns,
+        );
+        for &t in &threads {
+            let mut row = Vec::new();
+            for lock in LockVariant::ALL {
+                let result = arrbench::run(&ArrBenchConfig {
+                    lock,
+                    policy: RangePolicy::Random,
+                    wait,
+                    threads: t,
+                    read_pct: 60,
+                    duration: arrbench_duration(opts.quick),
+                });
+                row.push(result.ops_per_sec());
+            }
+            table.push_row(t as u64, row);
         }
         emit(&table, opts.json);
     }
@@ -353,6 +438,7 @@ fn run_filebench(opts: &Options) {
                 for lock in FileLockVariant::ALL {
                     let result = filebench::run(&FileBenchConfig {
                         lock,
+                        wait: WaitPolicyKind::SpinThenYield,
                         threads,
                         read_pct,
                         dist,
@@ -389,6 +475,49 @@ fn run_filebench(opts: &Options) {
     }
 }
 
+fn run_filebench_oversub(opts: &Options) {
+    let threads = oversub_threads(opts);
+    for wait in WaitPolicyKind::ALL {
+        let columns: Vec<String> = FileLockVariant::ALL
+            .iter()
+            .map(|l| l.name().to_string())
+            .collect();
+        let mut table = Table::new(
+            format!(
+                "FileBench oversubscribed: uniform offsets — 50% reads — {} policy ({} cores)",
+                wait.name(),
+                available_cores()
+            ),
+            "threads",
+            "ops/sec",
+            columns,
+        );
+        for &t in &threads {
+            let mut row = Vec::new();
+            for lock in FileLockVariant::ALL {
+                let result = filebench::run(&FileBenchConfig {
+                    lock,
+                    wait,
+                    threads: t,
+                    read_pct: 50,
+                    dist: OffsetDist::Uniform,
+                    duration: filebench_duration(opts.quick),
+                });
+                assert_eq!(
+                    result.violations,
+                    0,
+                    "FileBench integrity violation under {} ({} policy, {t} threads)",
+                    lock.name(),
+                    wait.name()
+                );
+                row.push(result.ops_per_sec());
+            }
+            table.push_row(t as u64, row);
+        }
+        emit(&table, opts.json);
+    }
+}
+
 fn main() {
     let opts = parse_args();
     if !opts.json {
@@ -403,22 +532,26 @@ fn main() {
             "fig3-full" => run_fig3(RangePolicy::FullRange, &opts),
             "fig3-nonoverlap" => run_fig3(RangePolicy::NonOverlapping, &opts),
             "fig3-random" => run_fig3(RangePolicy::Random, &opts),
+            "fig3-oversub" => run_fig3_oversub(&opts),
             "fig4" => run_fig4(&opts),
             "fig5" => run_fig5(&opts),
             "fig6" => run_fig6(&opts),
             "fig7" => run_fig7(&opts),
             "fig8" => run_fig8(&opts),
             "filebench" => run_filebench(&opts),
+            "filebench-oversub" => run_filebench_oversub(&opts),
             "all" => {
                 run_fig3(RangePolicy::FullRange, &opts);
                 run_fig3(RangePolicy::NonOverlapping, &opts);
                 run_fig3(RangePolicy::Random, &opts);
+                run_fig3_oversub(&opts);
                 run_fig4(&opts);
                 run_fig5(&opts);
                 run_fig6(&opts);
                 run_fig7(&opts);
                 run_fig8(&opts);
                 run_filebench(&opts);
+                run_filebench_oversub(&opts);
             }
             other => {
                 eprintln!("unknown experiment '{other}'; run with --help for the list");

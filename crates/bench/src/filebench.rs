@@ -33,6 +33,7 @@ use range_lock::{ExclusiveAsRw, ListRangeLock, RwListRangeLock, RwRangeLock};
 use rl_baselines::{RwTreeRangeLock, SegmentRangeLock, TreeRangeLock};
 use rl_file::RangeFile;
 use rl_sync::stats::{LabeledStats, LockStatSnapshot};
+use rl_sync::wait::{Block, Spin, SpinThenYield, WaitPolicy, WaitPolicyKind};
 
 use crate::rng::{seed, xorshift};
 
@@ -124,6 +125,8 @@ impl OffsetDist {
 pub struct FileBenchConfig {
     /// Lock under test.
     pub lock: FileLockVariant,
+    /// How waiters wait (spin / spin-yield / block).
+    pub wait: WaitPolicyKind,
     /// Number of worker threads.
     pub threads: usize,
     /// Percentage of operations that are reads (0–100).
@@ -269,16 +272,30 @@ fn run_generic<L: RwRangeLock + 'static>(lock: L, config: &FileBenchConfig) -> F
 
 /// Runs one FileBench configuration.
 pub fn run(config: &FileBenchConfig) -> FileBenchResult {
+    match config.wait {
+        WaitPolicyKind::Spin => run_policy::<Spin>(config),
+        WaitPolicyKind::SpinThenYield => run_policy::<SpinThenYield>(config),
+        WaitPolicyKind::Block => run_policy::<Block>(config),
+    }
+}
+
+fn run_policy<P: WaitPolicy>(config: &FileBenchConfig) -> FileBenchResult {
     match config.lock {
-        FileLockVariant::ListRw => run_generic(RwListRangeLock::new(), config),
-        FileLockVariant::KernelRw => run_generic(RwTreeRangeLock::new(), config),
+        FileLockVariant::ListRw => run_generic(RwListRangeLock::<P>::with_policy(), config),
+        FileLockVariant::KernelRw => run_generic(RwTreeRangeLock::<P>::with_policy(), config),
         // One segment per 4 KiB page, pNOVA's natural granularity.
         FileLockVariant::PnovaRw => run_generic(
-            SegmentRangeLock::new(FILE_SIZE, (FILE_SIZE >> 12) as usize),
+            SegmentRangeLock::<P>::with_policy(FILE_SIZE, (FILE_SIZE >> 12) as usize),
             config,
         ),
-        FileLockVariant::ListEx => run_generic(ExclusiveAsRw::new(ListRangeLock::new()), config),
-        FileLockVariant::LustreEx => run_generic(ExclusiveAsRw::new(TreeRangeLock::new()), config),
+        FileLockVariant::ListEx => run_generic(
+            ExclusiveAsRw::new(ListRangeLock::<P>::with_policy()),
+            config,
+        ),
+        FileLockVariant::LustreEx => run_generic(
+            ExclusiveAsRw::new(TreeRangeLock::<P>::with_policy()),
+            config,
+        ),
     }
 }
 
@@ -368,6 +385,7 @@ mod tests {
             for dist in [OffsetDist::Uniform, OffsetDist::Skewed] {
                 let result = run(&FileBenchConfig {
                     lock,
+                    wait: WaitPolicyKind::SpinThenYield,
                     threads: 2,
                     read_pct: 80,
                     dist,
@@ -403,9 +421,37 @@ mod tests {
     }
 
     #[test]
+    fn every_wait_policy_is_violation_free_oversubscribed() {
+        // Oversubscribed (4 threads on the small CI machines) so the block
+        // policy's park/wake paths are exercised through the whole stack:
+        // FileStore -> RangeFile -> range lock -> WaitQueue.
+        for wait in WaitPolicyKind::ALL {
+            for lock in [FileLockVariant::ListRw, FileLockVariant::LustreEx] {
+                let result = run(&FileBenchConfig {
+                    lock,
+                    wait,
+                    threads: 4,
+                    read_pct: 50,
+                    dist: OffsetDist::Skewed,
+                    duration: Duration::from_millis(30),
+                });
+                assert!(result.operations > 0, "{} / {}", lock.name(), wait.name());
+                assert_eq!(
+                    result.violations,
+                    0,
+                    "integrity violation under {} / {}",
+                    lock.name(),
+                    wait.name()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn wait_accounting_reaches_the_labels() {
         let result = run(&FileBenchConfig {
             lock: FileLockVariant::ListRw,
+            wait: WaitPolicyKind::SpinThenYield,
             threads: 2,
             read_pct: 50,
             dist: OffsetDist::Uniform,

@@ -22,19 +22,34 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use rl_sync::wait::{SpinThenYield, WaitPolicy};
 use rl_sync::{RwSemReadGuard, RwSemWriteGuard, RwSemaphore};
 
 /// The impatient counter plus the auxiliary reader-writer lock.
+///
+/// The auxiliary lock waits through the same [`WaitPolicy`] as the range
+/// lock that owns the gate, so an impatient thread parks (or spins) exactly
+/// the way ordinary waiters of that lock do.
 #[derive(Debug, Default)]
-pub struct FairnessGate {
+pub struct FairnessGate<P: WaitPolicy = SpinThenYield> {
     impatient: AtomicU64,
-    aux: RwSemaphore,
+    aux: RwSemaphore<P>,
 }
 
 impl FairnessGate {
-    /// Creates a gate with a zero impatient counter.
+    /// Creates a gate with a zero impatient counter (default wait policy).
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+impl<P: WaitPolicy> FairnessGate<P> {
+    /// Creates a gate whose auxiliary lock waits through policy `P`.
+    pub fn with_policy() -> Self {
+        FairnessGate {
+            impatient: AtomicU64::new(0),
+            aux: RwSemaphore::with_policy(),
+        }
     }
 
     /// Number of threads currently escalated to impatient mode.
@@ -44,7 +59,7 @@ impl FairnessGate {
 
     /// Called at the start of a range acquisition: returns the permit the
     /// caller must hold while it attempts to insert its node.
-    pub fn enter(&self) -> FairnessPermit<'_> {
+    pub fn enter(&self) -> FairnessPermit<'_, P> {
         if self.impatient.load(Ordering::Relaxed) == 0 {
             FairnessPermit::Normal
         } else {
@@ -55,7 +70,7 @@ impl FairnessGate {
     /// Escalates a starving thread to impatient mode: bumps the counter and
     /// acquires the auxiliary lock for write. The previous permit is released
     /// first so the escalating thread cannot deadlock with itself.
-    pub fn escalate<'a>(&'a self, previous: FairnessPermit<'a>) -> FairnessPermit<'a> {
+    pub fn escalate<'a>(&'a self, previous: FairnessPermit<'a, P>) -> FairnessPermit<'a, P> {
         drop(previous);
         self.impatient.fetch_add(1, Ordering::AcqRel);
         let guard = self.aux.write();
@@ -64,18 +79,18 @@ impl FairnessGate {
 }
 
 /// What a thread holds (if anything) while acquiring a range.
-pub enum FairnessPermit<'a> {
+pub enum FairnessPermit<'a, P: WaitPolicy = SpinThenYield> {
     /// Fairness is disabled for this lock instance.
     Disabled,
     /// Counter was zero: proceed without the auxiliary lock.
     Normal,
     /// Counter was non-zero: shared hold of the auxiliary lock.
-    Reader(RwSemReadGuard<'a>),
+    Reader(RwSemReadGuard<'a, P>),
     /// This thread escalated: exclusive hold of the auxiliary lock.
-    Impatient(ImpatientGuard<'a>),
+    Impatient(ImpatientGuard<'a, P>),
 }
 
-impl FairnessPermit<'_> {
+impl<P: WaitPolicy> FairnessPermit<'_, P> {
     /// Returns `true` if, after `attempts` failed insertion attempts with the
     /// given threshold, the caller should escalate to impatient mode.
     pub fn should_escalate(&self, attempts: u32, threshold: u32) -> bool {
@@ -91,7 +106,7 @@ impl FairnessPermit<'_> {
     }
 }
 
-impl std::fmt::Debug for FairnessPermit<'_> {
+impl<P: WaitPolicy> std::fmt::Debug for FairnessPermit<'_, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let label = match self {
             FairnessPermit::Disabled => "Disabled",
@@ -105,13 +120,13 @@ impl std::fmt::Debug for FairnessPermit<'_> {
 
 /// Exclusive hold of the auxiliary lock; decrements the impatient counter on
 /// release, as prescribed by Section 4.3.
-pub struct ImpatientGuard<'a> {
-    gate: &'a FairnessGate,
+pub struct ImpatientGuard<'a, P: WaitPolicy = SpinThenYield> {
+    gate: &'a FairnessGate<P>,
     #[allow(dead_code)]
-    guard: RwSemWriteGuard<'a>,
+    guard: RwSemWriteGuard<'a, P>,
 }
 
-impl Drop for ImpatientGuard<'_> {
+impl<P: WaitPolicy> Drop for ImpatientGuard<'_, P> {
     fn drop(&mut self) {
         self.gate.impatient.fetch_sub(1, Ordering::AcqRel);
     }
@@ -167,8 +182,20 @@ mod tests {
         let permit = gate.enter();
         assert!(!permit.should_escalate(3, 16));
         assert!(permit.should_escalate(16, 16));
-        assert!(!FairnessPermit::Disabled.should_escalate(1000, 16));
+        let disabled: FairnessPermit<'_> = FairnessPermit::Disabled;
+        assert!(!disabled.should_escalate(1000, 16));
         let imp = gate.escalate(permit);
         assert!(!imp.should_escalate(1000, 16));
+    }
+
+    #[test]
+    fn escalation_works_under_the_block_policy() {
+        use rl_sync::wait::Block;
+        let gate = FairnessGate::<Block>::with_policy();
+        let permit = gate.enter();
+        let permit = gate.escalate(permit);
+        assert!(permit.is_impatient());
+        drop(permit);
+        assert_eq!(gate.impatient_count(), 0);
     }
 }

@@ -24,7 +24,13 @@
 //!   reader-writer lock) bounds starvation (Section 4.3);
 //! * node memory is recycled through **epoch-based reclamation with
 //!   per-thread pools** (Section 4.4), so the system allocator is not on the
-//!   acquisition path in steady state.
+//!   acquisition path in steady state;
+//! * waiting is a pluggable **wait policy** (`rl_sync::wait`): both locks
+//!   take a defaulted type parameter selecting `Spin`, `SpinThenYield`
+//!   (default — the paper's `Pause()` loop) or `Block` (park on a
+//!   futex-analogue queue, woken by the release paths — the behaviour of the
+//!   kernel locks the paper replaces). The empty-list fast path is the same
+//!   atomic sequence under every policy.
 //!
 //! Two lock types are provided:
 //!

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rl_sync::stats::{WaitKind, WaitStats};
-use rl_sync::Backoff;
+use rl_sync::wait::{SpinThenYield, WaitPolicy, WaitQueue};
 
 use crate::fairness::{FairnessGate, FairnessPermit};
 use crate::mutex_list::ListLockConfig;
@@ -91,30 +91,47 @@ enum InsertOutcome {
 /// drop(r2);
 /// let _w = lock.write(Range::new(0, 100)); // writers are exclusive
 /// ```
-pub struct RwListRangeLock {
+pub struct RwListRangeLock<P: WaitPolicy = SpinThenYield> {
     head: AtomicU64,
     config: ListLockConfig,
-    fairness: Option<FairnessGate>,
+    fairness: Option<FairnessGate<P>>,
     stats: Option<Arc<WaitStats>>,
+    /// Wake channel for the `Block` policy; idle under spinning policies.
+    queue: WaitQueue,
 }
 
 // SAFETY: Shared state is only touched through atomics and the epoch-protected
 // list protocol; see `ListRangeLock`.
-unsafe impl Send for RwListRangeLock {}
+unsafe impl<P: WaitPolicy> Send for RwListRangeLock<P> {}
 // SAFETY: See the `Send` justification.
-unsafe impl Sync for RwListRangeLock {}
+unsafe impl<P: WaitPolicy> Sync for RwListRangeLock<P> {}
 
 impl RwListRangeLock {
     /// Creates a lock with the default configuration (fast path on, fairness
-    /// off — the configuration evaluated in Section 7.1).
+    /// off — the configuration evaluated in Section 7.1) and the default
+    /// [`SpinThenYield`] wait policy.
     pub fn new() -> Self {
         Self::with_config(ListLockConfig::default())
     }
 
-    /// Creates a lock with an explicit configuration.
+    /// Creates a default-policy lock with an explicit configuration.
     pub fn with_config(config: ListLockConfig) -> Self {
+        Self::with_policy_config(config)
+    }
+}
+
+impl<P: WaitPolicy> RwListRangeLock<P> {
+    /// Creates a lock waiting through policy `P` with the default
+    /// configuration.
+    pub fn with_policy() -> Self {
+        Self::with_policy_config(ListLockConfig::default())
+    }
+
+    /// Creates a lock waiting through policy `P` with an explicit
+    /// configuration.
+    pub fn with_policy_config(config: ListLockConfig) -> Self {
         let fairness = if config.fairness {
-            Some(FairnessGate::new())
+            Some(FairnessGate::with_policy())
         } else {
             None
         };
@@ -123,32 +140,35 @@ impl RwListRangeLock {
             config,
             fairness,
             stats: None,
+            queue: WaitQueue::new(),
         }
     }
 
-    /// Attaches a [`WaitStats`] sink recording contended acquisition times.
+    /// Attaches a [`WaitStats`] sink recording contended acquisition times
+    /// (and, under the `Block` policy, park/wake counts).
     pub fn with_stats(mut self, stats: Arc<WaitStats>) -> Self {
+        self.queue.attach_stats(Arc::clone(&stats));
         self.stats = Some(stats);
         self
     }
 
     /// Acquires `range` in shared (reader) mode.
-    pub fn read(&self, range: Range) -> RwListRangeGuard<'_> {
+    pub fn read(&self, range: Range) -> RwListRangeGuard<'_, P> {
         self.acquire(range, true)
     }
 
     /// Acquires `range` in exclusive (writer) mode.
-    pub fn write(&self, range: Range) -> RwListRangeGuard<'_> {
+    pub fn write(&self, range: Range) -> RwListRangeGuard<'_, P> {
         self.acquire(range, false)
     }
 
     /// Acquires the entire resource in shared mode.
-    pub fn read_full(&self) -> RwListRangeGuard<'_> {
+    pub fn read_full(&self) -> RwListRangeGuard<'_, P> {
         self.read(Range::FULL)
     }
 
     /// Acquires the entire resource in exclusive mode.
-    pub fn write_full(&self) -> RwListRangeGuard<'_> {
+    pub fn write_full(&self) -> RwListRangeGuard<'_, P> {
         self.write(Range::FULL)
     }
 
@@ -158,7 +178,7 @@ impl RwListRangeLock {
     /// [`ListRangeLock::try_acquire`](crate::ListRangeLock::try_acquire),
     /// the attempt is bounded and may fail spuriously while the list is being
     /// modified concurrently.
-    pub fn try_read(&self, range: Range) -> Option<RwListRangeGuard<'_>> {
+    pub fn try_read(&self, range: Range) -> Option<RwListRangeGuard<'_, P>> {
         self.try_acquire(range, true)
     }
 
@@ -166,7 +186,7 @@ impl RwListRangeLock {
     ///
     /// Returns `None` if any overlapping range is currently held; see
     /// [`RwListRangeLock::try_read`] for the spurious-failure caveat.
-    pub fn try_write(&self, range: Range) -> Option<RwListRangeGuard<'_>> {
+    pub fn try_write(&self, range: Range) -> Option<RwListRangeGuard<'_, P>> {
         self.try_acquire(range, false)
     }
 
@@ -190,7 +210,7 @@ impl RwListRangeLock {
         self.held_ranges() == 0
     }
 
-    fn acquire(&self, range: Range, reader: bool) -> RwListRangeGuard<'_> {
+    fn acquire(&self, range: Range, reader: bool) -> RwListRangeGuard<'_, P> {
         let started = Instant::now();
         let mut contended = false;
         let kind = if reader {
@@ -250,7 +270,7 @@ impl RwListRangeLock {
 
     /// One bounded acquisition attempt: never waits and never restarts after
     /// losing a race, mirroring `try_insert_once` of the exclusive lock.
-    fn try_acquire(&self, range: Range, reader: bool) -> Option<RwListRangeGuard<'_>> {
+    fn try_acquire(&self, range: Range, reader: bool) -> Option<RwListRangeGuard<'_, P>> {
         // Fast path: empty list.
         if self.config.fast_path && self.head.load(Ordering::Acquire) == 0 {
             let node = reclaim::alloc_node(range, reader);
@@ -342,7 +362,10 @@ impl RwListRangeLock {
                             // validation would have to wait; bail out instead.
                             let ok = self.try_r_validate(lock_node);
                             if !ok {
+                                // The node was published; wake any writer
+                                // already waiting on it.
                                 lock_node.mark_deleted();
+                                P::wake(&self.queue);
                             }
                             ok
                         } else {
@@ -499,10 +522,7 @@ impl RwListRangeLock {
                 Cmp::Conflict => {
                     *contended = true;
                     let cn = cur_node.expect("Conflict implies a live node");
-                    let backoff = Backoff::new();
-                    while !is_marked(cn.next.load(Ordering::Acquire)) {
-                        backoff.snooze();
-                    }
+                    P::wait_until(&self.queue, || is_marked(cn.next.load(Ordering::Acquire)));
                     // The conflicting node is now logically deleted; the next
                     // loop iteration unlinks it and the traversal resumes from
                     // the same point.
@@ -566,12 +586,12 @@ impl RwListRangeLock {
                 prev = &cur_node.next;
                 cur = unmark(prev.load(Ordering::Acquire));
             } else {
-                // Overlapping writer: wait until it marks itself as deleted.
+                // Overlapping writer: wait (through the policy) until it
+                // marks itself as deleted.
                 *contended = true;
-                let backoff = Backoff::new();
-                while !is_marked(cur_node.next.load(Ordering::Acquire)) {
-                    backoff.snooze();
-                }
+                P::wait_until(&self.queue, || {
+                    is_marked(cur_node.next.load(Ordering::Acquire))
+                });
             }
         }
     }
@@ -610,9 +630,11 @@ impl RwListRangeLock {
                 cur = unmark(prev.load(Ordering::Acquire));
             } else {
                 // Overlapping node ahead of us in the list: a reader won the
-                // race. Leave the list and fail validation.
+                // race. Leave the list and fail validation; wake anyone that
+                // had already started waiting on our published node.
                 *contended = true;
                 lock_node.mark_deleted();
+                P::wake(&self.queue);
                 return false;
             }
         }
@@ -630,22 +652,27 @@ impl RwListRangeLock {
                     .compare_exchange(marked_ptr, 0, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
             {
+                // No wake needed: waiters only wait on nodes they reached by
+                // traversing, and traversals strip the fast-path head mark
+                // first (which would have failed this CAS).
                 // SAFETY: Unreachable from the head after the CAS.
                 unsafe { reclaim::retire_node(node) };
                 return;
             }
         }
         node_ref.mark_deleted();
+        // Wake hook: waiters poll for the mark set above.
+        P::wake(&self.queue);
     }
 }
 
-impl Default for RwListRangeLock {
+impl<P: WaitPolicy> Default for RwListRangeLock<P> {
     fn default() -> Self {
-        Self::new()
+        Self::with_policy()
     }
 }
 
-impl Drop for RwListRangeLock {
+impl<P: WaitPolicy> Drop for RwListRangeLock<P> {
     fn drop(&mut self) {
         let mut cur = unmark(*self.head.get_mut());
         while cur != 0 {
@@ -659,7 +686,7 @@ impl Drop for RwListRangeLock {
     }
 }
 
-impl std::fmt::Debug for RwListRangeLock {
+impl<P: WaitPolicy> std::fmt::Debug for RwListRangeLock<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RwListRangeLock")
             .field("held_ranges", &self.held_ranges())
@@ -670,19 +697,19 @@ impl std::fmt::Debug for RwListRangeLock {
 
 /// RAII guard for a range held in a [`RwListRangeLock`] (shared or exclusive).
 #[must_use = "the range is released as soon as the guard is dropped"]
-pub struct RwListRangeGuard<'a> {
-    lock: &'a RwListRangeLock,
+pub struct RwListRangeGuard<'a, P: WaitPolicy = SpinThenYield> {
+    lock: &'a RwListRangeLock<P>,
     node: *mut LNode,
     fast: bool,
 }
 
 // SAFETY: Releasing from another thread only performs atomic operations on the
-// shared list (mark/CAS) and retires the node into the *releasing* thread's
-// epoch pool, so a guard may be moved across threads. (The raw `node` pointer
-// is what suppresses the automatic impl.)
-unsafe impl Send for RwListRangeGuard<'_> {}
+// shared list (mark/CAS + queue wake) and retires the node into the
+// *releasing* thread's epoch pool, so a guard may be moved across threads.
+// (The raw `node` pointer is what suppresses the automatic impl.)
+unsafe impl<P: WaitPolicy> Send for RwListRangeGuard<'_, P> {}
 
-impl RwListRangeGuard<'_> {
+impl<P: WaitPolicy> RwListRangeGuard<'_, P> {
     /// The range this guard protects.
     pub fn range(&self) -> Range {
         // SAFETY: The node stays alive while the guard exists.
@@ -696,13 +723,13 @@ impl RwListRangeGuard<'_> {
     }
 }
 
-impl Drop for RwListRangeGuard<'_> {
+impl<P: WaitPolicy> Drop for RwListRangeGuard<'_, P> {
     fn drop(&mut self) {
         self.lock.release(self.node, self.fast);
     }
 }
 
-impl std::fmt::Debug for RwListRangeGuard<'_> {
+impl<P: WaitPolicy> std::fmt::Debug for RwListRangeGuard<'_, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RwListRangeGuard")
             .field("range", &self.range())
@@ -711,9 +738,9 @@ impl std::fmt::Debug for RwListRangeGuard<'_> {
     }
 }
 
-impl RwRangeLock for RwListRangeLock {
-    type ReadGuard<'a> = RwListRangeGuard<'a>;
-    type WriteGuard<'a> = RwListRangeGuard<'a>;
+impl<P: WaitPolicy> RwRangeLock for RwListRangeLock<P> {
+    type ReadGuard<'a> = RwListRangeGuard<'a, P>;
+    type WriteGuard<'a> = RwListRangeGuard<'a, P>;
 
     fn read(&self, range: Range) -> Self::ReadGuard<'_> {
         RwListRangeLock::read(self, range)
@@ -1017,6 +1044,60 @@ mod tests {
         let lock = RwListRangeLock::new();
         exercise(&lock);
         assert_eq!(RwRangeLock::name(&lock), "list-rw");
+    }
+
+    #[test]
+    fn every_wait_policy_preserves_rw_exclusion() {
+        use rl_sync::wait::{Block, Spin, WaitPolicy};
+
+        fn storm<P: WaitPolicy>(lock: RwListRangeLock<P>) {
+            const THREADS: usize = 4;
+            const ITERS: usize = 250;
+            let lock = Arc::new(lock);
+            let readers_inside = Arc::new(AtomicI64::new(0));
+            let writer_inside = Arc::new(AtomicI64::new(0));
+            let violations = Arc::new(StdAtomicU64::new(0));
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let lock = Arc::clone(&lock);
+                let readers_inside = Arc::clone(&readers_inside);
+                let writer_inside = Arc::clone(&writer_inside);
+                let violations = Arc::clone(&violations);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..ITERS {
+                        let start = ((t * 13 + i * 7) % 50) as u64 * 5;
+                        let range = Range::new(start, start + 300);
+                        if (t + i) % 3 == 0 {
+                            let g = lock.write(range);
+                            writer_inside.fetch_add(1, StdOrdering::SeqCst);
+                            if writer_inside.load(StdOrdering::SeqCst) != 1
+                                || readers_inside.load(StdOrdering::SeqCst) != 0
+                            {
+                                violations.fetch_add(1, StdOrdering::SeqCst);
+                            }
+                            writer_inside.fetch_sub(1, StdOrdering::SeqCst);
+                            drop(g);
+                        } else {
+                            let g = lock.read(range);
+                            readers_inside.fetch_add(1, StdOrdering::SeqCst);
+                            if writer_inside.load(StdOrdering::SeqCst) != 0 {
+                                violations.fetch_add(1, StdOrdering::SeqCst);
+                            }
+                            readers_inside.fetch_sub(1, StdOrdering::SeqCst);
+                            drop(g);
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(violations.load(StdOrdering::SeqCst), 0);
+            assert!(lock.is_quiescent());
+        }
+
+        storm(RwListRangeLock::<Spin>::with_policy());
+        storm(RwListRangeLock::<Block>::with_policy());
     }
 
     #[test]

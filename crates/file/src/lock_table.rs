@@ -20,6 +20,14 @@
 //! segment lock interchangeably — the underlying lock remains the one and
 //! only exclusion mechanism between owners.
 //!
+//! The table also inherits the underlying lock's **wait policy**: over
+//! `RwListRangeLock<Block>` a blocked `lock()` call parks on the lock's wait
+//! queue (instead of spinning), and every release that can unblock it —
+//! including the release-everything of an [`LockOwner`] drop — wakes that
+//! queue through the lock's release hooks. That is what makes the in-kernel
+//! `fcntl` behaviour (sleeping waiters, wake on unlock or owner exit)
+//! faithful here on oversubscribed machines.
+//!
 //! # How records map onto the underlying lock
 //!
 //! Every committed record (one owner, one range, one mode) is backed by one
@@ -900,6 +908,40 @@ mod tests {
         a.unlock_all();
         let waited = handle.join().unwrap();
         assert!(waited >= std::time::Duration::from_millis(20));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn block_policy_waiter_parks_and_owner_drop_wakes_it() {
+        use rl_sync::stats::WaitStats;
+        use rl_sync::wait::Block;
+
+        // The whole fcntl stack over the parking policy: a blocked lock()
+        // must actually park (not spin), and dropping the conflicting owner
+        // must wake it via the underlying lock's release hooks.
+        let stats = Arc::new(WaitStats::new("locktable-block"));
+        let t = Arc::new(LockTable::new(
+            RwListRangeLock::<Block>::with_policy().with_stats(Arc::clone(&stats)),
+        ));
+        let a = {
+            let mut a = t.owner("a");
+            a.lock(Range::new(0, 100), LockMode::Exclusive);
+            a
+        };
+        let t2 = Arc::clone(&t);
+        let handle = std::thread::spawn(move || {
+            let mut b = t2.owner("b");
+            b.lock(Range::new(50, 150), LockMode::Exclusive);
+        });
+        while stats.snapshot().parks == 0 {
+            std::thread::yield_now();
+        }
+        drop(a); // owner drop releases everything and wakes the queue
+        handle.join().unwrap();
+        let snap = stats.snapshot();
+        assert!(snap.parks >= 1);
+        assert!(snap.wakes >= 1);
+        assert_eq!(t.held_records(), 0);
         t.check_invariants();
     }
 

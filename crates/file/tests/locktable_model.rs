@@ -18,6 +18,7 @@ use proptest::prelude::*;
 use range_lock::{Range, RwListRangeLock, RwRangeLock};
 use rl_baselines::{RwTreeRangeLock, SegmentRangeLock};
 use rl_file::{LockMode, LockTable};
+use rl_sync::wait::{Block, Spin};
 
 /// One reference record. Kept intentionally dumb: no tiles, no guards.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -213,6 +214,35 @@ proptest! {
         // segment alignment is preserved (past-span ranges all clamp onto the
         // last segment, which would reintroduce false sharing).
         run_model(SegmentRangeLock::new(4096, 256), &ops, 16, false)?;
+    }
+}
+
+// Policy instantiations: the table semantics must be identical no matter how
+// the underlying lock waits. Sequential model runs never park, so these pin
+// the type-level plumbing (and the `Spin` policy exercises the pure-spin
+// waiters through the split/merge re-acquisition paths).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn list_rw_matches_reference_under_block_policy(
+        ops in collection::vec((0u64..3, 0u64..240, 1u64..50, any::<u8>()), 1..40),
+    ) {
+        run_model(RwListRangeLock::<Block>::with_policy(), &ops, 1, true)?;
+    }
+
+    #[test]
+    fn kernel_rw_matches_reference_under_spin_policy(
+        ops in collection::vec((0u64..3, 0u64..240, 1u64..50, any::<u8>()), 1..40),
+    ) {
+        run_model(RwTreeRangeLock::<Spin>::with_policy(), &ops, 1, true)?;
+    }
+
+    #[test]
+    fn pnova_rw_matches_reference_under_block_policy(
+        ops in collection::vec((0u64..3, 0u64..200, 1u64..50, any::<u8>()), 1..40),
+    ) {
+        run_model(SegmentRangeLock::<Block>::with_policy(4096, 256), &ops, 16, false)?;
     }
 }
 

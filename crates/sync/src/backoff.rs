@@ -49,10 +49,14 @@ pub struct Backoff {
 }
 
 impl Backoff {
-    /// Number of doublings before [`Backoff::spin`] stops growing.
-    const SPIN_LIMIT: u32 = 6;
-    /// Number of doublings before [`Backoff::snooze`] starts yielding.
-    const YIELD_LIMIT: u32 = 10;
+    /// Last step at which [`Backoff::snooze`] still spins; from the next
+    /// step on it escalates to [`std::thread::yield_now`]. [`Backoff::spin`]
+    /// caps its pause count at `2^SPIN_LIMIT` from here on.
+    pub const SPIN_LIMIT: u32 = 6;
+    /// Last step that still advances the counter; one step past it,
+    /// [`Backoff::is_completed`] reports that callers should consider
+    /// parking instead of polling.
+    pub const YIELD_LIMIT: u32 = 10;
 
     /// Creates a fresh backoff state.
     #[inline]
@@ -68,22 +72,34 @@ impl Backoff {
         self.step.set(0);
     }
 
-    /// Spins for `2^step` pause instructions, growing `step` up to a limit.
+    /// Advances the step towards completion; both [`Backoff::spin`] and
+    /// [`Backoff::snooze`] advance the *same* counter so mixed call sites
+    /// (e.g. a test-and-test-and-set loop that snoozes while the lock looks
+    /// held and spins after a failed CAS) escalate consistently.
     #[inline]
-    pub fn spin(&self) {
-        let step = self.step.get().min(Self::SPIN_LIMIT);
-        for _ in 0..(1u32 << step) {
-            pause();
-        }
-        if self.step.get() <= Self::SPIN_LIMIT {
-            self.step.set(self.step.get() + 1);
+    fn advance(&self, step: u32) {
+        if step <= Self::YIELD_LIMIT {
+            self.step.set(step + 1);
         }
     }
 
-    /// Spins like [`Backoff::spin`] but yields the thread once the spin
-    /// budget is exhausted. Use this in loops that may wait for a long time
-    /// (e.g. waiting for an overlapping range holder to finish its critical
-    /// section).
+    /// Spins for `2^min(step, SPIN_LIMIT)` pause instructions and advances
+    /// the step. Never yields the CPU; pair with [`Backoff::is_completed`]
+    /// (or use [`Backoff::snooze`]) in loops that may wait for long.
+    #[inline]
+    pub fn spin(&self) {
+        let step = self.step.get();
+        for _ in 0..(1u32 << step.min(Self::SPIN_LIMIT)) {
+            pause();
+        }
+        self.advance(step);
+    }
+
+    /// Spins like [`Backoff::spin`] while the step is within
+    /// [`Backoff::SPIN_LIMIT`], then escalates to
+    /// [`std::thread::yield_now`] on every further call. Use this in loops
+    /// that may wait for a long time (e.g. waiting for an overlapping range
+    /// holder to finish its critical section).
     #[inline]
     pub fn snooze(&self) {
         let step = self.step.get();
@@ -94,13 +110,20 @@ impl Backoff {
         } else {
             std::thread::yield_now();
         }
-        if step <= Self::YIELD_LIMIT {
-            self.step.set(step + 1);
-        }
+        self.advance(step);
+    }
+
+    /// Returns `true` once the next [`Backoff::snooze`] would yield the
+    /// thread instead of spinning — the escalation boundary, pinned by the
+    /// unit tests below.
+    #[inline]
+    pub fn would_yield(&self) -> bool {
+        self.step.get() > Self::SPIN_LIMIT
     }
 
     /// Returns `true` once the exponential phase is over and callers should
-    /// consider blocking instead of spinning.
+    /// consider blocking instead of spinning. Both [`Backoff::spin`] and
+    /// [`Backoff::snooze`] reach this point after the same number of calls.
     #[inline]
     pub fn is_completed(&self) -> bool {
         self.step.get() > Self::YIELD_LIMIT
@@ -144,8 +167,45 @@ mod tests {
         for _ in 0..100 {
             b.spin();
         }
-        // The spin budget saturates; we only check this terminates quickly.
-        assert!(b.is_completed() || !b.is_completed());
+        // The spin budget saturates and, unlike before, the spin-only path
+        // also reaches completion so callers polling `is_completed` to
+        // decide when to park are never stranded.
+        assert!(b.is_completed());
+    }
+
+    #[test]
+    fn snooze_escalates_to_yield_exactly_past_the_spin_limit() {
+        // Pins the escalation boundary: steps 0..=SPIN_LIMIT spin, every
+        // later snooze yields.
+        let b = Backoff::new();
+        for _ in 0..=Backoff::SPIN_LIMIT {
+            assert!(!b.would_yield(), "escalated too early");
+            b.snooze();
+        }
+        assert!(b.would_yield(), "snooze must yield past SPIN_LIMIT");
+        assert!(!b.is_completed(), "yield phase precedes completion");
+        b.reset();
+        assert!(!b.would_yield());
+    }
+
+    #[test]
+    fn spin_and_snooze_share_one_escalation_schedule() {
+        // Mixed call sites (snooze while the lock looks held, spin after a
+        // failed CAS) must escalate on the same schedule as pure snooze.
+        let mixed = Backoff::new();
+        let pure = Backoff::new();
+        for i in 0..=Backoff::YIELD_LIMIT {
+            if i % 2 == 0 {
+                mixed.spin();
+            } else {
+                mixed.snooze();
+            }
+            pure.snooze();
+            assert_eq!(mixed.would_yield(), pure.would_yield(), "step {i}");
+            assert_eq!(mixed.is_completed(), pure.is_completed(), "step {i}");
+        }
+        assert!(mixed.is_completed());
+        assert!(pure.is_completed());
     }
 
     #[test]

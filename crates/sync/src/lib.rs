@@ -15,8 +15,13 @@
 //!   validation of Section 5.2 of the paper.
 //! * [`Backoff`] and [`pause`] — polite busy-waiting, the `Pause()` of the
 //!   paper's pseudo-code.
+//! * [`wait`] — the pluggable wait-policy layer ([`Spin`], [`SpinThenYield`],
+//!   [`Block`]) plus the futex-analogue [`WaitQueue`] every lock in the
+//!   workspace parks on under the blocking policy.
 //! * [`stats`] — per-lock wait-time accounting, the user-space analogue of
-//!   the kernel's `lock_stat` facility used to produce Figures 7 and 8.
+//!   the kernel's `lock_stat` facility used to produce Figures 7 and 8, now
+//!   including park/wake counters that attribute waiting to blocked vs spun
+//!   time.
 //!
 //! All primitives are dependency-free (only `std` plus `crossbeam-utils` for
 //! cache padding) and are written so that their fast paths are a handful of
@@ -30,6 +35,7 @@ pub mod rwsem;
 pub mod seqcount;
 pub mod spinlock;
 pub mod stats;
+pub mod wait;
 
 pub use backoff::{pause, spin_loop_hint, Backoff};
 pub use padded::CachePadded;
@@ -37,3 +43,4 @@ pub use rwsem::{RwSemReadGuard, RwSemWriteGuard, RwSemaphore};
 pub use seqcount::SeqCount;
 pub use spinlock::{SpinLock, SpinLockGuard};
 pub use stats::{LabeledStats, LockStatRegistry, LockStatSnapshot, WaitKind, WaitStats};
+pub use wait::{Block, Spin, SpinThenYield, WaitPolicy, WaitPolicyKind, WaitQueue};

@@ -155,6 +155,7 @@ impl<T: Default> Default for SpinLock<T> {
 }
 
 /// RAII guard returned by [`SpinLock::lock`]; releases the lock on drop.
+#[must_use = "the lock is released as soon as the guard is dropped"]
 pub struct SpinLockGuard<'a, T: ?Sized> {
     lock: &'a SpinLock<T>,
 }

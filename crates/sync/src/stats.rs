@@ -45,6 +45,8 @@ pub struct WaitStats {
     write_waits: AtomicU64,
     write_wait_ns: AtomicU64,
     acquisitions: AtomicU64,
+    parks: AtomicU64,
+    wakes: AtomicU64,
 }
 
 impl WaitStats {
@@ -57,6 +59,8 @@ impl WaitStats {
             write_waits: AtomicU64::new(0),
             write_wait_ns: AtomicU64::new(0),
             acquisitions: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
         }
     }
 
@@ -116,6 +120,20 @@ impl WaitStats {
         }
     }
 
+    /// Records one park: a waiter descheduled itself (condvar wait) instead
+    /// of spinning. Fed by the lock's `WaitQueue` under the `Block` policy;
+    /// always zero under the spinning policies.
+    #[inline]
+    pub fn record_park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one wake broadcast that found at least one parked waiter.
+    #[inline]
+    pub fn record_wake(&self) {
+        self.wakes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Returns a consistent-enough copy of the counters.
     ///
     /// Counters are read with relaxed ordering; a snapshot taken while other
@@ -129,6 +147,8 @@ impl WaitStats {
             read_wait_ns: self.read_wait_ns.load(Ordering::Relaxed),
             write_waits: self.write_waits.load(Ordering::Relaxed),
             write_wait_ns: self.write_wait_ns.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
         }
     }
 
@@ -139,6 +159,8 @@ impl WaitStats {
         self.write_waits.store(0, Ordering::Relaxed);
         self.write_wait_ns.store(0, Ordering::Relaxed);
         self.acquisitions.store(0, Ordering::Relaxed);
+        self.parks.store(0, Ordering::Relaxed);
+        self.wakes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -157,6 +179,13 @@ pub struct LockStatSnapshot {
     pub write_waits: u64,
     /// Total nanoseconds spent waiting in write acquisitions.
     pub write_wait_ns: u64,
+    /// Number of times a waiter parked (descheduled itself) instead of
+    /// spinning. Non-zero only under the `Block` wait policy; together with
+    /// the wait-time totals this attributes waiting to blocked vs spun time
+    /// in the Figure 7/8 tables.
+    pub parks: u64,
+    /// Number of wake broadcasts that found at least one parked waiter.
+    pub wakes: u64,
 }
 
 impl LockStatSnapshot {
@@ -364,6 +393,20 @@ mod tests {
         s.reset();
         assert_eq!(s.snapshot().total_wait_ns(), 0);
         assert_eq!(s.snapshot().acquisitions, 0);
+    }
+
+    #[test]
+    fn park_wake_counters_accumulate_and_reset() {
+        let s = WaitStats::new("x");
+        s.record_park();
+        s.record_park();
+        s.record_wake();
+        let snap = s.snapshot();
+        assert_eq!(snap.parks, 2);
+        assert_eq!(snap.wakes, 1);
+        s.reset();
+        assert_eq!(s.snapshot().parks, 0);
+        assert_eq!(s.snapshot().wakes, 0);
     }
 
     #[test]

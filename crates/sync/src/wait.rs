@@ -1,0 +1,439 @@
+//! Pluggable wait policies: what a lock waiter does while it cannot proceed.
+//!
+//! The paper's pseudo-code waits by spinning (`Pause()` in a loop), which is
+//! the right model on a machine with spare cores — but the kernel locks the
+//! range locks replace (`mmap_sem`, the Lustre tree lock) *block* their
+//! waiters, and on an oversubscribed machine spinning measures the scheduler
+//! instead of the lock. This module makes the waiting strategy a type
+//! parameter of every lock in the workspace:
+//!
+//! * [`Spin`] — pure busy-waiting with exponential backoff, never yields the
+//!   CPU. The strongest form of the paper's `Pause()` loop; only honest when
+//!   threads ≤ cores.
+//! * [`SpinThenYield`] — busy-wait briefly, then interleave
+//!   [`std::thread::yield_now`] between polls. The workspace default, and
+//!   what every lock did before this layer existed.
+//! * [`Block`] — busy-wait briefly, then **park** on the lock's
+//!   [`WaitQueue`] until a release wakes the queue. The user-space analogue
+//!   of a futex wait: the kernel-fidelity choice, and the only policy whose
+//!   waiters consume no CPU while descheduled.
+//!
+//! Locks own one [`WaitQueue`] each and call
+//! [`WaitPolicy::wait_until`]/[`WaitPolicy::wake`] instead of open-coded
+//! backoff loops. For the spinning policies `wake` compiles to nothing, so
+//! release fast paths stay exactly the atomic sequences the paper describes;
+//! under [`Block`] a release performs one generation bump (fetch-add) plus
+//! one load when no one is parked.
+//!
+//! # Granularity
+//!
+//! The queue is **per lock**, not per waited-on range: a release broadcasts
+//! to every parked waiter of that lock, each re-checks its own predicate,
+//! and the non-matching ones re-park — like a futex where all waiters share
+//! one word. That costs O(parked waiters) spurious wakeups per release
+//! under heavy disjoint-range parking; per-conflict-node queues would wake
+//! selectively and are the natural next refinement if profiles ever show
+//! the herd (the segment lock already gets per-segment granularity for
+//! free, since each segment is its own `RwSemaphore` with its own queue).
+//!
+//! # Lost wakeups
+//!
+//! [`WaitQueue`] is an eventcount: a generation counter plus a
+//! mutex/condvar pair. Waiters re-check their predicate with the generation
+//! snapshotted under the queue mutex; wakers bump the generation *before*
+//! checking for parked waiters (both with sequentially consistent ordering),
+//! so either the waker observes the waiter and notifies under the mutex, or
+//! the waiter observes the new generation and re-checks its predicate. A
+//! wakeup can therefore never fall between a waiter's predicate check and
+//! its park.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::atomic::{AtomicBool, Ordering};
+//! use rl_sync::wait::{Block, WaitPolicy, WaitQueue};
+//!
+//! let queue = WaitQueue::new();
+//! let flag = AtomicBool::new(true); // pretend a release already happened
+//! Block::wait_until(&queue, || flag.load(Ordering::Acquire));
+//! Block::wake(&queue); // no waiters: two atomics, no syscall
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::backoff::Backoff;
+use crate::stats::WaitStats;
+
+/// A futex-analogue wait queue (eventcount) owned by a lock instance.
+///
+/// Waiters park until the queue's generation advances; every release path of
+/// the owning lock bumps the generation through [`WaitQueue::wake_all`]
+/// (via [`WaitPolicy::wake`]). The queue also counts parks and effective
+/// wakes so benchmarks can attribute wait time to blocking vs spinning; the
+/// counters are mirrored into an attached [`WaitStats`] when the owning lock
+/// has one.
+pub struct WaitQueue {
+    /// Bumped by every wake; waiters park only while it is unchanged.
+    generation: AtomicU64,
+    /// Number of threads currently inside [`WaitQueue::park_until`].
+    waiters: AtomicU64,
+    /// Total individual parks (condvar waits) since construction.
+    parks: AtomicU64,
+    /// Total wake broadcasts that found at least one waiter.
+    wakes: AtomicU64,
+    gate: Mutex<()>,
+    condvar: Condvar,
+    /// Optional mirror for the park/wake counters, attached by the owning
+    /// lock's `with_stats` builder before the lock is shared.
+    stats: Option<Arc<WaitStats>>,
+}
+
+impl WaitQueue {
+    /// Creates an empty queue.
+    pub const fn new() -> Self {
+        WaitQueue {
+            generation: AtomicU64::new(0),
+            waiters: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+            gate: Mutex::new(()),
+            condvar: Condvar::new(),
+            stats: None,
+        }
+    }
+
+    /// Mirrors this queue's park/wake counters into `stats`.
+    ///
+    /// Must be called before the queue is shared (it takes `&mut self`),
+    /// which is why every lock exposes it through its `with_stats` builder.
+    pub fn attach_stats(&mut self, stats: Arc<WaitStats>) {
+        self.stats = Some(stats);
+    }
+
+    /// Number of individual parks (one per condvar wait) so far.
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// Number of wake broadcasts that found at least one parked waiter.
+    pub fn wakes(&self) -> u64 {
+        self.wakes.load(Ordering::Relaxed)
+    }
+
+    /// Parks the calling thread until `cond` returns `true`.
+    ///
+    /// `cond` is re-evaluated under the queue mutex whenever the generation
+    /// advances; it may have side effects (e.g. a CAS that acquires the
+    /// lock) because it runs exactly once per observed generation.
+    pub fn park_until(&self, mut cond: impl FnMut() -> bool) {
+        let mut guard = self.gate.lock();
+        // SeqCst pairs with the SeqCst generation bump in `wake_all`: either
+        // the waker sees our increment, or we see its bump (Dekker-style).
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        loop {
+            let generation = self.generation.load(Ordering::SeqCst);
+            if cond() {
+                break;
+            }
+            while self.generation.load(Ordering::SeqCst) == generation {
+                self.parks.fetch_add(1, Ordering::Relaxed);
+                if let Some(stats) = &self.stats {
+                    stats.record_park();
+                }
+                self.condvar.wait(&mut guard);
+            }
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wakes every parked waiter so it re-checks its predicate.
+    ///
+    /// When nobody is parked this is one fetch-add plus one load — cheap
+    /// enough for uncontended release paths.
+    pub fn wake_all(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) != 0 {
+            self.wakes.fetch_add(1, Ordering::Relaxed);
+            if let Some(stats) = &self.stats {
+                stats.record_wake();
+            }
+            // Taking the gate orders the notification after any waiter that
+            // read the old generation has actually parked (or re-checked).
+            let _guard = self.gate.lock();
+            self.condvar.notify_all();
+        }
+    }
+}
+
+impl Default for WaitQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for WaitQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitQueue")
+            .field("waiters", &self.waiters.load(Ordering::Relaxed))
+            .field("parks", &self.parks())
+            .field("wakes", &self.wakes())
+            .finish()
+    }
+}
+
+/// How a lock waiter passes the time until its predicate becomes true.
+///
+/// Implementations are zero-sized strategy types plugged into the locks as a
+/// defaulted type parameter (`ListRangeLock<P: WaitPolicy = SpinThenYield>`
+/// and friends). All three policies live in this module; downstream crates
+/// select one at the type level and the lock's release paths call
+/// [`WaitPolicy::wake`], which only does work under [`Block`].
+pub trait WaitPolicy: Send + Sync + Default + Copy + std::fmt::Debug + 'static {
+    /// Stable short name used by benchmark reports
+    /// (`"spin"` / `"spin-yield"` / `"block"`).
+    const NAME: &'static str;
+
+    /// Whether waiters of this policy may park (deschedule) themselves.
+    const BLOCKS: bool;
+
+    /// Returns once `cond` yields `true`. `queue` is the owning lock's wake
+    /// channel; spinning policies ignore it.
+    fn wait_until(queue: &WaitQueue, cond: impl FnMut() -> bool);
+
+    /// Called by the owning lock's release paths after the state change that
+    /// `cond` observes has been published. A no-op for spinning policies.
+    fn wake(queue: &WaitQueue);
+}
+
+/// Pure busy-waiting with exponential backoff; never yields the CPU.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Spin;
+
+impl WaitPolicy for Spin {
+    const NAME: &'static str = "spin";
+    const BLOCKS: bool = false;
+
+    #[inline]
+    fn wait_until(_queue: &WaitQueue, mut cond: impl FnMut() -> bool) {
+        let backoff = Backoff::new();
+        while !cond() {
+            backoff.spin();
+        }
+    }
+
+    #[inline]
+    fn wake(_queue: &WaitQueue) {}
+}
+
+/// Busy-wait briefly, then interleave [`std::thread::yield_now`] between
+/// polls (the pre-refactor behaviour of every lock in the workspace).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpinThenYield;
+
+impl WaitPolicy for SpinThenYield {
+    const NAME: &'static str = "spin-yield";
+    const BLOCKS: bool = false;
+
+    #[inline]
+    fn wait_until(_queue: &WaitQueue, mut cond: impl FnMut() -> bool) {
+        let backoff = Backoff::new();
+        while !cond() {
+            backoff.snooze();
+        }
+    }
+
+    #[inline]
+    fn wake(_queue: &WaitQueue) {}
+}
+
+/// Busy-wait through one backoff ramp, then park on the lock's
+/// [`WaitQueue`] until a release wakes it (the futex-style, kernel-fidelity
+/// policy).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Block;
+
+impl WaitPolicy for Block {
+    const NAME: &'static str = "block";
+    const BLOCKS: bool = true;
+
+    #[inline]
+    fn wait_until(queue: &WaitQueue, mut cond: impl FnMut() -> bool) {
+        // Optimistic phase: the holder usually releases within the backoff
+        // ramp, in which case we never touch the queue.
+        let backoff = Backoff::new();
+        while !backoff.is_completed() {
+            if cond() {
+                return;
+            }
+            backoff.snooze();
+        }
+        queue.park_until(cond);
+    }
+
+    #[inline]
+    fn wake(queue: &WaitQueue) {
+        queue.wake_all();
+    }
+}
+
+/// Runtime selector for the three [`WaitPolicy`] types, used by the
+/// benchmark harness to sweep the policy axis from CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitPolicyKind {
+    /// [`Spin`].
+    Spin,
+    /// [`SpinThenYield`].
+    SpinThenYield,
+    /// [`Block`].
+    Block,
+}
+
+impl WaitPolicyKind {
+    /// All policies, in escalation order.
+    pub const ALL: [WaitPolicyKind; 3] = [
+        WaitPolicyKind::Spin,
+        WaitPolicyKind::SpinThenYield,
+        WaitPolicyKind::Block,
+    ];
+
+    /// Stable short name matching [`WaitPolicy::NAME`].
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitPolicyKind::Spin => Spin::NAME,
+            WaitPolicyKind::SpinThenYield => SpinThenYield::NAME,
+            WaitPolicyKind::Block => Block::NAME,
+        }
+    }
+
+    /// Parses a name as printed by [`WaitPolicyKind::name`].
+    pub fn parse(name: &str) -> Option<Self> {
+        WaitPolicyKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    #[test]
+    fn satisfied_condition_returns_immediately() {
+        let queue = WaitQueue::new();
+        Spin::wait_until(&queue, || true);
+        SpinThenYield::wait_until(&queue, || true);
+        Block::wait_until(&queue, || true);
+        assert_eq!(queue.parks(), 0);
+    }
+
+    #[test]
+    fn block_parks_and_release_wakes() {
+        let queue = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                Block::wait_until(&queue, || flag.load(Ordering::Acquire));
+            })
+        };
+        // Give the waiter long enough to exhaust the backoff ramp and park
+        // (the ramp is a few microseconds of spinning).
+        while queue.parks() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        flag.store(true, Ordering::Release);
+        Block::wake(&queue);
+        waiter.join().unwrap();
+        assert!(queue.parks() >= 1);
+        assert_eq!(queue.wakes(), 1);
+    }
+
+    #[test]
+    fn wake_with_no_waiters_is_quiet() {
+        let queue = WaitQueue::new();
+        for _ in 0..100 {
+            Block::wake(&queue);
+        }
+        assert_eq!(queue.wakes(), 0);
+    }
+
+    #[test]
+    fn no_lost_wakeup_under_rapid_handoff() {
+        // A writer flips a flag and wakes; the waiter must always observe the
+        // flip in bounded time, across many iterations racing the park.
+        const ITERS: usize = 2_000;
+        let queue = Arc::new(WaitQueue::new());
+        let turn = Arc::new(AtomicU64::new(0));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            let turn = Arc::clone(&turn);
+            std::thread::spawn(move || {
+                for i in 0..ITERS as u64 {
+                    Block::wait_until(&queue, || turn.load(Ordering::Acquire) > i);
+                }
+            })
+        };
+        for i in 0..ITERS as u64 {
+            turn.store(i + 1, Ordering::Release);
+            Block::wake(&queue);
+            // Vary the interleaving so some rounds race the park itself.
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn park_counters_mirror_into_stats() {
+        let stats = Arc::new(WaitStats::new("queue"));
+        let mut queue = WaitQueue::new();
+        queue.attach_stats(Arc::clone(&stats));
+        let queue = Arc::new(queue);
+        let flag = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                queue.park_until(|| flag.load(Ordering::Acquire));
+            })
+        };
+        while queue.parks() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        flag.store(true, Ordering::Release);
+        queue.wake_all();
+        waiter.join().unwrap();
+        let snap = stats.snapshot();
+        assert!(snap.parks >= 1);
+        assert_eq!(snap.wakes, 1);
+    }
+
+    #[test]
+    fn kind_round_trips_names() {
+        for kind in WaitPolicyKind::ALL {
+            assert_eq!(WaitPolicyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(WaitPolicyKind::parse("nope"), None);
+        assert_eq!(WaitPolicyKind::Block.name(), "block");
+        // Exercised through a function so the values are not compile-time
+        // constants to the test body.
+        fn blocks<P: WaitPolicy>() -> bool {
+            P::BLOCKS
+        }
+        assert!(blocks::<Block>());
+        assert!(!blocks::<Spin>());
+        assert!(!blocks::<SpinThenYield>());
+    }
+
+    #[test]
+    fn queue_debug_lists_counters() {
+        let queue = WaitQueue::default();
+        let s = format!("{queue:?}");
+        assert!(s.contains("parks"));
+    }
+}

@@ -113,6 +113,24 @@ fn segment_rw_lock_provides_reader_writer_exclusion() {
 }
 
 #[test]
+fn every_lock_variant_provides_exclusion_under_every_wait_policy() {
+    use range_locks_repro::rl_sync::wait::{Block, Spin};
+
+    // The exclusion matrix must be policy-independent: the wait policy only
+    // changes *how* threads wait, never *whether* they wait.
+    check_exclusive(ListRangeLock::<Spin>::with_policy());
+    check_exclusive(ListRangeLock::<Block>::with_policy());
+    check_exclusive(TreeRangeLock::<Spin>::with_policy());
+    check_exclusive(TreeRangeLock::<Block>::with_policy());
+    check_rw(RwListRangeLock::<Spin>::with_policy());
+    check_rw(RwListRangeLock::<Block>::with_policy());
+    check_rw(RwTreeRangeLock::<Spin>::with_policy());
+    check_rw(RwTreeRangeLock::<Block>::with_policy());
+    check_rw(SegmentRangeLock::<Spin>::with_policy(256, 32));
+    check_rw(SegmentRangeLock::<Block>::with_policy(256, 32));
+}
+
+#[test]
 fn disjoint_writers_scale_without_blocking() {
     // Eight writers on fully disjoint ranges must all hold their guards at
     // the same time.

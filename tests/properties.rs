@@ -94,6 +94,48 @@ proptest! {
         prop_assert!(lock.is_quiescent());
     }
 
+    /// The list locks behave identically under every wait policy for
+    /// sequential usage: the policy only changes how contended waiters pass
+    /// the time, which sequential runs never reach — so these pin the
+    /// policy-generic plumbing across the whole property space.
+    #[test]
+    fn list_lock_sequential_usage_is_policy_independent(
+        ranges in proptest::collection::vec(range_strategy(), 1..32),
+    ) {
+        use range_locks_repro::rl_sync::wait::{Block, Spin};
+        let spin = ListRangeLock::<Spin>::with_policy();
+        let block = ListRangeLock::<Block>::with_policy();
+        for r in &ranges {
+            drop(spin.acquire(*r));
+            drop(block.acquire(*r));
+        }
+        prop_assert!(spin.is_quiescent());
+        prop_assert!(block.is_quiescent());
+    }
+
+    /// Reader-writer variant of the policy-independence property.
+    #[test]
+    fn rw_list_lock_sequential_usage_is_policy_independent(
+        ops in proptest::collection::vec((range_strategy(), any::<bool>()), 1..32),
+    ) {
+        use range_locks_repro::rl_sync::wait::{Block, Spin};
+        let spin = RwListRangeLock::<Spin>::with_policy();
+        let block = RwListRangeLock::<Block>::with_policy();
+        for (range, reader) in ops {
+            let (a, b) = if reader {
+                (spin.read(range), block.read(range))
+            } else {
+                (spin.write(range), block.write(range))
+            };
+            prop_assert_eq!(a.range(), range);
+            prop_assert_eq!(b.range(), range);
+            drop(a);
+            drop(b);
+        }
+        prop_assert!(spin.is_quiescent());
+        prop_assert!(block.is_quiescent());
+    }
+
     /// The VMA-space mmap/munmap/mprotect logic agrees with a simple
     /// page-protection model (a BTreeMap from page index to protection).
     #[test]

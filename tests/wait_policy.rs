@@ -1,0 +1,174 @@
+//! Lost-wakeup stress suite for the `Block` wait policy.
+//!
+//! Threads repeatedly acquire *overlapping* ranges under the parking policy
+//! while holders release concurrently, so parks race releases from every
+//! direction. A lost wakeup would leave a thread parked forever; each storm
+//! therefore runs under a bounded-time join — if any worker is still parked
+//! after the deadline, the test fails instead of hanging the suite.
+//!
+//! Every lock variant of the workspace is exercised (the two list locks, the
+//! two tree locks, the segment lock), plus the `RwSemaphore` and the
+//! `LockTable` fcntl composition over a blocking list lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use range_locks_repro::range_lock::{
+    ListRangeLock, Range, RangeLock, RwListRangeLock, RwRangeLock,
+};
+use range_locks_repro::rl_baselines::{RwTreeRangeLock, SegmentRangeLock, TreeRangeLock};
+use range_locks_repro::rl_file::{LockMode, LockTable};
+use range_locks_repro::rl_sync::wait::Block;
+use range_locks_repro::rl_sync::RwSemaphore;
+
+/// Generous per-storm deadline: the work itself takes well under a second;
+/// only a thread parked forever can exceed this.
+const DEADLINE: Duration = Duration::from_secs(60);
+
+const THREADS: usize = 4;
+const ITERS: usize = 400;
+
+/// Runs `spawn_worker(t)` for every thread id and fails the test if any
+/// worker has not finished by the deadline (i.e. stayed parked).
+fn join_bounded<F>(label: &str, spawn_worker: F)
+where
+    F: Fn(usize) -> Box<dyn FnOnce() + Send>,
+{
+    let (tx, rx) = mpsc::channel();
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let tx = tx.clone();
+        let work = spawn_worker(t);
+        handles.push(std::thread::spawn(move || {
+            work();
+            tx.send(t).expect("main stopped listening");
+        }));
+    }
+    drop(tx);
+    for _ in 0..THREADS {
+        rx.recv_timeout(DEADLINE).unwrap_or_else(|_| {
+            panic!("{label}: a worker stayed parked past the deadline (lost wakeup)")
+        });
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Overlapping-range storm over an exclusive lock.
+fn storm_exclusive<L>(label: &'static str, lock: L)
+where
+    L: RangeLock + 'static,
+{
+    let lock = Arc::new(lock);
+    join_bounded(label, |t| {
+        let lock = Arc::clone(&lock);
+        Box::new(move || {
+            for i in 0..ITERS {
+                // Every range overlaps the centre, so parkers and releasers
+                // continuously interleave.
+                let start = ((t * 7 + i) % 8) as u64 * 8;
+                let guard = lock.acquire(Range::new(start, start + 80));
+                std::hint::black_box(&guard);
+                drop(guard);
+            }
+        })
+    });
+}
+
+/// Overlapping-range storm over a reader-writer lock (mixed modes).
+fn storm_rw<L>(label: &'static str, lock: L)
+where
+    L: RwRangeLock + 'static,
+{
+    let lock = Arc::new(lock);
+    join_bounded(label, |t| {
+        let lock = Arc::clone(&lock);
+        Box::new(move || {
+            for i in 0..ITERS {
+                let start = ((t * 11 + i * 3) % 8) as u64 * 8;
+                let range = Range::new(start, start + 80);
+                if (t + i) % 3 == 0 {
+                    drop(lock.write(range));
+                } else {
+                    drop(lock.read(range));
+                }
+            }
+        })
+    });
+}
+
+#[test]
+fn list_ex_block_policy_never_loses_a_wakeup() {
+    storm_exclusive("list-ex/block", ListRangeLock::<Block>::with_policy());
+}
+
+#[test]
+fn lustre_ex_block_policy_never_loses_a_wakeup() {
+    storm_exclusive("lustre-ex/block", TreeRangeLock::<Block>::with_policy());
+}
+
+#[test]
+fn list_rw_block_policy_never_loses_a_wakeup() {
+    storm_rw("list-rw/block", RwListRangeLock::<Block>::with_policy());
+}
+
+#[test]
+fn kernel_rw_block_policy_never_loses_a_wakeup() {
+    storm_rw("kernel-rw/block", RwTreeRangeLock::<Block>::with_policy());
+}
+
+#[test]
+fn pnova_rw_block_policy_never_loses_a_wakeup() {
+    storm_rw(
+        "pnova-rw/block",
+        SegmentRangeLock::<Block>::with_policy(256, 32),
+    );
+}
+
+#[test]
+fn rwsem_block_policy_never_loses_a_wakeup() {
+    let sem = Arc::new(RwSemaphore::<Block>::with_policy());
+    join_bounded("rwsem/block", |t| {
+        let sem = Arc::clone(&sem);
+        Box::new(move || {
+            for i in 0..ITERS {
+                if (t + i) % 3 == 0 {
+                    drop(sem.write());
+                } else {
+                    drop(sem.read());
+                }
+            }
+        })
+    });
+}
+
+#[test]
+fn lock_table_block_policy_never_loses_a_wakeup() {
+    // Each worker is its own fcntl owner; overlapping lock/unlock cycles
+    // drive the parking paths through split/merge re-acquisition, and the
+    // final owner drop exercises the release-everything wake.
+    let table = Arc::new(LockTable::new(RwListRangeLock::<Block>::with_policy()));
+    let completed = Arc::new(AtomicU64::new(0));
+    join_bounded("lock-table/block", |t| {
+        let table = Arc::clone(&table);
+        let completed = Arc::clone(&completed);
+        Box::new(move || {
+            let mut owner = table.owner(format!("o{t}"));
+            for i in 0..ITERS / 4 {
+                let start = ((t * 5 + i) % 8) as u64 * 8;
+                let range = Range::new(start, start + 60);
+                if (t + i) % 4 == 0 {
+                    owner.lock(range, LockMode::Exclusive);
+                } else {
+                    owner.lock(range, LockMode::Shared);
+                }
+                owner.unlock(range);
+            }
+            completed.fetch_add(1, Ordering::SeqCst);
+        })
+    });
+    assert_eq!(completed.load(Ordering::SeqCst), THREADS as u64);
+    assert_eq!(table.held_records(), 0);
+}
