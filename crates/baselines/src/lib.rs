@@ -18,14 +18,19 @@
 //! interval tree used by the tree-based locks (the kernel's "range tree").
 //! All locks implement the [`range_lock::RangeLock`] /
 //! [`range_lock::RwRangeLock`] traits so they can be swapped freely in the VM
-//! simulator, the skip list and the benchmark harness.
+//! simulator, the skip list and the benchmark harness; the [`registry`]
+//! module additionally enumerates all five paper variants (these three
+//! baselines plus `list-ex` / `list-rw`) by name for runtime, dynamic-dispatch
+//! selection.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod range_tree;
+pub mod registry;
 pub mod segment_lock;
 pub mod tree_lock;
 
 pub use range_tree::{Interval, RangeTree};
+pub use registry::{RegistryConfig, VariantSpec};
 pub use segment_lock::{SegmentRangeLock, SegmentReadGuard, SegmentWriteGuard};
 pub use tree_lock::{RwTreeRangeLock, TreeRangeGuard, TreeRangeLock};

@@ -1,0 +1,269 @@
+//! The dynamic lock registry: every paper variant by name, constructible at
+//! runtime.
+//!
+//! The evaluation (Section 7) compares five range-lock variants — the two
+//! list-based locks of this paper plus three baselines — and before this
+//! registry existed every driver that swept "all variants" (ArrBench,
+//! FileBench, the test suites) hand-rolled its own `enum AnyLock { … }` with
+//! five-way `match`es on every operation. The registry replaces those with
+//! one table built on the object-safe [`DynRwRangeLock`] layer of the core
+//! crate:
+//!
+//! * every variant is exposed through the **reader-writer** interface; the
+//!   exclusive-only locks (`list-ex`, `lustre-ex`) are wrapped in
+//!   [`ExclusiveAsRw`], which serializes readers — exactly the cost the
+//!   paper's reader-writer variants exist to remove, and exactly how the
+//!   FileBench sweep has always driven them;
+//! * construction is **wait-policy aware**: [`VariantSpec::build`] takes a
+//!   [`WaitPolicyKind`] and instantiates the lock with the corresponding
+//!   compile-time policy (`Spin` / `SpinThenYield` / `Block`);
+//! * the segment lock's static partitioning is supplied through
+//!   [`RegistryConfig`] (span + segment count); the list and tree locks
+//!   ignore it.
+//!
+//! A boxed registry lock implements [`range_lock::RwRangeLock`] itself (see
+//! `range_lock::dynlock`), so it plugs into every generic subsystem — the
+//! file store, the lock table, the benchmark drivers — unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use range_lock::Range;
+//! use rl_baselines::registry::{self, RegistryConfig};
+//! use rl_sync::wait::WaitPolicyKind;
+//!
+//! for spec in registry::all() {
+//!     let lock = spec.build(WaitPolicyKind::SpinThenYield, &RegistryConfig::default());
+//!     let guard = lock.write_dyn(Range::new(0, 100));
+//!     drop(guard);
+//! }
+//! let list_rw = registry::by_name("list-rw").expect("paper variant");
+//! assert!(list_rw.readers_share);
+//! ```
+
+use range_lock::{DynRwRangeLock, ExclusiveAsRw, ListRangeLock, RwListRangeLock};
+use rl_sync::wait::{Block, Spin, SpinThenYield, WaitPolicyKind};
+
+use crate::segment_lock::SegmentRangeLock;
+use crate::tree_lock::{RwTreeRangeLock, TreeRangeLock};
+
+/// Build-time parameters for variants that statically partition the resource
+/// (today only `pnova-rw`); the list and tree locks ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Total span `[0, span)` the segment lock partitions.
+    pub span: u64,
+    /// Number of equal segments the span is split into.
+    pub segments: usize,
+}
+
+impl Default for RegistryConfig {
+    /// One segment per 4 KiB page of a 1 MiB resource — pNOVA's natural
+    /// granularity and the FileBench default.
+    fn default() -> Self {
+        RegistryConfig {
+            span: 1 << 20,
+            segments: 1 << 8,
+        }
+    }
+}
+
+/// Instantiates a lock for each of the three wait policies.
+macro_rules! per_policy {
+    ($wait:expr, $p:ident => $make:expr) => {
+        match $wait {
+            WaitPolicyKind::Spin => {
+                type $p = Spin;
+                Box::new($make)
+            }
+            WaitPolicyKind::SpinThenYield => {
+                type $p = SpinThenYield;
+                Box::new($make)
+            }
+            WaitPolicyKind::Block => {
+                type $p = Block;
+                Box::new($make)
+            }
+        }
+    };
+}
+
+/// One registry entry: a paper variant's stable name, its sharing semantics,
+/// and its constructor.
+pub struct VariantSpec {
+    /// Stable name matching the paper's figure legends (`"list-rw"`, …).
+    pub name: &'static str,
+    /// `true` if overlapping readers share under this variant; `false` for
+    /// the exclusive locks, whose "readers" serialize through
+    /// [`ExclusiveAsRw`].
+    pub readers_share: bool,
+    ctor: fn(WaitPolicyKind, &RegistryConfig) -> Box<dyn DynRwRangeLock>,
+}
+
+impl VariantSpec {
+    /// Constructs this variant waiting through `wait`, configured by `config`
+    /// (only `pnova-rw` reads it).
+    pub fn build(&self, wait: WaitPolicyKind, config: &RegistryConfig) -> Box<dyn DynRwRangeLock> {
+        (self.ctor)(wait, config)
+    }
+
+    /// Constructs this variant with the default wait policy
+    /// ([`SpinThenYield`], the paper's `Pause()` loop) and default config.
+    pub fn build_default(&self) -> Box<dyn DynRwRangeLock> {
+        self.build(WaitPolicyKind::SpinThenYield, &RegistryConfig::default())
+    }
+}
+
+impl std::fmt::Debug for VariantSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VariantSpec")
+            .field("name", &self.name)
+            .field("readers_share", &self.readers_share)
+            .finish()
+    }
+}
+
+fn build_list_ex(wait: WaitPolicyKind, _config: &RegistryConfig) -> Box<dyn DynRwRangeLock> {
+    per_policy!(wait, P => ExclusiveAsRw::new(ListRangeLock::<P>::with_policy()))
+}
+
+fn build_list_rw(wait: WaitPolicyKind, _config: &RegistryConfig) -> Box<dyn DynRwRangeLock> {
+    per_policy!(wait, P => RwListRangeLock::<P>::with_policy())
+}
+
+fn build_lustre_ex(wait: WaitPolicyKind, _config: &RegistryConfig) -> Box<dyn DynRwRangeLock> {
+    per_policy!(wait, P => ExclusiveAsRw::new(TreeRangeLock::<P>::with_policy()))
+}
+
+fn build_kernel_rw(wait: WaitPolicyKind, _config: &RegistryConfig) -> Box<dyn DynRwRangeLock> {
+    per_policy!(wait, P => RwTreeRangeLock::<P>::with_policy())
+}
+
+fn build_pnova_rw(wait: WaitPolicyKind, config: &RegistryConfig) -> Box<dyn DynRwRangeLock> {
+    per_policy!(wait, P => SegmentRangeLock::<P>::with_policy(config.span, config.segments))
+}
+
+/// The five paper variants, baselines first, in the order the paper's figure
+/// legends list them.
+static ALL: [VariantSpec; 5] = [
+    VariantSpec {
+        name: "lustre-ex",
+        readers_share: false,
+        ctor: build_lustre_ex,
+    },
+    VariantSpec {
+        name: "kernel-rw",
+        readers_share: true,
+        ctor: build_kernel_rw,
+    },
+    VariantSpec {
+        name: "pnova-rw",
+        readers_share: true,
+        ctor: build_pnova_rw,
+    },
+    VariantSpec {
+        name: "list-ex",
+        readers_share: false,
+        ctor: build_list_ex,
+    },
+    VariantSpec {
+        name: "list-rw",
+        readers_share: true,
+        ctor: build_list_rw,
+    },
+];
+
+/// All five paper variants, in figure-legend order (baselines first).
+pub fn all() -> &'static [VariantSpec] {
+    &ALL
+}
+
+/// The reader-writer trio (`kernel-rw`, `pnova-rw`, `list-rw`) the headline
+/// sweeps compare.
+pub fn readers_share() -> impl Iterator<Item = &'static VariantSpec> {
+    ALL.iter().filter(|s| s.readers_share)
+}
+
+/// Looks a variant up by its stable name.
+pub fn by_name(name: &str) -> Option<&'static VariantSpec> {
+    ALL.iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use range_lock::{Range, RwRangeLock};
+
+    #[test]
+    fn registry_lists_the_five_paper_variants_in_legend_order() {
+        let names: Vec<&str> = all().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            ["lustre-ex", "kernel-rw", "pnova-rw", "list-ex", "list-rw"]
+        );
+        assert_eq!(readers_share().count(), 3);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for spec in all() {
+            let found = by_name(spec.name).expect("every variant resolvable");
+            assert_eq!(found.name, spec.name);
+        }
+        assert!(by_name("no-such-lock").is_none());
+    }
+
+    #[test]
+    fn built_names_match_spec_names() {
+        for spec in all() {
+            for wait in WaitPolicyKind::ALL {
+                let lock = spec.build(wait, &RegistryConfig::default());
+                assert_eq!(lock.dyn_name(), spec.name, "under {}", wait.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_variant_locks_and_conflicts_through_dyn_dispatch() {
+        let config = RegistryConfig {
+            span: 256,
+            segments: 32,
+        };
+        for spec in all() {
+            for wait in WaitPolicyKind::ALL {
+                let lock = spec.build(wait, &config);
+                let w = lock.write_dyn(Range::new(0, 64));
+                assert!(
+                    lock.try_write_dyn(Range::new(32, 96)).is_none(),
+                    "{}: overlapping writers must conflict",
+                    spec.name
+                );
+                drop(w);
+                let r1 = lock.read_dyn(Range::new(0, 64));
+                let r2 = lock.try_read_dyn(Range::new(0, 64));
+                assert_eq!(
+                    r2.is_some(),
+                    spec.readers_share,
+                    "{}: reader sharing must match the spec",
+                    spec.name
+                );
+                drop(r2);
+                drop(r1);
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_registry_lock_is_a_generic_rw_lock() {
+        // The whole point: a runtime-chosen variant drives RwRangeLock-generic
+        // code with no enum in sight.
+        fn exercise<L: RwRangeLock>(lock: &L) {
+            drop(lock.write(Range::new(0, 8)));
+            drop(lock.read(Range::new(0, 8)));
+        }
+        for spec in all() {
+            let lock = spec.build_default();
+            exercise(&lock);
+        }
+    }
+}

@@ -5,7 +5,8 @@
 //! (`cargo run -p rl-bench --release --bin repro -- fig3-full` and friends).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rl_bench::arrbench::{run_fixed_ops, LockVariant, RangePolicy};
+use rl_baselines::registry;
+use rl_bench::arrbench::{run_fixed_ops, RangePolicy};
 
 fn bench_arrbench(c: &mut Criterion) {
     let threads = std::thread::available_parallelism()
@@ -23,14 +24,10 @@ fn bench_arrbench(c: &mut Criterion) {
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_millis(300));
         group.measurement_time(std::time::Duration::from_secs(2));
-        for lock in LockVariant::ALL {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(lock.name()),
-                &lock,
-                |b, &lock| {
-                    b.iter(|| run_fixed_ops(lock, policy, threads, read_pct, ops_per_thread));
-                },
-            );
+        for lock in registry::all() {
+            group.bench_with_input(BenchmarkId::from_parameter(lock.name), &lock, |b, &lock| {
+                b.iter(|| run_fixed_ops(lock, policy, threads, read_pct, ops_per_thread));
+            });
         }
         group.finish();
     }

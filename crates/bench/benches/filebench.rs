@@ -5,7 +5,8 @@
 //! (`cargo run -p rl-bench --release --bin repro -- filebench`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rl_bench::filebench::{run_fixed_ops, FileLockVariant, OffsetDist};
+use rl_baselines::registry;
+use rl_bench::filebench::{run_fixed_ops, OffsetDist};
 
 fn bench_filebench(c: &mut Criterion) {
     let threads = std::thread::available_parallelism()
@@ -22,19 +23,14 @@ fn bench_filebench(c: &mut Criterion) {
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_millis(300));
         group.measurement_time(std::time::Duration::from_secs(2));
-        for lock in FileLockVariant::ALL {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(lock.name()),
-                &lock,
-                |b, &lock| {
-                    b.iter(|| {
-                        let violations =
-                            run_fixed_ops(lock, threads, read_pct, dist, ops_per_thread);
-                        assert_eq!(violations, 0, "integrity violation in {}", lock.name());
-                        violations
-                    });
-                },
-            );
+        for lock in registry::all() {
+            group.bench_with_input(BenchmarkId::from_parameter(lock.name), &lock, |b, &lock| {
+                b.iter(|| {
+                    let violations = run_fixed_ops(lock, threads, read_pct, dist, ops_per_thread);
+                    assert_eq!(violations, 0, "integrity violation in {}", lock.name);
+                    violations
+                });
+            });
         }
         group.finish();
     }

@@ -12,19 +12,26 @@
 //! * [`RangePolicy::Random`] — every operation locks a uniformly random
 //!   sub-range.
 //!
-//! The benchmark is generic over the five lock variants of the paper
-//! (`lustre-ex`, `kernel-rw`, `pnova-rw`, `list-ex`, `list-rw`) and over the
-//! three wait policies of `rl_sync::wait` (`spin`, `spin-yield`, `block`),
-//! which is how the `fig3-oversub` experiment sweeps thread counts beyond
-//! the core count without the spinning policies melting the scheduler.
+//! The lock under test is any entry of the dynamic variant registry
+//! (`rl_baselines::registry`): the five paper variants (`lustre-ex`,
+//! `kernel-rw`, `pnova-rw`, `list-ex`, `list-rw`) are driven through the
+//! object-safe `DynRwRangeLock` interface, constructed wait-policy aware —
+//! which is how the `fig3-oversub` experiment sweeps thread counts beyond the
+//! core count without the spinning policies melting the scheduler.
+//!
+//! Dynamic dispatch adds one vtable call plus one boxed-guard allocation per
+//! operation. The cost is identical for every variant, so cross-variant
+//! comparisons (the point of Figure 3) are unaffected; absolute throughput
+//! is a small constant below what the pre-registry static-enum harness
+//! measured, so don't compare absolute numbers across that boundary.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use range_lock::{ListRangeLock, Range, RwListRangeLock};
-use rl_baselines::{RwTreeRangeLock, SegmentRangeLock, TreeRangeLock};
-use rl_sync::wait::{Block, Spin, SpinThenYield, WaitPolicy, WaitPolicyKind};
+use range_lock::{DynRangeGuard, DynRwRangeLock, Range};
+use rl_baselines::registry::{RegistryConfig, VariantSpec};
+use rl_sync::wait::WaitPolicyKind;
 use rl_sync::{padded::padded_vec, CachePadded};
 
 use crate::rng::{seed, xorshift};
@@ -35,42 +42,12 @@ pub const ARRAY_SLOTS: u64 = 256;
 /// Upper bound of the random non-critical work loop (the paper uses 2048).
 pub const NON_CRITICAL_WORK: u64 = 2048;
 
-/// The five lock variants evaluated in Figure 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LockVariant {
-    /// Exclusive list-based range lock (this paper).
-    ListEx,
-    /// Reader-writer list-based range lock (this paper).
-    ListRw,
-    /// Exclusive tree-based range lock (Lustre / Kara).
-    LustreEx,
-    /// Reader-writer tree-based range lock (Bueso).
-    KernelRw,
-    /// Segment-based reader-writer range lock (pNOVA / Kim et al.).
-    PnovaRw,
-}
-
-impl LockVariant {
-    /// Stable name matching the paper's figure legends.
-    pub fn name(self) -> &'static str {
-        match self {
-            LockVariant::ListEx => "list-ex",
-            LockVariant::ListRw => "list-rw",
-            LockVariant::LustreEx => "lustre-ex",
-            LockVariant::KernelRw => "kernel-rw",
-            LockVariant::PnovaRw => "pnova-rw",
-        }
-    }
-
-    /// All variants, in the order the paper's legends list them.
-    pub const ALL: [LockVariant; 5] = [
-        LockVariant::LustreEx,
-        LockVariant::KernelRw,
-        LockVariant::PnovaRw,
-        LockVariant::ListEx,
-        LockVariant::ListRw,
-    ];
-}
+/// Registry configuration for the array: one segment per slot for the
+/// segment-based `pnova-rw`, as in the paper's evaluation.
+pub const ARRAY_REGISTRY_CONFIG: RegistryConfig = RegistryConfig {
+    span: ARRAY_SLOTS,
+    segments: ARRAY_SLOTS as usize,
+};
 
 /// How each operation chooses the range it locks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,8 +74,8 @@ impl RangePolicy {
 /// One ArrBench configuration point.
 #[derive(Debug, Clone, Copy)]
 pub struct ArrBenchConfig {
-    /// Lock under test.
-    pub lock: LockVariant,
+    /// Registry entry of the lock under test.
+    pub lock: &'static VariantSpec,
     /// Range selection policy.
     pub policy: RangePolicy,
     /// How waiters wait (spin / spin-yield / block).
@@ -127,73 +104,22 @@ impl ArrBenchResult {
     }
 }
 
-enum AnyLock<P: WaitPolicy> {
-    ListEx(ListRangeLock<P>),
-    ListRw(RwListRangeLock<P>),
-    LustreEx(TreeRangeLock<P>),
-    KernelRw(RwTreeRangeLock<P>),
-    PnovaRw(SegmentRangeLock<P>),
-}
-
-/// The variants only keep the underlying guard alive; nothing reads them.
-#[expect(dead_code)]
-enum AnyGuard<'a, P: WaitPolicy> {
-    ListEx(range_lock::ListRangeGuard<'a, P>),
-    ListRw(range_lock::RwListRangeGuard<'a, P>),
-    Tree(rl_baselines::TreeRangeGuard<'a, P>),
-    SegRead(rl_baselines::SegmentReadGuard<'a, P>),
-    SegWrite(rl_baselines::SegmentWriteGuard<'a, P>),
-}
-
-impl<P: WaitPolicy> AnyLock<P> {
-    fn new(variant: LockVariant) -> Self {
-        match variant {
-            LockVariant::ListEx => AnyLock::ListEx(ListRangeLock::with_policy()),
-            LockVariant::ListRw => AnyLock::ListRw(RwListRangeLock::with_policy()),
-            LockVariant::LustreEx => AnyLock::LustreEx(TreeRangeLock::with_policy()),
-            LockVariant::KernelRw => AnyLock::KernelRw(RwTreeRangeLock::with_policy()),
-            // One segment per array slot, as in the paper's evaluation.
-            LockVariant::PnovaRw => AnyLock::PnovaRw(SegmentRangeLock::with_policy(
-                ARRAY_SLOTS,
-                ARRAY_SLOTS as usize,
-            )),
-        }
-    }
-
-    fn acquire(&self, range: Range, read: bool) -> AnyGuard<'_, P> {
-        match self {
-            AnyLock::ListEx(l) => AnyGuard::ListEx(l.acquire(range)),
-            AnyLock::ListRw(l) => {
-                AnyGuard::ListRw(if read { l.read(range) } else { l.write(range) })
-            }
-            AnyLock::LustreEx(l) => AnyGuard::Tree(l.acquire(range)),
-            AnyLock::KernelRw(l) => {
-                AnyGuard::Tree(if read { l.read(range) } else { l.write(range) })
-            }
-            AnyLock::PnovaRw(l) => {
-                if read {
-                    AnyGuard::SegRead(l.read(range))
-                } else {
-                    AnyGuard::SegWrite(l.write(range))
-                }
-            }
-        }
+/// Acquires through the dynamic interface in the requested mode.
+#[inline]
+fn acquire(lock: &dyn DynRwRangeLock, range: Range, read: bool) -> DynRangeGuard<'_> {
+    if read {
+        lock.read_dyn(range)
+    } else {
+        lock.write_dyn(range)
     }
 }
 
 /// Runs one ArrBench configuration and reports its throughput.
 pub fn run(config: &ArrBenchConfig) -> ArrBenchResult {
-    match config.wait {
-        WaitPolicyKind::Spin => run_with::<Spin>(config),
-        WaitPolicyKind::SpinThenYield => run_with::<SpinThenYield>(config),
-        WaitPolicyKind::Block => run_with::<Block>(config),
-    }
-}
-
-fn run_with<P: WaitPolicy>(config: &ArrBenchConfig) -> ArrBenchResult {
     assert!(config.threads > 0);
     assert!(config.read_pct <= 100);
-    let lock = Arc::new(AnyLock::<P>::new(config.lock));
+    let lock: Arc<Box<dyn DynRwRangeLock>> =
+        Arc::new(config.lock.build(config.wait, &ARRAY_REGISTRY_CONFIG));
     let slots: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(padded_vec(ARRAY_SLOTS as usize));
     let stop = Arc::new(AtomicBool::new(false));
     let total_ops = Arc::new(AtomicU64::new(0));
@@ -230,7 +156,7 @@ fn run_with<P: WaitPolicy>(config: &ArrBenchConfig) -> ArrBenchResult {
                 };
 
                 {
-                    let _guard = lock.acquire(range, read);
+                    let _guard = acquire(&**lock, range, read);
                     for _ in 0..passes {
                         for slot in slots[range.start as usize..range.end as usize].iter() {
                             if read {
@@ -267,13 +193,14 @@ fn run_with<P: WaitPolicy>(config: &ArrBenchConfig) -> ArrBenchResult {
 /// Runs a fixed number of operations per thread (used by the Criterion
 /// benches, which need deterministic work rather than a fixed duration).
 pub fn run_fixed_ops(
-    lock: LockVariant,
+    lock: &'static VariantSpec,
     policy: RangePolicy,
     threads: usize,
     read_pct: u32,
     ops_per_thread: u64,
 ) -> u64 {
-    let lock = Arc::new(AnyLock::<SpinThenYield>::new(lock));
+    let lock: Arc<Box<dyn DynRwRangeLock>> =
+        Arc::new(lock.build(WaitPolicyKind::SpinThenYield, &ARRAY_REGISTRY_CONFIG));
     let slots: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(padded_vec(ARRAY_SLOTS as usize));
     let mut handles = Vec::with_capacity(threads);
     for thread_id in 0..threads {
@@ -301,7 +228,7 @@ pub fn run_fixed_ops(
                         (Range::new(lo, hi + 1), 1)
                     }
                 };
-                let _guard = lock.acquire(range, read);
+                let _guard = acquire(&**lock, range, read);
                 for _ in 0..passes {
                     for slot in slots[range.start as usize..range.end as usize].iter() {
                         if read {
@@ -324,10 +251,11 @@ pub fn run_fixed_ops(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rl_baselines::registry;
 
     #[test]
     fn every_variant_and_policy_completes() {
-        for lock in LockVariant::ALL {
+        for lock in registry::all() {
             for policy in [
                 RangePolicy::FullRange,
                 RangePolicy::NonOverlapping,
@@ -341,7 +269,7 @@ mod tests {
                     read_pct: 60,
                     duration: Duration::from_millis(30),
                 });
-                assert!(result.operations > 0, "{} / {}", lock.name(), policy.name());
+                assert!(result.operations > 0, "{} / {}", lock.name, policy.name());
                 assert!(result.ops_per_sec() > 0.0);
             }
         }
@@ -349,16 +277,17 @@ mod tests {
 
     #[test]
     fn fixed_ops_mode_completes() {
-        for lock in [LockVariant::ListRw, LockVariant::KernelRw] {
+        for name in ["list-rw", "kernel-rw"] {
+            let lock = registry::by_name(name).expect("paper variant");
             run_fixed_ops(lock, RangePolicy::Random, 2, 80, 200);
         }
     }
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(LockVariant::ListEx.name(), "list-ex");
+        assert!(registry::by_name("list-ex").is_some());
         assert_eq!(RangePolicy::FullRange.name(), "full");
-        assert_eq!(LockVariant::ALL.len(), 5);
+        assert_eq!(registry::all().len(), 5);
     }
 
     #[test]
@@ -366,7 +295,7 @@ mod tests {
         // More threads than the 2 cores a CI runner typically has: the
         // parking paths of the block policy get exercised here.
         for wait in WaitPolicyKind::ALL {
-            for lock in LockVariant::ALL {
+            for lock in registry::all() {
                 let result = run(&ArrBenchConfig {
                     lock,
                     policy: RangePolicy::Random,
@@ -375,7 +304,7 @@ mod tests {
                     read_pct: 60,
                     duration: Duration::from_millis(25),
                 });
-                assert!(result.operations > 0, "{} / {}", lock.name(), wait.name());
+                assert!(result.operations > 0, "{} / {}", lock.name, wait.name());
             }
         }
     }

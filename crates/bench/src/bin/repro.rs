@@ -7,6 +7,9 @@
 //!   fig3-full          ArrBench, all threads acquire the full range
 //!   fig3-nonoverlap    ArrBench, per-thread disjoint ranges
 //!   fig3-random        ArrBench, random ranges
+//!   fig3-quick         one tiny fig3-random sweep (threads 1,2) — the CI
+//!                      smoke step exercising every registry variant via
+//!                      dynamic dispatch
 //!   fig3-oversub       ArrBench with more threads than cores, all 5 lock
 //!                      variants x all 3 wait policies (spin/spin-yield/block)
 //!   fig4               skip-list throughput (orig / range-lustre / range-list)
@@ -34,8 +37,9 @@
 
 use std::time::Duration;
 
-use rl_bench::arrbench::{self, ArrBenchConfig, LockVariant, RangePolicy};
-use rl_bench::filebench::{self, FileBenchConfig, FileLockVariant, OffsetDist};
+use rl_baselines::registry;
+use rl_bench::arrbench::{self, ArrBenchConfig, RangePolicy};
+use rl_bench::filebench::{self, FileBenchConfig, OffsetDist};
 use rl_bench::metisbench::{self, MetisScale};
 use rl_bench::report::Table;
 use rl_bench::skipbench::{self, SkipBenchConfig, SkipListVariant};
@@ -149,10 +153,7 @@ fn run_fig3(policy: RangePolicy, opts: &Options) {
         RangePolicy::Random => "Figure 3 (e,f): random-range acquisitions",
     };
     for read_pct in [100u32, 60] {
-        let columns: Vec<String> = LockVariant::ALL
-            .iter()
-            .map(|l| l.name().to_string())
-            .collect();
+        let columns: Vec<String> = registry::all().iter().map(|l| l.name.to_string()).collect();
         let mut table = Table::new(
             format!("{panel} — {read_pct}% reads"),
             "threads",
@@ -161,7 +162,7 @@ fn run_fig3(policy: RangePolicy, opts: &Options) {
         );
         for &threads in &opts.threads {
             let mut row = Vec::new();
-            for lock in LockVariant::ALL {
+            for lock in registry::all() {
                 let result = arrbench::run(&ArrBenchConfig {
                     lock,
                     policy,
@@ -190,10 +191,7 @@ fn oversub_threads(opts: &Options) -> Vec<usize> {
 fn run_fig3_oversub(opts: &Options) {
     let threads = oversub_threads(opts);
     for wait in WaitPolicyKind::ALL {
-        let columns: Vec<String> = LockVariant::ALL
-            .iter()
-            .map(|l| l.name().to_string())
-            .collect();
+        let columns: Vec<String> = registry::all().iter().map(|l| l.name.to_string()).collect();
         let mut table = Table::new(
             format!(
                 "Figure 3 oversubscribed: random ranges — 60% reads — {} policy ({} cores)",
@@ -206,7 +204,7 @@ fn run_fig3_oversub(opts: &Options) {
         );
         for &t in &threads {
             let mut row = Vec::new();
-            for lock in LockVariant::ALL {
+            for lock in registry::all() {
                 let result = arrbench::run(&ArrBenchConfig {
                     lock,
                     policy: RangePolicy::Random,
@@ -221,6 +219,40 @@ fn run_fig3_oversub(opts: &Options) {
         }
         emit(&table, opts.json);
     }
+}
+
+/// A bounded fig3-random sweep for CI: every registry variant through the
+/// dynamic-dispatch interface, small thread counts, short cells — fast enough
+/// to run on every push regardless of runner size.
+fn run_fig3_quick(opts: &Options) {
+    let columns: Vec<String> = registry::all().iter().map(|l| l.name.to_string()).collect();
+    let mut table = Table::new(
+        "Figure 3 quick smoke: random ranges — 60% reads (registry, dyn dispatch)",
+        "threads",
+        "ops/sec",
+        columns,
+    );
+    for threads in [1usize, 2] {
+        let mut row = Vec::new();
+        for lock in registry::all() {
+            let result = arrbench::run(&ArrBenchConfig {
+                lock,
+                policy: RangePolicy::Random,
+                wait: WaitPolicyKind::SpinThenYield,
+                threads,
+                read_pct: 60,
+                duration: Duration::from_millis(50),
+            });
+            assert!(
+                result.operations > 0,
+                "fig3-quick: {} made no progress",
+                lock.name
+            );
+            row.push(result.ops_per_sec());
+        }
+        table.push_row(threads as u64, row);
+    }
+    emit(&table, opts.json);
 }
 
 fn run_fig4(opts: &Options) {
@@ -394,10 +426,7 @@ fn filebench_duration(quick: bool) -> Duration {
 fn run_filebench(opts: &Options) {
     for dist in [OffsetDist::Uniform, OffsetDist::Skewed] {
         for read_pct in [95u32, 50] {
-            let columns: Vec<String> = FileLockVariant::ALL
-                .iter()
-                .map(|l| l.name().to_string())
-                .collect();
+            let columns: Vec<String> = registry::all().iter().map(|l| l.name.to_string()).collect();
             let mut throughput = Table::new(
                 format!("FileBench: {} offsets — {read_pct}% reads", dist.name()),
                 "threads",
@@ -406,17 +435,16 @@ fn run_filebench(opts: &Options) {
             );
             // One wait table per reader-writer variant for the write-heavy
             // mix: rows are thread counts, columns the labeled operations.
-            let mut waits: Vec<(FileLockVariant, Table)> = if read_pct == 50 {
-                FileLockVariant::RW
-                    .iter()
-                    .map(|&lock| {
+            let mut waits: Vec<(&str, Table)> = if read_pct == 50 {
+                registry::readers_share()
+                    .map(|lock| {
                         (
-                            lock,
+                            lock.name,
                             Table::new(
                                 format!(
                                     "FileBench wait per acquisition: {} offsets — 50% reads — {}",
                                     dist.name(),
-                                    lock.name()
+                                    lock.name
                                 ),
                                 "threads",
                                 "wait (us)",
@@ -435,7 +463,7 @@ fn run_filebench(opts: &Options) {
             };
             for &threads in &opts.threads {
                 let mut row = Vec::new();
-                for lock in FileLockVariant::ALL {
+                for lock in registry::all() {
                     let result = filebench::run(&FileBenchConfig {
                         lock,
                         wait: WaitPolicyKind::SpinThenYield,
@@ -449,11 +477,11 @@ fn run_filebench(opts: &Options) {
                         0,
                         "FileBench integrity violation under {} ({} offsets, {read_pct}% reads, \
                          {threads} threads)",
-                        lock.name(),
+                        lock.name,
                         dist.name()
                     );
                     row.push(result.ops_per_sec());
-                    if let Some((_, table)) = waits.iter_mut().find(|(l, _)| *l == lock) {
+                    if let Some((_, table)) = waits.iter_mut().find(|(l, _)| *l == lock.name) {
                         table.push_row(
                             threads as u64,
                             vec![
@@ -478,10 +506,7 @@ fn run_filebench(opts: &Options) {
 fn run_filebench_oversub(opts: &Options) {
     let threads = oversub_threads(opts);
     for wait in WaitPolicyKind::ALL {
-        let columns: Vec<String> = FileLockVariant::ALL
-            .iter()
-            .map(|l| l.name().to_string())
-            .collect();
+        let columns: Vec<String> = registry::all().iter().map(|l| l.name.to_string()).collect();
         let mut table = Table::new(
             format!(
                 "FileBench oversubscribed: uniform offsets — 50% reads — {} policy ({} cores)",
@@ -494,7 +519,7 @@ fn run_filebench_oversub(opts: &Options) {
         );
         for &t in &threads {
             let mut row = Vec::new();
-            for lock in FileLockVariant::ALL {
+            for lock in registry::all() {
                 let result = filebench::run(&FileBenchConfig {
                     lock,
                     wait,
@@ -507,7 +532,7 @@ fn run_filebench_oversub(opts: &Options) {
                     result.violations,
                     0,
                     "FileBench integrity violation under {} ({} policy, {t} threads)",
-                    lock.name(),
+                    lock.name,
                     wait.name()
                 );
                 row.push(result.ops_per_sec());
@@ -532,6 +557,7 @@ fn main() {
             "fig3-full" => run_fig3(RangePolicy::FullRange, &opts),
             "fig3-nonoverlap" => run_fig3(RangePolicy::NonOverlapping, &opts),
             "fig3-random" => run_fig3(RangePolicy::Random, &opts),
+            "fig3-quick" => run_fig3_quick(&opts),
             "fig3-oversub" => run_fig3_oversub(&opts),
             "fig4" => run_fig4(&opts),
             "fig5" => run_fig5(&opts),

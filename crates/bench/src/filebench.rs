@@ -12,10 +12,11 @@
 //! * an **offset distribution**: [`OffsetDist::Uniform`] spreads operations
 //!   over the whole file, [`OffsetDist::Skewed`] sends most of them to a hot
 //!   prefix (the usual Zipf-ish shape of file access);
-//! * the full lock-variant matrix: the reader-writer locks (`list-rw`,
+//! * the full lock-variant matrix, straight from the dynamic registry
+//!   (`rl_baselines::registry`): the reader-writer locks (`list-rw`,
 //!   `kernel-rw`, `pnova-rw`) plus the exclusive locks (`list-ex`,
-//!   `lustre-ex`) adapted through [`ExclusiveAsRw`], which makes the cost of
-//!   serializing readers directly visible.
+//!   `lustre-ex`), the latter registered behind `ExclusiveAsRw`, which makes
+//!   the cost of serializing readers directly visible.
 //!
 //! Every write is a *stamped* region write and every read a *stamped* region
 //! read (see `rl_file::RangeFile::write_stamped`), so the benchmark doubles
@@ -29,11 +30,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use range_lock::{ExclusiveAsRw, ListRangeLock, RwListRangeLock, RwRangeLock};
-use rl_baselines::{RwTreeRangeLock, SegmentRangeLock, TreeRangeLock};
+use range_lock::RwRangeLock;
+use rl_baselines::registry::{RegistryConfig, VariantSpec};
 use rl_file::RangeFile;
 use rl_sync::stats::{LabeledStats, LockStatSnapshot};
-use rl_sync::wait::{Block, Spin, SpinThenYield, WaitPolicy, WaitPolicyKind};
+use rl_sync::wait::WaitPolicyKind;
 
 use crate::rng::{seed, xorshift};
 
@@ -56,49 +57,12 @@ pub const APPEND_EVERY: u64 = 16;
 /// keeps append growth bounded.
 pub const TRUNCATE_EVERY: u64 = 512;
 
-/// The lock variants the file workload runs over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FileLockVariant {
-    /// Reader-writer list-based range lock (this paper).
-    ListRw,
-    /// Reader-writer tree-based range lock (Bueso).
-    KernelRw,
-    /// Segment-based reader-writer range lock (pNOVA / Kim et al.).
-    PnovaRw,
-    /// Exclusive list-based range lock, readers serialized.
-    ListEx,
-    /// Exclusive tree-based range lock, readers serialized (Lustre / Kara).
-    LustreEx,
-}
-
-impl FileLockVariant {
-    /// Stable name matching the paper's figure legends.
-    pub fn name(self) -> &'static str {
-        match self {
-            FileLockVariant::ListRw => "list-rw",
-            FileLockVariant::KernelRw => "kernel-rw",
-            FileLockVariant::PnovaRw => "pnova-rw",
-            FileLockVariant::ListEx => "list-ex",
-            FileLockVariant::LustreEx => "lustre-ex",
-        }
-    }
-
-    /// All variants, baselines first, as in the paper's legends.
-    pub const ALL: [FileLockVariant; 5] = [
-        FileLockVariant::LustreEx,
-        FileLockVariant::KernelRw,
-        FileLockVariant::PnovaRw,
-        FileLockVariant::ListEx,
-        FileLockVariant::ListRw,
-    ];
-
-    /// The reader-writer trio the headline sweep compares.
-    pub const RW: [FileLockVariant; 3] = [
-        FileLockVariant::KernelRw,
-        FileLockVariant::PnovaRw,
-        FileLockVariant::ListRw,
-    ];
-}
+/// Registry configuration for the file: one segment per 4 KiB page for the
+/// segment-based `pnova-rw`, pNOVA's natural granularity.
+pub const FILE_REGISTRY_CONFIG: RegistryConfig = RegistryConfig {
+    span: FILE_SIZE,
+    segments: (FILE_SIZE >> 12) as usize,
+};
 
 /// How operations pick their file offset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,8 +87,8 @@ impl OffsetDist {
 /// One FileBench configuration point.
 #[derive(Debug, Clone, Copy)]
 pub struct FileBenchConfig {
-    /// Lock under test.
-    pub lock: FileLockVariant,
+    /// Registry entry of the lock under test.
+    pub lock: &'static VariantSpec,
     /// How waiters wait (spin / spin-yield / block).
     pub wait: WaitPolicyKind,
     /// Number of worker threads.
@@ -271,117 +235,64 @@ fn run_generic<L: RwRangeLock + 'static>(lock: L, config: &FileBenchConfig) -> F
 }
 
 /// Runs one FileBench configuration.
+///
+/// The lock is built from the registry and driven through dynamic dispatch
+/// (`Box<dyn DynRwRangeLock>` implements [`RwRangeLock`]), so one code path
+/// covers every variant under every wait policy.
 pub fn run(config: &FileBenchConfig) -> FileBenchResult {
-    match config.wait {
-        WaitPolicyKind::Spin => run_policy::<Spin>(config),
-        WaitPolicyKind::SpinThenYield => run_policy::<SpinThenYield>(config),
-        WaitPolicyKind::Block => run_policy::<Block>(config),
-    }
-}
-
-fn run_policy<P: WaitPolicy>(config: &FileBenchConfig) -> FileBenchResult {
-    match config.lock {
-        FileLockVariant::ListRw => run_generic(RwListRangeLock::<P>::with_policy(), config),
-        FileLockVariant::KernelRw => run_generic(RwTreeRangeLock::<P>::with_policy(), config),
-        // One segment per 4 KiB page, pNOVA's natural granularity.
-        FileLockVariant::PnovaRw => run_generic(
-            SegmentRangeLock::<P>::with_policy(FILE_SIZE, (FILE_SIZE >> 12) as usize),
-            config,
-        ),
-        FileLockVariant::ListEx => run_generic(
-            ExclusiveAsRw::new(ListRangeLock::<P>::with_policy()),
-            config,
-        ),
-        FileLockVariant::LustreEx => run_generic(
-            ExclusiveAsRw::new(TreeRangeLock::<P>::with_policy()),
-            config,
-        ),
-    }
+    run_generic(
+        config.lock.build(config.wait, &FILE_REGISTRY_CONFIG),
+        config,
+    )
 }
 
 /// Runs a fixed number of operations per thread (used by the Criterion
 /// bench, which needs deterministic work rather than a fixed duration).
 /// Returns the number of integrity violations, which the caller should
 /// assert to be zero.
+///
+/// Every variant is built under the default [`SpinThenYield`] policy so the
+/// comparison is waiting-discipline-uniform. (Before the registry port,
+/// `pnova-rw` alone defaulted to `Block` here — its Criterion numbers are
+/// therefore not comparable across that boundary.)
+///
+/// [`SpinThenYield`]: rl_sync::wait::SpinThenYield
 pub fn run_fixed_ops(
-    lock: FileLockVariant,
+    lock: &'static VariantSpec,
     threads: usize,
     read_pct: u32,
     dist: OffsetDist,
     ops_per_thread: u64,
 ) -> u64 {
-    fn go<L: RwRangeLock + 'static>(
-        lock: L,
-        threads: usize,
-        read_pct: u32,
-        dist: OffsetDist,
-        ops_per_thread: u64,
-    ) -> u64 {
-        let file = Arc::new(RangeFile::new(lock));
-        file.truncate(FILE_SIZE);
-        let mut handles = Vec::with_capacity(threads);
-        for thread_id in 0..threads {
-            let file = Arc::clone(&file);
-            handles.push(std::thread::spawn(move || {
-                let mut rng = seed(thread_id);
-                let mut torn = 0u64;
-                let mut writes = 0u64;
-                for _ in 0..ops_per_thread {
-                    if one_op(&file, &mut rng, &mut writes, thread_id, read_pct, dist) {
-                        torn += 1;
-                    }
+    let lock = lock.build(WaitPolicyKind::SpinThenYield, &FILE_REGISTRY_CONFIG);
+    let file = Arc::new(RangeFile::new(lock));
+    file.truncate(FILE_SIZE);
+    let mut handles = Vec::with_capacity(threads);
+    for thread_id in 0..threads {
+        let file = Arc::clone(&file);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = seed(thread_id);
+            let mut torn = 0u64;
+            let mut writes = 0u64;
+            for _ in 0..ops_per_thread {
+                if one_op(&file, &mut rng, &mut writes, thread_id, read_pct, dist) {
+                    torn += 1;
                 }
-                torn
-            }));
-        }
-        handles.into_iter().map(|h| h.join().unwrap()).sum()
+            }
+            torn
+        }));
     }
-    match lock {
-        FileLockVariant::ListRw => go(
-            RwListRangeLock::new(),
-            threads,
-            read_pct,
-            dist,
-            ops_per_thread,
-        ),
-        FileLockVariant::KernelRw => go(
-            RwTreeRangeLock::new(),
-            threads,
-            read_pct,
-            dist,
-            ops_per_thread,
-        ),
-        FileLockVariant::PnovaRw => go(
-            SegmentRangeLock::new(FILE_SIZE, (FILE_SIZE >> 12) as usize),
-            threads,
-            read_pct,
-            dist,
-            ops_per_thread,
-        ),
-        FileLockVariant::ListEx => go(
-            ExclusiveAsRw::new(ListRangeLock::new()),
-            threads,
-            read_pct,
-            dist,
-            ops_per_thread,
-        ),
-        FileLockVariant::LustreEx => go(
-            ExclusiveAsRw::new(TreeRangeLock::new()),
-            threads,
-            read_pct,
-            dist,
-            ops_per_thread,
-        ),
-    }
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rl_baselines::registry;
 
     #[test]
     fn every_variant_and_distribution_completes_cleanly() {
-        for lock in FileLockVariant::ALL {
+        for lock in registry::all() {
             for dist in [OffsetDist::Uniform, OffsetDist::Skewed] {
                 let result = run(&FileBenchConfig {
                     lock,
@@ -391,12 +302,12 @@ mod tests {
                     dist,
                     duration: Duration::from_millis(30),
                 });
-                assert!(result.operations > 0, "{} / {}", lock.name(), dist.name());
+                assert!(result.operations > 0, "{} / {}", lock.name, dist.name());
                 assert_eq!(
                     result.violations,
                     0,
                     "integrity violation under {} / {}",
-                    lock.name(),
+                    lock.name,
                     dist.name()
                 );
                 assert_eq!(result.op_waits.len(), 4);
@@ -407,16 +318,17 @@ mod tests {
 
     #[test]
     fn fixed_ops_mode_is_violation_free() {
-        for lock in [FileLockVariant::ListRw, FileLockVariant::ListEx] {
+        for name in ["list-rw", "list-ex"] {
+            let lock = registry::by_name(name).expect("paper variant");
             assert_eq!(run_fixed_ops(lock, 2, 60, OffsetDist::Skewed, 300), 0);
         }
     }
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(FileLockVariant::ListRw.name(), "list-rw");
-        assert_eq!(FileLockVariant::ALL.len(), 5);
-        assert_eq!(FileLockVariant::RW.len(), 3);
+        assert!(registry::by_name("list-rw").is_some());
+        assert_eq!(registry::all().len(), 5);
+        assert_eq!(registry::readers_share().count(), 3);
         assert_eq!(OffsetDist::Skewed.name(), "skewed");
     }
 
@@ -426,7 +338,8 @@ mod tests {
         // policy's park/wake paths are exercised through the whole stack:
         // FileStore -> RangeFile -> range lock -> WaitQueue.
         for wait in WaitPolicyKind::ALL {
-            for lock in [FileLockVariant::ListRw, FileLockVariant::LustreEx] {
+            for name in ["list-rw", "lustre-ex"] {
+                let lock = registry::by_name(name).expect("paper variant");
                 let result = run(&FileBenchConfig {
                     lock,
                     wait,
@@ -435,12 +348,12 @@ mod tests {
                     dist: OffsetDist::Skewed,
                     duration: Duration::from_millis(30),
                 });
-                assert!(result.operations > 0, "{} / {}", lock.name(), wait.name());
+                assert!(result.operations > 0, "{} / {}", lock.name, wait.name());
                 assert_eq!(
                     result.violations,
                     0,
                     "integrity violation under {} / {}",
-                    lock.name(),
+                    lock.name,
                     wait.name()
                 );
             }
@@ -450,7 +363,7 @@ mod tests {
     #[test]
     fn wait_accounting_reaches_the_labels() {
         let result = run(&FileBenchConfig {
-            lock: FileLockVariant::ListRw,
+            lock: registry::by_name("list-rw").expect("paper variant"),
             wait: WaitPolicyKind::SpinThenYield,
             threads: 2,
             read_pct: 50,

@@ -1,6 +1,8 @@
 //! # Benchmark harness reproducing the paper's evaluation
 //!
-//! One module per experiment family:
+//! One module per experiment family (the lock-variant axis of every sweep
+//! comes from the dynamic registry in `rl_baselines::registry`, driven
+//! through the object-safe `DynRwRangeLock` interface):
 //!
 //! * [`arrbench`] — the ArrBench array microbenchmark (Figure 3, all six
 //!   panels);
@@ -26,8 +28,8 @@ pub mod report;
 pub mod rng;
 pub mod skipbench;
 
-pub use arrbench::{ArrBenchConfig, ArrBenchResult, LockVariant, RangePolicy};
-pub use filebench::{FileBenchConfig, FileBenchResult, FileLockVariant, OffsetDist};
+pub use arrbench::{ArrBenchConfig, ArrBenchResult, RangePolicy};
+pub use filebench::{FileBenchConfig, FileBenchResult, OffsetDist};
 pub use metisbench::{figure5, figure6, measure, MetisMeasurement, MetisScale};
 pub use report::{Table, TableRow};
 pub use skipbench::{SkipBenchConfig, SkipBenchResult, SkipListVariant};

@@ -1,0 +1,371 @@
+//! Object-safe (dynamic-dispatch) range-lock interfaces.
+//!
+//! The [`RangeLock`]/[`RwRangeLock`] traits use generic associated guard
+//! types, which makes them fast (guards are concrete, drops are static calls)
+//! but not object-safe: you cannot put a `ListRangeLock` and a
+//! `TreeRangeLock` behind the same `dyn` pointer. The benchmark harness,
+//! however, wants exactly that — one variable that holds *any* of the five
+//! paper variants, chosen by name at runtime — and previously every call
+//! site grew its own hand-rolled `enum AnyLock { … }` to fake it.
+//!
+//! This module provides the dynamic layer once:
+//!
+//! * [`DynRangeLock`] / [`DynRwRangeLock`] — object-safe mirror traits whose
+//!   methods return a [`DynRangeGuard`], a boxed type-erased guard;
+//! * blanket impls so **every** static lock (and any future one) is
+//!   automatically a dyn lock: `Box<TreeRangeLock>` coerces to
+//!   `Box<dyn DynRwRangeLock>` with no per-lock code;
+//! * [`RangeLock`]/[`RwRangeLock`] impls **for** `Box<dyn DynRangeLock>` /
+//!   `Box<dyn DynRwRangeLock>`, closing the loop: a boxed dynamic lock plugs
+//!   back into every generic subsystem (the file store, the lock table, the
+//!   benchmark drivers) unchanged. [`RwRangeLock::downgrade`] survives the
+//!   erasure too — write guards are boxed together with their lock, so a
+//!   registry-built `list-rw` downgrades in place through the dyn layer just
+//!   like its static twin (locks without downgrade support still return
+//!   `Err`).
+//!
+//! The variant registry in `rl-baselines` (`rl_baselines::registry`) builds
+//! on this layer to enumerate the paper's five lock variants by name and
+//! construct them wait-policy-aware.
+//!
+//! # Cost
+//!
+//! Each dynamic acquisition adds one vtable call and one heap allocation for
+//! the boxed guard. That is fine for benchmarks driving millions of
+//! operations through a variant chosen at runtime, and irrelevant for tests;
+//! hot paths that know their lock type statically should keep using the
+//! generic traits.
+//!
+//! # Examples
+//!
+//! ```
+//! use range_lock::{DynRwRangeLock, ListRangeLock, Range, RwListRangeLock, ExclusiveAsRw};
+//!
+//! let locks: Vec<Box<dyn DynRwRangeLock>> = vec![
+//!     Box::new(RwListRangeLock::new()),
+//!     Box::new(ExclusiveAsRw::new(ListRangeLock::new())),
+//! ];
+//! for lock in &locks {
+//!     let g = lock.write_dyn(Range::new(0, 10));
+//!     drop(g);
+//! }
+//! ```
+
+use crate::range::Range;
+use crate::traits::{RangeLock, RwRangeLock};
+
+/// Boxable guard interface. Private — the only way to obtain one is through
+/// the dyn traits below.
+trait ErasedGuard: Send {
+    /// Attempts an in-place write→read downgrade; `false` means the
+    /// underlying lock (or this guard kind) does not support it.
+    fn downgrade_erased(&mut self) -> bool;
+}
+
+/// A read / exclusive / try guard (held for its Drop impl): no downgrade.
+struct PlainGuard<G: Send>(G);
+
+impl<G: Send> ErasedGuard for PlainGuard<G> {
+    fn downgrade_erased(&mut self) -> bool {
+        false
+    }
+}
+
+/// State of an erased write guard across a downgrade.
+enum WriteState<'a, L: RwRangeLock + 'a> {
+    Write(L::WriteGuard<'a>),
+    Read(L::ReadGuard<'a>),
+    /// Transient state while the guard is moved through `downgrade`.
+    Moving,
+}
+
+/// A write guard boxed together with its lock, so the lock's
+/// [`RwRangeLock::downgrade`] stays reachable through the erasure.
+struct WriteGuardErased<'a, L: RwRangeLock + 'a> {
+    lock: &'a L,
+    state: WriteState<'a, L>,
+}
+
+impl<'a, L> ErasedGuard for WriteGuardErased<'a, L>
+where
+    L: RwRangeLock + 'a,
+    L::ReadGuard<'a>: Send,
+    L::WriteGuard<'a>: Send,
+{
+    fn downgrade_erased(&mut self) -> bool {
+        match std::mem::replace(&mut self.state, WriteState::Moving) {
+            WriteState::Write(w) => match self.lock.downgrade(w) {
+                Ok(r) => {
+                    self.state = WriteState::Read(r);
+                    true
+                }
+                Err(w) => {
+                    self.state = WriteState::Write(w);
+                    false
+                }
+            },
+            // Already downgraded: idempotent success.
+            read => {
+                self.state = read;
+                true
+            }
+        }
+    }
+}
+
+/// A type-erased, boxed RAII guard: releases its range when dropped.
+///
+/// Returned by every method of [`DynRangeLock`] and [`DynRwRangeLock`]; the
+/// concrete guard type (and therefore the release logic) lives behind the
+/// box. The guard is [`Send`] so it can be released from another thread,
+/// which the `rl-file` lock table relies on.
+#[must_use = "the range is released as soon as the guard is dropped"]
+pub struct DynRangeGuard<'a>(Box<dyn ErasedGuard + 'a>);
+
+impl std::fmt::Debug for DynRangeGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DynRangeGuard(..)")
+    }
+}
+
+/// Object-safe mirror of [`RangeLock`]: an exclusive range lock usable
+/// through `dyn`.
+///
+/// Automatically implemented for every [`RangeLock`] whose guards are
+/// [`Send`] (all of them in this workspace); never implement it by hand.
+pub trait DynRangeLock: Send + Sync {
+    /// Acquires exclusive access to `range`, waiting for overlapping holders.
+    fn acquire_dyn(&self, range: Range) -> DynRangeGuard<'_>;
+
+    /// Bounded acquisition attempt; see the
+    /// [`try_` contract](crate::traits#try_-semantics-normative).
+    fn try_acquire_dyn(&self, range: Range) -> Option<DynRangeGuard<'_>>;
+
+    /// Short, stable identifier (e.g. `"list-ex"`), matching
+    /// [`RangeLock::name`].
+    fn dyn_name(&self) -> &'static str;
+}
+
+impl<L> DynRangeLock for L
+where
+    L: RangeLock,
+    for<'a> L::Guard<'a>: Send,
+{
+    fn acquire_dyn(&self, range: Range) -> DynRangeGuard<'_> {
+        DynRangeGuard(Box::new(PlainGuard(self.acquire(range))))
+    }
+
+    fn try_acquire_dyn(&self, range: Range) -> Option<DynRangeGuard<'_>> {
+        self.try_acquire(range)
+            .map(|g| DynRangeGuard(Box::new(PlainGuard(g)) as Box<dyn ErasedGuard + '_>))
+    }
+
+    fn dyn_name(&self) -> &'static str {
+        self.name()
+    }
+}
+
+/// Object-safe mirror of [`RwRangeLock`]: a reader-writer range lock usable
+/// through `dyn`.
+///
+/// Automatically implemented for every [`RwRangeLock`] whose guards are
+/// [`Send`]; never implement it by hand.
+pub trait DynRwRangeLock: Send + Sync {
+    /// Acquires `range` in shared mode, waiting for conflicting writers.
+    fn read_dyn(&self, range: Range) -> DynRangeGuard<'_>;
+
+    /// Acquires `range` in exclusive mode, waiting for overlapping holders.
+    fn write_dyn(&self, range: Range) -> DynRangeGuard<'_>;
+
+    /// Bounded shared acquisition attempt; see the
+    /// [`try_` contract](crate::traits#try_-semantics-normative).
+    fn try_read_dyn(&self, range: Range) -> Option<DynRangeGuard<'_>>;
+
+    /// Bounded exclusive acquisition attempt; see the
+    /// [`try_` contract](crate::traits#try_-semantics-normative).
+    fn try_write_dyn(&self, range: Range) -> Option<DynRangeGuard<'_>>;
+
+    /// Short, stable identifier (e.g. `"list-rw"`), matching
+    /// [`RwRangeLock::name`].
+    fn dyn_name(&self) -> &'static str;
+}
+
+impl<L> DynRwRangeLock for L
+where
+    L: RwRangeLock,
+    for<'a> L::ReadGuard<'a>: Send,
+    for<'a> L::WriteGuard<'a>: Send,
+{
+    fn read_dyn(&self, range: Range) -> DynRangeGuard<'_> {
+        DynRangeGuard(Box::new(PlainGuard(self.read(range))))
+    }
+
+    fn write_dyn(&self, range: Range) -> DynRangeGuard<'_> {
+        DynRangeGuard(Box::new(WriteGuardErased {
+            lock: self,
+            state: WriteState::Write(self.write(range)),
+        }))
+    }
+
+    fn try_read_dyn(&self, range: Range) -> Option<DynRangeGuard<'_>> {
+        self.try_read(range)
+            .map(|g| DynRangeGuard(Box::new(PlainGuard(g)) as Box<dyn ErasedGuard + '_>))
+    }
+
+    fn try_write_dyn(&self, range: Range) -> Option<DynRangeGuard<'_>> {
+        self.try_write(range).map(|g| {
+            DynRangeGuard(Box::new(WriteGuardErased {
+                lock: self,
+                state: WriteState::Write(g),
+            }) as Box<dyn ErasedGuard + '_>)
+        })
+    }
+
+    fn dyn_name(&self) -> &'static str {
+        self.name()
+    }
+}
+
+impl RangeLock for Box<dyn DynRangeLock> {
+    type Guard<'a> = DynRangeGuard<'a>;
+
+    fn acquire(&self, range: Range) -> Self::Guard<'_> {
+        (**self).acquire_dyn(range)
+    }
+
+    fn try_acquire(&self, range: Range) -> Option<Self::Guard<'_>> {
+        (**self).try_acquire_dyn(range)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).dyn_name()
+    }
+}
+
+impl RwRangeLock for Box<dyn DynRwRangeLock> {
+    type ReadGuard<'a> = DynRangeGuard<'a>;
+    type WriteGuard<'a> = DynRangeGuard<'a>;
+
+    fn read(&self, range: Range) -> Self::ReadGuard<'_> {
+        (**self).read_dyn(range)
+    }
+
+    fn write(&self, range: Range) -> Self::WriteGuard<'_> {
+        (**self).write_dyn(range)
+    }
+
+    fn try_read(&self, range: Range) -> Option<Self::ReadGuard<'_>> {
+        (**self).try_read_dyn(range)
+    }
+
+    fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
+        (**self).try_write_dyn(range)
+    }
+
+    fn downgrade<'a>(
+        &'a self,
+        mut guard: Self::WriteGuard<'a>,
+    ) -> Result<Self::ReadGuard<'a>, Self::WriteGuard<'a>> {
+        if guard.0.downgrade_erased() {
+            Ok(guard)
+        } else {
+            Err(guard)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).dyn_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::ExclusiveAsRw;
+    use crate::{ListRangeLock, RwListRangeLock};
+
+    #[test]
+    fn boxed_exclusive_lock_round_trip() {
+        let lock: Box<dyn DynRangeLock> = Box::new(ListRangeLock::new());
+        assert_eq!(RangeLock::name(&lock), "list-ex");
+        let g = lock.acquire(Range::new(0, 10));
+        assert!(lock.try_acquire(Range::new(5, 15)).is_none());
+        drop(g);
+        assert!(lock.try_acquire(Range::new(5, 15)).is_some());
+    }
+
+    #[test]
+    fn boxed_rw_lock_round_trip() {
+        let lock: Box<dyn DynRwRangeLock> = Box::new(RwListRangeLock::new());
+        assert_eq!(RwRangeLock::name(&lock), "list-rw");
+        let r1 = lock.read(Range::new(0, 100));
+        let r2 = lock.try_read(Range::new(50, 150)).expect("readers share");
+        assert!(lock.try_write(Range::new(50, 150)).is_none());
+        drop(r1);
+        drop(r2);
+        drop(lock.write(Range::new(0, 100)));
+    }
+
+    #[test]
+    fn adapter_composes_with_dyn_layer() {
+        let lock: Box<dyn DynRwRangeLock> = Box::new(ExclusiveAsRw::new(ListRangeLock::new()));
+        assert_eq!(RwRangeLock::name(&lock), "list-ex");
+        let r = lock.read(Range::new(0, 10));
+        // Readers serialize through the exclusive adapter.
+        assert!(lock.try_read(Range::new(5, 15)).is_none());
+        drop(r);
+    }
+
+    #[test]
+    fn downgrade_survives_the_erasure() {
+        // list-rw supports downgrade: through the dyn layer the write guard
+        // must flip in place (readers admitted, writers still excluded).
+        let lock: Box<dyn DynRwRangeLock> = Box::new(RwListRangeLock::new());
+        let w = lock.write(Range::new(0, 100));
+        assert!(lock.try_read(Range::new(50, 150)).is_none());
+        let r = lock.downgrade(w).expect("list-rw downgrades through dyn");
+        let r2 = lock.try_read(Range::new(50, 150)).expect("readers share");
+        assert!(lock.try_write(Range::new(0, 100)).is_none());
+        drop(r2);
+        drop(r);
+
+        // ExclusiveAsRw downgrades trivially (stays exclusive).
+        let ex: Box<dyn DynRwRangeLock> = Box::new(ExclusiveAsRw::new(ListRangeLock::new()));
+        let w = ex.write(Range::new(0, 10));
+        let g = ex.downgrade(w).expect("adapter downgrade is the identity");
+        drop(g);
+
+        // A lock without downgrade support returns the guard unchanged.
+        struct NoDowngrade(RwListRangeLock);
+        impl RwRangeLock for NoDowngrade {
+            type ReadGuard<'a> = crate::RwListRangeGuard<'a>;
+            type WriteGuard<'a> = crate::RwListRangeGuard<'a>;
+            fn read(&self, range: Range) -> Self::ReadGuard<'_> {
+                self.0.read(range)
+            }
+            fn write(&self, range: Range) -> Self::WriteGuard<'_> {
+                self.0.write(range)
+            }
+            fn name(&self) -> &'static str {
+                "no-downgrade"
+            }
+        }
+        let nd: Box<dyn DynRwRangeLock> = Box::new(NoDowngrade(RwListRangeLock::new()));
+        let w = nd.write(Range::new(0, 10));
+        let w = nd.downgrade(w).expect_err("default declines");
+        drop(w);
+    }
+
+    #[test]
+    fn dyn_guard_release_crosses_threads() {
+        use std::sync::Arc;
+        let lock: Arc<Box<dyn DynRwRangeLock>> = Arc::new(Box::new(RwListRangeLock::new()));
+        let g = lock.write(Range::new(0, 10));
+        // `DynRangeGuard` is Send: ship it to another thread for release.
+        // (Scoped borrow: the guard borrows the lock, so join before drop.)
+        std::thread::scope(|s| {
+            s.spawn(move || drop(g));
+        });
+        assert!(lock.try_write(Range::new(0, 10)).is_some());
+    }
+}

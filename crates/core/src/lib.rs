@@ -32,11 +32,14 @@
 //!   kernel locks the paper replaces). The empty-list fast path is the same
 //!   atomic sequence under every policy.
 //!
-//! Two lock types are provided:
+//! Two lock types are provided, both thin façades over the shared
+//! [`list_core::ListCore`] engine (one implementation of the list protocol,
+//! parameterized by a compile-time [`list_core::CompatMode`]):
 //!
 //! * [`ListRangeLock`] — the exclusive-access variant (Listing 1);
 //! * [`RwListRangeLock`] — the reader-writer variant (Listings 2–3), in which
-//!   overlapping reader ranges share and writers exclude.
+//!   overlapping reader ranges share and writers exclude; its write guards
+//!   support an atomic in-place [`RwListRangeGuard::downgrade`].
 //!
 //! # Quick start
 //!
@@ -62,11 +65,17 @@
 //! The [`RangeLock`] and [`RwRangeLock`] traits abstract over this crate's
 //! locks and the baseline implementations in the `rl-baselines` crate so that
 //! higher layers (the VM-subsystem simulator, the range-locked skip list, the
-//! benchmark harness) are generic over the lock implementation.
+//! benchmark harness) are generic over the lock implementation. When the lock
+//! must instead be chosen at *runtime* — one variable holding any variant —
+//! the object-safe [`dynlock`] layer ([`DynRangeLock`], [`DynRwRangeLock`],
+//! boxed [`DynRangeGuard`]s) erases the guard types, and the variant registry
+//! in `rl-baselines` enumerates every paper variant by name on top of it.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod dynlock;
 pub mod fairness;
+pub mod list_core;
 pub mod mutex_list;
 pub mod node;
 pub mod range;
@@ -74,8 +83,10 @@ pub mod reclaim;
 pub mod rw_list;
 pub mod traits;
 
+pub use dynlock::{DynRangeGuard, DynRangeLock, DynRwRangeLock};
 pub use fairness::{FairnessGate, FairnessPermit};
-pub use mutex_list::{ListLockConfig, ListRangeGuard, ListRangeLock};
+pub use list_core::{CompatMode, ListCore, ListLockConfig};
+pub use mutex_list::{ListRangeGuard, ListRangeLock};
 pub use range::Range;
 pub use rw_list::{RwListRangeGuard, RwListRangeLock};
 pub use traits::{ExclusiveAsRw, RangeLock, RwRangeLock};

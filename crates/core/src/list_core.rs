@@ -1,0 +1,846 @@
+//! The shared core of both list-based range locks.
+//!
+//! The paper's exclusive lock (Listing 1) and reader-writer lock
+//! (Listings 2–3) maintain the *same* data structure — a singly linked list of
+//! acquired ranges sorted by start address, with CAS insertion, wait-free
+//! FAA-mark release, lazy unlinking of marked nodes, the empty-list fast path
+//! of Section 4.5, the fairness gate of Section 4.3 and epoch reclamation
+//! (Section 4.4). They differ only in their **compatibility rule** (which
+//! pairs of overlapping nodes conflict) and in whether an insertion must be
+//! **validated** after its CAS (the Figure 1 reader/writer race exists only
+//! when overlapping nodes are allowed to coexist).
+//!
+//! [`ListCore`] implements the whole protocol once, parameterized by a
+//! compile-time [`CompatMode`]:
+//!
+//! * [`Exclusive`] — every overlap conflicts; insertion needs no validation
+//!   because two overlapping nodes always compete for the same insertion
+//!   point (the mutual-exclusion argument of Section 4.1);
+//! * [`ReaderWriter`] — overlapping readers share; reader and writer
+//!   insertions are validated per Listing 3 (`r_validate` / `w_validate`),
+//!   with readers preferred in conflicts exactly as in the paper.
+//!
+//! The public lock types ([`ListRangeLock`](crate::ListRangeLock),
+//! [`RwListRangeLock`](crate::RwListRangeLock)) are thin façades over a
+//! `ListCore`; the mode parameter is monomorphized away, so the exclusive
+//! lock compiles to the same straight-line fast path it had before the
+//! extraction.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rl_sync::stats::{WaitKind, WaitStats};
+use rl_sync::wait::{SpinThenYield, WaitPolicy, WaitQueue};
+
+use crate::fairness::{FairnessGate, FairnessPermit};
+use crate::node::{deref_node, is_marked, mark, to_ptr, unmark, LNode};
+use crate::range::Range;
+use crate::reclaim;
+
+/// Configuration for the list-based range locks (both variants).
+#[derive(Debug, Clone)]
+pub struct ListLockConfig {
+    /// Enable the empty-list fast path of Section 4.5.
+    pub fast_path: bool,
+    /// Enable the starvation-avoidance gate of Section 4.3.
+    pub fairness: bool,
+    /// Number of failed insertion attempts before a thread becomes impatient
+    /// (only meaningful when `fairness` is enabled).
+    pub impatience_threshold: u32,
+}
+
+impl Default for ListLockConfig {
+    fn default() -> Self {
+        ListLockConfig {
+            fast_path: true,
+            fairness: false,
+            impatience_threshold: 16,
+        }
+    }
+}
+
+/// Result of comparing the node under inspection (`cur`) with the node being
+/// inserted (`lock`), mirroring the paper's `compare` return values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Keep traversing: `cur` sorts before `lock`.
+    CurBeforeLock,
+    /// The two nodes conflict under the compatibility mode.
+    Conflict,
+    /// Insert `lock` right before `cur`.
+    CurAfterLock,
+}
+
+/// A compile-time compatibility rule: which pairs of overlapping nodes
+/// conflict, and whether insertions must be validated after their CAS.
+///
+/// Implemented by exactly two zero-sized types, [`Exclusive`] and
+/// [`ReaderWriter`]; the trait exists so [`ListCore`] can be written once and
+/// monomorphized per mode.
+pub trait CompatMode: Send + Sync + 'static {
+    /// `true` if overlapping reader nodes may coexist (and insertions
+    /// therefore need the Listing 3 validation passes).
+    const READERS_SHARE: bool;
+
+    /// The paper's `compare`: how `lock` orders against a live node `cur`.
+    fn compare(cur: &LNode, lock: &LNode) -> Cmp;
+}
+
+/// Every overlap conflicts (the Section 4.1 exclusive lock, Listing 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exclusive;
+
+impl CompatMode for Exclusive {
+    const READERS_SHARE: bool = false;
+
+    #[inline]
+    fn compare(cur: &LNode, lock: &LNode) -> Cmp {
+        if cur.start >= lock.end {
+            Cmp::CurAfterLock
+        } else if lock.start >= cur.end {
+            Cmp::CurBeforeLock
+        } else {
+            Cmp::Conflict
+        }
+    }
+}
+
+/// Overlapping readers share; writers exclude every overlap (the Section 4.2
+/// reader-writer lock, Listing 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReaderWriter;
+
+impl CompatMode for ReaderWriter {
+    const READERS_SHARE: bool = true;
+
+    #[inline]
+    fn compare(cur: &LNode, lock: &LNode) -> Cmp {
+        let both_readers = cur.is_reader() && lock.is_reader();
+        if lock.start >= cur.end {
+            return Cmp::CurBeforeLock;
+        }
+        if both_readers && lock.start >= cur.start {
+            return Cmp::CurBeforeLock;
+        }
+        if cur.start >= lock.end {
+            return Cmp::CurAfterLock;
+        }
+        if both_readers && cur.start >= lock.start {
+            return Cmp::CurAfterLock;
+        }
+        Cmp::Conflict
+    }
+}
+
+/// Result of one insertion attempt.
+enum InsertOutcome {
+    /// The node is in the list and validated.
+    Acquired,
+    /// The traversal lost its predecessor; retry with the same node.
+    Restart,
+    /// Writer validation failed; the node was logically deleted and the whole
+    /// acquisition must restart with a fresh node.
+    ValidationFailed,
+}
+
+/// The raw result of a core acquisition: the published node plus whether the
+/// Section 4.5 fast path was taken.
+///
+/// The façade guard types ([`ListRangeGuard`](crate::ListRangeGuard),
+/// [`RwListRangeGuard`](crate::RwListRangeGuard)) wrap one of these together
+/// with a lock reference and call [`ListCore::release`] on drop; `RawGuard`
+/// itself is inert — dropping it without a `release` call leaks the node's
+/// hold on the range.
+#[derive(Debug)]
+pub struct RawGuard {
+    node: *mut LNode,
+    fast: bool,
+}
+
+impl RawGuard {
+    /// The range the underlying node covers.
+    #[inline]
+    pub fn range(&self) -> Range {
+        // SAFETY: The façade guard keeps the node alive while it exists.
+        unsafe { (*self.node).range() }
+    }
+
+    /// Returns `true` if the node is currently held in reader mode.
+    #[inline]
+    pub fn is_reader(&self) -> bool {
+        // SAFETY: As in `range`.
+        unsafe { (*self.node).is_reader() }
+    }
+
+    /// Returns `true` if this acquisition took the empty-list fast path.
+    #[inline]
+    pub fn took_fast_path(&self) -> bool {
+        self.fast
+    }
+}
+
+/// The shared list-lock engine: the whole protocol of Sections 4.1–4.5,
+/// parameterized by a [`CompatMode`] and a [`WaitPolicy`].
+///
+/// This type is the implementation detail behind the two public lock types;
+/// it is exported so its documentation can anchor the design (see
+/// `DESIGN.md`) and so downstream experiments can build further façades, but
+/// the supported interface is [`ListRangeLock`](crate::ListRangeLock) /
+/// [`RwListRangeLock`](crate::RwListRangeLock).
+pub struct ListCore<M: CompatMode, P: WaitPolicy = SpinThenYield> {
+    head: AtomicU64,
+    config: ListLockConfig,
+    fairness: Option<FairnessGate<P>>,
+    stats: Option<Arc<WaitStats>>,
+    /// Wake channel for the `Block` policy; idle under spinning policies.
+    queue: WaitQueue,
+    _mode: PhantomData<M>,
+}
+
+// SAFETY: All shared state is manipulated through atomics and the
+// epoch-protected list protocol; the lock hands out exclusive access to
+// ranges, not to interior data.
+unsafe impl<M: CompatMode, P: WaitPolicy> Send for ListCore<M, P> {}
+// SAFETY: See the `Send` justification.
+unsafe impl<M: CompatMode, P: WaitPolicy> Sync for ListCore<M, P> {}
+
+impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
+    /// Creates a core with the given configuration.
+    pub fn with_config(config: ListLockConfig) -> Self {
+        let fairness = if config.fairness {
+            Some(FairnessGate::with_policy())
+        } else {
+            None
+        };
+        ListCore {
+            head: AtomicU64::new(0),
+            config,
+            fairness,
+            stats: None,
+            queue: WaitQueue::new(),
+            _mode: PhantomData,
+        }
+    }
+
+    /// Attaches a [`WaitStats`] sink recording contended acquisition times
+    /// (and, under the `Block` policy, park/wake counts). Must be called
+    /// before the core is shared.
+    pub fn attach_stats(&mut self, stats: Arc<WaitStats>) {
+        self.queue.attach_stats(Arc::clone(&stats));
+        self.stats = Some(stats);
+    }
+
+    /// The configuration the core was built with.
+    pub fn config(&self) -> &ListLockConfig {
+        &self.config
+    }
+
+    /// Acquires `range` (in reader mode when `reader` is set and the mode
+    /// supports it), waiting for conflicting holders.
+    pub fn acquire(&self, range: Range, reader: bool) -> RawGuard {
+        let started = Instant::now();
+        let mut contended = false;
+        let kind = if reader {
+            WaitKind::Read
+        } else {
+            WaitKind::Write
+        };
+
+        // Fast path (Section 4.5): empty list, CAS the head to a marked
+        // pointer to our node.
+        if self.config.fast_path && self.head.load(Ordering::Acquire) == 0 {
+            let node = reclaim::alloc_node(range, reader);
+            // SAFETY: `node` is exclusively owned until published.
+            let node_ptr = unsafe { to_ptr(&*node) };
+            if self
+                .head
+                .compare_exchange(0, mark(node_ptr), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                if let Some(s) = &self.stats {
+                    s.record_uncontended();
+                }
+                return RawGuard { node, fast: true };
+            }
+            // Somebody raced us; fall through to the regular path reusing the
+            // node we already allocated. (Under `ReaderWriter` the insertion
+            // may still fail writer validation, in which case the node is
+            // abandoned and the loop below allocates a fresh one.)
+            contended = true;
+            if self.insert_with_retries(node, reader, &mut contended) {
+                self.record(kind, started, contended);
+                return RawGuard { node, fast: false };
+            }
+        }
+
+        // RWRangeAcquire's do-while loop: allocate a node and insert it; a
+        // writer whose validation fails abandons the node and starts over.
+        // Under `Exclusive`, validation never fails and the loop runs once.
+        loop {
+            let node = reclaim::alloc_node(range, reader);
+            if self.insert_with_retries(node, reader, &mut contended) {
+                self.record(kind, started, contended);
+                return RawGuard { node, fast: false };
+            }
+            contended = true;
+        }
+    }
+
+    /// One bounded acquisition attempt: never waits and never restarts after
+    /// losing a race. Returns `None` on any conflict or lost race; the
+    /// allocated node is freed (never-published) or logically deleted
+    /// (published but failed validation), so a failure leaves nothing behind.
+    pub fn try_acquire(&self, range: Range, reader: bool) -> Option<RawGuard> {
+        // Fast path: empty list.
+        if self.config.fast_path && self.head.load(Ordering::Acquire) == 0 {
+            let node = reclaim::alloc_node(range, reader);
+            // SAFETY: `node` is exclusively owned until published.
+            let node_ptr = unsafe { to_ptr(&*node) };
+            if self
+                .head
+                .compare_exchange(0, mark(node_ptr), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(RawGuard { node, fast: true });
+            }
+            // Lost the race; discard the never-published node and take the
+            // regular bounded attempt below.
+            // SAFETY: The node was never published to the list.
+            unsafe { reclaim::free_node_now(node) };
+        }
+
+        let node = reclaim::alloc_node(range, reader);
+        // SAFETY: `node` is owned by us until published; once published it is
+        // not released before this function returns.
+        let lock_node = unsafe { &*node };
+        let _pin = reclaim::pin();
+        let mut prev: &AtomicU64 = &self.head;
+        let mut cur = prev.load(Ordering::Acquire);
+        loop {
+            if is_marked(cur) {
+                if std::ptr::eq(prev, &self.head) {
+                    let _ = self.head.compare_exchange(
+                        cur,
+                        unmark(cur),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    cur = prev.load(Ordering::Acquire);
+                    continue;
+                }
+                // Our predecessor was released under us; a blocking
+                // acquisition would restart, a bounded one gives up.
+                // SAFETY: The node was never published to the list.
+                unsafe { reclaim::free_node_now(node) };
+                return None;
+            }
+            // SAFETY: Pinned; `cur` was read from a reachable `next` pointer.
+            let cur_node = unsafe { deref_node(cur) };
+            if let Some(cn) = cur_node {
+                let cn_next = cn.next.load(Ordering::Acquire);
+                if is_marked(cn_next) {
+                    cur = self.unlink(prev, cur, cn_next);
+                    continue;
+                }
+            }
+            match compare_step::<M>(cur_node, lock_node) {
+                Cmp::CurBeforeLock => {
+                    let cn = cur_node.expect("CurBeforeLock implies a live node");
+                    prev = &cn.next;
+                    cur = prev.load(Ordering::Acquire);
+                }
+                Cmp::Conflict => {
+                    // SAFETY: The node was never published to the list.
+                    unsafe { reclaim::free_node_now(node) };
+                    return None;
+                }
+                Cmp::CurAfterLock => {
+                    lock_node.next.store(cur, Ordering::Relaxed);
+                    if prev
+                        .compare_exchange(
+                            cur,
+                            to_ptr(lock_node),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_err()
+                    {
+                        // Lost the insertion race; bounded attempts give up.
+                        // SAFETY: The node was never published to the list.
+                        unsafe { reclaim::free_node_now(node) };
+                        return None;
+                    }
+                    let acquired = if !M::READERS_SHARE {
+                        true
+                    } else if reader {
+                        // A reader that meets an overlapping writer during
+                        // validation would have to wait; bail out instead.
+                        let ok = self.try_r_validate(lock_node);
+                        if !ok {
+                            // The node was published; wake any writer already
+                            // waiting on it.
+                            lock_node.mark_deleted();
+                            P::wake(&self.queue);
+                        }
+                        ok
+                    } else {
+                        // Writer validation never waits: it either succeeds
+                        // or marks the node deleted itself.
+                        let mut contended = false;
+                        self.w_validate(lock_node, &mut contended)
+                    };
+                    return acquired.then_some(RawGuard { node, fast: false });
+                }
+            }
+        }
+    }
+
+    /// Releases the range held by `guard`'s node.
+    ///
+    /// # Safety
+    ///
+    /// `guard` must have been returned by `acquire`/`try_acquire` on *this*
+    /// core, must not have been released before, and must not be used again
+    /// (including through [`RawGuard::range`]/[`RawGuard::is_reader`]) after
+    /// this call: the node is retired to the epoch pool and may be reused.
+    /// The façade guard types uphold this by releasing exactly once, on drop.
+    pub unsafe fn release(&self, guard: &RawGuard) {
+        // SAFETY: Per this function's contract the node is still alive: it is
+        // published in the list (or, on the fast path, referenced by the head
+        // pointer) and has not been released before.
+        let node_ref = unsafe { &*guard.node };
+        if guard.fast {
+            let marked_ptr = mark(to_ptr(node_ref));
+            if self.head.load(Ordering::Acquire) == marked_ptr
+                && self
+                    .head
+                    .compare_exchange(marked_ptr, 0, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                // Eager removal succeeded; the node is unreachable from the
+                // list but may still be referenced by a traversal that read
+                // the head before our CAS, so retire it rather than free it.
+                // No wake is needed: a waiter can only wait on a node it
+                // reached by traversing, and every traversal strips the
+                // fast-path head mark first — which would have made this CAS
+                // fail. SAFETY: Unreachable from the list head.
+                unsafe { reclaim::retire_node(guard.node) };
+                return;
+            }
+            // Another thread stripped the fast-path mark (we are now a regular
+            // node in the list); fall through to the regular release.
+        }
+        node_ref.mark_deleted();
+        // Wake hook: waiters poll for the mark set above.
+        P::wake(&self.queue);
+    }
+
+    /// Downgrades a held writer node to reader mode in place and wakes the
+    /// queue so blocked overlapping readers re-check their predicates.
+    ///
+    /// The flip only *weakens* the node's exclusion, so every concurrent
+    /// traversal remains correct whichever value it reads; waiting readers
+    /// observe the new mode through the wake below (their wait predicates
+    /// re-check the reader flag, not just the deletion mark).
+    ///
+    /// # Safety
+    ///
+    /// `guard` must be a live (acquired on *this* core, not yet released)
+    /// guard, and the core's mode must allow readers to share
+    /// (`M::READERS_SHARE`) — flipping a node of an exclusive-mode core
+    /// would let overlapping "readers" coexist with it.
+    pub unsafe fn downgrade(&self, guard: &RawGuard) {
+        debug_assert!(M::READERS_SHARE, "downgrade on an exclusive-mode core");
+        // SAFETY: Per this function's contract the node is still alive.
+        unsafe { (*guard.node).set_reader() };
+        P::wake(&self.queue);
+    }
+
+    /// Returns the number of currently held (not logically deleted) ranges.
+    pub fn held_ranges(&self) -> usize {
+        let _pin = reclaim::pin();
+        let mut count = 0;
+        let mut cur = unmark(self.head.load(Ordering::Acquire));
+        // SAFETY: Pinned; nodes reachable from the head are not reclaimed.
+        while let Some(node) = unsafe { deref_node(cur) } {
+            if !node.is_deleted() {
+                count += 1;
+            }
+            cur = unmark(node.next.load(Ordering::Acquire));
+        }
+        count
+    }
+
+    /// Returns `true` if no range is currently held.
+    ///
+    /// Marked (released but not yet unlinked) nodes count as absent. The
+    /// answer is immediately stale in the presence of concurrent threads and
+    /// is intended for assertions and tests.
+    pub fn is_quiescent(&self) -> bool {
+        self.held_ranges() == 0
+    }
+
+    fn record(&self, kind: WaitKind, started: Instant, contended: bool) {
+        if let Some(s) = &self.stats {
+            if contended {
+                s.record_wait_ns(kind, started.elapsed().as_nanos() as u64);
+            } else {
+                s.record_uncontended();
+            }
+        }
+    }
+
+    /// Unlinks the logically deleted node `cur` from `prev` and returns its
+    /// successor (the next node to inspect), retiring `cur` on success.
+    #[inline]
+    fn unlink(&self, prev: &AtomicU64, cur: u64, cn_next: u64) -> u64 {
+        let next = unmark(cn_next);
+        if prev
+            .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // SAFETY: `cur` is now unreachable from the list head; in-flight
+            // readers are protected by the epoch.
+            unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
+        }
+        next
+    }
+
+    /// Runs insertion attempts for one node until it is acquired or writer
+    /// validation fails. Returns `true` on acquisition.
+    fn insert_with_retries(&self, node: *mut LNode, reader: bool, contended: &mut bool) -> bool {
+        // SAFETY: `node` remains alive: it is owned by us until published, and
+        // once published it is not released before this function returns.
+        let lock_node = unsafe { &*node };
+        let mut attempts: u32 = 0;
+        let mut permit = self
+            .fairness
+            .as_ref()
+            .map(|gate| gate.enter())
+            .unwrap_or(FairnessPermit::Disabled);
+
+        loop {
+            attempts += 1;
+            if attempts > 1 {
+                *contended = true;
+            }
+            if let (Some(gate), true) = (
+                self.fairness.as_ref(),
+                permit.should_escalate(attempts, self.config.impatience_threshold),
+            ) {
+                permit = gate.escalate(permit);
+            }
+
+            let pin = reclaim::pin();
+            let outcome = self.insert_attempt(lock_node, reader, contended);
+            drop(pin);
+            match outcome {
+                InsertOutcome::Acquired => return true,
+                InsertOutcome::Restart => continue,
+                InsertOutcome::ValidationFailed => return false,
+            }
+        }
+    }
+
+    /// One full traversal of `InsertNode` (Listings 1 and 2) plus, under
+    /// `ReaderWriter`, the Listing 3 validation pass.
+    fn insert_attempt(
+        &self,
+        lock_node: &LNode,
+        reader: bool,
+        contended: &mut bool,
+    ) -> InsertOutcome {
+        let mut prev: &AtomicU64 = &self.head;
+        let mut cur = prev.load(Ordering::Acquire);
+        loop {
+            if is_marked(cur) {
+                if std::ptr::eq(prev, &self.head) {
+                    // A fast-path acquisition marked the head pointer: strip
+                    // the mark and continue on the regular path (Section 4.5).
+                    let _ = self.head.compare_exchange(
+                        cur,
+                        unmark(cur),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    cur = prev.load(Ordering::Acquire);
+                    continue;
+                }
+                // The node owning `prev` was logically deleted: the pointer to
+                // the previous node is lost, restart from the head.
+                *contended = true;
+                return InsertOutcome::Restart;
+            }
+            // SAFETY: We hold a `Pin`, so any node reachable from the list
+            // cannot be reclaimed while we inspect it.
+            let cur_node = unsafe { deref_node(cur) };
+            if let Some(cn) = cur_node {
+                let cn_next = cn.next.load(Ordering::Acquire);
+                if is_marked(cn_next) {
+                    // `cur` is logically deleted: try to unlink it and keep
+                    // going from its successor regardless of the CAS outcome.
+                    cur = self.unlink(prev, cur, cn_next);
+                    continue;
+                }
+            }
+            match compare_step::<M>(cur_node, lock_node) {
+                Cmp::CurBeforeLock => {
+                    let cn = cur_node.expect("CurBeforeLock implies a live node");
+                    prev = &cn.next;
+                    cur = prev.load(Ordering::Acquire);
+                }
+                Cmp::Conflict => {
+                    // Wait (through the policy) until the conflicting holder
+                    // releases — or, when we are a reader, until it downgrades
+                    // to a reader we can share with.
+                    *contended = true;
+                    let cn = cur_node.expect("Conflict implies a live node");
+                    let sharable = M::READERS_SHARE && reader;
+                    P::wait_until(&self.queue, || {
+                        is_marked(cn.next.load(Ordering::Acquire)) || (sharable && cn.is_reader())
+                    });
+                    // Loop around: a marked node is unlinked above, a
+                    // downgraded one re-compares as a reader.
+                }
+                Cmp::CurAfterLock => {
+                    lock_node.next.store(cur, Ordering::Relaxed);
+                    if prev
+                        .compare_exchange(
+                            cur,
+                            to_ptr(lock_node),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        if !M::READERS_SHARE {
+                            return InsertOutcome::Acquired;
+                        }
+                        return if reader {
+                            self.r_validate(lock_node, contended);
+                            InsertOutcome::Acquired
+                        } else if self.w_validate(lock_node, contended) {
+                            InsertOutcome::Acquired
+                        } else {
+                            InsertOutcome::ValidationFailed
+                        };
+                    }
+                    *contended = true;
+                    cur = prev.load(Ordering::Acquire);
+                }
+            }
+        }
+    }
+
+    /// Reader validation (Listing 3, `r_validate`): scan forward from our node
+    /// until a node that starts after our range; wait out overlapping writers
+    /// (or stop waiting early if they downgrade to readers).
+    fn r_validate(&self, lock_node: &LNode, contended: &mut bool) {
+        let mut prev: &AtomicU64 = &lock_node.next;
+        let mut cur = unmark(prev.load(Ordering::Acquire));
+        loop {
+            // SAFETY: Pinned (the caller holds the pin across validation).
+            let cur_node = match unsafe { deref_node(cur) } {
+                None => return,
+                Some(n) => n,
+            };
+            // Ranges are half-open, so a node starting exactly at our end is
+            // disjoint; `>` here would make the reader wait out an *adjacent*
+            // writer (which may never release under a lock-table workload).
+            if cur_node.start >= lock_node.end {
+                return;
+            }
+            let cn_next = cur_node.next.load(Ordering::Acquire);
+            if is_marked(cn_next) {
+                cur = self.unlink(prev, cur, cn_next);
+            } else if cur_node.is_reader() {
+                prev = &cur_node.next;
+                cur = unmark(prev.load(Ordering::Acquire));
+            } else {
+                // Overlapping writer: wait (through the policy) until it
+                // marks itself as deleted or downgrades to a reader.
+                *contended = true;
+                P::wait_until(&self.queue, || {
+                    is_marked(cur_node.next.load(Ordering::Acquire)) || cur_node.is_reader()
+                });
+            }
+        }
+    }
+
+    /// Bounded variant of [`ListCore::r_validate`]: returns `false` instead
+    /// of waiting when an overlapping live writer is found.
+    fn try_r_validate(&self, lock_node: &LNode) -> bool {
+        let mut prev: &AtomicU64 = &lock_node.next;
+        let mut cur = unmark(prev.load(Ordering::Acquire));
+        loop {
+            // SAFETY: Pinned (the caller holds the pin across validation).
+            let cur_node = match unsafe { deref_node(cur) } {
+                None => return true,
+                Some(n) => n,
+            };
+            if cur_node.start >= lock_node.end {
+                return true;
+            }
+            let cn_next = cur_node.next.load(Ordering::Acquire);
+            if is_marked(cn_next) {
+                cur = self.unlink(prev, cur, cn_next);
+            } else if cur_node.is_reader() {
+                prev = &cur_node.next;
+                cur = unmark(prev.load(Ordering::Acquire));
+            } else {
+                // Overlapping live writer: a blocking reader would wait here.
+                return false;
+            }
+        }
+    }
+
+    /// Writer validation (Listing 3, `w_validate`): re-scan from the head
+    /// until we find our own node; an overlapping node on the way means a
+    /// reader raced us, so delete our node and fail.
+    fn w_validate(&self, lock_node: &LNode, contended: &mut bool) -> bool {
+        let own = to_ptr(lock_node);
+        let mut prev: &AtomicU64 = &self.head;
+        let mut cur = unmark(prev.load(Ordering::Acquire));
+        loop {
+            if cur == own {
+                return true;
+            }
+            // SAFETY: Pinned (the caller holds the pin across validation). Our
+            // own unmarked node is always reachable from the head, so the
+            // traversal cannot fall off the end of the list before finding it.
+            let cur_node = match unsafe { deref_node(cur) } {
+                None => unreachable!("w_validate fell off the list before finding its own node"),
+                Some(n) => n,
+            };
+            let cn_next = cur_node.next.load(Ordering::Acquire);
+            if is_marked(cn_next) {
+                cur = self.unlink(prev, cur, cn_next);
+            } else if cur_node.end <= lock_node.start {
+                prev = &cur_node.next;
+                cur = unmark(prev.load(Ordering::Acquire));
+            } else {
+                // Overlapping node ahead of us in the list: a reader won the
+                // race. Leave the list and fail validation; wake anyone that
+                // had already started waiting on our published node.
+                *contended = true;
+                lock_node.mark_deleted();
+                P::wake(&self.queue);
+                return false;
+            }
+        }
+    }
+}
+
+/// Applies the mode's `compare` with the end-of-list case folded in.
+#[inline]
+fn compare_step<M: CompatMode>(cur: Option<&LNode>, lock: &LNode) -> Cmp {
+    match cur {
+        None => Cmp::CurAfterLock,
+        Some(cur) => M::compare(cur, lock),
+    }
+}
+
+impl<M: CompatMode, P: WaitPolicy> Default for ListCore<M, P> {
+    fn default() -> Self {
+        Self::with_config(ListLockConfig::default())
+    }
+}
+
+impl<M: CompatMode, P: WaitPolicy> Drop for ListCore<M, P> {
+    fn drop(&mut self) {
+        // `&mut self` proves there are no outstanding guards (they borrow the
+        // lock), so every node still in the chain can be freed directly.
+        let mut cur = unmark(*self.head.get_mut());
+        while cur != 0 {
+            let ptr = cur as *mut LNode;
+            // SAFETY: Exclusive access to the lock; no thread can traverse it.
+            let next = unmark(unsafe { (*ptr).next.load(Ordering::Relaxed) });
+            // SAFETY: The node is reachable only from this chain.
+            unsafe { reclaim::free_node_now(ptr) };
+            cur = next;
+        }
+    }
+}
+
+impl<M: CompatMode, P: WaitPolicy> std::fmt::Debug for ListCore<M, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ListCore")
+            .field("held_ranges", &self.held_ranges())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_compare_matches_overlap_algebra() {
+        let a = LNode::new(Range::new(0, 10), false);
+        let probe = |s, e| {
+            let b = LNode::new(Range::new(s, e), false);
+            Exclusive::compare(&a, &b)
+        };
+        assert_eq!(probe(10, 20), Cmp::CurBeforeLock); // adjacent after
+        assert_eq!(probe(5, 15), Cmp::Conflict);
+        let later = LNode::new(Range::new(100, 110), false);
+        let b = LNode::new(Range::new(0, 10), false);
+        assert_eq!(Exclusive::compare(&later, &b), Cmp::CurAfterLock);
+    }
+
+    #[test]
+    fn rw_compare_lets_readers_share() {
+        let r1 = LNode::new(Range::new(0, 10), true);
+        let r2 = LNode::new(Range::new(5, 15), true);
+        let w = LNode::new(Range::new(5, 15), false);
+        assert_eq!(ReaderWriter::compare(&r1, &r2), Cmp::CurBeforeLock);
+        assert_eq!(ReaderWriter::compare(&r1, &w), Cmp::Conflict);
+        assert_eq!(ReaderWriter::compare(&w, &r2), Cmp::Conflict);
+    }
+
+    #[test]
+    fn rw_compare_sees_downgrade() {
+        let w = LNode::new(Range::new(0, 10), false);
+        let r = LNode::new(Range::new(5, 15), true);
+        assert_eq!(ReaderWriter::compare(&w, &r), Cmp::Conflict);
+        w.set_reader();
+        assert_eq!(ReaderWriter::compare(&w, &r), Cmp::CurBeforeLock);
+    }
+
+    #[test]
+    fn core_round_trip_both_modes() {
+        let ex: ListCore<Exclusive> = ListCore::default();
+        let g = ex.acquire(Range::new(0, 10), false);
+        assert!(g.took_fast_path());
+        assert_eq!(g.range(), Range::new(0, 10));
+        // SAFETY: `g` is live, from this core, released exactly once.
+        unsafe { ex.release(&g) };
+        assert!(ex.is_quiescent());
+
+        let rw: ListCore<ReaderWriter> = ListCore::default();
+        let r = rw.acquire(Range::new(0, 10), true);
+        assert!(r.is_reader());
+        // SAFETY: As above.
+        unsafe { rw.release(&r) };
+        assert!(rw.is_quiescent());
+    }
+
+    #[test]
+    fn downgrade_flips_held_node() {
+        let rw: ListCore<ReaderWriter> = ListCore::default();
+        let w = rw.acquire(Range::new(0, 10), false);
+        assert!(!w.is_reader());
+        // SAFETY: `w` is live, from this reader-writer-mode core.
+        unsafe { rw.downgrade(&w) };
+        assert!(w.is_reader());
+        // An overlapping reader can now share without the writer releasing.
+        let r = rw.try_acquire(Range::new(5, 15), true).expect("shares");
+        // SAFETY: `r` and `w` are live, from this core, released once each.
+        unsafe { rw.release(&r) };
+        unsafe { rw.release(&w) };
+        assert!(rw.is_quiescent());
+    }
+}

@@ -8,77 +8,21 @@
 //! Releasing a range marks the node's `next` pointer (one wait-free
 //! fetch-and-add); marked nodes are physically unlinked by later traversals.
 //!
-//! Two optional mechanisms from the paper are integrated here:
-//!
-//! * the **fast path** (Section 4.5): when the list is empty the head is CASed
-//!   directly to a *marked* pointer to the new node, and release eagerly CASes
-//!   it back to null — constant work when the lock is uncontended;
-//! * the **fairness gate** (Section 4.3): an impatient counter plus an
-//!   auxiliary reader-writer lock that a starving thread can grab for write to
-//!   stop the flow of new acquisitions while it inserts its node.
+//! The whole protocol — including the Section 4.5 empty-list fast path and
+//! the Section 4.3 fairness gate — lives in [`crate::list_core::ListCore`],
+//! shared with the reader-writer variant; this module is the thin
+//! exclusive-mode façade over it.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
-use rl_sync::stats::{WaitKind, WaitStats};
-use rl_sync::wait::{SpinThenYield, WaitPolicy, WaitQueue};
+use rl_sync::stats::WaitStats;
+use rl_sync::wait::{SpinThenYield, WaitPolicy};
 
-use crate::fairness::{FairnessGate, FairnessPermit};
-use crate::node::{deref_node, is_marked, mark, to_ptr, unmark, LNode};
+use crate::list_core::{Exclusive, ListCore, RawGuard};
 use crate::range::Range;
-use crate::reclaim;
 use crate::traits::RangeLock;
 
-/// Result of comparing the node under inspection (`cur`) with the range being
-/// acquired (`lock`), mirroring the paper's `compare` return values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Cmp {
-    /// `cur` ends before `lock` starts: keep traversing.
-    CurBeforeLock,
-    /// The ranges overlap: wait for `cur` to be released.
-    Overlap,
-    /// `cur` starts after `lock` ends (or `cur` is the end of the list):
-    /// insert `lock` right before `cur`.
-    CurAfterLock,
-}
-
-fn compare_exclusive(cur: Option<&LNode>, lock: &LNode) -> Cmp {
-    match cur {
-        None => Cmp::CurAfterLock,
-        Some(cur) => {
-            if cur.start >= lock.end {
-                Cmp::CurAfterLock
-            } else if lock.start >= cur.end {
-                Cmp::CurBeforeLock
-            } else {
-                Cmp::Overlap
-            }
-        }
-    }
-}
-
-/// Configuration for a [`ListRangeLock`] (and for the reader-writer variant).
-#[derive(Debug, Clone)]
-pub struct ListLockConfig {
-    /// Enable the empty-list fast path of Section 4.5.
-    pub fast_path: bool,
-    /// Enable the starvation-avoidance gate of Section 4.3.
-    pub fairness: bool,
-    /// Number of failed insertion attempts before a thread becomes impatient
-    /// (only meaningful when `fairness` is enabled).
-    pub impatience_threshold: u32,
-}
-
-impl Default for ListLockConfig {
-    fn default() -> Self {
-        ListLockConfig {
-            fast_path: true,
-            fairness: false,
-            impatience_threshold: 16,
-        }
-    }
-}
+pub use crate::list_core::ListLockConfig;
 
 /// An exclusive-access list-based range lock.
 ///
@@ -112,20 +56,8 @@ impl Default for ListLockConfig {
 /// drop(lock.acquire(Range::new(0, 100)));
 /// ```
 pub struct ListRangeLock<P: WaitPolicy = SpinThenYield> {
-    head: AtomicU64,
-    config: ListLockConfig,
-    fairness: Option<FairnessGate<P>>,
-    stats: Option<Arc<WaitStats>>,
-    /// Wake channel for the `Block` policy; idle under spinning policies.
-    queue: WaitQueue,
+    core: ListCore<Exclusive, P>,
 }
-
-// SAFETY: All shared state is manipulated through atomics and the
-// epoch-protected list protocol; the lock hands out exclusive access to
-// ranges, not to interior data, so `Send + Sync` only requires the above.
-unsafe impl<P: WaitPolicy> Send for ListRangeLock<P> {}
-// SAFETY: See the `Send` justification.
-unsafe impl<P: WaitPolicy> Sync for ListRangeLock<P> {}
 
 impl ListRangeLock {
     /// Creates a lock with the default configuration (fast path on, fairness
@@ -151,73 +83,24 @@ impl<P: WaitPolicy> ListRangeLock<P> {
     /// Creates a lock waiting through policy `P` with an explicit
     /// configuration.
     pub fn with_policy_config(config: ListLockConfig) -> Self {
-        let fairness = if config.fairness {
-            Some(FairnessGate::with_policy())
-        } else {
-            None
-        };
         ListRangeLock {
-            head: AtomicU64::new(0),
-            config,
-            fairness,
-            stats: None,
-            queue: WaitQueue::new(),
+            core: ListCore::with_config(config),
         }
     }
 
     /// Attaches a [`WaitStats`] sink recording contended acquisition times
     /// (and, under the `Block` policy, park/wake counts).
     pub fn with_stats(mut self, stats: Arc<WaitStats>) -> Self {
-        self.queue.attach_stats(Arc::clone(&stats));
-        self.stats = Some(stats);
+        self.core.attach_stats(stats);
         self
     }
 
     /// Acquires exclusive access to `range`, blocking while any overlapping
     /// range is held.
     pub fn acquire(&self, range: Range) -> ListRangeGuard<'_, P> {
-        let started = Instant::now();
-        let mut contended = false;
-
-        // Fast path (Section 4.5): empty list, CAS the head to a marked
-        // pointer to our node.
-        if self.config.fast_path && self.head.load(Ordering::Acquire) == 0 {
-            let node = reclaim::alloc_node(range, false);
-            // SAFETY: `node` is exclusively owned until published.
-            let node_ptr = unsafe { to_ptr(&*node) };
-            if self
-                .head
-                .compare_exchange(0, mark(node_ptr), Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                if let Some(s) = &self.stats {
-                    s.record_uncontended();
-                }
-                return ListRangeGuard {
-                    lock: self,
-                    node,
-                    fast: true,
-                };
-            }
-            // Somebody raced us; fall through to the regular path reusing the
-            // node we already allocated.
-            contended = true;
-            self.insert_regular(node, &mut contended);
-            self.record(started, contended);
-            return ListRangeGuard {
-                lock: self,
-                node,
-                fast: false,
-            };
-        }
-
-        let node = reclaim::alloc_node(range, false);
-        self.insert_regular(node, &mut contended);
-        self.record(started, contended);
         ListRangeGuard {
             lock: self,
-            node,
-            fast: false,
+            raw: self.core.acquire(range, false),
         }
     }
 
@@ -228,22 +111,15 @@ impl<P: WaitPolicy> ListRangeLock<P> {
 
     /// Attempts to acquire `range` without waiting.
     ///
-    /// Returns `None` if an overlapping range is currently held. This entry
-    /// point is not part of the paper's API but falls out of the design for
-    /// free and is convenient for callers that can do other useful work.
+    /// Returns `None` if an overlapping range is currently held; see the
+    /// [trait-level contract](RangeLock::try_acquire) for the spurious-failure
+    /// and no-residue guarantees. This entry point is not part of the paper's
+    /// API but falls out of the design for free and is convenient for callers
+    /// that can do other useful work.
     pub fn try_acquire(&self, range: Range) -> Option<ListRangeGuard<'_, P>> {
-        let node = reclaim::alloc_node(range, false);
-        if self.try_insert_once(node) {
-            Some(ListRangeGuard {
-                lock: self,
-                node,
-                fast: false,
-            })
-        } else {
-            // SAFETY: The node was never published to the list.
-            unsafe { reclaim::free_node_now(node) };
-            None
-        }
+        self.core
+            .try_acquire(range, false)
+            .map(|raw| ListRangeGuard { lock: self, raw })
     }
 
     /// Returns `true` if no range is currently held.
@@ -252,267 +128,12 @@ impl<P: WaitPolicy> ListRangeLock<P> {
     /// answer is immediately stale in the presence of concurrent threads and
     /// is intended for assertions and tests.
     pub fn is_quiescent(&self) -> bool {
-        let _pin = reclaim::pin();
-        let mut cur = self.head.load(Ordering::Acquire);
-        loop {
-            // SAFETY: We are pinned, so any node reachable from the head is
-            // not reclaimed while we look at it.
-            match unsafe { deref_node(cur) } {
-                None => return true,
-                Some(node) => {
-                    if !node.is_deleted() && !is_marked(cur) {
-                        return false;
-                    }
-                    if is_marked(cur) {
-                        // Fast-path holder: the single node is held unless it
-                        // has been logically deleted.
-                        return node.is_deleted();
-                    }
-                    cur = node.next.load(Ordering::Acquire);
-                }
-            }
-        }
+        self.core.is_quiescent()
     }
 
     /// Returns the number of currently held (not logically deleted) ranges.
     pub fn held_ranges(&self) -> usize {
-        let _pin = reclaim::pin();
-        let mut count = 0;
-        let mut cur = self.head.load(Ordering::Acquire);
-        loop {
-            // SAFETY: Pinned; see `is_quiescent`.
-            match unsafe { deref_node(unmark(cur)) } {
-                None => return count,
-                Some(node) => {
-                    if !node.is_deleted() {
-                        count += 1;
-                    }
-                    cur = node.next.load(Ordering::Acquire);
-                }
-            }
-        }
-    }
-
-    fn record(&self, started: Instant, contended: bool) {
-        if let Some(s) = &self.stats {
-            if contended {
-                s.record_wait_ns(WaitKind::Write, started.elapsed().as_nanos() as u64);
-            } else {
-                s.record_uncontended();
-            }
-        }
-    }
-
-    /// Inserts `node` into the list, waiting for overlapping ranges.
-    fn insert_regular(&self, node: *mut LNode, contended: &mut bool) {
-        // SAFETY: `node` stays alive for the duration of the call: it is
-        // either unpublished (owned by us) or published into the list and not
-        // yet released.
-        let lock_node = unsafe { &*node };
-        let mut attempts: u32 = 0;
-        let mut permit = self
-            .fairness
-            .as_ref()
-            .map(|gate| gate.enter())
-            .unwrap_or(FairnessPermit::Disabled);
-
-        loop {
-            attempts += 1;
-            if attempts > 1 {
-                *contended = true;
-            }
-            if let (Some(gate), true) = (
-                self.fairness.as_ref(),
-                permit.should_escalate(attempts, self.config.impatience_threshold),
-            ) {
-                permit = gate.escalate(permit);
-            }
-
-            let pin = reclaim::pin();
-            if self.insert_attempt(lock_node, contended) {
-                drop(pin);
-                drop(permit);
-                return;
-            }
-            drop(pin);
-        }
-    }
-
-    /// One bounded attempt used by `try_acquire`: never waits, never restarts.
-    fn try_insert_once(&self, node: *mut LNode) -> bool {
-        // SAFETY: As in `insert_regular`.
-        let lock_node = unsafe { &*node };
-        let _pin = reclaim::pin();
-        let mut prev: &AtomicU64 = &self.head;
-        let mut cur = prev.load(Ordering::Acquire);
-        loop {
-            if is_marked(cur) {
-                if std::ptr::eq(prev, &self.head) {
-                    let _ = self.head.compare_exchange(
-                        cur,
-                        unmark(cur),
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
-                    cur = prev.load(Ordering::Acquire);
-                    continue;
-                }
-                return false;
-            }
-            // SAFETY: Pinned, `cur` reachable from the list.
-            let cur_node = unsafe { deref_node(cur) };
-            if let Some(cn) = cur_node {
-                let cn_next = cn.next.load(Ordering::Acquire);
-                if is_marked(cn_next) {
-                    let next = unmark(cn_next);
-                    if prev
-                        .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        // SAFETY: We unlinked `cur`; nobody can reach it from
-                        // the list anymore.
-                        unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
-                    }
-                    cur = next;
-                    continue;
-                }
-            }
-            match compare_exclusive(cur_node, lock_node) {
-                Cmp::CurBeforeLock => {
-                    let cn = cur_node.expect("CurBeforeLock implies a live node");
-                    prev = &cn.next;
-                    cur = prev.load(Ordering::Acquire);
-                }
-                Cmp::Overlap => return false,
-                Cmp::CurAfterLock => {
-                    lock_node.next.store(cur, Ordering::Relaxed);
-                    if prev
-                        .compare_exchange(
-                            cur,
-                            to_ptr(lock_node),
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        )
-                        .is_ok()
-                    {
-                        return true;
-                    }
-                    return false;
-                }
-            }
-        }
-    }
-
-    /// One full traversal attempt of `InsertNode` (Listing 1). Returns `true`
-    /// once the node has been inserted; returns `false` if the traversal must
-    /// restart from the head (the predecessor was logically deleted).
-    fn insert_attempt(&self, lock_node: &LNode, contended: &mut bool) -> bool {
-        let mut prev: &AtomicU64 = &self.head;
-        let mut cur = prev.load(Ordering::Acquire);
-        loop {
-            if is_marked(cur) {
-                if std::ptr::eq(prev, &self.head) {
-                    // A fast-path acquisition marked the head pointer: strip
-                    // the mark and continue on the regular path (Section 4.5).
-                    let _ = self.head.compare_exchange(
-                        cur,
-                        unmark(cur),
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
-                    cur = prev.load(Ordering::Acquire);
-                    continue;
-                }
-                // The node owning `prev` was logically deleted: the pointer to
-                // the previous node is lost, restart from the head.
-                *contended = true;
-                return false;
-            }
-            // SAFETY: We hold a `Pin`, so any node reachable from the list
-            // cannot be reclaimed while we inspect it.
-            let cur_node = unsafe { deref_node(cur) };
-            if let Some(cn) = cur_node {
-                let cn_next = cn.next.load(Ordering::Acquire);
-                if is_marked(cn_next) {
-                    // `cur` is logically deleted: try to unlink it and keep
-                    // going from its successor regardless of the CAS outcome.
-                    let next = unmark(cn_next);
-                    if prev
-                        .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        // SAFETY: `cur` is now unreachable from the list head;
-                        // in-flight readers are protected by the epoch.
-                        unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
-                    }
-                    cur = next;
-                    continue;
-                }
-            }
-            match compare_exclusive(cur_node, lock_node) {
-                Cmp::CurBeforeLock => {
-                    let cn = cur_node.expect("CurBeforeLock implies a live node");
-                    prev = &cn.next;
-                    cur = prev.load(Ordering::Acquire);
-                }
-                Cmp::Overlap => {
-                    // Wait (through the policy) until the conflicting holder
-                    // releases; its release marks the node and wakes this
-                    // lock's queue.
-                    *contended = true;
-                    let cn = cur_node.expect("Overlap implies a live node");
-                    P::wait_until(&self.queue, || is_marked(cn.next.load(Ordering::Acquire)));
-                    // Loop around: the marked node will be unlinked above.
-                }
-                Cmp::CurAfterLock => {
-                    lock_node.next.store(cur, Ordering::Relaxed);
-                    if prev
-                        .compare_exchange(
-                            cur,
-                            to_ptr(lock_node),
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        )
-                        .is_ok()
-                    {
-                        return true;
-                    }
-                    *contended = true;
-                    cur = prev.load(Ordering::Acquire);
-                }
-            }
-        }
-    }
-
-    /// Releases the range held by `guard`'s node.
-    fn release(&self, node: *mut LNode, fast: bool) {
-        // SAFETY: The guard kept the node alive; it is still published (or, on
-        // the fast path, referenced by the head pointer).
-        let node_ref = unsafe { &*node };
-        if fast {
-            let marked_ptr = mark(to_ptr(node_ref));
-            if self.head.load(Ordering::Acquire) == marked_ptr
-                && self
-                    .head
-                    .compare_exchange(marked_ptr, 0, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-            {
-                // Eager removal succeeded; the node is unreachable from the
-                // list but may still be referenced by a traversal that read
-                // the head before our CAS, so retire it rather than free it.
-                // No wake is needed: a waiter can only wait on a node it
-                // reached by traversing, and every traversal strips the
-                // fast-path head mark first — which would have made this CAS
-                // fail. SAFETY: Unreachable from the list head.
-                unsafe { reclaim::retire_node(node) };
-                return;
-            }
-            // Another thread stripped the fast-path mark (we are now a regular
-            // node in the list); fall through to the regular release.
-        }
-        node_ref.mark_deleted();
-        // Wake hook: waiters poll for the mark set above.
-        P::wake(&self.queue);
+        self.core.held_ranges()
     }
 }
 
@@ -522,27 +143,11 @@ impl<P: WaitPolicy> Default for ListRangeLock<P> {
     }
 }
 
-impl<P: WaitPolicy> Drop for ListRangeLock<P> {
-    fn drop(&mut self) {
-        // `&mut self` proves there are no outstanding guards (they borrow the
-        // lock), so every node still in the chain can be freed directly.
-        let mut cur = unmark(*self.head.get_mut());
-        while cur != 0 {
-            let ptr = cur as *mut LNode;
-            // SAFETY: Exclusive access to the lock; no thread can traverse it.
-            let next = unmark(unsafe { (*ptr).next.load(Ordering::Relaxed) });
-            // SAFETY: The node is reachable only from this chain.
-            unsafe { reclaim::free_node_now(ptr) };
-            cur = next;
-        }
-    }
-}
-
 impl<P: WaitPolicy> std::fmt::Debug for ListRangeLock<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ListRangeLock")
             .field("held_ranges", &self.held_ranges())
-            .field("config", &self.config)
+            .field("config", self.core.config())
             .finish()
     }
 }
@@ -551,27 +156,28 @@ impl<P: WaitPolicy> std::fmt::Debug for ListRangeLock<P> {
 #[must_use = "the range is released as soon as the guard is dropped"]
 pub struct ListRangeGuard<'a, P: WaitPolicy = SpinThenYield> {
     lock: &'a ListRangeLock<P>,
-    node: *mut LNode,
-    fast: bool,
+    raw: RawGuard,
 }
 
 // SAFETY: Releasing from another thread only performs atomic operations on the
 // shared list (mark/CAS + queue wake) and retires the node into the
 // *releasing* thread's epoch pool, so a guard may be moved across threads.
-// (The raw `node` pointer is what suppresses the automatic impl.)
+// (The raw node pointer inside `RawGuard` is what suppresses the automatic
+// impl.)
 unsafe impl<P: WaitPolicy> Send for ListRangeGuard<'_, P> {}
 
 impl<P: WaitPolicy> ListRangeGuard<'_, P> {
     /// The range this guard protects.
     pub fn range(&self) -> Range {
-        // SAFETY: The node stays alive while the guard exists.
-        unsafe { (*self.node).range() }
+        self.raw.range()
     }
 }
 
 impl<P: WaitPolicy> Drop for ListRangeGuard<'_, P> {
     fn drop(&mut self) {
-        self.lock.release(self.node, self.fast);
+        // SAFETY: `raw` came from this lock's core and is released exactly
+        // once (here); the guard is unusable afterwards.
+        unsafe { self.lock.core.release(&self.raw) };
     }
 }
 
@@ -579,7 +185,7 @@ impl<P: WaitPolicy> std::fmt::Debug for ListRangeGuard<'_, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ListRangeGuard")
             .field("range", &self.range())
-            .field("fast", &self.fast)
+            .field("fast", &self.raw.took_fast_path())
             .finish()
     }
 }

@@ -9,7 +9,7 @@
 //! (Listing 1, line 52), and physical unlinking is deferred to later
 //! traversals.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::range::Range;
 
@@ -17,6 +17,10 @@ use crate::range::Range;
 ///
 /// Equivalent to the paper's `LNode`: the range boundaries, the reader flag
 /// (used only by the reader-writer variant), and the marked `next` pointer.
+///
+/// The reader flag is atomic so that a *held* writer node can be downgraded
+/// to a reader node in place (see `RwListRangeGuard::downgrade`): concurrent
+/// traversals and validation passes read the flag while the owner flips it.
 #[repr(align(8))]
 #[derive(Debug)]
 pub struct LNode {
@@ -24,8 +28,8 @@ pub struct LNode {
     pub start: u64,
     /// Exclusive end of the acquired range.
     pub end: u64,
-    /// `true` if the range was acquired in shared (reader) mode.
-    pub reader: bool,
+    /// `true` if the range is held in shared (reader) mode.
+    pub reader: AtomicBool,
     /// Tagged pointer to the next node; LSB set means this node is logically
     /// deleted.
     pub next: AtomicU64,
@@ -37,7 +41,7 @@ impl LNode {
         LNode {
             start: range.start,
             end: range.end,
-            reader,
+            reader: AtomicBool::new(reader),
             next: AtomicU64::new(0),
         }
     }
@@ -51,12 +55,27 @@ impl LNode {
         }
     }
 
+    /// Returns `true` if the node is currently held in shared (reader) mode.
+    #[inline]
+    pub fn is_reader(&self) -> bool {
+        self.reader.load(Ordering::Acquire)
+    }
+
+    /// Flips a writer node to reader mode in place (the downgrade primitive).
+    ///
+    /// Only ever weakens the node's exclusion (writer → reader), so concurrent
+    /// traversals that read the old value merely wait when they could share.
+    #[inline]
+    pub fn set_reader(&self) {
+        self.reader.store(true, Ordering::Release);
+    }
+
     /// Resets the node in place for reuse from a pool.
     #[inline]
     pub fn reset(&mut self, range: Range, reader: bool) {
         self.start = range.start;
         self.end = range.end;
-        self.reader = reader;
+        *self.reader.get_mut() = reader;
         *self.next.get_mut() = 0;
     }
 
@@ -156,7 +175,15 @@ mod tests {
         node.reset(Range::new(8, 16), true);
         assert!(!node.is_deleted());
         assert_eq!(node.range(), Range::new(8, 16));
-        assert!(node.reader);
+        assert!(node.is_reader());
+    }
+
+    #[test]
+    fn set_reader_downgrades_in_place() {
+        let node = LNode::new(Range::new(0, 4), false);
+        assert!(!node.is_reader());
+        node.set_reader();
+        assert!(node.is_reader());
     }
 
     #[test]

@@ -16,66 +16,21 @@
 //!   own node and restarts the acquisition from scratch.
 //!
 //! Readers are therefore preferred in conflicts, exactly as in the paper.
+//!
+//! The traversal, validation and release machinery is shared with the
+//! exclusive lock through [`crate::list_core::ListCore`]; this module is the
+//! thin reader-writer façade over it, and additionally exposes
+//! [`RwListRangeGuard::downgrade`], which atomically flips a held writer node
+//! to reader mode.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
-use rl_sync::stats::{WaitKind, WaitStats};
-use rl_sync::wait::{SpinThenYield, WaitPolicy, WaitQueue};
+use rl_sync::stats::WaitStats;
+use rl_sync::wait::{SpinThenYield, WaitPolicy};
 
-use crate::fairness::{FairnessGate, FairnessPermit};
-use crate::mutex_list::ListLockConfig;
-use crate::node::{deref_node, is_marked, mark, to_ptr, unmark, LNode};
+use crate::list_core::{ListCore, ListLockConfig, RawGuard, ReaderWriter};
 use crate::range::Range;
-use crate::reclaim;
 use crate::traits::RwRangeLock;
-
-/// Outcome of comparing the node under inspection (`cur`) with the node being
-/// inserted (`lock`), following the reader-writer `compare` of Listing 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Cmp {
-    /// Keep traversing: `cur` is before `lock`, or both are readers and `cur`
-    /// starts no later than `lock`.
-    CurBeforeLock,
-    /// The ranges conflict (they overlap and at least one is a writer).
-    Conflict,
-    /// Insert before `cur`: `cur` is after `lock`, or both are readers and
-    /// `cur` starts no earlier than `lock`.
-    CurAfterLock,
-}
-
-fn compare_rw(cur: Option<&LNode>, lock: &LNode) -> Cmp {
-    let cur = match cur {
-        None => return Cmp::CurAfterLock,
-        Some(cur) => cur,
-    };
-    let both_readers = cur.reader && lock.reader;
-    if lock.start >= cur.end {
-        return Cmp::CurBeforeLock;
-    }
-    if both_readers && lock.start >= cur.start {
-        return Cmp::CurBeforeLock;
-    }
-    if cur.start >= lock.end {
-        return Cmp::CurAfterLock;
-    }
-    if both_readers && cur.start >= lock.start {
-        return Cmp::CurAfterLock;
-    }
-    Cmp::Conflict
-}
-
-/// Result of one insertion attempt.
-enum InsertOutcome {
-    /// The node is in the list and validated.
-    Acquired,
-    /// The traversal lost its predecessor; retry with the same node.
-    Restart,
-    /// Writer validation failed; the node was logically deleted and the whole
-    /// acquisition must restart with a fresh node.
-    ValidationFailed,
-}
 
 /// A reader-writer list-based range lock.
 ///
@@ -92,19 +47,8 @@ enum InsertOutcome {
 /// let _w = lock.write(Range::new(0, 100)); // writers are exclusive
 /// ```
 pub struct RwListRangeLock<P: WaitPolicy = SpinThenYield> {
-    head: AtomicU64,
-    config: ListLockConfig,
-    fairness: Option<FairnessGate<P>>,
-    stats: Option<Arc<WaitStats>>,
-    /// Wake channel for the `Block` policy; idle under spinning policies.
-    queue: WaitQueue,
+    core: ListCore<ReaderWriter, P>,
 }
-
-// SAFETY: Shared state is only touched through atomics and the epoch-protected
-// list protocol; see `ListRangeLock`.
-unsafe impl<P: WaitPolicy> Send for RwListRangeLock<P> {}
-// SAFETY: See the `Send` justification.
-unsafe impl<P: WaitPolicy> Sync for RwListRangeLock<P> {}
 
 impl RwListRangeLock {
     /// Creates a lock with the default configuration (fast path on, fairness
@@ -130,36 +74,32 @@ impl<P: WaitPolicy> RwListRangeLock<P> {
     /// Creates a lock waiting through policy `P` with an explicit
     /// configuration.
     pub fn with_policy_config(config: ListLockConfig) -> Self {
-        let fairness = if config.fairness {
-            Some(FairnessGate::with_policy())
-        } else {
-            None
-        };
         RwListRangeLock {
-            head: AtomicU64::new(0),
-            config,
-            fairness,
-            stats: None,
-            queue: WaitQueue::new(),
+            core: ListCore::with_config(config),
         }
     }
 
     /// Attaches a [`WaitStats`] sink recording contended acquisition times
     /// (and, under the `Block` policy, park/wake counts).
     pub fn with_stats(mut self, stats: Arc<WaitStats>) -> Self {
-        self.queue.attach_stats(Arc::clone(&stats));
-        self.stats = Some(stats);
+        self.core.attach_stats(stats);
         self
     }
 
     /// Acquires `range` in shared (reader) mode.
     pub fn read(&self, range: Range) -> RwListRangeGuard<'_, P> {
-        self.acquire(range, true)
+        RwListRangeGuard {
+            lock: self,
+            raw: self.core.acquire(range, true),
+        }
     }
 
     /// Acquires `range` in exclusive (writer) mode.
     pub fn write(&self, range: Range) -> RwListRangeGuard<'_, P> {
-        self.acquire(range, false)
+        RwListRangeGuard {
+            lock: self,
+            raw: self.core.acquire(range, false),
+        }
     }
 
     /// Acquires the entire resource in shared mode.
@@ -174,495 +114,34 @@ impl<P: WaitPolicy> RwListRangeLock<P> {
 
     /// Attempts to acquire `range` in shared mode without waiting.
     ///
-    /// Returns `None` if a conflicting writer is currently held. Like
-    /// [`ListRangeLock::try_acquire`](crate::ListRangeLock::try_acquire),
-    /// the attempt is bounded and may fail spuriously while the list is being
-    /// modified concurrently.
+    /// Returns `None` if a conflicting writer is currently held; see the
+    /// [trait-level contract](RwRangeLock::try_read) for the
+    /// spurious-failure and no-residue guarantees.
     pub fn try_read(&self, range: Range) -> Option<RwListRangeGuard<'_, P>> {
-        self.try_acquire(range, true)
+        self.core
+            .try_acquire(range, true)
+            .map(|raw| RwListRangeGuard { lock: self, raw })
     }
 
     /// Attempts to acquire `range` in exclusive mode without waiting.
     ///
-    /// Returns `None` if any overlapping range is currently held; see
-    /// [`RwListRangeLock::try_read`] for the spurious-failure caveat.
+    /// Returns `None` if any overlapping range is currently held; see the
+    /// [trait-level contract](RwRangeLock::try_write) for the
+    /// spurious-failure and no-residue guarantees.
     pub fn try_write(&self, range: Range) -> Option<RwListRangeGuard<'_, P>> {
-        self.try_acquire(range, false)
+        self.core
+            .try_acquire(range, false)
+            .map(|raw| RwListRangeGuard { lock: self, raw })
     }
 
     /// Returns the number of currently held (not logically deleted) ranges.
     pub fn held_ranges(&self) -> usize {
-        let _pin = reclaim::pin();
-        let mut count = 0;
-        let mut cur = unmark(self.head.load(Ordering::Acquire));
-        // SAFETY: Pinned; nodes reachable from the head are not reclaimed.
-        while let Some(node) = unsafe { deref_node(cur) } {
-            if !node.is_deleted() {
-                count += 1;
-            }
-            cur = unmark(node.next.load(Ordering::Acquire));
-        }
-        count
+        self.core.held_ranges()
     }
 
     /// Returns `true` if no range is currently held.
     pub fn is_quiescent(&self) -> bool {
-        self.held_ranges() == 0
-    }
-
-    fn acquire(&self, range: Range, reader: bool) -> RwListRangeGuard<'_, P> {
-        let started = Instant::now();
-        let mut contended = false;
-        let kind = if reader {
-            WaitKind::Read
-        } else {
-            WaitKind::Write
-        };
-
-        // Fast path (Section 4.5).
-        if self.config.fast_path && self.head.load(Ordering::Acquire) == 0 {
-            let node = reclaim::alloc_node(range, reader);
-            // SAFETY: `node` is exclusively owned until published.
-            let node_ptr = unsafe { to_ptr(&*node) };
-            if self
-                .head
-                .compare_exchange(0, mark(node_ptr), Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                if let Some(s) = &self.stats {
-                    s.record_uncontended();
-                }
-                return RwListRangeGuard {
-                    lock: self,
-                    node,
-                    fast: true,
-                };
-            }
-            contended = true;
-            // Lost the race; reuse the node on the regular path. The regular
-            // path may still fail writer validation, in which case the node is
-            // abandoned (logically deleted) and a fresh one is allocated.
-            if self.insert_with_retries(node, reader, &mut contended) {
-                self.record(kind, started, contended);
-                return RwListRangeGuard {
-                    lock: self,
-                    node,
-                    fast: false,
-                };
-            }
-        }
-
-        // RWRangeAcquire's do-while loop: allocate a node and insert it; a
-        // writer whose validation fails abandons the node and starts over.
-        loop {
-            let node = reclaim::alloc_node(range, reader);
-            if self.insert_with_retries(node, reader, &mut contended) {
-                self.record(kind, started, contended);
-                return RwListRangeGuard {
-                    lock: self,
-                    node,
-                    fast: false,
-                };
-            }
-            contended = true;
-        }
-    }
-
-    /// One bounded acquisition attempt: never waits and never restarts after
-    /// losing a race, mirroring `try_insert_once` of the exclusive lock.
-    fn try_acquire(&self, range: Range, reader: bool) -> Option<RwListRangeGuard<'_, P>> {
-        // Fast path: empty list.
-        if self.config.fast_path && self.head.load(Ordering::Acquire) == 0 {
-            let node = reclaim::alloc_node(range, reader);
-            // SAFETY: `node` is exclusively owned until published.
-            let node_ptr = unsafe { to_ptr(&*node) };
-            if self
-                .head
-                .compare_exchange(0, mark(node_ptr), Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                return Some(RwListRangeGuard {
-                    lock: self,
-                    node,
-                    fast: true,
-                });
-            }
-            // Lost the race; discard the never-published node and take the
-            // regular bounded attempt below.
-            // SAFETY: The node was never published to the list.
-            unsafe { reclaim::free_node_now(node) };
-        }
-
-        let node = reclaim::alloc_node(range, reader);
-        // SAFETY: `node` is owned by us until published; once published it is
-        // not released before this function returns.
-        let lock_node = unsafe { &*node };
-        let _pin = reclaim::pin();
-        let mut prev: &AtomicU64 = &self.head;
-        let mut cur = prev.load(Ordering::Acquire);
-        loop {
-            if is_marked(cur) {
-                if std::ptr::eq(prev, &self.head) {
-                    let _ = self.head.compare_exchange(
-                        cur,
-                        unmark(cur),
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
-                    cur = prev.load(Ordering::Acquire);
-                    continue;
-                }
-                // Our predecessor was released under us; a blocking
-                // acquisition would restart, a bounded one gives up.
-                // SAFETY: The node was never published to the list.
-                unsafe { reclaim::free_node_now(node) };
-                return None;
-            }
-            // SAFETY: Pinned; `cur` was read from a reachable `next` pointer.
-            let cur_node = unsafe { deref_node(cur) };
-            if let Some(cn) = cur_node {
-                let cn_next = cn.next.load(Ordering::Acquire);
-                if is_marked(cn_next) {
-                    let next = unmark(cn_next);
-                    if prev
-                        .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        // SAFETY: `cur` is unlinked; readers are epoch-protected.
-                        unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
-                    }
-                    cur = next;
-                    continue;
-                }
-            }
-            match compare_rw(cur_node, lock_node) {
-                Cmp::CurBeforeLock => {
-                    let cn = cur_node.expect("CurBeforeLock implies a live node");
-                    prev = &cn.next;
-                    cur = prev.load(Ordering::Acquire);
-                }
-                Cmp::Conflict => {
-                    // SAFETY: The node was never published to the list.
-                    unsafe { reclaim::free_node_now(node) };
-                    return None;
-                }
-                Cmp::CurAfterLock => {
-                    lock_node.next.store(cur, Ordering::Relaxed);
-                    if prev
-                        .compare_exchange(
-                            cur,
-                            to_ptr(lock_node),
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        )
-                        .is_ok()
-                    {
-                        let acquired = if reader {
-                            // A reader that meets an overlapping writer during
-                            // validation would have to wait; bail out instead.
-                            let ok = self.try_r_validate(lock_node);
-                            if !ok {
-                                // The node was published; wake any writer
-                                // already waiting on it.
-                                lock_node.mark_deleted();
-                                P::wake(&self.queue);
-                            }
-                            ok
-                        } else {
-                            // Writer validation never waits: it either
-                            // succeeds or marks the node deleted itself.
-                            let mut contended = false;
-                            self.w_validate(lock_node, &mut contended)
-                        };
-                        return if acquired {
-                            Some(RwListRangeGuard {
-                                lock: self,
-                                node,
-                                fast: false,
-                            })
-                        } else {
-                            None
-                        };
-                    }
-                    cur = prev.load(Ordering::Acquire);
-                }
-            }
-        }
-    }
-
-    /// Bounded variant of [`RwListRangeLock::r_validate`]: returns `false`
-    /// instead of waiting when an overlapping live writer is found.
-    fn try_r_validate(&self, lock_node: &LNode) -> bool {
-        let mut prev: &AtomicU64 = &lock_node.next;
-        let mut cur = unmark(prev.load(Ordering::Acquire));
-        loop {
-            // SAFETY: Pinned (the caller holds the pin across validation).
-            let cur_node = match unsafe { deref_node(cur) } {
-                None => return true,
-                Some(n) => n,
-            };
-            if cur_node.start >= lock_node.end {
-                return true;
-            }
-            let cn_next = cur_node.next.load(Ordering::Acquire);
-            if is_marked(cn_next) {
-                let next = unmark(cn_next);
-                if prev
-                    .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    // SAFETY: Unlinked; epoch-protected readers may linger.
-                    unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
-                }
-                cur = next;
-            } else if cur_node.reader {
-                prev = &cur_node.next;
-                cur = unmark(prev.load(Ordering::Acquire));
-            } else {
-                // Overlapping live writer: a blocking reader would wait here.
-                return false;
-            }
-        }
-    }
-
-    fn record(&self, kind: WaitKind, started: Instant, contended: bool) {
-        if let Some(s) = &self.stats {
-            if contended {
-                s.record_wait_ns(kind, started.elapsed().as_nanos() as u64);
-            } else {
-                s.record_uncontended();
-            }
-        }
-    }
-
-    /// Runs insertion attempts for one node until it is acquired or writer
-    /// validation fails. Returns `true` on acquisition.
-    fn insert_with_retries(&self, node: *mut LNode, reader: bool, contended: &mut bool) -> bool {
-        // SAFETY: `node` remains alive: it is owned by us until published, and
-        // once published it is not released before this function returns.
-        let lock_node = unsafe { &*node };
-        let mut attempts: u32 = 0;
-        let mut permit = self
-            .fairness
-            .as_ref()
-            .map(|gate| gate.enter())
-            .unwrap_or(FairnessPermit::Disabled);
-
-        loop {
-            attempts += 1;
-            if attempts > 1 {
-                *contended = true;
-            }
-            if let (Some(gate), true) = (
-                self.fairness.as_ref(),
-                permit.should_escalate(attempts, self.config.impatience_threshold),
-            ) {
-                permit = gate.escalate(permit);
-            }
-
-            let pin = reclaim::pin();
-            let outcome = self.insert_attempt(lock_node, reader, contended);
-            drop(pin);
-            match outcome {
-                InsertOutcome::Acquired => return true,
-                InsertOutcome::Restart => continue,
-                InsertOutcome::ValidationFailed => return false,
-            }
-        }
-    }
-
-    /// One traversal of `InsertNode` (Listing 2) plus validation.
-    fn insert_attempt(
-        &self,
-        lock_node: &LNode,
-        reader: bool,
-        contended: &mut bool,
-    ) -> InsertOutcome {
-        let mut prev: &AtomicU64 = &self.head;
-        let mut cur = prev.load(Ordering::Acquire);
-        loop {
-            if is_marked(cur) {
-                if std::ptr::eq(prev, &self.head) {
-                    // Fast-path marked head: strip the mark and continue.
-                    let _ = self.head.compare_exchange(
-                        cur,
-                        unmark(cur),
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
-                    cur = prev.load(Ordering::Acquire);
-                    continue;
-                }
-                *contended = true;
-                return InsertOutcome::Restart;
-            }
-            // SAFETY: Pinned; `cur` was read from a reachable `next` pointer.
-            let cur_node = unsafe { deref_node(cur) };
-            if let Some(cn) = cur_node {
-                let cn_next = cn.next.load(Ordering::Acquire);
-                if is_marked(cn_next) {
-                    let next = unmark(cn_next);
-                    if prev
-                        .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        // SAFETY: `cur` is unlinked; readers are epoch-protected.
-                        unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
-                    }
-                    cur = next;
-                    continue;
-                }
-            }
-            match compare_rw(cur_node, lock_node) {
-                Cmp::CurBeforeLock => {
-                    let cn = cur_node.expect("CurBeforeLock implies a live node");
-                    prev = &cn.next;
-                    cur = prev.load(Ordering::Acquire);
-                }
-                Cmp::Conflict => {
-                    *contended = true;
-                    let cn = cur_node.expect("Conflict implies a live node");
-                    P::wait_until(&self.queue, || is_marked(cn.next.load(Ordering::Acquire)));
-                    // The conflicting node is now logically deleted; the next
-                    // loop iteration unlinks it and the traversal resumes from
-                    // the same point.
-                }
-                Cmp::CurAfterLock => {
-                    lock_node.next.store(cur, Ordering::Relaxed);
-                    if prev
-                        .compare_exchange(
-                            cur,
-                            to_ptr(lock_node),
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        )
-                        .is_ok()
-                    {
-                        return if reader {
-                            self.r_validate(lock_node, contended);
-                            InsertOutcome::Acquired
-                        } else if self.w_validate(lock_node, contended) {
-                            InsertOutcome::Acquired
-                        } else {
-                            InsertOutcome::ValidationFailed
-                        };
-                    }
-                    *contended = true;
-                    cur = prev.load(Ordering::Acquire);
-                }
-            }
-        }
-    }
-
-    /// Reader validation (Listing 3, `r_validate`): scan forward from our node
-    /// until a node that starts after our range; wait out overlapping writers.
-    fn r_validate(&self, lock_node: &LNode, contended: &mut bool) {
-        let mut prev: &AtomicU64 = &lock_node.next;
-        let mut cur = unmark(prev.load(Ordering::Acquire));
-        loop {
-            // SAFETY: Pinned (the caller holds the pin across validation).
-            let cur_node = match unsafe { deref_node(cur) } {
-                None => return,
-                Some(n) => n,
-            };
-            // Ranges are half-open, so a node starting exactly at our end is
-            // disjoint; `>` here would make the reader wait out an *adjacent*
-            // writer (which may never release under a lock-table workload).
-            if cur_node.start >= lock_node.end {
-                return;
-            }
-            let cn_next = cur_node.next.load(Ordering::Acquire);
-            if is_marked(cn_next) {
-                let next = unmark(cn_next);
-                if prev
-                    .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    // SAFETY: Unlinked; epoch-protected readers may linger.
-                    unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
-                }
-                cur = next;
-            } else if cur_node.reader {
-                prev = &cur_node.next;
-                cur = unmark(prev.load(Ordering::Acquire));
-            } else {
-                // Overlapping writer: wait (through the policy) until it
-                // marks itself as deleted.
-                *contended = true;
-                P::wait_until(&self.queue, || {
-                    is_marked(cur_node.next.load(Ordering::Acquire))
-                });
-            }
-        }
-    }
-
-    /// Writer validation (Listing 3, `w_validate`): re-scan from the head
-    /// until we find our own node; an overlapping node on the way means a
-    /// reader raced us, so delete our node and fail.
-    fn w_validate(&self, lock_node: &LNode, contended: &mut bool) -> bool {
-        let own = to_ptr(lock_node);
-        let mut prev: &AtomicU64 = &self.head;
-        let mut cur = unmark(prev.load(Ordering::Acquire));
-        loop {
-            if cur == own {
-                return true;
-            }
-            // SAFETY: Pinned (the caller holds the pin across validation). Our
-            // own unmarked node is always reachable from the head, so the
-            // traversal cannot fall off the end of the list before finding it.
-            let cur_node = match unsafe { deref_node(cur) } {
-                None => unreachable!("w_validate fell off the list before finding its own node"),
-                Some(n) => n,
-            };
-            let cn_next = cur_node.next.load(Ordering::Acquire);
-            if is_marked(cn_next) {
-                let next = unmark(cn_next);
-                if prev
-                    .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    // SAFETY: Unlinked; epoch-protected readers may linger.
-                    unsafe { reclaim::retire_node(unmark(cur) as *mut LNode) };
-                }
-                cur = next;
-            } else if cur_node.end <= lock_node.start {
-                prev = &cur_node.next;
-                cur = unmark(prev.load(Ordering::Acquire));
-            } else {
-                // Overlapping node ahead of us in the list: a reader won the
-                // race. Leave the list and fail validation; wake anyone that
-                // had already started waiting on our published node.
-                *contended = true;
-                lock_node.mark_deleted();
-                P::wake(&self.queue);
-                return false;
-            }
-        }
-    }
-
-    /// Releases the range held by a guard.
-    fn release(&self, node: *mut LNode, fast: bool) {
-        // SAFETY: The guard kept the node alive.
-        let node_ref = unsafe { &*node };
-        if fast {
-            let marked_ptr = mark(to_ptr(node_ref));
-            if self.head.load(Ordering::Acquire) == marked_ptr
-                && self
-                    .head
-                    .compare_exchange(marked_ptr, 0, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-            {
-                // No wake needed: waiters only wait on nodes they reached by
-                // traversing, and traversals strip the fast-path head mark
-                // first (which would have failed this CAS).
-                // SAFETY: Unreachable from the head after the CAS.
-                unsafe { reclaim::retire_node(node) };
-                return;
-            }
-        }
-        node_ref.mark_deleted();
-        // Wake hook: waiters poll for the mark set above.
-        P::wake(&self.queue);
+        self.core.is_quiescent()
     }
 }
 
@@ -672,25 +151,11 @@ impl<P: WaitPolicy> Default for RwListRangeLock<P> {
     }
 }
 
-impl<P: WaitPolicy> Drop for RwListRangeLock<P> {
-    fn drop(&mut self) {
-        let mut cur = unmark(*self.head.get_mut());
-        while cur != 0 {
-            let ptr = cur as *mut LNode;
-            // SAFETY: Exclusive access; no concurrent traversals exist.
-            let next = unmark(unsafe { (*ptr).next.load(Ordering::Relaxed) });
-            // SAFETY: Reachable only from this chain.
-            unsafe { reclaim::free_node_now(ptr) };
-            cur = next;
-        }
-    }
-}
-
 impl<P: WaitPolicy> std::fmt::Debug for RwListRangeLock<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RwListRangeLock")
             .field("held_ranges", &self.held_ranges())
-            .field("config", &self.config)
+            .field("config", self.core.config())
             .finish()
     }
 }
@@ -699,33 +164,65 @@ impl<P: WaitPolicy> std::fmt::Debug for RwListRangeLock<P> {
 #[must_use = "the range is released as soon as the guard is dropped"]
 pub struct RwListRangeGuard<'a, P: WaitPolicy = SpinThenYield> {
     lock: &'a RwListRangeLock<P>,
-    node: *mut LNode,
-    fast: bool,
+    raw: RawGuard,
 }
 
 // SAFETY: Releasing from another thread only performs atomic operations on the
 // shared list (mark/CAS + queue wake) and retires the node into the
 // *releasing* thread's epoch pool, so a guard may be moved across threads.
-// (The raw `node` pointer is what suppresses the automatic impl.)
+// (The raw node pointer inside `RawGuard` is what suppresses the automatic
+// impl.)
 unsafe impl<P: WaitPolicy> Send for RwListRangeGuard<'_, P> {}
 
-impl<P: WaitPolicy> RwListRangeGuard<'_, P> {
+impl<'a, P: WaitPolicy> RwListRangeGuard<'a, P> {
     /// The range this guard protects.
     pub fn range(&self) -> Range {
-        // SAFETY: The node stays alive while the guard exists.
-        unsafe { (*self.node).range() }
+        self.raw.range()
     }
 
     /// Returns `true` if this guard holds the range in shared (reader) mode.
     pub fn is_reader(&self) -> bool {
-        // SAFETY: The node stays alive while the guard exists.
-        unsafe { (*self.node).reader }
+        self.raw.is_reader()
+    }
+
+    /// Atomically downgrades a write guard to a read guard **without
+    /// releasing the range**: the node's reader flag is flipped in place and
+    /// blocked overlapping readers are woken so they can share immediately.
+    ///
+    /// Unlike a drop-and-re-`read` sequence, no other writer can slip in
+    /// between: the node never leaves the list, so the caller's exclusion
+    /// only ever *weakens* to shared. Calling this on a guard that is already
+    /// a read guard is a no-op.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use range_lock::{Range, RwListRangeLock};
+    ///
+    /// let lock = RwListRangeLock::new();
+    /// let w = lock.write(Range::new(0, 100));
+    /// assert!(lock.try_read(Range::new(0, 100)).is_none());
+    /// let r = w.downgrade();
+    /// assert!(r.is_reader());
+    /// // Overlapping readers now share; writers are still excluded.
+    /// assert!(lock.try_read(Range::new(50, 150)).is_some());
+    /// assert!(lock.try_write(Range::new(50, 150)).is_none());
+    /// ```
+    pub fn downgrade(self) -> RwListRangeGuard<'a, P> {
+        if !self.raw.is_reader() {
+            // SAFETY: `raw` is live (we own the guard) and this core is in
+            // `ReaderWriter` mode.
+            unsafe { self.lock.core.downgrade(&self.raw) };
+        }
+        self
     }
 }
 
 impl<P: WaitPolicy> Drop for RwListRangeGuard<'_, P> {
     fn drop(&mut self) {
-        self.lock.release(self.node, self.fast);
+        // SAFETY: `raw` came from this lock's core and is released exactly
+        // once (here); the guard is unusable afterwards.
+        unsafe { self.lock.core.release(&self.raw) };
     }
 }
 
@@ -756,6 +253,13 @@ impl<P: WaitPolicy> RwRangeLock for RwListRangeLock<P> {
 
     fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
         RwListRangeLock::try_write(self, range)
+    }
+
+    fn downgrade<'a>(
+        &'a self,
+        guard: Self::WriteGuard<'a>,
+    ) -> Result<Self::ReadGuard<'a>, Self::WriteGuard<'a>> {
+        Ok(guard.downgrade())
     }
 
     fn name(&self) -> &'static str {
@@ -828,6 +332,61 @@ mod tests {
     }
 
     #[test]
+    fn downgrade_admits_readers_keeps_out_writers() {
+        let lock = RwListRangeLock::new();
+        let w = lock.write(Range::new(0, 100));
+        assert!(lock.try_read(Range::new(50, 150)).is_none());
+        let r = w.downgrade();
+        assert!(r.is_reader());
+        assert_eq!(r.range(), Range::new(0, 100));
+        let r2 = lock.try_read(Range::new(50, 150)).expect("readers share");
+        assert!(lock.try_write(Range::new(0, 100)).is_none());
+        drop(r2);
+        drop(r);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn downgrade_of_read_guard_is_noop() {
+        let lock = RwListRangeLock::new();
+        let r = lock.read(Range::new(0, 10)).downgrade();
+        assert!(r.is_reader());
+        drop(r);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn downgrade_wakes_blocked_reader() {
+        // A reader blocked on a held writer must proceed when the writer
+        // downgrades (not only when it releases) — under the parking policy,
+        // so a missing wake would park the reader past the deadline.
+        use rl_sync::wait::Block;
+        let lock = Arc::new(RwListRangeLock::<Block>::with_policy());
+        let w = lock.write(Range::new(0, 100));
+        let l2 = Arc::clone(&lock);
+        let reader = std::thread::spawn(move || {
+            let r = l2.read(Range::new(50, 150));
+            assert!(r.is_reader());
+        });
+        // Give the reader time to block on the writer node.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let r = w.downgrade();
+        reader.join().unwrap();
+        drop(r);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn downgrade_through_the_trait_succeeds() {
+        let lock = RwListRangeLock::new();
+        let w = RwRangeLock::write(&lock, Range::new(0, 10));
+        let r = RwRangeLock::downgrade(&lock, w).expect("list-rw supports downgrade");
+        assert!(r.is_reader());
+        drop(r);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
     fn reader_writer_exclusion_stress() {
         // Readers count themselves in a shared cell; writers require the cell
         // to be exactly zero while they are inside. Any violation of
@@ -858,6 +417,63 @@ mod tests {
                             violations.fetch_add(1, StdOrdering::SeqCst);
                         }
                         writer_inside.fetch_sub(1, StdOrdering::SeqCst);
+                        drop(g);
+                    } else {
+                        let g = lock.read(range);
+                        readers_inside.fetch_add(1, StdOrdering::SeqCst);
+                        if writer_inside.load(StdOrdering::SeqCst) != 0 {
+                            violations.fetch_add(1, StdOrdering::SeqCst);
+                        }
+                        readers_inside.fetch_sub(1, StdOrdering::SeqCst);
+                        drop(g);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(violations.load(StdOrdering::SeqCst), 0);
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn downgrade_stress_never_violates_exclusion() {
+        // Writers downgrade mid-critical-section; from the downgrade on they
+        // count as readers. Writer exclusivity before the downgrade and
+        // reader/writer exclusion after it must both hold.
+        const THREADS: usize = 6;
+        const ITERS: usize = 300;
+        let lock = Arc::new(RwListRangeLock::new());
+        let readers_inside = Arc::new(AtomicI64::new(0));
+        let writer_inside = Arc::new(AtomicI64::new(0));
+        let violations = Arc::new(StdAtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let readers_inside = Arc::clone(&readers_inside);
+            let writer_inside = Arc::clone(&writer_inside);
+            let violations = Arc::clone(&violations);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let start = ((t * 13 + i * 7) % 50) as u64 * 5;
+                    let range = Range::new(start, start + 300);
+                    if (t + i) % 3 == 0 {
+                        let g = lock.write(range);
+                        writer_inside.fetch_add(1, StdOrdering::SeqCst);
+                        if writer_inside.load(StdOrdering::SeqCst) != 1
+                            || readers_inside.load(StdOrdering::SeqCst) != 0
+                        {
+                            violations.fetch_add(1, StdOrdering::SeqCst);
+                        }
+                        // Downgrade while inside: we become a reader.
+                        writer_inside.fetch_sub(1, StdOrdering::SeqCst);
+                        readers_inside.fetch_add(1, StdOrdering::SeqCst);
+                        let g = g.downgrade();
+                        if writer_inside.load(StdOrdering::SeqCst) != 0 {
+                            violations.fetch_add(1, StdOrdering::SeqCst);
+                        }
+                        readers_inside.fetch_sub(1, StdOrdering::SeqCst);
                         drop(g);
                     } else {
                         let g = lock.read(range);

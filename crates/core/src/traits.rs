@@ -4,7 +4,32 @@
 //! locks in this crate and the tree / segment baselines in `rl-baselines` —
 //! implements one (or both) of these traits so that the VM simulator, the
 //! skip list and the benchmark harness can be written once and parameterized
-//! over the lock.
+//! over the lock. (For callers that need runtime dispatch instead — one
+//! variable holding *any* variant — see the [`crate::dynlock`] layer.)
+//!
+//! # `try_` semantics (normative)
+//!
+//! The bounded acquisition methods ([`RangeLock::try_acquire`],
+//! [`RwRangeLock::try_read`], [`RwRangeLock::try_write`]) share one contract,
+//! specified here once for every implementation in the workspace:
+//!
+//! * **Never waits.** A `try_` call performs a bounded amount of work and
+//!   returns; it never spins on, yields to, or parks behind another thread
+//!   regardless of the lock's wait policy.
+//! * **May fail spuriously.** `None` means "could not acquire *now*": either
+//!   a genuinely conflicting range is held, or the attempt lost a race to a
+//!   concurrent list/tree modification that a blocking acquisition would
+//!   simply have retried. Callers must not interpret `None` as proof that a
+//!   conflicting holder exists. In the *absence* of concurrent calls the
+//!   answer is exact: `None` is returned iff a conflicting range is held.
+//! * **Leaves no residue.** A failed attempt restores the lock to the state
+//!   it would have had without the call: no node, tree entry, or segment
+//!   hold remains (a transiently published node is logically deleted and any
+//!   waiter that might have observed it is woken), no wait-statistics
+//!   acquisition is recorded, and subsequent acquisitions — including the
+//!   empty-list fast path once all holders release — behave as if the failed
+//!   `try_` had never happened. The `try_semantics` integration suite
+//!   asserts this for every registry variant.
 
 use crate::range::Range;
 
@@ -28,11 +53,11 @@ pub trait RangeLock: Send + Sync {
 
     /// Attempts to acquire exclusive access to `range` without waiting.
     ///
-    /// Returns `None` if an overlapping range is held (implementations may
-    /// also fail spuriously under concurrent list/tree modification). The
-    /// default implementation always fails, so implementations that cannot
-    /// provide a bounded attempt remain valid; every lock in this workspace
-    /// overrides it.
+    /// Returns `None` if an overlapping range is held; see the
+    /// [module-level `try_` contract](self#try_-semantics-normative) for the
+    /// spurious-failure and no-residue guarantees. The default implementation
+    /// always fails, so implementations that cannot provide a bounded attempt
+    /// remain valid; every lock in this workspace overrides it.
     fn try_acquire(&self, range: Range) -> Option<Self::Guard<'_>> {
         let _ = range;
         None
@@ -73,9 +98,10 @@ pub trait RwRangeLock: Send + Sync {
 
     /// Attempts to acquire `range` in shared mode without waiting.
     ///
-    /// Returns `None` if a conflicting (writer) range is held; like
-    /// [`RangeLock::try_acquire`], implementations may fail spuriously under
-    /// concurrent modification, and the default implementation always fails.
+    /// Returns `None` if a conflicting (writer) range is held; see the
+    /// [module-level `try_` contract](self#try_-semantics-normative) for the
+    /// spurious-failure and no-residue guarantees. The default implementation
+    /// always fails.
     fn try_read(&self, range: Range) -> Option<Self::ReadGuard<'_>> {
         let _ = range;
         None
@@ -83,11 +109,29 @@ pub trait RwRangeLock: Send + Sync {
 
     /// Attempts to acquire `range` in exclusive mode without waiting.
     ///
-    /// Returns `None` if any overlapping range is held; see
-    /// [`RwRangeLock::try_read`] for the spurious-failure caveat.
+    /// Returns `None` if any overlapping range is held; see the
+    /// [module-level `try_` contract](self#try_-semantics-normative) for the
+    /// spurious-failure and no-residue guarantees. The default implementation
+    /// always fails.
     fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
         let _ = range;
         None
+    }
+
+    /// Atomically downgrades a held write guard to a read guard without
+    /// releasing the range.
+    ///
+    /// `Ok(read_guard)` means the range stayed continuously held — no other
+    /// writer can have slipped in — and is now shared, with blocked
+    /// overlapping readers woken. `Err(write_guard)` returns the guard
+    /// unchanged and means this lock has no atomic downgrade; the caller may
+    /// fall back to dropping and re-acquiring in shared mode (accepting the
+    /// window that opens). The default implementation declines.
+    fn downgrade<'a>(
+        &'a self,
+        guard: Self::WriteGuard<'a>,
+    ) -> Result<Self::ReadGuard<'a>, Self::WriteGuard<'a>> {
+        Err(guard)
     }
 
     /// Short, stable identifier used by the benchmark harness
@@ -159,6 +203,16 @@ impl<L: RangeLock> RwRangeLock for ExclusiveAsRw<L> {
 
     fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
         self.inner.try_acquire(range)
+    }
+
+    fn downgrade<'a>(
+        &'a self,
+        guard: Self::WriteGuard<'a>,
+    ) -> Result<Self::ReadGuard<'a>, Self::WriteGuard<'a>> {
+        // Read and write guards are the same exclusive guard here, and an
+        // exclusive hold trivially satisfies a shared one, so a "downgrade"
+        // is the identity: the range stays continuously (over-)protected.
+        Ok(guard)
     }
 
     fn name(&self) -> &'static str {

@@ -51,6 +51,17 @@
 //!   of a split: unlocking the middle of a held range re-acquires the two
 //!   ends, and a queued waiter can seize an end first — the unlock then
 //!   waits for it, and the owner's exclusion over that edge has a gap.
+//!   **Exception — blocking downgrades:** a blocking exclusive→shared
+//!   re-lock (`lock`) keeps every exclusive tile that lies entirely inside
+//!   the re-locked span *held*, flipping it in place through
+//!   [`RwRangeLock::downgrade`] when the underlying lock supports it (the
+//!   list lock does; so do the `ExclusiveAsRw`-adapted locks, trivially).
+//!   Those bytes stay continuously protected: no other writer can slip in,
+//!   exactly as in the kernel. Locks without downgrade support (e.g.
+//!   `kernel-rw`) fall back to the release-and-re-acquire path with its
+//!   usual window, as does a non-blocking `try_lock` — its rollback must be
+//!   able to restore the original records, which a premature downgrade
+//!   would have already weakened.
 //! * **`try_lock` is non-blocking only for the requested span.** The
 //!   conflict *decision* never waits: a request that conflicts with a
 //!   committed record fails immediately, leaving the table unchanged. But a
@@ -178,7 +189,7 @@ enum ModeGuard<L: RwRangeLock + 'static> {
 /// that exactly cover its range.
 struct Tile<L: RwRangeLock + 'static> {
     range: Range,
-    #[expect(dead_code)] // held for its Drop impl only
+    /// Held for its Drop impl; read only by the downgrade path.
     guard: ModeGuard<L>,
 }
 
@@ -412,6 +423,34 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
         Tile { range, guard }
     }
 
+    /// Converts a tile that lies inside a shared-mode target into a read
+    /// tile *without releasing it* when possible: read tiles pass through
+    /// unchanged, write tiles are atomically downgraded when the underlying
+    /// lock supports it. `Err(())` means the write guard had to be released
+    /// (no downgrade support) and the span must be re-acquired as a gap.
+    fn downgrade_tile(&self, tile: Tile<L>) -> Result<Tile<L>, ()> {
+        match tile.guard {
+            ModeGuard::Read(_) => Ok(tile),
+            ModeGuard::Write(guard) => {
+                // SAFETY: The lock is a stable heap allocation freed only
+                // after every guard has been dropped (see `erase_lifetime`
+                // and `Drop`), so a `'static` borrow matches the guards'
+                // already-erased lifetimes.
+                let lock: &'static L = unsafe { &*self.lock };
+                match lock.downgrade(guard) {
+                    Ok(read) => Ok(Tile {
+                        range: tile.range,
+                        guard: ModeGuard::Read(read),
+                    }),
+                    Err(write) => {
+                        drop(write);
+                        Err(())
+                    }
+                }
+            }
+        }
+    }
+
     fn try_acquire_tile(&self, range: Range, mode: LockMode) -> Option<Tile<L>> {
         let lock = self.lock_ref();
         let guard = match mode {
@@ -540,9 +579,26 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
                 for tile in rec.tiles {
                     if tile.range.end <= target.start || tile.range.start >= target.end {
                         kept.push(tile);
+                    } else if blocking
+                        && op == Some(LockMode::Shared)
+                        && tile.range.start >= target.start
+                        && tile.range.end <= target.end
+                    {
+                        // Blocking exclusive→shared re-lock: keep the tile
+                        // held across the mode change (in-place downgrade) so
+                        // no other writer can slip in. Falls back to release +
+                        // re-acquire when the lock has no downgrade. Blocking
+                        // transactions cannot roll back, so a downgraded tile
+                        // always reaches commit; non-blocking requests skip
+                        // the downgrade because their rollback would have to
+                        // release the weakened tile and re-take it exclusive.
+                        if let Ok(tile) = self.downgrade_tile(tile) {
+                            kept.push(tile);
+                        }
                     }
-                    // Tiles overlapping `target` are dropped here, releasing
-                    // their guards so the span can be re-acquired below.
+                    // Remaining tiles overlapping `target` are dropped here,
+                    // releasing their guards so the span can be re-acquired
+                    // below.
                 }
             }
             if let Some(mode) = op {
@@ -556,7 +612,8 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
         kept.sort_by_key(|t| t.range.start);
 
         // Compute the guard gaps: sub-ranges of each shape not covered by a
-        // kept tile (the target is never covered by kept tiles).
+        // kept tile (for a shared-mode target, downgraded and pass-through
+        // read tiles may already cover part or all of it).
         let mut need: Vec<(Range, LockMode, bool)> = Vec::new();
         for shape in &shapes {
             let mut cursor = shape.range.start;
@@ -942,6 +999,100 @@ mod tests {
         assert!(snap.parks >= 1);
         assert!(snap.wakes >= 1);
         assert_eq!(t.held_records(), 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn exclusive_to_shared_relock_downgrades_in_place() {
+        // Owner `a` re-locks an exclusive span as shared. The backing tile is
+        // downgraded without ever being released, and a blocked shared locker
+        // of another owner is admitted by the downgrade itself.
+        let t = table();
+        let mut a = t.owner("a");
+        a.lock(Range::new(0, 100), LockMode::Exclusive);
+
+        let t2 = Arc::clone(&t);
+        let waiter = std::thread::spawn(move || {
+            let mut b = t2.owner("b");
+            b.lock(Range::new(0, 100), LockMode::Shared);
+            b.unlock_all();
+        });
+        // Let the waiter block on the exclusive record.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        a.lock(Range::new(0, 100), LockMode::Shared);
+        waiter.join().unwrap();
+        assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn partial_downgrade_splits_and_keeps_inner_tiles_shared() {
+        let t = table();
+        let mut a = t.owner("a");
+        a.lock(Range::new(0, 30), LockMode::Exclusive);
+        a.lock(Range::new(30, 60), LockMode::Exclusive);
+        // Re-lock a span that exactly covers the second record: its tile is
+        // fully inside the target and downgrades in place.
+        a.lock(Range::new(30, 60), LockMode::Shared);
+        assert_eq!(
+            held_of(&a),
+            vec![(0, 30, LockMode::Exclusive), (30, 60, LockMode::Shared)]
+        );
+        // And a downgrade across a split boundary still produces the right
+        // record shape through the fallback path.
+        a.lock(Range::new(10, 40), LockMode::Shared);
+        assert_eq!(
+            held_of(&a),
+            vec![(0, 10, LockMode::Exclusive), (10, 60, LockMode::Shared),]
+        );
+        t.check_invariants();
+    }
+
+    #[test]
+    fn downgrade_works_over_a_registry_built_lock() {
+        // The in-place downgrade must survive the dynamic-dispatch erasure:
+        // a registry-built list-rw behind `Box<dyn DynRwRangeLock>` downgrades
+        // exactly like the statically typed lock.
+        use rl_baselines::registry;
+        let t = Arc::new(LockTable::new(
+            registry::by_name("list-rw")
+                .expect("paper variant")
+                .build_default(),
+        ));
+        let mut a = t.owner("a");
+        a.lock(Range::new(0, 100), LockMode::Exclusive);
+        let t2 = Arc::clone(&t);
+        let waiter = std::thread::spawn(move || {
+            let mut b = t2.owner("b");
+            b.lock(Range::new(0, 100), LockMode::Shared);
+            b.unlock_all();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        a.lock(Range::new(0, 100), LockMode::Shared);
+        waiter.join().unwrap();
+        assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn downgrade_fallback_works_without_lock_support() {
+        // `kernel-rw` has no atomic downgrade: the table must fall back to
+        // release + re-acquire and still produce the same record shape.
+        use rl_baselines::RwTreeRangeLock;
+        let t = Arc::new(LockTable::new(RwTreeRangeLock::new()));
+        let mut a = t.owner("a");
+        a.lock(Range::new(0, 100), LockMode::Exclusive);
+        a.lock(Range::new(0, 100), LockMode::Shared);
+        assert_eq!(
+            a.held()
+                .into_iter()
+                .map(|(r, m)| (r.start, r.end, m))
+                .collect::<Vec<_>>(),
+            vec![(0, 100, LockMode::Shared)]
+        );
+        // Another owner can now share.
+        let mut b = t.owner("b");
+        b.try_lock(Range::new(0, 100), LockMode::Shared).unwrap();
         t.check_invariants();
     }
 

@@ -1,0 +1,158 @@
+//! Differential property suite: the exclusive list lock and a
+//! *writer-only-driven* reader-writer list lock must expose identical
+//! acquisition/conflict semantics.
+//!
+//! Both locks are façades over the same `ListCore` engine (one in `Exclusive`
+//! compatibility mode, one in `ReaderWriter` mode driven exclusively through
+//! `write`/`try_write`); a writer-only workload must not be able to tell them
+//! apart. Random range programs are replayed against both locks *and* a naive
+//! held-set oracle, under all three wait policies — this is the regression
+//! net for the core extraction, and (by drawing range boundaries from a small
+//! set so exact adjacency is common) it also retro-checks the PR 2
+//! adjacent-range half-open off-by-one on the exclusive side.
+//!
+//! Programs are single-threaded, which makes the `try_` outcomes exact (the
+//! trait-level contract allows spurious failure only under concurrency), so
+//! agreement can be asserted as equality, not merely implication.
+
+use proptest::prelude::*;
+
+use range_locks_repro::range_lock::{ListRangeLock, Range, RwListRangeLock};
+use range_locks_repro::rl_sync::wait::{Block, Spin, SpinThenYield, WaitPolicy};
+
+/// One step of a range program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Try to acquire `[start, start+len)` (exclusive vs writer mode).
+    TryAcquire { start: u64, len: u64 },
+    /// Release the `idx % held`-th currently held range (no-op when empty).
+    Release { idx: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Boundaries on a coarse grid of small multiples: overlaps AND exact
+    // adjacencies (end == start) both occur constantly.
+    (0u64..16, 1u64..6, any::<u64>(), any::<bool>()).prop_map(|(slot, len, idx, release)| {
+        if release {
+            Op::Release { idx: idx as usize }
+        } else {
+            Op::TryAcquire {
+                start: slot * 10,
+                len: len * 10,
+            }
+        }
+    })
+}
+
+/// Replays `ops` against both locks and the oracle under wait policy `P`.
+fn replay<P: WaitPolicy>(ops: &[Op]) -> Result<(), TestCaseError> {
+    let ex = ListRangeLock::<P>::with_policy();
+    let rw = RwListRangeLock::<P>::with_policy();
+    let mut ex_held = Vec::new();
+    let mut rw_held = Vec::new();
+    let mut oracle: Vec<Range> = Vec::new();
+
+    for &op in ops {
+        match op {
+            Op::TryAcquire { start, len } => {
+                let range = Range::new(start, start + len);
+                let expected = oracle.iter().all(|held| !held.overlaps(&range));
+                let ex_guard = ex.try_acquire(range);
+                let rw_guard = rw.try_write(range);
+                // Exclusive lock, writer-only rw lock, and oracle must agree.
+                prop_assert_eq!(ex_guard.is_some(), expected);
+                prop_assert_eq!(rw_guard.is_some(), expected);
+                if expected {
+                    ex_held.push(ex_guard.unwrap());
+                    rw_held.push(rw_guard.unwrap());
+                    oracle.push(range);
+                }
+            }
+            Op::Release { idx } => {
+                if !oracle.is_empty() {
+                    let i = idx % oracle.len();
+                    drop(ex_held.swap_remove(i));
+                    drop(rw_held.swap_remove(i));
+                    oracle.swap_remove(i);
+                }
+            }
+        }
+        prop_assert_eq!(ex.held_ranges(), oracle.len());
+        prop_assert_eq!(rw.held_ranges(), oracle.len());
+    }
+
+    drop(ex_held);
+    drop(rw_held);
+    prop_assert!(ex.is_quiescent());
+    prop_assert!(rw.is_quiescent());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The exclusive lock, the writer-only rw lock, and the oracle agree on
+    /// every program, under every wait policy.
+    #[test]
+    fn exclusive_and_writer_only_rw_are_indistinguishable(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        replay::<Spin>(&ops)?;
+        replay::<SpinThenYield>(&ops)?;
+        replay::<Block>(&ops)?;
+    }
+
+    /// Blocking acquisitions of disjoint batches agree too (covers the
+    /// non-`try_` insertion path plus the fast path under both modes).
+    #[test]
+    fn blocking_acquisition_parity_on_disjoint_batches(
+        slots in proptest::collection::vec(0u64..32, 1..24),
+    ) {
+        let ex = ListRangeLock::new();
+        let rw = RwListRangeLock::new();
+        for chunk in slots.chunks(4) {
+            let mut taken: Vec<u64> = Vec::new();
+            let mut ex_guards = Vec::new();
+            let mut rw_guards = Vec::new();
+            for &slot in chunk {
+                if taken.contains(&slot) {
+                    continue; // overlapping: a blocking acquire would deadlock
+                }
+                taken.push(slot);
+                let range = Range::new(slot * 10, slot * 10 + 10);
+                ex_guards.push(ex.acquire(range));
+                rw_guards.push(rw.write(range));
+            }
+            prop_assert_eq!(ex.held_ranges(), taken.len());
+            prop_assert_eq!(rw.held_ranges(), taken.len());
+        }
+        prop_assert!(ex.is_quiescent());
+        prop_assert!(rw.is_quiescent());
+    }
+
+    /// Adjacency retro-check (the PR 2 off-by-one, exclusive side): ranges
+    /// that merely touch (half-open end == start) never conflict, on either
+    /// lock, whatever the order.
+    #[test]
+    fn adjacent_ranges_never_conflict(starts in proptest::collection::vec(0u64..24, 1..16)) {
+        let ex = ListRangeLock::new();
+        let rw = RwListRangeLock::new();
+        let mut ex_guards = Vec::new();
+        let mut rw_guards = Vec::new();
+        let mut seen = Vec::new();
+        for &s in &starts {
+            if seen.contains(&s) {
+                continue;
+            }
+            seen.push(s);
+            // Exactly adjacent, zero-gap tiling: [10s, 10s+10).
+            let range = Range::new(s * 10, s * 10 + 10);
+            ex_guards.push(ex.try_acquire(range).expect("adjacent tiles are disjoint"));
+            rw_guards.push(rw.try_write(range).expect("adjacent tiles are disjoint"));
+        }
+        drop(ex_guards);
+        drop(rw_guards);
+        prop_assert!(ex.is_quiescent());
+        prop_assert!(rw.is_quiescent());
+    }
+}

@@ -6,9 +6,10 @@
 //! therefore runs under a bounded-time join — if any worker is still parked
 //! after the deadline, the test fails instead of hanging the suite.
 //!
-//! Every lock variant of the workspace is exercised (the two list locks, the
-//! two tree locks, the segment lock), plus the `RwSemaphore` and the
-//! `LockTable` fcntl composition over a blocking list lock.
+//! Every lock variant of the paper is exercised through the dynamic registry
+//! (`rl_baselines::registry`, built under the `Block` policy), plus a
+//! statically typed list-lock storm, the `RwSemaphore` and the `LockTable`
+//! fcntl composition over a blocking list lock.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -17,9 +18,9 @@ use std::time::Duration;
 use range_locks_repro::range_lock::{
     ListRangeLock, Range, RangeLock, RwListRangeLock, RwRangeLock,
 };
-use range_locks_repro::rl_baselines::{RwTreeRangeLock, SegmentRangeLock, TreeRangeLock};
+use range_locks_repro::rl_baselines::registry::{self, RegistryConfig};
 use range_locks_repro::rl_file::{LockMode, LockTable};
-use range_locks_repro::rl_sync::wait::Block;
+use range_locks_repro::rl_sync::wait::{Block, WaitPolicyKind};
 use range_locks_repro::rl_sync::RwSemaphore;
 
 /// Generous per-storm deadline: the work itself takes well under a second;
@@ -78,10 +79,11 @@ where
 }
 
 /// Overlapping-range storm over a reader-writer lock (mixed modes).
-fn storm_rw<L>(label: &'static str, lock: L)
+fn storm_rw<L>(label: String, lock: L)
 where
     L: RwRangeLock + 'static,
 {
+    let label: &str = &label;
     let lock = Arc::new(lock);
     join_bounded(label, |t| {
         let lock = Arc::clone(&lock);
@@ -100,31 +102,33 @@ where
 }
 
 #[test]
-fn list_ex_block_policy_never_loses_a_wakeup() {
+fn static_list_ex_block_policy_never_loses_a_wakeup() {
+    // Statically typed storm pinning the generic (non-dyn) parking path.
     storm_exclusive("list-ex/block", ListRangeLock::<Block>::with_policy());
 }
 
 #[test]
-fn lustre_ex_block_policy_never_loses_a_wakeup() {
-    storm_exclusive("lustre-ex/block", TreeRangeLock::<Block>::with_policy());
-}
-
-#[test]
-fn list_rw_block_policy_never_loses_a_wakeup() {
-    storm_rw("list-rw/block", RwListRangeLock::<Block>::with_policy());
-}
-
-#[test]
-fn kernel_rw_block_policy_never_loses_a_wakeup() {
-    storm_rw("kernel-rw/block", RwTreeRangeLock::<Block>::with_policy());
-}
-
-#[test]
-fn pnova_rw_block_policy_never_loses_a_wakeup() {
+fn static_list_rw_block_policy_never_loses_a_wakeup() {
     storm_rw(
-        "pnova-rw/block",
-        SegmentRangeLock::<Block>::with_policy(256, 32),
+        "list-rw/block/static".to_string(),
+        RwListRangeLock::<Block>::with_policy(),
     );
+}
+
+#[test]
+fn every_registry_variant_under_block_never_loses_a_wakeup() {
+    // All five paper variants, built under the parking policy through the
+    // dynamic registry and stormed via dynamic dispatch.
+    let config = RegistryConfig {
+        span: 256,
+        segments: 32,
+    };
+    for spec in registry::all() {
+        storm_rw(
+            format!("{}/block/registry", spec.name),
+            spec.build(WaitPolicyKind::Block, &config),
+        );
+    }
 }
 
 #[test]
