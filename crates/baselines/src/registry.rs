@@ -41,7 +41,9 @@
 //! assert!(list_rw.readers_share);
 //! ```
 
-use range_lock::{DynRwRangeLock, ExclusiveAsRw, ListRangeLock, RwListRangeLock};
+use range_lock::{
+    DynAsyncRwRangeLock, DynRwRangeLock, ExclusiveAsRw, ListRangeLock, RwListRangeLock,
+};
 use rl_sync::wait::{Block, Spin, SpinThenYield, WaitPolicyKind};
 
 use crate::segment_lock::SegmentRangeLock;
@@ -98,6 +100,7 @@ pub struct VariantSpec {
     /// [`ExclusiveAsRw`].
     pub readers_share: bool,
     ctor: fn(WaitPolicyKind, &RegistryConfig) -> Box<dyn DynRwRangeLock>,
+    async_ctor: fn(WaitPolicyKind, &RegistryConfig) -> Box<dyn DynAsyncRwRangeLock>,
 }
 
 impl VariantSpec {
@@ -111,6 +114,26 @@ impl VariantSpec {
     /// ([`SpinThenYield`], the paper's `Pause()` loop) and default config.
     pub fn build_default(&self) -> Box<dyn DynRwRangeLock> {
         self.build(WaitPolicyKind::SpinThenYield, &RegistryConfig::default())
+    }
+
+    /// Constructs this variant behind the **async-capable** dynamic
+    /// interface: the returned lock is awaited through
+    /// [`DynAsyncRwRangeLock::read_async_dyn`] /
+    /// [`DynAsyncRwRangeLock::write_async_dyn`] and still exposes the whole
+    /// sync surface (its supertrait, plus `RwRangeLock` for the boxed form).
+    /// `wait` only governs how *sync* waiters of the same lock wait; async
+    /// waiters always suspend on wakers.
+    pub fn build_async(
+        &self,
+        wait: WaitPolicyKind,
+        config: &RegistryConfig,
+    ) -> Box<dyn DynAsyncRwRangeLock> {
+        (self.async_ctor)(wait, config)
+    }
+
+    /// [`VariantSpec::build_async`] with the default wait policy and config.
+    pub fn build_async_default(&self) -> Box<dyn DynAsyncRwRangeLock> {
+        self.build_async(WaitPolicyKind::SpinThenYield, &RegistryConfig::default())
     }
 }
 
@@ -143,6 +166,41 @@ fn build_pnova_rw(wait: WaitPolicyKind, config: &RegistryConfig) -> Box<dyn DynR
     per_policy!(wait, P => SegmentRangeLock::<P>::with_policy(config.span, config.segments))
 }
 
+fn build_list_ex_async(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+) -> Box<dyn DynAsyncRwRangeLock> {
+    per_policy!(wait, P => ExclusiveAsRw::new(ListRangeLock::<P>::with_policy()))
+}
+
+fn build_list_rw_async(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+) -> Box<dyn DynAsyncRwRangeLock> {
+    per_policy!(wait, P => RwListRangeLock::<P>::with_policy())
+}
+
+fn build_lustre_ex_async(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+) -> Box<dyn DynAsyncRwRangeLock> {
+    per_policy!(wait, P => ExclusiveAsRw::new(TreeRangeLock::<P>::with_policy()))
+}
+
+fn build_kernel_rw_async(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+) -> Box<dyn DynAsyncRwRangeLock> {
+    per_policy!(wait, P => RwTreeRangeLock::<P>::with_policy())
+}
+
+fn build_pnova_rw_async(
+    wait: WaitPolicyKind,
+    config: &RegistryConfig,
+) -> Box<dyn DynAsyncRwRangeLock> {
+    per_policy!(wait, P => SegmentRangeLock::<P>::with_policy(config.span, config.segments))
+}
+
 /// The five paper variants, baselines first, in the order the paper's figure
 /// legends list them.
 static ALL: [VariantSpec; 5] = [
@@ -150,26 +208,31 @@ static ALL: [VariantSpec; 5] = [
         name: "lustre-ex",
         readers_share: false,
         ctor: build_lustre_ex,
+        async_ctor: build_lustre_ex_async,
     },
     VariantSpec {
         name: "kernel-rw",
         readers_share: true,
         ctor: build_kernel_rw,
+        async_ctor: build_kernel_rw_async,
     },
     VariantSpec {
         name: "pnova-rw",
         readers_share: true,
         ctor: build_pnova_rw,
+        async_ctor: build_pnova_rw_async,
     },
     VariantSpec {
         name: "list-ex",
         readers_share: false,
         ctor: build_list_ex,
+        async_ctor: build_list_ex_async,
     },
     VariantSpec {
         name: "list-rw",
         readers_share: true,
         ctor: build_list_rw,
+        async_ctor: build_list_rw_async,
     },
 ];
 
@@ -247,6 +310,53 @@ mod tests {
                     "{}: reader sharing must match the spec",
                     spec.name
                 );
+                drop(r2);
+                drop(r1);
+            }
+        }
+    }
+
+    #[test]
+    fn async_built_variants_resolve_and_cancel_through_dyn_dispatch() {
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::task::{Context, Poll, Waker};
+
+        let mut cx = Context::from_waker(Waker::noop());
+        let config = RegistryConfig {
+            span: 256,
+            segments: 32,
+        };
+        for spec in all() {
+            for wait in WaitPolicyKind::ALL {
+                let lock = spec.build_async(wait, &config);
+                assert_eq!(lock.dyn_name(), spec.name, "under {}", wait.name());
+                // Uncontended async write resolves on the first poll.
+                let mut fut = lock.write_async_dyn(Range::new(0, 64));
+                let w = match Pin::new(&mut fut).poll(&mut cx) {
+                    Poll::Ready(g) => g,
+                    Poll::Pending => panic!("{}: uncontended write must resolve", spec.name),
+                };
+                // A conflicting future pends; dropping it mid-wait cancels.
+                let mut blocked = lock.write_async_dyn(Range::new(32, 96));
+                assert!(Pin::new(&mut blocked).poll(&mut cx).is_pending());
+                drop(blocked);
+                drop(w);
+                assert!(
+                    lock.try_write_dyn(Range::new(0, 256)).is_some(),
+                    "{}: cancelled future left residue",
+                    spec.name
+                );
+                // Reader sharing matches the spec through the async path too.
+                let r1 = {
+                    let mut fut = lock.read_async_dyn(Range::new(0, 64));
+                    match Pin::new(&mut fut).poll(&mut cx) {
+                        Poll::Ready(g) => g,
+                        Poll::Pending => panic!("{}: uncontended read must resolve", spec.name),
+                    }
+                };
+                let r2 = lock.try_read_dyn(Range::new(0, 64));
+                assert_eq!(r2.is_some(), spec.readers_share, "{}", spec.name);
                 drop(r2);
                 drop(r1);
             }

@@ -14,9 +14,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use range_lock::{Range, RwRangeLock};
+use range_lock::{Range, RwRangeLock, TwoPhaseRwRangeLock};
 use rl_sync::stats::{WaitKind, WaitStats};
-use rl_sync::wait::{Block, WaitPolicy};
+use rl_sync::wait::{Block, WaitPolicy, WaitQueue};
 use rl_sync::{CachePadded, RwSemReadGuard, RwSemWriteGuard, RwSemaphore};
 
 /// A reader-writer range lock built from per-segment reader-writer locks.
@@ -48,6 +48,11 @@ pub struct SegmentRangeLock<P: WaitPolicy = Block> {
     span: u64,
     segment_size: u64,
     stats: Option<Arc<WaitStats>>,
+    /// Lock-level wake channel for suspended two-phase (async / timed)
+    /// acquisitions, which span segments and therefore cannot wait on one
+    /// segment's queue; every guard drop wakes it (sync waiters keep using
+    /// the per-segment queues).
+    queue: WaitQueue,
 }
 
 impl SegmentRangeLock {
@@ -80,15 +85,18 @@ impl<P: WaitPolicy> SegmentRangeLock<P> {
             span,
             segment_size,
             stats: None,
+            queue: WaitQueue::new(),
         }
     }
 
     /// Attaches a [`WaitStats`] sink recording contended acquisition times;
-    /// under `Block`, every segment also mirrors its park/wake counts there.
+    /// under `Block`, every segment also mirrors its park/wake counts there,
+    /// and the lock-level queue mirrors waker-registration/cancel counts.
     pub fn with_stats(mut self, stats: Arc<WaitStats>) -> Self {
         for seg in &mut self.segments {
             seg.attach_park_stats(Arc::clone(&stats));
         }
+        self.queue.attach_stats(Arc::clone(&stats));
         self.stats = Some(stats);
         self
     }
@@ -129,7 +137,10 @@ impl<P: WaitPolicy> SegmentRangeLock<P> {
             }
         }
         self.record(WaitKind::Read, started, contended);
-        SegmentReadGuard { _guards: guards }
+        SegmentReadGuard {
+            guards,
+            wake: &self.queue,
+        }
     }
 
     /// Acquires `range` in exclusive mode.
@@ -148,7 +159,10 @@ impl<P: WaitPolicy> SegmentRangeLock<P> {
             }
         }
         self.record(WaitKind::Write, started, contended);
-        SegmentWriteGuard { _guards: guards }
+        SegmentWriteGuard {
+            guards,
+            wake: &self.queue,
+        }
     }
 
     /// Attempts to acquire `range` in shared mode without waiting: every
@@ -158,12 +172,30 @@ impl<P: WaitPolicy> SegmentRangeLock<P> {
         let (first, last) = self.segment_span(&range);
         let mut guards = Vec::with_capacity(last - first + 1);
         for seg in &self.segments[first..=last] {
-            guards.push(seg.try_read()?);
+            match seg.try_read() {
+                Some(g) => guards.push(g),
+                None => {
+                    let held_any = !guards.is_empty();
+                    drop(guards);
+                    if held_any {
+                        // The transient partial hold may have failed another
+                        // bounded attempt (a sync `try_` or a suspended
+                        // two-phase poll); per the no-residue contract, wake
+                        // the lock-level queue now that the segments are
+                        // free again so that attempt re-runs.
+                        self.queue.wake_all();
+                    }
+                    return None;
+                }
+            }
         }
         if let Some(s) = &self.stats {
             s.record_uncontended();
         }
-        Some(SegmentReadGuard { _guards: guards })
+        Some(SegmentReadGuard {
+            guards,
+            wake: &self.queue,
+        })
     }
 
     /// Attempts to acquire `range` in exclusive mode without waiting; see
@@ -172,12 +204,30 @@ impl<P: WaitPolicy> SegmentRangeLock<P> {
         let (first, last) = self.segment_span(&range);
         let mut guards = Vec::with_capacity(last - first + 1);
         for seg in &self.segments[first..=last] {
-            guards.push(seg.try_write()?);
+            match seg.try_write() {
+                Some(g) => guards.push(g),
+                None => {
+                    let held_any = !guards.is_empty();
+                    drop(guards);
+                    if held_any {
+                        // The transient partial hold may have failed another
+                        // bounded attempt (a sync `try_` or a suspended
+                        // two-phase poll); per the no-residue contract, wake
+                        // the lock-level queue now that the segments are
+                        // free again so that attempt re-runs.
+                        self.queue.wake_all();
+                    }
+                    return None;
+                }
+            }
         }
         if let Some(s) = &self.stats {
             s.record_uncontended();
         }
-        Some(SegmentWriteGuard { _guards: guards })
+        Some(SegmentWriteGuard {
+            guards,
+            wake: &self.queue,
+        })
     }
 
     fn record(&self, kind: WaitKind, started: Instant, contended: bool) {
@@ -204,13 +254,75 @@ impl<P: WaitPolicy> std::fmt::Debug for SegmentRangeLock<P> {
 /// RAII guard for a shared segment-lock acquisition.
 #[must_use = "the range is released as soon as the guard is dropped"]
 pub struct SegmentReadGuard<'a, P: WaitPolicy = Block> {
-    _guards: Vec<RwSemReadGuard<'a, P>>,
+    guards: Vec<RwSemReadGuard<'a, P>>,
+    wake: &'a WaitQueue,
+}
+
+impl<P: WaitPolicy> Drop for SegmentReadGuard<'_, P> {
+    fn drop(&mut self) {
+        // Release every segment first, then wake suspended two-phase
+        // acquisitions (sync waiters are woken by the per-segment releases).
+        self.guards.clear();
+        self.wake.wake_all();
+    }
 }
 
 /// RAII guard for an exclusive segment-lock acquisition.
 #[must_use = "the range is released as soon as the guard is dropped"]
 pub struct SegmentWriteGuard<'a, P: WaitPolicy = Block> {
-    _guards: Vec<RwSemWriteGuard<'a, P>>,
+    guards: Vec<RwSemWriteGuard<'a, P>>,
+    wake: &'a WaitQueue,
+}
+
+impl<P: WaitPolicy> Drop for SegmentWriteGuard<'_, P> {
+    fn drop(&mut self) {
+        self.guards.clear();
+        self.wake.wake_all();
+    }
+}
+
+/// The two-phase protocol for the segment lock is the try-based adapter
+/// (like the tree locks): **poll** attempts every overlapped segment in
+/// ascending order and rolls back on the first unavailable one, so a
+/// suspended acquisition holds no segment while it waits — unlike a blocking
+/// acquisition, which camps on each segment queue in turn. Two consequences,
+/// both documented limitations of the pNOVA design rather than of the
+/// adapter: a suspended wide acquisition can be starved by churn on its
+/// segments (it needs them all free at one poll), and the per-segment
+/// anti-starvation preference of `RwSemaphore` does not protect it. Every
+/// guard drop wakes the lock-level queue, so a suspended poller re-runs
+/// whenever any segment frees.
+impl<P: WaitPolicy> TwoPhaseRwRangeLock for SegmentRangeLock<P> {
+    type PendingRead = Range;
+    type PendingWrite = Range;
+
+    fn enqueue_read(&self, range: Range) -> Self::PendingRead {
+        range
+    }
+
+    fn poll_read<'a>(&'a self, pending: &mut Self::PendingRead) -> Option<Self::ReadGuard<'a>> {
+        SegmentRangeLock::try_read(self, *pending)
+    }
+
+    fn cancel_read(&self, _pending: &mut Self::PendingRead) {}
+
+    fn enqueue_write(&self, range: Range) -> Self::PendingWrite {
+        range
+    }
+
+    fn poll_write<'a>(&'a self, pending: &mut Self::PendingWrite) -> Option<Self::WriteGuard<'a>> {
+        SegmentRangeLock::try_write(self, *pending)
+    }
+
+    fn cancel_write(&self, _pending: &mut Self::PendingWrite) {}
+
+    fn wait_queue(&self) -> &WaitQueue {
+        &self.queue
+    }
+
+    fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: std::time::Instant) -> bool {
+        P::wait_until_deadline(&self.queue, cond, deadline)
+    }
 }
 
 impl<P: WaitPolicy> RwRangeLock for SegmentRangeLock<P> {
@@ -363,6 +475,32 @@ mod tests {
     #[test]
     fn trait_name() {
         assert_eq!(RwRangeLock::name(&SegmentRangeLock::new(16, 4)), "pnova-rw");
+    }
+
+    #[test]
+    fn failed_try_with_partial_holds_wakes_the_lock_queue() {
+        // Regression: a bounded attempt that acquired some segments and then
+        // rolled back transiently blocked other bounded attempts; per the
+        // two-phase contract its rollback must wake the lock-level queue
+        // (observable as a generation bump) so suspended pollers re-run.
+        let lock = SegmentRangeLock::new(256, 16); // 16 addresses/segment
+        let held = lock.write(Range::new(32, 48)); // segment 2 only
+        let gen_before = TwoPhaseRwRangeLock::wait_queue(&lock).generation();
+        // Spans segments 0..=2: acquires 0 and 1, fails at 2, rolls back.
+        assert!(lock.try_write(Range::new(0, 48)).is_none());
+        assert!(
+            TwoPhaseRwRangeLock::wait_queue(&lock).generation() > gen_before,
+            "rollback of partial holds must wake the lock-level queue"
+        );
+        // A failure with *no* partial hold (first segment blocked) stays
+        // quiet: nothing transient was given back.
+        let gen_before = TwoPhaseRwRangeLock::wait_queue(&lock).generation();
+        assert!(lock.try_write(Range::new(32, 48)).is_none());
+        assert_eq!(
+            TwoPhaseRwRangeLock::wait_queue(&lock).generation(),
+            gen_before
+        );
+        drop(held);
     }
 
     #[test]

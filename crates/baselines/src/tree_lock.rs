@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use range_lock::{Range, RangeLock, RwRangeLock};
+use range_lock::{Range, RangeLock, RwRangeLock, TwoPhaseRangeLock, TwoPhaseRwRangeLock};
 use rl_sync::stats::{WaitKind, WaitStats};
 use rl_sync::wait::{SpinThenYield, WaitPolicy, WaitQueue};
 use rl_sync::SpinLock;
@@ -183,10 +183,15 @@ impl<P: WaitPolicy> TreeLockInner<P> {
                 }
             });
         }
-        // Wake hook, outside the spin lock: at least one waiter's block
-        // count just reached zero.
+        // Wake hook, outside the spin lock. A release that dropped some
+        // waiter's block count to zero wakes everything; any other release
+        // still wakes registered async waiters — a two-phase poller is not
+        // in the tree's count bookkeeping, so *every* removal may be the one
+        // it was blocked on.
         if unblocked {
             P::wake(&self.queue);
+        } else {
+            self.queue.wake_all();
         }
     }
 
@@ -447,6 +452,73 @@ impl<P: WaitPolicy> RangeLock for TreeRangeLock<P> {
 
     fn name(&self) -> &'static str {
         "lustre-ex"
+    }
+}
+
+/// The two-phase protocol for the tree locks is the natural *try-based*
+/// adapter: the tree's internal spin lock gives every bounded attempt a
+/// consistent view, so **enqueue** just records the range, **poll** is a
+/// `try_` acquisition, and **cancel** has nothing to undo. One fidelity
+/// note: a blocking tree acquisition queues FIFO inside the tree (its node
+/// counts toward later arrivals' block counts), while a suspended two-phase
+/// acquisition holds no tree node and therefore *barges* — it competes
+/// afresh on every wake, like a futex waiter without a queue slot. Every
+/// release wakes the queue (see `TreeLockInner::release`), so a suspended
+/// poller cannot miss the removal it was blocked on.
+impl<P: WaitPolicy> TwoPhaseRangeLock for TreeRangeLock<P> {
+    type Pending = Range;
+
+    fn enqueue_acquire(&self, range: Range) -> Self::Pending {
+        range
+    }
+
+    fn poll_acquire<'a>(&'a self, pending: &mut Self::Pending) -> Option<Self::Guard<'a>> {
+        TreeRangeLock::try_acquire(self, *pending)
+    }
+
+    fn cancel_acquire(&self, _pending: &mut Self::Pending) {}
+
+    fn wait_queue(&self) -> &WaitQueue {
+        &self.inner.queue
+    }
+
+    fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: std::time::Instant) -> bool {
+        P::wait_until_deadline(&self.inner.queue, cond, deadline)
+    }
+}
+
+/// See the [`TwoPhaseRangeLock`] impl above for the try-based adapter and
+/// its FIFO-vs-barging fidelity note, which apply to both modes here.
+impl<P: WaitPolicy> TwoPhaseRwRangeLock for RwTreeRangeLock<P> {
+    type PendingRead = Range;
+    type PendingWrite = Range;
+
+    fn enqueue_read(&self, range: Range) -> Self::PendingRead {
+        range
+    }
+
+    fn poll_read<'a>(&'a self, pending: &mut Self::PendingRead) -> Option<Self::ReadGuard<'a>> {
+        RwTreeRangeLock::try_read(self, *pending)
+    }
+
+    fn cancel_read(&self, _pending: &mut Self::PendingRead) {}
+
+    fn enqueue_write(&self, range: Range) -> Self::PendingWrite {
+        range
+    }
+
+    fn poll_write<'a>(&'a self, pending: &mut Self::PendingWrite) -> Option<Self::WriteGuard<'a>> {
+        RwTreeRangeLock::try_write(self, *pending)
+    }
+
+    fn cancel_write(&self, _pending: &mut Self::PendingWrite) {}
+
+    fn wait_queue(&self) -> &WaitQueue {
+        &self.inner.queue
+    }
+
+    fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: std::time::Instant) -> bool {
+        P::wait_until_deadline(&self.inner.queue, cond, deadline)
     }
 }
 

@@ -21,6 +21,12 @@
 //!                      variant, uniform + skewed offsets, per-op wait times
 //!   filebench-oversub  filebench with more threads than cores, all 5 lock
 //!                      variants x all 3 wait policies
+//!   asyncbench         M lock owners >> N threads: async (waker-driven)
+//!                      tasks on a fixed worker pool vs thread-per-owner
+//!                      block / spin-yield baselines, 1x/2x/4x core
+//!                      multipliers, all 5 variants (one table per variant)
+//!   asyncbench-quick   a bounded asyncbench for CI: every variant and
+//!                      driver, small owner counts and op counts
 //!   all                everything above
 //! ```
 //!
@@ -39,6 +45,7 @@ use std::time::Duration;
 
 use rl_baselines::registry;
 use rl_bench::arrbench::{self, ArrBenchConfig, RangePolicy};
+use rl_bench::asyncbench::{self, AsyncBenchConfig, AsyncDriver};
 use rl_bench::filebench::{self, FileBenchConfig, OffsetDist};
 use rl_bench::metisbench::{self, MetisScale};
 use rl_bench::report::Table;
@@ -543,6 +550,77 @@ fn run_filebench_oversub(opts: &Options) {
     }
 }
 
+/// One table per lock variant: owners (rows) × driver (columns), fixed
+/// work per owner so the number measured is backlog-drain throughput.
+fn run_asyncbench_tables(opts: &Options, owner_counts: &[usize], ops_per_owner: u64) {
+    let workers = available_cores();
+    for lock in registry::all() {
+        let columns: Vec<String> = AsyncDriver::ALL
+            .iter()
+            .map(|d| d.name().to_string())
+            .collect();
+        let mut table = Table::new(
+            format!(
+                "AsyncBench: {} — 60% reads — {} pool workers ({} cores)",
+                lock.name,
+                workers,
+                available_cores()
+            ),
+            "owners",
+            "ops/sec",
+            columns,
+        );
+        for &owners in owner_counts {
+            let mut row = Vec::new();
+            for driver in AsyncDriver::ALL {
+                // Best of three: backlog-drain time on an oversubscribed
+                // 1-core box is at the mercy of scheduler phase; the best
+                // run is the least-perturbed measurement of each driver.
+                let best = (0..3)
+                    .map(|_| {
+                        let result = asyncbench::run(&AsyncBenchConfig {
+                            lock,
+                            driver,
+                            owners,
+                            workers,
+                            ops_per_owner,
+                            read_pct: 60,
+                        });
+                        assert!(
+                            result.operations > 0,
+                            "asyncbench: {} / {} made no progress",
+                            lock.name,
+                            driver.name()
+                        );
+                        result.ops_per_sec()
+                    })
+                    .fold(0.0f64, f64::max);
+                row.push(best);
+            }
+            table.push_row(owners as u64, row);
+        }
+        emit(&table, opts.json);
+    }
+}
+
+fn run_asyncbench(opts: &Options) {
+    let owner_counts = oversub_threads(opts);
+    // Enough work per owner that the backlog spans many scheduler
+    // timeslices — otherwise thread-per-owner "runs" are really sequential
+    // timeslice-sized bursts that never contend.
+    let ops = if opts.quick { 12_000 } else { 60_000 };
+    run_asyncbench_tables(opts, &owner_counts, ops);
+}
+
+/// A bounded asyncbench for CI: every variant and driver with small counts,
+/// so the async paths (pool scheduling, waker wakes, cancellation-free
+/// completion) run on every push regardless of runner size.
+fn run_asyncbench_quick(opts: &Options) {
+    let cores = available_cores();
+    let owner_counts = [cores.max(2), 4 * cores];
+    run_asyncbench_tables(opts, &owner_counts, 300);
+}
+
 fn main() {
     let opts = parse_args();
     if !opts.json {
@@ -566,6 +644,8 @@ fn main() {
             "fig8" => run_fig8(&opts),
             "filebench" => run_filebench(&opts),
             "filebench-oversub" => run_filebench_oversub(&opts),
+            "asyncbench" => run_asyncbench(&opts),
+            "asyncbench-quick" => run_asyncbench_quick(&opts),
             "all" => {
                 run_fig3(RangePolicy::FullRange, &opts);
                 run_fig3(RangePolicy::NonOverlapping, &opts);
@@ -578,6 +658,7 @@ fn main() {
                 run_fig8(&opts);
                 run_filebench(&opts);
                 run_filebench_oversub(&opts);
+                run_asyncbench(&opts);
             }
             other => {
                 eprintln!("unknown experiment '{other}'; run with --help for the list");

@@ -6,6 +6,9 @@
 //!
 //! * [`arrbench`] — the ArrBench array microbenchmark (Figure 3, all six
 //!   panels);
+//! * [`asyncbench`] — M lock owners ≫ N threads: async (waker-driven) task
+//!   acquisition on an `rl-exec` pool vs thread-per-owner block/spin-yield
+//!   baselines, under oversubscription;
 //! * [`skipbench`] — the Synchrobench-style skip-list benchmark (Figure 4);
 //! * [`metisbench`] — the Metis workloads on the simulated VM subsystem
 //!   (Figures 5–8, plus the speculation-success statistics quoted in the
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod arrbench;
+pub mod asyncbench;
 pub mod filebench;
 pub mod metisbench;
 pub mod report;
@@ -29,6 +33,7 @@ pub mod rng;
 pub mod skipbench;
 
 pub use arrbench::{ArrBenchConfig, ArrBenchResult, RangePolicy};
+pub use asyncbench::{AsyncBenchConfig, AsyncBenchResult, AsyncDriver};
 pub use filebench::{FileBenchConfig, FileBenchResult, OffsetDist};
 pub use metisbench::{figure5, figure6, measure, MetisMeasurement, MetisScale};
 pub use report::{Table, TableRow};

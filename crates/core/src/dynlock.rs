@@ -51,8 +51,13 @@
 //! }
 //! ```
 
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
 use crate::range::Range;
 use crate::traits::{RangeLock, RwRangeLock};
+use crate::twophase::{AsyncRwRangeLock, TwoPhaseRwRangeLock};
 
 /// Boxable guard interface. Private — the only way to obtain one is through
 /// the dyn traits below.
@@ -226,6 +231,81 @@ where
     }
 }
 
+/// A type-erased, boxed acquisition future resolving to a
+/// [`DynRangeGuard`].
+///
+/// Returned by the [`DynAsyncRwRangeLock`] methods: the concrete future
+/// type (and therefore the cancel-on-drop logic) lives behind the box, so a
+/// runtime-chosen variant can be awaited like any static lock. Dropping the
+/// future before it resolves cancels the underlying two-phase acquisition —
+/// the erasure preserves the cancellation-safety contract of
+/// [`crate::twophase`].
+#[must_use = "futures do nothing unless polled"]
+pub struct DynAcquireFuture<'a> {
+    inner: Pin<Box<dyn Future<Output = DynRangeGuard<'a>> + Send + 'a>>,
+}
+
+impl<'a> Future for DynAcquireFuture<'a> {
+    type Output = DynRangeGuard<'a>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.inner.as_mut().poll(cx)
+    }
+}
+
+impl std::fmt::Debug for DynAcquireFuture<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DynAcquireFuture(..)")
+    }
+}
+
+/// Object-safe mirror of the async reader-writer API
+/// ([`AsyncRwRangeLock`]): asynchronous acquisition usable through `dyn`,
+/// with the sync interface along for the ride as a supertrait.
+///
+/// Automatically implemented for every [`TwoPhaseRwRangeLock`] whose guards
+/// are [`Send`] (all five registry variants); never implement it by hand.
+/// The erasure happens at the *future* level: each call boxes one future,
+/// whose output is a boxed guard. Write guards keep their lock alongside,
+/// so [`RwRangeLock::downgrade`] keeps working through
+/// `Box<dyn DynAsyncRwRangeLock>` exactly as through the sync dyn layer.
+pub trait DynAsyncRwRangeLock: DynRwRangeLock {
+    /// Acquires `range` in shared mode asynchronously; dropping the future
+    /// cancels the acquisition cleanly.
+    fn read_async_dyn(&self, range: Range) -> DynAcquireFuture<'_>;
+
+    /// Acquires `range` in exclusive mode asynchronously; dropping the
+    /// future cancels the acquisition cleanly.
+    fn write_async_dyn(&self, range: Range) -> DynAcquireFuture<'_>;
+}
+
+impl<L> DynAsyncRwRangeLock for L
+where
+    L: TwoPhaseRwRangeLock,
+    for<'a> L::ReadGuard<'a>: Send,
+    for<'a> L::WriteGuard<'a>: Send,
+{
+    fn read_async_dyn(&self, range: Range) -> DynAcquireFuture<'_> {
+        DynAcquireFuture {
+            inner: Box::pin(async move {
+                DynRangeGuard(Box::new(PlainGuard(self.read_async(range).await)))
+            }),
+        }
+    }
+
+    fn write_async_dyn(&self, range: Range) -> DynAcquireFuture<'_> {
+        DynAcquireFuture {
+            inner: Box::pin(async move {
+                let guard = self.write_async(range).await;
+                DynRangeGuard(Box::new(WriteGuardErased {
+                    lock: self,
+                    state: WriteState::Write(guard),
+                }))
+            }),
+        }
+    }
+}
+
 impl RangeLock for Box<dyn DynRangeLock> {
     type Guard<'a> = DynRangeGuard<'a>;
 
@@ -243,6 +323,44 @@ impl RangeLock for Box<dyn DynRangeLock> {
 }
 
 impl RwRangeLock for Box<dyn DynRwRangeLock> {
+    type ReadGuard<'a> = DynRangeGuard<'a>;
+    type WriteGuard<'a> = DynRangeGuard<'a>;
+
+    fn read(&self, range: Range) -> Self::ReadGuard<'_> {
+        (**self).read_dyn(range)
+    }
+
+    fn write(&self, range: Range) -> Self::WriteGuard<'_> {
+        (**self).write_dyn(range)
+    }
+
+    fn try_read(&self, range: Range) -> Option<Self::ReadGuard<'_>> {
+        (**self).try_read_dyn(range)
+    }
+
+    fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
+        (**self).try_write_dyn(range)
+    }
+
+    fn downgrade<'a>(
+        &'a self,
+        mut guard: Self::WriteGuard<'a>,
+    ) -> Result<Self::ReadGuard<'a>, Self::WriteGuard<'a>> {
+        if guard.0.downgrade_erased() {
+            Ok(guard)
+        } else {
+            Err(guard)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).dyn_name()
+    }
+}
+
+/// The async-capable boxed lock drives every sync-generic subsystem too:
+/// the mirror of the `Box<dyn DynRwRangeLock>` impl above.
+impl RwRangeLock for Box<dyn DynAsyncRwRangeLock> {
     type ReadGuard<'a> = DynRangeGuard<'a>;
     type WriteGuard<'a> = DynRangeGuard<'a>;
 
@@ -354,6 +472,63 @@ mod tests {
         let w = nd.write(Range::new(0, 10));
         let w = nd.downgrade(w).expect_err("default declines");
         drop(w);
+    }
+
+    #[test]
+    fn async_dyn_layer_acquires_blocks_and_cancels() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        use std::task::{Wake, Waker};
+
+        struct CountingWaker(AtomicU64);
+        impl Wake for CountingWaker {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let count = Arc::new(CountingWaker(AtomicU64::new(0)));
+        let waker = Waker::from(Arc::clone(&count));
+        let mut cx = Context::from_waker(&waker);
+
+        let locks: Vec<Box<dyn DynAsyncRwRangeLock>> = vec![
+            Box::new(RwListRangeLock::new()),
+            Box::new(ExclusiveAsRw::new(ListRangeLock::new())),
+        ];
+        for lock in &locks {
+            // Uncontended write resolves on the first poll.
+            let mut fut = lock.write_async_dyn(Range::new(0, 100));
+            let guard = match Pin::new(&mut fut).poll(&mut cx) {
+                Poll::Ready(g) => g,
+                Poll::Pending => panic!("uncontended dyn future must resolve"),
+            };
+            // A conflicting write future stays pending until the release
+            // wakes its registered waker.
+            let mut blocked = lock.write_async_dyn(Range::new(50, 150));
+            assert!(Pin::new(&mut blocked).poll(&mut cx).is_pending());
+            let woken_before = count.0.load(Ordering::SeqCst);
+            drop(guard);
+            assert!(count.0.load(Ordering::SeqCst) > woken_before);
+            // Dropping the still-pending future cancels it: no residue.
+            drop(blocked);
+            assert!(lock.try_write_dyn(Range::FULL).is_some());
+        }
+    }
+
+    #[test]
+    fn async_dyn_write_guard_still_downgrades() {
+        use std::task::Waker;
+        let lock: Box<dyn DynAsyncRwRangeLock> = Box::new(RwListRangeLock::new());
+        let mut cx = Context::from_waker(Waker::noop());
+        let mut fut = lock.write_async_dyn(Range::new(0, 100));
+        let w = match Pin::new(&mut fut).poll(&mut cx) {
+            Poll::Ready(g) => g,
+            Poll::Pending => panic!("uncontended"),
+        };
+        // Through the RwRangeLock impl for the async boxed lock.
+        let r = RwRangeLock::downgrade(&lock, w).expect("list-rw downgrades");
+        assert!(lock.try_read_dyn(Range::new(50, 150)).is_some());
+        assert!(lock.try_write_dyn(Range::new(0, 100)).is_none());
+        drop(r);
     }
 
     #[test]

@@ -82,11 +82,18 @@ pub mod range;
 pub mod reclaim;
 pub mod rw_list;
 pub mod traits;
+pub mod twophase;
 
-pub use dynlock::{DynRangeGuard, DynRangeLock, DynRwRangeLock};
+pub use dynlock::{
+    DynAcquireFuture, DynAsyncRwRangeLock, DynRangeGuard, DynRangeLock, DynRwRangeLock,
+};
 pub use fairness::{FairnessGate, FairnessPermit};
-pub use list_core::{CompatMode, ListCore, ListLockConfig};
+pub use list_core::{CompatMode, ListCore, ListLockConfig, PendingAcquire};
 pub use mutex_list::{ListRangeGuard, ListRangeLock};
 pub use range::Range;
 pub use rw_list::{RwListRangeGuard, RwListRangeLock};
 pub use traits::{ExclusiveAsRw, RangeLock, RwRangeLock};
+pub use twophase::{
+    AcquireFuture, AsyncRangeLock, AsyncRwRangeLock, ReadFuture, TwoPhaseRangeLock,
+    TwoPhaseRwRangeLock, WriteFuture,
+};

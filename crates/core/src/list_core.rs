@@ -134,6 +134,61 @@ impl CompatMode for ReaderWriter {
     }
 }
 
+/// One pending (started but not yet completed) two-phase acquisition.
+///
+/// Created by [`ListCore::enqueue`], driven by [`ListCore::poll_acquire`],
+/// abandoned by [`ListCore::cancel_acquire`]. The token owns the request
+/// node until the acquisition completes (the node moves into the returned
+/// [`RawGuard`]) or is cancelled (the node is freed, or logically deleted if
+/// it was already published to the list); leaking the token without either
+/// leaks the node — the façade future types guarantee one of the two by
+/// cancelling on drop.
+///
+/// State machine:
+///
+/// * **searching** (`published == false`) — the node is exclusively owned
+///   and not yet in the list; each poll re-runs the insertion traversal and
+///   backs out on conflict. Cancelling frees the node.
+/// * **validating** (`published == true`, reader-writer mode readers only) —
+///   the node is CAS-published but an earlier overlapping writer has not
+///   released yet (the Listing 3 `r_validate` wait). The node *stays* in the
+///   list across polls — that is what preserves the paper's
+///   readers-preferred ordering: writers arriving later fail `w_validate`
+///   against it. Cancelling marks the node deleted and wakes the queue so
+///   those writers can proceed — the unlink-on-abandonment the blocking API
+///   cannot express.
+/// * **done** (`node == null`) — completed or cancelled; polling again is a
+///   contract violation (checked by a debug assertion).
+#[derive(Debug)]
+pub struct PendingAcquire {
+    node: *mut LNode,
+    reader: bool,
+    published: bool,
+    /// Set once any poll observed a conflict or lost a race; completions
+    /// record as contended acquisitions in the attached [`WaitStats`].
+    contended: bool,
+    started: Instant,
+}
+
+// SAFETY: The node pointer is exclusively owned by this token (searching) or
+// published to a lock-free list whose operations are all atomic (validating);
+// either way the token may move across threads.
+unsafe impl Send for PendingAcquire {}
+
+impl PendingAcquire {
+    /// `true` once the acquisition has completed or been cancelled.
+    pub fn is_done(&self) -> bool {
+        self.node.is_null()
+    }
+
+    /// The requested range (`None` once done).
+    pub fn range(&self) -> Option<Range> {
+        // SAFETY: A non-null node is owned by this token or published and
+        // not yet released; either way it is alive.
+        (!self.node.is_null()).then(|| unsafe { (*self.node).range() })
+    }
+}
+
 /// Result of one insertion attempt.
 enum InsertOutcome {
     /// The node is in the list and validated.
@@ -141,6 +196,22 @@ enum InsertOutcome {
     /// The traversal lost its predecessor; retry with the same node.
     Restart,
     /// Writer validation failed; the node was logically deleted and the whole
+    /// acquisition must restart with a fresh node.
+    ValidationFailed,
+}
+
+/// Result of one *bounded* (poll-driven) insertion attempt.
+enum PollInsert {
+    /// The node is in the list and validated.
+    Acquired,
+    /// The reader node is in the list but validation must wait out an
+    /// earlier writer; the caller owns the published-node state.
+    ReaderPublished,
+    /// A live conflicting node blocks the insertion: suspend here.
+    Blocked,
+    /// The traversal lost its predecessor; retry with the same node.
+    Restart,
+    /// Writer validation failed; the node was logically deleted and the
     /// acquisition must restart with a fresh node.
     ValidationFailed,
 }
@@ -397,6 +468,151 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
         }
     }
 
+    /// Starts a two-phase acquisition of `range` (in reader mode when
+    /// `reader` is set and the mode supports it).
+    ///
+    /// The **enqueue** step of the cancellable protocol: it allocates the
+    /// request node and performs no list work — the physical insertion
+    /// happens inside the first [`ListCore::poll_acquire`] that finds the
+    /// insertion point, because in this list protocol inserting *is* (modulo
+    /// validation) acquiring. The returned token must eventually reach
+    /// [`ListCore::poll_acquire`] completion or [`ListCore::cancel_acquire`].
+    pub fn enqueue(&self, range: Range, reader: bool) -> PendingAcquire {
+        PendingAcquire {
+            node: reclaim::alloc_node(range, reader),
+            reader,
+            published: false,
+            contended: false,
+            started: Instant::now(),
+        }
+    }
+
+    /// Drives a pending acquisition as far as it can get without waiting
+    /// (the **poll** step).
+    ///
+    /// Returns the guard once the range is held. `None` means a conflicting
+    /// holder blocks the acquisition *right now*: the caller should register
+    /// a waiter on [`ListCore::wait_queue`] (a [`core::task::Waker`] or a
+    /// deadline park) and poll again after a wake. Unlike
+    /// [`ListCore::try_acquire`], a poll never fails spuriously — lost races
+    /// are retried internally, and `None` is returned only on an observed
+    /// conflict — and a blocked reader-writer-mode reader stays *published*
+    /// between polls (Listing 3 validation), preserving the paper's
+    /// readers-preferred ordering across suspensions.
+    ///
+    /// Two-phase acquisitions do not participate in the §4.3 fairness gate:
+    /// a poll is one bounded attempt, and impatience cannot be carried
+    /// across suspensions without holding a gate permit while descheduled.
+    pub fn poll_acquire(&self, pending: &mut PendingAcquire) -> Option<RawGuard> {
+        debug_assert!(!pending.is_done(), "poll of a completed acquisition");
+        let reader = pending.reader;
+        let kind = if reader {
+            WaitKind::Read
+        } else {
+            WaitKind::Write
+        };
+        let _pin = reclaim::pin();
+
+        if pending.published {
+            // A published reader waiting out earlier overlapping writers.
+            // SAFETY: Published and not yet released, so the node is alive.
+            let lock_node = unsafe { &*pending.node };
+            if self.try_r_validate(lock_node) {
+                let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
+                self.record(kind, pending.started, pending.contended);
+                return Some(RawGuard { node, fast: false });
+            }
+            return None;
+        }
+
+        // Fast path (Section 4.5): first poll of an empty list.
+        if self.config.fast_path && self.head.load(Ordering::Acquire) == 0 {
+            // SAFETY: The node is exclusively owned until published.
+            let node_ptr = unsafe { to_ptr(&*pending.node) };
+            if self
+                .head
+                .compare_exchange(0, mark(node_ptr), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
+                self.record(kind, pending.started, pending.contended);
+                return Some(RawGuard { node, fast: true });
+            }
+            pending.contended = true;
+        }
+
+        loop {
+            // SAFETY: The node is exclusively owned until published; a
+            // published node is not released before this loop decides.
+            let lock_node = unsafe { &*pending.node };
+            match self.poll_insert_attempt(lock_node, reader) {
+                PollInsert::Acquired => {
+                    let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
+                    self.record(kind, pending.started, pending.contended);
+                    return Some(RawGuard { node, fast: false });
+                }
+                PollInsert::ReaderPublished => {
+                    pending.published = true;
+                    // SAFETY: Just published, not released.
+                    if self.try_r_validate(lock_node) {
+                        let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
+                        self.record(kind, pending.started, pending.contended);
+                        return Some(RawGuard { node, fast: false });
+                    }
+                    pending.contended = true;
+                    return None;
+                }
+                PollInsert::Blocked => {
+                    pending.contended = true;
+                    return None;
+                }
+                PollInsert::Restart => {
+                    pending.contended = true;
+                }
+                PollInsert::ValidationFailed => {
+                    // The node was marked deleted by `w_validate`; restart
+                    // the whole acquisition with a fresh node, exactly like
+                    // the blocking path's do-while loop.
+                    let range = lock_node.range();
+                    pending.contended = true;
+                    pending.node = reclaim::alloc_node(range, reader);
+                }
+            }
+        }
+    }
+
+    /// Abandons a pending acquisition (the **cancel** step); idempotent.
+    ///
+    /// A node still in the searching state is simply freed. A *published*
+    /// node (a reader parked in validation) is logically deleted and the
+    /// queue is woken, so writers blocked behind the abandoned reader
+    /// proceed — the unlink-on-abandonment the blocking API cannot express:
+    /// a blocking waiter can only give up by owning the range first.
+    ///
+    /// Cancellation accounting ([`rl_sync::stats::WaitStats`] `cancels`) is
+    /// recorded by the callers that decide to abandon (future drops, expired
+    /// timeouts), not here, so a cancel is counted exactly once.
+    pub fn cancel_acquire(&self, pending: &mut PendingAcquire) {
+        if pending.is_done() {
+            return;
+        }
+        let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
+        if pending.published {
+            // SAFETY: Published and never released: alive, marked once.
+            unsafe { (*node).mark_deleted() };
+            P::wake(&self.queue);
+        } else {
+            // SAFETY: Never published; exclusively owned by the token.
+            unsafe { reclaim::free_node_now(node) };
+        }
+    }
+
+    /// The queue a suspended two-phase acquisition waits on: release paths
+    /// (and downgrades, and cancellations of published nodes) wake it.
+    pub fn wait_queue(&self) -> &WaitQueue {
+        &self.queue
+    }
+
     /// Releases the range held by `guard`'s node.
     ///
     /// # Safety
@@ -634,6 +850,75 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
         }
     }
 
+    /// One bounded traversal of `InsertNode` for the poll-driven protocol:
+    /// the body of [`ListCore::insert_attempt`] with waiting replaced by
+    /// [`PollInsert::Blocked`] and reader validation handed back to the
+    /// caller (which must keep the published node across suspensions).
+    fn poll_insert_attempt(&self, lock_node: &LNode, reader: bool) -> PollInsert {
+        let mut prev: &AtomicU64 = &self.head;
+        let mut cur = prev.load(Ordering::Acquire);
+        loop {
+            if is_marked(cur) {
+                if std::ptr::eq(prev, &self.head) {
+                    // Strip a fast-path head mark (Section 4.5).
+                    let _ = self.head.compare_exchange(
+                        cur,
+                        unmark(cur),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    cur = prev.load(Ordering::Acquire);
+                    continue;
+                }
+                // Our predecessor was released under us; restart.
+                return PollInsert::Restart;
+            }
+            // SAFETY: The caller holds a `Pin` across the attempt.
+            let cur_node = unsafe { deref_node(cur) };
+            if let Some(cn) = cur_node {
+                let cn_next = cn.next.load(Ordering::Acquire);
+                if is_marked(cn_next) {
+                    cur = self.unlink(prev, cur, cn_next);
+                    continue;
+                }
+            }
+            match compare_step::<M>(cur_node, lock_node) {
+                Cmp::CurBeforeLock => {
+                    let cn = cur_node.expect("CurBeforeLock implies a live node");
+                    prev = &cn.next;
+                    cur = prev.load(Ordering::Acquire);
+                }
+                Cmp::Conflict => return PollInsert::Blocked,
+                Cmp::CurAfterLock => {
+                    lock_node.next.store(cur, Ordering::Relaxed);
+                    if prev
+                        .compare_exchange(
+                            cur,
+                            to_ptr(lock_node),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        if !M::READERS_SHARE {
+                            return PollInsert::Acquired;
+                        }
+                        if reader {
+                            return PollInsert::ReaderPublished;
+                        }
+                        let mut contended = false;
+                        return if self.w_validate(lock_node, &mut contended) {
+                            PollInsert::Acquired
+                        } else {
+                            PollInsert::ValidationFailed
+                        };
+                    }
+                    cur = prev.load(Ordering::Acquire);
+                }
+            }
+        }
+    }
+
     /// Reader validation (Listing 3, `r_validate`): scan forward from our node
     /// until a node that starts after our range; wait out overlapping writers
     /// (or stop waiting early if they downgrade to readers).
@@ -825,6 +1110,63 @@ mod tests {
         assert!(r.is_reader());
         // SAFETY: As above.
         unsafe { rw.release(&r) };
+        assert!(rw.is_quiescent());
+    }
+
+    #[test]
+    fn two_phase_poll_completes_and_blocks() {
+        let ex: ListCore<Exclusive> = ListCore::default();
+        // Uncontended: the first poll completes via the fast path.
+        let mut p = ex.enqueue(Range::new(0, 10), false);
+        assert!(!p.is_done());
+        assert_eq!(p.range(), Some(Range::new(0, 10)));
+        let g = ex.poll_acquire(&mut p).expect("uncontended poll completes");
+        assert!(p.is_done());
+        assert!(p.range().is_none());
+        // Contended: polls return None (and never complete) while the
+        // conflicting holder remains.
+        let mut p2 = ex.enqueue(Range::new(5, 15), false);
+        assert!(ex.poll_acquire(&mut p2).is_none());
+        assert!(ex.poll_acquire(&mut p2).is_none());
+        assert!(!p2.is_done());
+        // SAFETY: `g` is live, from this core, released exactly once.
+        unsafe { ex.release(&g) };
+        let g2 = ex.poll_acquire(&mut p2).expect("post-release poll");
+        // SAFETY: As above.
+        unsafe { ex.release(&g2) };
+        assert!(ex.is_quiescent());
+    }
+
+    #[test]
+    fn two_phase_cancel_leaves_no_residue() {
+        let ex: ListCore<Exclusive> = ListCore::default();
+        let held = ex.acquire(Range::new(0, 10), false);
+        let mut p = ex.enqueue(Range::new(5, 15), false);
+        assert!(ex.poll_acquire(&mut p).is_none());
+        ex.cancel_acquire(&mut p);
+        assert!(p.is_done());
+        ex.cancel_acquire(&mut p); // idempotent
+                                   // SAFETY: `held` is live, from this core, released exactly once.
+        unsafe { ex.release(&held) };
+        // The abandoned request left nothing behind: the full range is free.
+        let full = ex.try_acquire(Range::FULL, false).expect("no residue");
+        // SAFETY: As above.
+        unsafe { ex.release(&full) };
+        assert!(ex.is_quiescent());
+    }
+
+    #[test]
+    fn two_phase_rw_writer_blocks_on_reader_and_recovers() {
+        let rw: ListCore<ReaderWriter> = ListCore::default();
+        let r = rw.acquire(Range::new(0, 10), true);
+        let mut p = rw.enqueue(Range::new(5, 15), false);
+        assert!(rw.poll_acquire(&mut p).is_none());
+        // SAFETY: `r` is live, from this core, released exactly once.
+        unsafe { rw.release(&r) };
+        let w = rw.poll_acquire(&mut p).expect("writer proceeds");
+        assert!(!w.is_reader());
+        // SAFETY: As above.
+        unsafe { rw.release(&w) };
         assert!(rw.is_quiescent());
     }
 

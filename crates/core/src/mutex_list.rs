@@ -14,13 +14,15 @@
 //! exclusive-mode façade over it.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rl_sync::stats::WaitStats;
-use rl_sync::wait::{SpinThenYield, WaitPolicy};
+use rl_sync::wait::{SpinThenYield, WaitPolicy, WaitQueue};
 
-use crate::list_core::{Exclusive, ListCore, RawGuard};
+use crate::list_core::{Exclusive, ListCore, PendingAcquire, RawGuard};
 use crate::range::Range;
 use crate::traits::RangeLock;
+use crate::twophase::TwoPhaseRangeLock;
 
 pub use crate::list_core::ListLockConfig;
 
@@ -122,6 +124,21 @@ impl<P: WaitPolicy> ListRangeLock<P> {
             .map(|raw| ListRangeGuard { lock: self, raw })
     }
 
+    /// Acquires `range` like [`ListRangeLock::acquire`], but gives up
+    /// (leaving no residue) once `timeout` elapses. Under the [`Block`]
+    /// policy the waiter deadline-parks; the spinning policies check the
+    /// clock between backoff steps. Also available generically through
+    /// [`TwoPhaseRangeLock::acquire_timeout`].
+    ///
+    /// [`Block`]: rl_sync::wait::Block
+    pub fn acquire_timeout(
+        &self,
+        range: Range,
+        timeout: Duration,
+    ) -> Option<ListRangeGuard<'_, P>> {
+        TwoPhaseRangeLock::acquire_timeout(self, range, timeout)
+    }
+
     /// Returns `true` if no range is currently held.
     ///
     /// Marked (released but not yet unlinked) nodes count as absent. The
@@ -203,6 +220,32 @@ impl<P: WaitPolicy> RangeLock for ListRangeLock<P> {
 
     fn name(&self) -> &'static str {
         "list-ex"
+    }
+}
+
+impl<P: WaitPolicy> TwoPhaseRangeLock for ListRangeLock<P> {
+    type Pending = PendingAcquire;
+
+    fn enqueue_acquire(&self, range: Range) -> Self::Pending {
+        self.core.enqueue(range, false)
+    }
+
+    fn poll_acquire<'a>(&'a self, pending: &mut Self::Pending) -> Option<Self::Guard<'a>> {
+        self.core
+            .poll_acquire(pending)
+            .map(|raw| ListRangeGuard { lock: self, raw })
+    }
+
+    fn cancel_acquire(&self, pending: &mut Self::Pending) {
+        self.core.cancel_acquire(pending);
+    }
+
+    fn wait_queue(&self) -> &WaitQueue {
+        self.core.wait_queue()
+    }
+
+    fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: Instant) -> bool {
+        P::wait_until_deadline(self.core.wait_queue(), cond, deadline)
     }
 }
 

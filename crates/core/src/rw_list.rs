@@ -24,13 +24,15 @@
 //! to reader mode.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rl_sync::stats::WaitStats;
-use rl_sync::wait::{SpinThenYield, WaitPolicy};
+use rl_sync::wait::{SpinThenYield, WaitPolicy, WaitQueue};
 
-use crate::list_core::{ListCore, ListLockConfig, RawGuard, ReaderWriter};
+use crate::list_core::{ListCore, ListLockConfig, PendingAcquire, RawGuard, ReaderWriter};
 use crate::range::Range;
 use crate::traits::RwRangeLock;
+use crate::twophase::TwoPhaseRwRangeLock;
 
 /// A reader-writer list-based range lock.
 ///
@@ -132,6 +134,26 @@ impl<P: WaitPolicy> RwListRangeLock<P> {
         self.core
             .try_acquire(range, false)
             .map(|raw| RwListRangeGuard { lock: self, raw })
+    }
+
+    /// Acquires `range` in shared mode like [`RwListRangeLock::read`], but
+    /// gives up (leaving no residue) once `timeout` elapses. Under the
+    /// [`Block`] policy the waiter deadline-parks; the spinning policies
+    /// check the clock between backoff steps.
+    ///
+    /// [`Block`]: rl_sync::wait::Block
+    pub fn read_timeout(&self, range: Range, timeout: Duration) -> Option<RwListRangeGuard<'_, P>> {
+        TwoPhaseRwRangeLock::read_timeout(self, range, timeout)
+    }
+
+    /// Acquires `range` in exclusive mode like [`RwListRangeLock::write`],
+    /// but gives up (leaving no residue) once `timeout` elapses.
+    pub fn write_timeout(
+        &self,
+        range: Range,
+        timeout: Duration,
+    ) -> Option<RwListRangeGuard<'_, P>> {
+        TwoPhaseRwRangeLock::write_timeout(self, range, timeout)
     }
 
     /// Returns the number of currently held (not logically deleted) ranges.
@@ -264,6 +286,47 @@ impl<P: WaitPolicy> RwRangeLock for RwListRangeLock<P> {
 
     fn name(&self) -> &'static str {
         "list-rw"
+    }
+}
+
+impl<P: WaitPolicy> TwoPhaseRwRangeLock for RwListRangeLock<P> {
+    type PendingRead = PendingAcquire;
+    type PendingWrite = PendingAcquire;
+
+    fn enqueue_read(&self, range: Range) -> Self::PendingRead {
+        self.core.enqueue(range, true)
+    }
+
+    fn poll_read<'a>(&'a self, pending: &mut Self::PendingRead) -> Option<Self::ReadGuard<'a>> {
+        self.core
+            .poll_acquire(pending)
+            .map(|raw| RwListRangeGuard { lock: self, raw })
+    }
+
+    fn cancel_read(&self, pending: &mut Self::PendingRead) {
+        self.core.cancel_acquire(pending);
+    }
+
+    fn enqueue_write(&self, range: Range) -> Self::PendingWrite {
+        self.core.enqueue(range, false)
+    }
+
+    fn poll_write<'a>(&'a self, pending: &mut Self::PendingWrite) -> Option<Self::WriteGuard<'a>> {
+        self.core
+            .poll_acquire(pending)
+            .map(|raw| RwListRangeGuard { lock: self, raw })
+    }
+
+    fn cancel_write(&self, pending: &mut Self::PendingWrite) {
+        self.core.cancel_acquire(pending);
+    }
+
+    fn wait_queue(&self) -> &WaitQueue {
+        self.core.wait_queue()
+    }
+
+    fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: Instant) -> bool {
+        P::wait_until_deadline(self.core.wait_queue(), cond, deadline)
     }
 }
 

@@ -220,6 +220,45 @@ impl<L: RangeLock> RwRangeLock for ExclusiveAsRw<L> {
     }
 }
 
+impl<L: RangeLock + crate::twophase::TwoPhaseRangeLock> crate::twophase::TwoPhaseRwRangeLock
+    for ExclusiveAsRw<L>
+{
+    type PendingRead = L::Pending;
+    type PendingWrite = L::Pending;
+
+    fn enqueue_read(&self, range: Range) -> Self::PendingRead {
+        self.inner.enqueue_acquire(range)
+    }
+
+    fn poll_read<'a>(&'a self, pending: &mut Self::PendingRead) -> Option<Self::ReadGuard<'a>> {
+        self.inner.poll_acquire(pending)
+    }
+
+    fn cancel_read(&self, pending: &mut Self::PendingRead) {
+        self.inner.cancel_acquire(pending);
+    }
+
+    fn enqueue_write(&self, range: Range) -> Self::PendingWrite {
+        self.inner.enqueue_acquire(range)
+    }
+
+    fn poll_write<'a>(&'a self, pending: &mut Self::PendingWrite) -> Option<Self::WriteGuard<'a>> {
+        self.inner.poll_acquire(pending)
+    }
+
+    fn cancel_write(&self, pending: &mut Self::PendingWrite) {
+        self.inner.cancel_acquire(pending);
+    }
+
+    fn wait_queue(&self) -> &rl_sync::wait::WaitQueue {
+        self.inner.wait_queue()
+    }
+
+    fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: std::time::Instant) -> bool {
+        self.inner.wait_deadline(cond, deadline)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,529 @@
+//! The cancellable two-phase acquisition protocol and the async range-lock
+//! API built on it.
+//!
+//! The blocking traits ([`RangeLock`], [`RwRangeLock`]) model a waiter as a
+//! thread: `acquire` does not return until the range is held, so at M
+//! concurrent owners the caller burns M threads, and a waiter cannot give up
+//! — there is no way out of `acquire` except owning the range. This module
+//! decomposes acquisition into an explicit, resumable protocol:
+//!
+//! 1. **enqueue** — register the request (allocate its node). No waiting.
+//! 2. **poll** — drive the request as far as it can get without waiting:
+//!    run the insertion traversal, back out (or, for published reader nodes,
+//!    stay put) on conflict. Returns the guard when the range is held;
+//!    otherwise the caller registers a waiter — a thread *or* a
+//!    [`core::task::Waker`] — on the lock's [`WaitQueue`] and re-polls after
+//!    a wake.
+//! 3. **cancel** — abandon a pending request, unlinking its node if it was
+//!    already published and waking successors. This is the step the blocking
+//!    API fundamentally cannot express: a blocking waiter can only leave by
+//!    owning the range first (or leaking its node).
+//!
+//! Two consumers are layered on the protocol here:
+//!
+//! * **Timed acquisition** — [`TwoPhaseRangeLock::acquire_timeout`] and the
+//!   [`read_timeout`](TwoPhaseRwRangeLock::read_timeout) /
+//!   [`write_timeout`](TwoPhaseRwRangeLock::write_timeout) pair: poll, wait
+//!   with a deadline (under the `Block` policy a deadline *park*, under the
+//!   spinning policies a clock-checked backoff loop), cancel on expiry.
+//! * **Async acquisition** — [`AsyncRangeLock::acquire_async`] /
+//!   [`AsyncRwRangeLock::read_async`] / [`AsyncRwRangeLock::write_async`]
+//!   return cancellation-safe futures ([`AcquireFuture`], [`ReadFuture`],
+//!   [`WriteFuture`]) resolving to the ordinary RAII guards. Dropping a
+//!   future mid-wait cancels the pending request and leaves no residue, so
+//!   `select!`-style races and task aborts are safe. A waiter costs a waker
+//!   registration, not a thread: millions of pending owners can be
+//!   multiplexed onto a few worker threads (see the `rl-exec` crate and the
+//!   `asyncbench` experiment).
+//!
+//! # Waking, whatever the policy
+//!
+//! Async waiters never spin, *regardless of the lock's wait policy*: the
+//! future registers a waker on the lock's [`WaitQueue`] and suspends. Every
+//! release path wakes that queue — since the async layer, even the spinning
+//! policies' release hook performs the generation bump that feeds
+//! registered wakers (see `rl_sync::wait`). Lost wakeups are excluded by
+//! the snapshot-register-recheck protocol documented there: the future
+//! snapshots the queue generation *before* polling the lock, and a
+//! registration against a stale snapshot fails, forcing a re-poll.
+//!
+//! # Fairness interaction (§4.3)
+//!
+//! Two-phase acquisitions bypass the impatience gate: each poll is one
+//! bounded attempt, and carrying impatient status across a suspension would
+//! require holding a gate permit while descheduled, blocking the very
+//! threads the gate exists to protect. Under a fairness-enabled lock, async
+//! and timed waiters therefore compete as permanently "patient" threads.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+use rl_sync::wait::WaitQueue;
+
+use crate::range::Range;
+use crate::traits::{RangeLock, RwRangeLock};
+
+/// An exclusive range lock that supports the cancellable two-phase
+/// acquisition protocol (enqueue / poll / cancel).
+///
+/// Implementations must uphold, for every method, the protocol contract:
+///
+/// * `poll_*` never waits (no spinning, yielding, or parking) and never
+///   fails spuriously — `None` means a conflicting holder was observed;
+/// * after `poll_*` returns `None`, some release/downgrade/cancel wake of
+///   [`TwoPhaseRangeLock::wait_queue`] is guaranteed once the observed
+///   conflict clears (so a waiter registered per the queue's
+///   snapshot-register-recheck protocol cannot sleep forever);
+/// * `cancel_*` leaves the lock as if the request had never been made
+///   (pending-state residue is unlinked and successors are woken) and is
+///   idempotent.
+pub trait TwoPhaseRangeLock: RangeLock {
+    /// Token holding one pending acquisition's state between polls.
+    type Pending: Send + Unpin;
+
+    /// **Enqueue**: starts a two-phase acquisition of `range`.
+    fn enqueue_acquire(&self, range: Range) -> Self::Pending;
+
+    /// **Poll**: drives `pending` as far as it can get without waiting;
+    /// returns the guard once the range is held.
+    fn poll_acquire<'a>(&'a self, pending: &mut Self::Pending) -> Option<Self::Guard<'a>>;
+
+    /// **Cancel**: abandons `pending`, unlinking any published node and
+    /// waking successors. Idempotent; must be called (or the poll driven to
+    /// completion) before the token is dropped.
+    fn cancel_acquire(&self, pending: &mut Self::Pending);
+
+    /// The queue suspended acquisitions wait on; every release wakes it.
+    fn wait_queue(&self) -> &WaitQueue;
+
+    /// Waits through this lock's wait policy until `cond` holds or
+    /// `deadline` passes (returning `cond`'s final value). Backs the timed
+    /// acquisition methods; `cond` is the queue-generation check of the
+    /// two-phase wait loop.
+    fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: Instant) -> bool;
+
+    /// Acquires `range` like [`RangeLock::acquire`], but gives up — leaving
+    /// no residue — once `timeout` elapses. An expired attempt is recorded
+    /// as a cancel in the lock's wait statistics.
+    fn acquire_timeout(&self, range: Range, timeout: Duration) -> Option<Self::Guard<'_>>
+    where
+        Self: Sized,
+    {
+        timeout_loop(
+            self,
+            timeout,
+            self.wait_queue(),
+            |cond, deadline| self.wait_deadline(cond, deadline),
+            self.enqueue_acquire(range),
+            Self::poll_acquire,
+            Self::cancel_acquire,
+        )
+    }
+}
+
+/// A reader-writer range lock that supports the cancellable two-phase
+/// acquisition protocol in both modes.
+///
+/// See [`TwoPhaseRangeLock`] for the protocol contract, which applies to
+/// the read and write method families alike.
+pub trait TwoPhaseRwRangeLock: RwRangeLock {
+    /// Token holding one pending shared acquisition's state between polls.
+    type PendingRead: Send + Unpin;
+    /// Token holding one pending exclusive acquisition's state between polls.
+    type PendingWrite: Send + Unpin;
+
+    /// **Enqueue**: starts a two-phase shared acquisition of `range`.
+    fn enqueue_read(&self, range: Range) -> Self::PendingRead;
+
+    /// **Poll**: drives a pending shared acquisition without waiting.
+    fn poll_read<'a>(&'a self, pending: &mut Self::PendingRead) -> Option<Self::ReadGuard<'a>>;
+
+    /// **Cancel**: abandons a pending shared acquisition. Idempotent.
+    fn cancel_read(&self, pending: &mut Self::PendingRead);
+
+    /// **Enqueue**: starts a two-phase exclusive acquisition of `range`.
+    fn enqueue_write(&self, range: Range) -> Self::PendingWrite;
+
+    /// **Poll**: drives a pending exclusive acquisition without waiting.
+    fn poll_write<'a>(&'a self, pending: &mut Self::PendingWrite) -> Option<Self::WriteGuard<'a>>;
+
+    /// **Cancel**: abandons a pending exclusive acquisition. Idempotent.
+    fn cancel_write(&self, pending: &mut Self::PendingWrite);
+
+    /// The queue suspended acquisitions wait on; every release wakes it.
+    fn wait_queue(&self) -> &WaitQueue;
+
+    /// Waits through this lock's wait policy until `cond` holds or
+    /// `deadline` passes; see [`TwoPhaseRangeLock::wait_deadline`].
+    fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: Instant) -> bool;
+
+    /// Acquires `range` in shared mode like [`RwRangeLock::read`], but gives
+    /// up — leaving no residue — once `timeout` elapses.
+    fn read_timeout(&self, range: Range, timeout: Duration) -> Option<Self::ReadGuard<'_>>
+    where
+        Self: Sized,
+    {
+        timeout_loop(
+            self,
+            timeout,
+            self.wait_queue(),
+            |cond, deadline| self.wait_deadline(cond, deadline),
+            self.enqueue_read(range),
+            Self::poll_read,
+            Self::cancel_read,
+        )
+    }
+
+    /// Acquires `range` in exclusive mode like [`RwRangeLock::write`], but
+    /// gives up — leaving no residue — once `timeout` elapses.
+    fn write_timeout(&self, range: Range, timeout: Duration) -> Option<Self::WriteGuard<'_>>
+    where
+        Self: Sized,
+    {
+        timeout_loop(
+            self,
+            timeout,
+            self.wait_queue(),
+            |cond, deadline| self.wait_deadline(cond, deadline),
+            self.enqueue_write(range),
+            Self::poll_write,
+            Self::cancel_write,
+        )
+    }
+}
+
+/// The shared enqueue → poll → deadline-wait → cancel loop behind every
+/// timed acquisition method. The method-family triple comes in as plain
+/// function values so the loop serves both two-phase traits (and both modes
+/// of the reader-writer one).
+fn timeout_loop<'a, L: ?Sized, Pend, G>(
+    lock: &'a L,
+    timeout: Duration,
+    queue: &WaitQueue,
+    wait: impl Fn(&mut dyn FnMut() -> bool, Instant) -> bool,
+    pending: Pend,
+    mut poll: impl FnMut(&'a L, &mut Pend) -> Option<G>,
+    cancel: impl FnOnce(&L, &mut Pend),
+) -> Option<G> {
+    let deadline = Instant::now() + timeout;
+    let mut pending = pending;
+    loop {
+        let gen = queue.generation();
+        if let Some(guard) = poll(lock, &mut pending) {
+            return Some(guard);
+        }
+        if Instant::now() >= deadline {
+            cancel(lock, &mut pending);
+            queue.record_cancel();
+            return None;
+        }
+        // Every release bumps the queue generation (whatever the policy), so
+        // waiting for a generation change is waiting for "anything changed".
+        wait(&mut || queue.generation() != gen, deadline);
+    }
+}
+
+/// Declares one cancellation-safe acquisition future over a two-phase trait.
+macro_rules! acquire_future {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $trait_:ident, $pending:ident, $guard:ident,
+        $enqueue:ident, $poll:ident, $cancel:ident
+    ) => {
+        $(#[$doc])*
+        ///
+        /// The future resolves to the lock's ordinary RAII guard; the range
+        /// is held exactly from the resolving poll until the guard drops.
+        /// **Cancellation safety:** dropping the future before it resolves
+        /// cancels the pending acquisition — any published node is unlinked,
+        /// successors are woken, the registered waker is removed, and a
+        /// cancel is recorded in the lock's wait statistics. Dropping it
+        /// after it resolved is just dropping the guard.
+        #[must_use = "futures do nothing unless polled"]
+        pub struct $name<'a, L: $trait_> {
+            lock: &'a L,
+            /// `None` once resolved (the pending token was consumed).
+            pending: Option<L::$pending>,
+            /// Waker slot id on the lock's wait queue.
+            slot: u64,
+        }
+
+        impl<'a, L: $trait_> $name<'a, L> {
+            pub(crate) fn new(lock: &'a L, range: Range) -> Self {
+                $name {
+                    lock,
+                    pending: Some(lock.$enqueue(range)),
+                    slot: lock.wait_queue().alloc_waker_slot(),
+                }
+            }
+        }
+
+        impl<'a, L: $trait_> Future for $name<'a, L> {
+            type Output = L::$guard<'a>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                // All fields are `Unpin` (`Pending: Unpin` per the trait).
+                let this = self.get_mut();
+                let queue = this.lock.wait_queue();
+                let mut pending = this
+                    .pending
+                    .take()
+                    .expect("acquisition future polled after completion");
+                loop {
+                    // Snapshot *before* polling the lock: see the
+                    // lost-wakeup argument in `rl_sync::wait`.
+                    let gen = queue.generation();
+                    if let Some(guard) = this.lock.$poll(&mut pending) {
+                        queue.deregister_waker(this.slot);
+                        return Poll::Ready(guard);
+                    }
+                    if queue.register_waker(this.slot, gen, cx.waker()) {
+                        this.pending = Some(pending);
+                        return Poll::Pending;
+                    }
+                    // A wake slipped in between the snapshot and the
+                    // registration: whatever it signalled may unblock us, so
+                    // re-poll with a fresh snapshot.
+                }
+            }
+        }
+
+        impl<L: $trait_> Drop for $name<'_, L> {
+            fn drop(&mut self) {
+                if let Some(mut pending) = self.pending.take() {
+                    let queue = self.lock.wait_queue();
+                    queue.deregister_waker(self.slot);
+                    self.lock.$cancel(&mut pending);
+                    queue.record_cancel();
+                }
+            }
+        }
+
+        impl<L: $trait_> std::fmt::Debug for $name<'_, L> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name))
+                    .field("resolved", &self.pending.is_none())
+                    .finish()
+            }
+        }
+    };
+}
+
+acquire_future!(
+    /// Future returned by [`AsyncRangeLock::acquire_async`]: an exclusive
+    /// range acquisition in flight.
+    AcquireFuture,
+    TwoPhaseRangeLock,
+    Pending,
+    Guard,
+    enqueue_acquire,
+    poll_acquire,
+    cancel_acquire
+);
+
+acquire_future!(
+    /// Future returned by [`AsyncRwRangeLock::read_async`]: a shared range
+    /// acquisition in flight.
+    ReadFuture,
+    TwoPhaseRwRangeLock,
+    PendingRead,
+    ReadGuard,
+    enqueue_read,
+    poll_read,
+    cancel_read
+);
+
+acquire_future!(
+    /// Future returned by [`AsyncRwRangeLock::write_async`]: an exclusive
+    /// range acquisition in flight.
+    WriteFuture,
+    TwoPhaseRwRangeLock,
+    PendingWrite,
+    WriteGuard,
+    enqueue_write,
+    poll_write,
+    cancel_write
+);
+
+/// The async face of an exclusive range lock. Blanket-implemented for every
+/// [`TwoPhaseRangeLock`]; never implement it by hand.
+pub trait AsyncRangeLock: TwoPhaseRangeLock + Sized {
+    /// Acquires `range` asynchronously: the returned future suspends
+    /// (registering its task's waker) instead of blocking a thread, and
+    /// resolves to the same guard [`RangeLock::acquire`] returns. Dropping
+    /// the future cancels the acquisition cleanly.
+    fn acquire_async(&self, range: Range) -> AcquireFuture<'_, Self> {
+        AcquireFuture::new(self, range)
+    }
+}
+
+impl<L: TwoPhaseRangeLock> AsyncRangeLock for L {}
+
+/// The async face of a reader-writer range lock. Blanket-implemented for
+/// every [`TwoPhaseRwRangeLock`]; never implement it by hand.
+pub trait AsyncRwRangeLock: TwoPhaseRwRangeLock + Sized {
+    /// Acquires `range` in shared mode asynchronously; see
+    /// [`AsyncRangeLock::acquire_async`] for the waiting and cancellation
+    /// semantics.
+    fn read_async(&self, range: Range) -> ReadFuture<'_, Self> {
+        ReadFuture::new(self, range)
+    }
+
+    /// Acquires `range` in exclusive mode asynchronously; see
+    /// [`AsyncRangeLock::acquire_async`] for the waiting and cancellation
+    /// semantics.
+    fn write_async(&self, range: Range) -> WriteFuture<'_, Self> {
+        WriteFuture::new(self, range)
+    }
+}
+
+impl<L: TwoPhaseRwRangeLock> AsyncRwRangeLock for L {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::task::{Wake, Waker};
+
+    use rl_sync::stats::WaitStats;
+    use rl_sync::wait::Block;
+
+    use crate::{ListRangeLock, RwListRangeLock};
+
+    struct CountingWaker(AtomicU64);
+
+    impl Wake for CountingWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWaker>, Waker) {
+        let count = Arc::new(CountingWaker(AtomicU64::new(0)));
+        let waker = Waker::from(Arc::clone(&count));
+        (count, waker)
+    }
+
+    fn poll_once<F: Future + Unpin>(fut: &mut F, waker: &Waker) -> Poll<F::Output> {
+        let mut cx = Context::from_waker(waker);
+        Pin::new(fut).poll(&mut cx)
+    }
+
+    #[test]
+    fn uncontended_future_resolves_on_first_poll() {
+        let lock = ListRangeLock::new();
+        let (_, waker) = counting_waker();
+        let mut fut = lock.acquire_async(Range::new(0, 10));
+        let guard = match poll_once(&mut fut, &waker) {
+            Poll::Ready(g) => g,
+            Poll::Pending => panic!("uncontended acquisition must resolve immediately"),
+        };
+        assert_eq!(guard.range(), Range::new(0, 10));
+        drop(guard);
+        drop(fut); // resolved: dropping the future is a no-op
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn blocked_future_is_woken_by_the_release() {
+        let lock = ListRangeLock::new();
+        let held = lock.acquire(Range::new(0, 100));
+        let (count, waker) = counting_waker();
+        let mut fut = lock.acquire_async(Range::new(50, 150));
+        assert!(poll_once(&mut fut, &waker).is_pending());
+        assert_eq!(count.0.load(Ordering::SeqCst), 0);
+        drop(held); // the release hook must deliver the wake
+        assert!(count.0.load(Ordering::SeqCst) >= 1);
+        match poll_once(&mut fut, &waker) {
+            Poll::Ready(guard) => drop(guard),
+            Poll::Pending => panic!("released: the re-poll must resolve"),
+        }
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn dropping_a_pending_future_cancels_cleanly() {
+        let stats = Arc::new(WaitStats::new("async-cancel"));
+        let lock = RwListRangeLock::new().with_stats(Arc::clone(&stats));
+        let held = lock.write(Range::new(0, 100));
+        let (_, waker) = counting_waker();
+        let mut fut = lock.write_async(Range::new(50, 150));
+        assert!(poll_once(&mut fut, &waker).is_pending());
+        drop(fut); // mid-wait: must cancel, deregister, and count it
+        let snap = stats.snapshot();
+        assert_eq!(snap.cancels, 1);
+        assert!(snap.waker_registrations >= 1);
+        drop(held);
+        // No residue: the whole range is immediately acquirable.
+        drop(lock.try_write(Range::FULL).expect("no leaked node"));
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn rw_futures_respect_modes() {
+        let lock = RwListRangeLock::new();
+        let (_, waker) = counting_waker();
+        let r1 = lock.read(Range::new(0, 100));
+        // Overlapping reader future resolves immediately (readers share).
+        let mut rf = lock.read_async(Range::new(50, 150));
+        let r2 = match poll_once(&mut rf, &waker) {
+            Poll::Ready(g) => g,
+            Poll::Pending => panic!("overlapping readers share"),
+        };
+        // Overlapping writer future stays pending.
+        let mut wf = lock.write_async(Range::new(50, 150));
+        assert!(poll_once(&mut wf, &waker).is_pending());
+        drop(r1);
+        drop(r2);
+        match poll_once(&mut wf, &waker) {
+            Poll::Ready(g) => drop(g),
+            Poll::Pending => panic!("readers gone: writer resolves"),
+        }
+        assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn trait_timeouts_expire_and_succeed() {
+        fn run<L: TwoPhaseRwRangeLock>(lock: &L, probe: Range, conflict: Range) {
+            let held = lock.write(conflict);
+            assert!(lock
+                .read_timeout(probe, Duration::from_millis(10))
+                .is_none());
+            assert!(lock
+                .write_timeout(probe, Duration::from_millis(10))
+                .is_none());
+            drop(held);
+            assert!(lock
+                .read_timeout(probe, Duration::from_millis(100))
+                .is_some());
+            assert!(lock
+                .write_timeout(probe, Duration::from_millis(100))
+                .is_some());
+        }
+        let range = Range::new(0, 50);
+        run(&RwListRangeLock::new(), range, Range::new(25, 75));
+        run(
+            &RwListRangeLock::<Block>::with_policy(),
+            range,
+            Range::new(25, 75),
+        );
+        // The exclusive lock through the adapter (and the exclusive trait).
+        let ex = ListRangeLock::new();
+        let held = ex.acquire(Range::new(0, 50));
+        assert!(TwoPhaseRangeLock::acquire_timeout(
+            &ex,
+            Range::new(25, 75),
+            Duration::from_millis(10)
+        )
+        .is_none());
+        drop(held);
+        assert!(ex
+            .acquire_timeout(Range::new(25, 75), Duration::from_millis(100))
+            .is_some());
+        let adapted = crate::ExclusiveAsRw::new(ListRangeLock::new());
+        run(&adapted, range, Range::new(25, 75));
+    }
+}

@@ -1,0 +1,462 @@
+//! # `rl-exec` — a minimal executor for the async range-lock API
+//!
+//! The async layer of this workspace (`range_lock::twophase`) turns a lock
+//! waiter into a suspended future instead of a blocked thread. Something
+//! still has to poll those futures; production services would use tokio or
+//! their own runtime, but this build environment is offline, so this crate
+//! provides the two pieces the workspace actually needs, hand-rolled on
+//! `std` alone:
+//!
+//! * [`block_on`] — drive one future to completion on the calling thread
+//!   (park between polls); the bridge from sync tests/benches into async
+//!   code.
+//! * [`TaskPool`] — a fixed-worker task pool: N OS threads polling M
+//!   spawned tasks from a shared injector queue. This is the shape of the
+//!   `asyncbench` experiment — M lock owners ≫ N threads — and exactly what
+//!   thread-per-owner blocking cannot do.
+//!
+//! Scheduling is deliberately simple: one global FIFO injector, no work
+//! stealing, no timers, no I/O — lock wakeups are in-process waker calls, so
+//! a global queue is all the async range locks need. Fairness is the
+//! queue's FIFO order; a woken task is enqueued at the tail.
+//!
+//! # Examples
+//!
+//! ```
+//! use rl_exec::{block_on, TaskPool};
+//!
+//! // block_on: sync → async bridge.
+//! assert_eq!(block_on(async { 6 * 7 }), 42);
+//!
+//! // TaskPool: many tasks, few threads.
+//! let pool = TaskPool::new(2);
+//! let handles: Vec<_> = (0..64)
+//!     .map(|i| pool.spawn(async move { i * 2 }))
+//!     .collect();
+//! let total: u64 = handles.into_iter().map(|h| h.join()).sum();
+//! assert_eq!(total, (0..64).map(|i| i * 2).sum());
+//! ```
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::{JoinHandle as ThreadHandle, Thread};
+
+/// Waker that unparks a specific thread; backs [`block_on`].
+struct ThreadWaker {
+    thread: Thread,
+    /// Set by `wake`, consumed by the parked poller: parking is permit-based
+    /// so a wake delivered *between* a poll and the park is not lost.
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.notified.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+    }
+}
+
+/// Runs `future` to completion on the calling thread, parking it between
+/// polls.
+///
+/// The sync→async bridge: tests, benches and examples use it to await
+/// acquisition futures without a runtime. Wakes delivered while the future
+/// is being polled are not lost (the park is permit-based).
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = Box::pin(future);
+    let thread_waker = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&thread_waker));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        if let Poll::Ready(out) = future.as_mut().poll(&mut cx) {
+            return out;
+        }
+        while !thread_waker.notified.swap(false, Ordering::SeqCst) {
+            std::thread::park();
+        }
+    }
+}
+
+/// A spawned task: the future plus its scheduling state.
+struct Task {
+    /// `None` once the future completed (or the pool dropped it).
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    /// Back-pointer for re-enqueueing on wake; `Weak` so wakers held by
+    /// long-dead locks do not keep the pool alive.
+    pool: Weak<PoolShared>,
+    /// `true` while the task sits in the injector queue (coalesces wakes: a
+    /// task is enqueued at most once at a time).
+    scheduled: AtomicBool,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        Arc::clone(self).schedule();
+    }
+}
+
+impl Task {
+    fn schedule(self: Arc<Self>) {
+        if self.scheduled.swap(true, Ordering::AcqRel) {
+            return; // already queued; the upcoming poll sees the new state
+        }
+        if let Some(pool) = self.pool.upgrade() {
+            pool.push(self);
+        }
+    }
+}
+
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Every task ever spawned (weak, so completed tasks cost one dead
+    /// entry, pruned as new spawns notice them). Shutdown walks this list to
+    /// drop the futures of tasks that are *suspended* — alive only through
+    /// waker clones held by whatever they wait on — which the injector
+    /// queue alone cannot reach.
+    tasks: Mutex<Vec<Weak<Task>>>,
+}
+
+impl PoolShared {
+    fn push(&self, task: Arc<Task>) {
+        self.queue.lock().unwrap().push_back(task);
+        self.available.notify_one();
+    }
+
+    fn pop(&self) -> Option<Arc<Task>> {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            // Shutdown beats the backlog: tasks still queued are dropped by
+            // the pool's Drop (their acquisition futures cancel cleanly).
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(task) = queue.pop_front() {
+                return Some(task);
+            }
+            queue = self.available.wait(queue).unwrap();
+        }
+    }
+}
+
+/// Completion state shared between a [`JoinHandle`] and its task.
+struct JoinState<T> {
+    /// `(result, waker of a task awaiting the handle)`.
+    inner: Mutex<(Option<T>, Option<Waker>)>,
+}
+
+/// Handle to a spawned task's result.
+///
+/// A `JoinHandle` is itself a [`Future`] (so tasks can await each other) and
+/// offers a blocking [`JoinHandle::join`] for sync callers. Dropping the
+/// handle detaches the task: it keeps running, its result is discarded.
+#[must_use = "a dropped JoinHandle detaches its task"]
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T: Send> JoinHandle<T> {
+    /// Blocks the calling thread until the task completes.
+    pub fn join(self) -> T {
+        block_on(self)
+    }
+
+    /// Returns the result if the task has already completed.
+    pub fn try_join(&self) -> Option<T> {
+        self.state.inner.lock().unwrap().0.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut inner = self.state.inner.lock().unwrap();
+        if let Some(out) = inner.0.take() {
+            return Poll::Ready(out);
+        }
+        inner.1 = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle(..)")
+    }
+}
+
+/// A fixed-worker futures executor: `N` OS threads multiplexing any number
+/// of spawned tasks.
+///
+/// Dropping the pool shuts it down: workers finish the poll they are in and
+/// exit; tasks still queued or suspended are dropped (their acquisition
+/// futures cancel cleanly — that is the point of the cancellable protocol).
+pub struct TaskPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<ThreadHandle<()>>,
+}
+
+impl TaskPool {
+    /// Spawns a pool with `workers` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "a task pool needs at least one worker");
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks: Mutex::new(Vec::new()),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rl-exec-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        TaskPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Spawns `future` onto the pool, returning a handle to its result.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let state = Arc::new(JoinState {
+            inner: Mutex::new((None, None)),
+        });
+        let completion = Arc::clone(&state);
+        let wrapped = async move {
+            let out = future.await;
+            let waiter = {
+                let mut inner = completion.inner.lock().unwrap();
+                inner.0 = Some(out);
+                inner.1.take()
+            };
+            if let Some(waker) = waiter {
+                waker.wake();
+            }
+        };
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(wrapped))),
+            pool: Arc::downgrade(&self.shared),
+            scheduled: AtomicBool::new(false),
+        });
+        {
+            let mut tasks = self.shared.tasks.lock().unwrap();
+            // Amortized pruning of completed (dead) entries.
+            if tasks.len() == tasks.capacity() {
+                tasks.retain(|t| t.strong_count() > 0);
+            }
+            tasks.push(Arc::downgrade(&task));
+        }
+        Arc::clone(&task).schedule();
+        JoinHandle { state }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.available_notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Drop whatever never ran; pending acquisition futures cancel here.
+        self.shared.queue.lock().unwrap().clear();
+        // Tasks suspended on external wakers (e.g. a lock's wait queue) are
+        // reachable only through the task registry: drop their futures too,
+        // so their cancel-on-drop cleanup (releasing guards, unlinking
+        // pending lock nodes) runs *now*, not at some later wake. The Task
+        // shells stay alive until the waker clones go away; waking a
+        // shell whose future is gone is a no-op.
+        for weak in self.shared.tasks.lock().unwrap().drain(..) {
+            if let Some(task) = weak.upgrade() {
+                *task.future.lock().unwrap() = None;
+            }
+        }
+    }
+}
+
+impl TaskPool {
+    fn available_notify_all(&self) {
+        // Touch the queue mutex so no worker is between its empty-check and
+        // its wait when the notification fires.
+        let _guard = self.shared.queue.lock().unwrap();
+        self.shared.available.notify_all();
+    }
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Arc<PoolShared>) {
+    while let Some(task) = shared.pop() {
+        // Clear the queued flag *before* polling: a wake arriving mid-poll
+        // re-enqueues the task (possibly redundantly — the extra poll just
+        // returns Pending again).
+        task.scheduled.store(false, Ordering::Release);
+        let mut slot = task.future.lock().unwrap();
+        if let Some(future) = slot.as_mut() {
+            let waker = Waker::from(Arc::clone(&task));
+            let mut cx = Context::from_waker(&waker);
+            if future.as_mut().poll(&mut cx).is_ready() {
+                *slot = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[test]
+    fn block_on_plain_value() {
+        assert_eq!(block_on(async { 7 }), 7);
+    }
+
+    #[test]
+    fn block_on_survives_cross_thread_wakes() {
+        // A future that completes only after another thread wakes it.
+        struct Gate {
+            open: Arc<AtomicBool>,
+            registered: Arc<Mutex<Option<Waker>>>,
+        }
+        impl Future for Gate {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.open.load(Ordering::SeqCst) {
+                    return Poll::Ready(());
+                }
+                *self.registered.lock().unwrap() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+        let open = Arc::new(AtomicBool::new(false));
+        let registered: Arc<Mutex<Option<Waker>>> = Arc::new(Mutex::new(None));
+        let opener = {
+            let open = Arc::clone(&open);
+            let registered = Arc::clone(&registered);
+            std::thread::spawn(move || {
+                let waker = loop {
+                    if let Some(w) = registered.lock().unwrap().take() {
+                        break w;
+                    }
+                    std::thread::yield_now();
+                };
+                open.store(true, Ordering::SeqCst);
+                waker.wake();
+            })
+        };
+        block_on(Gate { open, registered });
+        opener.join().unwrap();
+    }
+
+    #[test]
+    fn pool_runs_many_more_tasks_than_workers() {
+        let pool = TaskPool::new(2);
+        assert_eq!(pool.workers(), 2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..200)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                pool.spawn(async move {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn join_handle_is_awaitable_from_another_task() {
+        let pool = TaskPool::new(2);
+        let inner = pool.spawn(async { 21u64 });
+        let outer = pool.spawn(async move { inner.await * 2 });
+        assert_eq!(outer.join(), 42);
+    }
+
+    #[test]
+    fn try_join_reports_completion() {
+        let pool = TaskPool::new(1);
+        let handle = pool.spawn(async { 5u32 });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(v) = handle.try_join() {
+                assert_eq!(v, 5);
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "task never finished");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn dropping_the_pool_drops_unfinished_tasks() {
+        // A task pending forever must be dropped (not leaked, not joined)
+        // when the pool shuts down.
+        struct Forever(Arc<AtomicU64>);
+        impl Future for Forever {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        impl Drop for Forever {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU64::new(0));
+        {
+            let pool = TaskPool::new(1);
+            let _detached = pool.spawn(Forever(Arc::clone(&drops)));
+            // Give the worker a chance to poll it once.
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+}

@@ -96,7 +96,7 @@ use std::mem;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use range_lock::{Range, RwRangeLock};
+use range_lock::{AsyncRwRangeLock, Range, RwRangeLock, TwoPhaseRwRangeLock};
 
 /// The two POSIX lock modes (`F_RDLCK` / `F_WRLCK`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -177,6 +177,28 @@ unsafe fn erase_lifetime<Src, Dst>(guard: Src) -> Dst {
     let erased = unsafe { mem::transmute_copy::<Src, Dst>(&guard) };
     mem::forget(guard);
     erased
+}
+
+/// One record shape of a transaction's post-commit layout.
+struct Shape {
+    range: Range,
+    mode: LockMode,
+    is_target: bool,
+}
+
+/// The working set of one re-lock transaction, computed under the table
+/// mutex by `LockTable::plan_set_lock` and executed by the (sync or async)
+/// phase B.
+struct Plan<L: RwRangeLock + 'static> {
+    /// Tiles that survive the transaction (outside the target, or downgraded
+    /// in place).
+    kept: Vec<Tile<L>>,
+    /// Record shapes to commit.
+    shapes: Vec<Shape>,
+    /// Guard gaps to acquire, ascending: `(range, mode, is_target)`.
+    need: Vec<(Range, LockMode, bool)>,
+    /// Original `(range, mode)` records, for the non-blocking rollback.
+    originals: Vec<(Range, LockMode)>,
 }
 
 /// A held guard of the underlying lock, in either mode.
@@ -496,30 +518,18 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
         }
     }
 
-    /// The heart of the table: replaces whatever `owner_id` holds over
-    /// `target` with `op` (`Some(mode)` to lock, `None` to unlock).
-    ///
-    /// Returns `Err` only on a non-blocking request that would have to wait;
-    /// the table is then left exactly as it was.
-    fn set_lock(
+    /// Phase A of a re-lock transaction (table mutex held): fail-fast
+    /// conflict check, then detach the owner's overlapping records, sorting
+    /// their tiles into those kept (entirely outside `target`, or downgraded
+    /// in place) and those released here; finally compute the guard gaps
+    /// that phase B must acquire. `Ok(None)` means the request was a no-op.
+    fn plan_set_lock(
         &self,
         owner_id: u64,
         target: Range,
         op: Option<LockMode>,
         blocking: bool,
-    ) -> Result<(), WouldBlock> {
-        if target.is_empty() {
-            return Ok(());
-        }
-
-        // Phase A (table mutex held): fail-fast conflict check, then detach
-        // the owner's overlapping records, sorting their tiles into those
-        // kept (entirely outside `target`) and those released here.
-        struct Shape {
-            range: Range,
-            mode: LockMode,
-            is_target: bool,
-        }
+    ) -> Result<Option<Plan<L>>, WouldBlock> {
         let mut kept: Vec<Tile<L>> = Vec::new();
         let mut shapes: Vec<Shape> = Vec::new();
         let mut originals: Vec<(Range, LockMode)> = Vec::new();
@@ -541,7 +551,7 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
                 if owner.records.iter().any(|r| {
                     r.mode == mode && r.range.start <= target.start && r.range.end >= target.end
                 }) {
-                    return Ok(());
+                    return Ok(None);
                 }
             }
             let owner = st
@@ -558,7 +568,7 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
                 }
             }
             if detached.is_empty() && op.is_none() {
-                return Ok(());
+                return Ok(None);
             }
             for rec in detached {
                 originals.push((rec.range, rec.mode));
@@ -635,6 +645,66 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
             }
         }
         need.sort_by_key(|(r, _, _)| r.start);
+        Ok(Some(Plan {
+            kept,
+            shapes,
+            need,
+            originals,
+        }))
+    }
+
+    /// Phase C: assembles the transaction's tile pool into the planned
+    /// record shapes and commits them.
+    fn assemble_and_commit(&self, owner_id: u64, shapes: Vec<Shape>, mut pool: Vec<Tile<L>>) {
+        pool.sort_by_key(|t| t.range.start);
+        let records = shapes
+            .into_iter()
+            .map(|shape| {
+                let mut tiles = Vec::new();
+                let mut rest = Vec::new();
+                for tile in pool.drain(..) {
+                    if tile.range.start >= shape.range.start && tile.range.end <= shape.range.end {
+                        tiles.push(tile);
+                    } else {
+                        rest.push(tile);
+                    }
+                }
+                pool = rest;
+                Record {
+                    range: shape.range,
+                    mode: shape.mode,
+                    tiles,
+                }
+            })
+            .collect();
+        debug_assert!(pool.is_empty(), "unassigned tiles after a transaction");
+        self.commit(owner_id, records);
+    }
+
+    /// The heart of the table: replaces whatever `owner_id` holds over
+    /// `target` with `op` (`Some(mode)` to lock, `None` to unlock).
+    ///
+    /// Returns `Err` only on a non-blocking request that would have to wait;
+    /// the table is then left exactly as it was.
+    fn set_lock(
+        &self,
+        owner_id: u64,
+        target: Range,
+        op: Option<LockMode>,
+        blocking: bool,
+    ) -> Result<(), WouldBlock> {
+        if target.is_empty() {
+            return Ok(());
+        }
+        let Some(Plan {
+            mut kept,
+            shapes,
+            need,
+            originals,
+        }) = self.plan_set_lock(owner_id, target, op, blocking)?
+        else {
+            return Ok(());
+        };
 
         // Phase B (no mutex held): acquire the missing guards in ascending
         // range order. Only the target itself honors `blocking == false`;
@@ -676,30 +746,78 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
         // Phase C: assemble the records and commit them.
         let mut pool: Vec<Tile<L>> = kept;
         pool.append(&mut acquired);
-        pool.sort_by_key(|t| t.range.start);
-        let records = shapes
-            .into_iter()
-            .map(|shape| {
-                let mut tiles = Vec::new();
-                let mut rest = Vec::new();
-                for tile in pool.drain(..) {
-                    if tile.range.start >= shape.range.start && tile.range.end <= shape.range.end {
-                        tiles.push(tile);
-                    } else {
-                        rest.push(tile);
-                    }
-                }
-                pool = rest;
-                Record {
-                    range: shape.range,
-                    mode: shape.mode,
-                    tiles,
-                }
-            })
-            .collect();
-        debug_assert!(pool.is_empty(), "unassigned tiles after a transaction");
-        self.commit(owner_id, records);
+        self.assemble_and_commit(owner_id, shapes, pool);
         Ok(())
+    }
+
+    /// Acquires one tile asynchronously: the task suspends (waker-driven)
+    /// instead of blocking its worker thread.
+    async fn acquire_tile_async(&self, range: Range, mode: LockMode) -> Tile<L>
+    where
+        L: TwoPhaseRwRangeLock,
+    {
+        let lock = self.lock_ref();
+        let guard = match mode {
+            LockMode::Shared => {
+                let g = lock.read_async(range).await;
+                // SAFETY: As in `acquire_tile` — the lock is a stable heap
+                // allocation freed only after every guard has been dropped.
+                ModeGuard::Read(unsafe {
+                    erase_lifetime::<L::ReadGuard<'_>, L::ReadGuard<'static>>(g)
+                })
+            }
+            LockMode::Exclusive => {
+                let g = lock.write_async(range).await;
+                // SAFETY: As above.
+                ModeGuard::Write(unsafe {
+                    erase_lifetime::<L::WriteGuard<'_>, L::WriteGuard<'static>>(g)
+                })
+            }
+        };
+        Tile { range, guard }
+    }
+
+    /// The async counterpart of the blocking [`LockTable::set_lock`] path:
+    /// phase A (planning) runs synchronously under the table mutex, phase B
+    /// awaits each missing tile **in ascending range order** (the same
+    /// deadlock-avoidance discipline as the sync path — a suspended task
+    /// keeps earlier tiles held, exactly like a blocked thread), and phase C
+    /// commits.
+    ///
+    /// # Cancellation
+    ///
+    /// Each tile future is individually cancellation-safe, and the table
+    /// structure stays consistent if this future is dropped mid-flight; but
+    /// like a POSIX upgrade that blocks, the *operation* is not atomic —
+    /// records detached in phase A are simply gone, as if the affected span
+    /// had been unlocked. Callers that cannot accept that should not abandon
+    /// an in-flight `lock_async`.
+    async fn set_lock_async(&self, owner_id: u64, target: Range, op: Option<LockMode>)
+    where
+        L: TwoPhaseRwRangeLock,
+    {
+        if target.is_empty() {
+            return;
+        }
+        let Some(Plan {
+            mut kept,
+            shapes,
+            need,
+            originals: _,
+        }) = self
+            .plan_set_lock(owner_id, target, op, true)
+            .expect("blocking plan cannot fail")
+        else {
+            return;
+        };
+        let mut acquired: Vec<Tile<L>> = Vec::new();
+        for &(range, mode, _) in &need {
+            acquired.push(self.acquire_tile_async(range, mode).await);
+        }
+        let mut pool: Vec<Tile<L>> = Vec::new();
+        pool.append(&mut kept);
+        pool.append(&mut acquired);
+        self.assemble_and_commit(owner_id, shapes, pool);
     }
 
     fn release_owner(&self, owner_id: u64) {
@@ -784,6 +902,30 @@ impl<L: RwRangeLock + 'static> LockOwner<L> {
     /// Releases every range this owner holds.
     pub fn unlock_all(&mut self) {
         self.unlock(Range::FULL);
+    }
+
+    /// Asynchronous [`LockOwner::lock`]: same replace semantics
+    /// (split/merge/upgrade/downgrade), but waiting for conflicting owners
+    /// suspends the task instead of blocking a thread — the tile futures are
+    /// awaited in ascending range order, so async owners keep the same
+    /// deadlock-avoidance discipline as blocking ones (and may wait behind
+    /// them and vice versa; the underlying lock is the only exclusion
+    /// mechanism either way). See `LockTable::set_lock_async` for what
+    /// happens if the returned future is dropped mid-flight.
+    pub async fn lock_async(&mut self, range: Range, mode: LockMode)
+    where
+        L: TwoPhaseRwRangeLock,
+    {
+        self.table.set_lock_async(self.id, range, Some(mode)).await;
+    }
+
+    /// Asynchronous [`LockOwner::unlock`]: re-securing the retained edges of
+    /// a split suspends instead of blocking.
+    pub async fn unlock_async(&mut self, range: Range)
+    where
+        L: TwoPhaseRwRangeLock,
+    {
+        self.table.set_lock_async(self.id, range, None).await;
     }
 
     /// The `F_GETLK` probe: the first committed record of another owner that
@@ -1093,6 +1235,67 @@ mod tests {
         // Another owner can now share.
         let mut b = t.owner("b");
         b.try_lock(Range::new(0, 100), LockMode::Shared).unwrap();
+        t.check_invariants();
+    }
+
+    #[test]
+    fn lock_async_round_trip_with_split_and_merge() {
+        // The async path must produce exactly the same record shapes as the
+        // sync path: lock, split by an exclusive re-lock, unlock the middle.
+        rl_exec::block_on(async {
+            let t = table();
+            let mut a = t.owner("a");
+            a.lock_async(Range::new(0, 100), LockMode::Shared).await;
+            a.lock_async(Range::new(40, 60), LockMode::Exclusive).await;
+            assert_eq!(
+                held_of(&a),
+                vec![
+                    (0, 40, LockMode::Shared),
+                    (40, 60, LockMode::Exclusive),
+                    (60, 100, LockMode::Shared)
+                ]
+            );
+            a.unlock_async(Range::new(45, 55)).await;
+            assert_eq!(
+                held_of(&a),
+                vec![
+                    (0, 40, LockMode::Shared),
+                    (40, 45, LockMode::Exclusive),
+                    (55, 60, LockMode::Exclusive),
+                    (60, 100, LockMode::Shared)
+                ]
+            );
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn lock_async_waits_for_conflicting_owner_without_a_thread() {
+        // M owners on one pool worker: a suspended lock_async must not wedge
+        // the worker, and the conflicting owner's unlock must wake it.
+        let pool = rl_exec::TaskPool::new(1);
+        let t = table();
+        let mut a = t.owner("a");
+        a.lock(Range::new(0, 100), LockMode::Exclusive);
+
+        let t2 = Arc::clone(&t);
+        let waiter = pool.spawn(async move {
+            let mut b = t2.owner("b");
+            b.lock_async(Range::new(50, 150), LockMode::Exclusive).await;
+            b.held().len()
+        });
+        // A second task on the same worker proves the suspended waiter does
+        // not block the thread.
+        let t3 = Arc::clone(&t);
+        let independent = pool.spawn(async move {
+            let mut c = t3.owner("c");
+            c.lock_async(Range::new(500, 600), LockMode::Exclusive)
+                .await;
+            c.unlock_all();
+        });
+        independent.join();
+        a.unlock_all();
+        assert_eq!(waiter.join(), 1);
         t.check_invariants();
     }
 

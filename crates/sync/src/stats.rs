@@ -47,6 +47,8 @@ pub struct WaitStats {
     acquisitions: AtomicU64,
     parks: AtomicU64,
     wakes: AtomicU64,
+    waker_registrations: AtomicU64,
+    cancels: AtomicU64,
 }
 
 impl WaitStats {
@@ -61,6 +63,8 @@ impl WaitStats {
             acquisitions: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             wakes: AtomicU64::new(0),
+            waker_registrations: AtomicU64::new(0),
+            cancels: AtomicU64::new(0),
         }
     }
 
@@ -134,6 +138,22 @@ impl WaitStats {
         self.wakes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one async waker registration: a pending acquisition suspended
+    /// itself (registered a [`core::task::Waker`]) instead of parking a
+    /// thread. The async analogue of [`WaitStats::record_park`], fed by the
+    /// lock's `WaitQueue` whichever wait policy the lock uses.
+    #[inline]
+    pub fn record_waker_registration(&self) {
+        self.waker_registrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one abandoned two-phase acquisition: an `AcquireFuture`
+    /// dropped before readiness, or a timed acquisition that expired.
+    #[inline]
+    pub fn record_cancel(&self) {
+        self.cancels.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Returns a consistent-enough copy of the counters.
     ///
     /// Counters are read with relaxed ordering; a snapshot taken while other
@@ -149,6 +169,8 @@ impl WaitStats {
             write_wait_ns: self.write_wait_ns.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             wakes: self.wakes.load(Ordering::Relaxed),
+            waker_registrations: self.waker_registrations.load(Ordering::Relaxed),
+            cancels: self.cancels.load(Ordering::Relaxed),
         }
     }
 
@@ -161,6 +183,8 @@ impl WaitStats {
         self.acquisitions.store(0, Ordering::Relaxed);
         self.parks.store(0, Ordering::Relaxed);
         self.wakes.store(0, Ordering::Relaxed);
+        self.waker_registrations.store(0, Ordering::Relaxed);
+        self.cancels.store(0, Ordering::Relaxed);
     }
 }
 
@@ -186,6 +210,14 @@ pub struct LockStatSnapshot {
     pub parks: u64,
     /// Number of wake broadcasts that found at least one parked waiter.
     pub wakes: u64,
+    /// Number of async waker registrations: pending acquisitions that
+    /// suspended (registered a waker) instead of parking a thread. The async
+    /// counterpart of `parks`, non-zero under the async API whatever the
+    /// lock's wait policy.
+    pub waker_registrations: u64,
+    /// Number of abandoned two-phase acquisitions: futures dropped before
+    /// readiness plus timed acquisitions that expired.
+    pub cancels: u64,
 }
 
 impl LockStatSnapshot {
@@ -407,6 +439,20 @@ mod tests {
         s.reset();
         assert_eq!(s.snapshot().parks, 0);
         assert_eq!(s.snapshot().wakes, 0);
+    }
+
+    #[test]
+    fn waker_and_cancel_counters_accumulate_and_reset() {
+        let s = WaitStats::new("x");
+        s.record_waker_registration();
+        s.record_waker_registration();
+        s.record_cancel();
+        let snap = s.snapshot();
+        assert_eq!(snap.waker_registrations, 2);
+        assert_eq!(snap.cancels, 1);
+        s.reset();
+        assert_eq!(s.snapshot().waker_registrations, 0);
+        assert_eq!(s.snapshot().cancels, 0);
     }
 
     #[test]

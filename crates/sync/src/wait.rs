@@ -20,10 +20,11 @@
 //!
 //! Locks own one [`WaitQueue`] each and call
 //! [`WaitPolicy::wait_until`]/[`WaitPolicy::wake`] instead of open-coded
-//! backoff loops. For the spinning policies `wake` compiles to nothing, so
-//! release fast paths stay exactly the atomic sequences the paper describes;
-//! under [`Block`] a release performs one generation bump (fetch-add) plus
-//! one load when no one is parked.
+//! backoff loops. A release's wake hook costs one generation bump
+//! (fetch-add) plus one or two loads when no one is waiting, under every
+//! policy (before the async layer, the spinning policies' `wake` compiled to
+//! nothing; waking registered [`Waker`]s made it a real — but still
+//! constant-time — hook).
 //!
 //! # Granularity
 //!
@@ -36,6 +37,24 @@
 //! the herd (the segment lock already gets per-segment granularity for
 //! free, since each segment is its own `RwSemaphore` with its own queue).
 //!
+//! # Waker slots: one queue, two kinds of waiter
+//!
+//! Since the async range-lock API, a waiter slot holds either a **thread**
+//! (parked on the queue's condvar, under `Block`) or a
+//! [`core::task::Waker`] (registered by an `AcquireFuture` poll, under *any*
+//! policy — an async waiter never spins regardless of how the lock's sync
+//! waiters wait). Both kinds hang off the same generation counter, so the
+//! lost-wakeup argument below covers both; the release paths need no
+//! knowledge of who is waiting.
+//!
+//! Because wakers must be woken even on locks whose sync waiters spin, the
+//! spinning policies' [`WaitPolicy::wake`] is no longer a no-op: it calls
+//! [`WaitQueue::wake_all`] — one generation bump (fetch-add) plus two loads
+//! when nobody is registered or parked (deadline parkers sleep on the
+//! condvar under any policy, so the notify check cannot be skipped).
+//! Release fast paths that skip the wake hook entirely (the empty-list fast
+//! path of Section 4.5) are unchanged.
+//!
 //! # Lost wakeups
 //!
 //! [`WaitQueue`] is an eventcount: a generation counter plus a
@@ -46,6 +65,17 @@
 //! the waiter observes the new generation and re-checks its predicate. A
 //! wakeup can therefore never fall between a waiter's predicate check and
 //! its park.
+//!
+//! Waker registration follows the same protocol: the future snapshots the
+//! generation *before* polling the lock, and [`WaitQueue::register_waker`]
+//! publishes the registration (a sequentially consistent store of the
+//! registered-waker count, under the waker mutex) **before** re-checking the
+//! generation against the snapshot. In the single total order of
+//! sequentially consistent operations, either the releaser's bump precedes
+//! the future's generation check — registration fails and the caller
+//! re-polls the lock, observing the release — or the registration's count
+//! store precedes the releaser's count load, which then drains and wakes the
+//! waker. Either way the wakeup cannot be lost.
 //!
 //! # Examples
 //!
@@ -61,6 +91,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::Waker;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -86,6 +118,23 @@ pub struct WaitQueue {
     wakes: AtomicU64,
     gate: Mutex<()>,
     condvar: Condvar,
+    /// Registered async waiters, keyed by the slot id of the owning future.
+    ///
+    /// A plain vector: a lock rarely has more than a handful of futures
+    /// parked on it at once, and registration is off the uncontended fast
+    /// path anyway.
+    wakers: Mutex<Vec<(u64, Waker)>>,
+    /// `wakers.len()`, mirrored outside the mutex with sequentially
+    /// consistent stores so release paths can skip the mutex when no future
+    /// is registered (see the module-level lost-wakeup argument).
+    async_waiters: AtomicU64,
+    /// Allocator for waker slot ids.
+    next_slot: AtomicU64,
+    /// Total successful waker registrations (the async analogue of `parks`).
+    waker_regs: AtomicU64,
+    /// Total abandoned two-phase acquisitions (futures dropped mid-wait and
+    /// expired timeouts).
+    cancels: AtomicU64,
     /// Optional mirror for the park/wake counters, attached by the owning
     /// lock's `with_stats` builder before the lock is shared.
     stats: Option<Arc<WaitStats>>,
@@ -101,6 +150,11 @@ impl WaitQueue {
             wakes: AtomicU64::new(0),
             gate: Mutex::new(()),
             condvar: Condvar::new(),
+            wakers: Mutex::new(Vec::new()),
+            async_waiters: AtomicU64::new(0),
+            next_slot: AtomicU64::new(1),
+            waker_regs: AtomicU64::new(0),
+            cancels: AtomicU64::new(0),
             stats: None,
         }
     }
@@ -121,6 +175,84 @@ impl WaitQueue {
     /// Number of wake broadcasts that found at least one parked waiter.
     pub fn wakes(&self) -> u64 {
         self.wakes.load(Ordering::Relaxed)
+    }
+
+    /// Number of successful [`WaitQueue::register_waker`] calls so far (the
+    /// async analogue of [`WaitQueue::parks`]).
+    pub fn waker_registrations(&self) -> u64 {
+        self.waker_regs.load(Ordering::Relaxed)
+    }
+
+    /// Number of abandoned two-phase acquisitions recorded through
+    /// [`WaitQueue::record_cancel`].
+    pub fn cancels(&self) -> u64 {
+        self.cancels.load(Ordering::Relaxed)
+    }
+
+    /// Current generation. Snapshot this **before** polling the condition a
+    /// wake would signal, then pass the snapshot to
+    /// [`WaitQueue::register_waker`].
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Allocates a fresh waker slot id for one pending acquisition.
+    ///
+    /// Slot ids only disambiguate registrations; they hold no resources, so
+    /// an id whose future never registers needs no cleanup.
+    pub fn alloc_waker_slot(&self) -> u64 {
+        self.next_slot.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers (or re-registers) `waker` under `slot`, unless the
+    /// generation has advanced past the `gen` snapshot.
+    ///
+    /// Returns `false` when a wake slipped in between the caller's snapshot
+    /// and this call; the caller must then re-poll its condition and retry
+    /// with a fresh snapshot — that re-poll is what makes the registration
+    /// lost-wakeup-free (see the module-level argument).
+    pub fn register_waker(&self, slot: u64, gen: u64, waker: &Waker) -> bool {
+        let mut wakers = self.wakers.lock();
+        // Publish the registration *before* the generation check: in the
+        // sequentially consistent total order, either the releaser's bump
+        // precedes our check (we fail and re-poll) or our count store
+        // precedes the releaser's count load (it drains and wakes us).
+        if let Some((_, w)) = wakers.iter_mut().find(|(id, _)| *id == slot) {
+            w.clone_from(waker);
+        } else {
+            wakers.push((slot, waker.clone()));
+        }
+        self.async_waiters
+            .store(wakers.len() as u64, Ordering::SeqCst);
+        if self.generation.load(Ordering::SeqCst) != gen {
+            wakers.retain(|(id, _)| *id != slot);
+            self.async_waiters
+                .store(wakers.len() as u64, Ordering::SeqCst);
+            return false;
+        }
+        self.waker_regs.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = &self.stats {
+            stats.record_waker_registration();
+        }
+        true
+    }
+
+    /// Removes `slot`'s waker, if still registered. Called when the owning
+    /// future resolves or is dropped; idempotent.
+    pub fn deregister_waker(&self, slot: u64) {
+        let mut wakers = self.wakers.lock();
+        wakers.retain(|(id, _)| *id != slot);
+        self.async_waiters
+            .store(wakers.len() as u64, Ordering::SeqCst);
+    }
+
+    /// Records one abandoned two-phase acquisition (a dropped
+    /// `AcquireFuture` or an expired timeout).
+    pub fn record_cancel(&self) {
+        self.cancels.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = &self.stats {
+            stats.record_cancel();
+        }
     }
 
     /// Parks the calling thread until `cond` returns `true`.
@@ -149,11 +281,58 @@ impl WaitQueue {
         self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Wakes every parked waiter so it re-checks its predicate.
+    /// Parks the calling thread until `cond` returns `true` or `deadline`
+    /// passes; returns the final value of `cond`.
     ///
-    /// When nobody is parked this is one fetch-add plus one load — cheap
-    /// enough for uncontended release paths.
+    /// The deadline variant of [`WaitQueue::park_until`], used by the
+    /// timed acquisition API of the `Block` policy.
+    pub fn park_until_deadline(&self, mut cond: impl FnMut() -> bool, deadline: Instant) -> bool {
+        let mut guard = self.gate.lock();
+        // SeqCst pairs with the SeqCst generation bump in the wake paths,
+        // exactly as in `park_until`.
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let satisfied = loop {
+            let generation = self.generation.load(Ordering::SeqCst);
+            if cond() {
+                break true;
+            }
+            let mut expired = false;
+            while self.generation.load(Ordering::SeqCst) == generation {
+                let now = Instant::now();
+                if now >= deadline {
+                    expired = true;
+                    break;
+                }
+                self.parks.fetch_add(1, Ordering::Relaxed);
+                if let Some(stats) = &self.stats {
+                    stats.record_park();
+                }
+                self.condvar.wait_for(&mut guard, deadline - now);
+            }
+            if expired {
+                // One last look: the deadline racing a wake must not report
+                // failure when the condition in fact became true.
+                break cond();
+            }
+        };
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        satisfied
+    }
+
+    /// Wakes every parked waiter so it re-checks its predicate, and drains
+    /// every registered async waker.
+    ///
+    /// When nobody is waiting this is one fetch-add plus two loads — cheap
+    /// enough for uncontended release paths. This is the **only** wake
+    /// entry point: an earlier design had a condvar-skipping variant for
+    /// async-only waiters, but deadline parks
+    /// ([`WaitQueue::park_until_deadline`]) sleep on the condvar under
+    /// *any* policy, so every wake must notify it — the notify costs one
+    /// load when nobody is parked.
     pub fn wake_all(&self) {
+        // Bump first so a concurrently registering waiter (parking thread
+        // or future) detects the wake even if the count loads below miss
+        // its registration (see the module-level lost-wakeup argument).
         self.generation.fetch_add(1, Ordering::SeqCst);
         if self.waiters.load(Ordering::SeqCst) != 0 {
             self.wakes.fetch_add(1, Ordering::Relaxed);
@@ -164,6 +343,30 @@ impl WaitQueue {
             // read the old generation has actually parked (or re-checked).
             let _guard = self.gate.lock();
             self.condvar.notify_all();
+        }
+        self.drain_wakers();
+    }
+
+    /// Wakes and removes every registered waker, if any.
+    fn drain_wakers(&self) {
+        if self.async_waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let drained: Vec<(u64, Waker)> = {
+            let mut wakers = self.wakers.lock();
+            let drained = std::mem::take(&mut *wakers);
+            self.async_waiters.store(0, Ordering::SeqCst);
+            drained
+        };
+        if !drained.is_empty() {
+            self.wakes.fetch_add(1, Ordering::Relaxed);
+            if let Some(stats) = &self.stats {
+                stats.record_wake();
+            }
+        }
+        // Wake outside the mutex: a waker may run arbitrary executor code.
+        for (_, waker) in drained {
+            waker.wake();
         }
     }
 }
@@ -203,8 +406,22 @@ pub trait WaitPolicy: Send + Sync + Default + Copy + std::fmt::Debug + 'static {
     /// channel; spinning policies ignore it.
     fn wait_until(queue: &WaitQueue, cond: impl FnMut() -> bool);
 
+    /// Returns `true` once `cond` yields `true`, or `false` when `deadline`
+    /// passes first. Backs the timed acquisition API (`acquire_timeout` and
+    /// friends): under [`Block`] the waiter deadline-parks on the queue, the
+    /// spinning policies poll the clock between backoff steps.
+    fn wait_until_deadline(
+        queue: &WaitQueue,
+        cond: impl FnMut() -> bool,
+        deadline: Instant,
+    ) -> bool;
+
     /// Called by the owning lock's release paths after the state change that
-    /// `cond` observes has been published. A no-op for spinning policies.
+    /// `cond` observes has been published.
+    ///
+    /// Every policy calls [`WaitQueue::wake_all`]: the spinning policies'
+    /// sync waiters poll on their own, but async waiters (registered
+    /// wakers) and deadline parkers must be woken whatever the policy.
     fn wake(queue: &WaitQueue);
 }
 
@@ -225,7 +442,27 @@ impl WaitPolicy for Spin {
     }
 
     #[inline]
-    fn wake(_queue: &WaitQueue) {}
+    fn wait_until_deadline(
+        _queue: &WaitQueue,
+        mut cond: impl FnMut() -> bool,
+        deadline: Instant,
+    ) -> bool {
+        let backoff = Backoff::new();
+        loop {
+            if cond() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            backoff.spin();
+        }
+    }
+
+    #[inline]
+    fn wake(queue: &WaitQueue) {
+        queue.wake_all();
+    }
 }
 
 /// Busy-wait briefly, then interleave [`std::thread::yield_now`] between
@@ -246,7 +483,27 @@ impl WaitPolicy for SpinThenYield {
     }
 
     #[inline]
-    fn wake(_queue: &WaitQueue) {}
+    fn wait_until_deadline(
+        _queue: &WaitQueue,
+        mut cond: impl FnMut() -> bool,
+        deadline: Instant,
+    ) -> bool {
+        let backoff = Backoff::new();
+        loop {
+            if cond() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            backoff.snooze();
+        }
+    }
+
+    #[inline]
+    fn wake(queue: &WaitQueue) {
+        queue.wake_all();
+    }
 }
 
 /// Busy-wait through one backoff ramp, then park on the lock's
@@ -271,6 +528,26 @@ impl WaitPolicy for Block {
             backoff.snooze();
         }
         queue.park_until(cond);
+    }
+
+    #[inline]
+    fn wait_until_deadline(
+        queue: &WaitQueue,
+        mut cond: impl FnMut() -> bool,
+        deadline: Instant,
+    ) -> bool {
+        // Optimistic phase, bounded by the deadline.
+        let backoff = Backoff::new();
+        while !backoff.is_completed() {
+            if cond() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            backoff.snooze();
+        }
+        queue.park_until_deadline(cond, deadline)
     }
 
     #[inline]
@@ -435,5 +712,135 @@ mod tests {
         let queue = WaitQueue::default();
         let s = format!("{queue:?}");
         assert!(s.contains("parks"));
+    }
+
+    /// Waker that counts deliveries, for driving the registration protocol
+    /// by hand.
+    struct CountingWaker(AtomicU64);
+
+    impl std::task::Wake for CountingWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWaker>, Waker) {
+        let count = Arc::new(CountingWaker(AtomicU64::new(0)));
+        let waker = Waker::from(Arc::clone(&count));
+        (count, waker)
+    }
+
+    #[test]
+    fn registered_waker_is_woken_by_repeated_wakes() {
+        for _ in 0..2 {
+            let queue = WaitQueue::new();
+            let (count, waker) = counting_waker();
+            let slot = queue.alloc_waker_slot();
+            let gen = queue.generation();
+            assert!(queue.register_waker(slot, gen, &waker));
+            assert_eq!(queue.waker_registrations(), 1);
+            queue.wake_all();
+            assert_eq!(count.0.load(Ordering::SeqCst), 1);
+            // The drain removed the registration: waking again is a no-op.
+            queue.wake_all();
+            assert_eq!(count.0.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn stale_generation_registration_is_refused() {
+        let queue = WaitQueue::new();
+        let (count, waker) = counting_waker();
+        let slot = queue.alloc_waker_slot();
+        let gen = queue.generation();
+        queue.wake_all(); // a wake slips in between snapshot and register
+        assert!(!queue.register_waker(slot, gen, &waker));
+        // The refused registration left nothing behind.
+        queue.wake_all();
+        assert_eq!(count.0.load(Ordering::SeqCst), 0);
+        assert_eq!(queue.waker_registrations(), 0);
+    }
+
+    #[test]
+    fn reregistration_replaces_and_deregistration_removes() {
+        let queue = WaitQueue::new();
+        let (count_a, waker_a) = counting_waker();
+        let (count_b, waker_b) = counting_waker();
+        let slot = queue.alloc_waker_slot();
+        assert!(queue.register_waker(slot, queue.generation(), &waker_a));
+        // Re-registering the same slot replaces the waker (one slot, one
+        // pending acquisition).
+        assert!(queue.register_waker(slot, queue.generation(), &waker_b));
+        queue.deregister_waker(slot);
+        queue.wake_all();
+        assert_eq!(count_a.0.load(Ordering::SeqCst), 0);
+        assert_eq!(count_b.0.load(Ordering::SeqCst), 0);
+
+        queue.record_cancel();
+        assert_eq!(queue.cancels(), 1);
+    }
+
+    #[test]
+    fn spinning_wakes_deliver_to_wakers() {
+        // The whole point of re-pointing the spin policies' wake at
+        // `wake_all`: a future waiting on a spin-policy lock must still be
+        // woken by its release hook.
+        for kind in [WaitPolicyKind::Spin, WaitPolicyKind::SpinThenYield] {
+            let queue = WaitQueue::new();
+            let (count, waker) = counting_waker();
+            let slot = queue.alloc_waker_slot();
+            assert!(queue.register_waker(slot, queue.generation(), &waker));
+            match kind {
+                WaitPolicyKind::Spin => Spin::wake(&queue),
+                WaitPolicyKind::SpinThenYield => SpinThenYield::wake(&queue),
+                WaitPolicyKind::Block => unreachable!(),
+            }
+            assert_eq!(count.0.load(Ordering::SeqCst), 1, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn deadline_park_times_out_and_reports_late_success() {
+        let queue = WaitQueue::new();
+        // Condition never satisfied: the deadline must fire.
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert!(!queue.park_until_deadline(|| false, deadline));
+        // Condition already satisfied: immediate success, no park.
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert!(queue.park_until_deadline(|| true, deadline));
+    }
+
+    #[test]
+    fn deadline_park_is_woken_before_the_deadline() {
+        let queue = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(60);
+                queue.park_until_deadline(|| flag.load(Ordering::Acquire), deadline)
+            })
+        };
+        while queue.parks() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        flag.store(true, Ordering::Release);
+        queue.wake_all();
+        // Must return well before the 60s deadline, reporting success.
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn every_policy_honors_wait_until_deadline() {
+        fn expired<P: WaitPolicy>() {
+            let queue = WaitQueue::new();
+            let deadline = Instant::now() + Duration::from_millis(5);
+            assert!(!P::wait_until_deadline(&queue, || false, deadline));
+            assert!(P::wait_until_deadline(&queue, || true, deadline));
+        }
+        expired::<Spin>();
+        expired::<SpinThenYield>();
+        expired::<Block>();
     }
 }

@@ -11,6 +11,7 @@
 
 pub use range_lock;
 pub use rl_baselines;
+pub use rl_exec;
 pub use rl_file;
 pub use rl_metis;
 pub use rl_skiplist;

@@ -14,10 +14,21 @@
 //! Programs are single-threaded, which makes the `try_` outcomes exact (the
 //! trait-level contract allows spurious failure only under concurrency), so
 //! agreement can be asserted as equality, not merely implication.
+//!
+//! An **async-driver arm** replays the same programs through single polls of
+//! `acquire_async` / `write_async` futures: first-poll readiness must agree
+//! with the oracle exactly as `try_` does, and futures dropped while pending
+//! (the cancellation path) must leave no trace the oracle can detect.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
 
 use proptest::prelude::*;
 
-use range_locks_repro::range_lock::{ListRangeLock, Range, RwListRangeLock};
+use range_locks_repro::range_lock::{
+    AsyncRangeLock, AsyncRwRangeLock, ListRangeLock, Range, RwListRangeLock,
+};
 use range_locks_repro::rl_sync::wait::{Block, Spin, SpinThenYield, WaitPolicy};
 
 /// One step of a range program.
@@ -88,6 +99,64 @@ fn replay<P: WaitPolicy>(ops: &[Op]) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Polls a future exactly once with a no-op waker.
+fn poll_once<F: Future + Unpin>(fut: &mut F) -> Poll<F::Output> {
+    let mut cx = Context::from_waker(Waker::noop());
+    Pin::new(fut).poll(&mut cx)
+}
+
+/// Async-driver arm: the same programs, driven by polling `acquire_async` /
+/// `write_async` futures exactly once. Single-threaded, a first poll is as
+/// exact as a `try_`: `Ready` iff no conflicting range is held (the
+/// poll-driven traversal retries lost races internally and there are none
+/// here). A `Pending` future is dropped on the spot — a cancellation — and
+/// must leave no residue; the held-count comparison against the oracle
+/// after every step is the leak detector.
+fn replay_async<P: WaitPolicy>(ops: &[Op]) -> Result<(), TestCaseError> {
+    let ex = ListRangeLock::<P>::with_policy();
+    let rw = RwListRangeLock::<P>::with_policy();
+    let mut ex_held = Vec::new();
+    let mut rw_held = Vec::new();
+    let mut oracle: Vec<Range> = Vec::new();
+
+    for &op in ops {
+        match op {
+            Op::TryAcquire { start, len } => {
+                let range = Range::new(start, start + len);
+                let expected = oracle.iter().all(|held| !held.overlaps(&range));
+                let mut ex_fut = ex.acquire_async(range);
+                let mut rw_fut = rw.write_async(range);
+                let ex_poll = poll_once(&mut ex_fut);
+                let rw_poll = poll_once(&mut rw_fut);
+                prop_assert_eq!(ex_poll.is_ready(), expected);
+                prop_assert_eq!(rw_poll.is_ready(), expected);
+                // Pending pairs are dropped here, which cancels both.
+                if let (Poll::Ready(ex_guard), Poll::Ready(rw_guard)) = (ex_poll, rw_poll) {
+                    ex_held.push(ex_guard);
+                    rw_held.push(rw_guard);
+                    oracle.push(range);
+                }
+            }
+            Op::Release { idx } => {
+                if !oracle.is_empty() {
+                    let i = idx % oracle.len();
+                    drop(ex_held.swap_remove(i));
+                    drop(rw_held.swap_remove(i));
+                    oracle.swap_remove(i);
+                }
+            }
+        }
+        prop_assert_eq!(ex.held_ranges(), oracle.len());
+        prop_assert_eq!(rw.held_ranges(), oracle.len());
+    }
+
+    drop(ex_held);
+    drop(rw_held);
+    prop_assert!(ex.is_quiescent());
+    prop_assert!(rw.is_quiescent());
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -100,6 +169,17 @@ proptest! {
         replay::<Spin>(&ops)?;
         replay::<SpinThenYield>(&ops)?;
         replay::<Block>(&ops)?;
+    }
+
+    /// The async driver replays the same programs against the same oracle:
+    /// a first poll agrees exactly with `try_`, and dropped (cancelled)
+    /// futures leave the locks indistinguishable from never having asked.
+    #[test]
+    fn async_driver_agrees_with_the_sync_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        replay_async::<SpinThenYield>(&ops)?;
+        replay_async::<Block>(&ops)?;
     }
 
     /// Blocking acquisitions of disjoint batches agree too (covers the

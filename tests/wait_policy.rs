@@ -132,6 +132,102 @@ fn every_registry_variant_under_block_never_loses_a_wakeup() {
 }
 
 #[test]
+fn block_policy_timeouts_park_expire_and_recover() {
+    // The timed acquisition API over the parking policy: a blocked
+    // `acquire_timeout` must actually *park* (not spin) until its deadline,
+    // expire as a counted cancel with no residue, and succeed normally once
+    // the conflict is gone.
+    use range_locks_repro::rl_sync::stats::WaitStats;
+
+    let stats = Arc::new(WaitStats::new("timeout-block"));
+    let lock = Arc::new(ListRangeLock::<Block>::with_policy().with_stats(Arc::clone(&stats)));
+    let held = lock.acquire(Range::new(0, 100));
+    let t0 = std::time::Instant::now();
+    assert!(lock
+        .acquire_timeout(Range::new(50, 150), Duration::from_millis(40))
+        .is_none());
+    assert!(t0.elapsed() >= Duration::from_millis(40));
+    let snap = stats.snapshot();
+    assert!(snap.parks >= 1, "the timed waiter spun instead of parking");
+    assert_eq!(snap.cancels, 1);
+    drop(held);
+    drop(
+        lock.acquire_timeout(Range::new(50, 150), Duration::from_secs(10))
+            .expect("conflict gone: timed acquire succeeds"),
+    );
+    assert!(lock.is_quiescent());
+
+    // A timed waiter woken *before* the deadline completes early.
+    let held = lock.acquire(Range::new(0, 100));
+    let waiter = {
+        let lock = Arc::clone(&lock);
+        std::thread::spawn(move || {
+            lock.acquire_timeout(Range::new(50, 150), Duration::from_secs(60))
+                .is_some()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    drop(held);
+    assert!(waiter.join().unwrap(), "wake before deadline must succeed");
+
+    // The reader-writer trait surface under `Block`.
+    let rw = RwListRangeLock::<Block>::with_policy();
+    let w = rw.write(Range::new(0, 100));
+    assert!(rw
+        .read_timeout(Range::new(50, 150), Duration::from_millis(20))
+        .is_none());
+    assert!(rw
+        .write_timeout(Range::new(50, 150), Duration::from_millis(20))
+        .is_none());
+    drop(w);
+    drop(rw.read_timeout(Range::new(50, 150), Duration::from_millis(500)));
+    assert!(rw.is_quiescent());
+}
+
+#[test]
+fn baseline_timed_waiters_are_woken_by_releases_not_deadlines() {
+    // Regression: the tree and segment locks' release hooks must wake
+    // deadline-parked timed waiters (an earlier design woke only registered
+    // async wakers, so a Block-policy `write_timeout` slept its entire
+    // deadline even after the conflict cleared).
+    use range_locks_repro::range_lock::TwoPhaseRwRangeLock;
+    use range_locks_repro::rl_baselines::{RwTreeRangeLock, SegmentRangeLock};
+
+    fn woken_early<L: TwoPhaseRwRangeLock + 'static>(lock: Arc<L>, label: &str)
+    where
+        for<'a> L::WriteGuard<'a>: Send,
+    {
+        let held = lock.write(Range::new(0, 64));
+        let waiter = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                let t0 = std::time::Instant::now();
+                let g = lock.write_timeout(Range::new(0, 64), Duration::from_secs(60));
+                (g.is_some(), t0.elapsed())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        drop(held);
+        let (acquired, waited) = waiter.join().unwrap();
+        assert!(acquired, "{label}: timed waiter must acquire after release");
+        assert!(
+            waited < Duration::from_secs(30),
+            "{label}: timed waiter slept toward its deadline instead of \
+             being woken by the release (waited {waited:?})"
+        );
+    }
+
+    woken_early(
+        Arc::new(RwTreeRangeLock::<Block>::with_policy()),
+        "kernel-rw",
+    );
+    woken_early(
+        Arc::new(SegmentRangeLock::<Block>::with_policy(256, 32)),
+        "pnova-rw",
+    );
+}
+
+#[test]
 fn rwsem_block_policy_never_loses_a_wakeup() {
     let sem = Arc::new(RwSemaphore::<Block>::with_policy());
     join_bounded("rwsem/block", |t| {

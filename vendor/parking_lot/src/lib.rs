@@ -103,6 +103,24 @@ impl Condvar {
         guard.inner = Some(std_guard);
     }
 
+    /// Atomically releases the guarded mutex and blocks until notified or
+    /// `timeout` elapses; the mutex is re-acquired before returning.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wakes one blocked waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -111,6 +129,21 @@ impl Condvar {
     /// Wakes all blocked waiters.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Result of a timed condition-variable wait (`parking_lot::WaitTimeoutResult`
+/// subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Returns `true` if the wait ended because the timeout elapsed (the
+    /// waiter may still have been notified concurrently).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -251,6 +284,19 @@ mod tests {
             assert!(lock.try_read().is_none());
         }
         assert_eq!(*lock.read(), 8);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let state = (Mutex::new(()), Condvar::new());
+        let mut guard = state.0.lock();
+        let res = state
+            .1
+            .wait_for(&mut guard, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
+        // The guard is usable again after the timed wait.
+        drop(guard);
+        assert!(state.0.try_lock().is_some());
     }
 
     #[test]
