@@ -42,7 +42,8 @@
 //! ```
 
 use range_lock::{
-    DynAsyncRwRangeLock, DynRwRangeLock, ExclusiveAsRw, ListRangeLock, RwListRangeLock,
+    DynAsyncRwRangeLock, DynRwRangeLock, DynTwoPhaseRwRangeLock, ExclusiveAsRw, ListRangeLock,
+    RwListRangeLock,
 };
 use rl_sync::wait::{Block, Spin, SpinThenYield, WaitPolicyKind};
 
@@ -101,6 +102,7 @@ pub struct VariantSpec {
     pub readers_share: bool,
     ctor: fn(WaitPolicyKind, &RegistryConfig) -> Box<dyn DynRwRangeLock>,
     async_ctor: fn(WaitPolicyKind, &RegistryConfig) -> Box<dyn DynAsyncRwRangeLock>,
+    twophase_ctor: fn(WaitPolicyKind, &RegistryConfig) -> Box<dyn DynTwoPhaseRwRangeLock>,
 }
 
 impl VariantSpec {
@@ -134,6 +136,26 @@ impl VariantSpec {
     /// [`VariantSpec::build_async`] with the default wait policy and config.
     pub fn build_async_default(&self) -> Box<dyn DynAsyncRwRangeLock> {
         self.build_async(WaitPolicyKind::SpinThenYield, &RegistryConfig::default())
+    }
+
+    /// Constructs this variant behind the **two-phase-capable** dynamic
+    /// interface: the returned lock exposes the whole enqueue/poll/cancel
+    /// protocol (and, since `Box<dyn DynTwoPhaseRwRangeLock>` implements
+    /// `TwoPhaseRwRangeLock` itself, the timed, async, and batched
+    /// acquisition surfaces and the `rl-file` lock table's deadlock-checked
+    /// paths) on a variant chosen by name at runtime.
+    pub fn build_twophase(
+        &self,
+        wait: WaitPolicyKind,
+        config: &RegistryConfig,
+    ) -> Box<dyn DynTwoPhaseRwRangeLock> {
+        (self.twophase_ctor)(wait, config)
+    }
+
+    /// [`VariantSpec::build_twophase`] with the default wait policy and
+    /// config.
+    pub fn build_twophase_default(&self) -> Box<dyn DynTwoPhaseRwRangeLock> {
+        self.build_twophase(WaitPolicyKind::SpinThenYield, &RegistryConfig::default())
     }
 }
 
@@ -201,6 +223,41 @@ fn build_pnova_rw_async(
     per_policy!(wait, P => SegmentRangeLock::<P>::with_policy(config.span, config.segments))
 }
 
+fn build_list_ex_twophase(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+) -> Box<dyn DynTwoPhaseRwRangeLock> {
+    per_policy!(wait, P => ExclusiveAsRw::new(ListRangeLock::<P>::with_policy()))
+}
+
+fn build_list_rw_twophase(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+) -> Box<dyn DynTwoPhaseRwRangeLock> {
+    per_policy!(wait, P => RwListRangeLock::<P>::with_policy())
+}
+
+fn build_lustre_ex_twophase(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+) -> Box<dyn DynTwoPhaseRwRangeLock> {
+    per_policy!(wait, P => ExclusiveAsRw::new(TreeRangeLock::<P>::with_policy()))
+}
+
+fn build_kernel_rw_twophase(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+) -> Box<dyn DynTwoPhaseRwRangeLock> {
+    per_policy!(wait, P => RwTreeRangeLock::<P>::with_policy())
+}
+
+fn build_pnova_rw_twophase(
+    wait: WaitPolicyKind,
+    config: &RegistryConfig,
+) -> Box<dyn DynTwoPhaseRwRangeLock> {
+    per_policy!(wait, P => SegmentRangeLock::<P>::with_policy(config.span, config.segments))
+}
+
 /// The five paper variants, baselines first, in the order the paper's figure
 /// legends list them.
 static ALL: [VariantSpec; 5] = [
@@ -209,30 +266,35 @@ static ALL: [VariantSpec; 5] = [
         readers_share: false,
         ctor: build_lustre_ex,
         async_ctor: build_lustre_ex_async,
+        twophase_ctor: build_lustre_ex_twophase,
     },
     VariantSpec {
         name: "kernel-rw",
         readers_share: true,
         ctor: build_kernel_rw,
         async_ctor: build_kernel_rw_async,
+        twophase_ctor: build_kernel_rw_twophase,
     },
     VariantSpec {
         name: "pnova-rw",
         readers_share: true,
         ctor: build_pnova_rw,
         async_ctor: build_pnova_rw_async,
+        twophase_ctor: build_pnova_rw_twophase,
     },
     VariantSpec {
         name: "list-ex",
         readers_share: false,
         ctor: build_list_ex,
         async_ctor: build_list_ex_async,
+        twophase_ctor: build_list_ex_twophase,
     },
     VariantSpec {
         name: "list-rw",
         readers_share: true,
         ctor: build_list_rw,
         async_ctor: build_list_rw_async,
+        twophase_ctor: build_list_rw_twophase,
     },
 ];
 
@@ -359,6 +421,47 @@ mod tests {
                 assert_eq!(r2.is_some(), spec.readers_share, "{}", spec.name);
                 drop(r2);
                 drop(r1);
+            }
+        }
+    }
+
+    #[test]
+    fn twophase_built_variants_run_the_protocol_and_batches() {
+        use range_lock::{BatchMode, TwoPhaseRwRangeLock};
+
+        let config = RegistryConfig {
+            span: 256,
+            segments: 32,
+        };
+        for spec in all() {
+            for wait in WaitPolicyKind::ALL {
+                let lock = spec.build_twophase(wait, &config);
+                assert_eq!(lock.dyn_name(), spec.name, "under {}", wait.name());
+                assert_eq!(lock.readers_share_dyn(), spec.readers_share);
+                // Enqueue/poll/cancel round trip through the erased tokens.
+                let mut p = lock.enqueue_write_dyn(Range::new(0, 64));
+                let g = lock
+                    .poll_write_dyn(&mut p)
+                    .expect("uncontended write polls ready");
+                let mut blocked = lock.enqueue_write_dyn(Range::new(32, 96));
+                assert!(lock.poll_write_dyn(&mut blocked).is_none());
+                lock.cancel_write_dyn(&mut blocked);
+                drop(g);
+                // The boxed lock is itself TwoPhaseRwRangeLock, so the batch
+                // surface comes along: all-or-nothing over disjoint items.
+                let guards = lock
+                    .try_acquire_many(&[
+                        (Range::new(0, 32), BatchMode::Write),
+                        (Range::new(64, 96), BatchMode::Read),
+                    ])
+                    .expect("uncontended batch succeeds");
+                assert_eq!(guards.len(), 2);
+                drop(guards);
+                assert!(
+                    lock.try_write_dyn(Range::new(0, 256)).is_some(),
+                    "{}: protocol left residue",
+                    spec.name
+                );
             }
         }
     }

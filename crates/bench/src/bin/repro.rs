@@ -27,6 +27,12 @@
 //!                      multipliers, all 5 variants (one table per variant)
 //!   asyncbench-quick   a bounded asyncbench for CI: every variant and
 //!                      driver, small owner counts and op counts
+//!   batch              atomic multi-range acquisition (lock_many) vs
+//!                      sequential ascending-order locking on the
+//!                      deadlock-checked lock table, batches/sec x threads,
+//!                      all 5 lock variants
+//!   batch-quick        a bounded batch sweep for CI: every variant under
+//!                      both drivers, small thread counts, short cells
 //!   all                everything above
 //! ```
 //!
@@ -46,6 +52,7 @@ use std::time::Duration;
 use rl_baselines::registry;
 use rl_bench::arrbench::{self, ArrBenchConfig, RangePolicy};
 use rl_bench::asyncbench::{self, AsyncBenchConfig, AsyncDriver};
+use rl_bench::batchbench::{self, BatchBenchConfig, BatchDriver};
 use rl_bench::filebench::{self, FileBenchConfig, OffsetDist};
 use rl_bench::metisbench::{self, MetisScale};
 use rl_bench::report::Table;
@@ -621,6 +628,75 @@ fn run_asyncbench_quick(opts: &Options) {
     run_asyncbench_tables(opts, &owner_counts, 300);
 }
 
+/// One table per lock variant: threads (rows) × driver (columns), at a fixed
+/// batch size. The interesting shape is the gap between one atomic
+/// `lock_many` transaction and `batch_size` sequential deadlock-checked
+/// `lock` calls as contention grows.
+fn run_batch_tables(
+    opts: &Options,
+    thread_counts: &[usize],
+    batch_size: usize,
+    duration: Duration,
+) {
+    for lock in registry::all() {
+        let columns: Vec<String> = BatchDriver::ALL
+            .iter()
+            .map(|d| d.name().to_string())
+            .collect();
+        let mut table = Table::new(
+            format!(
+                "BatchBench: {} — {batch_size} ranges/batch — {}% shared ({} hot slots)",
+                lock.name,
+                batchbench::SHARED_PCT,
+                batchbench::HOT_SLOTS
+            ),
+            "threads",
+            "batches/sec",
+            columns,
+        );
+        for &threads in thread_counts {
+            let mut row = Vec::new();
+            for driver in BatchDriver::ALL {
+                let result = batchbench::run(&BatchBenchConfig {
+                    lock,
+                    wait: WaitPolicyKind::SpinThenYield,
+                    threads,
+                    batch_size,
+                    driver,
+                    duration,
+                });
+                assert!(
+                    result.batches > 0,
+                    "batch: {} / {} made no progress",
+                    lock.name,
+                    driver.name()
+                );
+                row.push(result.batches_per_sec());
+            }
+            table.push_row(threads as u64, row);
+        }
+        emit(&table, opts.json);
+    }
+}
+
+fn run_batch(opts: &Options) {
+    let duration = if opts.quick {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(2)
+    };
+    for batch_size in [2usize, 8] {
+        run_batch_tables(opts, &opts.threads, batch_size, duration);
+    }
+}
+
+/// A bounded batch sweep for CI: every variant under both drivers, so the
+/// batched two-phase apply, the rollback paths, and the waits-for graph
+/// bookkeeping all run contended on every push.
+fn run_batch_quick(opts: &Options) {
+    run_batch_tables(opts, &[1, 2], 3, Duration::from_millis(50));
+}
+
 fn main() {
     let opts = parse_args();
     if !opts.json {
@@ -646,6 +722,8 @@ fn main() {
             "filebench-oversub" => run_filebench_oversub(&opts),
             "asyncbench" => run_asyncbench(&opts),
             "asyncbench-quick" => run_asyncbench_quick(&opts),
+            "batch" => run_batch(&opts),
+            "batch-quick" => run_batch_quick(&opts),
             "all" => {
                 run_fig3(RangePolicy::FullRange, &opts);
                 run_fig3(RangePolicy::NonOverlapping, &opts);
@@ -659,6 +737,7 @@ fn main() {
                 run_filebench(&opts);
                 run_filebench_oversub(&opts);
                 run_asyncbench(&opts);
+                run_batch(&opts);
             }
             other => {
                 eprintln!("unknown experiment '{other}'; run with --help for the list");

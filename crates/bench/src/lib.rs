@@ -16,6 +16,9 @@
 //! * [`filebench`] — the byte-range-locked file workload over `rl-file`
 //!   (the paper's "and beyond": reader/writer mixes, uniform and skewed
 //!   offsets, per-operation wait accounting, built-in integrity checking);
+//! * [`batchbench`] — atomic multi-range acquisition (`lock_many`) vs
+//!   hand-rolled sequential ascending-order locking on the deadlock-checked
+//!   lock table;
 //! * [`report`] — table rendering shared by the `repro` binary.
 //!
 //! The `repro` binary drives full thread sweeps and prints one table per
@@ -26,6 +29,7 @@
 
 pub mod arrbench;
 pub mod asyncbench;
+pub mod batchbench;
 pub mod filebench;
 pub mod metisbench;
 pub mod report;
@@ -34,6 +38,7 @@ pub mod skipbench;
 
 pub use arrbench::{ArrBenchConfig, ArrBenchResult, RangePolicy};
 pub use asyncbench::{AsyncBenchConfig, AsyncBenchResult, AsyncDriver};
+pub use batchbench::{BatchBenchConfig, BatchBenchResult, BatchDriver};
 pub use filebench::{FileBenchConfig, FileBenchResult, OffsetDist};
 pub use metisbench::{figure5, figure6, measure, MetisMeasurement, MetisScale};
 pub use report::{Table, TableRow};

@@ -190,6 +190,10 @@ pub trait DynRwRangeLock: Send + Sync {
     /// [`try_` contract](crate::traits#try_-semantics-normative).
     fn try_write_dyn(&self, range: Range) -> Option<DynRangeGuard<'_>>;
 
+    /// Whether overlapping shared acquisitions can actually be held
+    /// concurrently, matching [`RwRangeLock::readers_share`].
+    fn readers_share_dyn(&self) -> bool;
+
     /// Short, stable identifier (e.g. `"list-rw"`), matching
     /// [`RwRangeLock::name`].
     fn dyn_name(&self) -> &'static str;
@@ -224,6 +228,10 @@ where
                 state: WriteState::Write(g),
             }) as Box<dyn ErasedGuard + '_>)
         })
+    }
+
+    fn readers_share_dyn(&self) -> bool {
+        self.readers_share()
     }
 
     fn dyn_name(&self) -> &'static str {
@@ -306,6 +314,134 @@ where
     }
 }
 
+/// A type-erased token for one pending two-phase acquisition, as issued by
+/// the [`DynTwoPhaseRwRangeLock`] enqueue methods.
+///
+/// The concrete `PendingRead`/`PendingWrite` type lives behind the box; the
+/// poll/cancel methods downcast it back. A token must only be passed back to
+/// the lock (and the mode family: read vs write) that issued it — handing it
+/// to a lock with a *different* concrete token type panics on the downcast
+/// rather than corrupting state. (Cross-instance misuse between locks that
+/// share a token type is as undetectable as it is in the static API.)
+#[must_use = "a pending acquisition must be polled to completion or cancelled"]
+pub struct DynPending(Box<dyn std::any::Any + Send>);
+
+impl std::fmt::Debug for DynPending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DynPending(..)")
+    }
+}
+
+/// Downcasts a [`DynPending`] back to the concrete token type `P`.
+fn downcast_pending<P: 'static>(pending: &mut DynPending) -> &mut P {
+    pending
+        .0
+        .downcast_mut::<P>()
+        .expect("DynPending passed back to a lock (or mode) other than the one that issued it")
+}
+
+/// Object-safe mirror of the cancellable two-phase protocol
+/// ([`TwoPhaseRwRangeLock`]): enqueue / poll / cancel usable through `dyn`,
+/// with the async and sync interfaces as supertraits.
+///
+/// Automatically implemented for every [`TwoPhaseRwRangeLock`] whose guards
+/// are [`Send`] and whose pending tokens are `'static` (all five registry
+/// variants); never implement it by hand. Closing the loop,
+/// `Box<dyn DynTwoPhaseRwRangeLock>` implements [`TwoPhaseRwRangeLock`]
+/// itself (with [`DynPending`] tokens), which makes the *whole* two-phase
+/// surface — timed acquisition, the acquisition futures, batched
+/// `acquire_many`, and the `rl-file` lock table's async + deadlock-checked
+/// paths — available on a variant chosen by name at runtime.
+pub trait DynTwoPhaseRwRangeLock: DynAsyncRwRangeLock {
+    /// Starts a two-phase shared acquisition; see
+    /// [`TwoPhaseRwRangeLock::enqueue_read`].
+    fn enqueue_read_dyn(&self, range: Range) -> DynPending;
+
+    /// Drives a pending shared acquisition without waiting; see
+    /// [`TwoPhaseRwRangeLock::poll_read`].
+    fn poll_read_dyn(&self, pending: &mut DynPending) -> Option<DynRangeGuard<'_>>;
+
+    /// Abandons a pending shared acquisition; see
+    /// [`TwoPhaseRwRangeLock::cancel_read`].
+    fn cancel_read_dyn(&self, pending: &mut DynPending);
+
+    /// Starts a two-phase exclusive acquisition; see
+    /// [`TwoPhaseRwRangeLock::enqueue_write`].
+    fn enqueue_write_dyn(&self, range: Range) -> DynPending;
+
+    /// Drives a pending exclusive acquisition without waiting; see
+    /// [`TwoPhaseRwRangeLock::poll_write`].
+    fn poll_write_dyn(&self, pending: &mut DynPending) -> Option<DynRangeGuard<'_>>;
+
+    /// Abandons a pending exclusive acquisition; see
+    /// [`TwoPhaseRwRangeLock::cancel_write`].
+    fn cancel_write_dyn(&self, pending: &mut DynPending);
+
+    /// The queue suspended acquisitions wait on; see
+    /// [`TwoPhaseRwRangeLock::wait_queue`].
+    fn wait_queue_dyn(&self) -> &rl_sync::wait::WaitQueue;
+
+    /// Policy-aware deadline wait; see
+    /// [`TwoPhaseRwRangeLock::wait_deadline`].
+    fn wait_deadline_dyn(
+        &self,
+        cond: &mut dyn FnMut() -> bool,
+        deadline: std::time::Instant,
+    ) -> bool;
+}
+
+impl<L> DynTwoPhaseRwRangeLock for L
+where
+    L: TwoPhaseRwRangeLock,
+    L::PendingRead: 'static,
+    L::PendingWrite: 'static,
+    for<'a> L::ReadGuard<'a>: Send,
+    for<'a> L::WriteGuard<'a>: Send,
+{
+    fn enqueue_read_dyn(&self, range: Range) -> DynPending {
+        DynPending(Box::new(self.enqueue_read(range)))
+    }
+
+    fn poll_read_dyn(&self, pending: &mut DynPending) -> Option<DynRangeGuard<'_>> {
+        self.poll_read(downcast_pending::<L::PendingRead>(pending))
+            .map(|g| DynRangeGuard(Box::new(PlainGuard(g)) as Box<dyn ErasedGuard + '_>))
+    }
+
+    fn cancel_read_dyn(&self, pending: &mut DynPending) {
+        self.cancel_read(downcast_pending::<L::PendingRead>(pending));
+    }
+
+    fn enqueue_write_dyn(&self, range: Range) -> DynPending {
+        DynPending(Box::new(self.enqueue_write(range)))
+    }
+
+    fn poll_write_dyn(&self, pending: &mut DynPending) -> Option<DynRangeGuard<'_>> {
+        self.poll_write(downcast_pending::<L::PendingWrite>(pending))
+            .map(|g| {
+                DynRangeGuard(Box::new(WriteGuardErased {
+                    lock: self,
+                    state: WriteState::Write(g),
+                }) as Box<dyn ErasedGuard + '_>)
+            })
+    }
+
+    fn cancel_write_dyn(&self, pending: &mut DynPending) {
+        self.cancel_write(downcast_pending::<L::PendingWrite>(pending));
+    }
+
+    fn wait_queue_dyn(&self) -> &rl_sync::wait::WaitQueue {
+        self.wait_queue()
+    }
+
+    fn wait_deadline_dyn(
+        &self,
+        cond: &mut dyn FnMut() -> bool,
+        deadline: std::time::Instant,
+    ) -> bool {
+        self.wait_deadline(cond, deadline)
+    }
+}
+
 impl RangeLock for Box<dyn DynRangeLock> {
     type Guard<'a> = DynRangeGuard<'a>;
 
@@ -353,6 +489,10 @@ impl RwRangeLock for Box<dyn DynRwRangeLock> {
         }
     }
 
+    fn readers_share(&self) -> bool {
+        (**self).readers_share_dyn()
+    }
+
     fn name(&self) -> &'static str {
         (**self).dyn_name()
     }
@@ -391,8 +531,95 @@ impl RwRangeLock for Box<dyn DynAsyncRwRangeLock> {
         }
     }
 
+    fn readers_share(&self) -> bool {
+        (**self).readers_share_dyn()
+    }
+
     fn name(&self) -> &'static str {
         (**self).dyn_name()
+    }
+}
+
+/// The two-phase-capable boxed lock drives the sync-generic subsystems too:
+/// the mirror of the `Box<dyn DynRwRangeLock>` impl above.
+impl RwRangeLock for Box<dyn DynTwoPhaseRwRangeLock> {
+    type ReadGuard<'a> = DynRangeGuard<'a>;
+    type WriteGuard<'a> = DynRangeGuard<'a>;
+
+    fn read(&self, range: Range) -> Self::ReadGuard<'_> {
+        (**self).read_dyn(range)
+    }
+
+    fn write(&self, range: Range) -> Self::WriteGuard<'_> {
+        (**self).write_dyn(range)
+    }
+
+    fn try_read(&self, range: Range) -> Option<Self::ReadGuard<'_>> {
+        (**self).try_read_dyn(range)
+    }
+
+    fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
+        (**self).try_write_dyn(range)
+    }
+
+    fn downgrade<'a>(
+        &'a self,
+        mut guard: Self::WriteGuard<'a>,
+    ) -> Result<Self::ReadGuard<'a>, Self::WriteGuard<'a>> {
+        if guard.0.downgrade_erased() {
+            Ok(guard)
+        } else {
+            Err(guard)
+        }
+    }
+
+    fn readers_share(&self) -> bool {
+        (**self).readers_share_dyn()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).dyn_name()
+    }
+}
+
+/// Closing the two-phase loop: a boxed dyn two-phase lock *is* a
+/// [`TwoPhaseRwRangeLock`] (with [`DynPending`] tokens), so the blanket
+/// async layer, the timed methods, batched acquisition, and the `rl-file`
+/// lock table's two-phase paths all work on a runtime-chosen variant.
+impl TwoPhaseRwRangeLock for Box<dyn DynTwoPhaseRwRangeLock> {
+    type PendingRead = DynPending;
+    type PendingWrite = DynPending;
+
+    fn enqueue_read(&self, range: Range) -> Self::PendingRead {
+        (**self).enqueue_read_dyn(range)
+    }
+
+    fn poll_read<'a>(&'a self, pending: &mut Self::PendingRead) -> Option<Self::ReadGuard<'a>> {
+        (**self).poll_read_dyn(pending)
+    }
+
+    fn cancel_read(&self, pending: &mut Self::PendingRead) {
+        (**self).cancel_read_dyn(pending);
+    }
+
+    fn enqueue_write(&self, range: Range) -> Self::PendingWrite {
+        (**self).enqueue_write_dyn(range)
+    }
+
+    fn poll_write<'a>(&'a self, pending: &mut Self::PendingWrite) -> Option<Self::WriteGuard<'a>> {
+        (**self).poll_write_dyn(pending)
+    }
+
+    fn cancel_write(&self, pending: &mut Self::PendingWrite) {
+        (**self).cancel_write_dyn(pending);
+    }
+
+    fn wait_queue(&self) -> &rl_sync::wait::WaitQueue {
+        (**self).wait_queue_dyn()
+    }
+
+    fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: std::time::Instant) -> bool {
+        (**self).wait_deadline_dyn(cond, deadline)
     }
 }
 
@@ -529,6 +756,64 @@ mod tests {
         assert!(lock.try_read_dyn(Range::new(50, 150)).is_some());
         assert!(lock.try_write_dyn(Range::new(0, 100)).is_none());
         drop(r);
+    }
+
+    #[test]
+    fn readers_share_survives_the_erasure() {
+        let rw: Box<dyn DynRwRangeLock> = Box::new(RwListRangeLock::new());
+        assert!(rw.readers_share());
+        let ex: Box<dyn DynRwRangeLock> = Box::new(ExclusiveAsRw::new(ListRangeLock::new()));
+        assert!(!ex.readers_share());
+    }
+
+    #[test]
+    fn boxed_two_phase_lock_round_trips_the_protocol() {
+        use crate::twophase::{AsyncRwRangeLock, BatchMode, TwoPhaseRwRangeLock};
+
+        let locks: Vec<Box<dyn DynTwoPhaseRwRangeLock>> = vec![
+            Box::new(RwListRangeLock::new()),
+            Box::new(ExclusiveAsRw::new(ListRangeLock::new())),
+        ];
+        for lock in locks {
+            // Uncontended enqueue/poll resolves; the write guard still
+            // downgrades through the erasure.
+            let mut pending = lock.enqueue_write(Range::new(0, 100));
+            let w = lock.poll_write(&mut pending).expect("uncontended");
+            let r = lock.downgrade(w).expect("both variants downgrade");
+
+            // A contended write pending polls None until the conflict
+            // clears; cancel leaves no residue.
+            let mut pending = lock.enqueue_write(Range::new(50, 150));
+            assert!(lock.poll_write(&mut pending).is_none());
+            lock.cancel_write(&mut pending);
+            drop(r);
+            drop(lock.try_write(Range::FULL).expect("no residue"));
+
+            // The timed + async + batch surfaces ride on the impl for free.
+            assert!(lock
+                .write_timeout(Range::new(0, 10), std::time::Duration::from_millis(50))
+                .is_some());
+            let mut cx = Context::from_waker(std::task::Waker::noop());
+            let mut fut = lock.read_async(Range::new(0, 10));
+            assert!(Pin::new(&mut fut).poll(&mut cx).is_ready());
+            drop(fut);
+            let items = [
+                (Range::new(0, 10), BatchMode::Write),
+                (Range::new(20, 30), BatchMode::Read),
+            ];
+            let guards = lock.try_acquire_many(&items).expect("uncontended batch");
+            assert_eq!(guards.len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DynPending passed back")]
+    fn foreign_pending_token_panics_on_downcast() {
+        let lock: Box<dyn DynTwoPhaseRwRangeLock> = Box::new(RwListRangeLock::new());
+        // A token whose concrete type no lock in this crate issues: the
+        // downcast must panic loudly instead of corrupting the lock.
+        let mut foreign = DynPending(Box::new(0u8));
+        let _ = lock.poll_read_dyn(&mut foreign);
     }
 
     #[test]

@@ -83,9 +83,11 @@ pub mod reclaim;
 pub mod rw_list;
 pub mod traits;
 pub mod twophase;
+pub mod waits_for;
 
 pub use dynlock::{
-    DynAcquireFuture, DynAsyncRwRangeLock, DynRangeGuard, DynRangeLock, DynRwRangeLock,
+    DynAcquireFuture, DynAsyncRwRangeLock, DynPending, DynRangeGuard, DynRangeLock, DynRwRangeLock,
+    DynTwoPhaseRwRangeLock,
 };
 pub use fairness::{FairnessGate, FairnessPermit};
 pub use list_core::{CompatMode, ListCore, ListLockConfig, PendingAcquire};
@@ -94,6 +96,7 @@ pub use range::Range;
 pub use rw_list::{RwListRangeGuard, RwListRangeLock};
 pub use traits::{ExclusiveAsRw, RangeLock, RwRangeLock};
 pub use twophase::{
-    AcquireFuture, AsyncRangeLock, AsyncRwRangeLock, ReadFuture, TwoPhaseRangeLock,
-    TwoPhaseRwRangeLock, WriteFuture,
+    AcquireFuture, AcquireManyFuture, AsyncRangeLock, AsyncRwRangeLock, BatchMode, ReadFuture,
+    RwBatchGuard, TwoPhaseRangeLock, TwoPhaseRwRangeLock, WriteFuture,
 };
+pub use waits_for::{Deadlock, WaitGraph};

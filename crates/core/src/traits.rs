@@ -134,6 +134,20 @@ pub trait RwRangeLock: Send + Sync {
         Err(guard)
     }
 
+    /// Whether overlapping *shared* acquisitions of this lock can actually
+    /// be held concurrently.
+    ///
+    /// `true` (the default) for genuine reader-writer locks. Adapters that
+    /// serialize everything — [`ExclusiveAsRw`] over the exclusive-only
+    /// variants — return `false`: there, two "readers" of overlapping ranges
+    /// conflict even though their *modes* are compatible. Deadlock-detection
+    /// layers must consult this when deriving waits-for edges, otherwise a
+    /// reader blocked behind another reader looks unblockable and its cycle
+    /// is invisible.
+    fn readers_share(&self) -> bool {
+        true
+    }
+
     /// Short, stable identifier used by the benchmark harness
     /// (e.g. `"list-rw"`, `"kernel-rw"`, `"pnova-rw"`).
     fn name(&self) -> &'static str;
@@ -213,6 +227,12 @@ impl<L: RangeLock> RwRangeLock for ExclusiveAsRw<L> {
         // exclusive hold trivially satisfies a shared one, so a "downgrade"
         // is the identity: the range stays continuously (over-)protected.
         Ok(guard)
+    }
+
+    fn readers_share(&self) -> bool {
+        // Every acquisition is exclusive underneath: overlapping "readers"
+        // serialize, and waits-for edges must treat them as conflicting.
+        false
     }
 
     fn name(&self) -> &'static str {

@@ -121,6 +121,69 @@ pub trait TwoPhaseRangeLock: RangeLock {
             Self::cancel_acquire,
         )
     }
+
+    /// Acquires every range in `ranges` (a *batch*), waiting as needed, and
+    /// returns the guards in input order.
+    ///
+    /// Ranges are acquired in **ascending address order** whatever the input
+    /// order, so two concurrent batches can never deadlock each other — the
+    /// classic ordered-acquisition argument. (A batch can still deadlock
+    /// against a caller composing individual acquisitions in descending
+    /// order; the `rl-file` lock table layers cycle detection on top for
+    /// that.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if two items of the batch overlap: the second acquisition
+    /// would block on the first forever.
+    fn acquire_many(&self, ranges: &[Range]) -> Vec<Self::Guard<'_>>
+    where
+        Self: Sized,
+    {
+        let mut acquired: Vec<(usize, Self::Guard<'_>)> = Vec::with_capacity(ranges.len());
+        for i in batch_order(ranges) {
+            acquired.push((i, self.acquire(ranges[i])));
+        }
+        acquired.sort_by_key(|(i, _)| *i);
+        acquired.into_iter().map(|(_, g)| g).collect()
+    }
+
+    /// Attempts to acquire every range in `ranges` without waiting,
+    /// **all-or-nothing**: on the first conflicting item the batch cancels
+    /// its pending acquisition, releases everything it already took, records
+    /// a batch rollback in the lock's wait statistics, and returns `None` —
+    /// no residue remains.
+    ///
+    /// Each item is driven through one enqueue → poll step of the two-phase
+    /// protocol (never-spurious, unlike `try_acquire`), with `cancel` as the
+    /// rollback primitive; items are attempted in ascending address order
+    /// and the guards are returned in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two items of the batch overlap.
+    fn try_acquire_many(&self, ranges: &[Range]) -> Option<Vec<Self::Guard<'_>>>
+    where
+        Self: Sized,
+    {
+        let mut acquired: Vec<(usize, Self::Guard<'_>)> = Vec::with_capacity(ranges.len());
+        for i in batch_order(ranges) {
+            let mut pending = self.enqueue_acquire(ranges[i]);
+            match self.poll_acquire(&mut pending) {
+                Some(guard) => acquired.push((i, guard)),
+                None => {
+                    self.cancel_acquire(&mut pending);
+                    let queue = self.wait_queue();
+                    queue.record_cancel();
+                    queue.record_batch_rollback();
+                    // Dropping the guards acquired so far rolls them back.
+                    return None;
+                }
+            }
+        }
+        acquired.sort_by_key(|(i, _)| *i);
+        Some(acquired.into_iter().map(|(_, g)| g).collect())
+    }
 }
 
 /// A reader-writer range lock that supports the cancellable two-phase
@@ -192,6 +255,159 @@ pub trait TwoPhaseRwRangeLock: RwRangeLock {
             Self::cancel_write,
         )
     }
+
+    /// Acquires every `(range, mode)` item of a batch, waiting as needed,
+    /// and returns the guards in input order.
+    ///
+    /// Items are acquired in **ascending address order** whatever the input
+    /// order, so concurrent batches never deadlock each other; see
+    /// [`TwoPhaseRangeLock::acquire_many`] for the ordering argument and the
+    /// remaining caller-composed hazard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two items of the batch overlap (even two reads: the batch
+    /// must also be safe over locks where readers serialize, per
+    /// [`RwRangeLock::readers_share`]).
+    fn acquire_many(&self, items: &[(Range, BatchMode)]) -> Vec<RwBatchGuard<'_, Self>>
+    where
+        Self: Sized,
+    {
+        let ranges: Vec<Range> = items.iter().map(|(r, _)| *r).collect();
+        let mut acquired: Vec<(usize, RwBatchGuard<'_, Self>)> = Vec::with_capacity(items.len());
+        for i in batch_order(&ranges) {
+            let (range, mode) = items[i];
+            let guard = match mode {
+                BatchMode::Read => RwBatchGuard::Read(self.read(range)),
+                BatchMode::Write => RwBatchGuard::Write(self.write(range)),
+            };
+            acquired.push((i, guard));
+        }
+        acquired.sort_by_key(|(i, _)| *i);
+        acquired.into_iter().map(|(_, g)| g).collect()
+    }
+
+    /// Attempts to acquire every `(range, mode)` item without waiting,
+    /// **all-or-nothing**: the first conflicting item rolls the whole batch
+    /// back (cancel the pending acquisition, release everything taken,
+    /// record a batch rollback) and returns `None`, leaving no residue.
+    ///
+    /// See [`TwoPhaseRangeLock::try_acquire_many`]; this is its two-mode
+    /// counterpart, driven through `enqueue_read`/`poll_read`/`cancel_read`
+    /// and the write triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two items of the batch overlap.
+    fn try_acquire_many(&self, items: &[(Range, BatchMode)]) -> Option<Vec<RwBatchGuard<'_, Self>>>
+    where
+        Self: Sized,
+    {
+        let ranges: Vec<Range> = items.iter().map(|(r, _)| *r).collect();
+        let mut acquired: Vec<(usize, RwBatchGuard<'_, Self>)> = Vec::with_capacity(items.len());
+        for i in batch_order(&ranges) {
+            let (range, mode) = items[i];
+            let polled = match mode {
+                BatchMode::Read => {
+                    let mut pending = self.enqueue_read(range);
+                    match self.poll_read(&mut pending) {
+                        Some(guard) => Some(RwBatchGuard::Read(guard)),
+                        None => {
+                            self.cancel_read(&mut pending);
+                            None
+                        }
+                    }
+                }
+                BatchMode::Write => {
+                    let mut pending = self.enqueue_write(range);
+                    match self.poll_write(&mut pending) {
+                        Some(guard) => Some(RwBatchGuard::Write(guard)),
+                        None => {
+                            self.cancel_write(&mut pending);
+                            None
+                        }
+                    }
+                }
+            };
+            match polled {
+                Some(guard) => acquired.push((i, guard)),
+                None => {
+                    let queue = self.wait_queue();
+                    queue.record_cancel();
+                    queue.record_batch_rollback();
+                    return None;
+                }
+            }
+        }
+        acquired.sort_by_key(|(i, _)| *i);
+        Some(acquired.into_iter().map(|(_, g)| g).collect())
+    }
+
+    /// Acquires a batch asynchronously: the returned future drives one item
+    /// at a time in ascending address order, suspending (never blocking a
+    /// thread) on each contended item, and resolves to the guards in input
+    /// order. Dropping the future mid-batch cancels the in-flight item and
+    /// releases every guard already taken — all-or-nothing under
+    /// cancellation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two items of the batch overlap.
+    fn acquire_many_async(&self, items: &[(Range, BatchMode)]) -> AcquireManyFuture<'_, Self>
+    where
+        Self: Sized,
+    {
+        AcquireManyFuture::new(self, items)
+    }
+}
+
+/// Requested mode of one item of a batched reader-writer acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchMode {
+    /// Shared (reader) access.
+    Read,
+    /// Exclusive (writer) access.
+    Write,
+}
+
+/// Guard for one item of a batched reader-writer acquisition: whichever of
+/// the lock's two guard types the item's [`BatchMode`] selected.
+pub enum RwBatchGuard<'a, L: RwRangeLock + 'a> {
+    /// The item was acquired in shared mode.
+    Read(L::ReadGuard<'a>),
+    /// The item was acquired in exclusive mode.
+    Write(L::WriteGuard<'a>),
+}
+
+impl<L: RwRangeLock> RwBatchGuard<'_, L> {
+    /// Whether this guard holds its range in shared mode.
+    pub fn is_read(&self) -> bool {
+        matches!(self, RwBatchGuard::Read(_))
+    }
+}
+
+impl<L: RwRangeLock> std::fmt::Debug for RwBatchGuard<'_, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RwBatchGuard::Read(_) => "RwBatchGuard::Read",
+            RwBatchGuard::Write(_) => "RwBatchGuard::Write",
+        })
+    }
+}
+
+/// Returns the indices of `ranges` in ascending address order, panicking if
+/// any two ranges overlap — an overlapping batch would block on itself.
+fn batch_order(ranges: &[Range]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..ranges.len()).collect();
+    order.sort_by_key(|&i| (ranges[i].start, ranges[i].end));
+    for pair in order.windows(2) {
+        let (a, b) = (ranges[pair[0]], ranges[pair[1]]);
+        assert!(
+            !a.overlaps(&b),
+            "batched acquisition items overlap: {a:?} and {b:?}"
+        );
+    }
+    order
 }
 
 /// The shared enqueue → poll → deadline-wait → cancel loop behind every
@@ -347,6 +563,108 @@ acquire_future!(
     cancel_write
 );
 
+/// The in-flight item of an [`AcquireManyFuture`]: one of the two
+/// single-item futures, which already carry the full cancellation-safety
+/// protocol (drop = cancel + deregister + record).
+enum Inflight<'a, L: TwoPhaseRwRangeLock> {
+    /// A shared item in flight.
+    Read(ReadFuture<'a, L>),
+    /// An exclusive item in flight.
+    Write(WriteFuture<'a, L>),
+}
+
+/// Future returned by [`TwoPhaseRwRangeLock::acquire_many_async`]: a batched
+/// acquisition in flight.
+///
+/// Items are driven strictly one at a time in ascending address order; the
+/// future resolves to the guards in **input** order. **Cancellation
+/// safety:** dropping the future mid-batch drops the in-flight single-item
+/// future (which cancels its pending acquisition and records the cancel) and
+/// every guard already acquired (releasing those ranges) — the lock is left
+/// as if the batch had never been asked for.
+#[must_use = "futures do nothing unless polled"]
+pub struct AcquireManyFuture<'a, L: TwoPhaseRwRangeLock> {
+    lock: &'a L,
+    /// Items not yet started, in ascending address order, reversed so
+    /// `pop()` yields them ascending. Each entry is
+    /// `(input index, range, mode)`.
+    remaining: Vec<(usize, Range, BatchMode)>,
+    /// The single item currently being driven, with its input index.
+    inflight: Option<(usize, Inflight<'a, L>)>,
+    /// Guards already acquired, keyed by input index.
+    acquired: Vec<(usize, RwBatchGuard<'a, L>)>,
+}
+
+impl<'a, L: TwoPhaseRwRangeLock> AcquireManyFuture<'a, L> {
+    fn new(lock: &'a L, items: &[(Range, BatchMode)]) -> Self {
+        let ranges: Vec<Range> = items.iter().map(|(r, _)| *r).collect();
+        let mut remaining: Vec<(usize, Range, BatchMode)> = batch_order(&ranges)
+            .into_iter()
+            .map(|i| (i, items[i].0, items[i].1))
+            .collect();
+        remaining.reverse();
+        AcquireManyFuture {
+            lock,
+            remaining,
+            inflight: None,
+            acquired: Vec::with_capacity(items.len()),
+        }
+    }
+}
+
+// The future holds no self-references: the single-item futures are `Unpin`
+// (all their fields are) and the stored guards are plain values that are
+// only ever moved, never pointed into. Asserting `Unpin` lets callers drive
+// it with `Pin::new` like the single-item futures.
+impl<L: TwoPhaseRwRangeLock> Unpin for AcquireManyFuture<'_, L> {}
+
+impl<'a, L: TwoPhaseRwRangeLock> Future for AcquireManyFuture<'a, L> {
+    type Output = Vec<RwBatchGuard<'a, L>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        loop {
+            if let Some((idx, inflight)) = this.inflight.as_mut() {
+                let guard = match inflight {
+                    Inflight::Read(fut) => match Pin::new(fut).poll(cx) {
+                        Poll::Ready(guard) => RwBatchGuard::Read(guard),
+                        Poll::Pending => return Poll::Pending,
+                    },
+                    Inflight::Write(fut) => match Pin::new(fut).poll(cx) {
+                        Poll::Ready(guard) => RwBatchGuard::Write(guard),
+                        Poll::Pending => return Poll::Pending,
+                    },
+                };
+                this.acquired.push((*idx, guard));
+                this.inflight = None;
+            }
+            match this.remaining.pop() {
+                Some((idx, range, mode)) => {
+                    let fut = match mode {
+                        BatchMode::Read => Inflight::Read(ReadFuture::new(this.lock, range)),
+                        BatchMode::Write => Inflight::Write(WriteFuture::new(this.lock, range)),
+                    };
+                    this.inflight = Some((idx, fut));
+                }
+                None => {
+                    let mut acquired = std::mem::take(&mut this.acquired);
+                    acquired.sort_by_key(|(i, _)| *i);
+                    return Poll::Ready(acquired.into_iter().map(|(_, g)| g).collect());
+                }
+            }
+        }
+    }
+}
+
+impl<L: TwoPhaseRwRangeLock> std::fmt::Debug for AcquireManyFuture<'_, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AcquireManyFuture")
+            .field("remaining", &self.remaining.len())
+            .field("acquired", &self.acquired.len())
+            .finish()
+    }
+}
+
 /// The async face of an exclusive range lock. Blanket-implemented for every
 /// [`TwoPhaseRangeLock`]; never implement it by hand.
 pub trait AsyncRangeLock: TwoPhaseRangeLock + Sized {
@@ -483,6 +801,121 @@ mod tests {
             Poll::Pending => panic!("readers gone: writer resolves"),
         }
         assert!(lock.is_quiescent());
+    }
+
+    #[test]
+    fn acquire_many_returns_guards_in_input_order() {
+        let lock = RwListRangeLock::new();
+        // Deliberately descending input: acquisition reorders ascending,
+        // the result must come back in input order.
+        let items = [
+            (Range::new(200, 300), BatchMode::Write),
+            (Range::new(0, 100), BatchMode::Read),
+            (Range::new(100, 200), BatchMode::Write),
+        ];
+        let guards = lock.acquire_many(&items);
+        assert_eq!(guards.len(), 3);
+        assert!(!guards[0].is_read());
+        assert!(guards[1].is_read());
+        assert_eq!(lock.held_ranges(), 3);
+        drop(guards);
+        assert!(lock.is_quiescent());
+
+        // Exclusive-trait flavour.
+        let ex = ListRangeLock::new();
+        let guards = ex.acquire_many(&[Range::new(50, 60), Range::new(0, 10)]);
+        assert_eq!(guards[0].range(), Range::new(50, 60));
+        assert_eq!(guards[1].range(), Range::new(0, 10));
+        drop(guards);
+        assert!(ex.is_quiescent());
+    }
+
+    #[test]
+    fn try_acquire_many_is_all_or_nothing() {
+        let stats = Arc::new(WaitStats::new("batch"));
+        let lock = RwListRangeLock::new().with_stats(Arc::clone(&stats));
+        let held = lock.write(Range::new(150, 250));
+        // Second item conflicts: the whole batch must roll back.
+        let items = [
+            (Range::new(0, 100), BatchMode::Write),
+            (Range::new(200, 300), BatchMode::Read),
+        ];
+        assert!(lock.try_acquire_many(&items).is_none());
+        let snap = stats.snapshot();
+        assert_eq!(snap.batch_rollbacks, 1);
+        assert_eq!(snap.cancels, 1);
+        // No residue: the non-conflicting item's span is free again.
+        drop(lock.try_write(Range::new(0, 100)).expect("rolled back"));
+        drop(held);
+        assert!(lock.try_acquire_many(&items).is_some());
+        assert!(lock.is_quiescent());
+
+        // Exclusive-trait flavour, same protocol.
+        let ex = ListRangeLock::new();
+        let held = ex.acquire(Range::new(25, 75));
+        assert!(ex
+            .try_acquire_many(&[Range::new(0, 30), Range::new(100, 130)])
+            .is_none());
+        drop(held);
+        assert!(ex
+            .try_acquire_many(&[Range::new(0, 30), Range::new(100, 130)])
+            .is_some());
+        assert!(ex.is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_batch_items_panic() {
+        let lock = RwListRangeLock::new();
+        let _ = lock.acquire_many(&[
+            (Range::new(0, 100), BatchMode::Read),
+            (Range::new(50, 150), BatchMode::Read),
+        ]);
+    }
+
+    #[test]
+    fn batch_future_resolves_item_by_item_and_cancels_cleanly() {
+        let stats = Arc::new(WaitStats::new("batch-async"));
+        let lock = RwListRangeLock::new().with_stats(Arc::clone(&stats));
+        let (_, waker) = counting_waker();
+
+        // Uncontended: resolves on the first poll, guards in input order.
+        let items = [
+            (Range::new(100, 200), BatchMode::Write),
+            (Range::new(0, 100), BatchMode::Read),
+        ];
+        let mut fut = lock.acquire_many_async(&items);
+        let guards = match poll_once(&mut fut, &waker) {
+            Poll::Ready(g) => g,
+            Poll::Pending => panic!("uncontended batch must resolve immediately"),
+        };
+        assert_eq!(guards.len(), 2);
+        assert!(!guards[0].is_read());
+        assert!(guards[1].is_read());
+        drop(guards);
+
+        // Contended on the *second* (ascending) item: the batch suspends
+        // with the first item held, then rolls everything back on drop.
+        let held = lock.write(Range::new(150, 250));
+        let mut fut = lock.acquire_many_async(&items);
+        assert!(poll_once(&mut fut, &waker).is_pending());
+        assert_eq!(lock.held_ranges(), 2); // conflict + first batch item
+        drop(fut); // cancels the in-flight item, releases the acquired one
+        assert!(stats.snapshot().cancels >= 1);
+        assert_eq!(lock.held_ranges(), 1);
+        drop(held);
+
+        // Contention release resumes the batch.
+        let held = lock.write(Range::new(150, 250));
+        let mut fut = lock.acquire_many_async(&items);
+        assert!(poll_once(&mut fut, &waker).is_pending());
+        drop(held);
+        match poll_once(&mut fut, &waker) {
+            Poll::Ready(guards) => drop(guards),
+            Poll::Pending => panic!("released: the batch must resolve"),
+        }
+        assert!(lock.is_quiescent());
+        assert!(format!("{:?}", lock.acquire_many_async(&[])).contains("AcquireManyFuture"));
     }
 
     #[test]

@@ -27,5 +27,5 @@
 pub mod lock_table;
 pub mod store;
 
-pub use lock_table::{LockMode, LockOwner, LockRecord, LockTable, WouldBlock};
+pub use lock_table::{DeadlockError, LockMode, LockOwner, LockRecord, LockTable, WouldBlock};
 pub use store::{FileStore, RangeFile, DEFAULT_SHARDS, PAGE_SIZE};

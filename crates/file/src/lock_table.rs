@@ -73,10 +73,40 @@
 //!   by an owner whose transaction has not committed yet is detected by the
 //!   underlying lock's bounded `try_*` acquisition instead, and reported
 //!   without a conflicting-owner name.
-//! * **No `EDEADLK` detection.** As with real `fcntl`, two owners that hold
-//!   ranges and block on each other's ranges deadlock; POSIX returns
-//!   `EDEADLK` on a best-effort basis, this table leaves avoidance to the
-//!   caller.
+//! * **`EDEADLK` detection is best-effort, exactly as POSIX specifies.**
+//!   Before waiting — and periodically while waiting — a blocking `lock()`
+//!   derives the set of owners whose *committed* records conflict with the
+//!   requested span and registers those edges in a table-wide waits-for
+//!   graph; an acquisition whose edges would close a cycle fails fast with
+//!   [`DeadlockError`] instead of parking. SUSv4 only requires detection
+//!   "as far as the implementation can determine", and that is the contract
+//!   here: a wait that blocks on an *uncommitted* transaction's guard has no
+//!   visible holder and contributes no edge, so such a cycle is detected
+//!   only once the transaction commits (every commit wakes the lock's
+//!   waiters, which re-derive their edges on wake — async — or on a short
+//!   recheck interval — sync), and a conservatively derived edge can flag a
+//!   cycle that a lucky scheduling would have dissolved. The gap and
+//!   rollback acquisitions that restore coverage an owner already held are
+//!   *not* checked — they re-take spans the owner released moments earlier.
+//!   Over an `ExclusiveAsRw`-adapted lock, overlapping *shared* records
+//!   conflict too ([`RwRangeLock::readers_share`] is `false`), and the edge
+//!   derivation accounts for it — a reader parked behind a reader is a real
+//!   wait there and can complete a real cycle.
+//!
+//! # Atomic multi-range acquisition
+//!
+//! [`LockOwner::lock_many`] (and its `try_` / `async` forms) applies a batch
+//! of disjoint `(range, mode)` items **all-or-nothing**: the items are
+//! applied in ascending address order — the same ordered-acquisition
+//! discipline every multi-piece transaction in this table follows, so two
+//! batches cannot deadlock *against each other* — and a failure part-way
+//! through (an `EDEADLK` against a non-batch waiter, or a conflict for the
+//! non-blocking form) unlocks the spans the batch had already taken and
+//! re-establishes the owner's pre-batch records before the error is
+//! returned. Rollback re-acquisition is blocking and, for the blocking form,
+//! itself deadlock-checked: an original that can no longer be restored
+//! without closing a cycle is skipped, exactly as a blocked POSIX upgrade
+//! loses its old lock.
 //!
 //! # Granularity requirement
 //!
@@ -92,11 +122,20 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::future::Future;
 use std::mem;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::task::Poll;
+use std::time::{Duration, Instant};
 
-use range_lock::{AsyncRwRangeLock, Range, RwRangeLock, TwoPhaseRwRangeLock};
+use range_lock::{AsyncRwRangeLock, Range, RwRangeLock, TwoPhaseRwRangeLock, WaitGraph};
+
+/// How long a blocked synchronous acquisition waits before re-deriving its
+/// waits-for edges. Bounds the detection latency of a cycle whose closing
+/// record was committed *after* this waiter last looked.
+const DEADLOCK_RECHECK: Duration = Duration::from_millis(1);
 
 /// The two POSIX lock modes (`F_RDLCK` / `F_WRLCK`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -160,6 +199,42 @@ impl fmt::Display for WouldBlock {
 }
 
 impl std::error::Error for WouldBlock {}
+
+/// Error returned by the blocking acquisitions ([`LockOwner::lock`],
+/// [`LockOwner::lock_async`], [`LockOwner::lock_many`]) when waiting would
+/// close a cycle of owners — the `EDEADLK` of `fcntl(F_SETLKW)`.
+///
+/// Detection is best-effort, as POSIX allows; see the fidelity caveats in
+/// the [module documentation](self). The table is left as if the failing
+/// call had not been made (for `lock_many`, as if the *batch* had not been
+/// made, up to the rollback caveat documented there).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockError {
+    /// Owner names along the detected cycle, closing back on the first
+    /// (e.g. `["alice", "bob", "alice"]`). An owner released between
+    /// detection and formatting appears as `"owner-<id>"`.
+    pub cycle: Vec<String>,
+}
+
+impl fmt::Display for DeadlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "resource deadlock would occur (EDEADLK): {}",
+            self.cycle.join(" -> ")
+        )
+    }
+}
+
+impl std::error::Error for DeadlockError {}
+
+/// Internal failure of one `set_lock` transaction: the non-blocking form
+/// fails with `EAGAIN`, the blocking form with `EDEADLK`; neither form can
+/// produce the other's error.
+enum SetLockError {
+    WouldBlock(WouldBlock),
+    Deadlock(DeadlockError),
+}
 
 /// Erases a guard's borrow lifetime to `'static`.
 ///
@@ -257,9 +332,12 @@ struct TableState<L: RwRangeLock + 'static> {
 /// alice.lock(Range::new(40, 60), LockMode::Exclusive); // split + upgrade
 /// assert_eq!(table.held_records(), 3);
 /// ```
-pub struct LockTable<L: RwRangeLock + 'static> {
+pub struct LockTable<L: TwoPhaseRwRangeLock + 'static> {
     /// Declared (and therefore dropped) before `lock` is freed.
     state: Mutex<TableState<L>>,
+    /// Waits-for edges between blocked owners and the committed-record
+    /// holders blocking them; cycle-checked on every (re-)registration.
+    waits: WaitGraph,
     next_owner: AtomicU64,
     /// Heap allocation with a stable address; guards stored in `state` borrow
     /// it with an erased lifetime. Freed manually in `Drop`, strictly after
@@ -274,7 +352,7 @@ pub struct LockTable<L: RwRangeLock + 'static> {
 // `Send` bounds.
 unsafe impl<L> Send for LockTable<L>
 where
-    L: RwRangeLock + 'static,
+    L: TwoPhaseRwRangeLock + 'static,
     L::ReadGuard<'static>: Send,
     L::WriteGuard<'static>: Send,
 {
@@ -284,19 +362,20 @@ where
 // `Mutex`.
 unsafe impl<L> Sync for LockTable<L>
 where
-    L: RwRangeLock + 'static,
+    L: TwoPhaseRwRangeLock + 'static,
     L::ReadGuard<'static>: Send,
     L::WriteGuard<'static>: Send,
 {
 }
 
-impl<L: RwRangeLock + 'static> LockTable<L> {
+impl<L: TwoPhaseRwRangeLock + 'static> LockTable<L> {
     /// Creates a table over `lock`; the table becomes the lock's only user.
     pub fn new(lock: L) -> Self {
         LockTable {
             state: Mutex::new(TableState {
                 owners: HashMap::new(),
             }),
+            waits: WaitGraph::new(),
             next_owner: AtomicU64::new(1),
             lock: Box::into_raw(Box::new(lock)),
         }
@@ -497,23 +576,127 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
     /// Re-inserts records for `owner_id` and coalesces adjacent same-mode
     /// records (POSIX merges touching locks of equal type).
     fn commit(&self, owner_id: u64, mut new_records: Vec<Record<L>>) {
-        let mut st = self.state.lock().unwrap();
-        let owner = st
-            .owners
-            .get_mut(&owner_id)
-            .expect("commit for an unregistered owner");
-        owner.records.append(&mut new_records);
-        owner.records.sort_by_key(|r| r.range.start);
-        let mut i = 0;
-        while i + 1 < owner.records.len() {
-            if owner.records[i].range.end == owner.records[i + 1].range.start
-                && owner.records[i].mode == owner.records[i + 1].mode
-            {
-                let mut next = owner.records.remove(i + 1);
-                owner.records[i].range.end = next.range.end;
-                owner.records[i].tiles.append(&mut next.tiles);
-            } else {
-                i += 1;
+        {
+            let mut st = self.state.lock().unwrap();
+            let owner = st
+                .owners
+                .get_mut(&owner_id)
+                .expect("commit for an unregistered owner");
+            owner.records.append(&mut new_records);
+            owner.records.sort_by_key(|r| r.range.start);
+            let mut i = 0;
+            while i + 1 < owner.records.len() {
+                if owner.records[i].range.end == owner.records[i + 1].range.start
+                    && owner.records[i].mode == owner.records[i + 1].mode
+                {
+                    let mut next = owner.records.remove(i + 1);
+                    owner.records[i].range.end = next.range.end;
+                    owner.records[i].tiles.append(&mut next.tiles);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // A commit changes the waits-for edges other blocked owners must
+        // derive: the new records are new potential holders. Sync waiters
+        // re-derive on a short timeout anyway; async waiters re-derive only
+        // when polled, so wake the lock's queue (a spurious wake costs one
+        // re-poll).
+        self.lock_ref().wait_queue().wake_all();
+    }
+
+    /// Ids of the *other* owners whose committed records block `owner_id`
+    /// from acquiring `range` in `mode` right now — one waits-for edge per
+    /// returned id. Over a lock whose "readers" serialize
+    /// ([`RwRangeLock::readers_share`] is `false`), overlap alone conflicts,
+    /// whatever the modes.
+    fn conflicting_owner_ids(&self, owner_id: u64, range: Range, mode: LockMode) -> Vec<u64> {
+        let readers_share = self.lock_ref().readers_share();
+        let st = self.state.lock().unwrap();
+        let mut holders = Vec::new();
+        for (&id, owner) in &st.owners {
+            if id == owner_id {
+                continue;
+            }
+            if owner.records.iter().any(|rec| {
+                rec.range.overlaps(&range) && (mode.conflicts_with(rec.mode) || !readers_share)
+            }) {
+                holders.push(id);
+            }
+        }
+        holders
+    }
+
+    /// Maps a cycle of owner ids to the named error surfaced to callers.
+    fn deadlock_error(&self, cycle: &[u64]) -> DeadlockError {
+        let st = self.state.lock().unwrap();
+        DeadlockError {
+            cycle: cycle
+                .iter()
+                .map(|id| {
+                    st.owners
+                        .get(id)
+                        .map(|o| o.name.clone())
+                        .unwrap_or_else(|| format!("owner-{id}"))
+                })
+                .collect(),
+        }
+    }
+
+    /// Snapshot of one owner's committed `(range, mode)` records, used as
+    /// the restore set for batch rollback.
+    fn owner_records(&self, owner_id: u64) -> Vec<(Range, LockMode)> {
+        let st = self.state.lock().unwrap();
+        st.owners
+            .get(&owner_id)
+            .map(|o| o.records.iter().map(|r| (r.range, r.mode)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Blocking, deadlock-checked tile acquisition: drives the underlying
+    /// lock's two-phase protocol, and between polls (re-)derives this
+    /// owner's waits-for edges from the committed table. An edge set that
+    /// closes a cycle cancels the pending acquisition and fails with
+    /// `EDEADLK`; otherwise the wait is bounded by [`DEADLOCK_RECHECK`] so
+    /// a cycle committed behind this waiter's back is still noticed.
+    fn acquire_tile_checked(
+        &self,
+        owner_id: u64,
+        range: Range,
+        mode: LockMode,
+    ) -> Result<Tile<L>, DeadlockError> {
+        let lock = self.lock_ref();
+        macro_rules! checked {
+            ($enqueue:ident, $poll:ident, $cancel:ident, $variant:ident, $Guard:ident) => {{
+                let mut pending = lock.$enqueue(range);
+                loop {
+                    if let Some(g) = lock.$poll(&mut pending) {
+                        self.waits.deregister(owner_id);
+                        // SAFETY: As in `acquire_tile` — the lock is a stable
+                        // heap allocation freed only after every guard drops.
+                        let g = unsafe { erase_lifetime::<L::$Guard<'_>, L::$Guard<'static>>(g) };
+                        return Ok(Tile {
+                            range,
+                            guard: ModeGuard::$variant(g),
+                        });
+                    }
+                    let holders = self.conflicting_owner_ids(owner_id, range, mode);
+                    if let Err(cycle) = self.waits.register(owner_id, &holders) {
+                        lock.$cancel(&mut pending);
+                        let queue = lock.wait_queue();
+                        queue.record_cancel();
+                        queue.record_deadlock();
+                        return Err(self.deadlock_error(cycle.cycle()));
+                    }
+                    let deadline = Instant::now() + DEADLOCK_RECHECK;
+                    lock.wait_deadline(&mut || false, deadline);
+                }
+            }};
+        }
+        match mode {
+            LockMode::Shared => checked!(enqueue_read, poll_read, cancel_read, Read, ReadGuard),
+            LockMode::Exclusive => {
+                checked!(enqueue_write, poll_write, cancel_write, Write, WriteGuard)
             }
         }
     }
@@ -684,15 +867,17 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
     /// The heart of the table: replaces whatever `owner_id` holds over
     /// `target` with `op` (`Some(mode)` to lock, `None` to unlock).
     ///
-    /// Returns `Err` only on a non-blocking request that would have to wait;
-    /// the table is then left exactly as it was.
+    /// A non-blocking request fails with `EAGAIN` when it would have to
+    /// wait; a blocking one fails with `EDEADLK` when waiting would close an
+    /// owner cycle. Either way the table is restored to its prior records
+    /// before the error returns.
     fn set_lock(
         &self,
         owner_id: u64,
         target: Range,
         op: Option<LockMode>,
         blocking: bool,
-    ) -> Result<(), WouldBlock> {
+    ) -> Result<(), SetLockError> {
         if target.is_empty() {
             return Ok(());
         }
@@ -701,22 +886,33 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
             shapes,
             need,
             originals,
-        }) = self.plan_set_lock(owner_id, target, op, blocking)?
+        }) = self
+            .plan_set_lock(owner_id, target, op, blocking)
+            .map_err(SetLockError::WouldBlock)?
         else {
             return Ok(());
         };
 
         // Phase B (no mutex held): acquire the missing guards in ascending
-        // range order. Only the target itself honors `blocking == false`;
-        // gaps restore coverage the owner already held and always block.
+        // range order. Only the target itself honors `blocking == false` and
+        // only the target is deadlock-checked; gaps restore coverage the
+        // owner already held and always block unchecked.
         let mut acquired: Vec<Tile<L>> = Vec::new();
-        let mut lost_race = false;
+        let mut failure: Option<SetLockError> = None;
         for &(range, mode, is_target) in &need {
             if is_target && !blocking {
                 match self.try_acquire_tile(range, mode) {
                     Some(t) => acquired.push(t),
                     None => {
-                        lost_race = true;
+                        failure = Some(SetLockError::WouldBlock(WouldBlock { conflict: None }));
+                        break;
+                    }
+                }
+            } else if is_target {
+                match self.acquire_tile_checked(owner_id, range, mode) {
+                    Ok(t) => acquired.push(t),
+                    Err(deadlock) => {
+                        failure = Some(SetLockError::Deadlock(deadlock));
                         break;
                     }
                 }
@@ -725,7 +921,7 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
             }
         }
 
-        if lost_race {
+        if let Some(err) = failure {
             // Roll back: drop every guard of this transaction, then restore
             // the original records from scratch (ascending, blocking — the
             // spans were held by this owner moments ago).
@@ -740,7 +936,7 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
                 })
                 .collect();
             self.commit(owner_id, restored);
-            return Err(WouldBlock { conflict: None });
+            return Err(err);
         }
 
         // Phase C: assemble the records and commit them.
@@ -752,10 +948,7 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
 
     /// Acquires one tile asynchronously: the task suspends (waker-driven)
     /// instead of blocking its worker thread.
-    async fn acquire_tile_async(&self, range: Range, mode: LockMode) -> Tile<L>
-    where
-        L: TwoPhaseRwRangeLock,
-    {
+    async fn acquire_tile_async(&self, range: Range, mode: LockMode) -> Tile<L> {
         let lock = self.lock_ref();
         let guard = match mode {
             LockMode::Shared => {
@@ -777,12 +970,64 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
         Tile { range, guard }
     }
 
+    /// The async form of [`LockTable::acquire_tile_checked`]: the waker-driven
+    /// acquisition future is wrapped so that every `Pending` poll re-derives
+    /// this owner's waits-for edges (commits wake the queue, so a cycle that
+    /// forms while suspended gets a re-derivation). A cycle resolves the
+    /// wrapper to `EDEADLK`; dropping the inner future then cancels the
+    /// pending acquisition through its RAII guard (which records the cancel).
+    async fn acquire_tile_checked_async(
+        &self,
+        owner_id: u64,
+        range: Range,
+        mode: LockMode,
+    ) -> Result<Tile<L>, DeadlockError> {
+        let lock = self.lock_ref();
+        macro_rules! checked {
+            ($acquire:ident, $variant:ident, $Guard:ident) => {{
+                let mut fut = lock.$acquire(range);
+                let resolved = std::future::poll_fn(|cx| match Pin::new(&mut fut).poll(cx) {
+                    Poll::Ready(g) => Poll::Ready(Ok(g)),
+                    Poll::Pending => {
+                        let holders = self.conflicting_owner_ids(owner_id, range, mode);
+                        match self.waits.register(owner_id, &holders) {
+                            Ok(()) => Poll::Pending,
+                            Err(cycle) => Poll::Ready(Err(cycle)),
+                        }
+                    }
+                })
+                .await;
+                match resolved {
+                    Ok(g) => {
+                        self.waits.deregister(owner_id);
+                        // SAFETY: As in `acquire_tile`.
+                        let g = unsafe { erase_lifetime::<L::$Guard<'_>, L::$Guard<'static>>(g) };
+                        Ok(Tile {
+                            range,
+                            guard: ModeGuard::$variant(g),
+                        })
+                    }
+                    Err(cycle) => {
+                        drop(fut);
+                        lock.wait_queue().record_deadlock();
+                        Err(self.deadlock_error(cycle.cycle()))
+                    }
+                }
+            }};
+        }
+        match mode {
+            LockMode::Shared => checked!(read_async, Read, ReadGuard),
+            LockMode::Exclusive => checked!(write_async, Write, WriteGuard),
+        }
+    }
+
     /// The async counterpart of the blocking [`LockTable::set_lock`] path:
     /// phase A (planning) runs synchronously under the table mutex, phase B
     /// awaits each missing tile **in ascending range order** (the same
     /// deadlock-avoidance discipline as the sync path — a suspended task
-    /// keeps earlier tiles held, exactly like a blocked thread), and phase C
-    /// commits.
+    /// keeps earlier tiles held, exactly like a blocked thread) with the
+    /// target tiles deadlock-checked, and phase C commits. `EDEADLK` rolls
+    /// the transaction back to the original records, like the sync path.
     ///
     /// # Cancellation
     ///
@@ -790,43 +1035,214 @@ impl<L: RwRangeLock + 'static> LockTable<L> {
     /// structure stays consistent if this future is dropped mid-flight; but
     /// like a POSIX upgrade that blocks, the *operation* is not atomic —
     /// records detached in phase A are simply gone, as if the affected span
-    /// had been unlocked. Callers that cannot accept that should not abandon
-    /// an in-flight `lock_async`.
-    async fn set_lock_async(&self, owner_id: u64, target: Range, op: Option<LockMode>)
-    where
-        L: TwoPhaseRwRangeLock,
-    {
+    /// had been unlocked. (Waits-for edges registered by an abandoned poll
+    /// linger until this owner's next acquisition or release; a lingering
+    /// edge can only cause a spurious `EDEADLK`, never a missed unlock.)
+    /// Callers that cannot accept that should not abandon an in-flight
+    /// `lock_async`.
+    async fn set_lock_async(
+        &self,
+        owner_id: u64,
+        target: Range,
+        op: Option<LockMode>,
+    ) -> Result<(), DeadlockError> {
         if target.is_empty() {
-            return;
+            return Ok(());
         }
         let Some(Plan {
             mut kept,
             shapes,
             need,
-            originals: _,
+            originals,
         }) = self
             .plan_set_lock(owner_id, target, op, true)
-            .expect("blocking plan cannot fail")
+            .unwrap_or_else(|_| unreachable!("blocking plan cannot fail"))
         else {
-            return;
+            return Ok(());
         };
         let mut acquired: Vec<Tile<L>> = Vec::new();
-        for &(range, mode, _) in &need {
-            acquired.push(self.acquire_tile_async(range, mode).await);
+        let mut failure: Option<DeadlockError> = None;
+        for &(range, mode, is_target) in &need {
+            if is_target {
+                match self.acquire_tile_checked_async(owner_id, range, mode).await {
+                    Ok(t) => acquired.push(t),
+                    Err(deadlock) => {
+                        failure = Some(deadlock);
+                        break;
+                    }
+                }
+            } else {
+                acquired.push(self.acquire_tile_async(range, mode).await);
+            }
+        }
+        if let Some(deadlock) = failure {
+            kept.clear();
+            acquired.clear();
+            let mut restored = Vec::new();
+            for &(range, mode) in &originals {
+                restored.push(Record {
+                    range,
+                    mode,
+                    tiles: vec![self.acquire_tile_async(range, mode).await],
+                });
+            }
+            self.commit(owner_id, restored);
+            return Err(deadlock);
         }
         let mut pool: Vec<Tile<L>> = Vec::new();
         pool.append(&mut kept);
         pool.append(&mut acquired);
         self.assemble_and_commit(owner_id, shapes, pool);
+        Ok(())
+    }
+
+    /// Applies a batch of disjoint items for `owner_id`, all-or-nothing.
+    /// Items are applied in ascending order; an `EDEADLK` part-way through
+    /// rolls the applied prefix back to `before` and reports the cycle.
+    fn set_many(&self, owner_id: u64, items: &[(Range, LockMode)]) -> Result<(), DeadlockError> {
+        let items = normalize_batch(items);
+        let before = self.owner_records(owner_id);
+        for (i, &(range, mode)) in items.iter().enumerate() {
+            match self.set_lock(owner_id, range, Some(mode), true) {
+                Ok(()) => {}
+                Err(SetLockError::Deadlock(deadlock)) => {
+                    self.rollback_batch(owner_id, &items[..i], &before);
+                    return Err(deadlock);
+                }
+                Err(SetLockError::WouldBlock(_)) => {
+                    unreachable!("blocking set_lock cannot return EAGAIN")
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The non-blocking batch: every item is first checked against the
+    /// committed table under one mutex hold — a visible conflict fails the
+    /// whole batch before anything is touched — then applied item by item;
+    /// losing a bounded-acquisition race to an uncommitted transaction rolls
+    /// the applied prefix back.
+    fn try_set_many(&self, owner_id: u64, items: &[(Range, LockMode)]) -> Result<(), WouldBlock> {
+        let items = normalize_batch(items);
+        {
+            let st = self.state.lock().unwrap();
+            for &(range, mode) in &items {
+                if let Some(conflict) = Self::conflicting_record(&st, owner_id, range, mode) {
+                    return Err(WouldBlock {
+                        conflict: Some(conflict),
+                    });
+                }
+            }
+        }
+        let before = self.owner_records(owner_id);
+        for (i, &(range, mode)) in items.iter().enumerate() {
+            match self.set_lock(owner_id, range, Some(mode), false) {
+                Ok(()) => {}
+                Err(SetLockError::WouldBlock(wb)) => {
+                    self.rollback_batch(owner_id, &items[..i], &before);
+                    return Err(wb);
+                }
+                Err(SetLockError::Deadlock(_)) => {
+                    unreachable!("non-blocking set_lock cannot deadlock")
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The async batch: [`LockTable::set_many`] with suspending waits.
+    async fn set_many_async(
+        &self,
+        owner_id: u64,
+        items: &[(Range, LockMode)],
+    ) -> Result<(), DeadlockError> {
+        let items = normalize_batch(items);
+        let before = self.owner_records(owner_id);
+        for (i, &(range, mode)) in items.iter().enumerate() {
+            if let Err(deadlock) = self.set_lock_async(owner_id, range, Some(mode)).await {
+                for &(applied, _) in &items[..i] {
+                    self.set_lock_async(owner_id, applied, None)
+                        .await
+                        .unwrap_or_else(|_| unreachable!("unlock cannot deadlock"));
+                }
+                for &(range, mode) in &before {
+                    if items[..i].iter().any(|(a, _)| a.overlaps(&range)) {
+                        // Best-effort, as in `rollback_batch`.
+                        let _ = self.set_lock_async(owner_id, range, Some(mode)).await;
+                    }
+                }
+                self.lock_ref().wait_queue().record_batch_rollback();
+                return Err(deadlock);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls an owner back after a failed batch: the spans of the applied
+    /// prefix are unlocked, then every pre-batch record overlapping them is
+    /// re-established. Restoring an original is deadlock-checked; a restore
+    /// that would itself close a cycle is skipped — the coverage is lost,
+    /// as when a blocked POSIX upgrade loses its old lock.
+    fn rollback_batch(
+        &self,
+        owner_id: u64,
+        applied: &[(Range, LockMode)],
+        before: &[(Range, LockMode)],
+    ) {
+        for &(range, _) in applied {
+            self.set_lock(owner_id, range, None, true)
+                .unwrap_or_else(|_| unreachable!("unlock cannot fail"));
+        }
+        for &(range, mode) in before {
+            if applied.iter().any(|(a, _)| a.overlaps(&range)) {
+                let _ = self.set_lock(owner_id, range, Some(mode), true);
+            }
+        }
+        self.lock_ref().wait_queue().record_batch_rollback();
+    }
+
+    /// Number of `EDEADLK` failures this table has surfaced (each one also
+    /// mirrors into the underlying lock's wait statistics, when attached).
+    pub fn deadlocks_detected(&self) -> u64 {
+        self.waits.deadlocks_detected()
     }
 
     fn release_owner(&self, owner_id: u64) {
+        // An abandoned async acquisition may have left edges behind; they
+        // must not outlive the owner.
+        self.waits.deregister(owner_id);
         // Removing the state drops every record and therefore every guard.
         self.state.lock().unwrap().owners.remove(&owner_id);
     }
 }
 
-impl<L: RwRangeLock + 'static> Drop for LockTable<L> {
+/// Validates and orders a batch: empty items are dropped, the rest sorted
+/// ascending — the order they are applied and (on failure) unwound in.
+///
+/// # Panics
+///
+/// Panics if two items overlap: a batch is a set of independent spans, and
+/// "lock `[0, 10)` shared and `[5, 15)` exclusive atomically" has no
+/// coherent replace-semantics answer for the overlap.
+fn normalize_batch(items: &[(Range, LockMode)]) -> Vec<(Range, LockMode)> {
+    let mut items: Vec<(Range, LockMode)> = items
+        .iter()
+        .copied()
+        .filter(|(r, _)| !r.is_empty())
+        .collect();
+    items.sort_by_key(|(r, _)| (r.start, r.end));
+    for pair in items.windows(2) {
+        assert!(
+            !pair[0].0.overlaps(&pair[1].0),
+            "batched lock items overlap: {:?} and {:?}",
+            pair[0].0,
+            pair[1].0
+        );
+    }
+    items
+}
+
+impl<L: TwoPhaseRwRangeLock + 'static> Drop for LockTable<L> {
     fn drop(&mut self) {
         // Drop every guard before freeing the lock they borrow.
         self.state.lock().unwrap().owners.clear();
@@ -836,7 +1252,7 @@ impl<L: RwRangeLock + 'static> Drop for LockTable<L> {
     }
 }
 
-impl<L: RwRangeLock + 'static> fmt::Debug for LockTable<L> {
+impl<L: TwoPhaseRwRangeLock + 'static> fmt::Debug for LockTable<L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LockTable")
             .field("lock", &self.lock_name())
@@ -851,13 +1267,13 @@ impl<L: RwRangeLock + 'static> fmt::Debug for LockTable<L> {
 /// `fcntl` calls in the kernel, and the borrow checker provides the same
 /// one-transaction-at-a-time guarantee per owner for free. Dropping the
 /// handle releases everything the owner still holds.
-pub struct LockOwner<L: RwRangeLock + 'static> {
+pub struct LockOwner<L: TwoPhaseRwRangeLock + 'static> {
     table: Arc<LockTable<L>>,
     id: u64,
     name: String,
 }
 
-impl<L: RwRangeLock + 'static> LockOwner<L> {
+impl<L: TwoPhaseRwRangeLock + 'static> LockOwner<L> {
     /// The owner's name, as passed to [`LockTable::owner`].
     pub fn name(&self) -> &str {
         &self.name
@@ -872,10 +1288,22 @@ impl<L: RwRangeLock + 'static> LockOwner<L> {
     /// (`fcntl(F_SETLKW)`). Replaces whatever this owner held over `range`:
     /// splits, merges, upgrades and downgrades as described in the
     /// [module documentation](self).
-    pub fn lock(&mut self, range: Range, mode: LockMode) {
-        self.table
-            .set_lock(self.id, range, Some(mode), true)
-            .expect("blocking set_lock cannot fail");
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DeadlockError`] — the `EDEADLK` of `F_SETLKW` — when
+    /// waiting for the span would close a cycle of owners each blocked on
+    /// the next's committed records. The table is left as if the call had
+    /// not been made. Detection is best-effort, exactly as POSIX allows;
+    /// see the fidelity caveats in the [module documentation](self).
+    pub fn lock(&mut self, range: Range, mode: LockMode) -> Result<(), DeadlockError> {
+        match self.table.set_lock(self.id, range, Some(mode), true) {
+            Ok(()) => Ok(()),
+            Err(SetLockError::Deadlock(deadlock)) => Err(deadlock),
+            Err(SetLockError::WouldBlock(_)) => {
+                unreachable!("blocking set_lock cannot return EAGAIN")
+            }
+        }
     }
 
     /// Locks `range` in `mode` without waiting for the requested span
@@ -886,17 +1314,67 @@ impl<L: RwRangeLock + 'static> LockOwner<L> {
     /// rollback after losing a bounded-acquisition race) may still wait —
     /// see the fidelity caveats in the [module documentation](self).
     pub fn try_lock(&mut self, range: Range, mode: LockMode) -> Result<(), WouldBlock> {
-        self.table.set_lock(self.id, range, Some(mode), false)
+        match self.table.set_lock(self.id, range, Some(mode), false) {
+            Ok(()) => Ok(()),
+            Err(SetLockError::WouldBlock(wb)) => Err(wb),
+            Err(SetLockError::Deadlock(_)) => {
+                unreachable!("non-blocking set_lock cannot deadlock")
+            }
+        }
+    }
+
+    /// Atomically locks every `(range, mode)` item of a batch, waiting for
+    /// conflicting owners — **all-or-nothing**: either every item is applied
+    /// (in ascending address order) or, on an `EDEADLK` part-way through,
+    /// the applied prefix is rolled back to this owner's pre-batch records
+    /// before the error returns. See the
+    /// [module documentation](self#atomic-multi-range-acquisition) for the
+    /// ordering argument and the rollback caveat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two items of the batch overlap.
+    pub fn lock_many(&mut self, items: &[(Range, LockMode)]) -> Result<(), DeadlockError> {
+        self.table.set_many(self.id, items)
+    }
+
+    /// Non-blocking [`LockOwner::lock_many`] (`F_SETLK` over a batch): every
+    /// item is conflict-checked against the committed table before anything
+    /// is touched, then applied; a lost bounded-acquisition race rolls the
+    /// applied prefix back. On `Err` the owner's records are exactly its
+    /// pre-batch records — no residue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two items of the batch overlap.
+    pub fn try_lock_many(&mut self, items: &[(Range, LockMode)]) -> Result<(), WouldBlock> {
+        self.table.try_set_many(self.id, items)
+    }
+
+    /// Asynchronous [`LockOwner::lock_many`]: contended items suspend the
+    /// task instead of blocking a thread; `EDEADLK` rolls the applied prefix
+    /// back with suspending waits too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two items of the batch overlap.
+    pub async fn lock_many_async(
+        &mut self,
+        items: &[(Range, LockMode)],
+    ) -> Result<(), DeadlockError> {
+        self.table.set_many_async(self.id, items).await
     }
 
     /// Releases whatever this owner holds inside `range` (`F_UNLCK`),
     /// splitting boundary records. Unlike POSIX, re-securing the retained
     /// edges of a split may wait behind a queued waiter — see the fidelity
-    /// caveats in the [module documentation](self).
+    /// caveats in the [module documentation](self). Unlocking never fails:
+    /// only the deadlock-checked *target* acquisitions of a `lock` can
+    /// return `EDEADLK`, and an unlock has none.
     pub fn unlock(&mut self, range: Range) {
         self.table
             .set_lock(self.id, range, None, true)
-            .expect("unlock cannot fail");
+            .unwrap_or_else(|_| unreachable!("unlock cannot fail"));
     }
 
     /// Releases every range this owner holds.
@@ -905,27 +1383,26 @@ impl<L: RwRangeLock + 'static> LockOwner<L> {
     }
 
     /// Asynchronous [`LockOwner::lock`]: same replace semantics
-    /// (split/merge/upgrade/downgrade), but waiting for conflicting owners
-    /// suspends the task instead of blocking a thread — the tile futures are
-    /// awaited in ascending range order, so async owners keep the same
-    /// deadlock-avoidance discipline as blocking ones (and may wait behind
-    /// them and vice versa; the underlying lock is the only exclusion
-    /// mechanism either way). See `LockTable::set_lock_async` for what
-    /// happens if the returned future is dropped mid-flight.
-    pub async fn lock_async(&mut self, range: Range, mode: LockMode)
-    where
-        L: TwoPhaseRwRangeLock,
-    {
-        self.table.set_lock_async(self.id, range, Some(mode)).await;
+    /// (split/merge/upgrade/downgrade) and the same `EDEADLK` contract, but
+    /// waiting for conflicting owners suspends the task instead of blocking
+    /// a thread — the tile futures are awaited in ascending range order, so
+    /// async owners keep the same deadlock-avoidance discipline as blocking
+    /// ones (and may wait behind them and vice versa; the underlying lock is
+    /// the only exclusion mechanism either way), and a task suspended in a
+    /// cycle is detected exactly like a blocked thread. See
+    /// `LockTable::set_lock_async` for what happens if the returned future
+    /// is dropped mid-flight.
+    pub async fn lock_async(&mut self, range: Range, mode: LockMode) -> Result<(), DeadlockError> {
+        self.table.set_lock_async(self.id, range, Some(mode)).await
     }
 
     /// Asynchronous [`LockOwner::unlock`]: re-securing the retained edges of
     /// a split suspends instead of blocking.
-    pub async fn unlock_async(&mut self, range: Range)
-    where
-        L: TwoPhaseRwRangeLock,
-    {
-        self.table.set_lock_async(self.id, range, None).await;
+    pub async fn unlock_async(&mut self, range: Range) {
+        self.table
+            .set_lock_async(self.id, range, None)
+            .await
+            .unwrap_or_else(|_| unreachable!("unlock cannot deadlock"));
     }
 
     /// The `F_GETLK` probe: the first committed record of another owner that
@@ -945,13 +1422,13 @@ impl<L: RwRangeLock + 'static> LockOwner<L> {
     }
 }
 
-impl<L: RwRangeLock + 'static> Drop for LockOwner<L> {
+impl<L: TwoPhaseRwRangeLock + 'static> Drop for LockOwner<L> {
     fn drop(&mut self) {
         self.table.release_owner(self.id);
     }
 }
 
-impl<L: RwRangeLock + 'static> fmt::Debug for LockOwner<L> {
+impl<L: TwoPhaseRwRangeLock + 'static> fmt::Debug for LockOwner<L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LockOwner")
             .field("name", &self.name)
@@ -969,7 +1446,7 @@ mod tests {
         Arc::new(LockTable::new(RwListRangeLock::new()))
     }
 
-    fn held_of<L: RwRangeLock>(o: &LockOwner<L>) -> Vec<(u64, u64, LockMode)> {
+    fn held_of<L: TwoPhaseRwRangeLock + 'static>(o: &LockOwner<L>) -> Vec<(u64, u64, LockMode)> {
         o.held()
             .into_iter()
             .map(|(r, m)| (r.start, r.end, m))
@@ -977,10 +1454,251 @@ mod tests {
     }
 
     #[test]
+    fn two_owner_cycle_fails_with_edeadlk() {
+        use rl_sync::stats::WaitStats;
+
+        // a holds [0,100), b holds [200,300); then b waits for a's span
+        // while a waits for b's. Exactly one of the two blocking locks must
+        // fail with EDEADLK (whichever registers the cycle-closing edge);
+        // the loser's rollback dissolves the cycle and the other completes
+        // once the failing side releases.
+        let stats = Arc::new(WaitStats::new("edeadlk"));
+        let t = Arc::new(LockTable::new(
+            RwListRangeLock::new().with_stats(Arc::clone(&stats)),
+        ));
+        let mut a = t.owner("alice");
+        a.lock(Range::new(0, 100), LockMode::Exclusive).unwrap();
+
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let t2 = Arc::clone(&t);
+        let handle = std::thread::spawn(move || {
+            let mut b = t2.owner("bob");
+            b.lock(Range::new(200, 300), LockMode::Exclusive).unwrap();
+            ready_tx.send(()).unwrap();
+            let result = b.lock(Range::new(0, 100), LockMode::Exclusive);
+            if result.is_err() {
+                // Rolled back: bob must still hold exactly his first range.
+                assert_eq!(b.held(), vec![(Range::new(200, 300), LockMode::Exclusive)]);
+            }
+            result
+            // Dropping bob releases [200, 300) and unblocks alice if she is
+            // the surviving waiter.
+        });
+        ready_rx.recv().unwrap();
+        let a_result = a.lock(Range::new(200, 300), LockMode::Exclusive);
+        if a_result.is_err() {
+            // Alice keeps her original coverage and must release it so a
+            // surviving bob can finish.
+            assert_eq!(a.held(), vec![(Range::new(0, 100), LockMode::Exclusive)]);
+            a.unlock_all();
+        }
+        let b_result = handle.join().unwrap();
+        assert_ne!(
+            a_result.is_err(),
+            b_result.is_err(),
+            "exactly one side of the cycle gets EDEADLK: {a_result:?} / {b_result:?}"
+        );
+        let err = a_result.err().or(b_result.err()).unwrap();
+        let msg = err.to_string();
+        assert!(msg.contains("EDEADLK"), "{msg}");
+        assert!(msg.contains("alice") && msg.contains("bob"), "{msg}");
+        assert_eq!(err.cycle.first(), err.cycle.last());
+        assert_eq!(t.deadlocks_detected(), 1);
+        // The detection mirrored into the lock's wait statistics.
+        assert_eq!(stats.snapshot().deadlocks_detected, 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn async_cycle_is_detected_at_the_first_cycle_closing_poll() {
+        use std::future::Future;
+        use std::task::{Context, Waker};
+
+        // Single-threaded and fully deterministic: a holds [0,100), b holds
+        // [200,300). a's async lock of [200,300) pends (registering a -> b);
+        // b's async lock of [0,100) then closes the cycle on its very first
+        // poll and resolves to EDEADLK without ever suspending.
+        let t = table();
+        let mut a = t.owner("alice");
+        let mut b = t.owner("bob");
+        a.lock(Range::new(0, 100), LockMode::Exclusive).unwrap();
+        b.lock(Range::new(200, 300), LockMode::Exclusive).unwrap();
+
+        let mut cx = Context::from_waker(Waker::noop());
+        let mut fut_a = Box::pin(a.lock_async(Range::new(200, 300), LockMode::Exclusive));
+        assert!(fut_a.as_mut().poll(&mut cx).is_pending());
+        {
+            let mut fut_b = Box::pin(b.lock_async(Range::new(0, 100), LockMode::Exclusive));
+            match fut_b.as_mut().poll(&mut cx) {
+                Poll::Ready(Err(deadlock)) => {
+                    assert!(deadlock.to_string().contains("EDEADLK"));
+                }
+                other => panic!("expected immediate EDEADLK, got {other:?}"),
+            }
+        }
+        // Abandon a's future too; both owners keep exactly their originals.
+        drop(fut_a);
+        assert_eq!(t.deadlocks_detected(), 1);
+        assert_eq!(a.held(), vec![(Range::new(0, 100), LockMode::Exclusive)]);
+        assert_eq!(b.held(), vec![(Range::new(200, 300), LockMode::Exclusive)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn lock_many_applies_batches_and_merges() {
+        let t = table();
+        let mut a = t.owner("a");
+        a.lock_many(&[
+            (Range::new(20, 30), LockMode::Shared),
+            (Range::new(0, 10), LockMode::Exclusive),
+            (Range::new(10, 20), LockMode::Exclusive),
+            (Range::new(40, 40), LockMode::Shared), // empty: dropped
+        ])
+        .unwrap();
+        // Items are applied ascending whatever the input order; the two
+        // adjacent exclusive items merge, exactly as sequential locks would.
+        assert_eq!(
+            held_of(&a),
+            vec![(0, 20, LockMode::Exclusive), (20, 30, LockMode::Shared)]
+        );
+        t.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "batched lock items overlap")]
+    fn overlapping_batch_items_panic() {
+        let t = table();
+        let mut a = t.owner("a");
+        let _ = a.lock_many(&[
+            (Range::new(0, 10), LockMode::Shared),
+            (Range::new(5, 15), LockMode::Exclusive),
+        ]);
+    }
+
+    #[test]
+    fn try_lock_many_is_all_or_nothing_against_committed_conflicts() {
+        let t = table();
+        let mut a = t.owner("a");
+        let mut b = t.owner("b");
+        b.lock(Range::new(25, 35), LockMode::Exclusive).unwrap();
+        a.lock(Range::new(0, 10), LockMode::Shared).unwrap();
+
+        // Second item conflicts with b: the precheck fails the whole batch
+        // before anything is touched — including the conflict-free first
+        // item's upgrade.
+        let err = a
+            .try_lock_many(&[
+                (Range::new(0, 10), LockMode::Exclusive),
+                (Range::new(20, 30), LockMode::Exclusive),
+            ])
+            .unwrap_err();
+        assert_eq!(err.conflict.unwrap().owner, "b");
+        assert_eq!(held_of(&a), vec![(0, 10, LockMode::Shared)]);
+        assert_eq!(t.held_records(), 2);
+
+        // A conflict-free batch commits everything.
+        a.try_lock_many(&[
+            (Range::new(0, 10), LockMode::Exclusive),
+            (Range::new(50, 60), LockMode::Shared),
+        ])
+        .unwrap();
+        assert_eq!(
+            held_of(&a),
+            vec![(0, 10, LockMode::Exclusive), (50, 60, LockMode::Shared)]
+        );
+        t.check_invariants();
+    }
+
+    #[test]
+    fn lock_many_async_round_trip() {
+        rl_exec::block_on(async {
+            let t = table();
+            let mut a = t.owner("a");
+            a.lock_many_async(&[
+                (Range::new(30, 40), LockMode::Exclusive),
+                (Range::new(0, 10), LockMode::Shared),
+            ])
+            .await
+            .unwrap();
+            assert_eq!(
+                held_of(&a),
+                vec![(0, 10, LockMode::Shared), (30, 40, LockMode::Exclusive)]
+            );
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn failed_batch_rollback_is_counted_and_leaves_no_residue() {
+        use rl_sync::stats::WaitStats;
+
+        // Deterministic mid-batch deadlock: alice's batch takes [0,100),
+        // then deadlocks against bob on the second item — bob holds
+        // [200,300) and (async, suspended) waits for [0,100), which the
+        // batch just took. The rollback must return alice to exactly her
+        // pre-batch records and count one batch rollback.
+        use std::future::Future;
+        use std::task::{Context, Waker};
+
+        let stats = Arc::new(WaitStats::new("batch-rollback"));
+        let t = Arc::new(LockTable::new(
+            RwListRangeLock::new().with_stats(Arc::clone(&stats)),
+        ));
+        let mut alice = t.owner("alice");
+        let mut bob = t.owner("bob");
+        alice.lock(Range::new(0, 10), LockMode::Shared).unwrap();
+        bob.lock(Range::new(200, 300), LockMode::Exclusive).unwrap();
+
+        let mut cx = Context::from_waker(Waker::noop());
+        // Bob suspends waiting for [0, 100) — once alice's batch commits its
+        // first item, the commit wake lets this edge re-derive to alice.
+        let mut bob_fut = Box::pin(bob.lock_async(Range::new(0, 100), LockMode::Exclusive));
+        assert!(bob_fut.as_mut().poll(&mut cx).is_pending());
+
+        // Alice's batch: item 1 ([120,130), disjoint from bob's published
+        // [0,100) node so it cannot queue behind it) commits; item 2 then
+        // waits for bob's committed [200,300) — the edge alice -> bob closes
+        // the cycle with bob's already-registered bob -> alice and the whole
+        // batch resolves to EDEADLK.
+        let before = alice.held();
+        let items = [
+            (Range::new(120, 130), LockMode::Exclusive),
+            (Range::new(200, 300), LockMode::Shared),
+        ];
+        let err = {
+            let mut batch_fut = Box::pin(alice.lock_many_async(&items));
+            let mut err = None;
+            for _ in 0..64 {
+                match batch_fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(Err(deadlock)) => {
+                        err = Some(deadlock);
+                        break;
+                    }
+                    Poll::Ready(Ok(())) => panic!("batch must deadlock"),
+                    Poll::Pending => {
+                        // Item 1 committed; give bob a poll so he re-derives
+                        // his edge (bob -> alice) and the next batch poll
+                        // (alice -> bob, via [200,300)) closes the cycle.
+                        assert!(bob_fut.as_mut().poll(&mut cx).is_pending());
+                    }
+                }
+            }
+            err.expect("batch did not resolve to EDEADLK")
+        };
+        assert!(err.to_string().contains("EDEADLK"));
+        // Zero residue: alice is back to exactly her pre-batch records.
+        assert_eq!(alice.held(), before);
+        assert!(stats.snapshot().batch_rollbacks >= 1);
+        assert!(stats.snapshot().deadlocks_detected >= 1);
+        drop(bob_fut);
+        t.check_invariants();
+    }
+
+    #[test]
     fn lock_unlock_round_trip() {
         let t = table();
         let mut a = t.owner("a");
-        a.lock(Range::new(0, 100), LockMode::Shared);
+        a.lock(Range::new(0, 100), LockMode::Shared).unwrap();
         assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
         a.unlock(Range::new(0, 100));
         assert!(a.held().is_empty());
@@ -992,7 +1710,7 @@ mod tests {
     fn unlock_middle_splits() {
         let t = table();
         let mut a = t.owner("a");
-        a.lock(Range::new(0, 100), LockMode::Exclusive);
+        a.lock(Range::new(0, 100), LockMode::Exclusive).unwrap();
         a.unlock(Range::new(40, 60));
         assert_eq!(
             held_of(&a),
@@ -1005,11 +1723,11 @@ mod tests {
     fn adjacent_same_mode_locks_merge() {
         let t = table();
         let mut a = t.owner("a");
-        a.lock(Range::new(0, 50), LockMode::Shared);
-        a.lock(Range::new(50, 100), LockMode::Shared);
+        a.lock(Range::new(0, 50), LockMode::Shared).unwrap();
+        a.lock(Range::new(50, 100), LockMode::Shared).unwrap();
         assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
         // Different mode does not merge.
-        a.lock(Range::new(100, 150), LockMode::Exclusive);
+        a.lock(Range::new(100, 150), LockMode::Exclusive).unwrap();
         assert_eq!(
             held_of(&a),
             vec![(0, 100, LockMode::Shared), (100, 150, LockMode::Exclusive)]
@@ -1021,8 +1739,8 @@ mod tests {
     fn upgrade_middle_splits_modes() {
         let t = table();
         let mut a = t.owner("a");
-        a.lock(Range::new(0, 100), LockMode::Shared);
-        a.lock(Range::new(40, 60), LockMode::Exclusive);
+        a.lock(Range::new(0, 100), LockMode::Shared).unwrap();
+        a.lock(Range::new(40, 60), LockMode::Exclusive).unwrap();
         assert_eq!(
             held_of(&a),
             vec![
@@ -1032,7 +1750,7 @@ mod tests {
             ]
         );
         // Downgrade back: everything merges into one shared record again.
-        a.lock(Range::new(40, 60), LockMode::Shared);
+        a.lock(Range::new(40, 60), LockMode::Shared).unwrap();
         assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
         t.check_invariants();
     }
@@ -1041,8 +1759,8 @@ mod tests {
     fn relock_inside_same_mode_is_noop() {
         let t = table();
         let mut a = t.owner("a");
-        a.lock(Range::new(0, 100), LockMode::Shared);
-        a.lock(Range::new(20, 30), LockMode::Shared);
+        a.lock(Range::new(0, 100), LockMode::Shared).unwrap();
+        a.lock(Range::new(20, 30), LockMode::Shared).unwrap();
         assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
         t.check_invariants();
     }
@@ -1052,8 +1770,8 @@ mod tests {
         let t = table();
         let mut a = t.owner("alice");
         let mut b = t.owner("bob");
-        a.lock(Range::new(0, 100), LockMode::Shared);
-        b.lock(Range::new(50, 150), LockMode::Shared);
+        a.lock(Range::new(0, 100), LockMode::Shared).unwrap();
+        b.lock(Range::new(50, 150), LockMode::Shared).unwrap();
 
         let err = b
             .try_lock(Range::new(60, 80), LockMode::Exclusive)
@@ -1082,8 +1800,8 @@ mod tests {
         let t = table();
         let mut a = t.owner("a");
         let mut b = t.owner("b");
-        a.lock(Range::new(0, 10), LockMode::Exclusive);
-        a.lock(Range::new(20, 30), LockMode::Shared);
+        a.lock(Range::new(0, 10), LockMode::Exclusive).unwrap();
+        a.lock(Range::new(20, 30), LockMode::Shared).unwrap();
         assert!(b.try_lock(Range::new(5, 25), LockMode::Exclusive).is_err());
         drop(a);
         assert_eq!(t.held_records(), 0);
@@ -1095,12 +1813,12 @@ mod tests {
     fn blocking_lock_waits_for_conflicting_owner() {
         let t = table();
         let mut a = t.owner("a");
-        a.lock(Range::new(0, 100), LockMode::Exclusive);
+        a.lock(Range::new(0, 100), LockMode::Exclusive).unwrap();
         let t2 = Arc::clone(&t);
         let started = std::time::Instant::now();
         let handle = std::thread::spawn(move || {
             let mut b = t2.owner("b");
-            b.lock(Range::new(50, 150), LockMode::Exclusive);
+            b.lock(Range::new(50, 150), LockMode::Exclusive).unwrap();
             started.elapsed()
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
@@ -1124,13 +1842,13 @@ mod tests {
         ));
         let a = {
             let mut a = t.owner("a");
-            a.lock(Range::new(0, 100), LockMode::Exclusive);
+            a.lock(Range::new(0, 100), LockMode::Exclusive).unwrap();
             a
         };
         let t2 = Arc::clone(&t);
         let handle = std::thread::spawn(move || {
             let mut b = t2.owner("b");
-            b.lock(Range::new(50, 150), LockMode::Exclusive);
+            b.lock(Range::new(50, 150), LockMode::Exclusive).unwrap();
         });
         while stats.snapshot().parks == 0 {
             std::thread::yield_now();
@@ -1151,17 +1869,17 @@ mod tests {
         // of another owner is admitted by the downgrade itself.
         let t = table();
         let mut a = t.owner("a");
-        a.lock(Range::new(0, 100), LockMode::Exclusive);
+        a.lock(Range::new(0, 100), LockMode::Exclusive).unwrap();
 
         let t2 = Arc::clone(&t);
         let waiter = std::thread::spawn(move || {
             let mut b = t2.owner("b");
-            b.lock(Range::new(0, 100), LockMode::Shared);
+            b.lock(Range::new(0, 100), LockMode::Shared).unwrap();
             b.unlock_all();
         });
         // Let the waiter block on the exclusive record.
         std::thread::sleep(std::time::Duration::from_millis(20));
-        a.lock(Range::new(0, 100), LockMode::Shared);
+        a.lock(Range::new(0, 100), LockMode::Shared).unwrap();
         waiter.join().unwrap();
         assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
         t.check_invariants();
@@ -1171,18 +1889,18 @@ mod tests {
     fn partial_downgrade_splits_and_keeps_inner_tiles_shared() {
         let t = table();
         let mut a = t.owner("a");
-        a.lock(Range::new(0, 30), LockMode::Exclusive);
-        a.lock(Range::new(30, 60), LockMode::Exclusive);
+        a.lock(Range::new(0, 30), LockMode::Exclusive).unwrap();
+        a.lock(Range::new(30, 60), LockMode::Exclusive).unwrap();
         // Re-lock a span that exactly covers the second record: its tile is
         // fully inside the target and downgrades in place.
-        a.lock(Range::new(30, 60), LockMode::Shared);
+        a.lock(Range::new(30, 60), LockMode::Shared).unwrap();
         assert_eq!(
             held_of(&a),
             vec![(0, 30, LockMode::Exclusive), (30, 60, LockMode::Shared)]
         );
         // And a downgrade across a split boundary still produces the right
         // record shape through the fallback path.
-        a.lock(Range::new(10, 40), LockMode::Shared);
+        a.lock(Range::new(10, 40), LockMode::Shared).unwrap();
         assert_eq!(
             held_of(&a),
             vec![(0, 10, LockMode::Exclusive), (10, 60, LockMode::Shared),]
@@ -1199,18 +1917,18 @@ mod tests {
         let t = Arc::new(LockTable::new(
             registry::by_name("list-rw")
                 .expect("paper variant")
-                .build_default(),
+                .build_twophase_default(),
         ));
         let mut a = t.owner("a");
-        a.lock(Range::new(0, 100), LockMode::Exclusive);
+        a.lock(Range::new(0, 100), LockMode::Exclusive).unwrap();
         let t2 = Arc::clone(&t);
         let waiter = std::thread::spawn(move || {
             let mut b = t2.owner("b");
-            b.lock(Range::new(0, 100), LockMode::Shared);
+            b.lock(Range::new(0, 100), LockMode::Shared).unwrap();
             b.unlock_all();
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
-        a.lock(Range::new(0, 100), LockMode::Shared);
+        a.lock(Range::new(0, 100), LockMode::Shared).unwrap();
         waiter.join().unwrap();
         assert_eq!(held_of(&a), vec![(0, 100, LockMode::Shared)]);
         t.check_invariants();
@@ -1223,8 +1941,8 @@ mod tests {
         use rl_baselines::RwTreeRangeLock;
         let t = Arc::new(LockTable::new(RwTreeRangeLock::new()));
         let mut a = t.owner("a");
-        a.lock(Range::new(0, 100), LockMode::Exclusive);
-        a.lock(Range::new(0, 100), LockMode::Shared);
+        a.lock(Range::new(0, 100), LockMode::Exclusive).unwrap();
+        a.lock(Range::new(0, 100), LockMode::Shared).unwrap();
         assert_eq!(
             a.held()
                 .into_iter()
@@ -1245,8 +1963,12 @@ mod tests {
         rl_exec::block_on(async {
             let t = table();
             let mut a = t.owner("a");
-            a.lock_async(Range::new(0, 100), LockMode::Shared).await;
-            a.lock_async(Range::new(40, 60), LockMode::Exclusive).await;
+            a.lock_async(Range::new(0, 100), LockMode::Shared)
+                .await
+                .unwrap();
+            a.lock_async(Range::new(40, 60), LockMode::Exclusive)
+                .await
+                .unwrap();
             assert_eq!(
                 held_of(&a),
                 vec![
@@ -1276,12 +1998,14 @@ mod tests {
         let pool = rl_exec::TaskPool::new(1);
         let t = table();
         let mut a = t.owner("a");
-        a.lock(Range::new(0, 100), LockMode::Exclusive);
+        a.lock(Range::new(0, 100), LockMode::Exclusive).unwrap();
 
         let t2 = Arc::clone(&t);
         let waiter = pool.spawn(async move {
             let mut b = t2.owner("b");
-            b.lock_async(Range::new(50, 150), LockMode::Exclusive).await;
+            b.lock_async(Range::new(50, 150), LockMode::Exclusive)
+                .await
+                .unwrap();
             b.held().len()
         });
         // A second task on the same worker proves the suspended waiter does
@@ -1290,7 +2014,8 @@ mod tests {
         let independent = pool.spawn(async move {
             let mut c = t3.owner("c");
             c.lock_async(Range::new(500, 600), LockMode::Exclusive)
-                .await;
+                .await
+                .unwrap();
             c.unlock_all();
         });
         independent.join();
@@ -1304,8 +2029,8 @@ mod tests {
         let t = table();
         let mut a = t.owner("alice");
         let mut b = t.owner("bob");
-        a.lock(Range::new(0, 10), LockMode::Shared);
-        b.lock(Range::new(10, 20), LockMode::Exclusive);
+        a.lock(Range::new(0, 10), LockMode::Shared).unwrap();
+        b.lock(Range::new(10, 20), LockMode::Exclusive).unwrap();
         let records = t.records();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].owner, "alice");
@@ -1319,7 +2044,7 @@ mod tests {
     fn empty_range_operations_are_noops() {
         let t = table();
         let mut a = t.owner("a");
-        a.lock(Range::new(10, 10), LockMode::Exclusive);
+        a.lock(Range::new(10, 10), LockMode::Exclusive).unwrap();
         assert!(a.held().is_empty());
         a.unlock(Range::new(5, 5));
         a.try_lock(Range::new(7, 7), LockMode::Shared).unwrap();

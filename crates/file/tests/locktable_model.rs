@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use range_lock::{Range, RwListRangeLock, RwRangeLock};
+use range_lock::{Range, RwListRangeLock, TwoPhaseRwRangeLock};
 use rl_baselines::{RwTreeRangeLock, SegmentRangeLock};
 use rl_file::{LockMode, LockTable};
 use rl_sync::wait::{Block, Spin};
@@ -112,7 +112,7 @@ type Op = (u64, u64, u64, u8);
 /// multiple (1 = byte granularity); `exact_try` additionally requires
 /// `try_lock` to fail *exactly* when the reference sees a conflict (true for
 /// exact-granularity locks).
-fn run_model<L: RwRangeLock + 'static>(
+fn run_model<L: TwoPhaseRwRangeLock + 'static>(
     lock: L,
     ops: &[Op],
     align: u64,

@@ -49,6 +49,8 @@ pub struct WaitStats {
     wakes: AtomicU64,
     waker_registrations: AtomicU64,
     cancels: AtomicU64,
+    deadlocks_detected: AtomicU64,
+    batch_rollbacks: AtomicU64,
 }
 
 impl WaitStats {
@@ -65,6 +67,8 @@ impl WaitStats {
             wakes: AtomicU64::new(0),
             waker_registrations: AtomicU64::new(0),
             cancels: AtomicU64::new(0),
+            deadlocks_detected: AtomicU64::new(0),
+            batch_rollbacks: AtomicU64::new(0),
         }
     }
 
@@ -154,6 +158,24 @@ impl WaitStats {
         self.cancels.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one acquisition refused with `EDEADLK`: the waits-for cycle
+    /// check found that waiting would have closed a cycle, so the waiter
+    /// failed fast instead of parking. The waiter side of the deadlock
+    /// avoidance protocol; the companion of [`WaitStats::record_cancel`]
+    /// (a detected deadlock also cancels its pending acquisition).
+    #[inline]
+    pub fn record_deadlock(&self) {
+        self.deadlocks_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batched acquisition that failed partway and rolled back
+    /// every range it had already taken (the all-or-nothing guarantee of
+    /// `acquire_many`/`lock_many` firing).
+    #[inline]
+    pub fn record_batch_rollback(&self) {
+        self.batch_rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Returns a consistent-enough copy of the counters.
     ///
     /// Counters are read with relaxed ordering; a snapshot taken while other
@@ -171,6 +193,8 @@ impl WaitStats {
             wakes: self.wakes.load(Ordering::Relaxed),
             waker_registrations: self.waker_registrations.load(Ordering::Relaxed),
             cancels: self.cancels.load(Ordering::Relaxed),
+            deadlocks_detected: self.deadlocks_detected.load(Ordering::Relaxed),
+            batch_rollbacks: self.batch_rollbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -185,6 +209,8 @@ impl WaitStats {
         self.wakes.store(0, Ordering::Relaxed);
         self.waker_registrations.store(0, Ordering::Relaxed);
         self.cancels.store(0, Ordering::Relaxed);
+        self.deadlocks_detected.store(0, Ordering::Relaxed);
+        self.batch_rollbacks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -218,6 +244,13 @@ pub struct LockStatSnapshot {
     /// Number of abandoned two-phase acquisitions: futures dropped before
     /// readiness plus timed acquisitions that expired.
     pub cancels: u64,
+    /// Number of acquisitions refused with `EDEADLK` because waiting would
+    /// have closed a waits-for cycle. Each one also cancelled its pending
+    /// acquisition, so `cancels` counts it too.
+    pub deadlocks_detected: u64,
+    /// Number of batched acquisitions (`acquire_many`/`lock_many`) that
+    /// failed partway and rolled back every range already taken.
+    pub batch_rollbacks: u64,
 }
 
 impl LockStatSnapshot {
@@ -453,6 +486,23 @@ mod tests {
         s.reset();
         assert_eq!(s.snapshot().waker_registrations, 0);
         assert_eq!(s.snapshot().cancels, 0);
+    }
+
+    #[test]
+    fn deadlock_and_batch_rollback_counters_accumulate_and_reset() {
+        let s = WaitStats::new("x");
+        s.record_deadlock();
+        s.record_deadlock();
+        s.record_batch_rollback();
+        let snap = s.snapshot();
+        assert_eq!(snap.deadlocks_detected, 2);
+        assert_eq!(snap.batch_rollbacks, 1);
+        // Independent of the neighbouring two-phase counters.
+        assert_eq!(snap.cancels, 0);
+        assert_eq!(snap.parks, 0);
+        s.reset();
+        assert_eq!(s.snapshot().deadlocks_detected, 0);
+        assert_eq!(s.snapshot().batch_rollbacks, 0);
     }
 
     #[test]

@@ -135,6 +135,10 @@ pub struct WaitQueue {
     /// Total abandoned two-phase acquisitions (futures dropped mid-wait and
     /// expired timeouts).
     cancels: AtomicU64,
+    /// Total acquisitions refused with `EDEADLK` by a waits-for cycle check.
+    deadlocks: AtomicU64,
+    /// Total batched acquisitions that failed partway and rolled back.
+    batch_rollbacks: AtomicU64,
     /// Optional mirror for the park/wake counters, attached by the owning
     /// lock's `with_stats` builder before the lock is shared.
     stats: Option<Arc<WaitStats>>,
@@ -155,6 +159,8 @@ impl WaitQueue {
             next_slot: AtomicU64::new(1),
             waker_regs: AtomicU64::new(0),
             cancels: AtomicU64::new(0),
+            deadlocks: AtomicU64::new(0),
+            batch_rollbacks: AtomicU64::new(0),
             stats: None,
         }
     }
@@ -187,6 +193,18 @@ impl WaitQueue {
     /// [`WaitQueue::record_cancel`].
     pub fn cancels(&self) -> u64 {
         self.cancels.load(Ordering::Relaxed)
+    }
+
+    /// Number of acquisitions refused with `EDEADLK`, recorded through
+    /// [`WaitQueue::record_deadlock`].
+    pub fn deadlocks(&self) -> u64 {
+        self.deadlocks.load(Ordering::Relaxed)
+    }
+
+    /// Number of rolled-back batched acquisitions, recorded through
+    /// [`WaitQueue::record_batch_rollback`].
+    pub fn batch_rollbacks(&self) -> u64 {
+        self.batch_rollbacks.load(Ordering::Relaxed)
     }
 
     /// Current generation. Snapshot this **before** polling the condition a
@@ -252,6 +270,26 @@ impl WaitQueue {
         self.cancels.fetch_add(1, Ordering::Relaxed);
         if let Some(stats) = &self.stats {
             stats.record_cancel();
+        }
+    }
+
+    /// Records one acquisition refused with `EDEADLK`: a waits-for cycle
+    /// check decided that waiting would have closed a cycle. The refused
+    /// acquisition also cancels its pending node, so callers record a
+    /// [`WaitQueue::record_cancel`] alongside.
+    pub fn record_deadlock(&self) {
+        self.deadlocks.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = &self.stats {
+            stats.record_deadlock();
+        }
+    }
+
+    /// Records one batched acquisition (`acquire_many`/`lock_many`) that
+    /// failed partway and rolled back every range it had already taken.
+    pub fn record_batch_rollback(&self) {
+        self.batch_rollbacks.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = &self.stats {
+            stats.record_batch_rollback();
         }
     }
 
@@ -778,6 +816,21 @@ mod tests {
 
         queue.record_cancel();
         assert_eq!(queue.cancels(), 1);
+    }
+
+    #[test]
+    fn deadlock_and_rollback_counters_mirror_into_stats() {
+        let stats = Arc::new(WaitStats::new("queue"));
+        let mut queue = WaitQueue::new();
+        queue.attach_stats(Arc::clone(&stats));
+        queue.record_deadlock();
+        queue.record_batch_rollback();
+        queue.record_batch_rollback();
+        assert_eq!(queue.deadlocks(), 1);
+        assert_eq!(queue.batch_rollbacks(), 2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.deadlocks_detected, 1);
+        assert_eq!(snap.batch_rollbacks, 2);
     }
 
     #[test]

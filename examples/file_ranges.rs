@@ -15,7 +15,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use range_lock::{ExclusiveAsRw, ListRangeLock, Range, RwListRangeLock, RwRangeLock};
+use range_lock::{
+    ExclusiveAsRw, ListRangeLock, Range, RwListRangeLock, RwRangeLock, TwoPhaseRwRangeLock,
+};
 use rl_baselines::TreeRangeLock;
 use rl_file::{FileStore, LockMode, LockTable, RangeFile};
 use rl_sync::LabeledStats;
@@ -74,7 +76,7 @@ fn run_store<L: RwRangeLock + 'static>(name: &str, store: &FileStore<L>, threads
     );
 }
 
-fn print_table_state<L: RwRangeLock + 'static>(what: &str, table: &LockTable<L>) {
+fn print_table_state<L: TwoPhaseRwRangeLock + 'static>(what: &str, table: &LockTable<L>) {
     print!("  {what}:");
     for rec in table.records() {
         print!(
@@ -129,16 +131,23 @@ fn main() {
     let table = Arc::new(LockTable::new(RwListRangeLock::new()));
     let mut alice = table.owner("alice");
     let mut bob = table.owner("bob");
-    alice.lock(Range::new(0, 100), LockMode::Shared);
-    bob.lock(Range::new(100, 200), LockMode::Shared);
+    alice
+        .lock(Range::new(0, 100), LockMode::Shared)
+        .expect("no cycle here");
+    bob.lock(Range::new(100, 200), LockMode::Shared)
+        .expect("no cycle here");
     print_table_state("two shared owners", &table);
-    alice.lock(Range::new(40, 60), LockMode::Exclusive);
+    alice
+        .lock(Range::new(40, 60), LockMode::Exclusive)
+        .expect("no cycle here");
     print_table_state("alice upgrades [40, 60) — her record splits", &table);
     match bob.try_lock(Range::new(50, 55), LockMode::Shared) {
         Err(e) => println!("  bob try-locks [50, 55) shared: {e}"),
         Ok(()) => unreachable!("alice holds [40, 60) exclusively"),
     }
-    alice.lock(Range::new(40, 60), LockMode::Shared);
+    alice
+        .lock(Range::new(40, 60), LockMode::Shared)
+        .expect("no cycle here");
     print_table_state("alice downgrades — records merge back", &table);
     drop(alice);
     print_table_state("alice drops — her locks vanish", &table);

@@ -19,9 +19,18 @@
 //! `acquire_async` / `write_async` futures: first-poll readiness must agree
 //! with the oracle exactly as `try_` does, and futures dropped while pending
 //! (the cancellation path) must leave no trace the oracle can detect.
+//!
+//! A **batched-acquisition arm** (PR 6) replays random multi-range batches
+//! against two identically-populated lock tables: one takes each batch
+//! atomically through `try_lock_many`, the other through the obvious oracle —
+//! sequential `try_lock`s in ascending range order, hand-rolled back on
+//! failure. Outcomes, the batching owner's records, and the *entire* table
+//! contents must agree after every step; in particular a failed batch must
+//! leave no residue.
 
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
 use proptest::prelude::*;
@@ -29,6 +38,7 @@ use proptest::prelude::*;
 use range_locks_repro::range_lock::{
     AsyncRangeLock, AsyncRwRangeLock, ListRangeLock, Range, RwListRangeLock,
 };
+use range_locks_repro::rl_file::{LockMode, LockTable};
 use range_locks_repro::rl_sync::wait::{Block, Spin, SpinThenYield, WaitPolicy};
 
 /// One step of a range program.
@@ -157,6 +167,153 @@ fn replay_async<P: WaitPolicy>(ops: &[Op]) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// One step of a batched-acquisition program.
+#[derive(Debug, Clone)]
+enum BatchOp {
+    /// A background owner (`idx % 2`) tries to take one slot range, in the
+    /// given mode, on both tables — this is what batches conflict *against*.
+    Background {
+        idx: usize,
+        slot: u64,
+        exclusive: bool,
+    },
+    /// A background owner drops everything it holds, on both tables.
+    BackgroundRelease { idx: usize },
+    /// The batching owner submits `(slot, len, exclusive)` items (overlaps
+    /// between items filtered out by the harness, order left as generated).
+    Batch { items: Vec<(u64, u64, bool)> },
+}
+
+fn batch_op_strategy() -> impl Strategy<Value = BatchOp> {
+    (
+        0u64..8,
+        0u64..16,
+        any::<bool>(),
+        collection::vec((0u64..16, 1u64..4, any::<bool>()), 1..5),
+    )
+        .prop_map(|(tag, slot, exclusive, items)| match tag {
+            0 | 1 => BatchOp::Background {
+                idx: slot as usize,
+                slot,
+                exclusive,
+            },
+            2 => BatchOp::BackgroundRelease { idx: slot as usize },
+            _ => BatchOp::Batch { items },
+        })
+}
+
+fn mode_of(exclusive: bool) -> LockMode {
+    if exclusive {
+        LockMode::Exclusive
+    } else {
+        LockMode::Shared
+    }
+}
+
+fn mode_rank(mode: LockMode) -> u8 {
+    match mode {
+        LockMode::Shared => 0,
+        LockMode::Exclusive => 1,
+    }
+}
+
+/// The full committed state of a table as a comparable, order-free value.
+fn table_state<L>(table: &LockTable<L>) -> Vec<(String, u64, u64, u8)>
+where
+    L: range_locks_repro::range_lock::TwoPhaseRwRangeLock + 'static,
+{
+    let mut out: Vec<_> = table
+        .records()
+        .into_iter()
+        .map(|r| (r.owner, r.range.start, r.range.end, mode_rank(r.mode)))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Replays a batched-acquisition program against two identically-driven
+/// tables: `try_lock_many` vs the sequential-ascending `try_lock` oracle.
+fn replay_batches(ops: &[BatchOp]) -> Result<(), TestCaseError> {
+    let atomic = Arc::new(LockTable::new(RwListRangeLock::new()));
+    let oracle = Arc::new(LockTable::new(RwListRangeLock::new()));
+    let mut atomic_bg: Vec<_> = (0..2).map(|i| atomic.owner(format!("bg{i}"))).collect();
+    let mut oracle_bg: Vec<_> = (0..2).map(|i| oracle.owner(format!("bg{i}"))).collect();
+    let mut atomic_batcher = atomic.owner("batcher");
+    let mut oracle_batcher = oracle.owner("batcher");
+
+    for op in ops {
+        match op {
+            BatchOp::Background {
+                idx,
+                slot,
+                exclusive,
+            } => {
+                let range = Range::new(slot * 10, slot * 10 + 10);
+                let mode = mode_of(*exclusive);
+                let a = atomic_bg[idx % 2].try_lock(range, mode);
+                let b = oracle_bg[idx % 2].try_lock(range, mode);
+                // Identical tables, identical request: identical outcome.
+                prop_assert_eq!(a.is_ok(), b.is_ok());
+            }
+            BatchOp::BackgroundRelease { idx } => {
+                atomic_bg[idx % 2].unlock_all();
+                oracle_bg[idx % 2].unlock_all();
+            }
+            BatchOp::Batch { items } => {
+                // Drop items overlapping an earlier kept item (batches must
+                // be self-disjoint); keep the generated submission order.
+                let mut kept: Vec<(Range, LockMode)> = Vec::new();
+                for &(slot, len, exclusive) in items {
+                    let range = Range::new(slot * 10, (slot + len) * 10);
+                    if kept.iter().all(|(k, _)| !k.overlaps(&range)) {
+                        kept.push((range, mode_of(exclusive)));
+                    }
+                }
+
+                let atomic_outcome = atomic_batcher.try_lock_many(&kept);
+
+                // Oracle: apply in ascending range order, one `try_lock` at
+                // a time; on the first refusal undo the applied prefix by
+                // unlocking exactly those items (the batcher holds nothing
+                // else, so per-item unlock is an exact inverse).
+                let mut ascending = kept.clone();
+                ascending.sort_by_key(|(range, _)| (range.start, range.end));
+                let mut applied: Vec<Range> = Vec::new();
+                let mut oracle_outcome = Ok(());
+                for &(range, mode) in &ascending {
+                    match oracle_batcher.try_lock(range, mode) {
+                        Ok(()) => applied.push(range),
+                        Err(would_block) => {
+                            oracle_outcome = Err(would_block);
+                            for &range in &applied {
+                                oracle_batcher.unlock(range);
+                            }
+                            break;
+                        }
+                    }
+                }
+
+                prop_assert_eq!(atomic_outcome.is_ok(), oracle_outcome.is_ok());
+                if atomic_outcome.is_err() {
+                    // No residue: a failed batch leaves the batcher with
+                    // exactly nothing (it held nothing going in).
+                    prop_assert!(atomic_batcher.held().is_empty());
+                }
+                // Whatever happened, both tables must be indistinguishable.
+                prop_assert_eq!(table_state(&atomic), table_state(&oracle));
+
+                atomic_batcher.unlock_all();
+                oracle_batcher.unlock_all();
+            }
+        }
+        prop_assert_eq!(table_state(&atomic), table_state(&oracle));
+    }
+
+    atomic.check_invariants();
+    oracle.check_invariants();
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -208,6 +365,17 @@ proptest! {
         }
         prop_assert!(ex.is_quiescent());
         prop_assert!(rw.is_quiescent());
+    }
+
+    /// The atomic batch path (`try_lock_many`) and the sequential-ascending
+    /// `try_lock` oracle are indistinguishable: same outcomes, same records,
+    /// same full table state after every step — and a failed batch leaves
+    /// zero residue.
+    #[test]
+    fn batched_acquisition_agrees_with_the_sequential_oracle(
+        ops in proptest::collection::vec(batch_op_strategy(), 1..40),
+    ) {
+        replay_batches(&ops)?;
     }
 
     /// Adjacency retro-check (the PR 2 off-by-one, exclusive side): ranges

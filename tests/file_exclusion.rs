@@ -132,7 +132,7 @@ fn lock_table_excludes_concurrent_owners() {
                     let span = xorshift(&mut rng) % SPANS;
                     let range = Range::new(span * SPAN, (span + 1) * SPAN);
                     if xorshift(&mut rng).is_multiple_of(2) {
-                        owner.lock(range, LockMode::Exclusive);
+                        owner.lock(range, LockMode::Exclusive).unwrap();
                         // The table lock — not the file's internal lock — is
                         // what makes this stamped write exclusive: the write
                         // itself only locks one byte at a time underneath.
@@ -150,7 +150,7 @@ fn lock_table_excludes_concurrent_owners() {
                         }
                         owner.unlock(range);
                     } else {
-                        owner.lock(range, LockMode::Shared);
+                        owner.lock(range, LockMode::Shared).unwrap();
                         let mut buf = vec![0u8; SPAN as usize];
                         file.pread(range.start, &mut buf);
                         if buf.iter().any(|&b| b != buf[0]) {
@@ -160,10 +160,12 @@ fn lock_table_excludes_concurrent_owners() {
                     }
                 }
                 // Leave some locks held so the drop path gets exercised.
-                owner.lock(
-                    Range::new(t as u64 * 10_000 + 100_000, t as u64 * 10_000 + 100_100),
-                    LockMode::Exclusive,
-                );
+                owner
+                    .lock(
+                        Range::new(t as u64 * 10_000 + 100_000, t as u64 * 10_000 + 100_100),
+                        LockMode::Exclusive,
+                    )
+                    .unwrap();
             });
         }
     });

@@ -260,9 +260,9 @@ fn lock_table_block_policy_never_loses_a_wakeup() {
                 let start = ((t * 5 + i) % 8) as u64 * 8;
                 let range = Range::new(start, start + 60);
                 if (t + i) % 4 == 0 {
-                    owner.lock(range, LockMode::Exclusive);
+                    owner.lock(range, LockMode::Exclusive).unwrap();
                 } else {
-                    owner.lock(range, LockMode::Shared);
+                    owner.lock(range, LockMode::Shared).unwrap();
                 }
                 owner.unlock(range);
             }
