@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 use range_lock::{DynAsyncRwRangeLock, DynRwRangeLock, Range};
 use rl_baselines::registry::VariantSpec;
 use rl_exec::TaskPool;
+use rl_obs::{HistogramSnapshot, LatencyHistogram};
 use rl_sync::wait::WaitPolicyKind;
 use rl_sync::{padded::padded_vec, CachePadded};
 
@@ -84,18 +85,35 @@ pub struct AsyncBenchConfig {
 }
 
 /// Result of one AsyncBench run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AsyncBenchResult {
     /// Total completed operations (owners × ops each).
     pub operations: u64,
     /// Wall-clock time to drain the whole backlog.
     pub elapsed: Duration,
+    /// Distribution of per-operation acquisition latencies (request to
+    /// guard, nanoseconds), recorded by the harness around every
+    /// acquisition. The registry builds locks without attached `WaitStats`,
+    /// so this is where the p50/p99 columns of the AsyncBench report tables
+    /// come from.
+    pub wait_hist: HistogramSnapshot,
 }
 
 impl AsyncBenchResult {
     /// Throughput in operations per second.
     pub fn ops_per_sec(&self) -> f64 {
         self.operations as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Median acquisition latency in microseconds (0 if nothing recorded).
+    pub fn p50_wait_us(&self) -> f64 {
+        self.wait_hist.p50().unwrap_or(0) as f64 / 1_000.0
+    }
+
+    /// 99th-percentile acquisition latency in microseconds (0 if nothing
+    /// recorded).
+    pub fn p99_wait_us(&self) -> f64 {
+        self.wait_hist.p99().unwrap_or(0) as f64 / 1_000.0
     }
 }
 
@@ -145,22 +163,26 @@ fn run_async_tasks(config: &AsyncBenchConfig) -> AsyncBenchResult {
             .build_async(WaitPolicyKind::Block, &ARRAY_REGISTRY_CONFIG),
     );
     let slots: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(padded_vec(ARRAY_SLOTS as usize));
+    let waits = Arc::new(LatencyHistogram::new());
     let pool = TaskPool::new(config.workers.max(1));
     let started = Instant::now();
     let handles: Vec<_> = (0..config.owners)
         .map(|owner| {
             let lock = Arc::clone(&lock);
             let slots = Arc::clone(&slots);
+            let waits = Arc::clone(&waits);
             let config = *config;
             pool.spawn(async move {
                 let mut rng_state = seed(owner);
                 for _ in 0..config.ops_per_owner {
                     let (range, read) = next_op(&mut rng_state, config.read_pct);
+                    let requested = Instant::now();
                     let guard = if read {
                         lock.read_async_dyn(range).await
                     } else {
                         lock.write_async_dyn(range).await
                     };
+                    waits.record(requested.elapsed().as_nanos() as u64);
                     critical_section(&slots, range, read);
                     drop(guard);
                 }
@@ -173,6 +195,7 @@ fn run_async_tasks(config: &AsyncBenchConfig) -> AsyncBenchResult {
     AsyncBenchResult {
         operations: config.owners as u64 * config.ops_per_owner,
         elapsed: started.elapsed(),
+        wait_hist: waits.snapshot(),
     }
 }
 
@@ -180,21 +203,25 @@ fn run_thread_per_owner(config: &AsyncBenchConfig, wait: WaitPolicyKind) -> Asyn
     let lock: Arc<Box<dyn DynRwRangeLock>> =
         Arc::new(config.lock.build(wait, &ARRAY_REGISTRY_CONFIG));
     let slots: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(padded_vec(ARRAY_SLOTS as usize));
+    let waits = Arc::new(LatencyHistogram::new());
     let started = Instant::now();
     let handles: Vec<_> = (0..config.owners)
         .map(|owner| {
             let lock = Arc::clone(&lock);
             let slots = Arc::clone(&slots);
+            let waits = Arc::clone(&waits);
             let config = *config;
             std::thread::spawn(move || {
                 let mut rng_state = seed(owner);
                 for _ in 0..config.ops_per_owner {
                     let (range, read) = next_op(&mut rng_state, config.read_pct);
+                    let requested = Instant::now();
                     let guard = if read {
                         lock.read_dyn(range)
                     } else {
                         lock.write_dyn(range)
                     };
+                    waits.record(requested.elapsed().as_nanos() as u64);
                     critical_section(&slots, range, read);
                     drop(guard);
                 }
@@ -207,6 +234,7 @@ fn run_thread_per_owner(config: &AsyncBenchConfig, wait: WaitPolicyKind) -> Asyn
     AsyncBenchResult {
         operations: config.owners as u64 * config.ops_per_owner,
         elapsed: started.elapsed(),
+        wait_hist: waits.snapshot(),
     }
 }
 
@@ -243,6 +271,14 @@ mod tests {
                 });
                 assert_eq!(result.operations, 200, "{} / {}", lock.name, driver.name());
                 assert!(result.ops_per_sec() > 0.0);
+                assert_eq!(
+                    result.wait_hist.count(),
+                    200,
+                    "{} / {}: every acquisition must be recorded",
+                    lock.name,
+                    driver.name()
+                );
+                assert!(result.p99_wait_us() >= result.p50_wait_us());
             }
         }
     }

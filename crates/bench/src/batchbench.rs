@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 use range_lock::Range;
 use rl_baselines::registry::{RegistryConfig, VariantSpec};
 use rl_file::{LockMode, LockTable};
+use rl_obs::{HistogramSnapshot, LatencyHistogram};
 use rl_sync::wait::WaitPolicyKind;
 
 use crate::rng::{seed, xorshift};
@@ -100,12 +101,30 @@ pub struct BatchBenchResult {
     pub elapsed: Duration,
     /// `EDEADLK` outcomes (aborted + rolled-back iterations).
     pub deadlocks: u64,
+    /// Distribution of whole-batch acquisition latencies (first lock call
+    /// to all ranges held, nanoseconds) over the *successful* batches,
+    /// recorded by the harness. The registry builds locks without attached
+    /// `WaitStats`, so this is where the p50/p99 columns of the BatchBench
+    /// report tables come from.
+    pub wait_hist: HistogramSnapshot,
 }
 
 impl BatchBenchResult {
     /// Throughput in completed batches per second.
     pub fn batches_per_sec(&self) -> f64 {
         self.batches as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Median batch-acquisition latency in microseconds (0 if nothing
+    /// recorded).
+    pub fn p50_wait_us(&self) -> f64 {
+        self.wait_hist.p50().unwrap_or(0) as f64 / 1_000.0
+    }
+
+    /// 99th-percentile batch-acquisition latency in microseconds (0 if
+    /// nothing recorded).
+    pub fn p99_wait_us(&self) -> f64 {
+        self.wait_hist.p99().unwrap_or(0) as f64 / 1_000.0
     }
 }
 
@@ -145,6 +164,7 @@ pub fn run(config: &BatchBenchConfig) -> BatchBenchResult {
     let stop = Arc::new(AtomicBool::new(false));
     let total_batches = Arc::new(AtomicU64::new(0));
     let total_deadlocks = Arc::new(AtomicU64::new(0));
+    let waits = Arc::new(LatencyHistogram::new());
     let start = Instant::now();
     let mut handles = Vec::with_capacity(config.threads);
     for thread_id in 0..config.threads {
@@ -152,6 +172,7 @@ pub fn run(config: &BatchBenchConfig) -> BatchBenchResult {
         let stop = Arc::clone(&stop);
         let total_batches = Arc::clone(&total_batches);
         let total_deadlocks = Arc::clone(&total_deadlocks);
+        let waits = Arc::clone(&waits);
         let config = *config;
         handles.push(std::thread::spawn(move || {
             let mut owner = table.owner(format!("worker-{thread_id}"));
@@ -160,6 +181,7 @@ pub fn run(config: &BatchBenchConfig) -> BatchBenchResult {
             let mut deadlocks = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 let items = pick_batch(&mut rng, config.batch_size);
+                let requested = Instant::now();
                 let acquired = match config.driver {
                     BatchDriver::Batched => owner.lock_many(&items).is_ok(),
                     BatchDriver::Sequential => items
@@ -167,6 +189,7 @@ pub fn run(config: &BatchBenchConfig) -> BatchBenchResult {
                         .all(|&(range, mode)| owner.lock(range, mode).is_ok()),
                 };
                 if acquired {
+                    waits.record(requested.elapsed().as_nanos() as u64);
                     batches += 1;
                 } else {
                     deadlocks += 1;
@@ -187,6 +210,7 @@ pub fn run(config: &BatchBenchConfig) -> BatchBenchResult {
         batches: total_batches.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
         deadlocks: total_deadlocks.load(Ordering::Relaxed),
+        wait_hist: waits.snapshot(),
     }
 }
 
@@ -213,6 +237,14 @@ mod tests {
                     lock.name,
                     driver.name()
                 );
+                assert_eq!(
+                    result.wait_hist.count(),
+                    result.batches,
+                    "{} / {}: one latency sample per successful batch",
+                    lock.name,
+                    driver.name()
+                );
+                assert!(result.p99_wait_us() >= result.p50_wait_us());
             }
         }
     }

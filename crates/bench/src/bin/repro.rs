@@ -33,7 +33,18 @@
 //!                      all 5 lock variants
 //!   batch-quick        a bounded batch sweep for CI: every variant under
 //!                      both drivers, small thread counts, short cells
-//!   all                everything above
+//!   obsbench           rl-obs instrumentation overhead on the uncontended
+//!                      list-ex fast path: recorder absent / installed-but-
+//!                      disabled / enabled-sampled / enabled-full
+//!   obsbench-quick     the same four legs with fewer iterations, for CI
+//!   perfdiff           regression gate: re-run the quick sweeps and compare
+//!                      cell-by-cell (direction-aware, p50/p99 included)
+//!                      against the committed BENCH_*.json baselines; exits
+//!                      nonzero on a large regression. --inject-regression
+//!                      degrades the fresh numbers first (the gate's
+//!                      self-test must then fail); --tolerance N overrides
+//!                      the 4x default
+//!   all                everything above except perfdiff
 //! ```
 //!
 //! `--threads` entries may be plain counts (`8`) or core-count multipliers
@@ -51,10 +62,12 @@ use std::time::Duration;
 
 use rl_baselines::registry;
 use rl_bench::arrbench::{self, ArrBenchConfig, RangePolicy};
-use rl_bench::asyncbench::{self, AsyncBenchConfig, AsyncDriver};
+use rl_bench::asyncbench::{self, AsyncBenchConfig, AsyncBenchResult, AsyncDriver};
 use rl_bench::batchbench::{self, BatchBenchConfig, BatchDriver};
 use rl_bench::filebench::{self, FileBenchConfig, OffsetDist};
 use rl_bench::metisbench::{self, MetisScale};
+use rl_bench::obsbench;
+use rl_bench::perfdiff;
 use rl_bench::report::Table;
 use rl_bench::skipbench::{self, SkipBenchConfig, SkipListVariant};
 use rl_metis::Workload;
@@ -68,6 +81,10 @@ struct Options {
     /// `--threads` was given explicitly (the oversubscription experiments
     /// then use it verbatim instead of their core-multiple default).
     threads_overridden: bool,
+    /// perfdiff only: degrade the fresh numbers so the gate must fail.
+    inject_regression: bool,
+    /// perfdiff only: multiplicative regression tolerance.
+    tolerance: f64,
     experiments: Vec<String>,
 }
 
@@ -115,6 +132,8 @@ fn parse_args() -> Options {
         json: false,
         threads: default_threads(),
         threads_overridden: false,
+        inject_regression: false,
+        tolerance: perfdiff::DEFAULT_TOLERANCE,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -123,6 +142,13 @@ fn parse_args() -> Options {
             "--quick" => opts.quick = true,
             "--full" => opts.quick = false,
             "--json" => opts.json = true,
+            "--inject-regression" => opts.inject_regression = true,
+            "--tolerance" => {
+                opts.tolerance = args.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance requires a number");
+                    std::process::exit(2);
+                });
+            }
             "--threads" => {
                 let list = args.next().unwrap_or_else(|| {
                     eprintln!("--threads requires a comma-separated list");
@@ -437,7 +463,8 @@ fn filebench_duration(quick: bool) -> Duration {
     }
 }
 
-fn run_filebench(opts: &Options) {
+fn filebench_tables(opts: &Options) -> Vec<Table> {
+    let mut tables = Vec::new();
     for dist in [OffsetDist::Uniform, OffsetDist::Skewed] {
         for read_pct in [95u32, 50] {
             let columns: Vec<String> = registry::all().iter().map(|l| l.name.to_string()).collect();
@@ -448,7 +475,8 @@ fn run_filebench(opts: &Options) {
                 columns,
             );
             // One wait table per reader-writer variant for the write-heavy
-            // mix: rows are thread counts, columns the labeled operations.
+            // mix: rows are thread counts, columns the labeled operations'
+            // mean waits plus the p50/p99 of the combined wait histogram.
             let mut waits: Vec<(&str, Table)> = if read_pct == 50 {
                 registry::readers_share()
                     .map(|lock| {
@@ -467,6 +495,8 @@ fn run_filebench(opts: &Options) {
                                     "pwrite".to_string(),
                                     "append".to_string(),
                                     "truncate".to_string(),
+                                    "p50 (all ops)".to_string(),
+                                    "p99 (all ops)".to_string(),
                                 ],
                             ),
                         )
@@ -496,6 +526,7 @@ fn run_filebench(opts: &Options) {
                     );
                     row.push(result.ops_per_sec());
                     if let Some((_, table)) = waits.iter_mut().find(|(l, _)| *l == lock.name) {
+                        let hist = result.wait_hist();
                         table.push_row(
                             threads as u64,
                             vec![
@@ -503,17 +534,24 @@ fn run_filebench(opts: &Options) {
                                 result.avg_wait_us("pwrite"),
                                 result.avg_wait_us("append"),
                                 result.avg_wait_us("truncate"),
+                                hist.p50().unwrap_or(0) as f64 / 1_000.0,
+                                hist.p99().unwrap_or(0) as f64 / 1_000.0,
                             ],
                         );
                     }
                 }
                 throughput.push_row(threads as u64, row);
             }
-            emit(&throughput, opts.json);
-            for (_, table) in &waits {
-                emit(table, opts.json);
-            }
+            tables.push(throughput);
+            tables.extend(waits.into_iter().map(|(_, table)| table));
         }
+    }
+    tables
+}
+
+fn run_filebench(opts: &Options) {
+    for table in filebench_tables(opts) {
+        emit(&table, opts.json);
     }
 }
 
@@ -557,10 +595,13 @@ fn run_filebench_oversub(opts: &Options) {
     }
 }
 
-/// One table per lock variant: owners (rows) × driver (columns), fixed
-/// work per owner so the number measured is backlog-drain throughput.
-fn run_asyncbench_tables(opts: &Options, owner_counts: &[usize], ops_per_owner: u64) {
+/// Two tables per lock variant: owners (rows) × driver (columns) with fixed
+/// work per owner, so the number measured is backlog-drain throughput, plus
+/// a companion acquisition-latency table (p50/p99 per driver, from the
+/// harness-side histogram of the best run).
+fn asyncbench_tables(owner_counts: &[usize], ops_per_owner: u64) -> Vec<Table> {
     let workers = available_cores();
+    let mut tables = Vec::new();
     for lock in registry::all() {
         let columns: Vec<String> = AsyncDriver::ALL
             .iter()
@@ -577,35 +618,65 @@ fn run_asyncbench_tables(opts: &Options, owner_counts: &[usize], ops_per_owner: 
             "ops/sec",
             columns,
         );
+        let latency_columns: Vec<String> = AsyncDriver::ALL
+            .iter()
+            .flat_map(|d| [format!("{} p50", d.name()), format!("{} p99", d.name())])
+            .collect();
+        let mut latency = Table::new(
+            format!(
+                "AsyncBench acquire latency: {} — 60% reads — {} pool workers",
+                lock.name, workers
+            ),
+            "owners",
+            "wait (us)",
+            latency_columns,
+        );
         for &owners in owner_counts {
             let mut row = Vec::new();
+            let mut latency_row = Vec::new();
             for driver in AsyncDriver::ALL {
                 // Best of three: backlog-drain time on an oversubscribed
                 // 1-core box is at the mercy of scheduler phase; the best
                 // run is the least-perturbed measurement of each driver.
-                let best = (0..3)
-                    .map(|_| {
-                        let result = asyncbench::run(&AsyncBenchConfig {
-                            lock,
-                            driver,
-                            owners,
-                            workers,
-                            ops_per_owner,
-                            read_pct: 60,
-                        });
-                        assert!(
-                            result.operations > 0,
-                            "asyncbench: {} / {} made no progress",
-                            lock.name,
-                            driver.name()
-                        );
-                        result.ops_per_sec()
-                    })
-                    .fold(0.0f64, f64::max);
-                row.push(best);
+                let mut best: Option<AsyncBenchResult> = None;
+                for _ in 0..3 {
+                    let result = asyncbench::run(&AsyncBenchConfig {
+                        lock,
+                        driver,
+                        owners,
+                        workers,
+                        ops_per_owner,
+                        read_pct: 60,
+                    });
+                    assert!(
+                        result.operations > 0,
+                        "asyncbench: {} / {} made no progress",
+                        lock.name,
+                        driver.name()
+                    );
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| result.ops_per_sec() > b.ops_per_sec())
+                    {
+                        best = Some(result);
+                    }
+                }
+                let best = best.expect("three runs measured");
+                row.push(best.ops_per_sec());
+                latency_row.push(best.p50_wait_us());
+                latency_row.push(best.p99_wait_us());
             }
             table.push_row(owners as u64, row);
+            latency.push_row(owners as u64, latency_row);
         }
+        tables.push(table);
+        tables.push(latency);
+    }
+    tables
+}
+
+fn run_asyncbench_tables(opts: &Options, owner_counts: &[usize], ops_per_owner: u64) {
+    for table in asyncbench_tables(owner_counts, ops_per_owner) {
         emit(&table, opts.json);
     }
 }
@@ -628,16 +699,13 @@ fn run_asyncbench_quick(opts: &Options) {
     run_asyncbench_tables(opts, &owner_counts, 300);
 }
 
-/// One table per lock variant: threads (rows) × driver (columns), at a fixed
-/// batch size. The interesting shape is the gap between one atomic
+/// Two tables per lock variant: threads (rows) × driver (columns) at a
+/// fixed batch size — the interesting shape is the gap between one atomic
 /// `lock_many` transaction and `batch_size` sequential deadlock-checked
-/// `lock` calls as contention grows.
-fn run_batch_tables(
-    opts: &Options,
-    thread_counts: &[usize],
-    batch_size: usize,
-    duration: Duration,
-) {
+/// `lock` calls as contention grows — plus a companion whole-batch
+/// acquisition-latency table (p50/p99 per driver).
+fn batch_tables(thread_counts: &[usize], batch_size: usize, duration: Duration) -> Vec<Table> {
+    let mut tables = Vec::new();
     for lock in registry::all() {
         let columns: Vec<String> = BatchDriver::ALL
             .iter()
@@ -654,8 +722,22 @@ fn run_batch_tables(
             "batches/sec",
             columns,
         );
+        let latency_columns: Vec<String> = BatchDriver::ALL
+            .iter()
+            .flat_map(|d| [format!("{} p50", d.name()), format!("{} p99", d.name())])
+            .collect();
+        let mut latency = Table::new(
+            format!(
+                "BatchBench acquire latency: {} — {batch_size} ranges/batch",
+                lock.name
+            ),
+            "threads",
+            "wait (us)",
+            latency_columns,
+        );
         for &threads in thread_counts {
             let mut row = Vec::new();
+            let mut latency_row = Vec::new();
             for driver in BatchDriver::ALL {
                 let result = batchbench::run(&BatchBenchConfig {
                     lock,
@@ -672,9 +754,25 @@ fn run_batch_tables(
                     driver.name()
                 );
                 row.push(result.batches_per_sec());
+                latency_row.push(result.p50_wait_us());
+                latency_row.push(result.p99_wait_us());
             }
             table.push_row(threads as u64, row);
+            latency.push_row(threads as u64, latency_row);
         }
+        tables.push(table);
+        tables.push(latency);
+    }
+    tables
+}
+
+fn run_batch_tables(
+    opts: &Options,
+    thread_counts: &[usize],
+    batch_size: usize,
+    duration: Duration,
+) {
+    for table in batch_tables(thread_counts, batch_size, duration) {
         emit(&table, opts.json);
     }
 }
@@ -695,6 +793,120 @@ fn run_batch(opts: &Options) {
 /// bookkeeping all run contended on every push.
 fn run_batch_quick(opts: &Options) {
     run_batch_tables(opts, &[1, 2], 3, Duration::from_millis(50));
+}
+
+/// ObsBench measurement parameters: (iterations per rep, reps).
+fn obsbench_scale(quick: bool) -> (u64, u32) {
+    if quick {
+        (300_000, 3)
+    } else {
+        (3_000_000, 5)
+    }
+}
+
+/// One single-row table: the four recording regimes as columns, ns per
+/// uncontended acquire/release pair as the metric.
+fn obsbench_table(results: &[obsbench::ObsBenchResult]) -> Table {
+    let columns: Vec<String> = results.iter().map(|r| r.mode.to_string()).collect();
+    let mut table = Table::new(
+        "ObsBench: uncontended acquire+release, list-ex fast path",
+        "threads",
+        "ns/op",
+        columns,
+    );
+    table.push_row(1, results.iter().map(|r| r.ns_per_op).collect());
+    table
+}
+
+fn obsbench_tables(quick: bool) -> Vec<Table> {
+    let (iters, reps) = obsbench_scale(quick);
+    vec![obsbench_table(&obsbench::run(iters, reps))]
+}
+
+fn run_obsbench(opts: &Options) {
+    let (iters, reps) = obsbench_scale(opts.quick);
+    let results = obsbench::run(iters, reps);
+    emit(&obsbench_table(&results), opts.json);
+    if !opts.json {
+        let baseline = results[0];
+        for result in &results[1..] {
+            println!(
+                "  {}: {:+.1}% vs baseline ({:.1} ns/op vs {:.1} ns/op)",
+                result.mode,
+                result.overhead_pct(&baseline),
+                result.ns_per_op,
+                baseline.ns_per_op
+            );
+        }
+        println!();
+    }
+}
+
+/// The regression gate: re-runs the quick sweeps, parses the committed
+/// `BENCH_*.json` baselines, and exits nonzero if any cell got more than
+/// `--tolerance` times worse (direction-aware; see `rl_bench::perfdiff`).
+fn run_perfdiff(opts: &Options) {
+    // obsbench last: it installs the process-global recorder, and the other
+    // fresh runs should see the same (never-installed) state the committed
+    // baselines were recorded under.
+    let pairs: Vec<(&str, Vec<Table>)> = vec![
+        ("BENCH_filebench.json", filebench_tables(opts)),
+        (
+            "BENCH_async.json",
+            asyncbench_tables(
+                &oversub_threads(opts),
+                if opts.quick { 12_000 } else { 60_000 },
+            ),
+        ),
+        ("BENCH_batch.json", {
+            let duration = if opts.quick {
+                Duration::from_millis(300)
+            } else {
+                Duration::from_secs(2)
+            };
+            let mut tables = Vec::new();
+            for batch_size in [2usize, 8] {
+                tables.extend(batch_tables(&opts.threads, batch_size, duration));
+            }
+            tables
+        }),
+        ("BENCH_obs.json", obsbench_tables(opts.quick)),
+    ];
+    let mut failed = false;
+    for (path, fresh_tables) in pairs {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            println!("perfdiff: {path} not found — skipped");
+            continue;
+        };
+        let base = match perfdiff::parse_tables(&text) {
+            Ok(tables) => tables,
+            Err(err) => {
+                eprintln!("perfdiff: {path} does not parse: {err}");
+                failed = true;
+                continue;
+            }
+        };
+        let mut fresh = perfdiff::tables_to_parsed(&fresh_tables);
+        if opts.inject_regression {
+            perfdiff::inject_regression(&mut fresh);
+        }
+        let report = perfdiff::diff(&base, &fresh, opts.tolerance);
+        println!(
+            "perfdiff: {path}: {} cells compared, {} skipped, {} regression(s)",
+            report.compared,
+            report.skipped,
+            report.regressions.len()
+        );
+        for regression in &report.regressions {
+            eprintln!("  REGRESSION {regression}");
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("perfdiff: FAILED (tolerance {:.1}x)", opts.tolerance);
+        std::process::exit(1);
+    }
+    println!("perfdiff: OK (tolerance {:.1}x)", opts.tolerance);
 }
 
 fn main() {
@@ -724,6 +936,15 @@ fn main() {
             "asyncbench-quick" => run_asyncbench_quick(&opts),
             "batch" => run_batch(&opts),
             "batch-quick" => run_batch_quick(&opts),
+            "obsbench" => run_obsbench(&opts),
+            "obsbench-quick" => {
+                let quick = Options {
+                    quick: true,
+                    ..opts.clone()
+                };
+                run_obsbench(&quick);
+            }
+            "perfdiff" => run_perfdiff(&opts),
             "all" => {
                 run_fig3(RangePolicy::FullRange, &opts);
                 run_fig3(RangePolicy::NonOverlapping, &opts);
@@ -738,6 +959,10 @@ fn main() {
                 run_filebench_oversub(&opts);
                 run_asyncbench(&opts);
                 run_batch(&opts);
+                // Last: obsbench installs the process-global recorder, and
+                // every earlier experiment should measure the pristine
+                // (never-installed) state.
+                run_obsbench(&opts);
             }
             other => {
                 eprintln!("unknown experiment '{other}'; run with --help for the list");

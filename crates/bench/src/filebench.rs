@@ -123,13 +123,26 @@ impl FileBenchResult {
     }
 
     /// Mean lock-acquisition latency of the labeled operation, in
-    /// microseconds (0 if the label saw no operations).
+    /// microseconds (0 if the label saw no operations — explicit here, so
+    /// the sweep tables can print a zero row for idle operations).
     pub fn avg_wait_us(&self, label: &str) -> f64 {
         self.op_waits
             .iter()
             .find(|s| s.name == label)
-            .map(|s| s.avg_wait_per_acquisition_ns() / 1_000.0)
+            .and_then(|s| s.avg_wait_per_acquisition_ns())
             .unwrap_or(0.0)
+            / 1_000.0
+    }
+
+    /// The combined wait-time distribution across every labeled operation
+    /// (`pread` + `pwrite` + `append` + `truncate`): the p50/p99 columns of
+    /// the FileBench report tables come from here.
+    pub fn wait_hist(&self) -> rl_obs::HistogramSnapshot {
+        let mut merged = rl_obs::HistogramSnapshot::empty();
+        for snap in &self.op_waits {
+            merged.merge(&snap.wait_hist());
+        }
+        merged
     }
 }
 

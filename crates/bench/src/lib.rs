@@ -19,6 +19,11 @@
 //! * [`batchbench`] — atomic multi-range acquisition (`lock_many`) vs
 //!   hand-rolled sequential ascending-order locking on the deadlock-checked
 //!   lock table;
+//! * [`obsbench`] — overhead of the `rl-obs` observability layer on the
+//!   uncontended fast path (recorder absent / disabled / sampled / full);
+//! * [`perfdiff`] — the regression gate: parses the committed
+//!   `BENCH_*.json` baselines and compares a fresh quick run cell-by-cell,
+//!   direction-aware (throughput down, p50/p99 latency up);
 //! * [`report`] — table rendering shared by the `repro` binary.
 //!
 //! The `repro` binary drives full thread sweeps and prints one table per
@@ -32,6 +37,8 @@ pub mod asyncbench;
 pub mod batchbench;
 pub mod filebench;
 pub mod metisbench;
+pub mod obsbench;
+pub mod perfdiff;
 pub mod report;
 pub mod rng;
 pub mod skipbench;
@@ -41,5 +48,7 @@ pub use asyncbench::{AsyncBenchConfig, AsyncBenchResult, AsyncDriver};
 pub use batchbench::{BatchBenchConfig, BatchBenchResult, BatchDriver};
 pub use filebench::{FileBenchConfig, FileBenchResult, OffsetDist};
 pub use metisbench::{figure5, figure6, measure, MetisMeasurement, MetisScale};
+pub use obsbench::ObsBenchResult;
+pub use perfdiff::{DiffReport, ParsedTable, Regression};
 pub use report::{Table, TableRow};
 pub use skipbench::{SkipBenchConfig, SkipBenchResult, SkipListVariant};

@@ -39,18 +39,22 @@ pub struct MetisMeasurement {
 }
 
 impl MetisMeasurement {
-    /// Average VM-lock wait per acquisition in microseconds (Figure 7 metric).
+    /// Average VM-lock wait per acquisition in microseconds (Figure 7
+    /// metric); zero when the run made no acquisitions at all (an empty
+    /// measurement, which the figure plots as a zero point).
     pub fn avg_lock_wait_us(&self) -> f64 {
-        self.lock_stats.avg_wait_per_acquisition_ns() / 1_000.0
+        self.lock_stats.avg_wait_per_acquisition_ns().unwrap_or(0.0) / 1_000.0
     }
 
     /// Average spin-lock wait per acquisition in microseconds (Figure 8
-    /// metric); zero when the strategy has no internal spin lock.
+    /// metric); zero when the strategy has no internal spin lock or it was
+    /// never acquired.
     pub fn avg_spin_wait_us(&self) -> f64 {
         self.spin_stats
             .as_ref()
-            .map(|s| s.avg_wait_per_acquisition_ns() / 1_000.0)
+            .and_then(|s| s.avg_wait_per_acquisition_ns())
             .unwrap_or(0.0)
+            / 1_000.0
     }
 }
 

@@ -1,0 +1,597 @@
+//! PerfDiff — the benchmark regression gate (`repro -- perfdiff`).
+//!
+//! The repository commits per-machine baseline tables (`BENCH_*.json`,
+//! concatenated [`Table`] JSON as printed by `repro --json`). This module
+//! parses those baselines back, compares them cell-by-cell against a fresh
+//! quick run, and reports **large** regressions — the quick sweeps are
+//! deliberately short, so the tolerance is a multiplicative factor (default
+//! [`DEFAULT_TOLERANCE`]x), not a statistical test. The comparison is
+//! direction-aware: throughput metrics (`ops/sec`, `batches/sec`) regress
+//! downward, latency metrics (`wait (us)`, `runtime (ms)`, `ns/op` — and
+//! the p50/p99 histogram columns that feed the wait tables) regress upward.
+//!
+//! Cells are matched by `(table title, row x, column name)`; anything
+//! present on only one side — a new column, a different thread sweep on a
+//! different machine — is counted as skipped, never as a failure, so the
+//! gate degrades gracefully when the runner does not match the machine the
+//! baseline was recorded on.
+//!
+//! [`Table`]: crate::report::Table
+
+use crate::report::Table;
+
+/// Default multiplicative tolerance: a cell must be more than this factor
+/// worse than the baseline to count as a regression. Quick-mode cells are
+/// a few hundred milliseconds of noisy wall clock; 4x is far outside that
+/// noise while still catching an accidental O(n) slip on the fast path.
+pub const DEFAULT_TOLERANCE: f64 = 4.0;
+
+/// Lower-is-better cells additionally need to be worse by more than this
+/// absolute amount (in the table's own metric unit: µs, ms, ns/op), so
+/// near-zero waits don't trip the gate on scheduler jitter. On a contended
+/// 1-core quick run a mean wait legitimately swings by a few µs between
+/// back-to-back runs (one extra preemption in a 300 ms window); 10 units is
+/// above that while any real blow-up past the 4x factor clears it easily.
+pub const MIN_ABS_DELTA: f64 = 10.0;
+
+/// One benchmark table parsed back from `repro --json` output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedTable {
+    /// Table title (the match key between baseline and fresh runs).
+    pub title: String,
+    /// Label of the x column (`threads`, `owners`, …).
+    pub x_label: String,
+    /// Metric name; its wording decides the regression direction (see
+    /// [`lower_is_better`]).
+    pub metric: String,
+    /// Column names, in order.
+    pub columns: Vec<String>,
+    /// Rows as `(x, values)`, one value per column.
+    pub rows: Vec<(u64, Vec<f64>)>,
+}
+
+/// One cell that got more than `tolerance` times worse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Title of the table the cell belongs to.
+    pub table: String,
+    /// Row key (thread/owner count).
+    pub x: u64,
+    /// Column name.
+    pub column: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+    /// How many times worse the fresh value is (always > 1).
+    pub factor: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [x={}, {}]: {:.3} -> {:.3} ({:.1}x worse)",
+            self.table, self.x, self.column, self.baseline, self.fresh, self.factor
+        )
+    }
+}
+
+/// Outcome of one [`diff`] call.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Cells compared (present on both sides with a usable baseline).
+    pub compared: usize,
+    /// Cells present on only one side, or with a zero/absent baseline.
+    pub skipped: usize,
+    /// Cells beyond tolerance, worst first.
+    pub regressions: Vec<Regression>,
+}
+
+/// Whether `metric` regresses by *increasing* (latency-shaped metrics).
+/// Everything else — `ops/sec`, `batches/sec` — regresses by decreasing.
+pub fn lower_is_better(metric: &str) -> bool {
+    let m = metric.to_ascii_lowercase();
+    m.contains("wait") || m.contains("runtime") || m.contains("latency") || m.contains("ns/op")
+}
+
+/// Compares `fresh` against `base` cell-by-cell; see the module docs for
+/// the matching and direction rules.
+pub fn diff(base: &[ParsedTable], fresh: &[ParsedTable], tolerance: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    for b in base {
+        let Some(f) = fresh.iter().find(|f| f.title == b.title) else {
+            report.skipped += b.rows.iter().map(|(_, v)| v.len()).sum::<usize>();
+            continue;
+        };
+        let worse_up = lower_is_better(&b.metric);
+        for (x, bvalues) in &b.rows {
+            let Some((_, fvalues)) = f.rows.iter().find(|(fx, _)| fx == x) else {
+                report.skipped += bvalues.len();
+                continue;
+            };
+            for (ci, bcolumn) in b.columns.iter().enumerate() {
+                let fi = f.columns.iter().position(|c| c == bcolumn);
+                let (Some(&bv), Some(&fv)) = (bvalues.get(ci), fi.and_then(|fi| fvalues.get(fi)))
+                else {
+                    report.skipped += 1;
+                    continue;
+                };
+                if !(bv.is_finite() && fv.is_finite()) || bv <= 0.0 {
+                    report.skipped += 1;
+                    continue;
+                }
+                report.compared += 1;
+                let (factor, bad) = if worse_up {
+                    (fv / bv, fv > bv * tolerance && fv - bv > MIN_ABS_DELTA)
+                } else {
+                    (bv / fv.max(f64::MIN_POSITIVE), fv * tolerance < bv)
+                };
+                if bad {
+                    report.regressions.push(Regression {
+                        table: b.title.clone(),
+                        x: *x,
+                        column: bcolumn.clone(),
+                        baseline: bv,
+                        fresh: fv,
+                        factor,
+                    });
+                }
+            }
+        }
+    }
+    report.regressions.sort_by(|a, b| {
+        b.factor
+            .partial_cmp(&a.factor)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    report
+}
+
+/// Degrades every cell of `tables` past any reasonable tolerance (divides
+/// throughput by 100, multiplies latency by 100): the self-test hook behind
+/// `repro -- perfdiff --inject-regression`, which must make the gate fail.
+pub fn inject_regression(tables: &mut [ParsedTable]) {
+    for table in tables {
+        let worse_up = lower_is_better(&table.metric);
+        for (_, values) in &mut table.rows {
+            for v in values {
+                if worse_up {
+                    *v = *v * 100.0 + 1_000.0;
+                } else {
+                    *v /= 100.0;
+                }
+            }
+        }
+    }
+}
+
+/// Converts in-process [`Table`]s through their own JSON form, so the
+/// fresh side of the diff goes through exactly the pipeline the committed
+/// baselines went through.
+pub fn tables_to_parsed(tables: &[Table]) -> Vec<ParsedTable> {
+    let text: String = tables
+        .iter()
+        .map(|t| t.to_json())
+        .collect::<Vec<_>>()
+        .join("\n");
+    parse_tables(&text).expect("Table::to_json must round-trip through parse_tables")
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing (hand-rolled: the workspace is offline and serde-free)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — only what `Table::to_json` emits.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs don't occur in table titles;
+                            // map unpaired surrogates to the replacement
+                            // character rather than failing the whole diff.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input came from a &str,
+                    // so boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("bad number"))
+    }
+}
+
+fn table_from_json(value: &Json) -> Result<ParsedTable, String> {
+    let field_str = |key: &str| -> Result<String, String> {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("table is missing string field '{key}'"))
+    };
+    let columns = value
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or("table is missing 'columns'")?
+        .iter()
+        .map(|c| c.as_str().map(str::to_string).ok_or("non-string column"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut rows = Vec::new();
+    for row in value
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("table is missing 'rows'")?
+    {
+        let x = row
+            .get("x")
+            .and_then(Json::as_f64)
+            .ok_or("row is missing numeric 'x'")? as u64;
+        let values = row
+            .get("values")
+            .and_then(Json::as_arr)
+            .ok_or("row is missing 'values'")?
+            .iter()
+            .map(|v| v.as_f64().ok_or("non-numeric cell"))
+            .collect::<Result<Vec<_>, _>>()?;
+        rows.push((x, values));
+    }
+    Ok(ParsedTable {
+        title: field_str("title")?,
+        x_label: field_str("x_label")?,
+        metric: field_str("metric")?,
+        columns,
+        rows,
+    })
+}
+
+/// Parses a stream of concatenated table objects — the exact format of the
+/// committed `BENCH_*.json` files and of `repro --json` output.
+pub fn parse_tables(text: &str) -> Result<Vec<ParsedTable>, String> {
+    let mut parser = Parser::new(text);
+    let mut tables = Vec::new();
+    loop {
+        parser.skip_ws();
+        if parser.peek().is_none() {
+            return Ok(tables);
+        }
+        let value = parser.parse_value()?;
+        tables.push(table_from_json(&value)?);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Table;
+
+    fn sample(metric: &str, values: &[f64]) -> ParsedTable {
+        ParsedTable {
+            title: format!("T ({metric})"),
+            x_label: "threads".into(),
+            metric: metric.into(),
+            columns: (0..values.len()).map(|i| format!("c{i}")).collect(),
+            rows: vec![(1, values.to_vec()), (2, values.to_vec())],
+        }
+    }
+
+    #[test]
+    fn to_json_round_trips_through_the_parser() {
+        let mut table = Table::new(
+            "FileBench: uniform — 50% \"reads\"\\mix",
+            "threads",
+            "ops/sec",
+            vec!["list-rw".to_string(), "lustre-ex".to_string()],
+        );
+        table.push_row(1, vec![123.5, 0.25]);
+        table.push_row(8, vec![99999.0, 1e-3]);
+        let parsed = parse_tables(&table.to_json()).expect("parses");
+        assert_eq!(parsed.len(), 1);
+        let p = &parsed[0];
+        assert_eq!(p.title, "FileBench: uniform — 50% \"reads\"\\mix");
+        assert_eq!(p.metric, "ops/sec");
+        assert_eq!(p.columns, vec!["list-rw", "lustre-ex"]);
+        assert_eq!(p.rows[0], (1, vec![123.5, 0.25]));
+        assert_eq!(p.rows[1], (8, vec![99999.0, 1e-3]));
+        // tables_to_parsed is the same pipeline.
+        assert_eq!(tables_to_parsed(&[table]), parsed);
+    }
+
+    #[test]
+    fn parses_a_concatenated_stream() {
+        let mut a = Table::new("A", "threads", "ops/sec", vec!["x".to_string()]);
+        a.push_row(1, vec![1.0]);
+        let mut b = Table::new("B", "owners", "wait (us)", vec!["y".to_string()]);
+        b.push_row(2, vec![3.5]);
+        let text = format!("{}\n{}\n", a.to_json(), b.to_json());
+        let parsed = parse_tables(&text).expect("parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].title, "A");
+        assert_eq!(parsed[1].x_label, "owners");
+        assert!(parse_tables("{\"title\": }").is_err());
+    }
+
+    #[test]
+    fn direction_awareness() {
+        assert!(!lower_is_better("ops/sec"));
+        assert!(!lower_is_better("batches/sec"));
+        assert!(lower_is_better("wait (us)"));
+        assert!(lower_is_better("runtime (ms)"));
+        assert!(lower_is_better("ns/op"));
+
+        // Throughput: collapse flags, improvement doesn't.
+        let base = [sample("ops/sec", &[1000.0])];
+        let slow = [sample("ops/sec", &[100.0])];
+        let fast = [sample("ops/sec", &[9000.0])];
+        assert_eq!(diff(&base, &slow, 4.0).regressions.len(), 2);
+        assert!(diff(&base, &fast, 4.0).regressions.is_empty());
+
+        // Latency: blow-up flags, improvement doesn't.
+        let base = [sample("wait (us)", &[10.0])];
+        let slow = [sample("wait (us)", &[100.0])];
+        let fast = [sample("wait (us)", &[1.0])];
+        assert_eq!(diff(&base, &slow, 4.0).regressions.len(), 2);
+        assert!(diff(&base, &fast, 4.0).regressions.is_empty());
+
+        // Near-zero latency jitter is not a regression (absolute floor):
+        // the 0.4 -> 3.0 µs case is a real back-to-back swing observed on a
+        // contended 1-core quick run — 7.5x, but only one preemption's worth.
+        let base = [sample("wait (us)", &[0.05, 0.4])];
+        let jitter = [sample("wait (us)", &[0.4, 3.0])];
+        assert!(diff(&base, &jitter, 4.0).regressions.is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_and_mismatches_are_skipped_not_failed() {
+        let base = [
+            sample("ops/sec", &[1000.0, 0.0]),
+            sample("wait (us)", &[5.0]),
+        ];
+        // Half the throughput: within the 4x gate. Second column has a zero
+        // baseline (skipped). The wait table is absent from the fresh side
+        // (skipped). An extra fresh table matches nothing (ignored).
+        let fresh = [
+            sample("ops/sec", &[500.0, 123.0]),
+            sample("brand-new", &[1.0]),
+        ];
+        let report = diff(&base, &fresh, 4.0);
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.compared, 2); // the nonzero ops/sec cells (2 rows)
+        assert!(report.skipped >= 3);
+    }
+
+    #[test]
+    fn injected_regression_always_trips_the_gate() {
+        let base = vec![
+            sample("ops/sec", &[250_000.0, 1.5e6]),
+            sample("wait (us)", &[12.0, 80.0]),
+        ];
+        let mut fresh = base.clone();
+        perfdiff_self_check(&base, &fresh);
+        inject_regression(&mut fresh);
+        let report = diff(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(
+            report.regressions.len(),
+            8,
+            "every cell must regress: {:?}",
+            report.regressions
+        );
+        // Worst first.
+        for pair in report.regressions.windows(2) {
+            assert!(pair[0].factor >= pair[1].factor);
+        }
+        assert!(report.regressions[0].to_string().contains("worse"));
+    }
+
+    fn perfdiff_self_check(base: &[ParsedTable], fresh: &[ParsedTable]) {
+        let report = diff(base, fresh, DEFAULT_TOLERANCE);
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+        assert_eq!(report.compared, 8);
+    }
+}

@@ -298,9 +298,20 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
     /// Attaches a [`WaitStats`] sink recording contended acquisition times
     /// (and, under the `Block` policy, park/wake counts). Must be called
     /// before the core is shared.
+    ///
+    /// Also registers the stats label as this lock's trace label, so
+    /// `rl-obs` events from this core show up under the same name as its
+    /// counters.
     pub fn attach_stats(&mut self, stats: Arc<WaitStats>) {
+        rl_obs::trace::label_lock(self.queue.trace_id(), stats.name());
         self.queue.attach_stats(Arc::clone(&stats));
         self.stats = Some(stats);
+    }
+
+    /// The id stamped on every `rl-obs` event this core emits (shared with
+    /// its wait queue, so park/wake events land on the same trace track).
+    pub fn trace_id(&self) -> u64 {
+        self.queue.trace_id()
     }
 
     /// The configuration the core was built with.
@@ -333,6 +344,12 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                 if let Some(s) = &self.stats {
                     s.record_uncontended();
                 }
+                rl_obs::trace::emit_sampled(
+                    rl_obs::EventKind::Granted,
+                    self.queue.trace_id(),
+                    range.start,
+                    range.end,
+                );
                 return RawGuard { node, fast: true };
             }
             // Somebody raced us; fall through to the regular path reusing the
@@ -340,10 +357,28 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
             // may still fail writer validation, in which case the node is
             // abandoned and the loop below allocates a fresh one.)
             contended = true;
+            if rl_obs::trace::is_enabled() {
+                rl_obs::trace::emit_here(
+                    rl_obs::EventKind::AcquireStart,
+                    self.queue.trace_id(),
+                    range.start,
+                    range.end,
+                );
+            }
             if self.insert_with_retries(node, reader, &mut contended) {
-                self.record(kind, started, contended);
+                self.record(kind, started, contended, range);
                 return RawGuard { node, fast: false };
             }
+        }
+        // `contended` doubles as "AcquireStart already emitted": the only way
+        // it is set here is the fast-path race above, which emits.
+        if !contended && rl_obs::trace::is_enabled() {
+            rl_obs::trace::emit_here(
+                rl_obs::EventKind::AcquireStart,
+                self.queue.trace_id(),
+                range.start,
+                range.end,
+            );
         }
 
         // RWRangeAcquire's do-while loop: allocate a node and insert it; a
@@ -352,7 +387,7 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
         loop {
             let node = reclaim::alloc_node(range, reader);
             if self.insert_with_retries(node, reader, &mut contended) {
-                self.record(kind, started, contended);
+                self.record(kind, started, contended, range);
                 return RawGuard { node, fast: false };
             }
             contended = true;
@@ -374,6 +409,12 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                 .compare_exchange(0, mark(node_ptr), Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                rl_obs::trace::emit_sampled(
+                    rl_obs::EventKind::Granted,
+                    self.queue.trace_id(),
+                    range.start,
+                    range.end,
+                );
                 return Some(RawGuard { node, fast: true });
             }
             // Lost the race; discard the never-published node and take the
@@ -462,6 +503,14 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                         let mut contended = false;
                         self.w_validate(lock_node, &mut contended)
                     };
+                    if acquired && rl_obs::trace::is_enabled() {
+                        rl_obs::trace::emit_here(
+                            rl_obs::EventKind::Granted,
+                            self.queue.trace_id(),
+                            range.start,
+                            range.end,
+                        );
+                    }
                     return acquired.then_some(RawGuard { node, fast: false });
                 }
             }
@@ -478,6 +527,14 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
     /// validation) acquiring. The returned token must eventually reach
     /// [`ListCore::poll_acquire`] completion or [`ListCore::cancel_acquire`].
     pub fn enqueue(&self, range: Range, reader: bool) -> PendingAcquire {
+        if rl_obs::trace::is_enabled() {
+            rl_obs::trace::emit_here(
+                rl_obs::EventKind::AcquireStart,
+                self.queue.trace_id(),
+                range.start,
+                range.end,
+            );
+        }
         PendingAcquire {
             node: reclaim::alloc_node(range, reader),
             reader,
@@ -518,8 +575,9 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
             // SAFETY: Published and not yet released, so the node is alive.
             let lock_node = unsafe { &*pending.node };
             if self.try_r_validate(lock_node) {
+                let range = lock_node.range();
                 let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
-                self.record(kind, pending.started, pending.contended);
+                self.record(kind, pending.started, pending.contended, range);
                 return Some(RawGuard { node, fast: false });
             }
             return None;
@@ -534,8 +592,9 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                 .compare_exchange(0, mark(node_ptr), Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                let range = pending.range().expect("fast-path node is live");
                 let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
-                self.record(kind, pending.started, pending.contended);
+                self.record(kind, pending.started, pending.contended, range);
                 return Some(RawGuard { node, fast: true });
             }
             pending.contended = true;
@@ -547,16 +606,18 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
             let lock_node = unsafe { &*pending.node };
             match self.poll_insert_attempt(lock_node, reader) {
                 PollInsert::Acquired => {
+                    let range = lock_node.range();
                     let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
-                    self.record(kind, pending.started, pending.contended);
+                    self.record(kind, pending.started, pending.contended, range);
                     return Some(RawGuard { node, fast: false });
                 }
                 PollInsert::ReaderPublished => {
                     pending.published = true;
                     // SAFETY: Just published, not released.
                     if self.try_r_validate(lock_node) {
+                        let range = lock_node.range();
                         let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
-                        self.record(kind, pending.started, pending.contended);
+                        self.record(kind, pending.started, pending.contended, range);
                         return Some(RawGuard { node, fast: false });
                     }
                     pending.contended = true;
@@ -596,6 +657,15 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
         if pending.is_done() {
             return;
         }
+        if rl_obs::trace::is_enabled() {
+            let range = pending.range().expect("pending is not done");
+            rl_obs::trace::emit_here(
+                rl_obs::EventKind::Cancelled,
+                self.queue.trace_id(),
+                range.start,
+                range.end,
+            );
+        }
         let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
         if pending.published {
             // SAFETY: Published and never released: alive, marked once.
@@ -627,6 +697,7 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
         // published in the list (or, on the fast path, referenced by the head
         // pointer) and has not been released before.
         let node_ref = unsafe { &*guard.node };
+        let range = node_ref.range();
         if guard.fast {
             let marked_ptr = mark(to_ptr(node_ref));
             if self.head.load(Ordering::Acquire) == marked_ptr
@@ -643,6 +714,12 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                 // fast-path head mark first — which would have made this CAS
                 // fail. SAFETY: Unreachable from the list head.
                 unsafe { reclaim::retire_node(guard.node) };
+                rl_obs::trace::emit_sampled(
+                    rl_obs::EventKind::Release,
+                    self.queue.trace_id(),
+                    range.start,
+                    range.end,
+                );
                 return;
             }
             // Another thread stripped the fast-path mark (we are now a regular
@@ -651,6 +728,14 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
         node_ref.mark_deleted();
         // Wake hook: waiters poll for the mark set above.
         P::wake(&self.queue);
+        if rl_obs::trace::is_enabled() {
+            rl_obs::trace::emit_here(
+                rl_obs::EventKind::Release,
+                self.queue.trace_id(),
+                range.start,
+                range.end,
+            );
+        }
     }
 
     /// Downgrades a held writer node to reader mode in place and wakes the
@@ -698,13 +783,23 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
         self.held_ranges() == 0
     }
 
-    fn record(&self, kind: WaitKind, started: Instant, contended: bool) {
+    fn record(&self, kind: WaitKind, started: Instant, contended: bool, range: Range) {
         if let Some(s) = &self.stats {
             if contended {
                 s.record_wait_ns(kind, started.elapsed().as_nanos() as u64);
             } else {
                 s.record_uncontended();
             }
+        }
+        // Slow-path grants are not sampled: they pair with the AcquireStart
+        // emitted on slow-path entry, and they are never the ~70 ns hot loop.
+        if rl_obs::trace::is_enabled() {
+            rl_obs::trace::emit_here(
+                rl_obs::EventKind::Granted,
+                self.queue.trace_id(),
+                range.start,
+                range.end,
+            );
         }
     }
 

@@ -113,6 +113,7 @@ pub trait TwoPhaseRangeLock: RangeLock {
     {
         timeout_loop(
             self,
+            range,
             timeout,
             self.wait_queue(),
             |cond, deadline| self.wait_deadline(cond, deadline),
@@ -176,6 +177,12 @@ pub trait TwoPhaseRangeLock: RangeLock {
                     let queue = self.wait_queue();
                     queue.record_cancel();
                     queue.record_batch_rollback();
+                    rl_obs::trace::emit_here(
+                        rl_obs::EventKind::BatchRollback,
+                        queue.trace_id(),
+                        ranges[i].start,
+                        ranges[i].end,
+                    );
                     // Dropping the guards acquired so far rolls them back.
                     return None;
                 }
@@ -230,6 +237,7 @@ pub trait TwoPhaseRwRangeLock: RwRangeLock {
     {
         timeout_loop(
             self,
+            range,
             timeout,
             self.wait_queue(),
             |cond, deadline| self.wait_deadline(cond, deadline),
@@ -247,6 +255,7 @@ pub trait TwoPhaseRwRangeLock: RwRangeLock {
     {
         timeout_loop(
             self,
+            range,
             timeout,
             self.wait_queue(),
             |cond, deadline| self.wait_deadline(cond, deadline),
@@ -335,6 +344,12 @@ pub trait TwoPhaseRwRangeLock: RwRangeLock {
                     let queue = self.wait_queue();
                     queue.record_cancel();
                     queue.record_batch_rollback();
+                    rl_obs::trace::emit_here(
+                        rl_obs::EventKind::BatchRollback,
+                        queue.trace_id(),
+                        range.start,
+                        range.end,
+                    );
                     return None;
                 }
             }
@@ -413,9 +428,12 @@ fn batch_order(ranges: &[Range]) -> Vec<usize> {
 /// The shared enqueue → poll → deadline-wait → cancel loop behind every
 /// timed acquisition method. The method-family triple comes in as plain
 /// function values so the loop serves both two-phase traits (and both modes
-/// of the reader-writer one).
+/// of the reader-writer one); `range` exists only to stamp the timeout
+/// trace event, hence the argument count.
+#[allow(clippy::too_many_arguments)]
 fn timeout_loop<'a, L: ?Sized, Pend, G>(
     lock: &'a L,
+    range: Range,
     timeout: Duration,
     queue: &WaitQueue,
     wait: impl Fn(&mut dyn FnMut() -> bool, Instant) -> bool,
@@ -433,6 +451,12 @@ fn timeout_loop<'a, L: ?Sized, Pend, G>(
         if Instant::now() >= deadline {
             cancel(lock, &mut pending);
             queue.record_cancel();
+            rl_obs::trace::emit_here(
+                rl_obs::EventKind::TimedOut,
+                queue.trace_id(),
+                range.start,
+                range.end,
+            );
             return None;
         }
         // Every release bumps the queue generation (whatever the policy), so

@@ -159,6 +159,17 @@ impl WaitGraph {
     pub fn waiting_owners(&self) -> usize {
         self.edges.lock().unwrap().len()
     }
+
+    /// A consistent copy of the current `waiter → holders` edge sets,
+    /// sorted by waiter id. Feeds diagnostics (the DOT dump attached to
+    /// `rl-file` deadlock errors); by the time the caller looks at it the
+    /// graph may already have moved on.
+    pub fn snapshot_edges(&self) -> Vec<(u64, Vec<u64>)> {
+        let edges = self.edges.lock().unwrap();
+        let mut out: Vec<(u64, Vec<u64>)> = edges.iter().map(|(w, h)| (*w, h.clone())).collect();
+        out.sort_by_key(|(w, _)| *w);
+        out
+    }
 }
 
 /// Depth-first search for a path from `current` back to `start`, extending
@@ -260,6 +271,16 @@ mod tests {
         g.deregister(2);
         g.deregister(2); // idempotent
         assert_eq!(g.waiting_owners(), 0);
+    }
+
+    #[test]
+    fn snapshot_reports_current_edges_sorted() {
+        let g = WaitGraph::new();
+        g.register(3, &[1]).unwrap();
+        g.register(1, &[2, 4]).unwrap();
+        assert_eq!(g.snapshot_edges(), vec![(1, vec![2, 4]), (3, vec![1])]);
+        g.deregister(3);
+        assert_eq!(g.snapshot_edges(), vec![(1, vec![2, 4])]);
     }
 
     #[test]

@@ -214,6 +214,19 @@ pub struct DeadlockError {
     /// (e.g. `["alice", "bob", "alice"]`). An owner released between
     /// detection and formatting appears as `"owner-<id>"`.
     pub cycle: Vec<String>,
+    /// Graphviz DOT dump of the waits-for graph at detection time, with the
+    /// cycle highlighted; see [`DeadlockError::waits_dot`].
+    waits_dot: String,
+}
+
+impl DeadlockError {
+    /// The waits-for graph at detection time as Graphviz DOT source: one
+    /// box per waiting owner, one edge per waits-for dependency, the
+    /// detected cycle in red. Pipe it to `dot -Tsvg` to see who was stuck
+    /// on whom when the acquisition was refused.
+    pub fn waits_dot(&self) -> &str {
+        &self.waits_dot
+    }
 }
 
 impl fmt::Display for DeadlockError {
@@ -300,6 +313,8 @@ struct Record<L: RwRangeLock + 'static> {
 
 struct OwnerState<L: RwRangeLock + 'static> {
     name: String,
+    /// `rl-obs` actor id this owner's lock events are stamped with.
+    actor: u64,
     /// Sorted by start; pairwise disjoint.
     records: Vec<Record<L>>,
 }
@@ -396,10 +411,13 @@ impl<L: TwoPhaseRwRangeLock + 'static> LockTable<L> {
     pub fn owner(self: &Arc<Self>, name: impl Into<String>) -> LockOwner<L> {
         let name = name.into();
         let id = self.next_owner.fetch_add(1, Ordering::Relaxed);
+        let actor = rl_obs::trace::next_actor_id();
+        rl_obs::trace::label_actor(actor, &name);
         self.state.lock().unwrap().owners.insert(
             id,
             OwnerState {
                 name: name.clone(),
+                actor,
                 records: Vec::new(),
             },
         );
@@ -408,6 +426,12 @@ impl<L: TwoPhaseRwRangeLock + 'static> LockTable<L> {
             id,
             name,
         }
+    }
+
+    /// The `rl-obs` actor id registered for `owner_id` (0 if released).
+    fn owner_actor(&self, owner_id: u64) -> u64 {
+        let st = self.state.lock().unwrap();
+        st.owners.get(&owner_id).map_or(0, |o| o.actor)
     }
 
     /// Snapshot of every committed record, sorted by (owner, start).
@@ -627,20 +651,26 @@ impl<L: TwoPhaseRwRangeLock + 'static> LockTable<L> {
         holders
     }
 
-    /// Maps a cycle of owner ids to the named error surfaced to callers.
+    /// Maps a cycle of owner ids to the named error surfaced to callers,
+    /// attaching a DOT dump of the waits-for graph at detection time.
     fn deadlock_error(&self, cycle: &[u64]) -> DeadlockError {
+        let edge_ids = self.waits.snapshot_edges();
         let st = self.state.lock().unwrap();
-        DeadlockError {
-            cycle: cycle
-                .iter()
-                .map(|id| {
-                    st.owners
-                        .get(id)
-                        .map(|o| o.name.clone())
-                        .unwrap_or_else(|| format!("owner-{id}"))
-                })
-                .collect(),
+        let name_of = |id: &u64| {
+            st.owners
+                .get(id)
+                .map(|o| o.name.clone())
+                .unwrap_or_else(|| format!("owner-{id}"))
+        };
+        let cycle: Vec<String> = cycle.iter().map(name_of).collect();
+        let mut edges = Vec::new();
+        for (waiter, holders) in &edge_ids {
+            for holder in holders {
+                edges.push((name_of(waiter), name_of(holder)));
+            }
         }
+        let waits_dot = rl_obs::waits_for_dot(&edges, &cycle);
+        DeadlockError { cycle, waits_dot }
     }
 
     /// Snapshot of one owner's committed `(range, mode)` records, used as
@@ -686,6 +716,13 @@ impl<L: TwoPhaseRwRangeLock + 'static> LockTable<L> {
                         let queue = lock.wait_queue();
                         queue.record_cancel();
                         queue.record_deadlock();
+                        rl_obs::trace::emit(
+                            rl_obs::EventKind::DeadlockDetected,
+                            queue.trace_id(),
+                            self.owner_actor(owner_id),
+                            range.start,
+                            range.end,
+                        );
                         return Err(self.deadlock_error(cycle.cycle()));
                     }
                     let deadline = Instant::now() + DEADLOCK_RECHECK;
@@ -1009,7 +1046,15 @@ impl<L: TwoPhaseRwRangeLock + 'static> LockTable<L> {
                     }
                     Err(cycle) => {
                         drop(fut);
-                        lock.wait_queue().record_deadlock();
+                        let queue = lock.wait_queue();
+                        queue.record_deadlock();
+                        rl_obs::trace::emit(
+                            rl_obs::EventKind::DeadlockDetected,
+                            queue.trace_id(),
+                            self.owner_actor(owner_id),
+                            range.start,
+                            range.end,
+                        );
                         Err(self.deadlock_error(cycle.cycle()))
                     }
                 }
@@ -1171,7 +1216,16 @@ impl<L: TwoPhaseRwRangeLock + 'static> LockTable<L> {
                         let _ = self.set_lock_async(owner_id, range, Some(mode)).await;
                     }
                 }
-                self.lock_ref().wait_queue().record_batch_rollback();
+                let queue = self.lock_ref().wait_queue();
+                queue.record_batch_rollback();
+                let span = batch_span(&items[..i]);
+                rl_obs::trace::emit(
+                    rl_obs::EventKind::BatchRollback,
+                    queue.trace_id(),
+                    self.owner_actor(owner_id),
+                    span.start,
+                    span.end,
+                );
                 return Err(deadlock);
             }
         }
@@ -1198,7 +1252,16 @@ impl<L: TwoPhaseRwRangeLock + 'static> LockTable<L> {
                 let _ = self.set_lock(owner_id, range, Some(mode), true);
             }
         }
-        self.lock_ref().wait_queue().record_batch_rollback();
+        let queue = self.lock_ref().wait_queue();
+        queue.record_batch_rollback();
+        let span = batch_span(applied);
+        rl_obs::trace::emit(
+            rl_obs::EventKind::BatchRollback,
+            queue.trace_id(),
+            self.owner_actor(owner_id),
+            span.start,
+            span.end,
+        );
     }
 
     /// Number of `EDEADLK` failures this table has surfaced (each one also
@@ -1224,6 +1287,14 @@ impl<L: TwoPhaseRwRangeLock + 'static> LockTable<L> {
 /// Panics if two items overlap: a batch is a set of independent spans, and
 /// "lock `[0, 10)` shared and `[5, 15)` exclusive atomically" has no
 /// coherent replace-semantics answer for the overlap.
+/// Smallest range covering every item of a (possibly empty) batch prefix;
+/// the range stamped on batch-rollback trace events.
+fn batch_span(items: &[(Range, LockMode)]) -> Range {
+    let start = items.iter().map(|(r, _)| r.start).min().unwrap_or(0);
+    let end = items.iter().map(|(r, _)| r.end).max().unwrap_or(0);
+    Range::new(start, end)
+}
+
 fn normalize_batch(items: &[(Range, LockMode)]) -> Vec<(Range, LockMode)> {
     let mut items: Vec<(Range, LockMode)> = items
         .iter()

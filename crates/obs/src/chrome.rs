@@ -1,0 +1,229 @@
+//! Chrome trace-event JSON export.
+//!
+//! The output is the classic `{"traceEvents": [...]}` object format, which
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) both load.
+//! Mapping:
+//!
+//! * every recorded event becomes an **instant** record (`"ph": "i"`) named
+//!   after its [`EventKind`], so nothing is hidden by pairing heuristics and
+//!   a dropped/sampled-out partner never loses an event;
+//! * matched pairs additionally synthesize **complete** duration slices
+//!   (`"ph": "X"`): acquire-start→granted becomes an `acquire` slice,
+//!   granted→release a `held` slice, parked→woken a `parked` slice. A pair
+//!   matches when owner, lock, and range all agree, latest-open-first.
+//!
+//! Rows: `pid` is always 1 (one process), `tid` is the actor id, so each
+//! thread / lock owner gets its own track; lock and actor labels resolve
+//! through the recorder's name maps (falling back to `lock-N` / `actor-N`).
+//!
+//! Timestamps are microseconds (the trace-event unit) with nanosecond
+//! precision kept in the fraction. All JSON is hand-rolled — the workspace
+//! builds offline, without serde (see `rl_bench::report` for the same
+//! pattern).
+
+use std::collections::HashMap;
+
+use crate::trace::{Event, EventKind};
+
+/// Escapes `s` as the body of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with the nanosecond fraction kept, as a JSON number.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Common tail of one record: ts (+dur), pid/tid, and the args object.
+struct RecordCtx<'a> {
+    lock_names: &'a HashMap<u64, &'a str>,
+    actor_names: &'a HashMap<u64, &'a str>,
+}
+
+impl RecordCtx<'_> {
+    fn lock_label(&self, id: u64) -> String {
+        match self.lock_names.get(&id) {
+            Some(name) => (*name).to_string(),
+            None => format!("lock-{id}"),
+        }
+    }
+
+    fn actor_label(&self, id: u64) -> String {
+        match self.actor_names.get(&id) {
+            Some(name) => (*name).to_string(),
+            None => format!("actor-{id}"),
+        }
+    }
+
+    fn args(&self, event: &Event) -> String {
+        format!(
+            r#"{{"lock":"{}","owner":"{}","range":"[{}, {})"}}"#,
+            json_escape(&self.lock_label(event.lock)),
+            json_escape(&self.actor_label(event.owner)),
+            event.start,
+            event.end
+        )
+    }
+
+    fn instant(&self, event: &Event) -> String {
+        format!(
+            r#"{{"name":"{}","ph":"i","s":"t","ts":{},"pid":1,"tid":{},"args":{}}}"#,
+            event.kind.name(),
+            ts_us(event.ts_ns),
+            event.owner,
+            self.args(event)
+        )
+    }
+
+    fn slice(&self, name: &str, open_ns: u64, event: &Event) -> String {
+        format!(
+            r#"{{"name":"{}","ph":"X","cat":"lock","ts":{},"dur":{},"pid":1,"tid":{},"args":{}}}"#,
+            name,
+            ts_us(open_ns),
+            ts_us(event.ts_ns.saturating_sub(open_ns)),
+            event.owner,
+            self.args(event)
+        )
+    }
+}
+
+/// Key identifying which opens a closing event can pair with.
+type PairKey = (u64, u64, u64, u64); // (owner, lock, start, end)
+
+fn key(event: &Event) -> PairKey {
+    (event.owner, event.lock, event.start, event.end)
+}
+
+/// Renders `events` (must be timestamp-sorted, as
+/// [`Recorder::collect`](crate::trace::Recorder::collect) returns them) as
+/// a complete Chrome trace-event JSON document. `lock_names` and
+/// `actor_names` are `(id, label)` pairs from the recorder's registries.
+pub fn chrome_trace(
+    events: &[Event],
+    lock_names: &[(u64, String)],
+    actor_names: &[(u64, String)],
+) -> String {
+    let ctx = RecordCtx {
+        lock_names: &lock_names.iter().map(|(i, n)| (*i, n.as_str())).collect(),
+        actor_names: &actor_names.iter().map(|(i, n)| (*i, n.as_str())).collect(),
+    };
+    let mut records: Vec<String> = Vec::with_capacity(events.len());
+    // Open timestamps per pair key, one stack per slice family.
+    let mut acquire_open: HashMap<PairKey, Vec<u64>> = HashMap::new();
+    let mut held_open: HashMap<PairKey, Vec<u64>> = HashMap::new();
+    let mut parked_open: HashMap<PairKey, Vec<u64>> = HashMap::new();
+    for event in events {
+        records.push(ctx.instant(event));
+        match event.kind {
+            EventKind::AcquireStart => {
+                acquire_open
+                    .entry(key(event))
+                    .or_default()
+                    .push(event.ts_ns);
+            }
+            EventKind::Granted => {
+                if let Some(open) = acquire_open.get_mut(&key(event)).and_then(Vec::pop) {
+                    records.push(ctx.slice("acquire", open, event));
+                }
+                held_open.entry(key(event)).or_default().push(event.ts_ns);
+            }
+            EventKind::Release => {
+                if let Some(open) = held_open.get_mut(&key(event)).and_then(Vec::pop) {
+                    records.push(ctx.slice("held", open, event));
+                }
+            }
+            EventKind::Parked => {
+                parked_open.entry(key(event)).or_default().push(event.ts_ns);
+            }
+            EventKind::Woken => {
+                if let Some(open) = parked_open.get_mut(&key(event)).and_then(Vec::pop) {
+                    records.push(ctx.slice("parked", open, event));
+                }
+            }
+            // A cancel or timeout also closes any pending acquire slice so
+            // the track does not accumulate unmatched opens.
+            EventKind::Cancelled | EventKind::TimedOut | EventKind::DeadlockDetected => {
+                if let Some(open) = acquire_open.get_mut(&key(event)).and_then(Vec::pop) {
+                    records.push(ctx.slice("acquire-abandoned", open, event));
+                }
+            }
+            EventKind::BatchRollback => {}
+        }
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    out.push_str(&records.join(","));
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, kind: EventKind, owner: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            kind,
+            lock: 1,
+            owner,
+            start: 0,
+            end: 100,
+        }
+    }
+
+    #[test]
+    fn pairs_become_slices_and_everything_is_an_instant() {
+        let events = vec![
+            ev(100, EventKind::AcquireStart, 5),
+            ev(150, EventKind::Parked, 5),
+            ev(900, EventKind::Woken, 5),
+            ev(1000, EventKind::Granted, 5),
+            ev(2500, EventKind::Release, 5),
+            ev(3000, EventKind::Granted, 6), // uncontended: no acquire slice
+            ev(3100, EventKind::Release, 6),
+            ev(4000, EventKind::Cancelled, 7),
+        ];
+        let json = chrome_trace(&events, &[(1, "list-ex".into())], &[(5, "thread-5".into())]);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        // One instant per event.
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), events.len());
+        // Three slices: acquire, parked, and two helds.
+        assert_eq!(json.matches("\"name\":\"acquire\"").count(), 1);
+        assert_eq!(json.matches("\"name\":\"parked\",\"ph\":\"X\"").count(), 1);
+        assert_eq!(json.matches("\"name\":\"held\"").count(), 2);
+        // The acquire slice spans 100 -> 1000 ns = 0.9 us.
+        assert!(json.contains("\"ts\":0.100,\"dur\":0.900"), "{json}");
+        // Names resolve; unknown ids fall back.
+        assert!(json.contains("\"lock\":\"list-ex\""));
+        assert!(json.contains("\"owner\":\"thread-5\""));
+        assert!(json.contains("\"owner\":\"actor-6\""));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let events = vec![ev(1, EventKind::Granted, 9)];
+        let json = chrome_trace(&events, &[(1, "we\"ird\\lock\n".into())], &[]);
+        assert!(json.contains(r#"we\"ird\\lock\n"#), "{json}");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_document() {
+        let json = chrome_trace(&[], &[], &[]);
+        assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+}

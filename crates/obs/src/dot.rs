@@ -1,0 +1,96 @@
+//! Graphviz DOT export of a waits-for graph.
+//!
+//! `rl-file` attaches this rendering to every `EDEADLK` it raises: the
+//! error's `Display` stays a one-liner (`a -> b -> a`), while the DOT dump
+//! carries the *whole* graph at detection time — including the bystander
+//! owners that were waiting but not part of the cycle, which is exactly
+//! what one needs to untangle a real lock-ordering bug. Pipe it through
+//! `dot -Tsvg` or paste it into any Graphviz viewer.
+
+/// Renders a waits-for graph as DOT. `edges` are `(waiter, holder)` name
+/// pairs ("waiter cannot proceed while holder holds what it published");
+/// `cycle` is the detected cycle as a name path whose last element repeats
+/// the first (the shape `Deadlock::cycle()` has), rendered in red. Edges in
+/// `cycle` that are missing from `edges` are added, so the refused
+/// registration's own edges always show.
+pub fn waits_for_dot(edges: &[(String, String)], cycle: &[String]) -> String {
+    let cycle_edges: Vec<(&str, &str)> = cycle
+        .windows(2)
+        .map(|w| (w[0].as_str(), w[1].as_str()))
+        .collect();
+    let is_cycle_edge = |a: &str, b: &str| cycle_edges.iter().any(|&(x, y)| x == a && y == b);
+    let mut out = String::from("digraph waits_for {\n");
+    out.push_str("  rankdir=LR;\n");
+    out.push_str("  node [shape=box];\n");
+    for name in cycle {
+        out.push_str(&format!("  \"{}\" [color=red];\n", escape(name)));
+    }
+    for (waiter, holder) in edges {
+        let attrs = if is_cycle_edge(waiter, holder) {
+            " [color=red, penwidth=2]"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\"{};\n",
+            escape(waiter),
+            escape(holder),
+            attrs
+        ));
+    }
+    // Cycle edges the caller's snapshot no longer contains (the refused
+    // registration is rolled back before the snapshot is taken).
+    for &(a, b) in &cycle_edges {
+        if !edges.iter().any(|(w, h)| w == a && h == b) {
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [color=red, penwidth=2, style=dashed];\n",
+                escape(a),
+                escape(b)
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Escapes a name for use inside a double-quoted DOT ID.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_edges_and_highlights_the_cycle() {
+        let edges = vec![
+            ("a".to_string(), "b".to_string()),
+            ("c".to_string(), "a".to_string()), // bystander
+        ];
+        let cycle = vec!["b".to_string(), "a".to_string(), "b".to_string()];
+        let dot = waits_for_dot(&edges, &cycle);
+        assert!(dot.starts_with("digraph waits_for {"));
+        assert!(dot.ends_with("}\n"));
+        // The a->b edge from the snapshot is red (it is in the cycle).
+        assert!(
+            dot.contains("\"a\" -> \"b\" [color=red, penwidth=2];"),
+            "{dot}"
+        );
+        // The bystander edge is plain.
+        assert!(dot.contains("\"c\" -> \"a\";"), "{dot}");
+        // The refused b->a edge is not in the snapshot: added dashed.
+        assert!(
+            dot.contains("\"b\" -> \"a\" [color=red, penwidth=2, style=dashed];"),
+            "{dot}"
+        );
+        // Cycle nodes are highlighted.
+        assert!(dot.contains("\"a\" [color=red];"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let dot = waits_for_dot(&[("o\"wn\\er".into(), "x".into())], &[]);
+        assert!(dot.contains("\"o\\\"wn\\\\er\" -> \"x\";"), "{dot}");
+    }
+}

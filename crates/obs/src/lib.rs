@@ -1,0 +1,45 @@
+//! # Observability layer for the range-lock reproduction
+//!
+//! The paper's claims are all about *where time goes under contention*; the
+//! counters in `rl_sync::stats` can say how much total waiting happened, but
+//! not how it was distributed (the tail the paper's figures measure) nor in
+//! what order the individual acquisitions, parks, and wakes interleaved.
+//! This crate supplies the missing layer, dependency-free and wired so that
+//! **recording disabled costs one relaxed atomic load and a branch**:
+//!
+//! * [`hist`] — lock-free log-bucketed (HDR-style) latency histograms:
+//!   power-of-two octaves split into linear sub-buckets, recorded with
+//!   relaxed `fetch_add`s, summarized as p50/p90/p99/max. `rl_sync::stats`
+//!   records every wait into one of these next to its existing totals.
+//! * [`ring`] — a sharded, bounded, lock-free event ring buffer. Writers
+//!   claim slots with a relaxed `fetch_add` and publish through a per-slot
+//!   sequence word (a seqlock), so a full ring overwrites the oldest events
+//!   (counted, never silently) instead of blocking the lock fast path.
+//! * [`trace`] — the typed lock events ([`EventKind`]: acquire-start,
+//!   granted, parked, woken, cancelled, timed-out, deadlock-detected,
+//!   batch-rollback, release), the process-global [`Recorder`] they are
+//!   emitted into, and the id/name registries that let exporters print
+//!   `list-rw` and `owner-a` instead of raw integers.
+//! * [`chrome`] — exports a recorded event stream as Chrome trace-event
+//!   JSON, loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev):
+//!   matched granted→release and parked→woken pairs become duration slices,
+//!   everything else becomes instant events.
+//! * [`dot`] — renders a waits-for graph (owner names plus the detected
+//!   cycle) as Graphviz DOT; `rl-file` attaches this to every `EDEADLK`.
+//!
+//! The crate is a leaf (std only) so that `rl-sync` — the bottom of the
+//! workspace dependency stack — can depend on it.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod dot;
+pub mod hist;
+pub mod ring;
+pub mod trace;
+
+pub use chrome::chrome_trace;
+pub use dot::waits_for_dot;
+pub use hist::{HistogramSnapshot, LatencyHistogram};
+pub use ring::EventRing;
+pub use trace::{Event, EventKind, Recorder, RecorderConfig};

@@ -1,0 +1,273 @@
+//! A sharded, bounded, lock-free ring buffer of lock [`Event`]s.
+//!
+//! **Writers never block and never allocate.** A writer claims a slot with
+//! one relaxed `fetch_add` on its shard's head, then publishes through the
+//! slot's sequence word (a per-slot seqlock: odd while the payload is being
+//! written, even — and encoding the claim ticket — once it is complete).
+//! When a shard wraps, the oldest events are overwritten; nothing is ever
+//! dropped *silently* — [`EventRing::overwritten`] counts exactly how many
+//! events were lost to wrapping, and [`EventRing::collect`] reports the
+//! count alongside the surviving events.
+//!
+//! **Readers are best-effort.** [`EventRing::collect`] walks every shard,
+//! keeps each slot whose sequence word is stable across the payload read
+//! (the seqlock read protocol), and skips slots a concurrent writer is
+//! mid-way through. The intended use — drain after the measured storm, or
+//! periodically from a profiler thread — makes torn slots rare; correctness
+//! never depends on seeing them.
+//!
+//! Sharding exists to keep concurrent writers off each other's cache lines:
+//! each thread is assigned a shard round-robin on first use and sticks to
+//! it, so the head `fetch_add` is usually core-local.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::trace::Event;
+
+/// One slot: a seqlock-protected event payload.
+///
+/// `seq` is 0 when never written, `2t + 1` while the writer of claim ticket
+/// `t` is copying the payload in, and `2t + 2` once the payload is complete.
+struct Slot {
+    seq: AtomicU64,
+    data: UnsafeCell<Event>,
+}
+
+// SAFETY: all access to `data` is mediated by the `seq` protocol — writers
+// publish with Release stores, readers validate with Acquire loads and
+// discard torn payloads. `Event` is `Copy`, so a torn read is just garbage
+// bytes that are thrown away, never a memory-safety problem.
+unsafe impl Sync for Slot {}
+
+/// One shard: a claim counter and its slot array.
+struct Shard {
+    /// Next claim ticket; slot = ticket % capacity. Monotonic.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            head: AtomicU64::new(0),
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    data: UnsafeCell::new(Event::default()),
+                })
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn push(&self, event: Event) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        // Claim: odd marks the payload unstable. Two writers lapping each
+        // other on the same slot (a full wrap during one push) can tear the
+        // payload, but the final seq store then fails the reader's
+        // validation, so the torn slot is discarded — never surfaced.
+        slot.seq.store(2 * ticket + 1, Ordering::Release);
+        // SAFETY: see the `Sync` impl — readers discard payloads whose seq
+        // was unstable, and `Event: Copy` keeps torn writes harmless.
+        unsafe { *slot.data.get() = event };
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// Appends every stable event of this shard to `out`; returns how many
+    /// events this shard has overwritten (lost to wrapping) so far.
+    fn collect_into(&self, out: &mut Vec<Event>) -> u64 {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let oldest = head.saturating_sub(cap);
+        for ticket in oldest..head {
+            let slot = &self.slots[(ticket % cap) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq != 2 * ticket + 2 {
+                continue; // unwritten, mid-write, or already lapped
+            }
+            // SAFETY: seq said the payload for `ticket` is complete; the
+            // re-validation below rejects the copy if a writer lapped us
+            // while we copied.
+            let event = unsafe { *slot.data.get() };
+            if slot.seq.load(Ordering::Acquire) == seq {
+                out.push(event);
+            }
+        }
+        oldest
+    }
+}
+
+/// The sharded event ring; see the module docs for the protocol.
+pub struct EventRing {
+    shards: Box<[Shard]>,
+    /// Round-robin assignment counter for first-use shard selection.
+    next_shard: AtomicUsize,
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+thread_local! {
+    /// This thread's shard index, assigned on first push through a ring.
+    /// One hint per thread (not per ring): with several rings alive the
+    /// assignment is merely less balanced, never wrong (pushes take
+    /// `hint % shards`).
+    static SHARD_HINT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+impl EventRing {
+    /// Creates a ring of `shards` shards holding `capacity_per_shard` events
+    /// each. Both are rounded up to at least 1; capacities are rounded up to
+    /// a power of two so the slot index is a mask, not a division.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        let capacity = capacity_per_shard.max(1).next_power_of_two();
+        EventRing {
+            shards: (0..shards.max(1)).map(|_| Shard::new(capacity)).collect(),
+            next_shard: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total capacity (events retained at most) across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.slots.len()).sum()
+    }
+
+    /// Records one event. Wait-free; overwrites the shard's oldest event
+    /// when full.
+    #[inline]
+    pub fn push(&self, event: Event) {
+        let hint = SHARD_HINT.with(|h| {
+            let mut v = h.get();
+            if v == usize::MAX {
+                v = self.next_shard.fetch_add(1, Ordering::Relaxed);
+                h.set(v);
+            }
+            v
+        });
+        self.shards[hint % self.shards.len()].push(event);
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.head.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Events lost to wrapping so far.
+    pub fn overwritten(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let head = s.head.load(Ordering::Relaxed);
+                head.saturating_sub(s.slots.len() as u64)
+            })
+            .sum()
+    }
+
+    /// Collects every currently-readable event, sorted by timestamp, plus
+    /// the number of events lost to wrapping.
+    pub fn collect(&self) -> (Vec<Event>, u64) {
+        let mut events = Vec::new();
+        let mut overwritten = 0;
+        for shard in self.shards.iter() {
+            overwritten += shard.collect_into(&mut events);
+        }
+        events.sort_by_key(|e| e.ts_ns);
+        (events, overwritten)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EventKind;
+
+    fn ev(ts: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            kind: EventKind::Granted,
+            lock: 1,
+            owner: 2,
+            start: 0,
+            end: 10,
+        }
+    }
+
+    #[test]
+    fn fifo_below_capacity() {
+        let ring = EventRing::new(1, 8);
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        let (events, overwritten) = ring.collect();
+        assert_eq!(overwritten, 0);
+        assert_eq!(events.len(), 5);
+        assert_eq!(
+            events.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn wrap_overwrites_oldest_and_counts_the_loss() {
+        let ring = EventRing::new(1, 8);
+        for t in 0..20 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.recorded(), 20);
+        assert_eq!(ring.overwritten(), 12);
+        let (events, overwritten) = ring.collect();
+        assert_eq!(overwritten, 12);
+        // Exactly the newest `capacity` events survive, in timestamp order.
+        assert_eq!(
+            events.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            (12..20).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        let ring = EventRing::new(2, 5);
+        assert_eq!(ring.capacity(), 16);
+        assert_eq!(EventRing::new(0, 0).capacity(), 1);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_land_when_under_capacity() {
+        use std::sync::Arc;
+        let ring = Arc::new(EventRing::new(4, 1024));
+        let threads = 4;
+        let per_thread = 500u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        ring.push(ev(tid * per_thread + i));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let (events, overwritten) = ring.collect();
+        assert_eq!(overwritten, 0);
+        assert_eq!(events.len() as u64, threads * per_thread);
+        // Quiescent collect sees every event exactly once.
+        let mut ts: Vec<u64> = events.iter().map(|e| e.ts_ns).collect();
+        ts.sort_unstable();
+        assert_eq!(ts, (0..threads * per_thread).collect::<Vec<_>>());
+    }
+}

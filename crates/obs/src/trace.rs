@@ -1,0 +1,466 @@
+//! Typed lock events, the process-global [`Recorder`], and the id/name
+//! registries.
+//!
+//! # The disabled path is one load and a branch
+//!
+//! Every emission helper starts with `if !ACTIVE { return }` on a relaxed
+//! atomic — no pointer chase, no time-stamp read, no thread-local access.
+//! The cost of shipping the instrumentation compiled-in but switched off is
+//! therefore a predictable never-taken branch (the `obsbench` experiment in
+//! `rl-bench` measures exactly this against the uninstrumented fast path).
+//!
+//! # Identity: lock ids and actor ids
+//!
+//! Events carry two numeric ids. A **lock id** names one lock instance; it
+//! is allocated from a process-global counter ([`next_lock_id`]) when the
+//! lock is built, so it survives moves (an address would not — locks are
+//! built by-value and moved before they are shared). An **actor id** names
+//! the acquiring party: plain threads get one lazily ([`thread_actor`],
+//! registered as `thread-N`), and `rl-file` lock owners register one per
+//! `LockOwner` under the owner's name. Human-readable labels are attached
+//! out of band with [`Recorder::name_lock`] / [`Recorder::name_actor`], so
+//! the hot path only ever writes integers.
+//!
+//! # Sampling
+//!
+//! Uncontended acquire/release pairs dominate healthy workloads and are the
+//! lock's ~70 ns fast path, so recording *every* one would more than double
+//! its cost. Emission sites on the fast path use [`emit_sampled`], which
+//! records 1 of every 2^`sample_shift` events per thread (default
+//! [`RecorderConfig::DEFAULT_SAMPLE_SHIFT`]); contended-path events —
+//! parks, wakes, cancels, timeouts, deadlocks — always use [`emit`] and are
+//! never sampled out. Set `sample_shift` to 0 to record everything (the
+//! trace-export tests do).
+//!
+//! # Install semantics
+//!
+//! [`install`] leaks the recorder (it becomes `&'static`): emitters read a
+//! raw pointer with no reference counting, so tearing an old recorder down
+//! while a lock release is mid-emission would be a use-after-free.
+//! Installing a replacement is allowed (tests do it) and leaks the previous
+//! one — bounded by the number of installs, not by workload. Toggling
+//! [`set_enabled`] is the cheap way to start/stop recording.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::ring::EventRing;
+
+/// The type of one recorded lock event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum EventKind {
+    /// An acquisition entered the slow (list-traversal or table) path;
+    /// fast-path acquisitions skip straight to
+    /// [`Granted`](EventKind::Granted).
+    AcquireStart,
+    /// An acquisition succeeded; pairs with an earlier
+    /// [`AcquireStart`](EventKind::AcquireStart) when the acquisition took
+    /// the slow path.
+    #[default]
+    Granted,
+    /// A waiter parked on the lock's wait queue (blocking policy).
+    Parked,
+    /// A parked waiter resumed.
+    Woken,
+    /// A pending acquisition was cancelled (dropped future, explicit
+    /// cancel, or batch rollback).
+    Cancelled,
+    /// A timed acquisition gave up at its deadline.
+    TimedOut,
+    /// A waits-for cycle was detected; the acquisition failed with EDEADLK.
+    DeadlockDetected,
+    /// An all-or-nothing batch hit a conflict and rolled back.
+    BatchRollback,
+    /// A held range was released.
+    Release,
+}
+
+impl EventKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [EventKind; 9] = [
+        EventKind::AcquireStart,
+        EventKind::Granted,
+        EventKind::Parked,
+        EventKind::Woken,
+        EventKind::Cancelled,
+        EventKind::TimedOut,
+        EventKind::DeadlockDetected,
+        EventKind::BatchRollback,
+        EventKind::Release,
+    ];
+
+    /// Stable name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::AcquireStart => "acquire-start",
+            EventKind::Granted => "granted",
+            EventKind::Parked => "parked",
+            EventKind::Woken => "woken",
+            EventKind::Cancelled => "cancelled",
+            EventKind::TimedOut => "timed-out",
+            EventKind::DeadlockDetected => "deadlock-detected",
+            EventKind::BatchRollback => "batch-rollback",
+            EventKind::Release => "release",
+        }
+    }
+}
+
+/// One recorded lock event. Plain data: 48 bytes, `Copy`, no pointers —
+/// what the ring stores and the exporters consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Event {
+    /// Nanoseconds since the recorder's epoch ([`Recorder::new`] /
+    /// [`install`] time).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Lock id (see [`next_lock_id`]); resolve with the recorder's name
+    /// map.
+    pub lock: u64,
+    /// Actor id (see [`thread_actor`] / [`next_actor_id`]).
+    pub owner: u64,
+    /// Start of the range involved.
+    pub start: u64,
+    /// End (exclusive) of the range involved.
+    pub end: u64,
+}
+
+/// Allocates lock ids; 0 is reserved as "unknown".
+static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates actor ids; 0 is reserved as "unknown".
+static NEXT_ACTOR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Returns a fresh process-unique lock id. Locks call this once at
+/// construction and stamp every event they emit with it.
+pub fn next_lock_id() -> u64 {
+    NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Returns a fresh process-unique actor id (for parties that are not plain
+/// threads, e.g. `rl-file` lock owners).
+pub fn next_actor_id() -> u64 {
+    NEXT_ACTOR_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// This thread's lazily-allocated actor id.
+    static THREAD_ACTOR: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// Per-thread sampling counter for [`emit_sampled`].
+    static SAMPLE_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The calling thread's actor id, allocated (and named `thread-N` in the
+/// installed recorder, if any) on first use.
+pub fn thread_actor() -> u64 {
+    THREAD_ACTOR.with(|cell| {
+        let mut id = cell.get();
+        if id == 0 {
+            id = next_actor_id();
+            cell.set(id);
+            if let Some(recorder) = installed() {
+                recorder.name_actor(id, &format!("thread-{id}"));
+            }
+        }
+        id
+    })
+}
+
+/// Recorder sizing and sampling knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderConfig {
+    /// Number of ring shards (threads recording concurrently spread over
+    /// these).
+    pub shards: usize,
+    /// Events retained per shard (rounded up to a power of two).
+    pub capacity_per_shard: usize,
+    /// Fast-path events go through [`emit_sampled`], which keeps 1 of
+    /// every `2^sample_shift` per thread. 0 records everything.
+    pub sample_shift: u32,
+}
+
+impl RecorderConfig {
+    /// Default sampling: 1 of every 16 fast-path events per thread.
+    pub const DEFAULT_SAMPLE_SHIFT: u32 = 4;
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            shards: 8,
+            capacity_per_shard: 1 << 13,
+            sample_shift: Self::DEFAULT_SAMPLE_SHIFT,
+        }
+    }
+}
+
+/// The event sink: a sharded ring plus the name registries and the clock
+/// epoch. Usually installed process-globally with [`install`]; tests can
+/// also drive one directly.
+#[derive(Debug)]
+pub struct Recorder {
+    ring: EventRing,
+    epoch: Instant,
+    sample_mask: u64,
+    lock_names: Mutex<Vec<(u64, String)>>,
+    actor_names: Mutex<Vec<(u64, String)>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new(RecorderConfig::default())
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder; its epoch (event timestamp zero) is now.
+    pub fn new(config: RecorderConfig) -> Self {
+        Recorder {
+            ring: EventRing::new(config.shards, config.capacity_per_shard),
+            epoch: Instant::now(),
+            sample_mask: (1u64 << config.sample_shift) - 1,
+            lock_names: Mutex::new(Vec::new()),
+            actor_names: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Nanoseconds since this recorder's epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records one event, stamping it with the current time.
+    #[inline]
+    pub fn record(&self, kind: EventKind, lock: u64, owner: u64, start: u64, end: u64) {
+        self.ring.push(Event {
+            ts_ns: self.now_ns(),
+            kind,
+            lock,
+            owner,
+            start,
+            end,
+        });
+    }
+
+    /// Attaches a human-readable label to a lock id (latest registration
+    /// wins).
+    pub fn name_lock(&self, id: u64, label: &str) {
+        let mut names = self.lock_names.lock().unwrap();
+        names.retain(|(i, _)| *i != id);
+        names.push((id, label.to_string()));
+    }
+
+    /// Attaches a human-readable label to an actor id (latest registration
+    /// wins).
+    pub fn name_actor(&self, id: u64, label: &str) {
+        let mut names = self.actor_names.lock().unwrap();
+        names.retain(|(i, _)| *i != id);
+        names.push((id, label.to_string()));
+    }
+
+    /// The registered lock labels, as `(id, label)` pairs.
+    pub fn lock_names(&self) -> Vec<(u64, String)> {
+        self.lock_names.lock().unwrap().clone()
+    }
+
+    /// The registered actor labels, as `(id, label)` pairs.
+    pub fn actor_names(&self) -> Vec<(u64, String)> {
+        self.actor_names.lock().unwrap().clone()
+    }
+
+    /// Collects the currently-readable events (timestamp-sorted) and the
+    /// number lost to ring wrap.
+    pub fn collect(&self) -> (Vec<Event>, u64) {
+        self.ring.collect()
+    }
+
+    /// Total events ever recorded into this recorder.
+    pub fn recorded(&self) -> u64 {
+        self.ring.recorded()
+    }
+
+    /// Exports everything recorded so far as Chrome trace-event JSON; see
+    /// [`chrome_trace`](crate::chrome::chrome_trace).
+    pub fn chrome_trace(&self) -> String {
+        let (events, _) = self.collect();
+        crate::chrome::chrome_trace(&events, &self.lock_names(), &self.actor_names())
+    }
+}
+
+/// Master switch: the one relaxed load every emission helper starts with.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// The installed recorder (leaked; null until the first [`install`]).
+static RECORDER: AtomicPtr<Recorder> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Installs `recorder` as the process-global sink and enables recording.
+/// The recorder is leaked (see the module docs for why); the returned
+/// reference is how the installer later drains and exports it.
+pub fn install(recorder: Recorder) -> &'static Recorder {
+    let leaked: &'static Recorder = Box::leak(Box::new(recorder));
+    RECORDER.store(
+        leaked as *const Recorder as *mut Recorder,
+        Ordering::Release,
+    );
+    ACTIVE.store(true, Ordering::Release);
+    leaked
+}
+
+/// The installed recorder, if any.
+pub fn installed() -> Option<&'static Recorder> {
+    let ptr = RECORDER.load(Ordering::Acquire);
+    // SAFETY: the pointer is either null or a `Box::leak`ed recorder that
+    // is never freed.
+    unsafe { ptr.as_ref() }
+}
+
+/// Turns event recording on or off without touching the installed
+/// recorder. Enabling with no recorder installed is a no-op (emission
+/// checks both).
+pub fn set_enabled(enabled: bool) {
+    ACTIVE.store(
+        enabled && !RECORDER.load(Ordering::Acquire).is_null(),
+        Ordering::Release,
+    );
+}
+
+/// Whether emission is currently enabled (one relaxed load).
+#[inline]
+pub fn is_enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Emits one event to the installed recorder, if recording is enabled.
+/// This is the always-on sites' entry point (parks, cancels, deadlocks…);
+/// disabled cost is the relaxed load and a never-taken branch.
+#[inline]
+pub fn emit(kind: EventKind, lock: u64, owner: u64, start: u64, end: u64) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    emit_always(kind, lock, owner, start, end);
+}
+
+/// Emits one event with the calling thread as the actor.
+#[inline]
+pub fn emit_here(kind: EventKind, lock: u64, start: u64, end: u64) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    emit_always(kind, lock, thread_actor(), start, end);
+}
+
+/// Emits 1 of every 2^`sample_shift` calls per thread; the fast-path
+/// (uncontended granted/release) sites use this so that full-rate
+/// recording cannot double the cost of an uncontended acquisition.
+#[inline]
+pub fn emit_sampled(kind: EventKind, lock: u64, start: u64, end: u64) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    emit_sampled_slow(kind, lock, start, end);
+}
+
+#[inline(never)]
+fn emit_sampled_slow(kind: EventKind, lock: u64, start: u64, end: u64) {
+    let Some(recorder) = installed() else { return };
+    let tick = SAMPLE_TICK.with(|t| {
+        let v = t.get().wrapping_add(1);
+        t.set(v);
+        v
+    });
+    if tick & recorder.sample_mask != 0 {
+        return;
+    }
+    recorder.record(kind, lock, thread_actor(), start, end);
+}
+
+#[inline(never)]
+fn emit_always(kind: EventKind, lock: u64, owner: u64, start: u64, end: u64) {
+    if let Some(recorder) = installed() {
+        recorder.record(kind, lock, owner, start, end);
+    }
+}
+
+/// Registers a lock label with the installed recorder, if any. Safe to
+/// call unconditionally from lock constructors: without a recorder it is a
+/// load and a branch.
+pub fn label_lock(id: u64, label: &str) {
+    if let Some(recorder) = installed() {
+        recorder.name_lock(id, label);
+    }
+}
+
+/// Registers an actor label with the installed recorder, if any.
+pub fn label_actor(id: u64, label: &str) {
+    if let Some(recorder) = installed() {
+        recorder.name_actor(id, label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_stable_unique_names() {
+        let names: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 9);
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(EventKind::default(), EventKind::Granted);
+    }
+
+    #[test]
+    fn recorder_records_and_names() {
+        let recorder = Recorder::new(RecorderConfig {
+            shards: 1,
+            capacity_per_shard: 64,
+            sample_shift: 0,
+        });
+        recorder.record(EventKind::Granted, 7, 3, 0, 10);
+        recorder.record(EventKind::Release, 7, 3, 0, 10);
+        recorder.name_lock(7, "list-ex");
+        recorder.name_lock(7, "list-ex-renamed"); // latest wins
+        recorder.name_actor(3, "owner-a");
+        let (events, overwritten) = recorder.collect();
+        assert_eq!(overwritten, 0);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Granted);
+        assert!(events[0].ts_ns <= events[1].ts_ns);
+        assert_eq!(recorder.lock_names(), vec![(7, "list-ex-renamed".into())]);
+        assert_eq!(recorder.actor_names(), vec![(3, "owner-a".into())]);
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_lock_id();
+        let b = next_lock_id();
+        assert!(a != 0 && b != 0 && a != b);
+        let x = next_actor_id();
+        let y = next_actor_id();
+        assert!(x != 0 && y != 0 && x != y);
+        assert_ne!(thread_actor(), 0);
+        assert_eq!(thread_actor(), thread_actor());
+    }
+
+    #[test]
+    fn emission_without_a_recorder_is_inert() {
+        // Never installs: must not panic, must not record anywhere.
+        emit(EventKind::Parked, 1, 2, 0, 1);
+        emit_here(EventKind::Granted, 1, 0, 1);
+        emit_sampled(EventKind::Release, 1, 0, 1);
+        label_lock(1, "x");
+        label_actor(2, "y");
+        // `set_enabled(true)` without a recorder stays disabled.
+        set_enabled(true);
+        assert!(!is_enabled() || installed().is_some());
+        set_enabled(false);
+    }
+}

@@ -11,10 +11,17 @@
 //! simply record nothing, matching `lock_stat`, which only accounts for
 //! contended acquisitions. A [`LockStatRegistry`] aggregates several
 //! [`WaitStats`] so the benchmark harness can print one table per experiment.
+//!
+//! Beyond the totals, every wait is also recorded into a pair of lock-free
+//! log-bucketed latency histograms ([`rl_obs::hist`]), one per
+//! [`WaitKind`], so snapshots can report p50/p90/p99/max wait times — the
+//! tail behaviour that averages hide and the paper's figures are about.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+use rl_obs::hist::{HistogramSnapshot, LatencyHistogram};
 
 /// Whether a waiting acquisition was for shared (read) or exclusive (write)
 /// access. Plain mutual-exclusion locks report everything as [`WaitKind::Write`].
@@ -51,6 +58,8 @@ pub struct WaitStats {
     cancels: AtomicU64,
     deadlocks_detected: AtomicU64,
     batch_rollbacks: AtomicU64,
+    read_hist: LatencyHistogram,
+    write_hist: LatencyHistogram,
 }
 
 impl WaitStats {
@@ -69,6 +78,8 @@ impl WaitStats {
             cancels: AtomicU64::new(0),
             deadlocks_detected: AtomicU64::new(0),
             batch_rollbacks: AtomicU64::new(0),
+            read_hist: LatencyHistogram::new(),
+            write_hist: LatencyHistogram::new(),
         }
     }
 
@@ -101,10 +112,12 @@ impl WaitStats {
             WaitKind::Read => {
                 self.read_waits.fetch_add(1, Ordering::Relaxed);
                 self.read_wait_ns.fetch_add(elapsed, Ordering::Relaxed);
+                self.read_hist.record(elapsed);
             }
             WaitKind::Write => {
                 self.write_waits.fetch_add(1, Ordering::Relaxed);
                 self.write_wait_ns.fetch_add(elapsed, Ordering::Relaxed);
+                self.write_hist.record(elapsed);
             }
         }
     }
@@ -120,10 +133,12 @@ impl WaitStats {
             WaitKind::Read => {
                 self.read_waits.fetch_add(1, Ordering::Relaxed);
                 self.read_wait_ns.fetch_add(ns, Ordering::Relaxed);
+                self.read_hist.record(ns);
             }
             WaitKind::Write => {
                 self.write_waits.fetch_add(1, Ordering::Relaxed);
                 self.write_wait_ns.fetch_add(ns, Ordering::Relaxed);
+                self.write_hist.record(ns);
             }
         }
     }
@@ -195,6 +210,8 @@ impl WaitStats {
             cancels: self.cancels.load(Ordering::Relaxed),
             deadlocks_detected: self.deadlocks_detected.load(Ordering::Relaxed),
             batch_rollbacks: self.batch_rollbacks.load(Ordering::Relaxed),
+            read_wait_hist: self.read_hist.snapshot(),
+            write_wait_hist: self.write_hist.snapshot(),
         }
     }
 
@@ -211,6 +228,8 @@ impl WaitStats {
         self.cancels.store(0, Ordering::Relaxed);
         self.deadlocks_detected.store(0, Ordering::Relaxed);
         self.batch_rollbacks.store(0, Ordering::Relaxed);
+        self.read_hist.reset();
+        self.write_hist.reset();
     }
 }
 
@@ -251,43 +270,78 @@ pub struct LockStatSnapshot {
     /// Number of batched acquisitions (`acquire_many`/`lock_many`) that
     /// failed partway and rolled back every range already taken.
     pub batch_rollbacks: u64,
+    /// Distribution of the individual *contended* read-wait times (whose
+    /// totals are `read_waits`/`read_wait_ns`); uncontended acquisitions
+    /// record nothing, matching the totals.
+    pub read_wait_hist: HistogramSnapshot,
+    /// Distribution of the individual *contended* write-wait times.
+    pub write_wait_hist: HistogramSnapshot,
 }
 
 impl LockStatSnapshot {
-    /// Mean wait per *contended* read acquisition, in nanoseconds.
-    pub fn avg_read_wait_ns(&self) -> f64 {
+    /// Mean wait per *contended* read acquisition, in nanoseconds, or
+    /// `None` if no read acquisition ever waited (callers must decide what
+    /// "no data" means for them rather than inheriting a silent 0).
+    pub fn avg_read_wait_ns(&self) -> Option<f64> {
         if self.read_waits == 0 {
-            0.0
+            None
         } else {
-            self.read_wait_ns as f64 / self.read_waits as f64
+            Some(self.read_wait_ns as f64 / self.read_waits as f64)
         }
     }
 
-    /// Mean wait per *contended* write acquisition, in nanoseconds.
-    pub fn avg_write_wait_ns(&self) -> f64 {
+    /// Mean wait per *contended* write acquisition, in nanoseconds, or
+    /// `None` if no write acquisition ever waited.
+    pub fn avg_write_wait_ns(&self) -> Option<f64> {
         if self.write_waits == 0 {
-            0.0
+            None
         } else {
-            self.write_wait_ns as f64 / self.write_waits as f64
+            Some(self.write_wait_ns as f64 / self.write_waits as f64)
         }
     }
 
-    /// Mean wait across every acquisition (contended or not), in nanoseconds.
+    /// Mean wait across every acquisition (contended or not), in
+    /// nanoseconds, or `None` if there were no acquisitions at all.
     ///
     /// This is the metric plotted in Figures 7 and 8: total wait time divided
     /// by the total number of acquisitions, so locks that rarely contend show
-    /// small averages even if individual waits were long.
-    pub fn avg_wait_per_acquisition_ns(&self) -> f64 {
+    /// small averages even if individual waits were long. Note the asymmetry
+    /// with the per-kind helpers: here a lock that never *waited* (but did
+    /// acquire) legitimately reports `Some(0.0)`.
+    pub fn avg_wait_per_acquisition_ns(&self) -> Option<f64> {
         if self.acquisitions == 0 {
-            0.0
+            None
         } else {
-            (self.read_wait_ns + self.write_wait_ns) as f64 / self.acquisitions as f64
+            Some((self.read_wait_ns + self.write_wait_ns) as f64 / self.acquisitions as f64)
         }
     }
 
     /// Total wait time across read and write acquisitions, in nanoseconds.
     pub fn total_wait_ns(&self) -> u64 {
         self.read_wait_ns + self.write_wait_ns
+    }
+
+    /// The combined (read + write) wait-time distribution.
+    pub fn wait_hist(&self) -> HistogramSnapshot {
+        let mut merged = self.read_wait_hist.clone();
+        merged.merge(&self.write_wait_hist);
+        merged
+    }
+
+    /// Median contended wait, in nanoseconds (`None` if nothing waited).
+    pub fn wait_p50_ns(&self) -> Option<u64> {
+        self.wait_hist().p50()
+    }
+
+    /// 99th-percentile contended wait, in nanoseconds (`None` if nothing
+    /// waited).
+    pub fn wait_p99_ns(&self) -> Option<u64> {
+        self.wait_hist().p99()
+    }
+
+    /// Longest single contended wait, in nanoseconds (0 if nothing waited).
+    pub fn max_wait_ns(&self) -> u64 {
+        self.read_wait_hist.max().max(self.write_wait_hist.max())
     }
 }
 
@@ -416,12 +470,21 @@ mod tests {
     use std::time::Duration;
 
     #[test]
-    fn empty_stats_average_is_zero() {
+    fn empty_stats_averages_are_explicitly_absent() {
         let s = WaitStats::new("x");
         let snap = s.snapshot();
-        assert_eq!(snap.avg_read_wait_ns(), 0.0);
-        assert_eq!(snap.avg_write_wait_ns(), 0.0);
-        assert_eq!(snap.avg_wait_per_acquisition_ns(), 0.0);
+        assert_eq!(snap.avg_read_wait_ns(), None);
+        assert_eq!(snap.avg_write_wait_ns(), None);
+        assert_eq!(snap.avg_wait_per_acquisition_ns(), None);
+        assert_eq!(snap.wait_p50_ns(), None);
+        assert_eq!(snap.wait_p99_ns(), None);
+        assert_eq!(snap.max_wait_ns(), 0);
+        // An acquisition that never waited: per-kind averages still absent,
+        // but the per-acquisition average is a real 0.0.
+        s.record_uncontended();
+        let snap = s.snapshot();
+        assert_eq!(snap.avg_read_wait_ns(), None);
+        assert_eq!(snap.avg_wait_per_acquisition_ns(), Some(0.0));
     }
 
     #[test]
@@ -447,8 +510,36 @@ mod tests {
         assert_eq!(snap.write_waits, 2);
         assert_eq!(snap.write_wait_ns, 2000);
         assert_eq!(snap.acquisitions, 3);
-        assert_eq!(snap.avg_write_wait_ns(), 1000.0);
-        assert!((snap.avg_wait_per_acquisition_ns() - 2000.0 / 3.0).abs() < 1e-9);
+        assert_eq!(snap.avg_write_wait_ns(), Some(1000.0));
+        let avg = snap.avg_wait_per_acquisition_ns().unwrap();
+        assert!((avg - 2000.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waits_feed_the_histograms() {
+        let s = WaitStats::new("x");
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            s.record_wait_ns(WaitKind::Read, ns);
+        }
+        s.record_wait_ns(WaitKind::Write, 1_000_000);
+        s.record_uncontended(); // must not touch the histograms
+        let snap = s.snapshot();
+        assert_eq!(snap.read_wait_hist.count(), 5);
+        assert_eq!(snap.write_wait_hist.count(), 1);
+        assert_eq!(snap.wait_hist().count(), 6);
+        assert_eq!(snap.max_wait_ns(), 1_000_000);
+        // p50 of the merged distribution lands in the 400ns bucket (12.5%
+        // relative-error bound).
+        let p50 = snap.wait_p50_ns().unwrap();
+        assert!((400..=450).contains(&p50), "p50 = {p50}");
+        assert!(snap.wait_p99_ns().unwrap() >= 100_000);
+        // The timed path feeds them too.
+        let timed = WaitStats::new("t");
+        timed.finish(timed.start(WaitKind::Write));
+        assert_eq!(timed.snapshot().write_wait_hist.count(), 1);
+        // Reset clears the distributions with everything else.
+        s.reset();
+        assert_eq!(s.snapshot().wait_hist().count(), 0);
     }
 
     #[test]

@@ -142,6 +142,10 @@ pub struct WaitQueue {
     /// Optional mirror for the park/wake counters, attached by the owning
     /// lock's `with_stats` builder before the lock is shared.
     stats: Option<Arc<WaitStats>>,
+    /// Lazily-allocated `rl-obs` lock id stamped on every event the owning
+    /// lock (and this queue) emits; 0 until first use. Lazy because
+    /// [`WaitQueue::new`] is `const`.
+    trace_id: AtomicU64,
 }
 
 impl WaitQueue {
@@ -162,6 +166,26 @@ impl WaitQueue {
             deadlocks: AtomicU64::new(0),
             batch_rollbacks: AtomicU64::new(0),
             stats: None,
+            trace_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The `rl-obs` lock id events about the owning lock are stamped with,
+    /// allocated from the process-global counter on first use. Owning locks
+    /// use this as *their* id too, so queue-level events (parks/wakes) and
+    /// lock-level events (grants/releases) land on the same trace track.
+    pub fn trace_id(&self) -> u64 {
+        let id = self.trace_id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = rl_obs::trace::next_lock_id();
+        match self
+            .trace_id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(current) => current,
         }
     }
 
@@ -313,7 +337,13 @@ impl WaitQueue {
                 if let Some(stats) = &self.stats {
                     stats.record_park();
                 }
+                if rl_obs::trace::is_enabled() {
+                    rl_obs::trace::emit_here(rl_obs::EventKind::Parked, self.trace_id(), 0, 0);
+                }
                 self.condvar.wait(&mut guard);
+                if rl_obs::trace::is_enabled() {
+                    rl_obs::trace::emit_here(rl_obs::EventKind::Woken, self.trace_id(), 0, 0);
+                }
             }
         }
         self.waiters.fetch_sub(1, Ordering::SeqCst);
@@ -345,7 +375,13 @@ impl WaitQueue {
                 if let Some(stats) = &self.stats {
                     stats.record_park();
                 }
+                if rl_obs::trace::is_enabled() {
+                    rl_obs::trace::emit_here(rl_obs::EventKind::Parked, self.trace_id(), 0, 0);
+                }
                 self.condvar.wait_for(&mut guard, deadline - now);
+                if rl_obs::trace::is_enabled() {
+                    rl_obs::trace::emit_here(rl_obs::EventKind::Woken, self.trace_id(), 0, 0);
+                }
             }
             if expired {
                 // One last look: the deadline racing a wake must not report

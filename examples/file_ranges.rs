@@ -121,7 +121,7 @@ fn main() {
                 "  {:>8}: {} acquisition(s), avg {:.0} ns",
                 snap.name,
                 snap.acquisitions,
-                snap.avg_wait_per_acquisition_ns()
+                snap.avg_wait_per_acquisition_ns().unwrap_or(0.0)
             );
         }
     }

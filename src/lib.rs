@@ -14,6 +14,7 @@ pub use rl_baselines;
 pub use rl_exec;
 pub use rl_file;
 pub use rl_metis;
+pub use rl_obs;
 pub use rl_skiplist;
 pub use rl_sync;
 pub use rl_vm;
