@@ -32,5 +32,5 @@ pub mod tree_lock;
 
 pub use range_tree::{Interval, RangeTree};
 pub use registry::{RegistryConfig, VariantSpec};
-pub use segment_lock::{SegmentRangeLock, SegmentReadGuard, SegmentWriteGuard};
+pub use segment_lock::{AdaptiveConfig, SegmentRangeLock, SegmentReadGuard, SegmentWriteGuard};
 pub use tree_lock::{RwTreeRangeLock, TreeRangeGuard, TreeRangeLock};

@@ -58,16 +58,36 @@ pub struct RegistryConfig {
     pub span: u64,
     /// Number of equal segments the span is split into.
     pub segments: usize,
+    /// When `true`, the segment lock rebalances its partitioning from
+    /// per-segment contention (geometry-derived
+    /// [`AdaptiveConfig`](crate::AdaptiveConfig) defaults:
+    /// hot segments split, cold runs coalesce). The signal is parking, so
+    /// this is only effective under [`WaitPolicyKind::Block`]; spinning
+    /// policies never park and their tables only drift toward the coalesced
+    /// floor. Off by default — the static layout is what the paper measures.
+    pub adaptive_segments: bool,
 }
 
 impl Default for RegistryConfig {
     /// One segment per 4 KiB page of a 1 MiB resource — pNOVA's natural
-    /// granularity and the FileBench default.
+    /// granularity and the FileBench default — with the static layout.
     fn default() -> Self {
         RegistryConfig {
             span: 1 << 20,
             segments: 1 << 8,
+            adaptive_segments: false,
         }
+    }
+}
+
+/// Builds the segment lock for `config`, enabling adaptive rebalancing when
+/// requested.
+fn make_segment_lock<P: rl_sync::wait::WaitPolicy>(config: &RegistryConfig) -> SegmentRangeLock<P> {
+    let lock = SegmentRangeLock::<P>::with_policy(config.span, config.segments);
+    if config.adaptive_segments {
+        lock.adaptive()
+    } else {
+        lock
     }
 }
 
@@ -185,7 +205,7 @@ fn build_kernel_rw(wait: WaitPolicyKind, _config: &RegistryConfig) -> Box<dyn Dy
 }
 
 fn build_pnova_rw(wait: WaitPolicyKind, config: &RegistryConfig) -> Box<dyn DynRwRangeLock> {
-    per_policy!(wait, P => SegmentRangeLock::<P>::with_policy(config.span, config.segments))
+    per_policy!(wait, P => make_segment_lock::<P>(config))
 }
 
 fn build_list_ex_async(
@@ -220,7 +240,7 @@ fn build_pnova_rw_async(
     wait: WaitPolicyKind,
     config: &RegistryConfig,
 ) -> Box<dyn DynAsyncRwRangeLock> {
-    per_policy!(wait, P => SegmentRangeLock::<P>::with_policy(config.span, config.segments))
+    per_policy!(wait, P => make_segment_lock::<P>(config))
 }
 
 fn build_list_ex_twophase(
@@ -255,7 +275,7 @@ fn build_pnova_rw_twophase(
     wait: WaitPolicyKind,
     config: &RegistryConfig,
 ) -> Box<dyn DynTwoPhaseRwRangeLock> {
-    per_policy!(wait, P => SegmentRangeLock::<P>::with_policy(config.span, config.segments))
+    per_policy!(wait, P => make_segment_lock::<P>(config))
 }
 
 /// The five paper variants, baselines first, in the order the paper's figure
@@ -353,6 +373,7 @@ mod tests {
         let config = RegistryConfig {
             span: 256,
             segments: 32,
+            adaptive_segments: false,
         };
         for spec in all() {
             for wait in WaitPolicyKind::ALL {
@@ -388,6 +409,7 @@ mod tests {
         let config = RegistryConfig {
             span: 256,
             segments: 32,
+            adaptive_segments: false,
         };
         for spec in all() {
             for wait in WaitPolicyKind::ALL {
@@ -432,6 +454,7 @@ mod tests {
         let config = RegistryConfig {
             span: 256,
             segments: 32,
+            adaptive_segments: false,
         };
         for spec in all() {
             for wait in WaitPolicyKind::ALL {

@@ -107,10 +107,15 @@ impl<P: WaitPolicy> TreeLockInner<P> {
             state.tree.insert(Interval { range, id });
             state.waiters.insert(id, Arc::clone(&waiter));
         }
-        // Wait outside the spin lock until every blocking range is released;
-        // releasers that drop a waiter's count to zero wake the queue.
+        // Wait outside the spin lock until every blocking range is released.
+        // Each waiter parks under its own key — the `Arc<Waiter>` address —
+        // and the releaser that drops its count to zero wakes exactly that
+        // key, so an unrelated release leaves it parked.
         if waiter.blocked.load(Ordering::Acquire) != 0 {
-            P::wait_until(&self.queue, || waiter.blocked.load(Ordering::Acquire) == 0);
+            let wait_key = Arc::as_ptr(&waiter) as u64;
+            P::wait_until_keyed(&self.queue, wait_key, || {
+                waiter.blocked.load(Ordering::Acquire) == 0
+            });
             if let Some(s) = &self.stats {
                 let kind = if reader {
                     WaitKind::Read
@@ -166,7 +171,7 @@ impl<P: WaitPolicy> TreeLockInner<P> {
     }
 
     fn release(&self, range: Range, id: u64, reader: bool) {
-        let mut unblocked = false;
+        let mut unblocked: Vec<u64> = Vec::new();
         {
             let mut guard = self.state.lock();
             let state = &mut *guard;
@@ -179,19 +184,22 @@ impl<P: WaitPolicy> TreeLockInner<P> {
                     .get(&iv.id)
                     .expect("every tree entry has a registered waiter");
                 if !(reader && other.reader) && other.blocked.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    unblocked = true;
+                    unblocked.push(Arc::as_ptr(other) as u64);
                 }
             });
         }
-        // Wake hook, outside the spin lock. A release that dropped some
-        // waiter's block count to zero wakes everything; any other release
-        // still wakes registered async waiters — a two-phase poller is not
-        // in the tree's count bookkeeping, so *every* removal may be the one
-        // it was blocked on.
-        if unblocked {
-            P::wake(&self.queue);
+        // Wake hook, outside the spin lock. A release that dropped waiters'
+        // block counts to zero wakes exactly those waiters' keys; every
+        // other release still nudges the unkeyed population — a two-phase
+        // poller is not in the tree's count bookkeeping, so *every* removal
+        // may be the one it was blocked on — without disturbing keyed
+        // parkers whose counts are still positive.
+        if unblocked.is_empty() {
+            self.queue.wake_unkeyed();
         } else {
-            self.queue.wake_all();
+            for key in unblocked {
+                P::wake_key(&self.queue, key);
+            }
         }
     }
 

@@ -51,6 +51,7 @@ pub const SHARED_PCT: u64 = 50;
 pub const BATCH_REGISTRY_CONFIG: RegistryConfig = RegistryConfig {
     span: BATCH_SPAN,
     segments: (BATCH_SPAN / SLOT) as usize,
+    adaptive_segments: false,
 };
 
 /// How a worker turns its batch of ranges into lock-table calls.

@@ -33,6 +33,10 @@
 //!                      all 5 lock variants
 //!   batch-quick        a bounded batch sweep for CI: every variant under
 //!                      both drivers, small thread counts, short cells
+//!   parkbench          keyed parking lot vs broadcast eventcount: targeted
+//!                      wakes/sec, spurious wakeups per release, wake-to-run
+//!                      p50/p99, plus a disjoint-pair Block-policy lock storm
+//!   parkbench-quick    the same legs with fewer waiters and rounds, for CI
 //!   obsbench           rl-obs instrumentation overhead on the uncontended
 //!                      list-ex fast path: recorder absent / installed-but-
 //!                      disabled / enabled-sampled / enabled-full
@@ -67,6 +71,7 @@ use rl_bench::batchbench::{self, BatchBenchConfig, BatchDriver};
 use rl_bench::filebench::{self, FileBenchConfig, OffsetDist};
 use rl_bench::metisbench::{self, MetisScale};
 use rl_bench::obsbench;
+use rl_bench::parkbench;
 use rl_bench::perfdiff;
 use rl_bench::report::Table;
 use rl_bench::skipbench::{self, SkipBenchConfig, SkipListVariant};
@@ -795,6 +800,13 @@ fn run_batch_quick(opts: &Options) {
     run_batch_tables(opts, &[1, 2], 3, Duration::from_millis(50));
 }
 
+/// ParkBench: the keyed parking lot against the broadcast eventcount.
+fn run_parkbench(opts: &Options, quick: bool) {
+    for table in parkbench::tables(quick) {
+        emit(&table, opts.json);
+    }
+}
+
 /// ObsBench measurement parameters: (iterations per rep, reps).
 fn obsbench_scale(quick: bool) -> (u64, u32) {
     if quick {
@@ -870,6 +882,7 @@ fn run_perfdiff(opts: &Options) {
             }
             tables
         }),
+        ("BENCH_park.json", parkbench::tables(opts.quick)),
         ("BENCH_obs.json", obsbench_tables(opts.quick)),
     ];
     let mut failed = false;
@@ -936,6 +949,8 @@ fn main() {
             "asyncbench-quick" => run_asyncbench_quick(&opts),
             "batch" => run_batch(&opts),
             "batch-quick" => run_batch_quick(&opts),
+            "parkbench" => run_parkbench(&opts, opts.quick),
+            "parkbench-quick" => run_parkbench(&opts, true),
             "obsbench" => run_obsbench(&opts),
             "obsbench-quick" => {
                 let quick = Options {
@@ -959,6 +974,7 @@ fn main() {
                 run_filebench_oversub(&opts);
                 run_asyncbench(&opts);
                 run_batch(&opts);
+                run_parkbench(&opts, opts.quick);
                 // Last: obsbench installs the process-global recorder, and
                 // every earlier experiment should measure the pristine
                 // (never-installed) state.

@@ -62,6 +62,7 @@ pub const TRUNCATE_EVERY: u64 = 512;
 pub const FILE_REGISTRY_CONFIG: RegistryConfig = RegistryConfig {
     span: FILE_SIZE,
     segments: (FILE_SIZE >> 12) as usize,
+    adaptive_segments: false,
 };
 
 /// How operations pick their file offset.

@@ -21,6 +21,9 @@
 //!   lock table;
 //! * [`obsbench`] — overhead of the `rl-obs` observability layer on the
 //!   uncontended fast path (recorder absent / disabled / sampled / full);
+//! * [`parkbench`] — the keyed parking lot vs the broadcast eventcount:
+//!   spurious wakeups per release (O(parked waiters) vs ~0), wake-to-run
+//!   latency, and a disjoint-pair lock storm under the `Block` policy;
 //! * [`perfdiff`] — the regression gate: parses the committed
 //!   `BENCH_*.json` baselines and compares a fresh quick run cell-by-cell,
 //!   direction-aware (throughput down, p50/p99 latency up);
@@ -38,6 +41,7 @@ pub mod batchbench;
 pub mod filebench;
 pub mod metisbench;
 pub mod obsbench;
+pub mod parkbench;
 pub mod perfdiff;
 pub mod report;
 pub mod rng;
@@ -49,6 +53,7 @@ pub use batchbench::{BatchBenchConfig, BatchBenchResult, BatchDriver};
 pub use filebench::{FileBenchConfig, FileBenchResult, OffsetDist};
 pub use metisbench::{figure5, figure6, measure, MetisMeasurement, MetisScale};
 pub use obsbench::ObsBenchResult;
+pub use parkbench::{PairStormResult, ParkBenchResult, ParkMode};
 pub use perfdiff::{DiffReport, ParsedTable, Regression};
 pub use report::{Table, TableRow};
 pub use skipbench::{SkipBenchConfig, SkipBenchResult, SkipListVariant};

@@ -88,11 +88,17 @@ pub struct DiffReport {
     pub regressions: Vec<Regression>,
 }
 
-/// Whether `metric` regresses by *increasing* (latency-shaped metrics).
-/// Everything else — `ops/sec`, `batches/sec` — regresses by decreasing.
+/// Whether `metric` regresses by *increasing* (latency-shaped metrics, and
+/// the parkbench herd counters — spurious wakeups per release regress
+/// upward). Everything else — `ops/sec`, `batches/sec` — regresses by
+/// decreasing.
 pub fn lower_is_better(metric: &str) -> bool {
     let m = metric.to_ascii_lowercase();
-    m.contains("wait") || m.contains("runtime") || m.contains("latency") || m.contains("ns/op")
+    m.contains("wait")
+        || m.contains("runtime")
+        || m.contains("latency")
+        || m.contains("ns/op")
+        || m.contains("spurious")
 }
 
 /// Compares `fresh` against `base` cell-by-cell; see the module docs for

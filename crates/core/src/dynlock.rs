@@ -340,6 +340,14 @@ fn downcast_pending<P: 'static>(pending: &mut DynPending) -> &mut P {
         .expect("DynPending passed back to a lock (or mode) other than the one that issued it")
 }
 
+/// Shared-reference form of [`downcast_pending`], for read-only accessors.
+fn downcast_pending_ref<P: 'static>(pending: &DynPending) -> &P {
+    pending
+        .0
+        .downcast_ref::<P>()
+        .expect("DynPending passed back to a lock (or mode) other than the one that issued it")
+}
+
 /// Object-safe mirror of the cancellable two-phase protocol
 /// ([`TwoPhaseRwRangeLock`]): enqueue / poll / cancel usable through `dyn`,
 /// with the async and sync interfaces as supertraits.
@@ -385,6 +393,23 @@ pub trait DynTwoPhaseRwRangeLock: DynAsyncRwRangeLock {
     /// [`TwoPhaseRwRangeLock::wait_deadline`].
     fn wait_deadline_dyn(
         &self,
+        cond: &mut dyn FnMut() -> bool,
+        deadline: std::time::Instant,
+    ) -> bool;
+
+    /// Wait key of the conflict blocking a pending shared acquisition; see
+    /// [`TwoPhaseRwRangeLock::pending_read_wait_key`].
+    fn pending_read_wait_key_dyn(&self, pending: &DynPending) -> u64;
+
+    /// Wait key of the conflict blocking a pending exclusive acquisition;
+    /// see [`TwoPhaseRwRangeLock::pending_write_wait_key`].
+    fn pending_write_wait_key_dyn(&self, pending: &DynPending) -> u64;
+
+    /// Keyed policy-aware deadline wait; see
+    /// [`TwoPhaseRwRangeLock::wait_deadline_keyed`].
+    fn wait_deadline_keyed_dyn(
+        &self,
+        key: u64,
         cond: &mut dyn FnMut() -> bool,
         deadline: std::time::Instant,
     ) -> bool;
@@ -439,6 +464,23 @@ where
         deadline: std::time::Instant,
     ) -> bool {
         self.wait_deadline(cond, deadline)
+    }
+
+    fn pending_read_wait_key_dyn(&self, pending: &DynPending) -> u64 {
+        self.pending_read_wait_key(downcast_pending_ref::<L::PendingRead>(pending))
+    }
+
+    fn pending_write_wait_key_dyn(&self, pending: &DynPending) -> u64 {
+        self.pending_write_wait_key(downcast_pending_ref::<L::PendingWrite>(pending))
+    }
+
+    fn wait_deadline_keyed_dyn(
+        &self,
+        key: u64,
+        cond: &mut dyn FnMut() -> bool,
+        deadline: std::time::Instant,
+    ) -> bool {
+        self.wait_deadline_keyed(key, cond, deadline)
     }
 }
 
@@ -620,6 +662,23 @@ impl TwoPhaseRwRangeLock for Box<dyn DynTwoPhaseRwRangeLock> {
 
     fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: std::time::Instant) -> bool {
         (**self).wait_deadline_dyn(cond, deadline)
+    }
+
+    fn pending_read_wait_key(&self, pending: &Self::PendingRead) -> u64 {
+        (**self).pending_read_wait_key_dyn(pending)
+    }
+
+    fn pending_write_wait_key(&self, pending: &Self::PendingWrite) -> u64 {
+        (**self).pending_write_wait_key_dyn(pending)
+    }
+
+    fn wait_deadline_keyed(
+        &self,
+        key: u64,
+        cond: &mut dyn FnMut() -> bool,
+        deadline: std::time::Instant,
+    ) -> bool {
+        (**self).wait_deadline_keyed_dyn(key, cond, deadline)
     }
 }
 

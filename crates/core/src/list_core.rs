@@ -33,6 +33,7 @@ use std::time::Instant;
 
 use rl_sync::stats::{WaitKind, WaitStats};
 use rl_sync::wait::{SpinThenYield, WaitPolicy, WaitQueue};
+use rl_sync::{CachePadded, KEY_ANY};
 
 use crate::fairness::{FairnessGate, FairnessPermit};
 use crate::node::{deref_node, is_marked, mark, to_ptr, unmark, LNode};
@@ -167,6 +168,10 @@ pub struct PendingAcquire {
     /// Set once any poll observed a conflict or lost a race; completions
     /// record as contended acquisitions in the attached [`WaitStats`].
     contended: bool,
+    /// Address of the node that blocked the most recent unsuccessful poll
+    /// (`KEY_ANY` before the first block). The key the caller should wait
+    /// under; re-read after every poll, because the blocker can change.
+    wait_key: u64,
     started: Instant,
 }
 
@@ -186,6 +191,17 @@ impl PendingAcquire {
         // SAFETY: A non-null node is owned by this token or published and
         // not yet released; either way it is alive.
         (!self.node.is_null()).then(|| unsafe { (*self.node).range() })
+    }
+
+    /// The wait key of the conflict that blocked the most recent poll: the
+    /// blocking node's address, or `KEY_ANY` if no poll has blocked yet.
+    ///
+    /// Callers suspend under this key (a keyed park or keyed waker
+    /// registration) so only the blocker's release wakes them, and must
+    /// re-read it after every poll — the paper's protocol can block each
+    /// retry on a different node.
+    pub fn wait_key(&self) -> u64 {
+        self.wait_key
     }
 }
 
@@ -207,8 +223,9 @@ enum PollInsert {
     /// The reader node is in the list but validation must wait out an
     /// earlier writer; the caller owns the published-node state.
     ReaderPublished,
-    /// A live conflicting node blocks the insertion: suspend here.
-    Blocked,
+    /// A live conflicting node (whose address is carried as the wait key)
+    /// blocks the insertion: suspend here.
+    Blocked(u64),
     /// The traversal lost its predecessor; retry with the same node.
     Restart,
     /// Writer validation failed; the node was logically deleted and the
@@ -261,7 +278,10 @@ impl RawGuard {
 /// the supported interface is [`ListRangeLock`](crate::ListRangeLock) /
 /// [`RwListRangeLock`](crate::RwListRangeLock).
 pub struct ListCore<M: CompatMode, P: WaitPolicy = SpinThenYield> {
-    head: AtomicU64,
+    /// Padded so the hottest word in the structure (every acquisition CASes
+    /// or reads it) does not share a line with the config/stats cold fields
+    /// or with the queue's counters.
+    head: CachePadded<AtomicU64>,
     config: ListLockConfig,
     fairness: Option<FairnessGate<P>>,
     stats: Option<Arc<WaitStats>>,
@@ -286,7 +306,7 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
             None
         };
         ListCore {
-            head: AtomicU64::new(0),
+            head: CachePadded::new(AtomicU64::new(0)),
             config,
             fairness,
             stats: None,
@@ -432,7 +452,7 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
         let mut cur = prev.load(Ordering::Acquire);
         loop {
             if is_marked(cur) {
-                if std::ptr::eq(prev, &self.head) {
+                if std::ptr::eq(prev, &*self.head) {
                     let _ = self.head.compare_exchange(
                         cur,
                         unmark(cur),
@@ -489,12 +509,12 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                     } else if reader {
                         // A reader that meets an overlapping writer during
                         // validation would have to wait; bail out instead.
-                        let ok = self.try_r_validate(lock_node);
+                        let ok = self.try_r_validate(lock_node).is_ok();
                         if !ok {
                             // The node was published; wake any writer already
                             // waiting on it.
                             lock_node.mark_deleted();
-                            P::wake(&self.queue);
+                            P::wake_key(&self.queue, to_ptr(lock_node));
                         }
                         ok
                     } else {
@@ -540,6 +560,7 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
             reader,
             published: false,
             contended: false,
+            wait_key: KEY_ANY,
             started: Instant::now(),
         }
     }
@@ -574,13 +595,18 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
             // A published reader waiting out earlier overlapping writers.
             // SAFETY: Published and not yet released, so the node is alive.
             let lock_node = unsafe { &*pending.node };
-            if self.try_r_validate(lock_node) {
-                let range = lock_node.range();
-                let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
-                self.record(kind, pending.started, pending.contended, range);
-                return Some(RawGuard { node, fast: false });
+            match self.try_r_validate(lock_node) {
+                Ok(()) => {
+                    let range = lock_node.range();
+                    let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
+                    self.record(kind, pending.started, pending.contended, range);
+                    return Some(RawGuard { node, fast: false });
+                }
+                Err(blocker) => {
+                    pending.wait_key = blocker;
+                    return None;
+                }
             }
-            return None;
         }
 
         // Fast path (Section 4.5): first poll of an empty list.
@@ -613,18 +639,23 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                 }
                 PollInsert::ReaderPublished => {
                     pending.published = true;
-                    // SAFETY: Just published, not released.
-                    if self.try_r_validate(lock_node) {
-                        let range = lock_node.range();
-                        let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
-                        self.record(kind, pending.started, pending.contended, range);
-                        return Some(RawGuard { node, fast: false });
+                    match self.try_r_validate(lock_node) {
+                        Ok(()) => {
+                            let range = lock_node.range();
+                            let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
+                            self.record(kind, pending.started, pending.contended, range);
+                            return Some(RawGuard { node, fast: false });
+                        }
+                        Err(blocker) => {
+                            pending.contended = true;
+                            pending.wait_key = blocker;
+                            return None;
+                        }
                     }
-                    pending.contended = true;
-                    return None;
                 }
-                PollInsert::Blocked => {
+                PollInsert::Blocked(blocker) => {
                     pending.contended = true;
+                    pending.wait_key = blocker;
                     return None;
                 }
                 PollInsert::Restart => {
@@ -669,8 +700,9 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
         let node = std::mem::replace(&mut pending.node, std::ptr::null_mut());
         if pending.published {
             // SAFETY: Published and never released: alive, marked once.
-            unsafe { (*node).mark_deleted() };
-            P::wake(&self.queue);
+            let node_ref = unsafe { &*node };
+            node_ref.mark_deleted();
+            P::wake_key(&self.queue, to_ptr(node_ref));
         } else {
             // SAFETY: Never published; exclusively owned by the token.
             unsafe { reclaim::free_node_now(node) };
@@ -726,8 +758,10 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
             // node in the list); fall through to the regular release.
         }
         node_ref.mark_deleted();
-        // Wake hook: waiters poll for the mark set above.
-        P::wake(&self.queue);
+        // Wake hook: waiters poll for the mark set above. Keyed on our own
+        // node — the only node whose mark this release changed — so waiters
+        // parked on other conflicts stay parked.
+        P::wake_key(&self.queue, to_ptr(node_ref));
         if rl_obs::trace::is_enabled() {
             rl_obs::trace::emit_here(
                 rl_obs::EventKind::Release,
@@ -755,8 +789,9 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
     pub unsafe fn downgrade(&self, guard: &RawGuard) {
         debug_assert!(M::READERS_SHARE, "downgrade on an exclusive-mode core");
         // SAFETY: Per this function's contract the node is still alive.
-        unsafe { (*guard.node).set_reader() };
-        P::wake(&self.queue);
+        let node_ref = unsafe { &*guard.node };
+        node_ref.set_reader();
+        P::wake_key(&self.queue, to_ptr(node_ref));
     }
 
     /// Returns the number of currently held (not logically deleted) ranges.
@@ -867,7 +902,7 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
         let mut cur = prev.load(Ordering::Acquire);
         loop {
             if is_marked(cur) {
-                if std::ptr::eq(prev, &self.head) {
+                if std::ptr::eq(prev, &*self.head) {
                     // A fast-path acquisition marked the head pointer: strip
                     // the mark and continue on the regular path (Section 4.5).
                     let _ = self.head.compare_exchange(
@@ -909,7 +944,9 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                     *contended = true;
                     let cn = cur_node.expect("Conflict implies a live node");
                     let sharable = M::READERS_SHARE && reader;
-                    P::wait_until(&self.queue, || {
+                    // Keyed on the conflicting node: only *its* release (or
+                    // downgrade) wakes us, not every release on the lock.
+                    P::wait_until_keyed(&self.queue, to_ptr(cn), || {
                         is_marked(cn.next.load(Ordering::Acquire)) || (sharable && cn.is_reader())
                     });
                     // Loop around: a marked node is unlinked above, a
@@ -954,7 +991,7 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
         let mut cur = prev.load(Ordering::Acquire);
         loop {
             if is_marked(cur) {
-                if std::ptr::eq(prev, &self.head) {
+                if std::ptr::eq(prev, &*self.head) {
                     // Strip a fast-path head mark (Section 4.5).
                     let _ = self.head.compare_exchange(
                         cur,
@@ -983,7 +1020,10 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                     prev = &cn.next;
                     cur = prev.load(Ordering::Acquire);
                 }
-                Cmp::Conflict => return PollInsert::Blocked,
+                Cmp::Conflict => {
+                    let cn = cur_node.expect("Conflict implies a live node");
+                    return PollInsert::Blocked(to_ptr(cn));
+                }
                 Cmp::CurAfterLock => {
                     lock_node.next.store(cur, Ordering::Relaxed);
                     if prev
@@ -1039,29 +1079,31 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                 prev = &cur_node.next;
                 cur = unmark(prev.load(Ordering::Acquire));
             } else {
-                // Overlapping writer: wait (through the policy) until it
-                // marks itself as deleted or downgrades to a reader.
+                // Overlapping writer: wait (through the policy, keyed on the
+                // writer's node) until it marks itself as deleted or
+                // downgrades to a reader.
                 *contended = true;
-                P::wait_until(&self.queue, || {
+                P::wait_until_keyed(&self.queue, to_ptr(cur_node), || {
                     is_marked(cur_node.next.load(Ordering::Acquire)) || cur_node.is_reader()
                 });
             }
         }
     }
 
-    /// Bounded variant of [`ListCore::r_validate`]: returns `false` instead
-    /// of waiting when an overlapping live writer is found.
-    fn try_r_validate(&self, lock_node: &LNode) -> bool {
+    /// Bounded variant of [`ListCore::r_validate`]: instead of waiting when
+    /// an overlapping live writer is found, fails with that writer's address
+    /// — the key the suspended reader should wait under.
+    fn try_r_validate(&self, lock_node: &LNode) -> Result<(), u64> {
         let mut prev: &AtomicU64 = &lock_node.next;
         let mut cur = unmark(prev.load(Ordering::Acquire));
         loop {
             // SAFETY: Pinned (the caller holds the pin across validation).
             let cur_node = match unsafe { deref_node(cur) } {
-                None => return true,
+                None => return Ok(()),
                 Some(n) => n,
             };
             if cur_node.start >= lock_node.end {
-                return true;
+                return Ok(());
             }
             let cn_next = cur_node.next.load(Ordering::Acquire);
             if is_marked(cn_next) {
@@ -1071,7 +1113,7 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                 cur = unmark(prev.load(Ordering::Acquire));
             } else {
                 // Overlapping live writer: a blocking reader would wait here.
-                return false;
+                return Err(to_ptr(cur_node));
             }
         }
     }
@@ -1106,7 +1148,7 @@ impl<M: CompatMode, P: WaitPolicy> ListCore<M, P> {
                 // had already started waiting on our published node.
                 *contended = true;
                 lock_node.mark_deleted();
-                P::wake(&self.queue);
+                P::wake_key(&self.queue, to_ptr(lock_node));
                 return false;
             }
         }

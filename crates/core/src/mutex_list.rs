@@ -247,6 +247,19 @@ impl<P: WaitPolicy> TwoPhaseRangeLock for ListRangeLock<P> {
     fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: Instant) -> bool {
         P::wait_until_deadline(self.core.wait_queue(), cond, deadline)
     }
+
+    fn pending_wait_key(&self, pending: &Self::Pending) -> u64 {
+        pending.wait_key()
+    }
+
+    fn wait_deadline_keyed(
+        &self,
+        key: u64,
+        cond: &mut dyn FnMut() -> bool,
+        deadline: Instant,
+    ) -> bool {
+        P::wait_until_deadline_keyed(self.core.wait_queue(), key, cond, deadline)
+    }
 }
 
 #[cfg(test)]

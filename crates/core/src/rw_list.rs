@@ -328,6 +328,23 @@ impl<P: WaitPolicy> TwoPhaseRwRangeLock for RwListRangeLock<P> {
     fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: Instant) -> bool {
         P::wait_until_deadline(self.core.wait_queue(), cond, deadline)
     }
+
+    fn pending_read_wait_key(&self, pending: &Self::PendingRead) -> u64 {
+        pending.wait_key()
+    }
+
+    fn pending_write_wait_key(&self, pending: &Self::PendingWrite) -> u64 {
+        pending.wait_key()
+    }
+
+    fn wait_deadline_keyed(
+        &self,
+        key: u64,
+        cond: &mut dyn FnMut() -> bool,
+        deadline: Instant,
+    ) -> bool {
+        P::wait_until_deadline_keyed(self.core.wait_queue(), key, cond, deadline)
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,7 @@ use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
 
 use rl_sync::wait::WaitQueue;
+use rl_sync::KEY_ANY;
 
 use crate::range::Range;
 use crate::traits::{RangeLock, RwRangeLock};
@@ -104,6 +105,30 @@ pub trait TwoPhaseRangeLock: RangeLock {
     /// two-phase wait loop.
     fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: Instant) -> bool;
 
+    /// The wait key of the conflict that blocked `pending`'s most recent
+    /// poll — the blocking node's address — or `KEY_ANY` when the lock
+    /// cannot name one. The timed and async layers suspend under this key
+    /// so only that conflict's release wakes them; the default keeps
+    /// implementations without per-conflict keys on the broadcast paths.
+    fn pending_wait_key(&self, pending: &Self::Pending) -> u64 {
+        let _ = pending;
+        KEY_ANY
+    }
+
+    /// The keyed form of [`TwoPhaseRangeLock::wait_deadline`]: waits parked
+    /// under `key` (see `rl_sync::wait`), so the waiter is woken by its
+    /// blocker's release instead of by every release on the lock. The
+    /// default ignores the key.
+    fn wait_deadline_keyed(
+        &self,
+        key: u64,
+        cond: &mut dyn FnMut() -> bool,
+        deadline: Instant,
+    ) -> bool {
+        let _ = key;
+        self.wait_deadline(cond, deadline)
+    }
+
     /// Acquires `range` like [`RangeLock::acquire`], but gives up — leaving
     /// no residue — once `timeout` elapses. An expired attempt is recorded
     /// as a cancel in the lock's wait statistics.
@@ -116,8 +141,9 @@ pub trait TwoPhaseRangeLock: RangeLock {
             range,
             timeout,
             self.wait_queue(),
-            |cond, deadline| self.wait_deadline(cond, deadline),
+            |key, cond, deadline| self.wait_deadline_keyed(key, cond, deadline),
             self.enqueue_acquire(range),
+            |pending| self.pending_wait_key(pending),
             Self::poll_acquire,
             Self::cancel_acquire,
         )
@@ -229,6 +255,32 @@ pub trait TwoPhaseRwRangeLock: RwRangeLock {
     /// `deadline` passes; see [`TwoPhaseRangeLock::wait_deadline`].
     fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: Instant) -> bool;
 
+    /// The wait key of the conflict blocking a pending shared acquisition;
+    /// see [`TwoPhaseRangeLock::pending_wait_key`].
+    fn pending_read_wait_key(&self, pending: &Self::PendingRead) -> u64 {
+        let _ = pending;
+        KEY_ANY
+    }
+
+    /// The wait key of the conflict blocking a pending exclusive
+    /// acquisition; see [`TwoPhaseRangeLock::pending_wait_key`].
+    fn pending_write_wait_key(&self, pending: &Self::PendingWrite) -> u64 {
+        let _ = pending;
+        KEY_ANY
+    }
+
+    /// The keyed form of [`TwoPhaseRwRangeLock::wait_deadline`]; see
+    /// [`TwoPhaseRangeLock::wait_deadline_keyed`].
+    fn wait_deadline_keyed(
+        &self,
+        key: u64,
+        cond: &mut dyn FnMut() -> bool,
+        deadline: Instant,
+    ) -> bool {
+        let _ = key;
+        self.wait_deadline(cond, deadline)
+    }
+
     /// Acquires `range` in shared mode like [`RwRangeLock::read`], but gives
     /// up — leaving no residue — once `timeout` elapses.
     fn read_timeout(&self, range: Range, timeout: Duration) -> Option<Self::ReadGuard<'_>>
@@ -240,8 +292,9 @@ pub trait TwoPhaseRwRangeLock: RwRangeLock {
             range,
             timeout,
             self.wait_queue(),
-            |cond, deadline| self.wait_deadline(cond, deadline),
+            |key, cond, deadline| self.wait_deadline_keyed(key, cond, deadline),
             self.enqueue_read(range),
+            |pending| self.pending_read_wait_key(pending),
             Self::poll_read,
             Self::cancel_read,
         )
@@ -258,8 +311,9 @@ pub trait TwoPhaseRwRangeLock: RwRangeLock {
             range,
             timeout,
             self.wait_queue(),
-            |cond, deadline| self.wait_deadline(cond, deadline),
+            |key, cond, deadline| self.wait_deadline_keyed(key, cond, deadline),
             self.enqueue_write(range),
+            |pending| self.pending_write_wait_key(pending),
             Self::poll_write,
             Self::cancel_write,
         )
@@ -436,8 +490,9 @@ fn timeout_loop<'a, L: ?Sized, Pend, G>(
     range: Range,
     timeout: Duration,
     queue: &WaitQueue,
-    wait: impl Fn(&mut dyn FnMut() -> bool, Instant) -> bool,
+    wait: impl Fn(u64, &mut dyn FnMut() -> bool, Instant) -> bool,
     pending: Pend,
+    wait_key: impl Fn(&Pend) -> u64,
     mut poll: impl FnMut(&'a L, &mut Pend) -> Option<G>,
     cancel: impl FnOnce(&L, &mut Pend),
 ) -> Option<G> {
@@ -461,7 +516,12 @@ fn timeout_loop<'a, L: ?Sized, Pend, G>(
         }
         // Every release bumps the queue generation (whatever the policy), so
         // waiting for a generation change is waiting for "anything changed".
-        wait(&mut || queue.generation() != gen, deadline);
+        // The wait parks under the key of the conflict the poll just
+        // observed — re-derived every iteration, because the blocker can be
+        // a different node each time — so under the `Block` policy only
+        // that conflict's release (or a broadcast) wakes us.
+        let key = wait_key(&pending);
+        wait(key, &mut || queue.generation() != gen, deadline);
     }
 }
 
@@ -470,7 +530,7 @@ macro_rules! acquire_future {
     (
         $(#[$doc:meta])*
         $name:ident, $trait_:ident, $pending:ident, $guard:ident,
-        $enqueue:ident, $poll:ident, $cancel:ident
+        $enqueue:ident, $poll:ident, $cancel:ident, $wait_key:ident
     ) => {
         $(#[$doc])*
         ///
@@ -488,6 +548,10 @@ macro_rules! acquire_future {
             pending: Option<L::$pending>,
             /// Waker slot id on the lock's wait queue.
             slot: u64,
+            /// The parking-table key the waker is currently filed under
+            /// (`KEY_ANY` until a poll names a blocking conflict). Tracked
+            /// so slot migration and drop deregister the right shard.
+            key: u64,
         }
 
         impl<'a, L: $trait_> $name<'a, L> {
@@ -496,6 +560,7 @@ macro_rules! acquire_future {
                     lock,
                     pending: Some(lock.$enqueue(range)),
                     slot: lock.wait_queue().alloc_waker_slot(),
+                    key: KEY_ANY,
                 }
             }
         }
@@ -516,10 +581,18 @@ macro_rules! acquire_future {
                     // lost-wakeup argument in `rl_sync::wait`.
                     let gen = queue.generation();
                     if let Some(guard) = this.lock.$poll(&mut pending) {
-                        queue.deregister_waker(this.slot);
+                        queue.deregister_waker_keyed(this.key, this.slot);
                         return Poll::Ready(guard);
                     }
-                    if queue.register_waker(this.slot, gen, cx.waker()) {
+                    // Waker-slot migration: the poll may have named a
+                    // different blocking conflict than the one the waker is
+                    // filed under, so re-home the slot before registering.
+                    let key = this.lock.$wait_key(&pending);
+                    if key != this.key {
+                        queue.deregister_waker_keyed(this.key, this.slot);
+                        this.key = key;
+                    }
+                    if queue.register_waker_keyed(key, this.slot, gen, cx.waker()) {
                         this.pending = Some(pending);
                         return Poll::Pending;
                     }
@@ -534,7 +607,7 @@ macro_rules! acquire_future {
             fn drop(&mut self) {
                 if let Some(mut pending) = self.pending.take() {
                     let queue = self.lock.wait_queue();
-                    queue.deregister_waker(self.slot);
+                    queue.deregister_waker_keyed(self.key, self.slot);
                     self.lock.$cancel(&mut pending);
                     queue.record_cancel();
                 }
@@ -560,7 +633,8 @@ acquire_future!(
     Guard,
     enqueue_acquire,
     poll_acquire,
-    cancel_acquire
+    cancel_acquire,
+    pending_wait_key
 );
 
 acquire_future!(
@@ -572,7 +646,8 @@ acquire_future!(
     ReadGuard,
     enqueue_read,
     poll_read,
-    cancel_read
+    cancel_read,
+    pending_read_wait_key
 );
 
 acquire_future!(
@@ -584,7 +659,8 @@ acquire_future!(
     WriteGuard,
     enqueue_write,
     poll_write,
-    cancel_write
+    cancel_write,
+    pending_write_wait_key
 );
 
 /// The in-flight item of an [`AcquireManyFuture`]: one of the two

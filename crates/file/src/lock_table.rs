@@ -625,7 +625,11 @@ impl<L: TwoPhaseRwRangeLock + 'static> LockTable<L> {
         // derive: the new records are new potential holders. Sync waiters
         // re-derive on a short timeout anyway; async waiters re-derive only
         // when polled, so wake the lock's queue (a spurious wake costs one
-        // re-poll).
+        // re-poll). This is deliberately the keyed-table *broadcast*, not a
+        // per-conflict wake: a cycle formed by this commit can pass through
+        // any suspended waiter, including ones keyed on nodes this commit
+        // never touches, and a keyed waiter left parked would never re-poll
+        // to notice the EDEADLK it is part of.
         self.lock_ref().wait_queue().wake_all();
     }
 

@@ -160,7 +160,10 @@ pub fn chrome_trace(
                     records.push(ctx.slice("acquire-abandoned", open, event));
                 }
             }
-            EventKind::BatchRollback => {}
+            // Rollbacks and spurious wakeups carry no duration of their own;
+            // the instant record emitted above is their whole story (a
+            // spurious wakeup's park time is already in its parked slice).
+            EventKind::BatchRollback | EventKind::SpuriousWake => {}
         }
     }
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");

@@ -75,11 +75,15 @@ pub enum EventKind {
     BatchRollback,
     /// A held range was released.
     Release,
+    /// A parked waiter woke with its predicate still false and re-parked —
+    /// the herd cost a broadcast wake imposes on bystanders (keyed wakes
+    /// keep this near zero on disjoint-range workloads).
+    SpuriousWake,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 10] = [
         EventKind::AcquireStart,
         EventKind::Granted,
         EventKind::Parked,
@@ -89,6 +93,7 @@ impl EventKind {
         EventKind::DeadlockDetected,
         EventKind::BatchRollback,
         EventKind::Release,
+        EventKind::SpuriousWake,
     ];
 
     /// Stable name used by the exporters.
@@ -103,6 +108,7 @@ impl EventKind {
             EventKind::DeadlockDetected => "deadlock-detected",
             EventKind::BatchRollback => "batch-rollback",
             EventKind::Release => "release",
+            EventKind::SpuriousWake => "spurious-wake",
         }
     }
 }
@@ -408,7 +414,7 @@ mod tests {
     #[test]
     fn kinds_have_stable_unique_names() {
         let names: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 10);
         for (i, a) in names.iter().enumerate() {
             for b in &names[i + 1..] {
                 assert_ne!(a, b);

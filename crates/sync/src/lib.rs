@@ -18,6 +18,10 @@
 //! * [`wait`] — the pluggable wait-policy layer ([`Spin`], [`SpinThenYield`],
 //!   [`Block`]) plus the futex-analogue [`WaitQueue`] every lock in the
 //!   workspace parks on under the blocking policy.
+//! * [`parking`] — the sharded, address-keyed parking table behind
+//!   [`WaitQueue`]'s keyed waits: waiters park under the address of the
+//!   conflict that blocks them, and releases wake only the matching keys
+//!   instead of broadcasting to the whole queue.
 //! * [`stats`] — per-lock wait-time accounting, the user-space analogue of
 //!   the kernel's `lock_stat` facility used to produce Figures 7 and 8, now
 //!   including park/wake counters that attribute waiting to blocked vs spun
@@ -31,6 +35,7 @@
 
 pub mod backoff;
 pub mod padded;
+pub mod parking;
 pub mod rwsem;
 pub mod seqcount;
 pub mod spinlock;
@@ -39,6 +44,7 @@ pub mod wait;
 
 pub use backoff::{pause, spin_loop_hint, Backoff};
 pub use padded::CachePadded;
+pub use parking::{ShardTable, ThreadParker, KEY_ANY};
 pub use rwsem::{RwSemReadGuard, RwSemWriteGuard, RwSemaphore};
 pub use seqcount::SeqCount;
 pub use spinlock::{SpinLock, SpinLockGuard};

@@ -1,0 +1,552 @@
+//! Sharded, address-keyed parking table — the futex analogue underneath
+//! [`WaitQueue`](crate::wait::WaitQueue).
+//!
+//! The eventcount layer of [`crate::wait`] gives every lock *one* wake
+//! channel: a release broadcasts, every parked waiter re-checks its
+//! predicate, and the non-matching ones re-park. That costs O(parked
+//! waiters) spurious wakeups per release under heavy disjoint-range
+//! parking — precisely the herd the paper's scalability claim is about
+//! avoiding. A real futex does better because each waiter sleeps on a
+//! *word*: a wake names the word and only the threads parked on it stir.
+//!
+//! [`ShardTable`] is that word table in user space. Waiters register under a
+//! `u64` **key** — in practice the address of the conflicting list node,
+//! tree waiter, or a small class constant like "writers" — and a release
+//! wakes exactly the entries whose key matches. Keys hash onto a fixed
+//! array of [`SHARD_COUNT`] cache-padded shards (so disjoint keys rarely
+//! contend on the same shard mutex), each shard a short vector of entries:
+//!
+//! * a **thread parker** ([`ThreadParker`]) — a parked OS thread waiting on
+//!   [`std::thread::park`], signalled through a per-waiter flag so stray
+//!   unpark tokens can never be confused for a real wake;
+//! * a **waker slot** — a registered [`core::task::Waker`], the async
+//!   counterpart, living in the same keyed slots so sync and async waiters
+//!   of one conflict wake together.
+//!
+//! The table performs no predicate logic and no generation arithmetic: the
+//! lost-wakeup protocol (register *then* re-check, paired with the
+//! releaser's sequentially consistent generation bump *then* occupancy
+//! load) lives in [`WaitQueue`](crate::wait::WaitQueue), which owns one
+//! table per lock. Keeping the table per lock instance (rather than one
+//! process-global table) keeps `wake_all` — the broadcast the deadlock
+//! re-derivation and guard-drop fallback paths rely on — an O(shards) scan
+//! of *this lock's* waiters instead of a walk over every waiter in the
+//! process.
+//!
+//! Key 0 is reserved as [`KEY_ANY`]: the unkeyed sentinel. Callers passing
+//! it fall back to the eventcount broadcast paths, which is what keeps the
+//! conversion of call sites incremental and lost-wakeup-free.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::Waker;
+use std::thread::Thread;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::padded::CachePadded;
+
+/// The reserved "no key" sentinel: keyed APIs given `KEY_ANY` degrade to the
+/// unkeyed eventcount broadcast. Real keys (node addresses, waiter
+/// addresses, class constants ≥ 1) are never 0.
+pub const KEY_ANY: u64 = 0;
+
+/// Number of shards in a [`ShardTable`]. A small power of two: a single
+/// lock rarely has more than a handful of distinct conflict keys parked at
+/// once, and each shard is cache-padded, so more shards would only pad out
+/// the `WaitQueue` footprint.
+pub const SHARD_COUNT: usize = 8;
+
+const SHARD_BITS: u32 = SHARD_COUNT.trailing_zeros();
+
+/// Fibonacci-hashes `key` onto a shard index. The multiplier spreads
+/// pointer-like keys (aligned, low bits zero) across shards using their high
+/// product bits.
+#[inline]
+fn shard_index(key: u64) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - SHARD_BITS)) as usize
+}
+
+/// One parked OS thread: the thread handle to unpark plus a per-waiter
+/// signal flag.
+///
+/// The flag is what makes keyed parking immune to stray unpark tokens:
+/// [`std::thread::park`] may return spuriously (or consume a token left by
+/// a previous wait), so [`ThreadParker::park`] loops until `signaled` is
+/// set by a genuine [`ShardTable`] wake.
+#[derive(Debug)]
+pub struct ThreadParker {
+    thread: Thread,
+    signaled: AtomicBool,
+}
+
+impl ThreadParker {
+    /// Creates a parker for the calling thread.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ThreadParker {
+            thread: std::thread::current(),
+            signaled: AtomicBool::new(false),
+        })
+    }
+
+    /// Clears the signal flag, making the parker reusable for another
+    /// registration round. Called by the owning waiter between rounds; a
+    /// late signal from a previous round then at worst costs one spurious
+    /// (counted) wake.
+    pub fn reset(&self) {
+        self.signaled.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether a wake has signalled this parker since the last
+    /// [`ThreadParker::reset`].
+    pub fn is_signaled(&self) -> bool {
+        self.signaled.load(Ordering::Acquire)
+    }
+
+    /// Parks the calling thread until signalled.
+    pub fn park(&self) {
+        while !self.is_signaled() {
+            std::thread::park();
+        }
+    }
+
+    /// Parks the calling thread until signalled or `deadline` passes;
+    /// returns `true` when signalled.
+    pub fn park_deadline(&self, deadline: Instant) -> bool {
+        loop {
+            if self.is_signaled() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return self.is_signaled();
+            }
+            std::thread::park_timeout(deadline - now);
+        }
+    }
+
+    /// Signals the parker and unparks its thread. Store-then-unpark: the
+    /// unpark token guarantees the parked thread re-runs its
+    /// [`ThreadParker::is_signaled`] check.
+    fn signal(&self) {
+        self.signaled.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+    }
+}
+
+/// One keyed waiter: a parked thread or a registered waker.
+enum Entry {
+    Parker(Arc<ThreadParker>),
+    Waker { slot: u64, waker: Waker },
+}
+
+impl Entry {
+    fn wake(self) {
+        match self {
+            Entry::Parker(p) => p.signal(),
+            Entry::Waker { waker, .. } => waker.wake(),
+        }
+    }
+}
+
+/// One shard: a mutex-protected entry list plus a sequentially consistent
+/// occupancy mirror so wake paths can prove the shard empty without taking
+/// the mutex.
+struct Shard {
+    entries: Mutex<Vec<(u64, Entry)>>,
+    /// `entries.len()`, mirrored with `SeqCst` stores under the entry
+    /// mutex. Release paths load it (also `SeqCst`) to skip empty shards;
+    /// the pairing with the waiter side is argued in `crate::wait`.
+    occupancy: AtomicU64,
+}
+
+impl Shard {
+    const fn new() -> Self {
+        Shard {
+            entries: Mutex::new(Vec::new()),
+            occupancy: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed table of [`SHARD_COUNT`] cache-padded shards of keyed waiters.
+///
+/// See the module docs for the design; [`WaitQueue`](crate::wait::WaitQueue)
+/// embeds one per lock and layers the lost-wakeup protocol on top.
+pub struct ShardTable {
+    shards: [CachePadded<Shard>; SHARD_COUNT],
+    /// Total entries across all shards, maintained alongside the per-shard
+    /// occupancy so `wake_all` can prove the whole table empty with one
+    /// load.
+    total: AtomicU64,
+}
+
+impl ShardTable {
+    /// Creates an empty table.
+    pub const fn new() -> Self {
+        ShardTable {
+            // An inline const block so the array repeat re-evaluates it per
+            // element without requiring `Copy`.
+            shards: [const { CachePadded::new(Shard::new()) }; SHARD_COUNT],
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Shard {
+        &self.shards[shard_index(key)]
+    }
+
+    /// Total registered entries (threads + wakers) across every shard.
+    pub fn occupancy(&self) -> u64 {
+        self.total.load(Ordering::SeqCst)
+    }
+
+    /// Registered entries in the shard `key` hashes to — an upper bound on
+    /// the waiters a [`ShardTable::wake_key`] for `key` could wake. Zero
+    /// means the wake can provably skip the shard mutex.
+    pub fn shard_occupancy(&self, key: u64) -> u64 {
+        self.shard(key).occupancy.load(Ordering::SeqCst)
+    }
+
+    /// Publishes one entry into `key`'s shard with a sequentially
+    /// consistent occupancy bump, pairing with the releaser-side protocol
+    /// in `crate::wait`.
+    fn insert(&self, key: u64, entry: Entry) {
+        let shard = self.shard(key);
+        let mut entries = shard.entries.lock();
+        entries.push((key, entry));
+        shard
+            .occupancy
+            .store(entries.len() as u64, Ordering::SeqCst);
+        self.total.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Registers `parker` under `key`. The caller must re-check its wait
+    /// predicate *after* this returns (see the protocol in `crate::wait`).
+    pub fn register_parker(&self, key: u64, parker: &Arc<ThreadParker>) {
+        self.insert(key, Entry::Parker(Arc::clone(parker)));
+    }
+
+    /// Removes `parker`'s entry under `key`, if a wake has not already
+    /// claimed it. Returns `true` if an entry was removed. Idempotent.
+    pub fn deregister_parker(&self, key: u64, parker: &Arc<ThreadParker>) -> bool {
+        let shard = self.shard(key);
+        let mut entries = shard.entries.lock();
+        let before = entries.len();
+        entries.retain(|(k, e)| {
+            !(*k == key && matches!(e, Entry::Parker(p) if Arc::ptr_eq(p, parker)))
+        });
+        let removed = before - entries.len();
+        shard
+            .occupancy
+            .store(entries.len() as u64, Ordering::SeqCst);
+        if removed > 0 {
+            self.total.fetch_sub(removed as u64, Ordering::SeqCst);
+        }
+        removed > 0
+    }
+
+    /// Registers (or re-arms) the waker for future `slot` under `key`. A
+    /// matching `(key, slot)` entry is updated in place so a future that
+    /// re-polls without migrating keys never duplicates itself.
+    pub fn register_waker(&self, key: u64, slot: u64, waker: &Waker) {
+        let shard = self.shard(key);
+        let mut entries = shard.entries.lock();
+        for (k, e) in entries.iter_mut() {
+            if *k == key {
+                if let Entry::Waker { slot: s, waker: w } = e {
+                    if *s == slot {
+                        w.clone_from(waker);
+                        return;
+                    }
+                }
+            }
+        }
+        entries.push((
+            key,
+            Entry::Waker {
+                slot,
+                waker: waker.clone(),
+            },
+        ));
+        shard
+            .occupancy
+            .store(entries.len() as u64, Ordering::SeqCst);
+        self.total.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Removes the waker registered for `slot` under `key`, if a wake has
+    /// not already claimed it. Returns `true` if an entry was removed. A
+    /// future migrating to a new conflict key deregisters its old key
+    /// first, then registers afresh — the "waker-slot migration" path.
+    pub fn deregister_waker(&self, key: u64, slot: u64) -> bool {
+        let shard = self.shard(key);
+        let mut entries = shard.entries.lock();
+        let before = entries.len();
+        entries.retain(|(k, e)| {
+            !(*k == key && matches!(e, Entry::Waker { slot: s, .. } if *s == slot))
+        });
+        let removed = before - entries.len();
+        shard
+            .occupancy
+            .store(entries.len() as u64, Ordering::SeqCst);
+        if removed > 0 {
+            self.total.fetch_sub(removed as u64, Ordering::SeqCst);
+        }
+        removed > 0
+    }
+
+    /// Wakes and removes every entry registered under exactly `key`;
+    /// returns how many were woken. Entries under other keys — even ones
+    /// colliding into the same shard — are left parked.
+    ///
+    /// When the shard's occupancy mirror reads zero this is one load: the
+    /// provably-empty fast path release sites rely on.
+    pub fn wake_key(&self, key: u64) -> usize {
+        let shard = self.shard(key);
+        if shard.occupancy.load(Ordering::SeqCst) == 0 {
+            return 0;
+        }
+        let claimed: Vec<Entry> = {
+            let mut entries = shard.entries.lock();
+            let mut claimed = Vec::new();
+            let mut kept = Vec::with_capacity(entries.len());
+            for (k, e) in entries.drain(..) {
+                if k == key {
+                    claimed.push(e);
+                } else {
+                    kept.push((k, e));
+                }
+            }
+            *entries = kept;
+            shard
+                .occupancy
+                .store(entries.len() as u64, Ordering::SeqCst);
+            if !claimed.is_empty() {
+                self.total.fetch_sub(claimed.len() as u64, Ordering::SeqCst);
+            }
+            claimed
+        };
+        // Signal outside the shard mutex: wakers may run executor code and
+        // unpark is a syscall.
+        let woken = claimed.len();
+        for entry in claimed {
+            entry.wake();
+        }
+        woken
+    }
+
+    /// Wakes and removes every entry in every shard; returns how many were
+    /// woken. The broadcast fallback (deadlock re-derivation, guard-drop
+    /// herds); one load when the table is empty.
+    pub fn wake_all(&self) -> usize {
+        if self.total.load(Ordering::SeqCst) == 0 {
+            return 0;
+        }
+        let mut woken = 0;
+        for shard in &self.shards {
+            if shard.occupancy.load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            let claimed: Vec<(u64, Entry)> = {
+                let mut entries = shard.entries.lock();
+                let claimed = std::mem::take(&mut *entries);
+                shard.occupancy.store(0, Ordering::SeqCst);
+                if !claimed.is_empty() {
+                    self.total.fetch_sub(claimed.len() as u64, Ordering::SeqCst);
+                }
+                claimed
+            };
+            woken += claimed.len();
+            for (_, entry) in claimed {
+                entry.wake();
+            }
+        }
+        woken
+    }
+}
+
+impl Default for ShardTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ShardTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardTable")
+            .field("occupancy", &self.occupancy())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+
+    #[test]
+    fn shard_index_is_in_bounds_and_spreads_aligned_keys() {
+        // Node-address-like keys: 64-byte aligned, monotonically allocated.
+        let mut seen = [false; SHARD_COUNT];
+        for i in 1..=1024u64 {
+            let idx = shard_index(i * 64);
+            assert!(idx < SHARD_COUNT);
+            seen[idx] = true;
+        }
+        // Fibonacci hashing must not collapse aligned keys onto one shard.
+        assert!(
+            seen.iter().filter(|s| **s).count() >= SHARD_COUNT / 2,
+            "aligned keys used too few shards"
+        );
+    }
+
+    struct CountingWaker(Counter);
+
+    impl std::task::Wake for CountingWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWaker>, Waker) {
+        let count = Arc::new(CountingWaker(Counter::new(0)));
+        let waker = Waker::from(Arc::clone(&count));
+        (count, waker)
+    }
+
+    #[test]
+    fn wake_key_is_exact_even_under_shard_collision() {
+        let table = ShardTable::new();
+        // Find two distinct keys that land in the same shard.
+        let k1 = 64u64;
+        let k2 = (2..10_000u64)
+            .map(|i| i * 64)
+            .find(|k| *k != k1 && shard_index(*k) == shard_index(k1))
+            .expect("some aligned key collides into k1's shard");
+        let (c1, w1) = counting_waker();
+        let (c2, w2) = counting_waker();
+        table.register_waker(k1, 1, &w1);
+        table.register_waker(k2, 2, &w2);
+        assert_eq!(table.occupancy(), 2);
+        // Waking k1 must not disturb k2 despite sharing a shard.
+        assert_eq!(table.wake_key(k1), 1);
+        assert_eq!(c1.0.load(Ordering::SeqCst), 1);
+        assert_eq!(c2.0.load(Ordering::SeqCst), 0);
+        assert_eq!(table.shard_occupancy(k2), 1);
+        assert_eq!(table.wake_key(k2), 1);
+        assert_eq!(c2.0.load(Ordering::SeqCst), 1);
+        assert_eq!(table.occupancy(), 0);
+    }
+
+    #[test]
+    fn wake_key_on_empty_shard_is_a_noop() {
+        let table = ShardTable::new();
+        assert_eq!(table.wake_key(64), 0);
+        assert_eq!(table.wake_all(), 0);
+    }
+
+    #[test]
+    fn reregistration_updates_in_place_and_migration_moves_keys() {
+        let table = ShardTable::new();
+        let (count_old, old) = counting_waker();
+        let (count_new, new) = counting_waker();
+        table.register_waker(64, 7, &old);
+        // Same (key, slot): replaced in place, not duplicated.
+        table.register_waker(64, 7, &new);
+        assert_eq!(table.occupancy(), 1);
+        // Migration to a new conflict key: deregister old, register new.
+        assert!(table.deregister_waker(64, 7));
+        table.register_waker(128, 7, &new);
+        assert_eq!(
+            table.wake_key(64),
+            0,
+            "old key must be empty after migration"
+        );
+        assert_eq!(table.wake_key(128), 1);
+        assert_eq!(count_old.0.load(Ordering::SeqCst), 0);
+        assert_eq!(count_new.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn deregister_is_idempotent_and_exact() {
+        let table = ShardTable::new();
+        let (_, w) = counting_waker();
+        table.register_waker(64, 1, &w);
+        table.register_waker(64, 2, &w);
+        assert!(table.deregister_waker(64, 1));
+        assert!(!table.deregister_waker(64, 1));
+        assert_eq!(table.occupancy(), 1);
+        assert_eq!(table.wake_key(64), 1);
+    }
+
+    #[test]
+    fn parker_round_trip_wakes_only_the_matching_key() {
+        let table = Arc::new(ShardTable::new());
+        let parked = Arc::new(Counter::new(0));
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let table = Arc::clone(&table);
+                let parked = Arc::clone(&parked);
+                std::thread::spawn(move || {
+                    let key = (i + 1) * 64;
+                    let parker = ThreadParker::new();
+                    table.register_parker(key, &parker);
+                    parked.fetch_add(1, Ordering::SeqCst);
+                    parker.park();
+                    key
+                })
+            })
+            .collect();
+        while parked.load(Ordering::SeqCst) != 4 {
+            std::thread::yield_now();
+        }
+        // Wake them one key at a time; each wake frees exactly one thread.
+        for i in 0..4u64 {
+            assert_eq!(table.wake_key((i + 1) * 64), 1);
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), (i as u64 + 1) * 64);
+        }
+        assert_eq!(table.occupancy(), 0);
+    }
+
+    #[test]
+    fn deregistered_parker_is_not_woken() {
+        let table = ShardTable::new();
+        let parker = ThreadParker::new();
+        table.register_parker(64, &parker);
+        assert!(table.deregister_parker(64, &parker));
+        assert!(!table.deregister_parker(64, &parker));
+        assert_eq!(table.wake_key(64), 0);
+        assert!(!parker.is_signaled());
+    }
+
+    #[test]
+    fn parker_deadline_expires_without_signal() {
+        let parker = ThreadParker::new();
+        let deadline = Instant::now() + std::time::Duration::from_millis(5);
+        assert!(!parker.park_deadline(deadline));
+        parker.reset();
+        // A pre-signalled parker returns immediately.
+        parker.signal();
+        assert!(parker.park_deadline(Instant::now() + std::time::Duration::from_secs(60)));
+    }
+
+    #[test]
+    fn wake_all_drains_every_shard() {
+        let table = ShardTable::new();
+        let mut counts = Vec::new();
+        for i in 1..=16u64 {
+            let (c, w) = counting_waker();
+            table.register_waker(i * 64, i, &w);
+            counts.push(c);
+        }
+        assert_eq!(table.wake_all(), 16);
+        assert_eq!(table.occupancy(), 0);
+        for c in counts {
+            assert_eq!(c.0.load(Ordering::SeqCst), 1);
+        }
+    }
+}

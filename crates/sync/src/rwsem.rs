@@ -33,6 +33,16 @@ use crate::wait::{Block, WaitPolicy, WaitQueue};
 /// Writer-holds marker for the `state` word.
 const WRITER: i64 = -1;
 
+/// Parking-table wait class for blocked readers. Readers and writers park
+/// under distinct keys on the semaphore's queue so a read release — which
+/// can only unblock writers — wakes the writer shard alone instead of the
+/// whole herd. The values are small integers, which never collide with the
+/// node-address keys used by the list-based locks (different queues anyway).
+const READ_WAIT_KEY: u64 = 1;
+
+/// Parking-table wait class for blocked writers; see [`READ_WAIT_KEY`].
+const WRITE_WAIT_KEY: u64 = 2;
+
 /// A blocking reader-writer semaphore with optimistic spinning.
 ///
 /// # Examples
@@ -219,7 +229,7 @@ impl<P: WaitPolicy> RwSemaphore<P> {
         // a preference-honoring reader would never run. Liveness of the
         // barging phase needs only releases, which always wake the queue.
         let mut polls: u32 = 0;
-        P::wait_until(&self.queue, || {
+        P::wait_until_keyed(&self.queue, READ_WAIT_KEY, || {
             polls = polls.saturating_add(1);
             if polls <= Self::SPIN_ROUNDS {
                 self.try_read_fast()
@@ -235,7 +245,7 @@ impl<P: WaitPolicy> RwSemaphore<P> {
     fn write_slow(&self) -> RwSemWriteGuard<'_, P> {
         let timer = self.stats.as_ref().map(|s| s.start(WaitKind::Write));
         self.writers_waiting.fetch_add(1, Ordering::Relaxed);
-        P::wait_until(&self.queue, || {
+        P::wait_until_keyed(&self.queue, WRITE_WAIT_KEY, || {
             self.state
                 .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
@@ -256,15 +266,20 @@ impl<P: WaitPolicy> RwSemaphore<P> {
         let prev = self.state.fetch_sub(1, Ordering::Release);
         debug_assert!(prev > 0, "read release without matching read acquire");
         if prev == 1 {
-            // The lock just became free: wake parked writers (and readers
-            // queued behind them).
-            P::wake(&self.queue);
+            // The lock just became free. Only writers can be blocked on a
+            // read release (parked readers are waiting out a writer, who
+            // will broadcast on its own release), so wake the writer wait
+            // class alone and leave reader parkers undisturbed.
+            P::wake_key(&self.queue, WRITE_WAIT_KEY);
         }
     }
 
     fn release_write(&self) {
         let prev = self.state.swap(0, Ordering::Release);
         debug_assert_eq!(prev, WRITER, "write release without matching write acquire");
+        // Both wait classes are eligible after a write release (readers may
+        // share, the next writer may take over), so this one stays a
+        // broadcast.
         P::wake(&self.queue);
     }
 }

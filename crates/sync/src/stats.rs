@@ -54,6 +54,7 @@ pub struct WaitStats {
     acquisitions: AtomicU64,
     parks: AtomicU64,
     wakes: AtomicU64,
+    spurious_wakeups: AtomicU64,
     waker_registrations: AtomicU64,
     cancels: AtomicU64,
     deadlocks_detected: AtomicU64,
@@ -74,6 +75,7 @@ impl WaitStats {
             acquisitions: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             wakes: AtomicU64::new(0),
+            spurious_wakeups: AtomicU64::new(0),
             waker_registrations: AtomicU64::new(0),
             cancels: AtomicU64::new(0),
             deadlocks_detected: AtomicU64::new(0),
@@ -157,6 +159,16 @@ impl WaitStats {
         self.wakes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one spurious wakeup: a parked waiter woke (broadcast or stale
+    /// keyed signal), found its predicate still false, and re-parked. The
+    /// wake-herd metric: broadcast wakes pay O(parked waiters) of these per
+    /// release, keyed wakes are built to keep it near zero on disjoint-range
+    /// workloads.
+    #[inline]
+    pub fn record_spurious_wakeup(&self) {
+        self.spurious_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one async waker registration: a pending acquisition suspended
     /// itself (registered a [`core::task::Waker`]) instead of parking a
     /// thread. The async analogue of [`WaitStats::record_park`], fed by the
@@ -206,6 +218,7 @@ impl WaitStats {
             write_wait_ns: self.write_wait_ns.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             wakes: self.wakes.load(Ordering::Relaxed),
+            spurious_wakeups: self.spurious_wakeups.load(Ordering::Relaxed),
             waker_registrations: self.waker_registrations.load(Ordering::Relaxed),
             cancels: self.cancels.load(Ordering::Relaxed),
             deadlocks_detected: self.deadlocks_detected.load(Ordering::Relaxed),
@@ -224,6 +237,7 @@ impl WaitStats {
         self.acquisitions.store(0, Ordering::Relaxed);
         self.parks.store(0, Ordering::Relaxed);
         self.wakes.store(0, Ordering::Relaxed);
+        self.spurious_wakeups.store(0, Ordering::Relaxed);
         self.waker_registrations.store(0, Ordering::Relaxed);
         self.cancels.store(0, Ordering::Relaxed);
         self.deadlocks_detected.store(0, Ordering::Relaxed);
@@ -255,6 +269,11 @@ pub struct LockStatSnapshot {
     pub parks: u64,
     /// Number of wake broadcasts that found at least one parked waiter.
     pub wakes: u64,
+    /// Number of spurious wakeups: waiters that woke with their predicate
+    /// still false and re-parked. The wake-herd cost a release imposes on
+    /// bystanders — broadcast wakes pay O(parked waiters) of these, keyed
+    /// wakes ~0 on disjoint-range workloads.
+    pub spurious_wakeups: u64,
     /// Number of async waker registrations: pending acquisitions that
     /// suspended (registered a waker) instead of parking a thread. The async
     /// counterpart of `parks`, non-zero under the async API whatever the
@@ -557,12 +576,15 @@ mod tests {
         s.record_park();
         s.record_park();
         s.record_wake();
+        s.record_spurious_wakeup();
         let snap = s.snapshot();
         assert_eq!(snap.parks, 2);
         assert_eq!(snap.wakes, 1);
+        assert_eq!(snap.spurious_wakeups, 1);
         s.reset();
         assert_eq!(s.snapshot().parks, 0);
         assert_eq!(s.snapshot().wakes, 0);
+        assert_eq!(s.snapshot().spurious_wakeups, 0);
     }
 
     #[test]

@@ -21,61 +21,85 @@
 //! Locks own one [`WaitQueue`] each and call
 //! [`WaitPolicy::wait_until`]/[`WaitPolicy::wake`] instead of open-coded
 //! backoff loops. A release's wake hook costs one generation bump
-//! (fetch-add) plus one or two loads when no one is waiting, under every
-//! policy (before the async layer, the spinning policies' `wake` compiled to
-//! nothing; waking registered [`Waker`]s made it a real — but still
-//! constant-time — hook).
+//! (fetch-add) plus a handful of loads when no one is waiting, under every
+//! policy.
 //!
-//! # Granularity
+//! # Granularity: keyed parking
 //!
-//! The queue is **per lock**, not per waited-on range: a release broadcasts
-//! to every parked waiter of that lock, each re-checks its own predicate,
-//! and the non-matching ones re-park — like a futex where all waiters share
-//! one word. That costs O(parked waiters) spurious wakeups per release
-//! under heavy disjoint-range parking; per-conflict-node queues would wake
-//! selectively and are the natural next refinement if profiles ever show
-//! the herd (the segment lock already gets per-segment granularity for
-//! free, since each segment is its own `RwSemaphore` with its own queue).
+//! The queue is per lock, but waiting is **per conflict**: waiters that know
+//! *which* node or range blocks them park under that address as a key in
+//! the queue's sharded [`ShardTable`] (see [`crate::parking`]), and the
+//! blocker's release calls [`WaitQueue::wake_key`] to wake exactly the
+//! matching entries — a futex analogue with per-conflict wait words. Before
+//! this table existed, a release broadcast to every parked waiter of the
+//! lock, each re-checked its predicate, and the non-matching ones re-parked:
+//! O(parked waiters) spurious wakeups per release under heavy
+//! disjoint-range parking. The herd survives only where it is wanted — the
+//! [`WaitQueue::wake_all`] broadcast remains for guard-drop fallbacks and
+//! deadlock re-derivation, and [`KEY_ANY`] keeps every unkeyed call site on
+//! the classic eventcount paths. Spurious wakeups (woken but re-parked with
+//! the predicate still false) are counted either way, so the
+//! `spurious_wakeups` column in benchmark reports measures the herd
+//! directly.
+//!
+//! Every wake — keyed or not — still bumps the shared generation counter
+//! first. That is the compatibility contract that makes the keyed layer
+//! safe to adopt incrementally: a waiter parked unkeyed (or a future
+//! registered unkeyed) can never miss a keyed wake, because the keyed wake
+//! performs the full eventcount signal too; the selectivity is that keyed
+//! *waiters* are no longer in the broadcast herd.
 //!
 //! # Waker slots: one queue, two kinds of waiter
 //!
 //! Since the async range-lock API, a waiter slot holds either a **thread**
-//! (parked on the queue's condvar, under `Block`) or a
-//! [`core::task::Waker`] (registered by an `AcquireFuture` poll, under *any*
-//! policy — an async waiter never spins regardless of how the lock's sync
-//! waiters wait). Both kinds hang off the same generation counter, so the
-//! lost-wakeup argument below covers both; the release paths need no
-//! knowledge of who is waiting.
+//! (parked under [`Block`]) or a [`core::task::Waker`] (registered by an
+//! `AcquireFuture` poll, under *any* policy — an async waiter never spins
+//! regardless of how the lock's sync waiters wait). Keyed waker
+//! registrations ([`WaitQueue::register_waker_keyed`]) live in the same
+//! keyed slots as thread parkers, so one conflict's release wakes its sync
+//! and async waiters together; unkeyed registrations stay on the legacy
+//! per-queue vector. Both kinds hang off the same generation counter, so
+//! the lost-wakeup argument below covers both.
 //!
 //! Because wakers must be woken even on locks whose sync waiters spin, the
-//! spinning policies' [`WaitPolicy::wake`] is no longer a no-op: it calls
-//! [`WaitQueue::wake_all`] — one generation bump (fetch-add) plus two loads
-//! when nobody is registered or parked (deadline parkers sleep on the
-//! condvar under any policy, so the notify check cannot be skipped).
-//! Release fast paths that skip the wake hook entirely (the empty-list fast
-//! path of Section 4.5) are unchanged.
+//! spinning policies' [`WaitPolicy::wake`] is not a no-op: it calls
+//! [`WaitQueue::wake_all`]. With keyed parking this is cheaper than it used
+//! to be: deadline parkers that know their key now sleep on
+//! [`std::thread::park_timeout`] in the shard table instead of on the
+//! queue condvar, so a wake whose keyed shard is **provably empty** (one
+//! occupancy load) skips the syscall path entirely — the inefficiency the
+//! old design documented ("deadline parkers sleep on the condvar under any
+//! policy") is gone for keyed deadline parks, and the condvar notify is
+//! still gated on the unkeyed parked-waiter count.
 //!
 //! # Lost wakeups
 //!
 //! [`WaitQueue`] is an eventcount: a generation counter plus a
-//! mutex/condvar pair. Waiters re-check their predicate with the generation
-//! snapshotted under the queue mutex; wakers bump the generation *before*
-//! checking for parked waiters (both with sequentially consistent ordering),
-//! so either the waker observes the waiter and notifies under the mutex, or
-//! the waiter observes the new generation and re-checks its predicate. A
-//! wakeup can therefore never fall between a waiter's predicate check and
-//! its park.
+//! mutex/condvar pair. Unkeyed waiters re-check their predicate with the
+//! generation snapshotted under the queue mutex; wakers bump the generation
+//! *before* checking for parked waiters (both with sequentially consistent
+//! ordering), so either the waker observes the waiter and notifies under
+//! the mutex, or the waiter observes the new generation and re-checks its
+//! predicate. A wakeup can therefore never fall between a waiter's
+//! predicate check and its park.
 //!
-//! Waker registration follows the same protocol: the future snapshots the
-//! generation *before* polling the lock, and [`WaitQueue::register_waker`]
-//! publishes the registration (a sequentially consistent store of the
-//! registered-waker count, under the waker mutex) **before** re-checking the
-//! generation against the snapshot. In the single total order of
-//! sequentially consistent operations, either the releaser's bump precedes
-//! the future's generation check — registration fails and the caller
-//! re-polls the lock, observing the release — or the registration's count
-//! store precedes the releaser's count load, which then drains and wakes the
-//! waker. Either way the wakeup cannot be lost.
+//! Keyed parking runs the same Dekker-style protocol against the shard
+//! table's occupancy instead of the waiter count: the waiter publishes its
+//! entry (a sequentially consistent occupancy bump) and only then re-checks
+//! its predicate behind a `SeqCst` fence; the releaser publishes the state
+//! change, bumps the generation, and only then (behind a `SeqCst` fence)
+//! loads the shard occupancy. In the fence order, either the releaser sees
+//! the entry and signals it, or the waiter's re-check sees the released
+//! state and returns — never neither.
+//!
+//! Waker registration follows the same protocol, keyed or not: the future
+//! snapshots the generation *before* polling the lock, and registration
+//! publishes itself **before** re-checking the generation against the
+//! snapshot. Either the releaser's bump precedes the future's generation
+//! check — registration fails and the caller re-polls the lock, observing
+//! the release — or the registration precedes the releaser's occupancy
+//! load, which then claims and wakes the waker. Either way the wakeup
+//! cannot be lost.
 //!
 //! # Examples
 //!
@@ -86,10 +110,13 @@
 //! let queue = WaitQueue::new();
 //! let flag = AtomicBool::new(true); // pretend a release already happened
 //! Block::wait_until(&queue, || flag.load(Ordering::Acquire));
-//! Block::wake(&queue); // no waiters: two atomics, no syscall
+//! Block::wake(&queue); // no waiters: a few atomics, no syscall
+//! // Keyed: wake only the waiters parked on conflict 0x40.
+//! Block::wait_until_keyed(&queue, 0x40, || flag.load(Ordering::Acquire));
+//! Block::wake_key(&queue, 0x40);
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::Waker;
 use std::time::Instant;
@@ -97,28 +124,45 @@ use std::time::Instant;
 use parking_lot::{Condvar, Mutex};
 
 use crate::backoff::Backoff;
+use crate::parking::{ShardTable, ThreadParker, KEY_ANY};
 use crate::stats::WaitStats;
 
-/// A futex-analogue wait queue (eventcount) owned by a lock instance.
+/// A futex-analogue wait queue owned by a lock instance: an eventcount (for
+/// unkeyed waiters) fused with a sharded address-keyed parking table (for
+/// waiters that know which conflict blocks them).
 ///
-/// Waiters park until the queue's generation advances; every release path of
-/// the owning lock bumps the generation through [`WaitQueue::wake_all`]
-/// (via [`WaitPolicy::wake`]). The queue also counts parks and effective
-/// wakes so benchmarks can attribute wait time to blocking vs spinning; the
-/// counters are mirrored into an attached [`WaitStats`] when the owning lock
-/// has one.
+/// Unkeyed waiters park until the queue's generation advances; keyed
+/// waiters ([`WaitQueue::park_until_keyed`]) park in the [`ShardTable`]
+/// under the conflicting node's address and are woken selectively by
+/// [`WaitQueue::wake_key`]. Every release path of the owning lock wakes
+/// through [`WaitPolicy::wake`]/[`WaitPolicy::wake_key`]. The queue also
+/// counts parks, effective wakes, and spurious wakeups so benchmarks can
+/// attribute wait time to blocking vs spinning and measure wake herds; the
+/// counters are mirrored into an attached [`WaitStats`] when the owning
+/// lock has one.
 pub struct WaitQueue {
-    /// Bumped by every wake; waiters park only while it is unchanged.
+    /// Bumped by every wake (keyed or not); unkeyed waiters park only while
+    /// it is unchanged.
     generation: AtomicU64,
-    /// Number of threads currently inside [`WaitQueue::park_until`].
+    /// Number of threads currently inside [`WaitQueue::park_until`] or
+    /// [`WaitQueue::park_until_deadline`] (the condvar population; keyed
+    /// parkers are tracked by the shard table's occupancy instead).
     waiters: AtomicU64,
-    /// Total individual parks (condvar waits) since construction.
+    /// Total individual parks (condvar waits and keyed thread parks) since
+    /// construction.
     parks: AtomicU64,
-    /// Total wake broadcasts that found at least one waiter.
+    /// Total wake operations that found at least one waiter to wake.
     wakes: AtomicU64,
+    /// Total spurious wakeups: a parked waiter woke, found its predicate
+    /// still false, and re-parked. The herd metric.
+    spurious: AtomicU64,
     gate: Mutex<()>,
     condvar: Condvar,
-    /// Registered async waiters, keyed by the slot id of the owning future.
+    /// The keyed parking table: thread parkers and waker slots filed under
+    /// the conflicting node/range address.
+    table: ShardTable,
+    /// Registered *unkeyed* async waiters, keyed by the slot id of the
+    /// owning future.
     ///
     /// A plain vector: a lock rarely has more than a handful of futures
     /// parked on it at once, and registration is off the uncontended fast
@@ -156,8 +200,10 @@ impl WaitQueue {
             waiters: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             wakes: AtomicU64::new(0),
+            spurious: AtomicU64::new(0),
             gate: Mutex::new(()),
             condvar: Condvar::new(),
+            table: ShardTable::new(),
             wakers: Mutex::new(Vec::new()),
             async_waiters: AtomicU64::new(0),
             next_slot: AtomicU64::new(1),
@@ -197,14 +243,29 @@ impl WaitQueue {
         self.stats = Some(stats);
     }
 
-    /// Number of individual parks (one per condvar wait) so far.
+    /// Number of individual parks (condvar waits plus keyed thread parks)
+    /// so far.
     pub fn parks(&self) -> u64 {
         self.parks.load(Ordering::Relaxed)
     }
 
-    /// Number of wake broadcasts that found at least one parked waiter.
+    /// Number of wake operations that found at least one waiter to wake.
     pub fn wakes(&self) -> u64 {
         self.wakes.load(Ordering::Relaxed)
+    }
+
+    /// Number of spurious wakeups so far: parked waiters that woke, found
+    /// their predicate still false, and re-parked. Broadcast wakes herd
+    /// O(parked waiters) of these; keyed wakes are built to keep this ~0 on
+    /// disjoint-range workloads.
+    pub fn spurious_wakeups(&self) -> u64 {
+        self.spurious.load(Ordering::Relaxed)
+    }
+
+    /// Number of waiters (threads + wakers) currently registered in the
+    /// keyed parking table.
+    pub fn keyed_waiters(&self) -> u64 {
+        self.table.occupancy()
     }
 
     /// Number of successful [`WaitQueue::register_waker`] calls so far (the
@@ -288,6 +349,47 @@ impl WaitQueue {
             .store(wakers.len() as u64, Ordering::SeqCst);
     }
 
+    /// The keyed form of [`WaitQueue::register_waker`]: files the waker in
+    /// the parking table under `key`, so only [`WaitQueue::wake_key`] for
+    /// that key (or a broadcast) wakes it. `KEY_ANY` falls back to the
+    /// unkeyed registration.
+    ///
+    /// Same contract as the unkeyed form: returns `false` (leaving nothing
+    /// registered) when the generation advanced past `gen`, in which case
+    /// the caller re-polls and retries. A future whose blocking conflict
+    /// *changes* between polls must deregister its old key
+    /// ([`WaitQueue::deregister_waker_keyed`]) before registering the new
+    /// one — the waker-slot migration path.
+    pub fn register_waker_keyed(&self, key: u64, slot: u64, gen: u64, waker: &Waker) -> bool {
+        if key == KEY_ANY {
+            return self.register_waker(slot, gen, waker);
+        }
+        // Publish-then-check, exactly like the unkeyed path but against the
+        // shard occupancy (see the module-level keyed protocol).
+        self.table.register_waker(key, slot, waker);
+        fence(Ordering::SeqCst);
+        if self.generation.load(Ordering::SeqCst) != gen {
+            self.table.deregister_waker(key, slot);
+            return false;
+        }
+        self.waker_regs.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = &self.stats {
+            stats.record_waker_registration();
+        }
+        true
+    }
+
+    /// Removes the waker registered for `slot` under `key`, if a wake has
+    /// not already claimed it. Idempotent; `KEY_ANY` falls back to the
+    /// unkeyed deregistration.
+    pub fn deregister_waker_keyed(&self, key: u64, slot: u64) {
+        if key == KEY_ANY {
+            self.deregister_waker(slot);
+        } else {
+            self.table.deregister_waker(key, slot);
+        }
+    }
+
     /// Records one abandoned two-phase acquisition (a dropped
     /// `AcquireFuture` or an expired timeout).
     pub fn record_cancel(&self) {
@@ -317,6 +419,34 @@ impl WaitQueue {
         }
     }
 
+    /// Records one spurious wakeup: a waiter woke and found its predicate
+    /// still false.
+    fn record_spurious(&self) {
+        self.spurious.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = &self.stats {
+            stats.record_spurious_wakeup();
+        }
+        if rl_obs::trace::is_enabled() {
+            rl_obs::trace::emit_here(rl_obs::EventKind::SpuriousWake, self.trace_id(), 0, 0);
+        }
+    }
+
+    fn record_park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = &self.stats {
+            stats.record_park();
+        }
+        if rl_obs::trace::is_enabled() {
+            rl_obs::trace::emit_here(rl_obs::EventKind::Parked, self.trace_id(), 0, 0);
+        }
+    }
+
+    fn record_woken(&self) {
+        if rl_obs::trace::is_enabled() {
+            rl_obs::trace::emit_here(rl_obs::EventKind::Woken, self.trace_id(), 0, 0);
+        }
+    }
+
     /// Parks the calling thread until `cond` returns `true`.
     ///
     /// `cond` is re-evaluated under the queue mutex whenever the generation
@@ -324,26 +454,27 @@ impl WaitQueue {
     /// lock) because it runs exactly once per observed generation.
     pub fn park_until(&self, mut cond: impl FnMut() -> bool) {
         let mut guard = self.gate.lock();
-        // SeqCst pairs with the SeqCst generation bump in `wake_all`: either
-        // the waker sees our increment, or we see its bump (Dekker-style).
+        // SeqCst pairs with the SeqCst generation bump in the wake paths:
+        // either the waker sees our increment, or we see its bump
+        // (Dekker-style).
         self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut woken = false;
         loop {
             let generation = self.generation.load(Ordering::SeqCst);
             if cond() {
                 break;
             }
+            if woken {
+                // Woken by a generation bump but the predicate is still
+                // false: the broadcast herd cost, re-parking below.
+                self.record_spurious();
+                woken = false;
+            }
             while self.generation.load(Ordering::SeqCst) == generation {
-                self.parks.fetch_add(1, Ordering::Relaxed);
-                if let Some(stats) = &self.stats {
-                    stats.record_park();
-                }
-                if rl_obs::trace::is_enabled() {
-                    rl_obs::trace::emit_here(rl_obs::EventKind::Parked, self.trace_id(), 0, 0);
-                }
+                self.record_park();
                 self.condvar.wait(&mut guard);
-                if rl_obs::trace::is_enabled() {
-                    rl_obs::trace::emit_here(rl_obs::EventKind::Woken, self.trace_id(), 0, 0);
-                }
+                self.record_woken();
+                woken = true;
             }
         }
         self.waiters.fetch_sub(1, Ordering::SeqCst);
@@ -353,16 +484,23 @@ impl WaitQueue {
     /// passes; returns the final value of `cond`.
     ///
     /// The deadline variant of [`WaitQueue::park_until`], used by the
-    /// timed acquisition API of the `Block` policy.
+    /// timed acquisition API of the `Block` policy when no conflict key is
+    /// known (keyed timed waits go through
+    /// [`WaitQueue::park_until_deadline_keyed`] and stay off the condvar).
     pub fn park_until_deadline(&self, mut cond: impl FnMut() -> bool, deadline: Instant) -> bool {
         let mut guard = self.gate.lock();
         // SeqCst pairs with the SeqCst generation bump in the wake paths,
         // exactly as in `park_until`.
         self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut woken = false;
         let satisfied = loop {
             let generation = self.generation.load(Ordering::SeqCst);
             if cond() {
                 break true;
+            }
+            if woken {
+                self.record_spurious();
+                woken = false;
             }
             let mut expired = false;
             while self.generation.load(Ordering::SeqCst) == generation {
@@ -371,17 +509,10 @@ impl WaitQueue {
                     expired = true;
                     break;
                 }
-                self.parks.fetch_add(1, Ordering::Relaxed);
-                if let Some(stats) = &self.stats {
-                    stats.record_park();
-                }
-                if rl_obs::trace::is_enabled() {
-                    rl_obs::trace::emit_here(rl_obs::EventKind::Parked, self.trace_id(), 0, 0);
-                }
+                self.record_park();
                 self.condvar.wait_for(&mut guard, deadline - now);
-                if rl_obs::trace::is_enabled() {
-                    rl_obs::trace::emit_here(rl_obs::EventKind::Woken, self.trace_id(), 0, 0);
-                }
+                self.record_woken();
+                woken = true;
             }
             if expired {
                 // One last look: the deadline racing a wake must not report
@@ -393,21 +524,162 @@ impl WaitQueue {
         satisfied
     }
 
-    /// Wakes every parked waiter so it re-checks its predicate, and drains
-    /// every registered async waker.
+    /// Parks the calling thread in the keyed table under `key` until `cond`
+    /// returns `true`; only [`WaitQueue::wake_key`] for `key` or a
+    /// [`WaitQueue::wake_all`] broadcast wakes it. `KEY_ANY` falls back to
+    /// the eventcount park.
     ///
-    /// When nobody is waiting this is one fetch-add plus two loads — cheap
-    /// enough for uncontended release paths. This is the **only** wake
-    /// entry point: an earlier design had a condvar-skipping variant for
-    /// async-only waiters, but deadline parks
-    /// ([`WaitQueue::park_until_deadline`]) sleep on the condvar under
-    /// *any* policy, so every wake must notify it — the notify costs one
-    /// load when nobody is parked.
+    /// The caller keys on the conflict it is waiting out (the blocking
+    /// node's address), and `cond` must become observable before that
+    /// conflict's release wakes the key — which every lock's release order
+    /// (publish state, then wake) guarantees.
+    pub fn park_until_keyed(&self, key: u64, mut cond: impl FnMut() -> bool) {
+        if key == KEY_ANY {
+            return self.park_until(cond);
+        }
+        let parker = ThreadParker::new();
+        loop {
+            parker.reset();
+            self.table.register_parker(key, &parker);
+            // Publish-then-check (see the module-level keyed protocol):
+            // either the releaser's occupancy load sees our entry, or this
+            // re-check sees the released state.
+            fence(Ordering::SeqCst);
+            if cond() {
+                self.table.deregister_parker(key, &parker);
+                return;
+            }
+            self.record_park();
+            parker.park();
+            self.record_woken();
+            // The wake that signalled us also claimed (removed) our entry,
+            // so the next round re-registers from scratch.
+            if cond() {
+                return;
+            }
+            self.record_spurious();
+        }
+    }
+
+    /// Parks in the keyed table under `key` until `cond` returns `true` or
+    /// `deadline` passes; returns the final value of `cond`. `KEY_ANY`
+    /// falls back to the condvar deadline park.
+    ///
+    /// Keyed deadline parkers sleep on [`std::thread::park_timeout`] inside
+    /// the shard table — not on the queue condvar — which is what lets
+    /// wakes skip the condvar syscall path when the keyed shard is provably
+    /// empty.
+    pub fn park_until_deadline_keyed(
+        &self,
+        key: u64,
+        mut cond: impl FnMut() -> bool,
+        deadline: Instant,
+    ) -> bool {
+        if key == KEY_ANY {
+            return self.park_until_deadline(cond, deadline);
+        }
+        let parker = ThreadParker::new();
+        loop {
+            parker.reset();
+            self.table.register_parker(key, &parker);
+            fence(Ordering::SeqCst);
+            if cond() {
+                self.table.deregister_parker(key, &parker);
+                return true;
+            }
+            if Instant::now() >= deadline {
+                self.table.deregister_parker(key, &parker);
+                // One last look, as in the unkeyed deadline park.
+                return cond();
+            }
+            self.record_park();
+            let signaled = parker.park_deadline(deadline);
+            self.record_woken();
+            if !signaled {
+                // Expired while registered: withdraw (a racing wake that
+                // already claimed the entry makes this a no-op and leaves a
+                // stray signal, which the next round's reset absorbs).
+                self.table.deregister_parker(key, &parker);
+                return cond();
+            }
+            if cond() {
+                return true;
+            }
+            self.record_spurious();
+        }
+    }
+
+    /// Wakes exactly the waiters (threads and wakers) parked under `key`,
+    /// plus the legacy unkeyed population — a `KEY_ANY` key degrades to
+    /// [`WaitQueue::wake_all`].
+    ///
+    /// Every wake bumps the generation and checks the unkeyed counts, so
+    /// call sites that still park or register unkeyed can never lose a
+    /// wakeup; the win is that *keyed* waiters under other keys stay
+    /// parked. With nobody waiting this is a fetch-add plus a few loads —
+    /// no mutex, no syscall.
+    pub fn wake_key(&self, key: u64) {
+        if key == KEY_ANY {
+            return self.wake_all();
+        }
+        // Bump first so a concurrently registering waiter (parking thread
+        // or future, keyed or not) detects the wake even if the occupancy
+        // loads below miss its registration.
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let keyed = self.table.wake_key(key);
+        if keyed > 0 {
+            self.wakes.fetch_add(1, Ordering::Relaxed);
+            if let Some(stats) = &self.stats {
+                stats.record_wake();
+            }
+        }
+        self.notify_unkeyed();
+        self.drain_wakers();
+    }
+
+    /// Wakes only the *unkeyed* population — condvar parkers and unkeyed
+    /// waker registrations — leaving keyed parkers of every conflict
+    /// undisturbed.
+    ///
+    /// For release paths that proved no tracked (keyed) waiter became
+    /// eligible but must still nudge barging two-phase pollers, which
+    /// register unkeyed because they hold no queue slot in the lock's own
+    /// bookkeeping. The generation still advances, so generation-watching
+    /// wait loops observe the release.
+    pub fn wake_unkeyed(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        self.notify_unkeyed();
+        self.drain_wakers();
+    }
+
+    /// Wakes every parked waiter — keyed and unkeyed, threads and wakers —
+    /// so it re-checks its predicate.
+    ///
+    /// When nobody is waiting this is one fetch-add plus a few loads —
+    /// cheap enough for uncontended release paths. This is the broadcast
+    /// fallback: guard-drop herds, deadlock re-derivation, and every
+    /// call site that cannot name the conflict it resolved.
     pub fn wake_all(&self) {
         // Bump first so a concurrently registering waiter (parking thread
         // or future) detects the wake even if the count loads below miss
         // its registration (see the module-level lost-wakeup argument).
         self.generation.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let keyed = self.table.wake_all();
+        if keyed > 0 {
+            self.wakes.fetch_add(1, Ordering::Relaxed);
+            if let Some(stats) = &self.stats {
+                stats.record_wake();
+            }
+        }
+        self.notify_unkeyed();
+        self.drain_wakers();
+    }
+
+    /// Notifies the condvar population (unkeyed parkers), if any.
+    fn notify_unkeyed(&self) {
         if self.waiters.load(Ordering::SeqCst) != 0 {
             self.wakes.fetch_add(1, Ordering::Relaxed);
             if let Some(stats) = &self.stats {
@@ -418,10 +690,9 @@ impl WaitQueue {
             let _guard = self.gate.lock();
             self.condvar.notify_all();
         }
-        self.drain_wakers();
     }
 
-    /// Wakes and removes every registered waker, if any.
+    /// Wakes and removes every registered unkeyed waker, if any.
     fn drain_wakers(&self) {
         if self.async_waiters.load(Ordering::SeqCst) == 0 {
             return;
@@ -455,8 +726,10 @@ impl std::fmt::Debug for WaitQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WaitQueue")
             .field("waiters", &self.waiters.load(Ordering::Relaxed))
+            .field("keyed_waiters", &self.keyed_waiters())
             .field("parks", &self.parks())
             .field("wakes", &self.wakes())
+            .field("spurious", &self.spurious_wakeups())
             .finish()
     }
 }
@@ -466,8 +739,10 @@ impl std::fmt::Debug for WaitQueue {
 /// Implementations are zero-sized strategy types plugged into the locks as a
 /// defaulted type parameter (`ListRangeLock<P: WaitPolicy = SpinThenYield>`
 /// and friends). All three policies live in this module; downstream crates
-/// select one at the type level and the lock's release paths call
-/// [`WaitPolicy::wake`], which only does work under [`Block`].
+/// select one at the type level. Release paths call [`WaitPolicy::wake_key`]
+/// with the address of the conflict they resolved (or
+/// [`WaitPolicy::wake`] when they cannot name one), which only parks/wakes
+/// threads under [`Block`] but always services async wakers.
 pub trait WaitPolicy: Send + Sync + Default + Copy + std::fmt::Debug + 'static {
     /// Stable short name used by benchmark reports
     /// (`"spin"` / `"spin-yield"` / `"block"`).
@@ -490,6 +765,28 @@ pub trait WaitPolicy: Send + Sync + Default + Copy + std::fmt::Debug + 'static {
         deadline: Instant,
     ) -> bool;
 
+    /// [`WaitPolicy::wait_until`], but parked under `key` — the address of
+    /// the conflict being waited out — so the blocker's release wakes this
+    /// waiter selectively instead of herding the whole queue. Spinning
+    /// policies ignore the key (they never park); [`Block`] parks in the
+    /// queue's keyed table.
+    fn wait_until_keyed(queue: &WaitQueue, key: u64, cond: impl FnMut() -> bool) {
+        let _ = key;
+        Self::wait_until(queue, cond);
+    }
+
+    /// [`WaitPolicy::wait_until_deadline`], parked under `key` as in
+    /// [`WaitPolicy::wait_until_keyed`].
+    fn wait_until_deadline_keyed(
+        queue: &WaitQueue,
+        key: u64,
+        cond: impl FnMut() -> bool,
+        deadline: Instant,
+    ) -> bool {
+        let _ = key;
+        Self::wait_until_deadline(queue, cond, deadline)
+    }
+
     /// Called by the owning lock's release paths after the state change that
     /// `cond` observes has been published.
     ///
@@ -497,6 +794,15 @@ pub trait WaitPolicy: Send + Sync + Default + Copy + std::fmt::Debug + 'static {
     /// sync waiters poll on their own, but async waiters (registered
     /// wakers) and deadline parkers must be woken whatever the policy.
     fn wake(queue: &WaitQueue);
+
+    /// The selective form of [`WaitPolicy::wake`]: wakes the waiters parked
+    /// under `key` (and the legacy unkeyed population), leaving keyed
+    /// waiters of other conflicts parked. Identical under every policy —
+    /// async wakers and keyed parkers must be serviced whether or not the
+    /// lock's sync waiters spin.
+    fn wake_key(queue: &WaitQueue, key: u64) {
+        queue.wake_key(key);
+    }
 }
 
 /// Pure busy-waiting with exponential backoff; never yields the CPU.
@@ -582,7 +888,8 @@ impl WaitPolicy for SpinThenYield {
 
 /// Busy-wait through one backoff ramp, then park on the lock's
 /// [`WaitQueue`] until a release wakes it (the futex-style, kernel-fidelity
-/// policy).
+/// policy). Keyed waits park in the queue's sharded table and are woken
+/// per conflict.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Block;
 
@@ -622,6 +929,38 @@ impl WaitPolicy for Block {
             backoff.snooze();
         }
         queue.park_until_deadline(cond, deadline)
+    }
+
+    #[inline]
+    fn wait_until_keyed(queue: &WaitQueue, key: u64, mut cond: impl FnMut() -> bool) {
+        let backoff = Backoff::new();
+        while !backoff.is_completed() {
+            if cond() {
+                return;
+            }
+            backoff.snooze();
+        }
+        queue.park_until_keyed(key, cond);
+    }
+
+    #[inline]
+    fn wait_until_deadline_keyed(
+        queue: &WaitQueue,
+        key: u64,
+        mut cond: impl FnMut() -> bool,
+        deadline: Instant,
+    ) -> bool {
+        let backoff = Backoff::new();
+        while !backoff.is_completed() {
+            if cond() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            backoff.snooze();
+        }
+        queue.park_until_deadline_keyed(key, cond, deadline)
     }
 
     #[inline]
@@ -677,7 +1016,9 @@ mod tests {
         Spin::wait_until(&queue, || true);
         SpinThenYield::wait_until(&queue, || true);
         Block::wait_until(&queue, || true);
+        Block::wait_until_keyed(&queue, 0x40, || true);
         assert_eq!(queue.parks(), 0);
+        assert_eq!(queue.keyed_waiters(), 0);
     }
 
     #[test]
@@ -708,6 +1049,7 @@ mod tests {
         let queue = WaitQueue::new();
         for _ in 0..100 {
             Block::wake(&queue);
+            Block::wake_key(&queue, 0x40);
         }
         assert_eq!(queue.wakes(), 0);
     }
@@ -740,6 +1082,120 @@ mod tests {
     }
 
     #[test]
+    fn no_lost_wakeup_under_rapid_keyed_handoff() {
+        // The keyed analogue: registration racing wake_key on the same key
+        // must never strand the waiter.
+        const ITERS: usize = 2_000;
+        const KEY: u64 = 0xA40;
+        let queue = Arc::new(WaitQueue::new());
+        let turn = Arc::new(AtomicU64::new(0));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            let turn = Arc::clone(&turn);
+            std::thread::spawn(move || {
+                for i in 0..ITERS as u64 {
+                    Block::wait_until_keyed(&queue, KEY, || turn.load(Ordering::Acquire) > i);
+                }
+            })
+        };
+        for i in 0..ITERS as u64 {
+            turn.store(i + 1, Ordering::Release);
+            Block::wake_key(&queue, KEY);
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn keyed_park_ignores_other_keys_and_wakes_on_its_own() {
+        let queue = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            let flag = Arc::clone(&flag);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                queue.park_until_keyed(0x40, || flag.load(Ordering::Acquire));
+                done.store(true, Ordering::Release);
+            })
+        };
+        while queue.keyed_waiters() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // A wake for an unrelated key must leave the waiter parked (its
+        // entry stays in the table) and cost no spurious wakeup.
+        queue.wake_key(0x80);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!done.load(Ordering::Acquire));
+        assert_eq!(queue.keyed_waiters(), 1);
+        assert_eq!(queue.spurious_wakeups(), 0);
+        flag.store(true, Ordering::Release);
+        queue.wake_key(0x40);
+        waiter.join().unwrap();
+        assert!(done.load(Ordering::Acquire));
+        assert_eq!(queue.keyed_waiters(), 0);
+        assert_eq!(queue.spurious_wakeups(), 0);
+    }
+
+    #[test]
+    fn broadcast_wakes_keyed_parker_and_counts_spurious() {
+        let queue = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                queue.park_until_keyed(0x40, || flag.load(Ordering::Acquire));
+            })
+        };
+        while queue.keyed_waiters() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // A broadcast herds the keyed parker awake with its predicate still
+        // false — one spurious wakeup, then it re-parks.
+        queue.wake_all();
+        while queue.spurious_wakeups() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        while queue.keyed_waiters() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        flag.store(true, Ordering::Release);
+        queue.wake_all();
+        waiter.join().unwrap();
+        assert!(queue.spurious_wakeups() >= 1);
+    }
+
+    #[test]
+    fn unkeyed_herd_wakeups_are_counted_spurious() {
+        let queue = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                queue.park_until(|| flag.load(Ordering::Acquire));
+            })
+        };
+        while queue.parks() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Wake without satisfying the predicate: the waiter re-parks and
+        // the herd counter ticks.
+        queue.wake_all();
+        while queue.spurious_wakeups() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        flag.store(true, Ordering::Release);
+        queue.wake_all();
+        waiter.join().unwrap();
+        assert!(queue.spurious_wakeups() >= 1);
+    }
+
+    #[test]
     fn park_counters_mirror_into_stats() {
         let stats = Arc::new(WaitStats::new("queue"));
         let mut queue = WaitQueue::new();
@@ -756,12 +1212,19 @@ mod tests {
         while queue.parks() == 0 {
             std::thread::sleep(Duration::from_millis(1));
         }
+        // Herd it once so the spurious counter mirrors too.
+        queue.wake_all();
+        while queue.spurious_wakeups() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         flag.store(true, Ordering::Release);
         queue.wake_all();
         waiter.join().unwrap();
         let snap = stats.snapshot();
         assert!(snap.parks >= 1);
-        assert_eq!(snap.wakes, 1);
+        assert!(snap.wakes >= 1);
+        assert!(snap.spurious_wakeups >= 1);
+        assert_eq!(snap.spurious_wakeups, queue.spurious_wakeups());
     }
 
     #[test]
@@ -786,6 +1249,7 @@ mod tests {
         let queue = WaitQueue::default();
         let s = format!("{queue:?}");
         assert!(s.contains("parks"));
+        assert!(s.contains("spurious"));
     }
 
     /// Waker that counts deliveries, for driving the registration protocol
@@ -833,6 +1297,49 @@ mod tests {
         queue.wake_all();
         assert_eq!(count.0.load(Ordering::SeqCst), 0);
         assert_eq!(queue.waker_registrations(), 0);
+    }
+
+    #[test]
+    fn keyed_waker_is_woken_only_by_its_key_or_broadcast() {
+        let queue = WaitQueue::new();
+        let (count, waker) = counting_waker();
+        let slot = queue.alloc_waker_slot();
+        assert!(queue.register_waker_keyed(0x40, slot, queue.generation(), &waker));
+        assert_eq!(queue.waker_registrations(), 1);
+        // A wake for a different key leaves the keyed waker registered.
+        queue.wake_key(0x80);
+        assert_eq!(count.0.load(Ordering::SeqCst), 0);
+        assert_eq!(queue.keyed_waiters(), 1);
+        // Its own key wakes (and claims) it.
+        queue.wake_key(0x40);
+        assert_eq!(count.0.load(Ordering::SeqCst), 1);
+        assert_eq!(queue.keyed_waiters(), 0);
+        // Re-register, then a broadcast claims it too.
+        let (count2, waker2) = counting_waker();
+        assert!(queue.register_waker_keyed(0x40, slot, queue.generation(), &waker2));
+        queue.wake_all();
+        assert_eq!(count2.0.load(Ordering::SeqCst), 1);
+        assert_eq!(queue.keyed_waiters(), 0);
+    }
+
+    #[test]
+    fn stale_keyed_registration_is_refused_and_migration_rehomes_slots() {
+        let queue = WaitQueue::new();
+        let (count, waker) = counting_waker();
+        let slot = queue.alloc_waker_slot();
+        let gen = queue.generation();
+        queue.wake_key(0x80); // unrelated key, but every wake bumps the generation
+        assert!(!queue.register_waker_keyed(0x40, slot, gen, &waker));
+        assert_eq!(queue.keyed_waiters(), 0);
+        // Migration: register under one conflict, move to another (as a
+        // future does when re-polling finds a different blocker).
+        assert!(queue.register_waker_keyed(0x40, slot, queue.generation(), &waker));
+        queue.deregister_waker_keyed(0x40, slot);
+        assert!(queue.register_waker_keyed(0x80, slot, queue.generation(), &waker));
+        queue.wake_key(0x40);
+        assert_eq!(count.0.load(Ordering::SeqCst), 0, "old key must be empty");
+        queue.wake_key(0x80);
+        assert_eq!(count.0.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -889,6 +1396,24 @@ mod tests {
     }
 
     #[test]
+    fn keyed_wakes_deliver_to_unkeyed_wakers_under_every_policy() {
+        // The compatibility contract: a keyed wake still services the
+        // legacy unkeyed population, so unconverted call sites never lose
+        // wakeups.
+        fn hook<P: WaitPolicy>() {
+            let queue = WaitQueue::new();
+            let (count, waker) = counting_waker();
+            let slot = queue.alloc_waker_slot();
+            assert!(queue.register_waker(slot, queue.generation(), &waker));
+            P::wake_key(&queue, 0x40);
+            assert_eq!(count.0.load(Ordering::SeqCst), 1, "{}", P::NAME);
+        }
+        hook::<Spin>();
+        hook::<SpinThenYield>();
+        hook::<Block>();
+    }
+
+    #[test]
     fn deadline_park_times_out_and_reports_late_success() {
         let queue = WaitQueue::new();
         // Condition never satisfied: the deadline must fire.
@@ -897,6 +1422,13 @@ mod tests {
         // Condition already satisfied: immediate success, no park.
         let deadline = Instant::now() + Duration::from_millis(10);
         assert!(queue.park_until_deadline(|| true, deadline));
+        // The keyed variant honours the deadline and leaves no residue.
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert!(!queue.park_until_deadline_keyed(0x40, || false, deadline));
+        assert_eq!(queue.keyed_waiters(), 0);
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert!(queue.park_until_deadline_keyed(0x40, || true, deadline));
+        assert_eq!(queue.keyed_waiters(), 0);
     }
 
     #[test]
@@ -921,12 +1453,48 @@ mod tests {
     }
 
     #[test]
+    fn keyed_deadline_park_is_woken_by_its_key() {
+        let queue = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(60);
+                queue.park_until_deadline_keyed(0x40, || flag.load(Ordering::Acquire), deadline)
+            })
+        };
+        while queue.keyed_waiters() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        flag.store(true, Ordering::Release);
+        queue.wake_key(0x40);
+        assert!(waiter.join().unwrap());
+        // The keyed deadline parker never sat on the condvar, so the wake
+        // above should not have had to notify it: no unkeyed waiters ever.
+        assert_eq!(queue.keyed_waiters(), 0);
+    }
+
+    #[test]
     fn every_policy_honors_wait_until_deadline() {
         fn expired<P: WaitPolicy>() {
             let queue = WaitQueue::new();
             let deadline = Instant::now() + Duration::from_millis(5);
             assert!(!P::wait_until_deadline(&queue, || false, deadline));
             assert!(P::wait_until_deadline(&queue, || true, deadline));
+            let deadline = Instant::now() + Duration::from_millis(5);
+            assert!(!P::wait_until_deadline_keyed(
+                &queue,
+                0x40,
+                || false,
+                deadline
+            ));
+            assert!(P::wait_until_deadline_keyed(
+                &queue,
+                0x40,
+                || true,
+                deadline
+            ));
         }
         expired::<Spin>();
         expired::<SpinThenYield>();

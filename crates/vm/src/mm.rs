@@ -125,10 +125,13 @@ impl Strategy {
 }
 
 /// The lock protecting the address space, selected by the strategy.
+///
+/// Boxed because each lock embeds a keyed parking table (several cache
+/// lines of shards) and an `Mm` only ever holds one variant.
 enum VmLock {
-    Sem(RwSemaphore),
-    Tree(RwTreeRangeLock),
-    List(RwListRangeLock),
+    Sem(Box<RwSemaphore>),
+    Tree(Box<RwTreeRangeLock>),
+    List(Box<RwListRangeLock>),
 }
 
 /// A read (shared) acquisition of the VM lock.
@@ -258,17 +261,19 @@ impl Mm {
         let lock_stats = Arc::new(WaitStats::new(strategy.name));
         let mut spin_stats = None;
         let lock = match strategy.lock {
-            LockImpl::Semaphore => VmLock::Sem(RwSemaphore::with_stats(Arc::clone(&lock_stats))),
+            LockImpl::Semaphore => {
+                VmLock::Sem(Box::new(RwSemaphore::with_stats(Arc::clone(&lock_stats))))
+            }
             LockImpl::TreeRangeLock => {
                 let spin = Arc::new(WaitStats::new("tree-spinlock"));
                 spin_stats = Some(Arc::clone(&spin));
-                VmLock::Tree(
+                VmLock::Tree(Box::new(
                     RwTreeRangeLock::with_spin_stats(spin).with_stats(Arc::clone(&lock_stats)),
-                )
+                ))
             }
-            LockImpl::ListRangeLock => {
-                VmLock::List(RwListRangeLock::new().with_stats(Arc::clone(&lock_stats)))
-            }
+            LockImpl::ListRangeLock => VmLock::List(Box::new(
+                RwListRangeLock::new().with_stats(Arc::clone(&lock_stats)),
+            )),
         };
         Mm {
             strategy,

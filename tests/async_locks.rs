@@ -30,6 +30,7 @@ use range_locks_repro::rl_sync::wait::WaitPolicyKind;
 const CONFIG: RegistryConfig = RegistryConfig {
     span: 256,
     segments: 32,
+    adaptive_segments: false,
 };
 
 struct CountingWaker(AtomicU64);

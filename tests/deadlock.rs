@@ -133,6 +133,7 @@ fn storm_completes_or_surfaces_edeadlk_on_every_variant_and_policy() {
     let config = RegistryConfig {
         span: 1 << 10,
         segments: 16,
+        adaptive_segments: false,
     };
     for spec in registry::all() {
         for wait in WaitPolicyKind::ALL {

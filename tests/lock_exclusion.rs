@@ -117,6 +117,7 @@ fn every_registry_variant_provides_exclusion_under_every_wait_policy() {
     let config = RegistryConfig {
         span: 256,
         segments: 32,
+        adaptive_segments: false,
     };
     for spec in registry::all() {
         for wait in WaitPolicyKind::ALL {

@@ -2,7 +2,7 @@
 //! [`EventKind`], then validates the Chrome trace-event export end to end —
 //! the document must parse as JSON (checked by a small recursive-descent
 //! validator below, since the workspace builds without serde) and must
-//! contain an instant record for each of the nine kinds.
+//! contain an instant record for each of the ten kinds.
 //!
 //! The recorder is process-global, so the whole storm lives in a single
 //! `#[test]` function; this file is its own test binary, which keeps the
@@ -242,6 +242,32 @@ fn short_storm_exports_every_event_kind_as_valid_chrome_trace_json() {
         wait_for_event(recorder, EventKind::Parked);
         drop(guard);
         waiter.join().unwrap();
+    }
+
+    // SpuriousWake: a keyed parker herded by an unkeyed broadcast while its
+    // predicate is still false — the legacy eventcount cost that per-key
+    // wakes avoid, provoked here directly on a [`WaitQueue`]. The wake_all
+    // loop retries until the parker has genuinely parked and re-checked.
+    {
+        use range_locks_repro::rl_sync::WaitQueue;
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let queue = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let parker = {
+            let queue = Arc::clone(&queue);
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                queue.park_until_keyed(0x5157, || flag.load(Ordering::Acquire))
+            })
+        };
+        while queue.spurious_wakeups() == 0 {
+            queue.wake_all();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        flag.store(true, Ordering::Release);
+        queue.wake_all();
+        parker.join().unwrap();
     }
 
     // DeadlockDetected: the classic two-owner cross (A holds s0 wants s1,

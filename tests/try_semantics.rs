@@ -84,6 +84,7 @@ fn every_registry_variant_honors_the_try_contract() {
     let config = RegistryConfig {
         span: 1 << 10,
         segments: 16,
+        adaptive_segments: false,
     };
     for spec in registry::all() {
         for wait in WaitPolicyKind::ALL {

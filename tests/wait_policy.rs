@@ -122,6 +122,7 @@ fn every_registry_variant_under_block_never_loses_a_wakeup() {
     let config = RegistryConfig {
         span: 256,
         segments: 32,
+        adaptive_segments: false,
     };
     for spec in registry::all() {
         storm_rw(
