@@ -28,9 +28,11 @@
 pub mod range_tree;
 pub mod registry;
 pub mod segment_lock;
+pub mod sem_lock;
 pub mod tree_lock;
 
 pub use range_tree::{Interval, RangeTree};
 pub use registry::{RegistryConfig, VariantSpec};
 pub use segment_lock::{AdaptiveConfig, SegmentRangeLock, SegmentReadGuard, SegmentWriteGuard};
+pub use sem_lock::WholeSpaceSem;
 pub use tree_lock::{RwTreeRangeLock, TreeRangeGuard, TreeRangeLock};

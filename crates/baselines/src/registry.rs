@@ -41,13 +41,17 @@
 //! assert!(list_rw.readers_share);
 //! ```
 
+use std::sync::Arc;
+
 use range_lock::{
     DynAsyncRwRangeLock, DynRwRangeLock, DynTwoPhaseRwRangeLock, ExclusiveAsRw, ListRangeLock,
     RwListRangeLock,
 };
+use rl_sync::stats::WaitStats;
 use rl_sync::wait::{Block, Spin, SpinThenYield, WaitPolicyKind};
 
 use crate::segment_lock::SegmentRangeLock;
+use crate::sem_lock::WholeSpaceSem;
 use crate::tree_lock::{RwTreeRangeLock, TreeRangeLock};
 
 /// Build-time parameters for variants that statically partition the resource
@@ -111,6 +115,15 @@ macro_rules! per_policy {
     };
 }
 
+/// Constructor shape of [`VariantSpec::build_with_stats`]: wait policy,
+/// config, acquisition [`WaitStats`], optional internal-spin-lock stats.
+type StatsCtor = fn(
+    WaitPolicyKind,
+    &RegistryConfig,
+    Arc<WaitStats>,
+    Option<Arc<WaitStats>>,
+) -> Box<dyn DynRwRangeLock>;
+
 /// One registry entry: a paper variant's stable name, its sharing semantics,
 /// and its constructor.
 pub struct VariantSpec {
@@ -120,7 +133,13 @@ pub struct VariantSpec {
     /// the exclusive locks, whose "readers" serialize through
     /// [`ExclusiveAsRw`].
     pub readers_share: bool,
+    /// `true` if the variant guards its internal metadata with a spin lock
+    /// whose wait time the paper reports separately (Figure 8: the tree-based
+    /// locks). Callers that want that breakdown pass a second [`WaitStats`]
+    /// to [`VariantSpec::build_with_stats`]; the other variants ignore it.
+    pub internal_spinlock: bool,
     ctor: fn(WaitPolicyKind, &RegistryConfig) -> Box<dyn DynRwRangeLock>,
+    stats_ctor: StatsCtor,
     async_ctor: fn(WaitPolicyKind, &RegistryConfig) -> Box<dyn DynAsyncRwRangeLock>,
     twophase_ctor: fn(WaitPolicyKind, &RegistryConfig) -> Box<dyn DynTwoPhaseRwRangeLock>,
 }
@@ -136,6 +155,23 @@ impl VariantSpec {
     /// ([`SpinThenYield`], the paper's `Pause()` loop) and default config.
     pub fn build_default(&self) -> Box<dyn DynRwRangeLock> {
         self.build(WaitPolicyKind::SpinThenYield, &RegistryConfig::default())
+    }
+
+    /// Constructs this variant reporting acquisition wait times into `stats`.
+    ///
+    /// `spin_stats` additionally instruments the lock's *internal* metadata
+    /// spin lock when the variant has one (see
+    /// [`VariantSpec::internal_spinlock`]); the list and segment variants
+    /// ignore it. This is the constructor the VM simulator uses to feed the
+    /// Figure 7 (lock wait) and Figure 8 (tree spin wait) breakdowns.
+    pub fn build_with_stats(
+        &self,
+        wait: WaitPolicyKind,
+        config: &RegistryConfig,
+        stats: Arc<WaitStats>,
+        spin_stats: Option<Arc<WaitStats>>,
+    ) -> Box<dyn DynRwRangeLock> {
+        (self.stats_ctor)(wait, config, stats, spin_stats)
     }
 
     /// Constructs this variant behind the **async-capable** dynamic
@@ -206,6 +242,63 @@ fn build_kernel_rw(wait: WaitPolicyKind, _config: &RegistryConfig) -> Box<dyn Dy
 
 fn build_pnova_rw(wait: WaitPolicyKind, config: &RegistryConfig) -> Box<dyn DynRwRangeLock> {
     per_policy!(wait, P => make_segment_lock::<P>(config))
+}
+
+fn build_list_ex_stats(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+    stats: Arc<WaitStats>,
+    _spin: Option<Arc<WaitStats>>,
+) -> Box<dyn DynRwRangeLock> {
+    per_policy!(wait, P => ExclusiveAsRw::new(ListRangeLock::<P>::with_policy().with_stats(stats)))
+}
+
+fn build_list_rw_stats(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+    stats: Arc<WaitStats>,
+    _spin: Option<Arc<WaitStats>>,
+) -> Box<dyn DynRwRangeLock> {
+    per_policy!(wait, P => RwListRangeLock::<P>::with_policy().with_stats(stats))
+}
+
+fn build_lustre_ex_stats(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+    stats: Arc<WaitStats>,
+    spin: Option<Arc<WaitStats>>,
+) -> Box<dyn DynRwRangeLock> {
+    per_policy!(wait, P => {
+        let lock = match spin {
+            Some(s) => TreeRangeLock::<P>::with_policy_spin_stats(s),
+            None => TreeRangeLock::<P>::with_policy(),
+        };
+        ExclusiveAsRw::new(lock.with_stats(stats))
+    })
+}
+
+fn build_kernel_rw_stats(
+    wait: WaitPolicyKind,
+    _config: &RegistryConfig,
+    stats: Arc<WaitStats>,
+    spin: Option<Arc<WaitStats>>,
+) -> Box<dyn DynRwRangeLock> {
+    per_policy!(wait, P => {
+        let lock = match spin {
+            Some(s) => RwTreeRangeLock::<P>::with_policy_spin_stats(s),
+            None => RwTreeRangeLock::<P>::with_policy(),
+        };
+        lock.with_stats(stats)
+    })
+}
+
+fn build_pnova_rw_stats(
+    wait: WaitPolicyKind,
+    config: &RegistryConfig,
+    stats: Arc<WaitStats>,
+    _spin: Option<Arc<WaitStats>>,
+) -> Box<dyn DynRwRangeLock> {
+    per_policy!(wait, P => make_segment_lock::<P>(config).with_stats(stats))
 }
 
 fn build_list_ex_async(
@@ -284,35 +377,45 @@ static ALL: [VariantSpec; 5] = [
     VariantSpec {
         name: "lustre-ex",
         readers_share: false,
+        internal_spinlock: true,
         ctor: build_lustre_ex,
+        stats_ctor: build_lustre_ex_stats,
         async_ctor: build_lustre_ex_async,
         twophase_ctor: build_lustre_ex_twophase,
     },
     VariantSpec {
         name: "kernel-rw",
         readers_share: true,
+        internal_spinlock: true,
         ctor: build_kernel_rw,
+        stats_ctor: build_kernel_rw_stats,
         async_ctor: build_kernel_rw_async,
         twophase_ctor: build_kernel_rw_twophase,
     },
     VariantSpec {
         name: "pnova-rw",
         readers_share: true,
+        internal_spinlock: false,
         ctor: build_pnova_rw,
+        stats_ctor: build_pnova_rw_stats,
         async_ctor: build_pnova_rw_async,
         twophase_ctor: build_pnova_rw_twophase,
     },
     VariantSpec {
         name: "list-ex",
         readers_share: false,
+        internal_spinlock: false,
         ctor: build_list_ex,
+        stats_ctor: build_list_ex_stats,
         async_ctor: build_list_ex_async,
         twophase_ctor: build_list_ex_twophase,
     },
     VariantSpec {
         name: "list-rw",
         readers_share: true,
+        internal_spinlock: false,
         ctor: build_list_rw,
+        stats_ctor: build_list_rw_stats,
         async_ctor: build_list_rw_async,
         twophase_ctor: build_list_rw_twophase,
     },
@@ -332,6 +435,21 @@ pub fn readers_share() -> impl Iterator<Item = &'static VariantSpec> {
 /// Looks a variant up by its stable name.
 pub fn by_name(name: &str) -> Option<&'static VariantSpec> {
     ALL.iter().find(|s| s.name == name)
+}
+
+/// Constructs the `stock` baseline — an `mmap_sem`-style
+/// [`WholeSpaceSem`] that ignores ranges entirely — behind the same dynamic
+/// interface the five range-lock variants use.
+///
+/// Not a registry row: the paper's figures list it separately because it is
+/// the *status quo* every variant is measured against, and because a
+/// range-ignoring lock would corrupt sweeps that rely on disjoint ranges
+/// being concurrent.
+pub fn build_stock(wait: WaitPolicyKind, stats: Option<Arc<WaitStats>>) -> Box<dyn DynRwRangeLock> {
+    per_policy!(wait, P => match stats {
+        Some(s) => WholeSpaceSem::<P>::with_policy_stats(s),
+        None => WholeSpaceSem::<P>::with_policy(),
+    })
 }
 
 #[cfg(test)]
@@ -486,6 +604,60 @@ mod tests {
                     spec.name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn stats_built_variants_record_waits_and_spins() {
+        for spec in all() {
+            for wait in WaitPolicyKind::ALL {
+                let stats = Arc::new(WaitStats::new(spec.name));
+                let spin = spec
+                    .internal_spinlock
+                    .then(|| Arc::new(WaitStats::new("spin")));
+                let lock = spec.build_with_stats(
+                    wait,
+                    &RegistryConfig::default(),
+                    Arc::clone(&stats),
+                    spin.clone(),
+                );
+                assert_eq!(lock.dyn_name(), spec.name, "under {}", wait.name());
+                drop(lock.write_dyn(Range::new(0, 64)));
+                drop(lock.read_dyn(Range::new(0, 64)));
+                let snap = stats.snapshot();
+                assert!(
+                    snap.acquisitions >= 2,
+                    "{}: acquisitions must reach the attached stats",
+                    spec.name
+                );
+                if let Some(spin) = spin {
+                    // The internal spin lock only records *contended*
+                    // acquisitions, so an uncontended smoke sees zero waits —
+                    // but never spurious ones.
+                    assert_eq!(
+                        spin.snapshot().write_waits,
+                        0,
+                        "{}: uncontended spin lock must not record waits",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stock_builder_serializes_disjoint_ranges() {
+        for wait in WaitPolicyKind::ALL {
+            let stats = Arc::new(WaitStats::new("stock"));
+            let lock = build_stock(wait, Some(Arc::clone(&stats)));
+            assert_eq!(lock.dyn_name(), "stock");
+            let w = lock.write_dyn(Range::new(0, 8));
+            assert!(
+                lock.try_read_dyn(Range::new(1 << 30, 1 << 31)).is_none(),
+                "stock must conflict across disjoint ranges"
+            );
+            drop(w);
+            assert!(stats.snapshot().acquisitions > 0);
         }
     }
 

@@ -13,9 +13,18 @@
 //!   fig3-oversub       ArrBench with more threads than cores, all 5 lock
 //!                      variants x all 3 wait policies (spin/spin-yield/block)
 //!   fig4               skip-list throughput (orig / range-lustre / range-list)
+//!   skip-sweep         range-locked skip list over every registry variant x
+//!                      every wait policy (one table per policy)
+//!   skipbench-quick    a bounded skip-sweep for CI: small key universe,
+//!                      short cells, threads 1 and 2
 //!   fig5               Metis runtimes: stock vs tree/list, full vs refined
+//!                      (noise-vetted: best of N reps per cell)
+//!   fig5-quick         a bounded fig5 for CI: quick scale, threads 1 and 2
 //!   fig6               refinement breakdown (list-full/pf/mprotect/refined)
-//!   fig7               average wait time of mmap_sem / the range lock
+//!                      plus the per-cell speculation success rate
+//!   fig6-quick         a bounded fig6 for CI: quick scale, threads 1 and 2
+//!   fig7               average + p50/p99 wait time of mmap_sem / the range
+//!                      lock, plus the vmacache-vs-tree-walk microbench
 //!   fig8               average wait time of the tree lock's internal spin lock
 //!   filebench          rl-file workload: reader/writer mix x threads x lock
 //!                      variant, uniform + skewed offsets, per-op wait times
@@ -328,6 +337,62 @@ fn run_fig4(opts: &Options) {
     emit(&table, opts.json);
 }
 
+/// Registry variant names in the order [`SkipListVariant::SWEEP`] groups
+/// them (five per wait policy).
+fn skip_sweep_columns() -> Vec<String> {
+    registry::all().iter().map(|l| l.name.to_string()).collect()
+}
+
+/// One table per wait policy: every registry variant backing the
+/// range-locked skip list under that policy.
+fn skip_sweep_tables(opts: &Options) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for wait in WaitPolicyKind::ALL {
+        let mut table = Table::new(
+            format!(
+                "Skip-list registry sweep: 80% find — {} policy",
+                wait.name()
+            ),
+            "threads",
+            "ops/sec",
+            skip_sweep_columns(),
+        );
+        for &threads in &opts.threads {
+            let mut row = Vec::new();
+            for variant in SkipListVariant::SWEEP {
+                let SkipListVariant::Registry { wait: row_wait, .. } = variant else {
+                    unreachable!("sweep rows are registry-backed");
+                };
+                if row_wait != wait {
+                    continue;
+                }
+                let mut config = SkipBenchConfig::quick(variant, threads);
+                if opts.quick {
+                    config.key_range = 1 << 14;
+                    config.initial_keys = 1 << 13;
+                    config.duration = Duration::from_millis(100);
+                }
+                let result = skipbench::run(&config);
+                assert!(
+                    result.operations > 0,
+                    "skip-sweep: {} made no progress",
+                    variant.name()
+                );
+                row.push(result.ops_per_sec());
+            }
+            table.push_row(threads as u64, row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+fn run_skip_sweep(opts: &Options) {
+    for table in skip_sweep_tables(opts) {
+        emit(&table, opts.json);
+    }
+}
+
 fn metis_scale(quick: bool) -> MetisScale {
     if quick {
         MetisScale::Quick
@@ -336,39 +401,204 @@ fn metis_scale(quick: bool) -> MetisScale {
     }
 }
 
-fn run_fig5(opts: &Options) {
-    for workload in Workload::ALL {
-        let columns: Vec<String> = rl_vm::Strategy::FIGURE5
-            .iter()
-            .map(|s| s.name.to_string())
-            .collect();
-        let mut runtime_table = Table::new(
-            format!("Figure 5: Metis {} runtime", workload.name()),
-            "threads",
-            "runtime (ms)",
-            columns,
-        );
-        let mut spec_rate_at_max = 0.0;
-        for &threads in &opts.threads {
-            let rows = metisbench::figure5(workload, &[threads], metis_scale(opts.quick));
-            let values: Vec<f64> = rows
+/// Repetitions per Metis cell; the fastest run is kept (noise vetting).
+fn metis_reps(quick: bool) -> u32 {
+    if quick {
+        2
+    } else {
+        3
+    }
+}
+
+/// One workload's noise-vetted measurements: `rows[i][j]` is thread count
+/// `threads[i]` under strategy `j` of the sweep's strategy set.
+struct MetisSweep {
+    workload: Workload,
+    threads: Vec<usize>,
+    rows: Vec<Vec<metisbench::MetisMeasurement>>,
+}
+
+/// Measures `strategies` across every workload and thread count, best of
+/// [`metis_reps`] runs per cell. One sweep feeds several figures (runtime,
+/// wait averages, wait percentiles, spin waits) so nothing is measured
+/// twice.
+fn metis_sweep(strategies: &[rl_vm::Strategy], opts: &Options) -> Vec<MetisSweep> {
+    let scale = metis_scale(opts.quick);
+    let reps = metis_reps(opts.quick);
+    Workload::ALL
+        .iter()
+        .map(|&workload| {
+            let rows = opts
+                .threads
                 .iter()
-                .map(|m| m.runtime.as_secs_f64() * 1_000.0)
+                .map(|&threads| {
+                    strategies
+                        .iter()
+                        .map(|&strategy| {
+                            metisbench::measure_best(workload, strategy, threads, scale, reps)
+                        })
+                        .collect()
+                })
                 .collect();
-            if let Some(m) = rows.iter().find(|m| m.strategy.name == "list-refined") {
-                spec_rate_at_max = m.vm_stats.speculation_success_rate();
+            MetisSweep {
+                workload,
+                threads: opts.threads.clone(),
+                rows,
             }
-            runtime_table.push_row(threads as u64, values);
+        })
+        .collect()
+}
+
+fn strategy_columns(strategies: &[rl_vm::Strategy]) -> Vec<String> {
+    strategies.iter().map(|s| s.name.to_string()).collect()
+}
+
+/// Builds one table per workload from a sweep, with one column per strategy.
+fn sweep_tables(
+    sweeps: &[MetisSweep],
+    title: impl Fn(&str) -> String,
+    metric: &str,
+    columns: Vec<String>,
+    cell: impl Fn(&metisbench::MetisMeasurement) -> f64,
+) -> Vec<Table> {
+    sweeps
+        .iter()
+        .map(|sweep| {
+            let mut table = Table::new(
+                title(sweep.workload.name()),
+                "threads",
+                metric,
+                columns.clone(),
+            );
+            for (i, &threads) in sweep.threads.iter().enumerate() {
+                table.push_row(threads as u64, sweep.rows[i].iter().map(&cell).collect());
+            }
+            table
+        })
+        .collect()
+}
+
+/// Figure 5: runtime tables from a FIGURE5 sweep.
+fn fig5_tables(sweeps: &[MetisSweep]) -> Vec<Table> {
+    sweep_tables(
+        sweeps,
+        |wl| format!("Figure 5: Metis {wl} runtime"),
+        "runtime (ms)",
+        strategy_columns(&rl_vm::Strategy::FIGURE5),
+        |m| m.runtime.as_secs_f64() * 1_000.0,
+    )
+}
+
+/// Figure 7: average-wait tables, wait-percentile tables, and the
+/// vmacache-vs-tree-walk microbench, from the same FIGURE5 sweep.
+fn fig7_tables(sweeps: &[MetisSweep], quick: bool) -> Vec<Table> {
+    let mut tables = sweep_tables(
+        sweeps,
+        |wl| format!("Figure 7: avg wait per acquisition, Metis {wl}"),
+        "wait (us)",
+        strategy_columns(&rl_vm::Strategy::FIGURE5),
+        metisbench::MetisMeasurement::avg_lock_wait_us,
+    );
+    let percentile_columns: Vec<String> = rl_vm::Strategy::FIGURE5
+        .iter()
+        .flat_map(|s| [format!("{} p50", s.name), format!("{} p99", s.name)])
+        .collect();
+    for sweep in sweeps {
+        let mut table = Table::new(
+            format!("Figure 7 wait percentiles, Metis {}", sweep.workload.name()),
+            "threads",
+            "wait (us)",
+            percentile_columns.clone(),
+        );
+        for (i, &threads) in sweep.threads.iter().enumerate() {
+            let row = sweep.rows[i]
+                .iter()
+                .flat_map(|m| [m.p50_wait_us(), m.p99_wait_us()])
+                .collect();
+            table.push_row(threads as u64, row);
         }
-        emit(&runtime_table, opts.json);
+        tables.push(table);
+    }
+    // The companion microbenchmark: a refined fault through the per-thread
+    // vmacache vs the full tree walk, on a heavily fragmented space.
+    let bench = metisbench::vmacache_bench(if quick { 50_000 } else { 500_000 });
+    let mut cache_table = Table::new(
+        "Figure 7 companion: refined fault VMA lookup",
+        "threads",
+        "ns/op",
+        vec!["tree-walk".to_string(), "vmacache".to_string()],
+    );
+    cache_table.push_row(1, vec![bench.tree_walk_ns, bench.cached_ns]);
+    tables.push(cache_table);
+    tables
+}
+
+/// Figure 8: spin-lock wait tables, from the tree columns of the same
+/// FIGURE5 sweep (`tree-full` is strategy 1, `tree-refined` strategy 3).
+fn fig8_tables(sweeps: &[MetisSweep]) -> Vec<Table> {
+    sweeps
+        .iter()
+        .map(|sweep| {
+            let mut table = Table::new(
+                format!(
+                    "Figure 8: range-tree spin-lock wait, Metis {}",
+                    sweep.workload.name()
+                ),
+                "threads",
+                "wait (us)",
+                vec!["tree-full".to_string(), "tree-refined".to_string()],
+            );
+            for (i, &threads) in sweep.threads.iter().enumerate() {
+                let row: Vec<f64> = sweep.rows[i]
+                    .iter()
+                    .filter(|m| m.spin_stats.is_some())
+                    .map(metisbench::MetisMeasurement::avg_spin_wait_us)
+                    .collect();
+                assert_eq!(row.len(), 2, "FIGURE5 has exactly two tree strategies");
+                table.push_row(threads as u64, row);
+            }
+            table
+        })
+        .collect()
+}
+
+/// Figure 6: runtime-breakdown tables plus the per-cell speculation success
+/// rate, from a FIGURE6 sweep.
+fn fig6_tables(sweeps: &[MetisSweep]) -> Vec<Table> {
+    let mut tables = sweep_tables(
+        sweeps,
+        |wl| format!("Figure 6: refinement breakdown, Metis {wl}"),
+        "runtime (ms)",
+        strategy_columns(&rl_vm::Strategy::FIGURE6),
+        |m| m.runtime.as_secs_f64() * 1_000.0,
+    );
+    tables.extend(sweep_tables(
+        sweeps,
+        |wl| format!("Figure 6 speculation rate, Metis {wl}"),
+        "spec success (%)",
+        strategy_columns(&rl_vm::Strategy::FIGURE6),
+        metisbench::MetisMeasurement::speculation_rate_pct,
+    ));
+    tables
+}
+
+fn run_fig5(opts: &Options) {
+    let sweeps = metis_sweep(&rl_vm::Strategy::FIGURE5, opts);
+    for (sweep, table) in sweeps.iter().zip(fig5_tables(&sweeps)) {
+        emit(&table, opts.json);
         if let (Some(&max_threads), false) = (opts.threads.iter().max(), opts.json) {
-            if let Some(spread) = runtime_table.spread_at(max_threads as u64) {
+            let spec_rate_at_max = sweep
+                .rows
+                .last()
+                .and_then(|row| row.iter().find(|m| m.strategy.name == "list-refined"))
+                .map_or(0.0, metisbench::MetisMeasurement::speculation_rate_pct);
+            if let Some(spread) = table.spread_at(max_threads as u64) {
                 println!(
                     "  {}: worst/best runtime ratio at {} threads = {:.1}x; list-refined speculation success = {:.1}%\n",
-                    workload.name(),
+                    sweep.workload.name(),
                     max_threads,
                     spread,
-                    spec_rate_at_max * 100.0
+                    spec_rate_at_max
                 );
             }
         }
@@ -376,88 +606,75 @@ fn run_fig5(opts: &Options) {
 }
 
 fn run_fig6(opts: &Options) {
-    for workload in Workload::ALL {
-        let columns: Vec<String> = rl_vm::Strategy::FIGURE6
-            .iter()
-            .map(|s| s.name.to_string())
-            .collect();
-        let mut table = Table::new(
-            format!("Figure 6: refinement breakdown, Metis {}", workload.name()),
-            "threads",
-            "runtime (ms)",
-            columns,
-        );
-        for &threads in &opts.threads {
-            let rows = metisbench::figure6(workload, &[threads], metis_scale(opts.quick));
-            table.push_row(
-                threads as u64,
-                rows.iter()
-                    .map(|m| m.runtime.as_secs_f64() * 1_000.0)
-                    .collect(),
-            );
-        }
+    let sweeps = metis_sweep(&rl_vm::Strategy::FIGURE6, opts);
+    for table in fig6_tables(&sweeps) {
         emit(&table, opts.json);
     }
 }
 
 fn run_fig7(opts: &Options) {
-    for workload in Workload::ALL {
-        let columns: Vec<String> = rl_vm::Strategy::FIGURE5
-            .iter()
-            .map(|s| s.name.to_string())
-            .collect();
-        let mut table = Table::new(
-            format!(
-                "Figure 7: avg wait per acquisition, Metis {}",
-                workload.name()
-            ),
-            "threads",
-            "wait (us)",
-            columns,
-        );
-        for &threads in &opts.threads {
-            let rows = metisbench::figure5(workload, &[threads], metis_scale(opts.quick));
-            table.push_row(
-                threads as u64,
-                rows.iter().map(|m| m.avg_lock_wait_us()).collect(),
-            );
-        }
+    let sweeps = metis_sweep(&rl_vm::Strategy::FIGURE5, opts);
+    for table in fig7_tables(&sweeps, opts.quick) {
         emit(&table, opts.json);
     }
 }
 
 fn run_fig8(opts: &Options) {
-    for workload in Workload::ALL {
-        let columns = vec!["tree-full".to_string(), "tree-refined".to_string()];
-        let mut table = Table::new(
-            format!(
-                "Figure 8: range-tree spin-lock wait, Metis {}",
-                workload.name()
-            ),
-            "threads",
-            "wait (us)",
-            columns,
-        );
-        for &threads in &opts.threads {
-            let full = metisbench::measure(
-                workload,
-                rl_vm::Strategy::TREE_FULL,
-                threads,
-                metis_scale(opts.quick),
-            );
-            let refined = metisbench::measure(
-                workload,
-                rl_vm::Strategy::TREE_REFINED,
-                threads,
-                metis_scale(opts.quick),
-            );
-            table.push_row(
-                threads as u64,
-                vec![full.avg_spin_wait_us(), refined.avg_spin_wait_us()],
-            );
-        }
+    let sweeps = metis_sweep(&rl_vm::Strategy::FIGURE5, opts);
+    for table in fig8_tables(&sweeps) {
         emit(&table, opts.json);
     }
+}
+
+/// Bounded options for the CI smoke experiments: quick scale, threads 1
+/// and 2 (unless `--threads` was given explicitly).
+fn quick_opts(opts: &Options) -> Options {
+    Options {
+        quick: true,
+        threads: if opts.threads_overridden {
+            opts.threads.clone()
+        } else {
+            vec![1, 2]
+        },
+        ..opts.clone()
+    }
+}
+
+fn run_fig5_quick(opts: &Options) {
+    let opts = quick_opts(opts);
+    let sweeps = metis_sweep(&rl_vm::Strategy::FIGURE5, &opts);
+    for table in fig5_tables(&sweeps) {
+        emit(&table, opts.json);
+    }
+}
+
+fn run_fig6_quick(opts: &Options) {
+    let opts = quick_opts(opts);
+    let sweeps = metis_sweep(&rl_vm::Strategy::FIGURE6, &opts);
+    // The smoke step also guards the headline Section 7.2 claim: the fully
+    // refined strategy must complete a nonzero share of its mprotects
+    // speculatively even on the smallest inputs.
+    for sweep in &sweeps {
+        for row in &sweep.rows {
+            let refined = row
+                .iter()
+                .find(|m| m.strategy.name == "list-refined")
+                .expect("FIGURE6 contains list-refined");
+            assert!(
+                refined.speculation_rate_pct() > 0.0,
+                "fig6-quick: no speculative mprotect succeeded on {}",
+                sweep.workload.name()
+            );
+        }
+    }
+    for table in fig6_tables(&sweeps) {
+        emit(&table, opts.json);
+    }
+}
+
+fn run_skipbench_quick(opts: &Options) {
+    let opts = quick_opts(opts);
+    run_skip_sweep(&opts);
 }
 
 fn filebench_duration(quick: bool) -> Duration {
@@ -861,7 +1078,17 @@ fn run_perfdiff(opts: &Options) {
     // obsbench last: it installs the process-global recorder, and the other
     // fresh runs should see the same (never-installed) state the committed
     // baselines were recorded under.
+    //
+    // One FIGURE5 sweep feeds the fig5/fig7/fig8 baselines — the three
+    // figures are different projections of the same measurements.
+    let fig578_sweeps = metis_sweep(&rl_vm::Strategy::FIGURE5, opts);
+    let fig6_sweeps = metis_sweep(&rl_vm::Strategy::FIGURE6, opts);
     let pairs: Vec<(&str, Vec<Table>)> = vec![
+        ("BENCH_fig5.json", fig5_tables(&fig578_sweeps)),
+        ("BENCH_fig6.json", fig6_tables(&fig6_sweeps)),
+        ("BENCH_fig7.json", fig7_tables(&fig578_sweeps, opts.quick)),
+        ("BENCH_fig8.json", fig8_tables(&fig578_sweeps)),
+        ("BENCH_skip.json", skip_sweep_tables(opts)),
         ("BENCH_filebench.json", filebench_tables(opts)),
         (
             "BENCH_async.json",
@@ -939,8 +1166,12 @@ fn main() {
             "fig3-quick" => run_fig3_quick(&opts),
             "fig3-oversub" => run_fig3_oversub(&opts),
             "fig4" => run_fig4(&opts),
+            "skip-sweep" => run_skip_sweep(&opts),
+            "skipbench-quick" => run_skipbench_quick(&opts),
             "fig5" => run_fig5(&opts),
+            "fig5-quick" => run_fig5_quick(&opts),
             "fig6" => run_fig6(&opts),
+            "fig6-quick" => run_fig6_quick(&opts),
             "fig7" => run_fig7(&opts),
             "fig8" => run_fig8(&opts),
             "filebench" => run_filebench(&opts),
@@ -966,6 +1197,7 @@ fn main() {
                 run_fig3(RangePolicy::Random, &opts);
                 run_fig3_oversub(&opts);
                 run_fig4(&opts);
+                run_skip_sweep(&opts);
                 run_fig5(&opts);
                 run_fig6(&opts);
                 run_fig7(&opts);

@@ -11,13 +11,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use range_lock::ListRangeLock;
+use range_lock::{ExclusiveAsRw, ListRangeLock, RwRangeLock};
 use rl_baselines::TreeRangeLock;
-use rl_skiplist::{OptimisticSkipList, RangeSkipList};
+use rl_skiplist::{DynRangeSkipList, OptimisticSkipList, RangeSkipList};
+use rl_sync::wait::WaitPolicyKind;
 
 use crate::rng::xorshift;
 
-/// The three skip-list variants of Figure 4.
+/// A skip-list implementation under benchmark.
+///
+/// The three Figure-4 rows (`orig`, `range-lustre`, `range-list`) use static
+/// dispatch exactly as before; [`SkipListVariant::Registry`] rows build a
+/// [`DynRangeSkipList`] from the `rl_baselines::registry` so the benchmark
+/// sweeps every lock variant × wait policy with one code path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SkipListVariant {
     /// Herlihy et al. optimistic skip list with per-node locks.
@@ -26,23 +32,73 @@ pub enum SkipListVariant {
     RangeLustre,
     /// Range-locked skip list over the list-based range lock (this paper).
     RangeList,
+    /// Range-locked skip list over a registry-built lock (dynamic dispatch).
+    Registry {
+        /// Registry variant name (`"list-rw"`, `"pnova-rw"`, …).
+        variant: &'static str,
+        /// Wait policy of the lock.
+        wait: WaitPolicyKind,
+        /// Report label, e.g. `"list-rw+block"`.
+        label: &'static str,
+    },
+}
+
+/// Builds one [`SkipListVariant::SWEEP`] row.
+const fn sweep_row(
+    variant: &'static str,
+    wait: WaitPolicyKind,
+    label: &'static str,
+) -> SkipListVariant {
+    SkipListVariant::Registry {
+        variant,
+        wait,
+        label,
+    }
 }
 
 impl SkipListVariant {
-    /// Stable name matching the paper's legend.
+    /// Stable name matching the paper's legend (or the sweep label).
     pub fn name(self) -> &'static str {
         match self {
             SkipListVariant::Orig => "orig",
             SkipListVariant::RangeLustre => "range-lustre",
             SkipListVariant::RangeList => "range-list",
+            SkipListVariant::Registry { label, .. } => label,
         }
     }
 
-    /// All variants in plot order.
+    /// The Figure-4 variants in plot order.
     pub const ALL: [SkipListVariant; 3] = [
         SkipListVariant::Orig,
         SkipListVariant::RangeLustre,
         SkipListVariant::RangeList,
+    ];
+
+    /// Every registry variant × every wait policy, in registry legend order.
+    pub const SWEEP: [SkipListVariant; 15] = [
+        sweep_row("lustre-ex", WaitPolicyKind::Spin, "lustre-ex+spin"),
+        sweep_row(
+            "lustre-ex",
+            WaitPolicyKind::SpinThenYield,
+            "lustre-ex+yield",
+        ),
+        sweep_row("lustre-ex", WaitPolicyKind::Block, "lustre-ex+block"),
+        sweep_row("kernel-rw", WaitPolicyKind::Spin, "kernel-rw+spin"),
+        sweep_row(
+            "kernel-rw",
+            WaitPolicyKind::SpinThenYield,
+            "kernel-rw+yield",
+        ),
+        sweep_row("kernel-rw", WaitPolicyKind::Block, "kernel-rw+block"),
+        sweep_row("pnova-rw", WaitPolicyKind::Spin, "pnova-rw+spin"),
+        sweep_row("pnova-rw", WaitPolicyKind::SpinThenYield, "pnova-rw+yield"),
+        sweep_row("pnova-rw", WaitPolicyKind::Block, "pnova-rw+block"),
+        sweep_row("list-ex", WaitPolicyKind::Spin, "list-ex+spin"),
+        sweep_row("list-ex", WaitPolicyKind::SpinThenYield, "list-ex+yield"),
+        sweep_row("list-ex", WaitPolicyKind::Block, "list-ex+block"),
+        sweep_row("list-rw", WaitPolicyKind::Spin, "list-rw+spin"),
+        sweep_row("list-rw", WaitPolicyKind::SpinThenYield, "list-rw+yield"),
+        sweep_row("list-rw", WaitPolicyKind::Block, "list-rw+block"),
     ];
 }
 
@@ -126,19 +182,7 @@ impl SetUnderTest for OptimisticSkipList {
     }
 }
 
-impl SetUnderTest for RangeSkipList<ListRangeLock> {
-    fn insert(&self, key: u64) -> bool {
-        RangeSkipList::insert(self, key)
-    }
-    fn remove(&self, key: u64) -> bool {
-        RangeSkipList::remove(self, key)
-    }
-    fn contains(&self, key: u64) -> bool {
-        RangeSkipList::contains(self, key)
-    }
-}
-
-impl SetUnderTest for RangeSkipList<TreeRangeLock> {
+impl<L: RwRangeLock> SetUnderTest for RangeSkipList<L> {
     fn insert(&self, key: u64) -> bool {
         RangeSkipList::insert(self, key)
     }
@@ -153,8 +197,16 @@ impl SetUnderTest for RangeSkipList<TreeRangeLock> {
 fn build_set(variant: SkipListVariant) -> Arc<dyn SetUnderTest> {
     match variant {
         SkipListVariant::Orig => Arc::new(OptimisticSkipList::new()),
-        SkipListVariant::RangeLustre => Arc::new(RangeSkipList::with_lock(TreeRangeLock::new())),
-        SkipListVariant::RangeList => Arc::new(RangeSkipList::with_lock(ListRangeLock::new())),
+        SkipListVariant::RangeLustre => Arc::new(RangeSkipList::with_lock(ExclusiveAsRw::new(
+            TreeRangeLock::new(),
+        ))),
+        SkipListVariant::RangeList => Arc::new(RangeSkipList::with_lock(ExclusiveAsRw::new(
+            ListRangeLock::new(),
+        ))),
+        SkipListVariant::Registry { variant, wait, .. } => Arc::new(
+            DynRangeSkipList::from_registry(variant, wait)
+                .unwrap_or_else(|| panic!("unknown registry variant `{variant}`")),
+        ),
     }
 }
 
@@ -248,6 +300,51 @@ mod tests {
         assert_eq!(SkipListVariant::Orig.name(), "orig");
         assert_eq!(SkipListVariant::RangeLustre.name(), "range-lustre");
         assert_eq!(SkipListVariant::RangeList.name(), "range-list");
+        assert_eq!(SkipListVariant::SWEEP[0].name(), "lustre-ex+spin");
+        assert_eq!(SkipListVariant::SWEEP[14].name(), "list-rw+block");
+    }
+
+    #[test]
+    fn sweep_labels_match_their_specs() {
+        for row in SkipListVariant::SWEEP {
+            let SkipListVariant::Registry {
+                variant,
+                wait,
+                label,
+            } = row
+            else {
+                panic!("sweep rows are registry-backed");
+            };
+            assert!(
+                rl_baselines::registry::by_name(variant).is_some(),
+                "{label}"
+            );
+            assert_eq!(
+                label,
+                format!("{variant}+{}", short_policy(wait)),
+                "{label}"
+            );
+        }
+
+        fn short_policy(wait: WaitPolicyKind) -> &'static str {
+            match wait {
+                WaitPolicyKind::Spin => "spin",
+                WaitPolicyKind::SpinThenYield => "yield",
+                WaitPolicyKind::Block => "block",
+            }
+        }
+    }
+
+    #[test]
+    fn registry_rows_complete() {
+        for row in [SkipListVariant::SWEEP[7], SkipListVariant::SWEEP[14]] {
+            let mut config = SkipBenchConfig::quick(row, 2);
+            config.key_range = 1 << 12;
+            config.initial_keys = 1 << 11;
+            config.duration = Duration::from_millis(30);
+            let result = run(&config);
+            assert!(result.operations > 0, "{}", row.name());
+        }
     }
 
     #[test]

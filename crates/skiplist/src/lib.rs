@@ -8,8 +8,10 @@
 //! * [`RangeSkipList`] — the paper's new design, in which every update
 //!   acquires exactly **one** range from a range lock covering the key space,
 //!   instead of locking up to one node per level. It is generic over the
-//!   range-lock implementation, so both the `range-list` (list-based) and
-//!   `range-lustre` (tree-based) variants of Figure 4 are just type choices.
+//!   range-lock implementation ([`range_lock::RwRangeLock`]), so every
+//!   `rl_baselines::registry` variant — including the `range-list`
+//!   (list-based) and `range-lustre` (tree-based) lines of Figure 4 — is just
+//!   a type (or, via [`DynRangeSkipList`], a runtime) choice.
 //!
 //! Searches are wait-free in both variants.
 
@@ -21,4 +23,4 @@ pub mod range_locked;
 
 pub use common::{MAX_HEIGHT, MAX_KEY, MIN_KEY};
 pub use optimistic::OptimisticSkipList;
-pub use range_locked::RangeSkipList;
+pub use range_locked::{DynRangeSkipList, RangeSkipList};

@@ -15,12 +15,20 @@
 //! memory-footprint argument of Section 6; they are kept in the shared node
 //! type so both variants measure the same traversal work.
 //!
-//! The lock type is generic: the paper evaluates the list-based exclusive
-//! range lock (`range-list`) and the tree-based kernel lock (`range-lustre`).
+//! The lock type is generic over [`RwRangeLock`], so any of the five
+//! registry variants (under any wait policy) can back the list: exclusive
+//! locks come wrapped in [`range_lock::ExclusiveAsRw`], and
+//! [`DynRangeSkipList::from_registry`] builds a dynamically dispatched list
+//! straight from a `rl_baselines::registry` variant name. Updates always
+//! take *write* acquisitions — the skip list never reads under the lock
+//! (searches are wait-free) — so exclusive and reader-writer variants
+//! synchronize identically and the sweep isolates pure lock overhead.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use range_lock::{ListRangeLock, Range, RangeLock};
+use range_lock::{DynRwRangeLock, Range, RwListRangeLock, RwRangeLock};
+use rl_baselines::registry::{self, RegistryConfig};
+use rl_sync::wait::WaitPolicyKind;
 
 use crate::common::{random_level, Graveyard, Node, MAX_HEIGHT, MAX_KEY, MIN_KEY};
 
@@ -31,14 +39,14 @@ use crate::common::{random_level, Graveyard, Node, MAX_HEIGHT, MAX_KEY, MIN_KEY}
 ///
 /// ```
 /// use rl_skiplist::RangeSkipList;
-/// use range_lock::ListRangeLock;
+/// use range_lock::RwListRangeLock;
 ///
-/// let set: RangeSkipList<ListRangeLock> = RangeSkipList::default();
+/// let set: RangeSkipList<RwListRangeLock> = RangeSkipList::default();
 /// assert!(set.insert(7));
 /// assert!(set.contains(7));
 /// assert!(set.remove(7));
 /// ```
-pub struct RangeSkipList<L: RangeLock> {
+pub struct RangeSkipList<L: RwRangeLock> {
     head: Box<Node>,
     tail: *mut Node,
     lock: L,
@@ -46,19 +54,39 @@ pub struct RangeSkipList<L: RangeLock> {
     len: AtomicUsize,
 }
 
-// SAFETY: Shared node state is accessed through atomics; updates are
-// serialized by the range lock; nodes are never freed while the list lives.
-unsafe impl<L: RangeLock> Send for RangeSkipList<L> {}
-// SAFETY: See the `Send` justification.
-unsafe impl<L: RangeLock> Sync for RangeSkipList<L> {}
+/// A [`RangeSkipList`] over a registry-built, dynamically dispatched lock.
+pub type DynRangeSkipList = RangeSkipList<Box<dyn DynRwRangeLock>>;
 
-impl Default for RangeSkipList<ListRangeLock> {
-    fn default() -> Self {
-        Self::with_lock(ListRangeLock::new())
+impl DynRangeSkipList {
+    /// Builds a skip list over the registry variant `variant` waiting via
+    /// `wait`, or `None` if no such variant exists.
+    ///
+    /// The default [`RegistryConfig`] span (1 MiB segments over a 1 MiB
+    /// span) is replaced by one covering the skip list's key universe so
+    /// `pnova-rw` actually partitions the keys.
+    pub fn from_registry(variant: &str, wait: WaitPolicyKind) -> Option<Self> {
+        let config = RegistryConfig {
+            span: u64::MAX,
+            ..RegistryConfig::default()
+        };
+        let spec = registry::by_name(variant)?;
+        Some(Self::with_lock(spec.build(wait, &config)))
     }
 }
 
-impl<L: RangeLock> RangeSkipList<L> {
+// SAFETY: Shared node state is accessed through atomics; updates are
+// serialized by the range lock; nodes are never freed while the list lives.
+unsafe impl<L: RwRangeLock> Send for RangeSkipList<L> {}
+// SAFETY: See the `Send` justification.
+unsafe impl<L: RwRangeLock> Sync for RangeSkipList<L> {}
+
+impl Default for RangeSkipList<RwListRangeLock> {
+    fn default() -> Self {
+        Self::with_lock(RwListRangeLock::new())
+    }
+}
+
+impl<L: RwRangeLock> RangeSkipList<L> {
     /// Creates an empty set synchronized by `lock`.
     pub fn with_lock(lock: L) -> Self {
         let tail = Box::into_raw(Node::new(u64::MAX, MAX_HEIGHT - 1));
@@ -164,7 +192,7 @@ impl<L: RangeLock> RangeSkipList<L> {
             // at the highest level has the smallest key of them all.
             // SAFETY: See `find`.
             let pred_top_key = unsafe { &*preds[top_level] }.key;
-            let guard = self.lock.acquire(Range::new(pred_top_key, key + 1));
+            let guard = self.lock.write(Range::new(pred_top_key, key + 1));
 
             let mut valid = true;
             for level in 0..=top_level {
@@ -229,7 +257,7 @@ impl<L: RangeLock> RangeSkipList<L> {
             // excluded as well.
             // SAFETY: See `find`.
             let pred_top_key = unsafe { &*preds[top_level] }.key;
-            let guard = self.lock.acquire(Range::new(pred_top_key, key + 2));
+            let guard = self.lock.write(Range::new(pred_top_key, key + 2));
 
             if victim.marked.load(Ordering::Acquire) {
                 drop(guard);
@@ -279,7 +307,7 @@ impl<L: RangeLock> RangeSkipList<L> {
     }
 }
 
-impl<L: RangeLock> Drop for RangeSkipList<L> {
+impl<L: RwRangeLock> Drop for RangeSkipList<L> {
     fn drop(&mut self) {
         let mut cur = self.head.next(0);
         while cur != self.tail {
@@ -299,13 +327,14 @@ impl<L: RangeLock> Drop for RangeSkipList<L> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use range_lock::{ExclusiveAsRw, ListRangeLock};
     use rl_baselines::TreeRangeLock;
     use std::collections::BTreeSet;
     use std::sync::Arc;
 
     #[test]
     fn sequential_semantics_with_list_lock() {
-        let set: RangeSkipList<ListRangeLock> = RangeSkipList::default();
+        let set: RangeSkipList<RwListRangeLock> = RangeSkipList::default();
         assert!(set.insert(10));
         assert!(set.insert(20));
         assert!(!set.insert(10));
@@ -314,12 +343,12 @@ mod tests {
         assert!(set.remove(10));
         assert!(!set.remove(10));
         assert_eq!(set.to_vec(), vec![20]);
-        assert_eq!(set.lock_name(), "list-ex");
+        assert_eq!(set.lock_name(), "list-rw");
     }
 
     #[test]
     fn sequential_semantics_with_tree_lock() {
-        let set = RangeSkipList::with_lock(TreeRangeLock::new());
+        let set = RangeSkipList::with_lock(ExclusiveAsRw::new(TreeRangeLock::new()));
         assert!(set.insert(3));
         assert!(set.insert(1));
         assert!(set.insert(2));
@@ -328,10 +357,61 @@ mod tests {
     }
 
     #[test]
+    fn exclusive_adapter_preserves_lock_name() {
+        let set = RangeSkipList::with_lock(ExclusiveAsRw::new(ListRangeLock::new()));
+        assert!(set.insert(1));
+        assert_eq!(set.lock_name(), "list-ex");
+    }
+
+    #[test]
+    fn every_registry_variant_and_policy_backs_the_set() {
+        for spec in rl_baselines::registry::all() {
+            for wait in WaitPolicyKind::ALL {
+                let set = DynRangeSkipList::from_registry(spec.name, wait)
+                    .expect("registry variant must build");
+                assert_eq!(set.lock_name(), spec.name);
+                for key in [5u64, 1, 9, 3] {
+                    assert!(set.insert(key));
+                }
+                assert!(!set.insert(5));
+                assert!(set.remove(3));
+                assert_eq!(set.to_vec(), vec![1, 5, 9]);
+            }
+        }
+        assert!(DynRangeSkipList::from_registry("no-such-lock", WaitPolicyKind::Spin).is_none());
+    }
+
+    #[test]
+    fn registry_backed_set_survives_concurrent_updates() {
+        const THREADS: usize = 4;
+        const OPS: u64 = 500;
+        for variant in ["list-rw", "pnova-rw"] {
+            let set = Arc::new(
+                DynRangeSkipList::from_registry(variant, WaitPolicyKind::SpinThenYield).unwrap(),
+            );
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let set = Arc::clone(&set);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..OPS {
+                        let key = t as u64 * OPS + i + 1;
+                        assert!(set.insert(key));
+                        assert!(set.contains(key));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(set.len(), THREADS * OPS as usize, "{variant}");
+        }
+    }
+
+    #[test]
     fn matches_btreeset_oracle_sequentially() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);
-        let set: RangeSkipList<ListRangeLock> = RangeSkipList::default();
+        let set: RangeSkipList<RwListRangeLock> = RangeSkipList::default();
         let mut oracle = BTreeSet::new();
         for _ in 0..5_000 {
             let key = rng.gen_range(1..400u64);
@@ -349,7 +429,7 @@ mod tests {
         use std::sync::atomic::AtomicI64;
         const THREADS: usize = 8;
         const OPS: usize = 2_000;
-        let set: Arc<RangeSkipList<ListRangeLock>> = Arc::new(RangeSkipList::default());
+        let set: Arc<RangeSkipList<RwListRangeLock>> = Arc::new(RangeSkipList::default());
         let balance = Arc::new(AtomicI64::new(0));
         let mut handles = Vec::new();
         for t in 0..THREADS {
@@ -382,7 +462,9 @@ mod tests {
     fn concurrent_workload_with_tree_lock_backend() {
         const THREADS: usize = 4;
         const OPS: usize = 1_000;
-        let set = Arc::new(RangeSkipList::with_lock(TreeRangeLock::new()));
+        let set = Arc::new(RangeSkipList::with_lock(ExclusiveAsRw::new(
+            TreeRangeLock::new(),
+        )));
         let mut handles = Vec::new();
         for t in 0..THREADS {
             let set = Arc::clone(&set);
@@ -402,7 +484,7 @@ mod tests {
 
     #[test]
     fn contains_remains_wait_free_under_updates() {
-        let set: Arc<RangeSkipList<ListRangeLock>> = Arc::new(RangeSkipList::default());
+        let set: Arc<RangeSkipList<RwListRangeLock>> = Arc::new(RangeSkipList::default());
         for key in (2..2_000u64).step_by(2) {
             set.insert(key);
         }

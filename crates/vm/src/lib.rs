@@ -11,8 +11,9 @@
 //! * [`MemorySpace`] — the raw `mmap` / `munmap` / `mprotect` / page-fault
 //!   logic, including VMA split, merge and boundary moves;
 //! * [`Mm`] — the synchronized front-end, parameterized by a [`Strategy`]
-//!   (stock semaphore, tree or list range lock, full-range or refined
-//!   acquisitions, speculative `mprotect` per Listing 4);
+//!   (stock semaphore or any registry lock variant under any wait policy,
+//!   full-range or refined acquisitions, speculative `mprotect` per
+//!   Listing 4, optional per-thread [`vmacache`]);
 //! * [`Arena`] — a GLIBC-style per-thread arena allocator that generates the
 //!   exact `mprotect` + page-fault pattern the paper identifies as the common
 //!   case.
@@ -27,9 +28,10 @@ pub mod mm;
 pub mod space;
 pub mod vma;
 pub mod vma_tree;
+pub mod vmacache;
 
 pub use arena::Arena;
-pub use mm::{LockImpl, Mm, Strategy, VmStats};
+pub use mm::{Mm, Strategy, VmLockChoice, VmStats};
 pub use space::{MemorySpace, MprotectPlan, VmError};
 pub use vma::{page_align_down, page_align_up, Protection, Vma, PAGE_SIZE};
 pub use vma_tree::VmaTree;

@@ -1,45 +1,71 @@
 //! The synchronized memory-management front-end (`mm`).
 //!
 //! [`Mm`] wraps a [`MemorySpace`] with one of the synchronization strategies
-//! evaluated in Section 7.2 of the paper:
+//! evaluated in Section 7.2 of the paper. A strategy names its lock through
+//! the `rl_baselines::registry` (any of the five paper variants, under any
+//! [`WaitPolicyKind`]) or picks the stock whole-space semaphore; the paper's
+//! named configurations are:
 //!
-//! | strategy        | lock                     | page fault      | mprotect              |
-//! |-----------------|--------------------------|-----------------|-----------------------|
-//! | `stock`         | reader-writer semaphore  | read (whole mm) | write (whole mm)      |
-//! | `tree-full`     | tree range lock          | read full range | write full range      |
-//! | `list-full`     | list range lock          | read full range | write full range      |
-//! | `tree-refined`  | tree range lock          | read, one page  | speculative (refined) |
-//! | `list-refined`  | list range lock          | read, one page  | speculative (refined) |
-//! | `list-pf`       | list range lock          | read, one page  | write full range      |
-//! | `list-mprotect` | list range lock          | read full range | speculative (refined) |
+//! | strategy        | lock                         | wait       | page fault      | mprotect              |
+//! |-----------------|------------------------------|------------|-----------------|-----------------------|
+//! | `stock`         | whole-space rw semaphore     | block      | read (whole mm) | write (whole mm)      |
+//! | `tree-full`     | `kernel-rw` tree range lock  | spin-yield | read full range | write full range      |
+//! | `list-full`     | `list-rw` list range lock    | spin-yield | read full range | write full range      |
+//! | `tree-refined`  | `kernel-rw` tree range lock  | spin-yield | read, one page  | speculative (refined) |
+//! | `list-refined`  | `list-rw` list range lock    | spin-yield | read, one page  | speculative (refined) |
+//! | `list-pf`       | `list-rw` list range lock    | spin-yield | read, one page  | write full range      |
+//! | `list-mprotect` | `list-rw` list range lock    | spin-yield | read full range | speculative (refined) |
 //!
-//! `mmap`, `munmap` and structural `mprotect` always take the full-range write
-//! acquisition; the per-`mm` sequence number is bumped just before every
-//! full-range write acquisition is released so that speculative operations can
-//! detect that the VMA tree may have changed underneath them (Section 5.2,
-//! Listing 4).
+//! Beyond the named rows, [`Strategy::SWEEP`] enumerates the fully refined
+//! configuration over **all five registry variants × all three wait
+//! policies**. Under [`WaitPolicyKind::Block`] the registry locks park each
+//! waiter keyed on its conflicting range (the sharded keyed parking of the
+//! `rl-sync` wait queue), so a release wakes only the faulting threads whose
+//! conflict it resolves instead of broadcasting.
+//!
+//! `mmap`, `munmap` and structural `mprotect` always take the full-range
+//! write acquisition; the per-`mm` sequence number is bumped just before
+//! every full-range write acquisition is released so that speculative
+//! operations can detect that the VMA tree may have changed underneath them
+//! (Section 5.2, Listing 4). The same generation doubles as the invalidation
+//! signal for the per-thread [`vmacache`]: refined
+//! strategies serve repeat faults from the cache **locklessly** under
+//! seqlock-style generation validation (the speculative-page-fault /
+//! per-VMA-lock design that eventually replaced `mmap_sem` upstream), while
+//! non-refined strategies keep the cache under their lock like the classic
+//! `find_vma` cache.
+//!
+//! With tracing enabled (`rl_obs::trace::install`), an `Mm` emits sampled
+//! `AcquireStart`/`Granted` events on the page-fault path and per-call
+//! `Granted` (speculative success) / `Cancelled` (structural fallback)
+//! events on the speculative `mprotect` path.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use range_lock::{Range, RwListRangeLock};
-use rl_baselines::RwTreeRangeLock;
+use range_lock::{DynRwRangeLock, Range};
+use rl_baselines::registry::{self, RegistryConfig};
+use rl_obs::trace;
+use rl_obs::EventKind;
 use rl_sync::stats::WaitStats;
-use rl_sync::{RwSemaphore, SeqCount};
+use rl_sync::wait::WaitPolicyKind;
+use rl_sync::SeqCount;
 
 use crate::space::{MemorySpace, VmError};
-use crate::vma::{page_align_down, page_align_up, Protection, PAGE_SIZE};
+use crate::vma::{page_align_down, page_align_up, Protection, Vma, PAGE_SIZE};
+use crate::vmacache;
 
-/// Which lock implementation a strategy uses.
+/// Which lock an [`Mm`] strategy is backed by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LockImpl {
-    /// `mmap_sem`-style reader-writer semaphore (no ranges).
+pub enum VmLockChoice {
+    /// `mmap_sem`-style whole-space reader-writer semaphore (no ranges):
+    /// the stock-kernel baseline.
     Semaphore,
-    /// Tree-based reader-writer range lock (`kernel-rw`).
-    TreeRangeLock,
-    /// List-based reader-writer range lock (`list-rw`, this paper).
-    ListRangeLock,
+    /// A `rl_baselines::registry` variant by its stable name
+    /// (`"list-rw"`, `"kernel-rw"`, `"pnova-rw"`, `"list-ex"`,
+    /// `"lustre-ex"`).
+    Registry(&'static str),
 }
 
 /// A complete synchronization strategy for the VM subsystem.
@@ -47,63 +73,99 @@ pub enum LockImpl {
 pub struct Strategy {
     /// Stable name used in reports (matches the paper's legends).
     pub name: &'static str,
-    /// Lock implementation backing the strategy.
-    pub lock: LockImpl,
+    /// Lock backing the strategy.
+    pub lock: VmLockChoice,
+    /// How lock waiters wait (registry locks; the semaphore always blocks).
+    pub wait: WaitPolicyKind,
     /// Refine page-fault acquisitions to the faulting page (Section 5.3).
     pub refine_page_fault: bool,
     /// Use the speculative, refined-range `mprotect` (Section 5.2).
     pub refine_mprotect: bool,
+    /// Serve repeat page faults from the per-thread
+    /// [`vmacache`] instead of walking the VMA tree.
+    pub vmacache: bool,
+}
+
+/// Builds one [`Strategy::SWEEP`] row: fully refined, vmacache on.
+const fn sweep_row(name: &'static str, variant: &'static str, wait: WaitPolicyKind) -> Strategy {
+    Strategy {
+        name,
+        lock: VmLockChoice::Registry(variant),
+        wait,
+        refine_page_fault: true,
+        refine_mprotect: true,
+        vmacache: true,
+    }
 }
 
 impl Strategy {
-    /// Stock kernel: one reader-writer semaphore for the whole address space.
+    /// Stock kernel: one reader-writer semaphore for the whole address
+    /// space, blocking its waiters like `mmap_sem` does.
     pub const STOCK: Strategy = Strategy {
         name: "stock",
-        lock: LockImpl::Semaphore,
+        lock: VmLockChoice::Semaphore,
+        wait: WaitPolicyKind::Block,
         refine_page_fault: false,
         refine_mprotect: false,
+        vmacache: true,
     };
-    /// Tree-based range lock, always acquired for the full range.
+    /// Tree-based range lock (`kernel-rw`), always acquired for the full
+    /// range.
     pub const TREE_FULL: Strategy = Strategy {
         name: "tree-full",
-        lock: LockImpl::TreeRangeLock,
+        lock: VmLockChoice::Registry("kernel-rw"),
+        wait: WaitPolicyKind::SpinThenYield,
         refine_page_fault: false,
         refine_mprotect: false,
+        vmacache: true,
     };
-    /// List-based range lock, always acquired for the full range.
+    /// List-based range lock (`list-rw`), always acquired for the full
+    /// range.
     pub const LIST_FULL: Strategy = Strategy {
         name: "list-full",
-        lock: LockImpl::ListRangeLock,
+        lock: VmLockChoice::Registry("list-rw"),
+        wait: WaitPolicyKind::SpinThenYield,
         refine_page_fault: false,
         refine_mprotect: false,
+        vmacache: true,
     };
-    /// Tree-based range lock with refined page faults and speculative mprotect.
+    /// Tree-based range lock with refined page faults and speculative
+    /// mprotect.
     pub const TREE_REFINED: Strategy = Strategy {
         name: "tree-refined",
-        lock: LockImpl::TreeRangeLock,
+        lock: VmLockChoice::Registry("kernel-rw"),
+        wait: WaitPolicyKind::SpinThenYield,
         refine_page_fault: true,
         refine_mprotect: true,
+        vmacache: true,
     };
-    /// List-based range lock with refined page faults and speculative mprotect.
+    /// List-based range lock with refined page faults and speculative
+    /// mprotect.
     pub const LIST_REFINED: Strategy = Strategy {
         name: "list-refined",
-        lock: LockImpl::ListRangeLock,
+        lock: VmLockChoice::Registry("list-rw"),
+        wait: WaitPolicyKind::SpinThenYield,
         refine_page_fault: true,
         refine_mprotect: true,
+        vmacache: true,
     };
     /// List-based range lock refining only the page-fault path (Figure 6).
     pub const LIST_PF: Strategy = Strategy {
         name: "list-pf",
-        lock: LockImpl::ListRangeLock,
+        lock: VmLockChoice::Registry("list-rw"),
+        wait: WaitPolicyKind::SpinThenYield,
         refine_page_fault: true,
         refine_mprotect: false,
+        vmacache: true,
     };
     /// List-based range lock refining only the mprotect path (Figure 6).
     pub const LIST_MPROTECT: Strategy = Strategy {
         name: "list-mprotect",
-        lock: LockImpl::ListRangeLock,
+        lock: VmLockChoice::Registry("list-rw"),
+        wait: WaitPolicyKind::SpinThenYield,
         refine_page_fault: false,
         refine_mprotect: true,
+        vmacache: true,
     };
 
     /// The five strategies compared in Figure 5.
@@ -122,54 +184,52 @@ impl Strategy {
         Strategy::LIST_MPROTECT,
         Strategy::LIST_REFINED,
     ];
-}
 
-/// The lock protecting the address space, selected by the strategy.
-///
-/// Boxed because each lock embeds a keyed parking table (several cache
-/// lines of shards) and an `Mm` only ever holds one variant.
-enum VmLock {
-    Sem(Box<RwSemaphore>),
-    Tree(Box<RwTreeRangeLock>),
-    List(Box<RwListRangeLock>),
-}
+    /// The fully refined configuration swept across **every** registry
+    /// variant × **every** wait policy: 15 rows, in registry legend order
+    /// with policies in escalation order.
+    pub const SWEEP: [Strategy; 15] = [
+        sweep_row("lustre-ex+spin", "lustre-ex", WaitPolicyKind::Spin),
+        sweep_row(
+            "lustre-ex+yield",
+            "lustre-ex",
+            WaitPolicyKind::SpinThenYield,
+        ),
+        sweep_row("lustre-ex+block", "lustre-ex", WaitPolicyKind::Block),
+        sweep_row("kernel-rw+spin", "kernel-rw", WaitPolicyKind::Spin),
+        sweep_row(
+            "kernel-rw+yield",
+            "kernel-rw",
+            WaitPolicyKind::SpinThenYield,
+        ),
+        sweep_row("kernel-rw+block", "kernel-rw", WaitPolicyKind::Block),
+        sweep_row("pnova-rw+spin", "pnova-rw", WaitPolicyKind::Spin),
+        sweep_row("pnova-rw+yield", "pnova-rw", WaitPolicyKind::SpinThenYield),
+        sweep_row("pnova-rw+block", "pnova-rw", WaitPolicyKind::Block),
+        sweep_row("list-ex+spin", "list-ex", WaitPolicyKind::Spin),
+        sweep_row("list-ex+yield", "list-ex", WaitPolicyKind::SpinThenYield),
+        sweep_row("list-ex+block", "list-ex", WaitPolicyKind::Block),
+        sweep_row("list-rw+spin", "list-rw", WaitPolicyKind::Spin),
+        sweep_row("list-rw+yield", "list-rw", WaitPolicyKind::SpinThenYield),
+        sweep_row("list-rw+block", "list-rw", WaitPolicyKind::Block),
+    ];
 
-/// A read (shared) acquisition of the VM lock.
-///
-/// The variants only exist to keep the respective guard alive; nothing reads
-/// them back, hence the `dead_code` expectation.
-#[expect(dead_code)]
-enum VmReadGuard<'a> {
-    Sem(rl_sync::RwSemReadGuard<'a>),
-    Tree(rl_baselines::TreeRangeGuard<'a>),
-    List(range_lock::RwListRangeGuard<'a>),
-}
-
-/// A write (exclusive) acquisition of the VM lock.
-///
-/// See [`VmReadGuard`] for the `dead_code` rationale.
-#[expect(dead_code)]
-enum VmWriteGuard<'a> {
-    Sem(rl_sync::RwSemWriteGuard<'a>),
-    Tree(rl_baselines::TreeRangeGuard<'a>),
-    List(range_lock::RwListRangeGuard<'a>),
-}
-
-impl VmLock {
-    fn read(&self, range: Range) -> VmReadGuard<'_> {
-        match self {
-            VmLock::Sem(sem) => VmReadGuard::Sem(sem.read()),
-            VmLock::Tree(lock) => VmReadGuard::Tree(lock.read(range)),
-            VmLock::List(lock) => VmReadGuard::List(lock.read(range)),
+    /// This strategy with the per-thread VMA cache disabled (every fault
+    /// walks the tree). Used by the cache microbenchmark and the
+    /// differential tests; the name is unchanged.
+    pub const fn without_vmacache(self) -> Strategy {
+        Strategy {
+            vmacache: false,
+            ..self
         }
     }
 
-    fn write(&self, range: Range) -> VmWriteGuard<'_> {
-        match self {
-            VmLock::Sem(sem) => VmWriteGuard::Sem(sem.write()),
-            VmLock::Tree(lock) => VmWriteGuard::Tree(RwTreeRangeLock::write(lock, range)),
-            VmLock::List(lock) => VmWriteGuard::List(RwListRangeLock::write(lock, range)),
-        }
+    /// This strategy waiting through `wait` instead of its default policy.
+    ///
+    /// Only meaningful for registry-backed strategies; the stock semaphore
+    /// always blocks. The name is unchanged.
+    pub const fn with_wait(self, wait: WaitPolicyKind) -> Strategy {
+        Strategy { wait, ..self }
     }
 }
 
@@ -183,6 +243,8 @@ struct VmCounters {
     spec_success: AtomicU64,
     spec_retries: AtomicU64,
     spec_structural_fallback: AtomicU64,
+    vmacache_hits: AtomicU64,
+    vmacache_misses: AtomicU64,
 }
 
 /// A point-in-time copy of an [`Mm`]'s operation counters.
@@ -204,6 +266,10 @@ pub struct VmStats {
     /// Speculations abandoned because the operation needed a structural
     /// change, falling back to the full-range write lock.
     pub spec_structural_fallback: u64,
+    /// Page faults served from the per-thread VMA cache (no tree walk).
+    pub vmacache_hits: u64,
+    /// Page faults that missed the VMA cache and walked the tree.
+    pub vmacache_misses: u64,
 }
 
 impl VmStats {
@@ -215,7 +281,20 @@ impl VmStats {
             self.spec_success as f64 / self.mprotects as f64
         }
     }
+
+    /// Fraction of cache-eligible page faults served from the VMA cache.
+    pub fn vmacache_hit_rate(&self) -> f64 {
+        let total = self.vmacache_hits + self.vmacache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.vmacache_hits as f64 / total as f64
+        }
+    }
 }
+
+/// Source of unique [`Mm`] identities for the per-thread VMA cache.
+static NEXT_MM_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A simulated per-process memory-management context.
 ///
@@ -232,14 +311,25 @@ impl VmStats {
 /// ```
 pub struct Mm {
     strategy: Strategy,
-    lock: VmLock,
+    /// The registry-built (or stock) lock protecting the address space.
+    ///
+    /// Boxed dynamic dispatch: each acquisition costs one vtable call and a
+    /// boxed guard, paid identically by every strategy row — relative
+    /// comparisons between rows are unaffected.
+    lock: Box<dyn DynRwRangeLock>,
     seq: SeqCount,
     space: UnsafeCell<MemorySpace>,
     counters: VmCounters,
+    /// Identity for the per-thread VMA cache (never reused).
+    id: u64,
+    /// Trace id of the page-fault lock acquisitions.
+    fault_trace: u64,
+    /// Trace id of the speculative-mprotect outcomes.
+    mprotect_trace: u64,
     /// Wait-time statistics of the main VM lock (Figure 7).
     lock_stats: Arc<WaitStats>,
-    /// Wait-time statistics of the spin lock inside the tree range lock
-    /// (Figure 8); `None` for the other lock implementations.
+    /// Wait-time statistics of the spin lock inside the tree-based locks
+    /// (Figure 8); `None` for the other lock variants.
     spin_stats: Option<Arc<WaitStats>>,
 }
 
@@ -249,38 +339,78 @@ pub struct Mm {
 // acquisition of any range and any mode), and `&MemorySpace` is only created
 // while at least a read or refined-write acquisition is held (which conflicts
 // with the full-range write acquisition). VMA metadata mutated under refined
-// write acquisitions is stored in atomics inside `Vma`.
+// write acquisitions is stored in atomics inside `Vma`. The lockless fault
+// fast path never touches `space` at all: it reads only the sequence counter
+// and the atomic fields of an `Arc<Vma>` it already holds (every `Vma`
+// mutation goes through `&self` atomic setters, so those reads race with
+// nothing non-atomic).
 unsafe impl Sync for Mm {}
 // SAFETY: Sending an `Mm` between threads transfers the `UnsafeCell` along
-// with the locks protecting it; no thread-affine state exists.
+// with the locks protecting it; no thread-affine state exists. (The
+// per-thread VMA cache holds `Arc<Vma>` clones keyed by the `Mm`'s unique
+// id, not by thread-affine pointers.)
 unsafe impl Send for Mm {}
 
 impl Mm {
+    /// Registry configuration for VM locks.
+    ///
+    /// The span covers the simulator's mmap area so `pnova-rw` addresses do
+    /// not clamp; its uniform segments are still hopelessly coarse for a
+    /// sparse 47-bit address space (one segment spans terabytes, so a whole
+    /// arena lands in a single segment) — exactly the static-partitioning
+    /// granularity caveat the paper raises for pNOVA.
+    fn registry_config() -> RegistryConfig {
+        RegistryConfig {
+            span: MemorySpace::DEFAULT_MMAP_BASE + (1 << 40),
+            segments: 1 << 4,
+            adaptive_segments: false,
+        }
+    }
+
     /// Creates an empty address space synchronized with `strategy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy names a registry variant that does not exist.
     pub fn new(strategy: Strategy) -> Self {
         let lock_stats = Arc::new(WaitStats::new(strategy.name));
         let mut spin_stats = None;
         let lock = match strategy.lock {
-            LockImpl::Semaphore => {
-                VmLock::Sem(Box::new(RwSemaphore::with_stats(Arc::clone(&lock_stats))))
+            VmLockChoice::Semaphore => {
+                registry::build_stock(strategy.wait, Some(Arc::clone(&lock_stats)))
             }
-            LockImpl::TreeRangeLock => {
-                let spin = Arc::new(WaitStats::new("tree-spinlock"));
-                spin_stats = Some(Arc::clone(&spin));
-                VmLock::Tree(Box::new(
-                    RwTreeRangeLock::with_spin_stats(spin).with_stats(Arc::clone(&lock_stats)),
-                ))
+            VmLockChoice::Registry(variant) => {
+                let spec = registry::by_name(variant)
+                    .unwrap_or_else(|| panic!("unknown registry variant `{variant}`"));
+                let spin = spec
+                    .internal_spinlock
+                    .then(|| Arc::new(WaitStats::new("tree-spinlock")));
+                spin_stats = spin.clone();
+                spec.build_with_stats(
+                    strategy.wait,
+                    &Self::registry_config(),
+                    Arc::clone(&lock_stats),
+                    spin,
+                )
             }
-            LockImpl::ListRangeLock => VmLock::List(Box::new(
-                RwListRangeLock::new().with_stats(Arc::clone(&lock_stats)),
-            )),
         };
+        let id = NEXT_MM_ID.fetch_add(1, Ordering::Relaxed);
+        let fault_trace = trace::next_lock_id();
+        let mprotect_trace = trace::next_lock_id();
+        trace::label_lock(fault_trace, &format!("mm{id}:fault:{}", strategy.name));
+        trace::label_lock(
+            mprotect_trace,
+            &format!("mm{id}:mprotect:{}", strategy.name),
+        );
         Mm {
             strategy,
             lock,
             seq: SeqCount::new(),
             space: UnsafeCell::new(MemorySpace::new()),
             counters: VmCounters::default(),
+            id,
+            fault_trace,
+            mprotect_trace,
             lock_stats,
             spin_stats,
         }
@@ -296,8 +426,8 @@ impl Mm {
         Arc::clone(&self.lock_stats)
     }
 
-    /// Wait-time statistics of the internal spin lock of the tree range lock,
-    /// if this strategy uses one (the Figure 8 metric).
+    /// Wait-time statistics of the internal spin lock of the tree-based
+    /// locks, if this strategy uses one (the Figure 8 metric).
     pub fn spin_stats(&self) -> Option<Arc<WaitStats>> {
         self.spin_stats.clone()
     }
@@ -315,6 +445,8 @@ impl Mm {
                 .counters
                 .spec_structural_fallback
                 .load(Ordering::Relaxed),
+            vmacache_hits: self.counters.vmacache_hits.load(Ordering::Relaxed),
+            vmacache_misses: self.counters.vmacache_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -323,7 +455,7 @@ impl Mm {
     /// Structural operation: always takes the full-range write acquisition.
     pub fn mmap(&self, addr: Option<u64>, len: u64, prot: Protection) -> Result<u64, VmError> {
         self.counters.mmaps.fetch_add(1, Ordering::Relaxed);
-        let guard = self.lock.write(Range::FULL);
+        let guard = self.lock.write_dyn(Range::FULL);
         // SAFETY: Full-range write acquisition held (see the `Sync` comment).
         let space = unsafe { &mut *self.space.get() };
         let result = space.mmap(addr, len, prot);
@@ -337,7 +469,7 @@ impl Mm {
     /// Structural operation: always takes the full-range write acquisition.
     pub fn munmap(&self, addr: u64, len: u64) -> Result<(), VmError> {
         self.counters.munmaps.fetch_add(1, Ordering::Relaxed);
-        let guard = self.lock.write(Range::FULL);
+        let guard = self.lock.write_dyn(Range::FULL);
         // SAFETY: Full-range write acquisition held.
         let space = unsafe { &mut *self.space.get() };
         let result = space.munmap(addr, len);
@@ -361,28 +493,99 @@ impl Mm {
 
     /// Simulates a page fault at `addr` (`write` selects the access type).
     ///
-    /// Always a read acquisition; refined strategies lock only the faulting
-    /// page (Section 5.3).
+    /// Refined strategies serve repeat faults on a cached VMA **without any
+    /// lock acquisition**, in the style of Linux's speculative page faults /
+    /// per-VMA locks: read the generation, probe the per-thread
+    /// [`vmacache`], check the access against the cached
+    /// VMA's atomic protection, and re-validate the generation. Every
+    /// structural operation bumps the generation before releasing its
+    /// full-range write guard, so an unchanged generation proves no
+    /// structural change committed during the check; the fault — a pure read
+    /// of one VMA's atomic metadata — linearizes inside that window.
+    /// Metadata-only boundary moves never bump the generation, but
+    /// concurrent faults may order on either side of an atomic
+    /// protection/boundary update, so both outcomes are valid histories.
+    /// Any miss or generation change falls back to the locked path below.
+    ///
+    /// The locked path is always a read acquisition; refined strategies lock
+    /// only the faulting page (Section 5.3). Non-refined strategies run the
+    /// vmacache *under* the lock — exactly the pre-SPF Linux shape where
+    /// `find_vma`'s cache saves the tree walk but not `mmap_sem`.
     pub fn page_fault(&self, addr: u64, write: bool) -> Result<(), VmError> {
         self.counters.page_faults.fetch_add(1, Ordering::Relaxed);
+        if self.strategy.refine_page_fault && self.strategy.vmacache {
+            let begin = self.seq.read();
+            if let Some(vma) = vmacache::lookup(self.id, begin, addr) {
+                let result = Self::check_access(&vma, write);
+                if !self.seq.read_retry(begin) {
+                    self.counters.vmacache_hits.fetch_add(1, Ordering::Relaxed);
+                    return result;
+                }
+                // A structural operation committed mid-check; retake the
+                // answer under the lock.
+            }
+        }
         let range = if self.strategy.refine_page_fault {
             let page = page_align_down(addr);
             Range::new(page, page + PAGE_SIZE)
         } else {
             Range::FULL
         };
-        let guard = self.lock.read(range);
+        trace::emit_sampled(
+            EventKind::AcquireStart,
+            self.fault_trace,
+            range.start,
+            range.end,
+        );
+        let guard = self.lock.read_dyn(range);
+        trace::emit_sampled(EventKind::Granted, self.fault_trace, range.start, range.end);
+        // The generation read under the read acquisition: any structural
+        // change bumps it before its write guard is released, so a cache
+        // entry at this generation is still in the tree.
+        let generation = self.seq.read();
+        if self.strategy.vmacache {
+            if let Some(vma) = vmacache::lookup(self.id, generation, addr) {
+                self.counters.vmacache_hits.fetch_add(1, Ordering::Relaxed);
+                let result = Self::check_access(&vma, write);
+                drop(guard);
+                return result;
+            }
+        }
         // SAFETY: A read acquisition is held, so no full-range writer (and
         // thus no `&mut MemorySpace`) can exist concurrently.
         let space = unsafe { &*self.space.get() };
-        let result = space.handle_fault(addr, write).map(|_| ());
+        let result = space.handle_fault(addr, write);
+        if self.strategy.vmacache {
+            self.counters
+                .vmacache_misses
+                .fetch_add(1, Ordering::Relaxed);
+            if let Ok(vma) = &result {
+                vmacache::store(self.id, generation, vma);
+            }
+        }
         drop(guard);
-        result
+        result.map(|_| ())
+    }
+
+    /// Permission check against a (possibly cached) VMA, mirroring
+    /// [`MemorySpace::handle_fault`]'s access rule.
+    fn check_access(vma: &Vma, write: bool) -> Result<(), VmError> {
+        let prot = vma.protection();
+        let allowed = if write {
+            prot.writable()
+        } else {
+            prot.readable()
+        };
+        if allowed {
+            Ok(())
+        } else {
+            Err(VmError::AccessViolation)
+        }
     }
 
     /// Number of VMAs currently mapped.
     pub fn vma_count(&self) -> usize {
-        let guard = self.lock.read(Range::FULL);
+        let guard = self.lock.read_dyn(Range::FULL);
         // SAFETY: Read acquisition held.
         let count = unsafe { &*self.space.get() }.vma_count();
         drop(guard);
@@ -391,7 +594,7 @@ impl Mm {
 
     /// Total mapped bytes.
     pub fn mapped_bytes(&self) -> u64 {
-        let guard = self.lock.read(Range::FULL);
+        let guard = self.lock.read_dyn(Range::FULL);
         // SAFETY: Read acquisition held.
         let bytes = unsafe { &*self.space.get() }.mapped_bytes();
         drop(guard);
@@ -401,7 +604,7 @@ impl Mm {
     /// Returns the `(start, end, protection)` triples of every VMA, for tests
     /// and debugging.
     pub fn vma_snapshot(&self) -> Vec<(u64, u64, Protection)> {
-        let guard = self.lock.read(Range::FULL);
+        let guard = self.lock.read_dyn(Range::FULL);
         // SAFETY: Read acquisition held.
         let space = unsafe { &*self.space.get() };
         let out = space
@@ -415,7 +618,7 @@ impl Mm {
     }
 
     fn mprotect_full(&self, addr: u64, len: u64, prot: Protection) -> Result<(), VmError> {
-        let guard = self.lock.write(Range::FULL);
+        let guard = self.lock.write_dyn(Range::FULL);
         // SAFETY: Full-range write acquisition held.
         let space = unsafe { &mut *self.space.get() };
         let result = space.mprotect_structural(addr, len, prot);
@@ -438,7 +641,7 @@ impl Mm {
                 page_align_down(addr),
                 page_align_down(addr) + page_align_up(len.max(1)),
             );
-            let read_guard = self.lock.read(input_range);
+            let read_guard = self.lock.read_dyn(input_range);
             // SAFETY: Read acquisition held.
             let space = unsafe { &*self.space.get() };
             let vma = match space.find_vma(addr) {
@@ -459,7 +662,7 @@ impl Mm {
 
             // Step 2: upgrade to a write acquisition of the enclosing VMA plus
             // one page on each side, then validate that nothing changed.
-            let write_guard = self.lock.write(refined);
+            let write_guard = self.lock.write_dyn(refined);
             if self.seq.read() != seq || vma.start() != v_start || vma.end() != v_end {
                 self.counters.spec_retries.fetch_add(1, Ordering::Relaxed);
                 drop(write_guard);
@@ -482,12 +685,14 @@ impl Mm {
                 self.counters
                     .spec_structural_fallback
                     .fetch_add(1, Ordering::Relaxed);
+                trace::emit_here(EventKind::Cancelled, self.mprotect_trace, addr, addr + len);
                 drop(write_guard);
                 speculate = false;
                 continue;
             }
             space.apply_metadata_plan(&plan, prot);
             self.counters.spec_success.fetch_add(1, Ordering::Relaxed);
+            trace::emit_here(EventKind::Granted, self.mprotect_trace, addr, addr + len);
             drop(write_guard);
             return Ok(());
         }
@@ -563,6 +768,29 @@ mod tests {
     }
 
     #[test]
+    fn the_full_sweep_passes_the_same_scenario() {
+        // Every registry variant × every wait policy, refined + vmacache.
+        for strategy in Strategy::SWEEP {
+            exercise_basic(strategy);
+            exercise_basic(strategy.without_vmacache());
+        }
+    }
+
+    #[test]
+    fn sweep_rows_cover_all_variants_and_policies() {
+        let mut seen = std::collections::HashSet::new();
+        for strategy in Strategy::SWEEP {
+            let VmLockChoice::Registry(variant) = strategy.lock else {
+                panic!("sweep rows are registry-backed");
+            };
+            assert!(rl_baselines::registry::by_name(variant).is_some());
+            assert!(strategy.refine_page_fault && strategy.refine_mprotect);
+            seen.insert((variant, strategy.wait.name()));
+        }
+        assert_eq!(seen.len(), 15, "5 variants x 3 policies, no duplicates");
+    }
+
+    #[test]
     fn speculative_path_is_taken_for_boundary_moves() {
         let mm = Mm::new(Strategy::LIST_REFINED);
         let base = mm.mmap(None, 1 << 20, Protection::NONE).unwrap();
@@ -607,6 +835,42 @@ mod tests {
             mm.mprotect(base, 32 * PAGE_SIZE, Protection::READ),
             Err(VmError::NoSuchMapping)
         );
+    }
+
+    #[test]
+    fn vmacache_serves_repeat_faults_and_invalidates_on_structural_ops() {
+        crate::vmacache::flush();
+        let mm = Mm::new(Strategy::LIST_REFINED);
+        let base = mm.mmap(None, 1 << 20, Protection::READ_WRITE).unwrap();
+        mm.page_fault(base, true).unwrap();
+        for i in 0..64u64 {
+            mm.page_fault(base + (i % 16) * PAGE_SIZE, false).unwrap();
+        }
+        let stats = mm.stats();
+        assert_eq!(stats.vmacache_misses, 1, "one cold miss fills the cache");
+        assert_eq!(stats.vmacache_hits, 64);
+        assert!(stats.vmacache_hit_rate() > 0.9);
+
+        // A structural op bumps the generation: the next fault must walk the
+        // tree again (and must see the new protection map).
+        mm.mprotect(base, 4 * PAGE_SIZE, Protection::NONE).unwrap();
+        assert!(mm.page_fault(base, false).is_err());
+        mm.page_fault(base + 8 * PAGE_SIZE, true).unwrap();
+        let stats = mm.stats();
+        assert!(stats.vmacache_misses >= 2, "generation bump invalidates");
+    }
+
+    #[test]
+    fn disabled_vmacache_counts_nothing() {
+        let mm = Mm::new(Strategy::LIST_REFINED.without_vmacache());
+        let base = mm.mmap(None, 1 << 20, Protection::READ_WRITE).unwrap();
+        for _ in 0..8 {
+            mm.page_fault(base, false).unwrap();
+        }
+        let stats = mm.stats();
+        assert_eq!(stats.vmacache_hits, 0);
+        assert_eq!(stats.vmacache_misses, 0);
+        assert_eq!(stats.vmacache_hit_rate(), 0.0);
     }
 
     #[test]
@@ -674,6 +938,25 @@ mod tests {
         assert!(mm.spin_stats().is_none());
         let _ = mm.lock_stats();
         assert_eq!(mm.strategy().name, "list-refined");
+        // The stock semaphore has no internal spin lock either.
+        assert!(Mm::new(Strategy::STOCK).spin_stats().is_none());
+    }
+
+    #[test]
+    fn lock_stats_see_every_acquisition() {
+        for strategy in [Strategy::STOCK, Strategy::LIST_REFINED] {
+            let mm = Mm::new(strategy);
+            let base = mm
+                .mmap(None, 8 * PAGE_SIZE, Protection::READ_WRITE)
+                .unwrap();
+            mm.page_fault(base, false).unwrap();
+            let snap = mm.lock_stats().snapshot();
+            assert!(
+                snap.acquisitions >= 2,
+                "{}: mmap + fault must reach the stats",
+                strategy.name
+            );
+        }
     }
 
     #[test]

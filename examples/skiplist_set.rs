@@ -10,8 +10,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use range_lock::ListRangeLock;
-use rl_skiplist::{OptimisticSkipList, RangeSkipList};
+use range_lock::{ExclusiveAsRw, ListRangeLock};
+use rl_skiplist::{DynRangeSkipList, OptimisticSkipList, RangeSkipList};
+use rl_sync::wait::WaitPolicyKind;
 
 const KEY_RANGE: u64 = 1 << 16;
 const PREFILL: u64 = 1 << 15;
@@ -88,7 +89,22 @@ fn main() {
     );
     workload(
         "range-list",
-        Arc::new(RangeSkipList::with_lock(ListRangeLock::new())),
+        Arc::new(RangeSkipList::with_lock(ExclusiveAsRw::new(
+            ListRangeLock::new(),
+        ))),
+        |s, k| s.insert(k),
+        |s, k| s.remove(k),
+        |s, k| s.contains(k),
+        threads,
+    );
+    // The same set over a registry-chosen lock: any of the five paper
+    // variants under any wait policy is a runtime choice.
+    workload(
+        "list-rw+block",
+        Arc::new(
+            DynRangeSkipList::from_registry("list-rw", WaitPolicyKind::Block)
+                .expect("registry variant exists"),
+        ),
         |s, k| s.insert(k),
         |s, k| s.remove(k),
         |s, k| s.contains(k),
@@ -96,7 +112,7 @@ fn main() {
     );
 
     // Quick correctness cross-check of the range-locked variant.
-    let set = RangeSkipList::with_lock(ListRangeLock::new());
+    let set = RangeSkipList::with_lock(ExclusiveAsRw::new(ListRangeLock::new()));
     assert!(set.insert(10));
     assert!(!set.insert(10));
     assert!(set.contains(10));

@@ -8,8 +8,11 @@
 //! (arena growth / trim) and page faults the paper traces in Metis. The
 //! example runs the identical workload under the `stock` strategy
 //! (one reader-writer semaphore, like `mmap_sem`) and under `list-refined`
-//! (list-based range lock + speculative mprotect + per-page fault locking),
-//! then prints the runtimes and the speculation statistics.
+//! (list-based range lock + speculative mprotect + lockless vmacache
+//! faults), then prints the runtimes, the speculative-success fraction, and
+//! the VMA-cache hit rate. It finishes with one row of [`Strategy::SWEEP`]
+//! to show that any registry variant under any wait policy slots into the
+//! same `Mm`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -63,6 +66,22 @@ fn main() {
         refined_stats.spec_success,
         refined_stats.mprotects
     );
+    println!(
+        "             vmacache: {:.1}% of faults served locklessly ({} hits / {} walks)",
+        refined_stats.vmacache_hit_rate() * 100.0,
+        refined_stats.vmacache_hits,
+        refined_stats.vmacache_misses
+    );
+
+    // Any registry variant under any wait policy drops into the same Mm:
+    // here the fully refined configuration on the list lock with blocking
+    // (keyed-parking) waiters, straight out of the 15-row sweep.
+    let block_row = Strategy::SWEEP
+        .into_iter()
+        .find(|s| s.name == "list-rw+block")
+        .expect("sweep row exists");
+    let (block_time, _) = run(block_row, threads);
+    println!("list-rw+block (sweep row, parking waiters): {block_time:?}");
 
     let speedup = stock_time.as_secs_f64() / refined_time.as_secs_f64();
     println!("\nlist-refined vs stock speedup: {speedup:.2}x (the paper reports up to 9x at 144 threads)");

@@ -182,7 +182,7 @@ proptest! {
     #[test]
     fn skip_lists_match_btreeset(ops in proptest::collection::vec((1u64..300, 0u8..3), 1..300)) {
         let optimistic = OptimisticSkipList::new();
-        let range_locked: RangeSkipList<ListRangeLock> = RangeSkipList::default();
+        let range_locked: RangeSkipList<RwListRangeLock> = RangeSkipList::default();
         let mut oracle = BTreeSet::new();
         for (key, op) in ops {
             match op {

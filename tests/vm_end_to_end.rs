@@ -93,6 +93,113 @@ fn page_fault_permission_checks_hold_under_every_strategy() {
 }
 
 #[test]
+fn every_registry_variant_and_wait_policy_runs_the_arena_lifecycle() {
+    // The 15-row sweep (5 registry variants × 3 wait policies, fully
+    // refined) must produce the same VMA layout as the stock semaphore for
+    // a fixed allocation script.
+    let reference = {
+        let mm = Arc::new(Mm::new(Strategy::STOCK));
+        let mut arena = Arena::new(Arc::clone(&mm), 1 << 20).unwrap();
+        for _ in 0..48 {
+            arena.alloc(2 * 1024).unwrap();
+        }
+        arena.trim().unwrap();
+        normalized_snapshot(&mm, arena.base())
+    };
+    for strategy in Strategy::SWEEP {
+        let mm = Arc::new(Mm::new(strategy));
+        let mut arena = Arena::new(Arc::clone(&mm), 1 << 20).unwrap();
+        for _ in 0..48 {
+            arena.alloc(2 * 1024).unwrap();
+        }
+        arena.trim().unwrap();
+        assert_eq!(
+            normalized_snapshot(&mm, arena.base()),
+            reference,
+            "{} diverged from stock",
+            strategy.name
+        );
+    }
+}
+
+fn normalized_snapshot(mm: &Mm, base: u64) -> Vec<(u64, u64, u8)> {
+    mm.vma_snapshot()
+        .into_iter()
+        .map(|(s, e, p)| (s - base, e - base, p.bits()))
+        .collect()
+}
+
+#[test]
+fn speculative_mprotect_matches_the_structural_path_under_concurrent_faults() {
+    // Differential test of Listing 4: the speculative mprotect must leave a
+    // byte-identical protection map to the full-range structural path for
+    // the same script, even while other threads fault all over the region.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // LIST_PF refines faults but routes every mprotect through the
+    // structural full-range path, so it is the oracle for LIST_REFINED.
+    let spec = Arc::new(Mm::new(Strategy::LIST_REFINED));
+    let full = Arc::new(Mm::new(Strategy::LIST_PF));
+
+    let mut bases = Vec::new();
+    for mm in [&spec, &full] {
+        bases.push(mm.mmap(None, 1 << 22, Protection::NONE).unwrap());
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for (mm, base) in [(&spec, bases[0]), (&full, bases[1])] {
+        for t in 0..2u64 {
+            let mm = Arc::clone(mm);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Faults race with the mprotect script and may hit
+                    // PROT_NONE pages; only liveness matters here, the
+                    // protection map is compared at the end.
+                    let addr = base + ((t * 13 + i * 7) % 1024) * PAGE_SIZE;
+                    let _ = mm.page_fault(addr, i.is_multiple_of(3));
+                    i += 1;
+                }
+            }));
+        }
+    }
+
+    // The same deterministic mix of boundary moves, splits, merges and
+    // re-protections on both address spaces.
+    for round in 0..120u64 {
+        let pages = 1 + round % 7;
+        let at = (round * 37) % 900;
+        let prot = match round % 3 {
+            0 => Protection::READ_WRITE,
+            1 => Protection::READ,
+            _ => Protection::NONE,
+        };
+        for (mm, base) in [(&spec, bases[0]), (&full, bases[1])] {
+            mm.mprotect(base + at * PAGE_SIZE, pages * PAGE_SIZE, prot)
+                .unwrap();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(
+        normalized_snapshot(&spec, bases[0]),
+        normalized_snapshot(&full, bases[1]),
+        "speculative and structural mprotect diverged"
+    );
+    let spec_stats = spec.stats();
+    assert!(
+        spec_stats.spec_success > 0,
+        "the speculative path never ran: {spec_stats:?}"
+    );
+    assert_eq!(full.stats().spec_success, 0);
+}
+
+#[test]
 fn metis_results_are_strategy_independent() {
     let config = MetisConfig {
         total_words: 12_000,
