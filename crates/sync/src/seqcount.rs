@@ -7,8 +7,10 @@
 //! a (refined) write lock to detect that the VMA tree changed underneath them.
 //!
 //! [`SeqCount`] is that counter. It also doubles as a classic seqlock-style
-//! read validation primitive (begin / retry pairs) which a few tests use to
-//! cross-check lock-free readers.
+//! read validation primitive (begin / retry / write-begin / write-end):
+//! `rl-vm` brackets its structural critical sections and per-VMA metadata
+//! stores with the write protocol so lock-free readers that *overlap* a
+//! write section retry, not just ones that span a completed write.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -24,16 +24,18 @@
 //! conflict it resolves instead of broadcasting.
 //!
 //! `mmap`, `munmap` and structural `mprotect` always take the full-range
-//! write acquisition; the per-`mm` sequence number is bumped just before
-//! every full-range write acquisition is released so that speculative
-//! operations can detect that the VMA tree may have changed underneath them
-//! (Section 5.2, Listing 4). The same generation doubles as the invalidation
-//! signal for the per-thread [`vmacache`]: refined
-//! strategies serve repeat faults from the cache **locklessly** under
-//! seqlock-style generation validation (the speculative-page-fault /
-//! per-VMA-lock design that eventually replaced `mmap_sem` upstream), while
-//! non-refined strategies keep the cache under their lock like the classic
-//! `find_vma` cache.
+//! write acquisition and run their critical section under the per-`mm`
+//! sequence counter's seqlock **write protocol**: the generation is odd
+//! while the VMA tree is being changed and advances by two per operation, so
+//! speculative operations (Section 5.2, Listing 4) and lockless readers
+//! detect structural changes that *completed* since they sampled the counter
+//! as well as ones still in flight. The same generation doubles as the
+//! invalidation signal for the per-thread [`vmacache`]: refined strategies
+//! serve repeat faults from the cache **locklessly** under seqlock-style
+//! validation of the generation plus the cached VMA's own metadata seqcount
+//! (the speculative-page-fault / per-VMA-lock design that eventually
+//! replaced `mmap_sem` upstream), while non-refined strategies keep the
+//! cache under their lock like the classic `find_vma` cache.
 //!
 //! With tracing enabled (`rl_obs::trace::install`), an `Mm` emits sampled
 //! `AcquireStart`/`Granted` events on the page-fault path and per-call
@@ -456,10 +458,11 @@ impl Mm {
     pub fn mmap(&self, addr: Option<u64>, len: u64, prot: Protection) -> Result<u64, VmError> {
         self.counters.mmaps.fetch_add(1, Ordering::Relaxed);
         let guard = self.lock.write_dyn(Range::FULL);
+        self.seq.write_begin();
         // SAFETY: Full-range write acquisition held (see the `Sync` comment).
         let space = unsafe { &mut *self.space.get() };
         let result = space.mmap(addr, len, prot);
-        self.seq.bump();
+        self.seq.write_end();
         drop(guard);
         result
     }
@@ -470,10 +473,11 @@ impl Mm {
     pub fn munmap(&self, addr: u64, len: u64) -> Result<(), VmError> {
         self.counters.munmaps.fetch_add(1, Ordering::Relaxed);
         let guard = self.lock.write_dyn(Range::FULL);
+        self.seq.write_begin();
         // SAFETY: Full-range write acquisition held.
         let space = unsafe { &mut *self.space.get() };
         let result = space.munmap(addr, len);
-        self.seq.bump();
+        self.seq.write_end();
         drop(guard);
         result
     }
@@ -496,16 +500,19 @@ impl Mm {
     /// Refined strategies serve repeat faults on a cached VMA **without any
     /// lock acquisition**, in the style of Linux's speculative page faults /
     /// per-VMA locks: read the generation, probe the per-thread
-    /// [`vmacache`], check the access against the cached
-    /// VMA's atomic protection, and re-validate the generation. Every
-    /// structural operation bumps the generation before releasing its
-    /// full-range write guard, so an unchanged generation proves no
-    /// structural change committed during the check; the fault — a pure read
-    /// of one VMA's atomic metadata — linearizes inside that window.
-    /// Metadata-only boundary moves never bump the generation, but
-    /// concurrent faults may order on either side of an atomic
-    /// protection/boundary update, so both outcomes are valid histories.
-    /// Any miss or generation change falls back to the locked path below.
+    /// [`vmacache`], snapshot the cached VMA's bounds and protection under
+    /// the VMA's own seqcount, and re-validate both counters. Every
+    /// structural operation holds the generation odd for its whole critical
+    /// section (seqlock write protocol), so an unchanged even generation
+    /// proves no structural change overlapped any part of the check.
+    /// Metadata-only updates (speculative `mprotect`) never touch the
+    /// generation, but each setter is a write section on the *per-VMA*
+    /// seqcount, so the `contains` + protection pair is validated as one
+    /// consistent point in the VMA's history — without it, a boundary move
+    /// handing `addr` to a neighbour followed by a protection change on the
+    /// shrunk VMA could be observed as stale bounds with fresh protection, a
+    /// state that never existed. Any miss or retry on either counter falls
+    /// back to the locked path below.
     ///
     /// The locked path is always a read acquisition; refined strategies lock
     /// only the faulting page (Section 5.3). Non-refined strategies run the
@@ -516,12 +523,19 @@ impl Mm {
         if self.strategy.refine_page_fault && self.strategy.vmacache {
             let begin = self.seq.read();
             if let Some(vma) = vmacache::lookup(self.id, begin, addr) {
+                // The lookup's `contains` probe only selected the slot;
+                // re-read bounds and protection as one snapshot under the
+                // per-VMA seqcount so serialized metadata updates cannot
+                // interleave between the two reads.
+                let vma_seq = vma.seq_read_begin();
+                let covered = vma.contains(addr);
                 let result = Self::check_access(&vma, write);
-                if !self.seq.read_retry(begin) {
+                if covered && !vma.seq_read_retry(vma_seq) && !self.seq.read_retry(begin) {
                     self.counters.vmacache_hits.fetch_add(1, Ordering::Relaxed);
                     return result;
                 }
-                // A structural operation committed mid-check; retake the
+                // Metadata moved mid-snapshot, a structural operation
+                // overlapped, or the VMA no longer covers `addr`; retake the
                 // answer under the lock.
             }
         }
@@ -619,16 +633,26 @@ impl Mm {
 
     fn mprotect_full(&self, addr: u64, len: u64, prot: Protection) -> Result<(), VmError> {
         let guard = self.lock.write_dyn(Range::FULL);
+        self.seq.write_begin();
         // SAFETY: Full-range write acquisition held.
         let space = unsafe { &mut *self.space.get() };
         let result = space.mprotect_structural(addr, len, prot);
-        self.seq.bump();
+        self.seq.write_end();
         drop(guard);
         result
     }
 
     /// The speculative mprotect of Listing 4.
     fn mprotect_speculative(&self, addr: u64, len: u64, prot: Protection) -> Result<(), VmError> {
+        // Validate the arguments before any VMA lookup, mirroring
+        // `plan_mprotect`/`mprotect_structural`, so refined and non-refined
+        // strategies return the same error code for the same bad input.
+        if len == 0 || !addr.is_multiple_of(PAGE_SIZE) {
+            return Err(VmError::InvalidArgument);
+        }
+        let end = addr
+            .checked_add(page_align_up(len))
+            .ok_or(VmError::InvalidArgument)?;
         let mut speculate = true;
         loop {
             if !speculate {
@@ -637,10 +661,7 @@ impl Mm {
 
             // Step 1: locate the VMA under a read acquisition of the input
             // range, and remember the sequence number.
-            let input_range = Range::new(
-                page_align_down(addr),
-                page_align_down(addr) + page_align_up(len.max(1)),
-            );
+            let input_range = Range::new(addr, end);
             let read_guard = self.lock.read_dyn(input_range);
             // SAFETY: Read acquisition held.
             let space = unsafe { &*self.space.get() };
@@ -835,6 +856,109 @@ mod tests {
             mm.mprotect(base, 32 * PAGE_SIZE, Protection::READ),
             Err(VmError::NoSuchMapping)
         );
+    }
+
+    #[test]
+    fn mprotect_error_codes_agree_across_strategies() {
+        // Refined (speculative) and full strategies must return the same
+        // error for the same bad input: argument validation happens before
+        // the VMA lookup on both paths.
+        for strategy in [Strategy::LIST_REFINED, Strategy::LIST_FULL] {
+            let mm = Mm::new(strategy);
+            // Zero length and unaligned address on an unmapped address are
+            // invalid arguments, not missing mappings.
+            assert_eq!(
+                mm.mprotect(0x1000, 0, Protection::READ),
+                Err(VmError::InvalidArgument),
+                "{}: zero length",
+                strategy.name
+            );
+            assert_eq!(
+                mm.mprotect(0x1001, PAGE_SIZE, Protection::READ),
+                Err(VmError::InvalidArgument),
+                "{}: unaligned address",
+                strategy.name
+            );
+            assert_eq!(
+                mm.mprotect(page_align_down(u64::MAX), 2 * PAGE_SIZE, Protection::READ),
+                Err(VmError::InvalidArgument),
+                "{}: overflowing range",
+                strategy.name
+            );
+            // A well-formed request on an unmapped address still reports the
+            // missing mapping.
+            assert_eq!(
+                mm.mprotect(0x1000, PAGE_SIZE, Protection::READ),
+                Err(VmError::NoSuchMapping),
+                "{}: unmapped address",
+                strategy.name
+            );
+        }
+    }
+
+    #[test]
+    fn lockless_faults_never_see_composite_vma_state() {
+        use std::sync::atomic::AtomicBool;
+        // Regression stress for the stale-bounds/fresh-protection race: a
+        // mutator moves the boundary page between VMA `a` (rw) and VMA `v`
+        // (read) back and forth and toggles `v`'s protection while it does
+        // NOT own the page — all speculative metadata ops, so the mm
+        // generation never changes and readers stay on the lockless path.
+        // The boundary page is readable at every instant (rw in `a`, read in
+        // `v`), so a fault that observes `v`'s stale bounds together with
+        // `v`'s transient NONE protection is the composite state that never
+        // existed; the per-VMA seqcount must force those reads to retry.
+        let mm = Arc::new(Mm::new(Strategy::LIST_REFINED));
+        let base = mm.mmap(None, 1 << 20, Protection::NONE).unwrap();
+        let boundary = base + 32 * PAGE_SIZE;
+        let tail_len = (1 << 20) - 33 * PAGE_SIZE;
+        // a = [base, boundary) rw, v = [boundary, end) read.
+        mm.mprotect(base, 32 * PAGE_SIZE, Protection::READ_WRITE)
+            .unwrap();
+        mm.mprotect(boundary, tail_len + PAGE_SIZE, Protection::READ)
+            .unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let mm = Arc::clone(&mm);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut spurious = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if mm.page_fault(boundary, false).is_err() {
+                        spurious += 1;
+                    }
+                }
+                spurious
+            }));
+        }
+        for _ in 0..2_000u64 {
+            // Boundary move: the page joins `a` (GrowPrevBoundary).
+            mm.mprotect(boundary, PAGE_SIZE, Protection::READ_WRITE)
+                .unwrap();
+            // Protection toggle on the shrunk `v`, which no longer covers
+            // the boundary page.
+            mm.mprotect(boundary + PAGE_SIZE, tail_len, Protection::NONE)
+                .unwrap();
+            mm.mprotect(boundary + PAGE_SIZE, tail_len, Protection::READ)
+                .unwrap();
+            // Boundary move back: the page rejoins `v` (GrowNextBoundary).
+            mm.mprotect(boundary, PAGE_SIZE, Protection::READ).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let spurious: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(
+            spurious, 0,
+            "the boundary page is readable throughout; any failure is a \
+             composite bounds/protection snapshot"
+        );
+        let stats = mm.stats();
+        assert_eq!(
+            stats.spec_structural_fallback, 1,
+            "only the initial arena split is structural"
+        );
+        assert!(stats.spec_success >= 8_000, "the loop stays speculative");
     }
 
     #[test]

@@ -177,7 +177,10 @@ impl MemorySpace {
 
     /// Unmaps `[addr, addr + len)`, splitting partially covered VMAs.
     ///
-    /// Structural operation: requires the full-range write lock.
+    /// Structural operation: requires the full-range write lock. Affected
+    /// VMAs are removed and replaced with freshly allocated ones — never
+    /// mutated in place — so a lockless reader still holding a stale
+    /// `Arc<Vma>` keeps observing a consistent pre-operation snapshot.
     pub fn munmap(&mut self, addr: u64, len: u64) -> Result<(), VmError> {
         if len == 0 || !addr.is_multiple_of(PAGE_SIZE) {
             return Err(VmError::InvalidArgument);
@@ -344,7 +347,9 @@ impl MemorySpace {
     /// updates protections and merges adjacent VMAs that end up with equal
     /// protection.
     ///
-    /// Structural operation: requires the full-range write lock.
+    /// Structural operation: requires the full-range write lock. Like
+    /// [`MemorySpace::munmap`], it only removes and inserts freshly
+    /// allocated VMAs; existing `Vma` atomics are never mutated in place.
     pub fn mprotect_structural(
         &mut self,
         addr: u64,

@@ -11,10 +11,21 @@
 //! other threads may concurrently traverse the VMA tree under a read or
 //! refined-write range lock. Structural changes to the tree itself only ever
 //! happen under the full-range write lock.
+//!
+//! Each `Vma` additionally carries its own [`SeqCount`]: every in-place
+//! metadata setter is a seqlock write section over that counter, and the
+//! lockless fault fast path ([`Mm::page_fault`](crate::Mm::page_fault))
+//! brackets its bounds + protection reads with
+//! [`Vma::seq_read_begin`]/[`Vma::seq_read_retry`]. Without it, two
+//! *serialized* metadata updates (a boundary move handing an address to a
+//! neighbour, then a protection change on the shrunk VMA) could land between
+//! a lockless reader's `contains` check and its protection read, yielding a
+//! stale-bounds/fresh-protection composite that never existed.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use range_lock::Range;
+use rl_sync::SeqCount;
 
 /// Page size used throughout the simulator (4 KiB, as on x86-64 Linux).
 pub const PAGE_SIZE: u64 = 4096;
@@ -108,6 +119,10 @@ pub struct Vma {
     start: AtomicU64,
     end: AtomicU64,
     prot: AtomicU8,
+    /// Seqlock over the three metadata fields above; odd while a setter is
+    /// mid-store. Lock-free readers needing a *consistent* snapshot of more
+    /// than one field validate against it.
+    seq: SeqCount,
 }
 
 impl Vma {
@@ -124,6 +139,7 @@ impl Vma {
             start: AtomicU64::new(start),
             end: AtomicU64::new(end),
             prot: AtomicU8::new(prot.bits()),
+            seq: SeqCount::new(),
         }
     }
 
@@ -170,10 +186,28 @@ impl Vma {
         addr >= self.start() && addr < self.end()
     }
 
+    /// Begins a seqlock read section over this VMA's metadata: spins past any
+    /// in-flight setter and returns the validation token for
+    /// [`Vma::seq_read_retry`].
+    #[inline]
+    pub fn seq_read_begin(&self) -> u64 {
+        self.seq.read_begin()
+    }
+
+    /// Returns `true` if any metadata setter ran since `begin`, i.e. the
+    /// reads made inside the section may be a torn/composite snapshot and
+    /// must be retried (or retaken under a lock).
+    #[inline]
+    pub fn seq_read_retry(&self, begin: u64) -> bool {
+        self.seq.read_retry(begin)
+    }
+
     /// Updates the protection flags (metadata-only change).
     #[inline]
     pub fn set_protection(&self, prot: Protection) {
+        self.seq.write_begin();
         self.prot.store(prot.bits(), Ordering::Release);
+        self.seq.write_end();
     }
 
     /// Moves the start boundary (metadata-only change; the caller must hold a
@@ -181,7 +215,9 @@ impl Vma {
     #[inline]
     pub fn set_start(&self, start: u64) {
         debug_assert_eq!(start % PAGE_SIZE, 0);
+        self.seq.write_begin();
         self.start.store(start, Ordering::Release);
+        self.seq.write_end();
     }
 
     /// Moves the end boundary (metadata-only change; same locking rule as
@@ -189,7 +225,9 @@ impl Vma {
     #[inline]
     pub fn set_end(&self, end: u64) {
         debug_assert_eq!(end % PAGE_SIZE, 0);
+        self.seq.write_begin();
         self.end.store(end, Ordering::Release);
+        self.seq.write_end();
     }
 }
 
@@ -199,6 +237,7 @@ impl Clone for Vma {
             start: AtomicU64::new(self.start()),
             end: AtomicU64::new(self.end()),
             prot: AtomicU8::new(self.protection().bits()),
+            seq: SeqCount::new(),
         }
     }
 }
@@ -259,6 +298,34 @@ mod tests {
     #[should_panic(expected = "empty VMA")]
     fn empty_vma_rejected() {
         let _ = Vma::new(0x10000, 0x10000, Protection::READ);
+    }
+
+    #[test]
+    fn every_setter_invalidates_an_open_read_section() {
+        let vma = Vma::new(0x1000, 0x3000, Protection::READ);
+
+        let begin = vma.seq_read_begin();
+        assert!(
+            !vma.seq_read_retry(begin),
+            "no writer ran: section is valid"
+        );
+
+        let begin = vma.seq_read_begin();
+        vma.set_protection(Protection::READ_WRITE);
+        assert!(vma.seq_read_retry(begin));
+
+        let begin = vma.seq_read_begin();
+        vma.set_start(0x2000);
+        assert!(vma.seq_read_retry(begin));
+
+        let begin = vma.seq_read_begin();
+        vma.set_end(0x4000);
+        assert!(vma.seq_read_retry(begin));
+
+        // A fresh section over the settled values validates again.
+        let begin = vma.seq_read_begin();
+        assert!(vma.contains(0x2000) && vma.protection().writable());
+        assert!(!vma.seq_read_retry(begin));
     }
 
     #[test]

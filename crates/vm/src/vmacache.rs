@@ -10,20 +10,24 @@
 //! # Invalidation
 //!
 //! A cache entry is a `(mm id, generation, Arc<Vma>)` triple. The generation
-//! is the owning [`Mm`](crate::Mm)'s [`SeqCount`](rl_sync::SeqCount) value,
-//! which every structural operation (`mmap`, `munmap`, structural
-//! `mprotect`) bumps *before* releasing its full-range write acquisition. A
-//! faulting thread reads the generation either under its read acquisition
-//! (non-refined strategies) or locklessly with a seqlock-style re-validation
-//! after the access check (refined strategies — see
-//! [`Mm::page_fault`](crate::Mm::page_fault)), so:
+//! is the owning [`Mm`](crate::Mm)'s [`SeqCount`](rl_sync::SeqCount) value;
+//! every structural operation (`mmap`, `munmap`, structural `mprotect`)
+//! runs its full-range write critical section under the seqlock write
+//! protocol, holding the generation odd until just before the guard is
+//! released. A faulting thread reads the generation either under its read
+//! acquisition (non-refined strategies, where it is always even) or
+//! locklessly with a seqlock-style re-validation after the access check
+//! (refined strategies — see [`Mm::page_fault`](crate::Mm::page_fault)), so:
 //!
-//! * generation unchanged ⇒ no structural operation completed since the VMA
-//!   was cached ⇒ the cached VMA is still in the tree;
-//! * metadata-only boundary moves (the speculative `mprotect` path) never
-//!   bump the generation, but they update the VMA's atomic `start`/`end`
-//!   fields in place — [`Vma::contains`] re-reads them, so a moved-away
-//!   address simply misses and falls back to the tree walk.
+//! * generation unchanged and even ⇒ no structural operation committed *or
+//!   overlapped* since the VMA was cached ⇒ the cached VMA is still in the
+//!   tree;
+//! * metadata-only updates (the speculative `mprotect` path) never touch the
+//!   generation, but they update the VMA's atomic fields in place under the
+//!   VMA's own seqcount — the lockless fast path re-validates its
+//!   bounds + protection snapshot against it, so a moved-away address misses
+//!   (falling back to the tree walk) and a mid-snapshot update forces the
+//!   locked path.
 //!
 //! On any mm-id or generation mismatch the whole cache flushes: serving
 //! another address space's (or epoch's) VMAs is never acceptable.
