@@ -24,6 +24,10 @@
 //! * [`parkbench`] — the keyed parking lot vs the broadcast eventcount:
 //!   spurious wakeups per release (O(parked waiters) vs ~0), wake-to-run
 //!   latency, and a disjoint-pair lock storm under the `Block` policy;
+//! * [`serverbench`] — the `rl-server` range-lock/file service under
+//!   client saturation: N blocking clients × session tasks on a small
+//!   pool, lock → I/O → unlock triples over the in-process transport plus
+//!   a loopback-TCP spot check;
 //! * [`perfdiff`] — the regression gate: parses the committed
 //!   `BENCH_*.json` baselines and compares a fresh quick run cell-by-cell,
 //!   direction-aware (throughput down, p50/p99 latency up);
@@ -45,6 +49,7 @@ pub mod parkbench;
 pub mod perfdiff;
 pub mod report;
 pub mod rng;
+pub mod serverbench;
 pub mod skipbench;
 
 pub use arrbench::{ArrBenchConfig, ArrBenchResult, RangePolicy};
@@ -56,4 +61,5 @@ pub use obsbench::ObsBenchResult;
 pub use parkbench::{PairStormResult, ParkBenchResult, ParkMode};
 pub use perfdiff::{DiffReport, ParsedTable, Regression};
 pub use report::{Table, TableRow};
+pub use serverbench::{ServerBenchConfig, ServerBenchResult};
 pub use skipbench::{SkipBenchConfig, SkipBenchResult, SkipListVariant};

@@ -135,6 +135,22 @@ struct PoolShared {
     /// waker clones held by whatever they wait on — which the injector
     /// queue alone cannot reach.
     tasks: Mutex<Vec<Weak<Task>>>,
+    /// Number of spawned tasks that have not yet completed; [`TaskPool::
+    /// shutdown`]'s drain phase waits on this under [`PoolShared::drained`].
+    live: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl PoolShared {
+    /// Marks one task complete and wakes a drain waiter when the count hits
+    /// zero.
+    fn task_done(&self) {
+        let mut live = self.live.lock().unwrap();
+        *live -= 1;
+        if *live == 0 {
+            self.drained.notify_all();
+        }
+    }
 }
 
 impl PoolShared {
@@ -212,6 +228,8 @@ impl<T> std::fmt::Debug for JoinHandle<T> {
 /// Dropping the pool shuts it down: workers finish the poll they are in and
 /// exit; tasks still queued or suspended are dropped (their acquisition
 /// futures cancel cleanly — that is the point of the cancellable protocol).
+/// For the opposite, drain-then-stop ordering — every spawned task runs to
+/// completion first — use [`TaskPool::shutdown`].
 pub struct TaskPool {
     shared: Arc<PoolShared>,
     workers: Vec<ThreadHandle<()>>,
@@ -230,6 +248,8 @@ impl TaskPool {
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             tasks: Mutex::new(Vec::new()),
+            live: Mutex::new(0),
+            drained: Condvar::new(),
         });
         let workers = (0..workers)
             .map(|i| {
@@ -254,37 +274,118 @@ impl TaskPool {
         F: Future + Send + 'static,
         F::Output: Send + 'static,
     {
-        let state = Arc::new(JoinState {
-            inner: Mutex::new((None, None)),
-        });
-        let completion = Arc::clone(&state);
-        let wrapped = async move {
-            let out = future.await;
-            let waiter = {
-                let mut inner = completion.inner.lock().unwrap();
-                inner.0 = Some(out);
-                inner.1.take()
-            };
-            if let Some(waker) = waiter {
-                waker.wake();
-            }
-        };
-        let task = Arc::new(Task {
-            future: Mutex::new(Some(Box::pin(wrapped))),
-            pool: Arc::downgrade(&self.shared),
-            scheduled: AtomicBool::new(false),
-        });
-        {
-            let mut tasks = self.shared.tasks.lock().unwrap();
-            // Amortized pruning of completed (dead) entries.
-            if tasks.len() == tasks.capacity() {
-                tasks.retain(|t| t.strong_count() > 0);
-            }
-            tasks.push(Arc::downgrade(&task));
-        }
-        Arc::clone(&task).schedule();
-        JoinHandle { state }
+        spawn_on(&self.shared, future)
     }
+
+    /// A detachable, `Clone`-able spawning handle for threads that outlive
+    /// any borrow of the pool — e.g. a blocking TCP acceptor thread handing
+    /// each connection to the pool. The handle holds only a weak reference:
+    /// it never keeps a dropped pool alive, and spawning through it fails
+    /// softly (returns `None`) once the pool has shut down.
+    pub fn spawner(&self) -> Spawner {
+        Spawner {
+            shared: Arc::downgrade(&self.shared),
+        }
+    }
+
+    /// Graceful **drain-then-stop** shutdown: blocks until every spawned
+    /// task has run to completion, then stops the workers and tears the
+    /// pool down.
+    ///
+    /// This is the counterpart to the destructor's *cancel* semantics
+    /// (dropping the pool drops queued and suspended task futures
+    /// mid-flight). A server wants the opposite order on clean exit: let
+    /// in-flight sessions finish, then stop. Tasks spawned while draining
+    /// (e.g. by other tasks) are waited for too.
+    ///
+    /// Tasks that never complete — e.g. futures suspended on an external
+    /// event that no one will deliver — make `shutdown` block forever;
+    /// close their event sources first (a server closes every session's
+    /// inbox), or use `drop` to cancel instead.
+    pub fn shutdown(self) {
+        let mut live = self.shared.live.lock().unwrap();
+        while *live > 0 {
+            live = self.shared.drained.wait(live).unwrap();
+        }
+        drop(live);
+        // All tasks done; the destructor's stop path has nothing to cancel.
+    }
+}
+
+/// Spawn-only handle to a [`TaskPool`], detached from the pool's lifetime.
+///
+/// Obtained from [`TaskPool::spawner`]; see there for the intended use.
+/// Cheap to clone and `Send + Sync`, so a blocking acceptor/producer thread
+/// can hand work to the pool without borrowing it.
+#[derive(Clone)]
+pub struct Spawner {
+    shared: Weak<PoolShared>,
+}
+
+impl Spawner {
+    /// Spawns `future` onto the pool, or returns `None` if the pool has
+    /// been dropped or is shutting down (the future is dropped unpolled in
+    /// that case — for acquisition futures that is a clean cancel).
+    pub fn spawn<F>(&self, future: F) -> Option<JoinHandle<F::Output>>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let shared = self.shared.upgrade()?;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        Some(spawn_on(&shared, future))
+    }
+}
+
+impl std::fmt::Debug for Spawner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Spawner")
+            .field("alive", &(self.shared.strong_count() > 0))
+            .finish()
+    }
+}
+
+/// The shared spawn path behind [`TaskPool::spawn`] and [`Spawner::spawn`].
+fn spawn_on<F>(shared: &Arc<PoolShared>, future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(JoinState {
+        inner: Mutex::new((None, None)),
+    });
+    let completion = Arc::clone(&state);
+    let wrapped = async move {
+        let out = future.await;
+        let waiter = {
+            let mut inner = completion.inner.lock().unwrap();
+            inner.0 = Some(out);
+            inner.1.take()
+        };
+        if let Some(waker) = waiter {
+            waker.wake();
+        }
+    };
+    let task = Arc::new(Task {
+        future: Mutex::new(Some(Box::pin(wrapped))),
+        pool: Arc::downgrade(shared),
+        scheduled: AtomicBool::new(false),
+    });
+    {
+        let mut tasks = shared.tasks.lock().unwrap();
+        // Amortized pruning of completed (dead) entries.
+        if tasks.len() == tasks.capacity() {
+            tasks.retain(|t| t.strong_count() > 0);
+        }
+        tasks.push(Arc::downgrade(&task));
+    }
+    // Count the task live before it can possibly run: a drain that starts
+    // after `spawn_on` returns must include it.
+    *shared.live.lock().unwrap() += 1;
+    Arc::clone(&task).schedule();
+    JoinHandle { state }
 }
 
 impl Drop for TaskPool {
@@ -334,12 +435,18 @@ fn worker_loop(shared: &Arc<PoolShared>) {
         // returns Pending again).
         task.scheduled.store(false, Ordering::Release);
         let mut slot = task.future.lock().unwrap();
+        let mut completed = false;
         if let Some(future) = slot.as_mut() {
             let waker = Waker::from(Arc::clone(&task));
             let mut cx = Context::from_waker(&waker);
             if future.as_mut().poll(&mut cx).is_ready() {
                 *slot = None;
+                completed = true;
             }
+        }
+        drop(slot);
+        if completed {
+            shared.task_done();
         }
     }
 }
@@ -432,6 +539,93 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "task never finished");
             std::thread::yield_now();
         }
+    }
+
+    #[test]
+    fn shutdown_drains_before_stopping() {
+        // The graceful path: every spawned task must have *completed* (not
+        // been cancelled) by the time shutdown() returns — the opposite
+        // ordering from the destructor, which cancels whatever is left.
+        let completed = Arc::new(AtomicU64::new(0));
+        let pool = TaskPool::new(2);
+        let handles: Vec<_> = (0..100)
+            .map(|_| {
+                let completed = Arc::clone(&completed);
+                pool.spawn(async move {
+                    // A couple of suspension points so tasks are genuinely
+                    // in flight when shutdown starts draining.
+                    YieldOnce::default().await;
+                    YieldOnce::default().await;
+                    completed.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        pool.shutdown();
+        assert_eq!(completed.load(Ordering::SeqCst), 100);
+        // Every handle reports completion without blocking.
+        for h in &handles {
+            assert!(h.try_join().is_some());
+        }
+    }
+
+    #[derive(Default)]
+    struct YieldOnce {
+        yielded: bool,
+    }
+    impl Future for YieldOnce {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yielded {
+                Poll::Ready(())
+            } else {
+                self.yielded = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn spawner_outlives_borrow_and_fails_softly_after_drop() {
+        let pool = TaskPool::new(1);
+        let spawner = pool.spawner();
+        // An acceptor-style producer thread spawning without borrowing the
+        // pool.
+        let producer = {
+            let spawner = spawner.clone();
+            std::thread::spawn(move || {
+                let handles: Vec<_> = (0..10)
+                    .map(|i| spawner.spawn(async move { i }).expect("pool alive"))
+                    .collect();
+                handles.into_iter().map(|h| h.join()).sum::<u64>()
+            })
+        };
+        assert_eq!(producer.join().unwrap(), 45);
+        pool.shutdown();
+        assert!(
+            spawner.spawn(async {}).is_none(),
+            "spawning after shutdown must fail softly"
+        );
+    }
+
+    #[test]
+    fn shutdown_waits_for_tasks_spawned_while_draining() {
+        // A task that spawns a follow-up via a Spawner mid-drain: shutdown
+        // must wait for the child too.
+        let pool = TaskPool::new(1);
+        let done = Arc::new(AtomicU64::new(0));
+        let spawner = pool.spawner();
+        let child_done = Arc::clone(&done);
+        let parent_done = Arc::clone(&done);
+        let _parent = pool.spawn(async move {
+            let child = spawner.spawn(async move {
+                child_done.fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(child.is_some(), "pool is not shutting down yet");
+            parent_done.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -1457,6 +1457,22 @@ impl<L: TwoPhaseRwRangeLock + 'static> LockOwner<L> {
         self.unlock(Range::FULL);
     }
 
+    /// Releases every range this owner holds and reports how many committed
+    /// records the release freed — the post-split/merge shape, i.e. the
+    /// length of what [`LockOwner::held`] would have returned.
+    ///
+    /// This is the explicit form of what `Drop` does implicitly; a server
+    /// session uses it on disconnect so the count of ranges a dead client
+    /// freed can be surfaced in its stats before the owner itself goes
+    /// away. The owner stays usable afterwards (holding nothing).
+    pub fn release_all(&mut self) -> usize {
+        let freed = self.held().len();
+        if freed > 0 {
+            self.unlock_all();
+        }
+        freed
+    }
+
     /// Asynchronous [`LockOwner::lock`]: same replace semantics
     /// (split/merge/upgrade/downgrade) and the same `EDEADLK` contract, but
     /// waiting for conflicting owners suspends the task instead of blocking
@@ -1526,6 +1542,35 @@ mod tests {
             .into_iter()
             .map(|(r, m)| (r.start, r.end, m))
             .collect()
+    }
+
+    #[test]
+    fn release_all_reports_freed_ranges_and_empties_the_table() {
+        let t = table();
+        let mut a = t.owner("a");
+        let mut b = t.owner("b");
+        a.lock(Range::new(0, 10), LockMode::Exclusive).unwrap();
+        a.lock(Range::new(20, 30), LockMode::Shared).unwrap();
+        a.lock(Range::new(40, 50), LockMode::Exclusive).unwrap();
+        b.lock(Range::new(20, 30), LockMode::Shared).unwrap();
+        assert_eq!(held_of(&a).len(), 3);
+
+        // The count is the owner's committed record count, and the owner's
+        // side of the table is record-free afterwards.
+        assert_eq!(a.release_all(), 3);
+        assert!(held_of(&a).is_empty());
+        assert_eq!(a.release_all(), 0, "nothing left to free");
+
+        // Only b's shared record survives; dropping b empties the table.
+        assert_eq!(t.held_records(), 1);
+        assert_eq!(b.release_all(), 1);
+        assert_eq!(t.held_records(), 0);
+        assert!(t.records().is_empty());
+        t.check_invariants();
+
+        // The owner stays usable after release_all.
+        a.lock(Range::new(0, 10), LockMode::Exclusive).unwrap();
+        assert_eq!(held_of(&a), vec![(0, 10, LockMode::Exclusive)]);
     }
 
     #[test]

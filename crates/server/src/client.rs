@@ -1,0 +1,228 @@
+//! A blocking client: one RPC per call over a [`Conn`].
+//!
+//! The client is deliberately synchronous — it models an ordinary POSIX
+//! process doing `fcntl`/`pread`/`pwrite` against the service, one
+//! outstanding request at a time. Concurrency lives on the *server* side,
+//! where thousands of these sessions multiplex onto a few worker threads;
+//! a load generator simply runs many clients.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use range_lock::Range;
+use rl_file::LockMode;
+
+use crate::transport::Conn;
+use crate::wire::{decode_reply, encode_request, ErrCode, Reply, Request, WireError};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection died before a reply arrived.
+    Disconnected,
+    /// A transport-level I/O failure.
+    Io(io::Error),
+    /// The reply frame didn't decode.
+    Wire(WireError),
+    /// The server answered with an error reply.
+    Remote {
+        /// The server's error code.
+        code: ErrCode,
+        /// The server's human-readable message.
+        message: String,
+    },
+    /// The server answered with the wrong reply shape for this request.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Disconnected => write!(f, "server disconnected"),
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "bad reply frame: {e}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected reply: wanted {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::BrokenPipe {
+            ClientError::Disconnected
+        } else {
+            ClientError::Io(e)
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking session handle; see the [module docs](self).
+#[derive(Debug)]
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Wraps an existing connection end (the in-process path;
+    /// [`crate::Server::connect`] calls this for you).
+    pub fn over(conn: Conn) -> Client {
+        Client { conn }
+    }
+
+    /// Connects over TCP to a server started with
+    /// [`crate::Server::serve_tcp`].
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client::over(Conn::tcp(stream)?))
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        self.conn.send(&encode_request(req))?;
+        let frame = self.conn.recv_blocking().ok_or(ClientError::Disconnected)?;
+        Ok(decode_reply(&frame)?)
+    }
+
+    fn expect_ok(&mut self, req: &Request) -> Result<(), ClientError> {
+        match self.call(req)? {
+            Reply::Ok => Ok(()),
+            Reply::Err { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("Ok")),
+        }
+    }
+
+    /// Names this session; the name labels its lock owner and trace actor.
+    pub fn hello(&mut self, name: &str) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Hello {
+            name: name.to_string(),
+        })
+    }
+
+    /// Blocking acquisition of `range` on `path` in `mode`. Waits
+    /// server-side (the session suspends; no worker thread is held) and
+    /// fails with a [`ErrCode::Deadlock`] remote error if granting it
+    /// would create a wait cycle.
+    pub fn lock(&mut self, path: &str, range: Range, mode: LockMode) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Lock {
+            path: path.to_string(),
+            start: range.start,
+            end: range.end,
+            mode,
+        })
+    }
+
+    /// Non-blocking acquisition: `Ok(true)` if granted, `Ok(false)` if it
+    /// would have had to wait.
+    pub fn try_lock(
+        &mut self,
+        path: &str,
+        range: Range,
+        mode: LockMode,
+    ) -> Result<bool, ClientError> {
+        let req = Request::TryLock {
+            path: path.to_string(),
+            start: range.start,
+            end: range.end,
+            mode,
+        };
+        match self.call(&req)? {
+            Reply::Ok => Ok(true),
+            Reply::Err {
+                code: ErrCode::WouldBlock,
+                ..
+            } => Ok(false),
+            Reply::Err { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("Ok or WouldBlock")),
+        }
+    }
+
+    /// All-or-nothing batched acquisition of disjoint ranges on `path`.
+    pub fn lock_many(
+        &mut self,
+        path: &str,
+        items: &[(Range, LockMode)],
+    ) -> Result<(), ClientError> {
+        self.expect_ok(&Request::LockMany {
+            path: path.to_string(),
+            items: items.iter().map(|(r, m)| (r.start, r.end, *m)).collect(),
+        })
+    }
+
+    /// Releases a previously acquired `range` on `path`.
+    pub fn unlock(&mut self, path: &str, range: Range) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Unlock {
+            path: path.to_string(),
+            start: range.start,
+            end: range.end,
+        })
+    }
+
+    /// Reads up to `len` bytes of `path` at `offset`; short at EOF.
+    pub fn read(&mut self, path: &str, offset: u64, len: u32) -> Result<Vec<u8>, ClientError> {
+        let req = Request::Read {
+            path: path.to_string(),
+            offset,
+            len,
+        };
+        match self.call(&req)? {
+            Reply::Data(data) => Ok(data),
+            Reply::Err { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("Data")),
+        }
+    }
+
+    /// Writes `data` to `path` at `offset`, extending the file if needed.
+    pub fn write(&mut self, path: &str, offset: u64, data: &[u8]) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Write {
+            path: path.to_string(),
+            offset,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Appends `data` to `path`; returns the offset it landed at.
+    pub fn append(&mut self, path: &str, data: &[u8]) -> Result<u64, ClientError> {
+        let req = Request::Append {
+            path: path.to_string(),
+            data: data.to_vec(),
+        };
+        match self.call(&req)? {
+            Reply::Offset(off) => Ok(off),
+            Reply::Err { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("Offset")),
+        }
+    }
+
+    /// Truncates (or zero-extends) `path` to `len` bytes.
+    pub fn truncate(&mut self, path: &str, len: u64) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Truncate {
+            path: path.to_string(),
+            len,
+        })
+    }
+
+    /// Clean goodbye: the session releases everything and ends without
+    /// counting as a disconnect.
+    pub fn bye(mut self) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Bye)
+    }
+
+    /// Abrupt death: drops the connection with no goodbye, exactly like a
+    /// killed process. The session must notice and release every held
+    /// range — the tests use this to exercise release-on-disconnect.
+    pub fn kill(self) {
+        drop(self);
+    }
+}

@@ -1,0 +1,389 @@
+//! The server: lock tables + file store + task pool + session registry.
+//!
+//! One [`Server`] owns a per-path family of deadlock-checked
+//! [`LockTable`]s and one [`FileStore`], all built from a single registry
+//! variant (any of the five paper locks) under a chosen wait policy, plus
+//! an `rl-exec` [`TaskPool`] that every session runs on — M sessions ≫ N
+//! worker threads, which is the async layer's whole point at service
+//! scale.
+//!
+//! Connections arrive two ways: [`Server::connect`] hands back the client
+//! end of an in-process duplex pair (tests, benches, examples), and
+//! [`Server::serve_tcp`] runs a real `std::net` acceptor whose blocking
+//! loop hands each socket to the pool through an [`rl_exec::Spawner`] —
+//! the acceptor outlives any borrow of the pool, which is exactly what
+//! `Spawner` exists for. [`Server::shutdown`] is drain-then-stop: close
+//! every session inbox (sessions observe it like a disconnect, cancel
+//! in-flight waits, release their ranges) and then
+//! [`TaskPool::shutdown`] waits for them all to finish.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+use range_lock::{
+    DynPending, DynRangeGuard, DynTwoPhaseRwRangeLock, Range, RwRangeLock, TwoPhaseRwRangeLock,
+};
+use rl_baselines::registry::{self, RegistryConfig, VariantSpec};
+use rl_exec::{Spawner, TaskPool};
+use rl_file::{FileStore, LockTable, RangeFile};
+use rl_sync::WaitPolicyKind;
+
+use crate::client::Client;
+use crate::session;
+use crate::stats::{ServerStats, StatsSnapshot};
+use crate::transport::{Conn, FrameQueue};
+
+/// The registry-built lock every table and file in one server uses.
+///
+/// A thin newtype over the boxed dyn two-phase lock rather than a type
+/// alias: session futures are spawned as `'static` tasks, and rustc's
+/// auto-trait checking over-generalizes the lifetime of a bare
+/// `Box<dyn Trait>` inside such a future ("implementation is not general
+/// enough"). Wrapping it in a nominal type keeps the trait obligations
+/// lifetime-free.
+pub struct DynLock(Box<dyn DynTwoPhaseRwRangeLock>);
+
+impl RwRangeLock for DynLock {
+    type ReadGuard<'a> = DynRangeGuard<'a>;
+    type WriteGuard<'a> = DynRangeGuard<'a>;
+
+    fn read(&self, range: Range) -> Self::ReadGuard<'_> {
+        self.0.read(range)
+    }
+
+    fn write(&self, range: Range) -> Self::WriteGuard<'_> {
+        self.0.write(range)
+    }
+
+    fn try_read(&self, range: Range) -> Option<Self::ReadGuard<'_>> {
+        self.0.try_read(range)
+    }
+
+    fn try_write(&self, range: Range) -> Option<Self::WriteGuard<'_>> {
+        self.0.try_write(range)
+    }
+
+    fn downgrade<'a>(
+        &'a self,
+        guard: Self::WriteGuard<'a>,
+    ) -> Result<Self::ReadGuard<'a>, Self::WriteGuard<'a>> {
+        self.0.downgrade(guard)
+    }
+
+    fn readers_share(&self) -> bool {
+        self.0.readers_share()
+    }
+
+    fn name(&self) -> &'static str {
+        RwRangeLock::name(&self.0)
+    }
+}
+
+impl TwoPhaseRwRangeLock for DynLock {
+    type PendingRead = DynPending;
+    type PendingWrite = DynPending;
+
+    fn enqueue_read(&self, range: Range) -> Self::PendingRead {
+        self.0.enqueue_read(range)
+    }
+
+    fn poll_read<'a>(&'a self, pending: &mut Self::PendingRead) -> Option<Self::ReadGuard<'a>> {
+        self.0.poll_read(pending)
+    }
+
+    fn cancel_read(&self, pending: &mut Self::PendingRead) {
+        self.0.cancel_read(pending);
+    }
+
+    fn enqueue_write(&self, range: Range) -> Self::PendingWrite {
+        self.0.enqueue_write(range)
+    }
+
+    fn poll_write<'a>(&'a self, pending: &mut Self::PendingWrite) -> Option<Self::WriteGuard<'a>> {
+        self.0.poll_write(pending)
+    }
+
+    fn cancel_write(&self, pending: &mut Self::PendingWrite) {
+        self.0.cancel_write(pending);
+    }
+
+    fn wait_queue(&self) -> &rl_sync::wait::WaitQueue {
+        self.0.wait_queue()
+    }
+
+    fn wait_deadline(&self, cond: &mut dyn FnMut() -> bool, deadline: std::time::Instant) -> bool {
+        self.0.wait_deadline(cond, deadline)
+    }
+
+    fn pending_read_wait_key(&self, pending: &Self::PendingRead) -> u64 {
+        self.0.pending_read_wait_key(pending)
+    }
+
+    fn pending_write_wait_key(&self, pending: &Self::PendingWrite) -> u64 {
+        self.0.pending_write_wait_key(pending)
+    }
+
+    fn wait_deadline_keyed(
+        &self,
+        key: u64,
+        cond: &mut dyn FnMut() -> bool,
+        deadline: std::time::Instant,
+    ) -> bool {
+        self.0.wait_deadline_keyed(key, cond, deadline)
+    }
+}
+
+impl std::fmt::Debug for DynLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("DynLock")
+            .field(&RwRangeLock::name(&self.0))
+            .finish()
+    }
+}
+
+/// What to build a [`Server`] from.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Which of the five registry lock variants backs the tables and files.
+    pub variant: &'static VariantSpec,
+    /// Wait policy for the locks (async sessions suspend on wakers either
+    /// way; the policy governs the underlying queues and any sync waiters).
+    pub wait: WaitPolicyKind,
+    /// Geometry for the segment variant (span/segments/adaptive).
+    pub registry: RegistryConfig,
+    /// Worker threads in the session pool.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    /// `list-rw` under the `Block` policy on a two-worker pool — the
+    /// paper's lock, parked waiters, and enough workers to overlap.
+    fn default() -> Self {
+        ServerConfig {
+            variant: registry::by_name("list-rw").expect("list-rw is registered"),
+            wait: WaitPolicyKind::Block,
+            registry: RegistryConfig::default(),
+            workers: 2,
+        }
+    }
+}
+
+/// Everything sessions share; `Arc`ed into each session task.
+pub(crate) struct ServerState {
+    pub(crate) spec: &'static VariantSpec,
+    pub(crate) wait: WaitPolicyKind,
+    pub(crate) registry: RegistryConfig,
+    /// Advisory lock tables, one per file path, created on first touch.
+    tables: Mutex<HashMap<String, Arc<LockTable<DynLock>>>>,
+    /// The data plane; its files carry their own (mandatory, brief)
+    /// internal range locks, separate from the advisory tables — the same
+    /// split POSIX makes.
+    pub(crate) store: FileStore<DynLock>,
+    pub(crate) stats: Arc<ServerStats>,
+    /// Every live session's inbox, so shutdown can close them all.
+    inboxes: Mutex<Vec<Weak<FrameQueue>>>,
+}
+
+impl ServerState {
+    /// The advisory lock table for `path`, created on demand.
+    pub(crate) fn table_for(&self, path: &str) -> Arc<LockTable<DynLock>> {
+        let mut tables = self.tables.lock().unwrap();
+        if let Some(table) = tables.get(path) {
+            return Arc::clone(table);
+        }
+        let table = Arc::new(LockTable::new(DynLock(
+            self.spec.build_twophase(self.wait, &self.registry),
+        )));
+        tables.insert(path.to_string(), Arc::clone(&table));
+        table
+    }
+
+    /// Required client range alignment, if the variant has one (the
+    /// segment lock's table layering needs segment-aligned records).
+    pub(crate) fn required_alignment(&self) -> Option<u64> {
+        if self.spec.name == "pnova-rw" {
+            Some(self.registry.span / self.registry.segments.max(1) as u64)
+        } else {
+            None
+        }
+    }
+}
+
+/// A running range-lock/file service. See the [module docs](self).
+pub struct Server {
+    pool: TaskPool,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Builds the service and starts its worker pool.
+    pub fn new(config: ServerConfig) -> Server {
+        let spec = config.variant;
+        let wait = config.wait;
+        let reg = config.registry;
+        let store_reg = reg;
+        let state = Arc::new(ServerState {
+            spec,
+            wait,
+            registry: reg,
+            tables: Mutex::new(HashMap::new()),
+            store: FileStore::new(move || {
+                RangeFile::new(DynLock(spec.build_twophase(wait, &store_reg)))
+            }),
+            stats: Arc::new(ServerStats::new()),
+            inboxes: Mutex::new(Vec::new()),
+        });
+        Server {
+            pool: TaskPool::new(config.workers.max(1)),
+            state,
+        }
+    }
+
+    /// The variant name the server was built with.
+    pub fn lock_name(&self) -> &'static str {
+        self.state.spec.name
+    }
+
+    /// Attaches one connection as a new session task. The server end of
+    /// the pair goes in; the caller keeps the client end.
+    pub fn attach(&self, conn: Conn) {
+        attach_conn(&self.state, &self.pool.spawner(), conn);
+    }
+
+    /// In-process connect: creates a duplex pair, attaches the server end,
+    /// and returns a blocking [`Client`] over the other.
+    pub fn connect(&self) -> Client {
+        let (client_end, server_end) = Conn::pair();
+        self.attach(server_end);
+        Client::over(client_end)
+    }
+
+    /// Binds `addr` and serves TCP connections until the handle is
+    /// stopped or the server shuts down. The acceptor is a plain blocking
+    /// thread; each accepted socket becomes a session task via
+    /// [`rl_exec::Spawner`].
+    pub fn serve_tcp(&self, addr: impl ToSocketAddrs) -> io::Result<TcpHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let spawner = self.pool.spawner();
+        let state = Arc::clone(&self.state);
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("rl-server-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    let Ok(conn) = Conn::tcp(stream) else {
+                        continue;
+                    };
+                    attach_conn(&state, &spawner, conn);
+                }
+            })
+            .expect("spawning the acceptor thread");
+        Ok(TcpHandle {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// A point-in-time copy of the server's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.state.stats.snapshot()
+    }
+
+    /// Graceful drain-then-stop: closes every session inbox — sessions
+    /// observe that exactly like a client disconnect, cancel any in-flight
+    /// acquisition, release their ranges and finish — then waits for the
+    /// pool to drain and returns the final counters.
+    pub fn shutdown(self) -> StatsSnapshot {
+        for inbox in self.state.inboxes.lock().unwrap().drain(..) {
+            if let Some(inbox) = inbox.upgrade() {
+                inbox.close();
+            }
+        }
+        self.pool.shutdown();
+        self.state.stats.snapshot()
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("lock", &self.state.spec.name)
+            .field("workers", &self.pool.workers())
+            .finish()
+    }
+}
+
+/// Registers the connection's inbox for shutdown and spawns its session.
+/// Shared by [`Server::attach`] and the acceptor thread.
+fn attach_conn(state: &Arc<ServerState>, spawner: &Spawner, conn: Conn) {
+    {
+        let mut inboxes = state.inboxes.lock().unwrap();
+        // Amortized pruning of inboxes of sessions long gone.
+        if inboxes.len() == inboxes.capacity() {
+            inboxes.retain(|w| w.strong_count() > 0);
+        }
+        inboxes.push(Arc::downgrade(conn.inbox()));
+    }
+    let task = spawner.spawn(session::run(Arc::clone(state), conn));
+    // A shutting-down pool refuses the spawn; the dropped Conn then closes
+    // the client end, which sees a disconnect — the right outcome.
+    drop(task);
+}
+
+/// Handle to a running TCP acceptor; stop it explicitly with
+/// [`TcpHandle::stop`] or implicitly by dropping it.
+pub struct TcpHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting: sets the flag, nudges the blocking `accept` with a
+    /// throwaway connection, and joins the acceptor thread. Existing
+    /// sessions are unaffected.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor; if connecting fails the listener is
+        // already dead and the thread exits on its own.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for TcpHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+impl std::fmt::Debug for TcpHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}

@@ -1,0 +1,288 @@
+//! The transport abstraction: framed, bidirectional, disconnect-aware.
+//!
+//! A [`Conn`] is one end of a connection: an inbox of received frames (a
+//! [`FrameQueue`]) plus an outbound sink. Two implementations share it:
+//!
+//! * **in-process duplex** ([`Conn::pair`]) — two cross-wired frame
+//!   queues. Deterministic and allocation-only; what the tests, benches
+//!   and examples use.
+//! * **TCP** ([`Conn::tcp`]) — a reader thread decodes length-prefixed
+//!   frames off the socket into the inbox; sends write directly to the
+//!   socket under a mutex.
+//!
+//! The property the server leans on is *disconnect visibility from the
+//! waker world*: a session suspended deep inside an async lock acquisition
+//! is not reading its inbox, so the inbox itself is the thing that must
+//! wake it. [`FrameQueue`] therefore supports both blocking receive (for
+//! synchronous clients) and poll-based receive **and close-notification**
+//! (for sessions): `close()` — called when a peer drops its `Conn`, a
+//! socket reader hits EOF/error, or the server shuts down — wakes the
+//! registered waker, and [`FrameQueue::poll_closed`] lets the session race
+//! "the connection died" against "the lock was granted".
+//!
+//! Closing beats backlog by design: once a connection is closed, queued
+//! but unserviced requests are dropped, exactly like requests that died in
+//! a kernel socket buffer when the process vanished.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use crate::wire::{read_frame, write_frame};
+
+/// A closeable queue of frames with blocking *and* waker-based receive.
+///
+/// Single-consumer by convention: one session (or one blocking client)
+/// polls it, so one waker slot suffices; pushes and closes wake whoever is
+/// registered.
+pub struct FrameQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+    waker: Option<Waker>,
+}
+
+impl FrameQueue {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        FrameQueue {
+            state: Mutex::new(QueueState {
+                frames: VecDeque::new(),
+                closed: false,
+                waker: None,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a frame and wakes the consumer. Returns `false` (dropping
+    /// the frame) if the queue is closed.
+    pub fn push(&self, frame: Vec<u8>) -> bool {
+        let waker = {
+            let mut st = self.state.lock().unwrap();
+            if st.closed {
+                return false;
+            }
+            st.frames.push_back(frame);
+            st.waker.take()
+        };
+        self.ready.notify_one();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        true
+    }
+
+    /// Closes the queue and wakes the consumer — both the blocking and the
+    /// waker-based one. Idempotent. Frames already queued stay readable by
+    /// [`FrameQueue::recv_blocking`] but [`FrameQueue::poll_closed`]
+    /// reports closure immediately (disconnect beats backlog).
+    pub fn close(&self) {
+        let waker = {
+            let mut st = self.state.lock().unwrap();
+            st.closed = true;
+            st.waker.take()
+        };
+        self.ready.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+
+    /// Whether [`FrameQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// Blocks until a frame arrives or the queue closes; `None` once the
+    /// queue is closed **and** drained.
+    pub fn recv_blocking(&self) -> Option<Vec<u8>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(frame) = st.frames.pop_front() {
+                return Some(frame);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    /// Waker-based receive: `Ready(Some(frame))`, `Ready(None)` once
+    /// closed-and-drained, or `Pending` with the waker registered.
+    pub fn poll_recv(&self, cx: &mut Context<'_>) -> Poll<Option<Vec<u8>>> {
+        let mut st = self.state.lock().unwrap();
+        if let Some(frame) = st.frames.pop_front() {
+            return Poll::Ready(Some(frame));
+        }
+        if st.closed {
+            return Poll::Ready(None);
+        }
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+
+    /// Resolves as soon as the queue is closed, regardless of backlog —
+    /// the session side of release-on-disconnect races this against its
+    /// in-flight lock acquisition.
+    pub fn poll_closed(&self, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Poll::Ready(());
+        }
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl Default for FrameQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FrameQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock().unwrap();
+        f.debug_struct("FrameQueue")
+            .field("queued", &st.frames.len())
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+/// The outbound half of a connection.
+enum FrameTx {
+    /// In-process: push straight into the peer's inbox.
+    Queue(Arc<FrameQueue>),
+    /// TCP: write length-prefixed frames to the socket, serialized by the
+    /// mutex.
+    Tcp(Mutex<TcpStream>),
+}
+
+/// One end of a framed connection. Dropping it disconnects: the peer's
+/// inbox closes (in-process) or the socket shuts down (TCP), which is what
+/// triggers release-on-disconnect in the session holding the other end.
+pub struct Conn {
+    rx: Arc<FrameQueue>,
+    tx: FrameTx,
+}
+
+impl Conn {
+    /// An in-process duplex pair: what `a` sends, `b` receives, and vice
+    /// versa.
+    pub fn pair() -> (Conn, Conn) {
+        let ab = Arc::new(FrameQueue::new());
+        let ba = Arc::new(FrameQueue::new());
+        let a = Conn {
+            rx: Arc::clone(&ba),
+            tx: FrameTx::Queue(Arc::clone(&ab)),
+        };
+        let b = Conn {
+            rx: ab,
+            tx: FrameTx::Queue(ba),
+        };
+        (a, b)
+    }
+
+    /// Wraps a TCP stream: spawns a reader thread that decodes frames into
+    /// the inbox and closes it on EOF or error. Used by both the server's
+    /// acceptor (per accepted socket) and [`crate::Client::connect_tcp`].
+    pub fn tcp(stream: TcpStream) -> io::Result<Conn> {
+        let rx = Arc::new(FrameQueue::new());
+        let mut read_half = stream.try_clone()?;
+        let inbox = Arc::clone(&rx);
+        std::thread::Builder::new()
+            .name("rl-server-rx".to_string())
+            .spawn(move || loop {
+                match read_frame(&mut read_half) {
+                    Ok(Some(frame)) => {
+                        if !inbox.push(frame) {
+                            // Consumer hung up; stop reading.
+                            let _ = read_half.shutdown(Shutdown::Both);
+                            break;
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        // Clean EOF or a dead socket: either way the
+                        // connection is over.
+                        inbox.close();
+                        break;
+                    }
+                }
+            })
+            .expect("spawning a connection reader thread");
+        Ok(Conn {
+            rx,
+            tx: FrameTx::Tcp(Mutex::new(stream)),
+        })
+    }
+
+    /// Sends one frame to the peer. Fails with `BrokenPipe` once the peer
+    /// is gone (in-process) or with the socket's error (TCP).
+    pub fn send(&self, payload: &[u8]) -> io::Result<()> {
+        match &self.tx {
+            FrameTx::Queue(peer) => {
+                if peer.push(payload.to_vec()) {
+                    Ok(())
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "peer disconnected",
+                    ))
+                }
+            }
+            FrameTx::Tcp(stream) => write_frame(&mut *stream.lock().unwrap(), payload),
+        }
+    }
+
+    /// Blocks until the peer sends a frame; `None` once disconnected and
+    /// drained. The synchronous-client receive path.
+    pub fn recv_blocking(&self) -> Option<Vec<u8>> {
+        self.rx.recv_blocking()
+    }
+
+    /// The inbox, for waker-based consumers (the session loop).
+    pub fn inbox(&self) -> &Arc<FrameQueue> {
+        &self.rx
+    }
+
+    /// Disconnects both directions; what `Drop` calls.
+    pub fn close(&self) {
+        self.rx.close();
+        match &self.tx {
+            FrameTx::Queue(peer) => peer.close(),
+            FrameTx::Tcp(stream) => {
+                let _ = stream.lock().unwrap().shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn")
+            .field(
+                "transport",
+                &match self.tx {
+                    FrameTx::Queue(_) => "in-process",
+                    FrameTx::Tcp(_) => "tcp",
+                },
+            )
+            .field("inbox", &self.rx)
+            .finish()
+    }
+}

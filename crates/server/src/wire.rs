@@ -1,0 +1,525 @@
+//! The hand-rolled, length-prefixed binary wire protocol.
+//!
+//! The workspace is offline and dependency-free, so — like the hand-rolled
+//! JSON in `rl_bench::report` — the protocol is written out by hand: every
+//! frame on the wire is a little-endian `u32` payload length followed by
+//! the payload, and every payload is one [`Request`] or [`Reply`] encoded
+//! as a one-byte opcode plus fixed-width little-endian integers,
+//! `u16`-length-prefixed UTF-8 strings, and `u32`-length-prefixed byte
+//! buffers. No self-description, no varints: the protocol's whole job is
+//! to carry fcntl-style lock calls and file I/O between a client and its
+//! session, and to be mechanically checkable — [`decode_request`] and
+//! [`decode_reply`] reject truncated, trailing, or out-of-range bytes with
+//! a typed [`WireError`] rather than panicking, which the round-trip fuzz
+//! in `tests/server.rs` leans on.
+
+use std::io::{self, Read, Write};
+
+use rl_file::LockMode;
+
+/// Hard ceiling on one frame's payload size (16 MiB). [`read_frame`]
+/// rejects larger length prefixes before allocating, so a corrupt or
+/// hostile peer cannot make the server buffer unbounded memory.
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// One client → server message. `path`s name files in the server's
+/// `FileStore`; byte ranges are half-open `[start, end)` like everywhere
+/// else in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Names the session; the name becomes the `LockOwner` name (what a
+    /// `DeadlockError` cycle prints) and the rl-obs actor label.
+    Hello {
+        /// Session name, e.g. `"client-3"`.
+        name: String,
+    },
+    /// Blocking shared/exclusive acquisition of one byte range (`F_SETLKW`).
+    Lock {
+        /// File the range belongs to.
+        path: String,
+        /// Range start (inclusive).
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+        /// Shared or exclusive.
+        mode: LockMode,
+    },
+    /// Non-blocking acquisition (`F_SETLK`): replies `WouldBlock` instead
+    /// of waiting.
+    TryLock {
+        /// File the range belongs to.
+        path: String,
+        /// Range start (inclusive).
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+        /// Shared or exclusive.
+        mode: LockMode,
+    },
+    /// All-or-nothing batched acquisition of several ranges of one file.
+    LockMany {
+        /// File the ranges belong to.
+        path: String,
+        /// `(start, end, mode)` per range; must be pairwise disjoint.
+        items: Vec<(u64, u64, LockMode)>,
+    },
+    /// Releases whatever the session holds inside the range (`F_UNLCK`).
+    Unlock {
+        /// File the range belongs to.
+        path: String,
+        /// Range start (inclusive).
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+    },
+    /// Reads up to `len` bytes at `offset`; replies [`Reply::Data`].
+    Read {
+        /// File to read.
+        path: String,
+        /// Byte offset of the first byte.
+        offset: u64,
+        /// Number of bytes requested.
+        len: u32,
+    },
+    /// Writes `data` at `offset`; replies [`Reply::Ok`].
+    Write {
+        /// File to write.
+        path: String,
+        /// Byte offset of the first byte.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Appends `data` at end-of-file; replies [`Reply::Offset`] with the
+    /// offset the data landed at.
+    Append {
+        /// File to append to.
+        path: String,
+        /// Bytes to append.
+        data: Vec<u8>,
+    },
+    /// Truncates (or zero-extends) the file to `len` bytes.
+    Truncate {
+        /// File to truncate.
+        path: String,
+        /// New length.
+        len: u64,
+    },
+    /// Clean goodbye: the server replies [`Reply::Ok`], releases the
+    /// session's locks, and ends the session — the *not-disconnected* exit.
+    Bye,
+}
+
+/// One server → client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// The request succeeded and has no payload.
+    Ok,
+    /// The request succeeded and yields an offset (`Append`).
+    Offset(u64),
+    /// The request succeeded and yields bytes (`Read`; short reads at
+    /// end-of-file return fewer bytes than asked).
+    Data(Vec<u8>),
+    /// The request failed; the session stays usable unless the code is
+    /// [`ErrCode::Protocol`] (after which the server hangs up).
+    Err {
+        /// What kind of failure.
+        code: ErrCode,
+        /// Human-readable detail (e.g. the `EDEADLK` cycle).
+        message: String,
+    },
+}
+
+/// Typed failure codes carried by [`Reply::Err`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// A `TryLock` (or `try`-batched) acquisition conflicted (`EAGAIN`).
+    WouldBlock,
+    /// The acquisition would have closed a waits-for cycle (`EDEADLK`).
+    Deadlock,
+    /// The request was malformed (bad range, oversized read, misaligned
+    /// range for the segment variant, undecodable frame).
+    Protocol,
+}
+
+impl ErrCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrCode::WouldBlock => 1,
+            ErrCode::Deadlock => 2,
+            ErrCode::Protocol => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            1 => Ok(ErrCode::WouldBlock),
+            2 => Ok(ErrCode::Deadlock),
+            3 => Ok(ErrCode::Protocol),
+            other => Err(WireError::BadCode(other)),
+        }
+    }
+}
+
+/// Decoding failure: what exactly was wrong with the bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the message did.
+    Truncated,
+    /// The message ended before the payload did (trailing garbage).
+    Trailing,
+    /// Unknown message opcode.
+    BadOpcode(u8),
+    /// Unknown lock-mode byte.
+    BadMode(u8),
+    /// Unknown error-code byte.
+    BadCode(u8),
+    /// A string field was not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated mid-message"),
+            WireError::Trailing => write!(f, "trailing bytes after message"),
+            WireError::BadOpcode(b) => write!(f, "unknown opcode {b}"),
+            WireError::BadMode(b) => write!(f, "unknown lock mode {b}"),
+            WireError::BadCode(b) => write!(f, "unknown error code {b}"),
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Writes one frame — `u32` little-endian payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean end-of-stream (EOF exactly
+/// at a frame boundary); EOF mid-frame and oversized length prefixes are
+/// errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    // A manual first-byte read distinguishes "no next frame" (clean EOF)
+    // from "frame cut off" (EOF inside the length prefix).
+    let mut got = 0;
+    while got < len.len() {
+        match r.read(&mut len[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding: a byte-buffer writer and a checked cursor reader.
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_mode(out: &mut Vec<u8>, mode: LockMode) {
+    put_u8(
+        out,
+        match mode {
+            LockMode::Shared => 0,
+            LockMode::Exclusive => 1,
+        },
+    );
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn mode(&mut self) -> Result<LockMode, WireError> {
+        match self.u8()? {
+            0 => Ok(LockMode::Shared),
+            1 => Ok(LockMode::Exclusive),
+            other => Err(WireError::BadMode(other)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Trailing)
+        }
+    }
+}
+
+const OP_HELLO: u8 = 1;
+const OP_LOCK: u8 = 2;
+const OP_TRY_LOCK: u8 = 3;
+const OP_LOCK_MANY: u8 = 4;
+const OP_UNLOCK: u8 = 5;
+const OP_READ: u8 = 6;
+const OP_WRITE: u8 = 7;
+const OP_APPEND: u8 = 8;
+const OP_TRUNCATE: u8 = 9;
+const OP_BYE: u8 = 10;
+
+const RE_OK: u8 = 1;
+const RE_OFFSET: u8 = 2;
+const RE_DATA: u8 = 3;
+const RE_ERR: u8 = 4;
+
+/// Encodes a request into a frame payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Hello { name } => {
+            put_u8(&mut out, OP_HELLO);
+            put_str(&mut out, name);
+        }
+        Request::Lock {
+            path,
+            start,
+            end,
+            mode,
+        } => {
+            put_u8(&mut out, OP_LOCK);
+            put_str(&mut out, path);
+            put_u64(&mut out, *start);
+            put_u64(&mut out, *end);
+            put_mode(&mut out, *mode);
+        }
+        Request::TryLock {
+            path,
+            start,
+            end,
+            mode,
+        } => {
+            put_u8(&mut out, OP_TRY_LOCK);
+            put_str(&mut out, path);
+            put_u64(&mut out, *start);
+            put_u64(&mut out, *end);
+            put_mode(&mut out, *mode);
+        }
+        Request::LockMany { path, items } => {
+            put_u8(&mut out, OP_LOCK_MANY);
+            put_str(&mut out, path);
+            put_u32(&mut out, items.len() as u32);
+            for (start, end, mode) in items {
+                put_u64(&mut out, *start);
+                put_u64(&mut out, *end);
+                put_mode(&mut out, *mode);
+            }
+        }
+        Request::Unlock { path, start, end } => {
+            put_u8(&mut out, OP_UNLOCK);
+            put_str(&mut out, path);
+            put_u64(&mut out, *start);
+            put_u64(&mut out, *end);
+        }
+        Request::Read { path, offset, len } => {
+            put_u8(&mut out, OP_READ);
+            put_str(&mut out, path);
+            put_u64(&mut out, *offset);
+            put_u32(&mut out, *len);
+        }
+        Request::Write { path, offset, data } => {
+            put_u8(&mut out, OP_WRITE);
+            put_str(&mut out, path);
+            put_u64(&mut out, *offset);
+            put_bytes(&mut out, data);
+        }
+        Request::Append { path, data } => {
+            put_u8(&mut out, OP_APPEND);
+            put_str(&mut out, path);
+            put_bytes(&mut out, data);
+        }
+        Request::Truncate { path, len } => {
+            put_u8(&mut out, OP_TRUNCATE);
+            put_str(&mut out, path);
+            put_u64(&mut out, *len);
+        }
+        Request::Bye => put_u8(&mut out, OP_BYE),
+    }
+    out
+}
+
+/// Decodes a request payload; the inverse of [`encode_request`]. Every
+/// byte must be consumed.
+pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
+    let mut c = Cursor::new(buf);
+    let req = match c.u8()? {
+        OP_HELLO => Request::Hello { name: c.string()? },
+        OP_LOCK => Request::Lock {
+            path: c.string()?,
+            start: c.u64()?,
+            end: c.u64()?,
+            mode: c.mode()?,
+        },
+        OP_TRY_LOCK => Request::TryLock {
+            path: c.string()?,
+            start: c.u64()?,
+            end: c.u64()?,
+            mode: c.mode()?,
+        },
+        OP_LOCK_MANY => {
+            let path = c.string()?;
+            let count = c.u32()? as usize;
+            // Bound up-front allocation by what the payload can actually
+            // hold (17 bytes per item), so a hostile count can't balloon.
+            let mut items = Vec::with_capacity(count.min(buf.len() / 17 + 1));
+            for _ in 0..count {
+                items.push((c.u64()?, c.u64()?, c.mode()?));
+            }
+            Request::LockMany { path, items }
+        }
+        OP_UNLOCK => Request::Unlock {
+            path: c.string()?,
+            start: c.u64()?,
+            end: c.u64()?,
+        },
+        OP_READ => Request::Read {
+            path: c.string()?,
+            offset: c.u64()?,
+            len: c.u32()?,
+        },
+        OP_WRITE => Request::Write {
+            path: c.string()?,
+            offset: c.u64()?,
+            data: c.bytes()?,
+        },
+        OP_APPEND => Request::Append {
+            path: c.string()?,
+            data: c.bytes()?,
+        },
+        OP_TRUNCATE => Request::Truncate {
+            path: c.string()?,
+            len: c.u64()?,
+        },
+        OP_BYE => Request::Bye,
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Encodes a reply into a frame payload (no length prefix).
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut out = Vec::new();
+    match reply {
+        Reply::Ok => put_u8(&mut out, RE_OK),
+        Reply::Offset(v) => {
+            put_u8(&mut out, RE_OFFSET);
+            put_u64(&mut out, *v);
+        }
+        Reply::Data(data) => {
+            put_u8(&mut out, RE_DATA);
+            put_bytes(&mut out, data);
+        }
+        Reply::Err { code, message } => {
+            put_u8(&mut out, RE_ERR);
+            put_u8(&mut out, code.to_byte());
+            put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes a reply payload; the inverse of [`encode_reply`]. Every byte
+/// must be consumed.
+pub fn decode_reply(buf: &[u8]) -> Result<Reply, WireError> {
+    let mut c = Cursor::new(buf);
+    let reply = match c.u8()? {
+        RE_OK => Reply::Ok,
+        RE_OFFSET => Reply::Offset(c.u64()?),
+        RE_DATA => Reply::Data(c.bytes()?),
+        RE_ERR => Reply::Err {
+            code: ErrCode::from_byte(c.u8()?)?,
+            message: c.string()?,
+        },
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    c.finish()?;
+    Ok(reply)
+}

@@ -5,7 +5,7 @@
 //! `examples/*.rs` and `tests/*.rs` can reach everything with a single
 //! dependency. Library users should depend on the individual crates
 //! (`range-lock`, `rl-baselines`, `rl-vm`, `rl-skiplist`, `rl-metis`,
-//! `rl-file`) directly.
+//! `rl-file`, `rl-server`) directly.
 
 #![warn(missing_docs)]
 
@@ -15,6 +15,7 @@ pub use rl_exec;
 pub use rl_file;
 pub use rl_metis;
 pub use rl_obs;
+pub use rl_server;
 pub use rl_skiplist;
 pub use rl_sync;
 pub use rl_vm;

@@ -1,0 +1,554 @@
+//! Integration suite for the `rl-server` range-lock/file service.
+//!
+//! Three properties carry the subsystem and each gets its own stress:
+//!
+//! * **Session storms** — N clients per server, every one of the five
+//!   registry variants, hammering conflicting slot ranges with
+//!   lock → write → read-back → unlock triples. The read-back inside the
+//!   exclusive hold is an integrity check: any isolation failure across
+//!   the service boundary shows up as a torn payload, not just a bad
+//!   counter.
+//! * **Release-on-disconnect** — a client killed *while holding* must free
+//!   its ranges promptly, and a client killed *mid-wait* (its session
+//!   suspended deep inside an async acquisition) must cancel the pending
+//!   enqueue without wedging the grant chain behind it. Both run under
+//!   bounded joins on every variant, so a lost cancellation fails the test
+//!   instead of hanging the suite.
+//! * **Wire robustness** — encode/decode round-trips over randomized
+//!   requests and replies, every strict prefix of a valid frame rejected,
+//!   and a garbage frame answered with a `Protocol` error followed by a
+//!   hangup.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use range_locks_repro::range_lock::Range;
+use range_locks_repro::rl_baselines::registry;
+use range_locks_repro::rl_server::{
+    wire, Client, ClientError, Conn, ErrCode, LockMode, Reply, Request, Server, ServerConfig,
+};
+use range_locks_repro::rl_sync::WaitPolicyKind;
+
+/// Per-test wall-clock budget for storms and disconnect races.
+const DEADLINE: Duration = Duration::from_secs(60);
+
+/// 16 slots of 4 KiB each; span covers them exactly with one segment per
+/// slot, so every slot range is segment-aligned and the `pnova-rw` variant
+/// runs the same workload unmodified.
+const SLOTS: u64 = 16;
+const SLOT_BYTES: u64 = 4096;
+
+fn slot_range(slot: u64) -> Range {
+    Range::new(slot * SLOT_BYTES, (slot + 1) * SLOT_BYTES)
+}
+
+fn server_for(variant: &'static registry::VariantSpec) -> Server {
+    Server::new(ServerConfig {
+        variant,
+        wait: WaitPolicyKind::Block,
+        registry: registry::RegistryConfig {
+            span: SLOTS * SLOT_BYTES,
+            segments: SLOTS as usize,
+            adaptive_segments: false,
+        },
+        workers: 2,
+    })
+}
+
+/// Tiny deterministic PRNG so the storm needs no external crate.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Runs `work` on its own thread and fails if it has not finished by the
+/// deadline — a wedged grant chain becomes a test failure, not a hang.
+fn run_bounded(label: String, work: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        work();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(DEADLINE)
+        .unwrap_or_else(|_| panic!("{label}: still running past the deadline"));
+    handle.join().unwrap();
+}
+
+/// N clients × conflicting slots × lock/write/read-back/unlock, per
+/// variant. Every client writes its own byte pattern under an exclusive
+/// hold and must read it back intact before releasing.
+#[test]
+fn session_storms_every_variant() {
+    const CLIENTS: usize = 6;
+    const OPS: u64 = 40;
+    // Few slots, many clients: conflicts on every iteration.
+    const HOT_SLOTS: u64 = 4;
+    for spec in registry::all() {
+        run_bounded(format!("storm/{}", spec.name), move || {
+            let server = server_for(spec);
+            let clients: Vec<Client> = (0..CLIENTS).map(|_| server.connect()).collect();
+            let handles: Vec<_> = clients
+                .into_iter()
+                .enumerate()
+                .map(|(who, mut client)| {
+                    std::thread::spawn(move || {
+                        client.hello(&format!("storm-{who}")).unwrap();
+                        let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((who as u64 + 1) << 32);
+                        let payload = [who as u8 + 1; 128];
+                        for _ in 0..OPS {
+                            let slot = xorshift(&mut rng) % HOT_SLOTS;
+                            let range = slot_range(slot);
+                            client.lock("/storm", range, LockMode::Exclusive).unwrap();
+                            client.write("/storm", range.start, &payload).unwrap();
+                            let back = client.read("/storm", range.start, 128).unwrap();
+                            assert_eq!(
+                                back, payload,
+                                "torn read inside an exclusive hold ({})",
+                                spec.name
+                            );
+                            client.unlock("/storm", range).unwrap();
+                        }
+                        client.bye().unwrap();
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().unwrap();
+            }
+            let stats = server.shutdown();
+            assert_eq!(stats.sessions_started, CLIENTS as u64);
+            assert_eq!(stats.sessions_active, 0);
+            assert_eq!(stats.disconnects, 0, "every client said Bye");
+            assert_eq!(stats.deadlocks, 0, "single-range holds cannot cycle");
+            assert_eq!(stats.protocol_errors, 0);
+        });
+    }
+}
+
+/// Mixed shared/exclusive storm: readers overlap, writers exclude, and the
+/// lock-wait histogram actually records contended acquisitions.
+#[test]
+fn shared_and_exclusive_sessions_coexist() {
+    let server = server_for(registry::by_name("list-rw").unwrap());
+    let handles: Vec<_> = (0..4)
+        .map(|who| {
+            let mut client = server.connect();
+            std::thread::spawn(move || {
+                client.hello(&format!("mix-{who}")).unwrap();
+                let mut rng = 0xD1B5_4A32_D192_ED03u64 ^ ((who as u64 + 1) << 16);
+                for i in 0..50u64 {
+                    let range = slot_range(xorshift(&mut rng) % 3);
+                    let mode = if (who + i as usize).is_multiple_of(3) {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Shared
+                    };
+                    client.lock("/mix", range, mode).unwrap();
+                    if mode == LockMode::Exclusive {
+                        client.write("/mix", range.start, b"x").unwrap();
+                    } else {
+                        let _ = client.read("/mix", range.start, 1).unwrap();
+                    }
+                    client.unlock("/mix", range).unwrap();
+                }
+                client.bye().unwrap();
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.sessions_started, 4);
+    assert_eq!(stats.deadlocks, 0);
+    assert!(
+        stats.lock_wait.count() > 0,
+        "granted blocking locks must feed the wait histogram"
+    );
+    assert!(stats.io_wait.count() > 0);
+}
+
+/// The headline guarantee, per variant: a client killed while *holding* a
+/// range frees it, and a client killed while *waiting* for that same range
+/// cancels its pending acquisition — the surviving waiter must be granted
+/// within the bounded join either way.
+#[test]
+fn kill_mid_wait_releases_and_cancels_every_variant() {
+    for spec in registry::all() {
+        run_bounded(format!("disconnect/{}", spec.name), move || {
+            let server = server_for(spec);
+            let range = slot_range(0);
+
+            // A holds slot 0 exclusively.
+            let mut a = server.connect();
+            a.hello("holder").unwrap();
+            a.lock("/f", range, LockMode::Exclusive).unwrap();
+
+            // B blocks waiting for slot 0 (its session suspends mid-wait).
+            let mut b = server.connect();
+            b.hello("survivor").unwrap();
+            let b_thread = std::thread::spawn(move || {
+                b.lock("/f", range, LockMode::Exclusive).unwrap();
+                b.unlock("/f", range).unwrap();
+                b.bye().unwrap();
+            });
+
+            // C also enqueues behind A — driven over a raw connection so the
+            // test can sever it *while the acquisition is pending*.
+            let (c_end, c_server_end) = Conn::pair();
+            server.attach(c_server_end);
+            c_end
+                .send(&wire::encode_request(&Request::Hello {
+                    name: "killed-mid-wait".to_string(),
+                }))
+                .unwrap();
+            assert_eq!(
+                wire::decode_reply(&c_end.recv_blocking().unwrap()).unwrap(),
+                Reply::Ok
+            );
+            c_end
+                .send(&wire::encode_request(&Request::Lock {
+                    path: "/f".to_string(),
+                    start: range.start,
+                    end: range.end,
+                    mode: LockMode::Exclusive,
+                }))
+                .unwrap();
+            // Let B and C actually enqueue behind A before the kills.
+            std::thread::sleep(Duration::from_millis(100));
+
+            // Kill C mid-wait: its session must cancel the pending enqueue.
+            drop(c_end);
+            // Kill A without a Bye: its exclusive hold must be released.
+            a.kill();
+
+            // The surviving waiter is granted; the bounded join catches a
+            // wedge (a leaked pending enqueue would block B forever on the
+            // exclusive chain).
+            b_thread.join().unwrap();
+
+            let stats = server.shutdown();
+            assert!(
+                stats.disconnects >= 2,
+                "{}: A and C both died abruptly",
+                spec.name
+            );
+            assert!(
+                stats.disconnect_releases >= 1,
+                "{}: A died holding a range",
+                spec.name
+            );
+            assert!(
+                stats.ranges_freed_on_disconnect >= 1,
+                "{}: A's exclusive hold must be counted",
+                spec.name
+            );
+        });
+    }
+}
+
+/// Dropping a client that holds ranges across *several* files releases all
+/// of them (one `LockOwner` per path server-side).
+#[test]
+fn disconnect_releases_ranges_across_files() {
+    let server = server_for(registry::by_name("kernel-rw").unwrap());
+    let mut a = server.connect();
+    a.hello("multi").unwrap();
+    a.lock("/one", slot_range(0), LockMode::Exclusive).unwrap();
+    a.lock("/two", slot_range(1), LockMode::Shared).unwrap();
+    a.lock("/two", slot_range(2), LockMode::Exclusive).unwrap();
+    a.kill();
+
+    // Both files must become lockable again.
+    let mut b = server.connect();
+    b.hello("after").unwrap();
+    run_bounded("multi-file disconnect".to_string(), move || {
+        b.lock("/one", slot_range(0), LockMode::Exclusive).unwrap();
+        b.lock("/two", slot_range(1), LockMode::Exclusive).unwrap();
+        b.lock("/two", slot_range(2), LockMode::Exclusive).unwrap();
+        b.bye().unwrap();
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.disconnect_releases, 1);
+    assert_eq!(stats.ranges_freed_on_disconnect, 3);
+}
+
+/// Deadlock across sessions surfaces as a typed remote error, not a hang:
+/// two clients each hold one slot and request the other's.
+#[test]
+fn cross_session_deadlock_returns_edeadlk() {
+    run_bounded("cross-session deadlock".to_string(), || {
+        let server = server_for(registry::by_name("list-rw").unwrap());
+        let mut a = server.connect();
+        let mut b = server.connect();
+        a.hello("a").unwrap();
+        b.hello("b").unwrap();
+        a.lock("/d", slot_range(0), LockMode::Exclusive).unwrap();
+        b.lock("/d", slot_range(1), LockMode::Exclusive).unwrap();
+        // A blocks on slot 1; B then closes the cycle on slot 0 and one of
+        // the two must get EDEADLK while the other is granted.
+        let a_thread = std::thread::spawn(move || {
+            let result = a.lock("/d", slot_range(1), LockMode::Exclusive);
+            (a, result)
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let b_result = b.lock("/d", slot_range(0), LockMode::Exclusive);
+        // Whichever way the victim fell, B still holds slot 1; kill it so
+        // release-on-disconnect unblocks A if A is the survivor.
+        b.kill();
+        let (a, a_result) = a_thread.join().unwrap();
+        let deadlocked = [&a_result, &b_result]
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    Err(ClientError::Remote {
+                        code: ErrCode::Deadlock,
+                        ..
+                    })
+                )
+            })
+            .count();
+        assert_eq!(
+            deadlocked, 1,
+            "exactly one of the cycle's two requests is the victim: {a_result:?} / {b_result:?}"
+        );
+        a.kill();
+        let stats = server.shutdown();
+        assert_eq!(stats.deadlocks, 1);
+    });
+}
+
+/// `TryLock` on a held range reports would-block without waiting.
+#[test]
+fn try_lock_reports_would_block() {
+    let server = server_for(registry::by_name("lustre-ex").unwrap());
+    let mut a = server.connect();
+    let mut b = server.connect();
+    a.lock("/t", slot_range(0), LockMode::Exclusive).unwrap();
+    assert!(!b
+        .try_lock("/t", slot_range(0), LockMode::Exclusive)
+        .unwrap());
+    assert!(b
+        .try_lock("/t", slot_range(1), LockMode::Exclusive)
+        .unwrap());
+    a.bye().unwrap();
+    b.bye().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.would_blocks, 1);
+}
+
+/// `LockMany` is all-or-nothing across sessions and batches release on
+/// disconnect like everything else.
+#[test]
+fn lock_many_and_data_plane_round_trip() {
+    let server = server_for(registry::by_name("pnova-rw").unwrap());
+    let mut a = server.connect();
+    a.hello("batch").unwrap();
+    a.lock_many(
+        "/b",
+        &[
+            (slot_range(0), LockMode::Exclusive),
+            (slot_range(2), LockMode::Shared),
+        ],
+    )
+    .unwrap();
+    let off = a.append("/b", b"hello server").unwrap();
+    assert_eq!(off, 0);
+    assert_eq!(a.read("/b", 0, 12).unwrap(), b"hello server");
+    a.truncate("/b", 5).unwrap();
+    assert_eq!(a.read("/b", 0, 12).unwrap(), b"hello");
+    a.kill();
+    let stats = server.shutdown();
+    assert_eq!(stats.ranges_freed_on_disconnect, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Wire robustness
+// ---------------------------------------------------------------------------
+
+fn arbitrary_request(rng: &mut u64) -> Request {
+    let path = format!("/p{}", xorshift(rng) % 4);
+    let mode = if xorshift(rng).is_multiple_of(2) {
+        LockMode::Shared
+    } else {
+        LockMode::Exclusive
+    };
+    let start = (xorshift(rng) % 1000) * 8;
+    let end = start + 8 + xorshift(rng) % 512;
+    match xorshift(rng) % 10 {
+        0 => Request::Hello {
+            name: format!("client-{}", xorshift(rng) % 100),
+        },
+        1 => Request::Lock {
+            path,
+            start,
+            end,
+            mode,
+        },
+        2 => Request::TryLock {
+            path,
+            start,
+            end,
+            mode,
+        },
+        3 => Request::LockMany {
+            path,
+            items: (0..xorshift(rng) % 5)
+                .map(|i| (i * 100, i * 100 + 50, mode))
+                .collect(),
+        },
+        4 => Request::Unlock { path, start, end },
+        5 => Request::Read {
+            path,
+            offset: start,
+            len: (xorshift(rng) % 4096) as u32,
+        },
+        6 => Request::Write {
+            path,
+            offset: start,
+            data: (0..xorshift(rng) % 64).map(|b| b as u8).collect(),
+        },
+        7 => Request::Append {
+            path,
+            data: (0..xorshift(rng) % 64).map(|b| (b * 3) as u8).collect(),
+        },
+        8 => Request::Truncate { path, len: start },
+        _ => Request::Bye,
+    }
+}
+
+fn arbitrary_reply(rng: &mut u64) -> Reply {
+    match xorshift(rng) % 4 {
+        0 => Reply::Ok,
+        1 => Reply::Offset(xorshift(rng)),
+        2 => Reply::Data((0..xorshift(rng) % 128).map(|b| b as u8).collect()),
+        _ => Reply::Err {
+            code: match xorshift(rng) % 3 {
+                0 => ErrCode::WouldBlock,
+                1 => ErrCode::Deadlock,
+                _ => ErrCode::Protocol,
+            },
+            message: format!("error {}", xorshift(rng) % 100),
+        },
+    }
+}
+
+/// Randomized round-trip identity, plus: every strict prefix of a valid
+/// encoding must be rejected, never mis-decoded (truncated-frame
+/// robustness at the payload layer).
+#[test]
+fn wire_round_trips_and_rejects_every_truncation() {
+    let mut rng = 0xA076_1D64_78BD_642Fu64;
+    for _ in 0..500 {
+        let req = arbitrary_request(&mut rng);
+        let bytes = wire::encode_request(&req);
+        assert_eq!(wire::decode_request(&bytes).unwrap(), req);
+        for cut in 0..bytes.len() {
+            assert!(
+                wire::decode_request(&bytes[..cut]).is_err(),
+                "strict prefix of {req:?} (len {cut}/{}) must not decode",
+                bytes.len()
+            );
+        }
+
+        let reply = arbitrary_reply(&mut rng);
+        let bytes = wire::encode_reply(&reply);
+        assert_eq!(wire::decode_reply(&bytes).unwrap(), reply);
+        for cut in 0..bytes.len() {
+            assert!(
+                wire::decode_reply(&bytes[..cut]).is_err(),
+                "strict prefix of {reply:?} (len {cut}/{}) must not decode",
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// Trailing garbage after a well-formed message is also a decode error.
+#[test]
+fn wire_rejects_trailing_bytes() {
+    let mut bytes = wire::encode_request(&Request::Bye);
+    bytes.push(0);
+    assert!(wire::decode_request(&bytes).is_err());
+}
+
+/// A garbage frame gets a typed `Protocol` error reply and then a hangup —
+/// the session does not limp along desynchronized.
+#[test]
+fn garbage_frame_answered_then_hung_up() {
+    let server = server_for(registry::by_name("list-rw").unwrap());
+    let (raw, server_end) = Conn::pair();
+    server.attach(server_end);
+    raw.send(&[0xFF, 0xEE, 0xDD]).unwrap();
+    let reply = wire::decode_reply(&raw.recv_blocking().unwrap()).unwrap();
+    assert!(matches!(
+        reply,
+        Reply::Err {
+            code: ErrCode::Protocol,
+            ..
+        }
+    ));
+    assert!(
+        raw.recv_blocking().is_none(),
+        "the server hangs up after a protocol error"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 1);
+}
+
+/// Misaligned ranges on the segment variant are a protocol error, not a
+/// panic inside the lock.
+#[test]
+fn pnova_rejects_misaligned_ranges() {
+    let server = server_for(registry::by_name("pnova-rw").unwrap());
+    let mut client = server.connect();
+    let err = client
+        .lock("/f", Range::new(1, 100), LockMode::Exclusive)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Remote {
+            code: ErrCode::Protocol,
+            ..
+        }
+    ));
+}
+
+/// The same storms and guarantees hold over real sockets: a TCP client
+/// killed abruptly (socket death) releases its ranges for a TCP waiter.
+#[test]
+fn tcp_sessions_and_socket_death() {
+    run_bounded("tcp socket death".to_string(), || {
+        let server = server_for(registry::by_name("list-rw").unwrap());
+        let handle = server.serve_tcp("127.0.0.1:0").expect("bind loopback");
+        let addr = handle.addr();
+
+        let mut a = Client::connect_tcp(addr).unwrap();
+        a.hello("tcp-holder").unwrap();
+        a.lock("/tcp", slot_range(0), LockMode::Exclusive).unwrap();
+        a.write("/tcp", 0, b"held over tcp").unwrap();
+
+        let mut b = Client::connect_tcp(addr).unwrap();
+        b.hello("tcp-waiter").unwrap();
+        let b_thread = std::thread::spawn(move || {
+            b.lock("/tcp", slot_range(0), LockMode::Exclusive).unwrap();
+            let data = b.read("/tcp", 0, 13).unwrap();
+            b.bye().unwrap();
+            data
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        a.kill(); // abrupt socket shutdown, no Bye
+
+        assert_eq!(b_thread.join().unwrap(), b"held over tcp");
+        handle.stop();
+        let stats = server.shutdown();
+        assert_eq!(stats.sessions_started, 2);
+        assert!(stats.disconnects >= 1);
+        assert_eq!(stats.disconnect_releases, 1);
+    });
+}
