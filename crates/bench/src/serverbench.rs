@@ -151,6 +151,7 @@ pub fn run(config: &ServerBenchConfig) -> ServerBenchResult {
         wait: config.wait,
         registry: SERVER_REGISTRY_CONFIG,
         workers: config.workers.max(1),
+        ..ServerConfig::default()
     });
     let tcp = if config.tcp {
         Some(

@@ -139,6 +139,12 @@ struct PoolShared {
     /// shutdown`]'s drain phase waits on this under [`PoolShared::drained`].
     live: Mutex<usize>,
     drained: Condvar,
+    /// Set by [`TaskPool::shutdown`] the instant its drain wait observes
+    /// `live == 0`, *while still holding the `live` lock*. [`Spawner::spawn`]
+    /// checks it under the same lock before counting a new task live, so a
+    /// spawn either lands inside the drain (and is waited for) or is refused
+    /// — never accepted and then cancelled unpolled by the destructor.
+    draining: AtomicBool,
 }
 
 impl PoolShared {
@@ -250,6 +256,7 @@ impl TaskPool {
             tasks: Mutex::new(Vec::new()),
             live: Mutex::new(0),
             drained: Condvar::new(),
+            draining: AtomicBool::new(false),
         });
         let workers = (0..workers)
             .map(|i| {
@@ -281,7 +288,8 @@ impl TaskPool {
     /// any borrow of the pool — e.g. a blocking TCP acceptor thread handing
     /// each connection to the pool. The handle holds only a weak reference:
     /// it never keeps a dropped pool alive, and spawning through it fails
-    /// softly (returns `None`) once the pool has shut down.
+    /// softly (returns `None`) once the pool has shut down or its final
+    /// drain has been decided.
     pub fn spawner(&self) -> Spawner {
         Spawner {
             shared: Arc::downgrade(&self.shared),
@@ -295,8 +303,11 @@ impl TaskPool {
     /// This is the counterpart to the destructor's *cancel* semantics
     /// (dropping the pool drops queued and suspended task futures
     /// mid-flight). A server wants the opposite order on clean exit: let
-    /// in-flight sessions finish, then stop. Tasks spawned while draining
-    /// (e.g. by other tasks) are waited for too.
+    /// in-flight sessions finish, then stop. Tasks spawned while the drain
+    /// is still waiting (e.g. by other tasks) are waited for too; once the
+    /// drain observes zero live tasks the pool atomically flips to
+    /// refusing, so a [`Spawner::spawn`] racing the drain either joins it
+    /// or returns `None` — an accepted spawn always runs.
     ///
     /// Tasks that never complete — e.g. futures suspended on an external
     /// event that no one will deliver — make `shutdown` block forever;
@@ -307,6 +318,10 @@ impl TaskPool {
         while *live > 0 {
             live = self.shared.drained.wait(live).unwrap();
         }
+        // Flip to refusing spawns while the `live == 0` observation is
+        // still current (the lock is held): no spawn can slip between the
+        // drain decision and the destructor's cancel path.
+        self.shared.draining.store(true, Ordering::Release);
         drop(live);
         // All tasks done; the destructor's stop path has nothing to cancel.
     }
@@ -324,8 +339,10 @@ pub struct Spawner {
 
 impl Spawner {
     /// Spawns `future` onto the pool, or returns `None` if the pool has
-    /// been dropped or is shutting down (the future is dropped unpolled in
-    /// that case — for acquisition futures that is a clean cancel).
+    /// been dropped, is draining via [`TaskPool::shutdown`], or has shut
+    /// down (the future is dropped unpolled in that case — for acquisition
+    /// futures that is a clean cancel). A returned handle is a commitment:
+    /// the task runs to completion before `shutdown` finishes.
     pub fn spawn<F>(&self, future: F) -> Option<JoinHandle<F::Output>>
     where
         F: Future + Send + 'static,
@@ -335,7 +352,7 @@ impl Spawner {
         if shared.shutdown.load(Ordering::Acquire) {
             return None;
         }
-        Some(spawn_on(&shared, future))
+        try_spawn_on(&shared, future)
     }
 }
 
@@ -347,12 +364,35 @@ impl std::fmt::Debug for Spawner {
     }
 }
 
-/// The shared spawn path behind [`TaskPool::spawn`] and [`Spawner::spawn`].
+/// The infallible spawn path behind [`TaskPool::spawn`]: `shutdown`
+/// consumes the pool, so a live `&TaskPool` can never observe the pool
+/// draining.
 fn spawn_on<F>(shared: &Arc<PoolShared>, future: F) -> JoinHandle<F::Output>
 where
     F: Future + Send + 'static,
     F::Output: Send + 'static,
 {
+    try_spawn_on(shared, future).expect("shutdown() consumes the pool; it cannot drain under &self")
+}
+
+/// The shared spawn path behind [`TaskPool::spawn`] and [`Spawner::spawn`];
+/// `None` means the pool is draining and the future was dropped unpolled.
+fn try_spawn_on<F>(shared: &Arc<PoolShared>, future: F) -> Option<JoinHandle<F::Output>>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    {
+        // Count the task live *atomically with the drain decision*:
+        // `shutdown` flips `draining` under this same lock once its wait
+        // observes `live == 0`, so an accepted spawn is always included in
+        // the drain and a refused one never reaches the queue.
+        let mut live = shared.live.lock().unwrap();
+        if shared.draining.load(Ordering::Acquire) {
+            return None;
+        }
+        *live += 1;
+    }
     let state = Arc::new(JoinState {
         inner: Mutex::new((None, None)),
     });
@@ -381,11 +421,8 @@ where
         }
         tasks.push(Arc::downgrade(&task));
     }
-    // Count the task live before it can possibly run: a drain that starts
-    // after `spawn_on` returns must include it.
-    *shared.live.lock().unwrap() += 1;
     Arc::clone(&task).schedule();
-    JoinHandle { state }
+    Some(JoinHandle { state })
 }
 
 impl Drop for TaskPool {
@@ -626,6 +663,35 @@ mod tests {
         });
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn drain_never_cancels_an_accepted_spawn() {
+        // A producer spawning through a Spawner races shutdown()'s drain.
+        // Every spawn that returned a handle must have *run* by the time
+        // shutdown() returns — a Some(handle) whose task the destructor
+        // cancels unpolled would break the drain-then-stop contract.
+        for _ in 0..50 {
+            let pool = TaskPool::new(1);
+            let spawner = pool.spawner();
+            let producer = std::thread::spawn(move || {
+                let mut accepted = Vec::new();
+                for i in 0..64u64 {
+                    match spawner.spawn(async move { i }) {
+                        Some(handle) => accepted.push(handle),
+                        None => break, // the drain decision beat this spawn
+                    }
+                }
+                accepted
+            });
+            pool.shutdown();
+            for handle in producer.join().unwrap() {
+                assert!(
+                    handle.try_join().is_some(),
+                    "an accepted spawn was cancelled by the drain"
+                );
+            }
+        }
     }
 
     #[test]

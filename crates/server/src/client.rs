@@ -34,6 +34,11 @@ pub enum ClientError {
     },
     /// The server answered with the wrong reply shape for this request.
     Unexpected(&'static str),
+    /// A request string field (the named `"path"` or session `"name"`)
+    /// exceeds the wire protocol's 65535-byte string limit; sending it
+    /// would silently truncate it into a *different* path, so the client
+    /// refuses before encoding.
+    TooLong(&'static str),
 }
 
 impl fmt::Display for ClientError {
@@ -46,6 +51,12 @@ impl fmt::Display for ClientError {
                 write!(f, "server error ({code:?}): {message}")
             }
             ClientError::Unexpected(what) => write!(f, "unexpected reply: wanted {what}"),
+            ClientError::TooLong(field) => {
+                write!(
+                    f,
+                    "request {field} exceeds the wire protocol's 65535-byte limit"
+                )
+            }
         }
     }
 }
@@ -66,6 +77,28 @@ impl From<WireError> for ClientError {
     fn from(e: WireError) -> Self {
         ClientError::Wire(e)
     }
+}
+
+/// Rejects request strings the wire encoding would truncate: `put_str`
+/// carries a `u16` length prefix, and a silently shortened path would make
+/// the operation target a *different* file.
+fn check_strings(req: &Request) -> Result<(), ClientError> {
+    let (field, s) = match req {
+        Request::Hello { name } => ("name", name.as_str()),
+        Request::Lock { path, .. }
+        | Request::TryLock { path, .. }
+        | Request::LockMany { path, .. }
+        | Request::Unlock { path, .. }
+        | Request::Read { path, .. }
+        | Request::Write { path, .. }
+        | Request::Append { path, .. }
+        | Request::Truncate { path, .. } => ("path", path.as_str()),
+        Request::Bye => return Ok(()),
+    };
+    if s.len() > u16::MAX as usize {
+        return Err(ClientError::TooLong(field));
+    }
+    Ok(())
 }
 
 /// A blocking session handle; see the [module docs](self).
@@ -90,6 +123,7 @@ impl Client {
     }
 
     fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        check_strings(req)?;
         self.conn.send(&encode_request(req))?;
         let frame = self.conn.recv_blocking().ok_or(ClientError::Disconnected)?;
         Ok(decode_reply(&frame)?)
@@ -104,6 +138,8 @@ impl Client {
     }
 
     /// Names this session; the name labels its lock owner and trace actor.
+    /// Must be called before the first lock request — the server rejects a
+    /// rename once lock owners exist (they capture the name at creation).
     pub fn hello(&mut self, name: &str) -> Result<(), ClientError> {
         self.expect_ok(&Request::Hello {
             name: name.to_string(),

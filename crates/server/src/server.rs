@@ -156,17 +156,30 @@ pub struct ServerConfig {
     pub registry: RegistryConfig,
     /// Worker threads in the session pool.
     pub workers: usize,
+    /// Largest byte offset any data-plane operation may reach (`offset +
+    /// len` for a write, the new length for a truncate). The store
+    /// allocates pages for every span it touches, so this — not
+    /// [`crate::wire::MAX_FRAME`], which only bounds one frame — is what
+    /// keeps a single hostile request (`Write` at offset `1 << 60`,
+    /// `Truncate` to `u64::MAX`) from allocating unbounded memory.
+    /// Requests past it get an [`crate::ErrCode::Protocol`] reply.
+    pub max_file_size: u64,
 }
+
+/// Default [`ServerConfig::max_file_size`]: 1 GiB.
+pub const DEFAULT_MAX_FILE_SIZE: u64 = 1 << 30;
 
 impl Default for ServerConfig {
     /// `list-rw` under the `Block` policy on a two-worker pool — the
-    /// paper's lock, parked waiters, and enough workers to overlap.
+    /// paper's lock, parked waiters, and enough workers to overlap — with
+    /// files capped at [`DEFAULT_MAX_FILE_SIZE`].
     fn default() -> Self {
         ServerConfig {
             variant: registry::by_name("list-rw").expect("list-rw is registered"),
             wait: WaitPolicyKind::Block,
             registry: RegistryConfig::default(),
             workers: 2,
+            max_file_size: DEFAULT_MAX_FILE_SIZE,
         }
     }
 }
@@ -182,6 +195,9 @@ pub(crate) struct ServerState {
     /// internal range locks, separate from the advisory tables — the same
     /// split POSIX makes.
     pub(crate) store: FileStore<DynLock>,
+    /// Trust-boundary cap on data-plane spans; see
+    /// [`ServerConfig::max_file_size`].
+    pub(crate) max_file_size: u64,
     pub(crate) stats: Arc<ServerStats>,
     /// Every live session's inbox, so shutdown can close them all.
     inboxes: Mutex<Vec<Weak<FrameQueue>>>,
@@ -233,6 +249,7 @@ impl Server {
             store: FileStore::new(move || {
                 RangeFile::new(DynLock(spec.build_twophase(wait, &store_reg)))
             }),
+            max_file_size: config.max_file_size,
             stats: Arc::new(ServerStats::new()),
             inboxes: Mutex::new(Vec::new()),
         });

@@ -15,7 +15,11 @@
 //! Data-plane operations (`Read`/`Write`/…) call the `FileStore` directly
 //! on the worker thread: their internal mandatory range locks are held
 //! only for the copy itself (the same trade filebench makes), while all
-//! *advisory* waiting happens in the async lock table.
+//! *advisory* waiting happens in the async lock table. Like lock ranges,
+//! data spans are validated at the trust boundary before they touch the
+//! store: reads are capped at [`MAX_READ`] and every write/append/truncate
+//! span must fit under the server's configured max file size, so no single
+//! frame can make the paged store allocate unbounded memory.
 
 use std::collections::HashMap;
 use std::future::Future;
@@ -104,6 +108,23 @@ fn checked_range(state: &ServerState, start: u64, end: u64) -> Result<Range, Str
     Ok(Range::new(start, end))
 }
 
+/// Validates a data-plane span at the trust boundary: `[offset,
+/// offset + len)` must fit under the server's configured max file size.
+/// Without this, one hostile frame (`Write { offset: 1 << 60, .. }`,
+/// `Truncate { len: u64::MAX }` followed by a tail read) would make the
+/// store allocate pages for the whole span and OOM the server — the
+/// bounded-memory guarantee `MAX_FRAME` gives the control plane, extended
+/// to the data plane.
+fn checked_file_span(state: &ServerState, offset: u64, len: u64) -> Result<(), String> {
+    match offset.checked_add(len) {
+        Some(end) if end <= state.max_file_size => Ok(()),
+        _ => Err(format!(
+            "data span [{offset}, {offset} + {len}) exceeds the {}-byte file-size cap",
+            state.max_file_size
+        )),
+    }
+}
+
 /// Lazily creates the session's `LockOwner` for `path`.
 fn owner_for<'a>(
     state: &Arc<ServerState>,
@@ -151,9 +172,16 @@ pub(crate) async fn run(state: Arc<ServerState>, conn: Conn) {
         };
         let reply = match req {
             Request::Hello { name: n } => {
-                name = n;
-                trace::label_actor(actor, &name);
-                Reply::Ok
+                if owners.is_empty() {
+                    name = n;
+                    trace::label_actor(actor, &name);
+                    Reply::Ok
+                } else {
+                    // Owners capture the session name at creation; a rename
+                    // now would leave EDEADLK cycle reports and traces
+                    // attributed to the stale name.
+                    protocol_err(&stats, "Hello must precede lock requests".to_string())
+                }
             }
             Request::Bye => {
                 disconnected = false;
@@ -280,31 +308,46 @@ pub(crate) async fn run(state: Arc<ServerState>, conn: Conn) {
             }
             Request::Write { path, offset, data } => {
                 stats.count_op(OpKind::Write);
-                if offset.checked_add(data.len() as u64).is_none() {
-                    protocol_err(&stats, "write past u64::MAX".to_string())
-                } else {
-                    let started = Instant::now();
-                    let file = state.store.open(&path);
-                    file.pwrite(offset, &data);
-                    stats.io_wait.record(elapsed_ns(started));
-                    Reply::Ok
+                match checked_file_span(&state, offset, data.len() as u64) {
+                    Err(message) => protocol_err(&stats, message),
+                    Ok(()) => {
+                        let started = Instant::now();
+                        let file = state.store.open(&path);
+                        file.pwrite(offset, &data);
+                        stats.io_wait.record(elapsed_ns(started));
+                        Reply::Ok
+                    }
                 }
             }
             Request::Append { path, data } => {
                 stats.count_op(OpKind::Append);
-                let started = Instant::now();
                 let file = state.store.open(&path);
-                let offset = file.append(&data);
-                stats.io_wait.record(elapsed_ns(started));
-                Reply::Offset(offset)
+                // The length check races concurrent appenders, but each
+                // passing request adds at most one frame of data, so the
+                // overshoot stays bounded by sessions × MAX_FRAME — the
+                // guarantee is bounded memory, not an exact cut.
+                match checked_file_span(&state, file.len(), data.len() as u64) {
+                    Err(message) => protocol_err(&stats, message),
+                    Ok(()) => {
+                        let started = Instant::now();
+                        let offset = file.append(&data);
+                        stats.io_wait.record(elapsed_ns(started));
+                        Reply::Offset(offset)
+                    }
+                }
             }
             Request::Truncate { path, len } => {
                 stats.count_op(OpKind::Truncate);
-                let started = Instant::now();
-                let file = state.store.open(&path);
-                file.truncate(len);
-                stats.io_wait.record(elapsed_ns(started));
-                Reply::Ok
+                match checked_file_span(&state, len, 0) {
+                    Err(message) => protocol_err(&stats, message),
+                    Ok(()) => {
+                        let started = Instant::now();
+                        let file = state.store.open(&path);
+                        file.truncate(len);
+                        stats.io_wait.record(elapsed_ns(started));
+                        Reply::Ok
+                    }
+                }
             }
         };
         let hang_up = matches!(

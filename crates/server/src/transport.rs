@@ -30,7 +30,7 @@ use std::net::{Shutdown, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Waker};
 
-use crate::wire::{read_frame, write_frame};
+use crate::wire::{read_frame, write_frame, MAX_FRAME};
 
 /// A closeable queue of frames with blocking *and* waker-based receive.
 ///
@@ -225,9 +225,22 @@ impl Conn {
         })
     }
 
-    /// Sends one frame to the peer. Fails with `BrokenPipe` once the peer
-    /// is gone (in-process) or with the socket's error (TCP).
+    /// Sends one frame to the peer. Fails with `InvalidData` (and sends
+    /// nothing) if the payload exceeds [`MAX_FRAME`] — uniformly across
+    /// both transports, so an oversized request is a recoverable error at
+    /// the sender instead of a TCP-only connection kill at the receiver's
+    /// frame cap — with `BrokenPipe` once the peer is gone (in-process),
+    /// or with the socket's error (TCP).
     pub fn send(&self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+                    payload.len()
+                ),
+            ));
+        }
         match &self.tx {
             FrameTx::Queue(peer) => {
                 if peer.push(payload.to_vec()) {

@@ -28,7 +28,10 @@ pub const MAX_FRAME: usize = 1 << 24;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Names the session; the name becomes the `LockOwner` name (what a
-    /// `DeadlockError` cycle prints) and the rl-obs actor label.
+    /// `DeadlockError` cycle prints) and the rl-obs actor label. Must
+    /// precede any lock request: owners capture the session name at
+    /// creation, so renaming after the first lock is a `Protocol` error
+    /// (stale names would mis-attribute `EDEADLK` cycles and traces).
     Hello {
         /// Session name, e.g. `"client-3"`.
         name: String,
@@ -258,11 +261,20 @@ fn put_mode(out: &mut Vec<u8>, mode: LockMode) {
     );
 }
 
+/// Strings carry a `u16` length prefix, so anything longer than 65535
+/// bytes is cut — at a char boundary, never mid-codepoint, so the peer
+/// always decodes valid UTF-8. Only server error messages (e.g. a long
+/// `EDEADLK` cycle) can realistically reach the cap, where truncation is
+/// harmless; the client refuses oversized paths and session names before
+/// encoding (`ClientError::TooLong`) so a request can never silently
+/// target a truncated, different path.
 fn put_str(out: &mut Vec<u8>, s: &str) {
-    let bytes = s.as_bytes();
-    let len = bytes.len().min(u16::MAX as usize);
+    let mut len = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(len) {
+        len -= 1;
+    }
     out.extend_from_slice(&(len as u16).to_le_bytes());
-    out.extend_from_slice(&bytes[..len]);
+    out.extend_from_slice(&s.as_bytes()[..len]);
 }
 
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {

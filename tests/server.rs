@@ -17,7 +17,9 @@
 //! * **Wire robustness** — encode/decode round-trips over randomized
 //!   requests and replies, every strict prefix of a valid frame rejected,
 //!   and a garbage frame answered with a `Protocol` error followed by a
-//!   hangup.
+//!   hangup. Trust-boundary checks ride along: data-plane spans bounded
+//!   by the configured max file size, oversized frames refused at the
+//!   sender, oversized strings refused before encoding.
 
 use std::sync::mpsc;
 use std::time::Duration;
@@ -52,6 +54,7 @@ fn server_for(variant: &'static registry::VariantSpec) -> Server {
             adaptive_segments: false,
         },
         workers: 2,
+        ..ServerConfig::default()
     })
 }
 
@@ -517,6 +520,143 @@ fn pnova_rejects_misaligned_ranges() {
             ..
         }
     ));
+}
+
+/// Data-plane spans are validated at the trust boundary: a write at a
+/// huge offset, a truncate to `u64::MAX`, and an append past the cap are
+/// `Protocol` errors — not page allocations for the whole span (the OOM
+/// vector `MAX_FRAME` alone cannot close).
+#[test]
+fn data_plane_spans_are_bounded() {
+    let cap = SLOTS * SLOT_BYTES;
+    let server = Server::new(ServerConfig {
+        variant: registry::by_name("list-rw").unwrap(),
+        max_file_size: cap,
+        ..ServerConfig::default()
+    });
+    let is_protocol = |err: &ClientError| {
+        matches!(
+            err,
+            ClientError::Remote {
+                code: ErrCode::Protocol,
+                ..
+            }
+        )
+    };
+
+    // Each probe costs its connection: protocol errors hang up.
+    let mut c = server.connect();
+    assert!(is_protocol(&c.write("/f", 1 << 60, b"x").unwrap_err()));
+    let mut c = server.connect();
+    assert!(is_protocol(&c.truncate("/f", u64::MAX).unwrap_err()));
+    let mut c = server.connect();
+    assert!(is_protocol(&c.write("/f", cap - 1, b"xy").unwrap_err()));
+
+    // Growing to exactly the cap is fine; the append that would cross it
+    // is refused.
+    let mut c = server.connect();
+    c.truncate("/f", cap).unwrap();
+    assert!(is_protocol(&c.append("/f", b"over").unwrap_err()));
+
+    // Spans inside the cap still work end to end.
+    let mut c = server.connect();
+    c.write("/ok", cap - 4, b"tail").unwrap();
+    assert_eq!(c.read("/ok", cap - 4, 4).unwrap(), b"tail");
+    c.bye().unwrap();
+
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 4);
+}
+
+/// A request that would exceed `MAX_FRAME` fails at the *sender* — same
+/// error on both transports — and nothing is sent, so the session stays
+/// usable instead of dying at the receiver's frame cap.
+#[test]
+fn oversized_frames_fail_at_the_sender() {
+    let server = server_for(registry::by_name("list-rw").unwrap());
+    let mut c = server.connect();
+    let big = vec![0u8; wire::MAX_FRAME + 1];
+    assert!(matches!(
+        c.write("/f", 0, &big).unwrap_err(),
+        ClientError::Io(err) if err.kind() == std::io::ErrorKind::InvalidData
+    ));
+    c.write("/f", 0, b"ok").unwrap();
+    c.bye().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+/// Renaming a session after it created lock owners is a protocol error —
+/// owners capture the name at creation, so a late rename would leave
+/// `EDEADLK` cycle reports and traces attributed to the stale name.
+#[test]
+fn hello_after_lock_is_rejected() {
+    let server = server_for(registry::by_name("list-rw").unwrap());
+    let mut c = server.connect();
+    c.hello("early").unwrap();
+    c.hello("renamed-before-locks").unwrap(); // fine: no owners yet
+    c.lock("/f", slot_range(0), LockMode::Exclusive).unwrap();
+    assert!(matches!(
+        c.hello("late").unwrap_err(),
+        ClientError::Remote {
+            code: ErrCode::Protocol,
+            ..
+        }
+    ));
+    // The hangup released the held range like any disconnect.
+    let mut b = server.connect();
+    run_bounded("hello-after-lock release".to_string(), move || {
+        b.lock("/f", slot_range(0), LockMode::Exclusive).unwrap();
+        b.bye().unwrap();
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 1);
+}
+
+/// Paths and names longer than the wire's `u16` length prefix are refused
+/// client-side before encoding — silent truncation would make the request
+/// target a *different* path.
+#[test]
+fn oversized_strings_are_refused_before_encoding() {
+    let server = server_for(registry::by_name("list-rw").unwrap());
+    let mut c = server.connect();
+    let long = "p".repeat(u16::MAX as usize + 1);
+    assert!(matches!(
+        c.hello(&long).unwrap_err(),
+        ClientError::TooLong("name")
+    ));
+    assert!(matches!(
+        c.lock(&long, slot_range(0), LockMode::Exclusive)
+            .unwrap_err(),
+        ClientError::TooLong("path")
+    ));
+    // Nothing reached the server; the session is untouched.
+    c.hello("short").unwrap();
+    c.bye().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+/// The wire encoder cuts oversized strings (only server error messages
+/// can realistically exceed the `u16` prefix) at a char boundary, so the
+/// peer always decodes valid UTF-8 instead of `BadUtf8`-hanging-up.
+#[test]
+fn oversized_strings_truncate_at_char_boundaries() {
+    let mut message = "x".repeat(u16::MAX as usize - 1);
+    message.push('€'); // 3 bytes: straddles the 65535-byte cap
+    let bytes = wire::encode_reply(&Reply::Err {
+        code: ErrCode::Protocol,
+        message: message.clone(),
+    });
+    match wire::decode_reply(&bytes).unwrap() {
+        Reply::Err {
+            message: decoded, ..
+        } => {
+            assert_eq!(decoded.len(), u16::MAX as usize - 1);
+            assert_eq!(decoded, &message[..u16::MAX as usize - 1]);
+        }
+        other => panic!("wanted an Err reply, got {other:?}"),
+    }
 }
 
 /// The same storms and guarantees hold over real sockets: a TCP client
